@@ -1,0 +1,83 @@
+// Ablation — the local trust-depth policy of the transitive trust model.
+//
+// Paper §6.4: "Checking its own security policy which might limit the depth
+// of an acceptable trust chain, BB_C may accept the public key of cert_A."
+// The destination's max_introduction_depth bounds how many introduction
+// steps it accepts between its directly authenticated peer and the
+// innermost signer. This ablation sweeps path length against depth limits:
+// requests succeed iff (domains - 2) <= limit.
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "kit/chain_world.hpp"
+
+using namespace e2e;
+using namespace e2e::kit;
+namespace bu = e2e::benchutil;
+
+namespace {
+
+bool granted_with_depth_limit(std::size_t domains, std::size_t limit) {
+  ChainWorldConfig config;
+  config.domains = domains;
+  ChainWorld world(config);
+  // Rebuild a dedicated engine so the destination gets the strict policy.
+  sig::Fabric fabric;
+  Rng rng(1);
+  sig::HopByHopEngine engine(fabric, rng);
+  for (std::size_t i = 0; i < domains; ++i) {
+    sig::DomainOptions options;
+    if (i == domains - 1) options.trust_policy.max_introduction_depth = limit;
+    engine.add_domain(world.broker(i), options);
+    engine.trust_community(world.names()[i], "ESnet",
+                           world.cas_esnet().public_key());
+  }
+  for (std::size_t i = 0; i + 1 < domains; ++i) {
+    if (!engine.connect_peers(world.names()[i], world.names()[i + 1], 0)
+             .ok()) {
+      std::abort();
+    }
+  }
+  const WorldUser alice = world.make_user("Alice", 0);
+  engine.register_local_user("DomainA", alice.identity_cert);
+  const auto msg =
+      engine.build_user_request(alice.credentials(), world.spec(alice, 1e6),
+                                0);
+  const auto outcome = engine.reserve(*msg, seconds(1));
+  return outcome.ok() && outcome->reply.granted;
+}
+
+}  // namespace
+
+int main() {
+  bu::heading("Ablation", "introduction-depth limits in the trust policy");
+  bu::note("The destination accepts a key introduced through at most");
+  bu::note("`limit` intermediaries. A path of N domains needs N-2");
+  bu::note("introductions at the destination (its peer is direct).");
+
+  bu::row("%-9s | %-8s %-8s %-8s %-8s", "domains", "limit=1", "limit=2",
+          "limit=4", "limit=8");
+  bu::rule();
+  bool ok = true;
+  for (std::size_t domains : {3u, 4u, 5u, 6u, 8u}) {
+    const bool l1 = granted_with_depth_limit(domains, 1);
+    const bool l2 = granted_with_depth_limit(domains, 2);
+    const bool l4 = granted_with_depth_limit(domains, 4);
+    const bool l8 = granted_with_depth_limit(domains, 8);
+    bu::row("%-9zu | %-8s %-8s %-8s %-8s", domains, l1 ? "grant" : "deny",
+            l2 ? "grant" : "deny", l4 ? "grant" : "deny",
+            l8 ? "grant" : "deny");
+    auto expected = [&](std::size_t limit) {
+      return domains - 2 <= limit;
+    };
+    ok &= (l1 == expected(1)) && (l2 == expected(2)) && (l4 == expected(4)) &&
+          (l8 == expected(8));
+  }
+  bu::rule();
+  ok &= bu::check(ok,
+                  "grant exactly when required introductions (domains-2) "
+                  "fit the destination's depth limit");
+  bu::note("Operators trade reach (longer paths work) against exposure");
+  bu::note("(each introduction extends trust one more contractual hop).");
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

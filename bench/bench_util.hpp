@@ -1,0 +1,40 @@
+// Small table/report helpers shared by the figure-reproduction benches.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace e2e::benchutil {
+
+inline void heading(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::printf("  ");
+  std::vprintf(fmt, args);
+  std::printf("\n");
+  va_end(args);
+}
+
+inline void rule() {
+  std::printf("  ----------------------------------------------------------------\n");
+}
+
+/// PASS/FAIL marker for the shape checks each bench asserts (the paper's
+/// qualitative claims; see EXPERIMENTS.md).
+inline bool check(bool ok, const std::string& claim) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+  return ok;
+}
+
+}  // namespace e2e::benchutil

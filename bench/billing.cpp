@@ -1,0 +1,73 @@
+// Claim S (§6.4) — the transitive billing scheme over the SLA chain.
+#include <cstdlib>
+
+#include "acct/billing.hpp"
+#include "bench_util.hpp"
+#include "kit/chain_world.hpp"
+
+using namespace e2e;
+using namespace e2e::kit;
+namespace bu = e2e::benchutil;
+
+int main() {
+  bu::heading("Claim S", "transitive billing along the SLA chain");
+
+  ChainWorldConfig config;
+  config.domains = 4;
+  ChainWorld world(config);
+  const WorldUser alice = world.make_user("Alice", 0);
+
+  // Prices come from the SLAs installed in the world (0.01 * hop index);
+  // the source domain charges its local user a retail rate.
+  acct::BillingLedger ledger(
+      [&world](const std::string& payer, const std::string& payee) {
+        for (std::size_t i = 1; i < world.names().size(); ++i) {
+          if (world.names()[i] == payee) {
+            const auto* sla = world.broker(i).upstream_sla(payer);
+            if (sla != nullptr) return sla->price_per_mbit_s;
+          }
+        }
+        return 0.05;  // retail rate user -> source domain
+      });
+
+  bb::ResSpec spec = world.spec(alice, 10e6, {0, seconds(60)});
+  const auto msg =
+      world.engine().build_user_request(alice.credentials(), spec, 0);
+  const auto outcome = world.engine().reserve(*msg, seconds(1));
+  bool ok = bu::check(outcome.ok() && outcome->reply.granted,
+                      "end-to-end reservation granted across 4 domains");
+
+  std::vector<std::string> path;
+  for (const auto& [domain, handle] : outcome->reply.handles) {
+    path.push_back(domain);
+  }
+  const auto records = ledger.bill_reservation(
+      path, alice.dn.to_string(), spec,
+      outcome->reply.handles.front().second);
+
+  bu::row("%-28s %-12s %12s %10s", "payer", "payee", "Mbit-seconds",
+          "amount");
+  bu::rule();
+  for (const auto& r : records) {
+    bu::row("%-28s %-12s %12.0f %10.2f", r.payer.c_str(), r.payee.c_str(),
+            r.mbit_seconds, r.amount);
+  }
+  bu::rule();
+  for (const auto& name : world.names()) {
+    bu::row("net balance %-12s : %+8.2f", name.c_str(),
+            ledger.balance(name));
+  }
+  bu::row("net balance %-12s : %+8.2f", "Alice",
+          ledger.balance(alice.dn.to_string()));
+
+  ok &= bu::check(records.size() == path.size(),
+                  "one billing record per SLA edge plus the user's");
+  double sum = ledger.balance(alice.dn.to_string());
+  for (const auto& name : world.names()) sum += ledger.balance(name);
+  ok &= bu::check(std::abs(sum) < 1e-9,
+                  "money is conserved across the transitive chain");
+  ok &= bu::check(ledger.total_user_payments() ==
+                      -ledger.balance(alice.dn.to_string()),
+                  "everything entering the system is paid by the user");
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,99 @@
+// Substrate validation — the DiffServ premium service the whole
+// architecture rides on (paper §2, citing the authors' own DiffServ
+// implementation for high-performance TCP flows [20]):
+// "By carefully limiting the traffic admitted to the traffic aggregate,
+// QoS guarantees for bandwidth can be provided."
+//
+// Sweep best-effort background load on a shared bottleneck and show that
+// the policed EF aggregate keeps (a) its reserved goodput and (b) a
+// near-propagation delay, while best-effort traffic collapses.
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "net/simulator.hpp"
+
+using namespace e2e;
+namespace bu = e2e::benchutil;
+
+namespace {
+
+struct Sample {
+  double ef_goodput_mbps = 0;
+  double ef_delay_ms = 0;
+  double be_goodput_mbps = 0;
+  double be_delay_ms = 0;
+};
+
+Sample run(double background_mbps) {
+  net::Topology topo;
+  const auto d = topo.add_domain("D");
+  const auto src = topo.add_router(d, "edge-in", true);
+  const auto mid = topo.add_router(d, "core", false);
+  const auto dst = topo.add_router(d, "edge-out", true);
+  const auto in_link = topo.add_link(src, mid, 1e9, milliseconds(1));
+  topo.add_link(mid, dst, 50e6, milliseconds(1), /*queue=*/256);
+  net::Simulator sim(std::move(topo), 21);
+
+  net::FlowDescription ef;
+  ef.name = "premium";
+  ef.source = src;
+  ef.destination = dst;
+  ef.wants_premium = true;
+  ef.pattern = net::TrafficPattern::cbr(10e6);
+  const net::FlowId ef_flow = sim.add_flow(ef).value();
+  sim.set_flow_policer(in_link, ef_flow, net::TokenBucket(11e6, 60000),
+                       sla::ExcessTreatment::kDrop);
+
+  net::FlowDescription be;
+  be.name = "background";
+  be.source = src;
+  be.destination = dst;
+  be.pattern = net::TrafficPattern::poisson(background_mbps * 1e6);
+  const net::FlowId be_flow = sim.add_flow(be).value();
+
+  sim.run_until(seconds(5));
+  Sample s;
+  s.ef_goodput_mbps =
+      sim.stats(ef_flow).premium_goodput_bits_per_s(seconds(5)) / 1e6;
+  s.ef_delay_ms = sim.stats(ef_flow).mean_delay_us() / 1000.0;
+  s.be_goodput_mbps =
+      sim.stats(be_flow).goodput_bits_per_s(seconds(5)) / 1e6;
+  s.be_delay_ms = sim.stats(be_flow).mean_delay_us() / 1000.0;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bu::heading("Substrate", "EF bandwidth & delay protection under load");
+  bu::note("50 Mb/s bottleneck; 10 Mb/s policed EF flow; best-effort");
+  bu::note("background swept from near-idle (1 Mb/s) to 2x overload.");
+  bu::row("%-14s | %-12s %-12s | %-12s %-12s", "BE offered", "EF Mb/s",
+          "EF delay ms", "BE Mb/s", "BE delay ms");
+  bu::rule();
+  bool ok = true;
+  double ef_goodput_idle = 0, ef_goodput_overload = 0;
+  double ef_delay_overload = 0;
+  for (double background : {1.0, 20.0, 40.0, 60.0, 100.0}) {
+    const Sample s = run(background);
+    bu::row("%-14.0f | %-12.2f %-12.2f | %-12.2f %-12.2f", background,
+            s.ef_goodput_mbps, s.ef_delay_ms, s.be_goodput_mbps,
+            s.be_delay_ms);
+    if (background == 1.0) ef_goodput_idle = s.ef_goodput_mbps;
+    if (background == 100.0) {
+      ef_goodput_overload = s.ef_goodput_mbps;
+      ef_delay_overload = s.ef_delay_ms;
+    }
+    if (background == 100.0) {
+      ok &= bu::check(s.be_delay_ms > 5 * s.ef_delay_ms,
+                      "under 2x overload, best-effort queues while EF "
+                      "rides the priority queue");
+    }
+  }
+  bu::rule();
+  ok &= bu::check(ef_goodput_overload > 0.95 * ef_goodput_idle,
+                  "EF goodput unaffected by best-effort overload");
+  ok &= bu::check(ef_delay_overload < 3.0,
+                  "EF delay stays near the propagation floor (2 ms)");
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,78 @@
+// Figure 2 — "The multi-domain reservation problem."
+//
+// Alice's reservation from domain A to domain C succeeds only if ALL
+// brokers on the path grant it; a single domain without headroom (or with a
+// denying policy) breaks the end-to-end reservation.
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "kit/chain_world.hpp"
+
+using namespace e2e;
+using namespace e2e::kit;
+namespace bu = e2e::benchutil;
+
+namespace {
+
+/// Run one end-to-end attempt in a fresh world where `starved` (if >= 0)
+/// has had its capacity pre-consumed.
+struct Attempt {
+  bool granted = false;
+  std::string denier;
+  std::size_t contacted = 0;
+};
+
+Attempt attempt_with_starved_domain(int starved) {
+  ChainWorldConfig config;
+  config.domains = 3;
+  ChainWorld world(config);
+  WorldUser alice = world.make_user("Alice", 0);
+  if (starved >= 0) {
+    // Pre-commit nearly all of that domain's capacity.
+    bb::ResSpec hog = world.spec(alice, config.domain_capacity - 1e6);
+    hog.user = alice.dn.to_string();
+    auto committed =
+        world.broker(static_cast<std::size_t>(starved)).commit(hog, "");
+    if (!committed.ok()) std::abort();
+  }
+  const auto msg = world.engine().build_user_request(
+      alice.credentials(), world.spec(alice, 10e6), 0);
+  const auto outcome = world.engine().reserve(*msg, seconds(1));
+  Attempt a;
+  a.granted = outcome->reply.granted;
+  a.contacted = outcome->domains_contacted;
+  if (!a.granted) a.denier = outcome->reply.denial.origin;
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  bu::heading("Figure 2", "the multi-domain reservation problem");
+  bu::note("Alice requests 10 Mb/s DomainA -> DomainC; every BB on the path");
+  bu::note("must admit the request.");
+
+  bu::row("%-22s %-9s %-10s %-10s", "scenario", "granted", "denied by",
+          "BBs asked");
+  bu::rule();
+
+  const Attempt healthy = attempt_with_starved_domain(-1);
+  bu::row("%-22s %-9s %-10s %-10zu", "all domains healthy",
+          healthy.granted ? "yes" : "no", "-", healthy.contacted);
+
+  bool ok = bu::check(healthy.granted && healthy.contacted == 3,
+                      "reservation succeeds only after contacting all 3 BBs");
+
+  const char* names[] = {"DomainA", "DomainB", "DomainC"};
+  for (int starved = 0; starved < 3; ++starved) {
+    const Attempt a = attempt_with_starved_domain(starved);
+    bu::row("%-22s %-9s %-10s %-10zu",
+            (std::string(names[starved]) + " exhausted").c_str(),
+            a.granted ? "yes" : "no", a.granted ? "-" : a.denier.c_str(),
+            a.contacted);
+    ok &= bu::check(!a.granted && a.denier == names[starved],
+                    std::string("exhausting ") + names[starved] +
+                        " alone breaks the end-to-end reservation");
+  }
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,277 @@
+// Figure 4 — the misreservation attack.
+//
+// "David, a malicious user in domain D, makes a reservation in domains D
+// and B, but fails to make a reservation in domain C ... Domain C polices
+// traffic based on traffic aggregates, not on individual users, so it
+// cannot tell the difference between David's reserved traffic and Alice's
+// reserved traffic. Therefore, there will be more reserved traffic entering
+// domain C than domain C expects, causing it to discard or downgrade the
+// extra traffic, thereby affecting Alice's reservation."
+//
+// Three worlds on the same topology (D and A feed B; B feeds C):
+//   baseline     : only Alice reserved (hop-by-hop), no attacker traffic.
+//   hop-by-hop   : David tries an end-to-end reservation; C denies it, so
+//                  his edge router never marks his traffic — Alice is safe.
+//   source-based : David reserves only in D and B (reserve_subset — nothing
+//                  stops him), his traffic enters the EF aggregate and the
+//                  B->C aggregate policer degrades Alice.
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "gara/edge_binding.hpp"
+#include "net/simulator.hpp"
+#include "policy/cas.hpp"
+#include "sig/hopbyhop.hpp"
+#include "sig/source_signalling.hpp"
+
+using namespace e2e;
+namespace bu = e2e::benchutil;
+
+namespace {
+
+constexpr TimeInterval kValidity{0, hours(24)};
+constexpr double kAliceReserved = 10e6;
+constexpr double kAliceOffered = 9e6;  // users shape slightly under profile
+constexpr double kDavidRate = 10e6;
+constexpr SimTime kSimEnd = seconds(5);
+
+struct World {
+  Rng rng{1};
+  std::vector<std::string> names{"DomainD", "DomainA", "DomainB", "DomainC"};
+  std::vector<std::unique_ptr<crypto::CertificateAuthority>> cas;
+  std::vector<std::unique_ptr<bb::BandwidthBroker>> brokers;
+  sig::Fabric fabric;
+  sig::HopByHopEngine engine{fabric, rng};
+  sig::SourceDomainEngine source_engine{fabric};
+
+  // Simulator topology.
+  net::Topology topo;
+  net::RouterId edge_d, edge_a, core_b, edge_c;
+  net::LinkId link_db, link_ab, link_bc;
+
+  World() {
+    // Control plane: C only grants Alice (its local policy).
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      cas.push_back(std::make_unique<crypto::CertificateAuthority>(
+          crypto::DistinguishedName::make("CA-" + names[i], names[i]), rng,
+          kValidity, 256));
+      const char* policy_src =
+          names[i] == "DomainC" ? "If User = Alice Return GRANT\nReturn DENY"
+                                : "Return GRANT";
+      policy::PolicyServer server(
+          names[i], policy::Policy::compile(policy_src).value());
+      brokers.push_back(std::make_unique<bb::BandwidthBroker>(
+          bb::BrokerConfig{names[i], 622e6, 256}, std::move(server), *cas[i],
+          rng, kValidity));
+    }
+    auto sla = [this](std::size_t from, std::size_t to, double rate) {
+      sla::ServiceLevelAgreement a;
+      a.from_domain = names[from];
+      a.to_domain = names[to];
+      a.profile.rate_bits_per_s = rate;
+      a.profile.burst_bits = 100000;
+      a.validity = kValidity;
+      a.peer_bb_certificate = brokers[from]->certificate();
+      a.peer_ca_certificate = cas[from]->root_certificate();
+      brokers[to]->add_upstream_sla(a);
+      brokers[from]->trust_store().add_anchor(cas[to]->root_certificate());
+    };
+    sla(0, 2, 50e6);  // D -> B
+    sla(1, 2, 50e6);  // A -> B
+    sla(2, 3, 50e6);  // B -> C
+    brokers[0]->set_next_hop("DomainC", "DomainB");
+    brokers[1]->set_next_hop("DomainC", "DomainB");
+    brokers[2]->set_next_hop("DomainC", "DomainC");
+    for (auto& b : brokers) engine.add_domain(*b);
+    for (auto& b : brokers) source_engine.add_domain(*b);
+    if (!engine.connect_peers("DomainD", "DomainB", 0).ok()) std::abort();
+    if (!engine.connect_peers("DomainA", "DomainB", 0).ok()) std::abort();
+    if (!engine.connect_peers("DomainB", "DomainC", 0).ok()) std::abort();
+
+    // Data plane.
+    const auto dd = topo.add_domain("DomainD");
+    const auto da = topo.add_domain("DomainA");
+    const auto db = topo.add_domain("DomainB");
+    const auto dc = topo.add_domain("DomainC");
+    edge_d = topo.add_router(dd, "edge-D", true);
+    edge_a = topo.add_router(da, "edge-A", true);
+    core_b = topo.add_router(db, "core-B", false);
+    edge_c = topo.add_router(dc, "edge-C", true);
+    link_db = topo.add_link(edge_d, core_b, 100e6, milliseconds(5));
+    link_ab = topo.add_link(edge_a, core_b, 100e6, milliseconds(5));
+    link_bc = topo.add_link(core_b, edge_c, 100e6, milliseconds(5));
+  }
+
+  struct UserMaterial {
+    crypto::DistinguishedName dn;
+    crypto::KeyPair keys;
+    crypto::Certificate cert;
+  };
+  UserMaterial make_user(const char* name, std::size_t home,
+                         bool known_everywhere) {
+    UserMaterial u{crypto::DistinguishedName::make(name, names[home]),
+                   crypto::generate_keypair(rng, 256),
+                   crypto::Certificate()};
+    u.cert = cas[home]->issue(u.dn, u.keys.pub, kValidity);
+    engine.register_local_user(names[home], u.cert);
+    if (known_everywhere) {
+      for (const auto& d : names) source_engine.register_user(d, u.cert);
+    }
+    return u;
+  }
+
+  bb::ResSpec spec(const UserMaterial& u, const std::string& src,
+                   double rate) {
+    bb::ResSpec s;
+    s.user = u.dn.to_string();
+    s.source_domain = src;
+    s.destination_domain = "DomainC";
+    s.rate_bits_per_s = rate;
+    s.burst_bits = 120000;  // 10 packets of burst tolerance
+    s.interval = {0, kSimEnd};
+    return s;
+  }
+};
+
+enum class Attacker { kNone, kHopByHop, kSourceBased };
+
+struct RunResult {
+  double alice_premium_mbps = 0;
+  double david_premium_mbps = 0;
+  bool david_reservation_granted = false;
+};
+
+RunResult run(Attacker attacker, sla::ExcessTreatment excess) {
+  World w;
+  auto alice = w.make_user("Alice", 1, true);
+  auto david = w.make_user("David", 0, true);
+
+  net::Simulator sim(std::move(w.topo), /*seed=*/7);
+
+  // Traffic: Poisson arrivals for both flows. (Synchronized CBR flows
+  // phase-lock into a deterministic all-or-nothing split, and a lone CBR
+  // flow's regular spacing wins most token-bucket contention; Poisson
+  // yields the proportional sharing an aggregate policer produces for
+  // statistically multiplexed traffic.)
+  net::FlowDescription fa;
+  fa.name = "alice";
+  fa.source = w.edge_a;
+  fa.destination = w.edge_c;
+  fa.wants_premium = true;
+  fa.pattern = net::TrafficPattern::poisson(kAliceOffered);
+  const net::FlowId alice_flow = sim.add_flow(fa).value();
+
+  net::FlowDescription fd;
+  fd.name = "david";
+  fd.source = w.edge_d;
+  fd.destination = w.edge_c;
+  fd.wants_premium = true;
+  fd.pattern = net::TrafficPattern::poisson(kDavidRate);
+  const net::FlowId david_flow = sim.add_flow(fd).value();
+
+  // Edge bindings: commits at the users' source brokers install edge
+  // policers.
+  gara::EdgeBinding bind_a(sim, w.link_ab, excess);
+  bind_a.bind_flow(alice.dn.to_string(), alice_flow);
+  bind_a.attach(*w.brokers[1]);
+  gara::EdgeBinding bind_d(sim, w.link_db, excess);
+  bind_d.bind_flow(david.dn.to_string(), david_flow);
+  bind_d.attach(*w.brokers[0]);
+
+  // Alice reserves end-to-end (hop-by-hop). Always succeeds.
+  sig::UserCredentials alice_creds;
+  alice_creds.identity_certificate = alice.cert;
+  alice_creds.identity_key = alice.keys.priv;
+  const auto alice_msg = w.engine.build_user_request(
+      alice_creds, w.spec(alice, "DomainA", kAliceReserved), 0);
+  const auto alice_outcome = w.engine.reserve(*alice_msg, 0);
+  if (!alice_outcome.ok() || !alice_outcome->reply.granted) std::abort();
+
+  RunResult result;
+  switch (attacker) {
+    case Attacker::kNone:
+      break;
+    case Attacker::kHopByHop: {
+      // David plays by the rules: hop-by-hop contacts every BB, and C's
+      // policy rejects him — no edge policer is ever installed.
+      sig::UserCredentials creds;
+      creds.identity_certificate = david.cert;
+      creds.identity_key = david.keys.priv;
+      const auto msg = w.engine.build_user_request(
+          creds, w.spec(david, "DomainD", kDavidRate), 0);
+      const auto outcome = w.engine.reserve(*msg, 0);
+      result.david_reservation_granted = outcome->reply.granted;
+      break;
+    }
+    case Attacker::kSourceBased: {
+      // David skips domain C entirely.
+      const auto outcome = w.source_engine.reserve_subset(
+          {"DomainD", "DomainB"}, "DomainD",
+          w.spec(david, "DomainD", kDavidRate), david.cert, david.keys.priv,
+          sig::SourceDomainEngine::Mode::kSequential, 0);
+      result.david_reservation_granted = outcome->reply.granted;
+      break;
+    }
+  }
+
+  // Domain C's ingress polices the premium *aggregate* to what C committed
+  // (Alice's 10 Mb/s) — it cannot tell flows apart.
+  const double expected_by_c = w.brokers[3]->committed_at(seconds(1));
+  sim.set_aggregate_policer(w.link_bc,
+                            net::TokenBucket(expected_by_c, 120000), excess);
+
+  sim.run_until(kSimEnd);
+  result.alice_premium_mbps =
+      sim.stats(alice_flow).premium_goodput_bits_per_s(kSimEnd) / 1e6;
+  result.david_premium_mbps =
+      sim.stats(david_flow).premium_goodput_bits_per_s(kSimEnd) / 1e6;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bu::heading("Figure 4", "misreservation attack on the DiffServ data plane");
+  bu::note("Alice: 10 Mb/s reserved A->C (offers 9 Mb/s). David offers 10 Mb/s D->C.");
+  bu::note("Domain C polices the EF aggregate at its ingress (B->C link).");
+
+  bool ok = true;
+  for (const auto excess :
+       {sla::ExcessTreatment::kDrop, sla::ExcessTreatment::kDowngrade}) {
+    bu::rule();
+    bu::note(std::string("excess treatment at boundaries: ") +
+             sla::to_string(excess));
+    bu::row("%-34s %-14s %-22s %-22s", "scenario", "David granted",
+            "Alice premium (Mb/s)", "David premium (Mb/s)");
+    bu::rule();
+    const RunResult baseline = run(Attacker::kNone, excess);
+    const RunResult hbh = run(Attacker::kHopByHop, excess);
+    const RunResult src = run(Attacker::kSourceBased, excess);
+    bu::row("%-34s %-14s %-22.2f %-22.2f", "baseline (no attacker)", "-",
+            baseline.alice_premium_mbps, baseline.david_premium_mbps);
+    bu::row("%-34s %-14s %-22.2f %-22.2f",
+            "hop-by-hop (David must ask C)",
+            hbh.david_reservation_granted ? "yes" : "no",
+            hbh.alice_premium_mbps, hbh.david_premium_mbps);
+    bu::row("%-34s %-14s %-22.2f %-22.2f",
+            "source-based (David skips C)",
+            src.david_reservation_granted ? "yes" : "no",
+            src.alice_premium_mbps, src.david_premium_mbps);
+    bu::rule();
+
+    ok &= bu::check(baseline.alice_premium_mbps > 8.5,
+                    "baseline: Alice receives her (shaped) offered load");
+    ok &= bu::check(!hbh.david_reservation_granted,
+                    "hop-by-hop: domain C's policy stops David's "
+                    "reservation (all BBs are always contacted)");
+    ok &= bu::check(hbh.alice_premium_mbps > 8.5,
+                    "hop-by-hop: Alice unaffected by David");
+    ok &= bu::check(src.david_reservation_granted,
+                    "source-based: nothing stops David's incomplete "
+                    "reservation in D and B");
+    ok &= bu::check(src.alice_premium_mbps < 0.8 * baseline.alice_premium_mbps,
+                    "source-based: David's excess EF traffic degrades "
+                    "Alice's premium goodput at C's aggregate policer");
+  }
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

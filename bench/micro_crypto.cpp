@@ -1,0 +1,82 @@
+// Microbenchmarks for the crypto substrate: the per-hop cost of the
+// signalling protocol is dominated by sign/verify over canonical encodings,
+// so these numbers anchor the protocol-level benches.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace {
+
+using namespace e2e;
+using namespace e2e::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(1);
+  Bytes data(static_cast<std::size_t>(state.range(0)));
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = to_bytes("session-integrity-key");
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(256)->Arg(4096);
+
+const KeyPair& bench_keys(unsigned bits) {
+  static KeyPair kp256 = [] {
+    Rng rng(10);
+    return generate_keypair(rng, 256);
+  }();
+  static KeyPair kp512 = [] {
+    Rng rng(11);
+    return generate_keypair(rng, 512);
+  }();
+  return bits == 256 ? kp256 : kp512;
+}
+
+void BM_RsaSign(benchmark::State& state) {
+  const KeyPair& kp = bench_keys(static_cast<unsigned>(state.range(0)));
+  const Bytes msg = to_bytes("RAR: 10Mb/s A->C, user=Alice");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sign(kp.priv, msg));
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(256)->Arg(512);
+
+void BM_RsaVerify(benchmark::State& state) {
+  const KeyPair& kp = bench_keys(static_cast<unsigned>(state.range(0)));
+  const Bytes msg = to_bytes("RAR: 10Mb/s A->C, user=Alice");
+  const Bytes sig = sign(kp.priv, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify(kp.pub, msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify)->Arg(256)->Arg(512);
+
+void BM_KeyGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(
+        generate_keypair(rng, static_cast<unsigned>(state.range(0))));
+  }
+}
+BENCHMARK(BM_KeyGeneration)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+// Claim T (§1, §6.4) — tunnels make per-flow signalling independent of the
+// number of intermediate domains.
+//
+// "If a set of applications creates many parallel flows between the same
+// two end-domains, it is infeasible to negotiate an end-to-end reservation
+// for each one. ... Users authorized to use this tunnel can then request
+// portions of this aggregate bandwidth by contacting just the two end
+// domains."
+//
+// For F flows over an N-domain path:
+//   per-flow end-to-end : every flow triggers 2N messages and pays the
+//                         whole chain's latency;
+//   tunnel              : one end-to-end establishment, then 3 messages
+//                         per flow and one direct RTT, regardless of N.
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "kit/chain_world.hpp"
+
+using namespace e2e;
+using namespace e2e::kit;
+namespace bu = e2e::benchutil;
+
+namespace {
+
+struct Totals {
+  std::uint64_t messages = 0;
+  double total_latency_ms = 0;
+  std::size_t granted = 0;
+};
+
+Totals per_flow_e2e(std::size_t domains, std::size_t flows) {
+  ChainWorldConfig config;
+  config.domains = domains;
+  config.domain_capacity = 10e9;
+  config.sla_rate = 10e9;
+  ChainWorld world(config);
+  const WorldUser alice = world.make_user("Alice", 0);
+  Totals t;
+  for (std::size_t i = 0; i < flows; ++i) {
+    bb::ResSpec spec = world.spec(alice, 1e6);
+    const auto msg =
+        world.engine().build_user_request(alice.credentials(), spec, 0);
+    const auto outcome = world.engine().reserve(*msg, seconds(1));
+    if (!outcome.ok() || !outcome->reply.granted) std::abort();
+    t.messages += outcome->messages;
+    t.total_latency_ms += to_milliseconds(outcome->latency);
+    t.granted++;
+  }
+  return t;
+}
+
+Totals tunnel_based(std::size_t domains, std::size_t flows,
+                    std::uint64_t* establishment_messages) {
+  ChainWorldConfig config;
+  config.domains = domains;
+  config.domain_capacity = 10e9;
+  config.sla_rate = 10e9;
+  ChainWorld world(config);
+  const WorldUser alice = world.make_user("Alice", 0);
+  bb::ResSpec agg = world.spec(alice, 1e9, {0, seconds(36000)});
+  agg.is_tunnel = true;
+  const auto msg =
+      world.engine().build_user_request(alice.credentials(), agg, 0);
+  const auto established = world.engine().reserve(*msg, seconds(1));
+  if (!established.ok() || !established->reply.granted) std::abort();
+  *establishment_messages = established->messages;
+
+  Totals t;
+  for (std::size_t i = 0; i < flows; ++i) {
+    const auto flow = world.engine().reserve_in_tunnel(
+        established->reply.tunnel_id, alice.dn.to_string(), 1e6,
+        {0, seconds(600)}, seconds(2));
+    if (!flow.ok() || !flow->reply.granted) std::abort();
+    t.messages += flow->messages;
+    t.total_latency_ms += to_milliseconds(flow->latency);
+    t.granted++;
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  bu::heading("Claim T", "tunnel scalability for parallel flows");
+  bu::note("F flows between the same end domains over an N-domain path;");
+  bu::note("20 ms per inter-domain hop. Tunnel numbers exclude the one-time");
+  bu::note("establishment (reported separately).");
+
+  bu::row("%-8s %-7s | %-12s %-14s | %-10s %-12s %-14s", "domains", "flows",
+          "e2e msgs", "e2e lat(ms)", "tun msgs", "tun estab", "tun lat(ms)");
+  bu::rule();
+
+  bool ok = true;
+  std::uint64_t tunnel_msgs_3d = 0, tunnel_msgs_7d = 0;
+  for (std::size_t domains : {3u, 5u, 7u}) {
+    for (std::size_t flows : {1u, 16u, 64u}) {
+      const Totals e2e = per_flow_e2e(domains, flows);
+      std::uint64_t establishment = 0;
+      const Totals tun = tunnel_based(domains, flows, &establishment);
+      bu::row("%-8zu %-7zu | %-12llu %-14.0f | %-10llu %-12llu %-14.0f",
+              domains, flows,
+              static_cast<unsigned long long>(e2e.messages),
+              e2e.total_latency_ms,
+              static_cast<unsigned long long>(tun.messages),
+              static_cast<unsigned long long>(establishment),
+              tun.total_latency_ms);
+      if (flows == 64 && domains == 3) tunnel_msgs_3d = tun.messages;
+      if (flows == 64 && domains == 7) tunnel_msgs_7d = tun.messages;
+      if (flows == 64) {
+        ok &= bu::check(tun.messages < e2e.messages,
+                        "tunnel signalling sends fewer messages at " +
+                            std::to_string(domains) + " domains / 64 flows");
+        ok &= bu::check(tun.total_latency_ms < e2e.total_latency_ms,
+                        "and lower cumulative latency");
+      }
+    }
+  }
+  bu::rule();
+  ok &= bu::check(tunnel_msgs_3d == tunnel_msgs_7d,
+                  "per-flow tunnel signalling is INDEPENDENT of the number "
+                  "of intermediate domains (only the 2 end domains are "
+                  "contacted)");
+
+  // Aggregate admission is still enforced within the tunnel.
+  ChainWorld world;
+  const WorldUser alice = world.make_user("Alice", 0);
+  bb::ResSpec agg = world.spec(alice, 10e6, {0, seconds(3600)});
+  agg.is_tunnel = true;
+  const auto msg =
+      world.engine().build_user_request(alice.credentials(), agg, 0);
+  const auto established = world.engine().reserve(*msg, seconds(1));
+  std::size_t admitted = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto flow = world.engine().reserve_in_tunnel(
+        established->reply.tunnel_id, alice.dn.to_string(), 1e6,
+        {0, seconds(600)}, seconds(2));
+    if (flow.ok() && flow->reply.granted) ++admitted;
+  }
+  ok &= bu::check(admitted == 10,
+                  "a 10 Mb/s tunnel admits exactly ten 1 Mb/s flows — the "
+                  "aggregate stays enforced without contacting the "
+                  "intermediate domains");
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,102 @@
+// Fig. 4 demo on the DiffServ data plane: David's incomplete reservation
+// (made with source-domain-based signalling, skipping domain C) degrades
+// Alice's premium traffic, because domain C polices the EF *aggregate* at
+// its ingress and cannot tell their packets apart. Hop-by-hop signalling
+// prevents the attack by construction.
+//
+// This is a condensed, narrated version of bench/fig4_misreservation.
+#include <cstdio>
+
+#include "gara/edge_binding.hpp"
+#include "kit/chain_world.hpp"
+#include "net/simulator.hpp"
+
+using namespace e2e;
+using namespace e2e::kit;
+
+int main() {
+  // Control plane: a 3-domain chain A -> B -> C. (David shares Alice's
+  // access domain here; the paper's separate domain D changes nothing
+  // about the aggregate-policing argument.)
+  ChainWorldConfig config;
+  config.policies = {"Return GRANT", "Return GRANT",
+                     "If User = Alice Return GRANT\nReturn DENY"};
+  ChainWorld world(config);
+  WorldUser alice = world.make_user("Alice", 0, true, true);
+  WorldUser david = world.make_user("David", 0, true, true);
+
+  // Data plane: edge-A -> core-B -> edge-C, 100 Mb/s links.
+  net::Topology topo;
+  const auto da = topo.add_domain("DomainA");
+  const auto db = topo.add_domain("DomainB");
+  const auto dc = topo.add_domain("DomainC");
+  const auto edge_a = topo.add_router(da, "edge-A", true);
+  const auto core_b = topo.add_router(db, "core-B", false);
+  const auto edge_c = topo.add_router(dc, "edge-C", true);
+  const auto link_ab = topo.add_link(edge_a, core_b, 100e6, milliseconds(5));
+  const auto link_bc = topo.add_link(core_b, edge_c, 100e6, milliseconds(5));
+  net::Simulator sim(std::move(topo), 7);
+
+  auto add_flow = [&](const char* name) {
+    net::FlowDescription d;
+    d.name = name;
+    d.source = edge_a;
+    d.destination = edge_c;
+    d.wants_premium = true;
+    d.pattern = net::TrafficPattern::poisson(9e6);
+    return sim.add_flow(d).value();
+  };
+  const net::FlowId alice_flow = add_flow("alice");
+  const net::FlowId david_flow = add_flow("david");
+
+  gara::EdgeBinding binding(sim, link_ab);
+  binding.bind_flow(alice.dn.to_string(), alice_flow);
+  binding.bind_flow(david.dn.to_string(), david_flow);
+  binding.attach(world.broker(0));
+
+  // Alice reserves properly, hop-by-hop.
+  bb::ResSpec alice_spec = world.spec(alice, 10e6, {0, seconds(10)});
+  alice_spec.burst_bits = 120000;
+  const auto msg =
+      world.engine().build_user_request(alice.credentials(), alice_spec, 0);
+  const auto alice_outcome = world.engine().reserve(*msg, 0);
+  std::printf("Alice end-to-end reservation: %s\n",
+              alice_outcome->reply.granted ? "GRANTED" : "denied");
+
+  // David tries hop-by-hop first: domain C's policy stops him.
+  bb::ResSpec david_spec = world.spec(david, 10e6, {0, seconds(10)});
+  david_spec.burst_bits = 120000;
+  const auto david_msg =
+      world.engine().build_user_request(david.credentials(), david_spec, 0);
+  const auto david_hbh = world.engine().reserve(*david_msg, 0);
+  std::printf("David hop-by-hop attempt:     %s (%s)\n",
+              david_hbh->reply.granted ? "granted?!" : "DENIED",
+              david_hbh->reply.denial.to_text().c_str());
+
+  // Now David misreserves: source-based signalling, skipping DomainC.
+  const auto david_src = world.source_engine().reserve_subset(
+      {"DomainA", "DomainB"}, "DomainA", david_spec, david.identity_cert,
+      david.identity_keys.priv, sig::SourceDomainEngine::Mode::kSequential,
+      0);
+  std::printf("David source-based, skips C:  %s\n",
+              david_src->reply.granted ? "GRANTED (the flaw!)" : "denied");
+
+  // Domain C polices its ingress EF aggregate to what it committed: 10M.
+  sim.set_aggregate_policer(
+      link_bc,
+      net::TokenBucket(world.broker(2).committed_at(seconds(1)), 120000),
+      sla::ExcessTreatment::kDrop);
+
+  sim.run_until(seconds(5));
+  std::printf("\nAfter 5 s of traffic (both offer 9 Mb/s premium):\n");
+  std::printf("  Alice premium goodput: %5.2f Mb/s (reserved 10)\n",
+              sim.stats(alice_flow).premium_goodput_bits_per_s(seconds(5)) /
+                  1e6);
+  std::printf("  David premium goodput: %5.2f Mb/s (no reservation in C)\n",
+              sim.stats(david_flow).premium_goodput_bits_per_s(seconds(5)) /
+                  1e6);
+  std::printf("\nDomain C expected 10 Mb/s of reserved traffic but received\n"
+              "~18 Mb/s; the aggregate policer dropped the excess blindly,\n"
+              "taking roughly half of Alice's packets with it.\n");
+  return 0;
+}

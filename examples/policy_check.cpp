@@ -1,0 +1,112 @@
+// policy_check — a small CLI for the policy-file language.
+//
+// Usage:
+//   policy_check <policy-file> [Name=value ...]
+//
+// Compiles the policy and evaluates it against the attributes given on the
+// command line. Special attribute names:
+//   BW=<number>[unit]   bandwidth (e.g. BW=10Mb/s)
+//   Time=HH:MM          virtual time of day
+//   Avail_BW=<number>   available bandwidth
+//   Group=<name>        validated group membership (repeatable)
+//   Capability=<community>  validated capability issuer (repeatable)
+// Everything else becomes a string attribute (User=Alice, ...).
+//
+// Exit code: 0 GRANT, 1 DENY, 2 usage/compile error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "policy/lexer.hpp"
+#include "policy/policy.hpp"
+
+using namespace e2e;
+using namespace e2e::policy;
+
+namespace {
+
+/// Reuse the policy lexer to parse a value literal (number with unit,
+/// time-of-day, or bare string).
+Value parse_value(const std::string& text) {
+  const auto tokens = lex(text);
+  if (tokens.ok() && tokens->size() == 2) {
+    const Token& t = tokens->front();
+    if (t.kind == TokenKind::kNumber || t.kind == TokenKind::kTimeOfDay) {
+      return Value(t.number);
+    }
+  }
+  return Value(text);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <policy-file> [Name=value ...]\n"
+                 "example: %s fig6a.policy User=Alice BW=10Mb/s Time=14:00\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+  auto policy = Policy::compile(source.str());
+  if (!policy.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 policy.error().to_text().c_str());
+    return 2;
+  }
+
+  EvalContext ctx;
+  for (int i = 2; i < argc; ++i) {
+    const char* eq = std::strchr(argv[i], '=');
+    if (eq == nullptr) {
+      std::fprintf(stderr, "ignoring malformed argument '%s'\n", argv[i]);
+      continue;
+    }
+    const std::string name(argv[i], static_cast<std::size_t>(eq - argv[i]));
+    const std::string value(eq + 1);
+    if (name == "Group") {
+      ctx.add_group(value);
+    } else if (name == "Capability") {
+      ctx.add_capability({value, {"cli-supplied"}});
+    } else if (name == "Time") {
+      const Value v = parse_value(value);
+      ctx.set_time(v.is_number() ? static_cast<SimTime>(v.as_number())
+                                 : 0);
+    } else if (name == "Avail_BW") {
+      const Value v = parse_value(value);
+      ctx.set_available_bandwidth(v.is_number() ? v.as_number() : 0);
+    } else {
+      ctx.set(name, parse_value(value));
+    }
+  }
+  // Predicates default to false unless a context value overrides them; the
+  // CLI registers the common ones from attributes named like the call.
+  for (const char* pred : {"HasValidCPUResv", "Accredited_Physicist"}) {
+    const bool value = ctx.get(pred).truthy();
+    ctx.register_predicate(pred, [value](std::span<const Value>) {
+      return Value(value);
+    });
+  }
+
+  const auto evaluation = policy->evaluate(ctx);
+  if (!evaluation.ok()) {
+    std::fprintf(stderr, "evaluation error: %s\n",
+                 evaluation.error().to_text().c_str());
+    return 2;
+  }
+  if (evaluation->decision == Decision::kNoDecision) {
+    std::printf("NO-DECISION (treated as DENY, closed world)\n");
+    return 1;
+  }
+  std::printf("%s (rule at line %d)\n", to_string(evaluation->decision),
+              evaluation->decided_at_line);
+  return evaluation->decision == Decision::kGrant ? 0 : 1;
+}

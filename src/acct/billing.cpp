@@ -1,0 +1,63 @@
+#include "acct/billing.hpp"
+
+namespace e2e::acct {
+
+std::vector<BillingRecord> BillingLedger::bill_reservation(
+    const std::vector<std::string>& domain_path, const std::string& user,
+    const bb::ResSpec& spec, const std::string& reservation_id) {
+  std::vector<BillingRecord> out;
+  if (domain_path.empty()) return out;
+  const double mbit_seconds = spec.rate_bits_per_s / 1e6 *
+                              to_seconds(spec.interval.length());
+
+  // The user pays the source domain.
+  {
+    BillingRecord r;
+    r.payer = user;
+    r.payee = domain_path.front();
+    r.mbit_seconds = mbit_seconds;
+    r.amount = mbit_seconds * prices_(user, domain_path.front());
+    r.reservation_id = reservation_id;
+    out.push_back(r);
+  }
+  // Each transit/destination domain bills its upstream neighbour under the
+  // SLA between them.
+  for (std::size_t i = 0; i + 1 < domain_path.size(); ++i) {
+    BillingRecord r;
+    r.payer = domain_path[i];
+    r.payee = domain_path[i + 1];
+    r.mbit_seconds = mbit_seconds;
+    r.amount = mbit_seconds * prices_(domain_path[i], domain_path[i + 1]);
+    r.reservation_id = reservation_id;
+    out.push_back(r);
+  }
+  records_.insert(records_.end(), out.begin(), out.end());
+  return out;
+}
+
+double BillingLedger::balance(const std::string& party) const {
+  double total = 0;
+  for (const auto& r : records_) {
+    if (r.payee == party) total += r.amount;
+    if (r.payer == party) total -= r.amount;
+  }
+  return total;
+}
+
+double BillingLedger::total_user_payments() const {
+  // A payer that never appears as payee is an end user.
+  double total = 0;
+  for (const auto& r : records_) {
+    bool payer_is_domain = false;
+    for (const auto& other : records_) {
+      if (other.payee == r.payer) {
+        payer_is_domain = true;
+        break;
+      }
+    }
+    if (!payer_is_domain) total += r.amount;
+  }
+  return total;
+}
+
+}  // namespace e2e::acct

@@ -1,0 +1,64 @@
+// Transitive billing along the SLA chain.
+//
+// Paper §6.4: "Whenever a domain actually bills the requesting entity for
+// the use of the network service, SLAs are already used to set up a
+// transitive billing relation in multi-domain networks. When network
+// traffic enters domain C through domain B, it is billed using the
+// agreement between B and C. B as a transient domain, however, would also
+// bill traffic originating from a different domain using the related SLA.
+// Finally, the source domain would bill the traffic against the
+// originator."
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bb/reservation.hpp"
+#include "common/result.hpp"
+
+namespace e2e::acct {
+
+struct BillingRecord {
+  std::string payer;   // upstream domain, or the user for the first record
+  std::string payee;   // downstream domain providing the service
+  /// Megabit-seconds of premium service billed.
+  double mbit_seconds = 0;
+  double amount = 0;
+  std::string reservation_id;
+};
+
+class BillingLedger {
+ public:
+  /// Price per megabit-second charged by `payee` to `payer` — normally the
+  /// SLA's price between the two domains.
+  using PriceLookup =
+      std::function<double(const std::string& payer, const std::string& payee)>;
+
+  explicit BillingLedger(PriceLookup prices) : prices_(std::move(prices)) {}
+
+  /// Generate the transitive billing records for one granted end-to-end
+  /// reservation across `domain_path` (source first): each domain bills
+  /// its upstream neighbour; the source domain bills the user.
+  std::vector<BillingRecord> bill_reservation(
+      const std::vector<std::string>& domain_path, const std::string& user,
+      const bb::ResSpec& spec, const std::string& reservation_id);
+
+  const std::vector<BillingRecord>& records() const { return records_; }
+
+  /// Net balance of one party: what it receives minus what it pays.
+  double balance(const std::string& party) const;
+
+  /// Total money entering the system (paid by end users). In a transitive
+  /// scheme every inter-domain payment is both an income and an expense, so
+  /// the sum of all balances equals user payments.
+  double total_user_payments() const;
+
+  void clear() { records_.clear(); }
+
+ private:
+  PriceLookup prices_;
+  std::vector<BillingRecord> records_;
+};
+
+}  // namespace e2e::acct

@@ -1,0 +1,57 @@
+#include "bb/admission.hpp"
+
+#include <algorithm>
+
+namespace e2e::bb {
+
+double CapacityPool::peak_committed(const TimeInterval& interval) const {
+  // Sweep over the start/end points of overlapping commitments. The
+  // committed-rate function is piecewise constant and only changes at
+  // commitment boundaries, so evaluating at each boundary inside the
+  // interval (plus the interval start) finds the peak.
+  std::vector<SimTime> points{interval.start};
+  for (const auto& [key, c] : commitments_) {
+    if (!c.interval.overlaps(interval)) continue;
+    if (c.interval.start > interval.start) points.push_back(c.interval.start);
+  }
+  double peak = 0;
+  for (SimTime p : points) {
+    peak = std::max(peak, committed_at(p));
+  }
+  return peak;
+}
+
+double CapacityPool::committed_at(SimTime t) const {
+  double total = 0;
+  for (const auto& [key, c] : commitments_) {
+    if (c.interval.contains(t)) total += c.rate;
+  }
+  return total;
+}
+
+Status CapacityPool::commit(const std::string& key,
+                            const TimeInterval& interval, double rate) {
+  if (!interval.valid() || rate < 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "commit: bad interval or rate");
+  }
+  if (commitments_.contains(key)) {
+    return make_error(ErrorCode::kConflict, "commit: duplicate key " + key);
+  }
+  if (!can_admit(interval, rate)) {
+    return make_error(ErrorCode::kAdmissionRejected,
+                      "commit: insufficient capacity (headroom " +
+                          std::to_string(headroom(interval)) + " bits/s)");
+  }
+  commitments_.emplace(key, Commitment{interval, rate});
+  return Status::ok_status();
+}
+
+Status CapacityPool::release(const std::string& key) {
+  if (commitments_.erase(key) == 0) {
+    return make_error(ErrorCode::kNotFound, "release: unknown key " + key);
+  }
+  return Status::ok_status();
+}
+
+}  // namespace e2e::bb

@@ -1,0 +1,74 @@
+// Interval-based admission control for advance reservations.
+//
+// A CapacityPool tracks rate commitments over virtual-time intervals
+// against a fixed capacity (a link, a peering profile, or a tunnel's
+// aggregate). Admission asks: does `rate` fit under the capacity at every
+// instant of the requested interval, given all existing commitments?
+//
+// GARA-style advance reservations (paper §3: "GARA provides advance
+// reservations and end-to-end management") need exactly this shape of
+// bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+
+namespace e2e::bb {
+
+class CapacityPool {
+ public:
+  CapacityPool() = default;
+  explicit CapacityPool(double capacity_bits_per_s)
+      : capacity_(capacity_bits_per_s) {}
+
+  double capacity() const { return capacity_; }
+
+  /// Peak committed rate over `interval`.
+  double peak_committed(const TimeInterval& interval) const;
+
+  /// Committed rate at one instant.
+  double committed_at(SimTime t) const;
+
+  /// Would `rate` fit over the whole interval?
+  bool can_admit(const TimeInterval& interval, double rate) const {
+    return interval.valid() && rate >= 0 &&
+           peak_committed(interval) + rate <= capacity_ + kEpsilon;
+  }
+
+  /// Commit `rate` over `interval` under `key` (the reservation handle).
+  /// Fails if it does not fit or the key is already present.
+  Status commit(const std::string& key, const TimeInterval& interval,
+                double rate);
+
+  /// Release a commitment; idempotent error if unknown.
+  Status release(const std::string& key);
+
+  bool holds(const std::string& key) const {
+    return commitments_.contains(key);
+  }
+  std::size_t commitment_count() const { return commitments_.size(); }
+
+  /// Largest rate admissible over `interval` (capacity - peak committed).
+  double headroom(const TimeInterval& interval) const {
+    const double h = capacity_ - peak_committed(interval);
+    return h > 0 ? h : 0;
+  }
+
+ private:
+  static constexpr double kEpsilon = 1e-6;
+
+  struct Commitment {
+    TimeInterval interval;
+    double rate = 0;
+  };
+
+  double capacity_ = 0;
+  std::map<std::string, Commitment> commitments_;
+};
+
+}  // namespace e2e::bb

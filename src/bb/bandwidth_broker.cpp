@@ -1,0 +1,210 @@
+#include "bb/bandwidth_broker.hpp"
+
+#include "common/logging.hpp"
+
+namespace e2e::bb {
+
+BandwidthBroker::BandwidthBroker(BrokerConfig config,
+                                 policy::PolicyServer policy_server,
+                                 crypto::CertificateAuthority& ca, Rng& rng,
+                                 TimeInterval cert_validity)
+    : config_(std::move(config)),
+      dn_(crypto::DistinguishedName::make("BB-" + config_.domain,
+                                          config_.domain)),
+      keys_(crypto::generate_keypair(rng, config_.key_bits)),
+      certificate_(ca.issue(dn_, keys_.pub, cert_validity)),
+      policy_server_(std::move(policy_server)),
+      local_pool_(config_.capacity_bits_per_s) {
+  trust_store_.add_anchor(ca.root_certificate());
+}
+
+void BandwidthBroker::add_upstream_sla(sla::ServiceLevelAgreement agreement) {
+  if (agreement.peer_ca_certificate) {
+    trust_store_.add_anchor(*agreement.peer_ca_certificate);
+  }
+  peer_pools_.emplace(agreement.from_domain,
+                      CapacityPool(agreement.profile.rate_bits_per_s));
+  upstream_slas_[agreement.from_domain] = std::move(agreement);
+}
+
+const sla::ServiceLevelAgreement* BandwidthBroker::upstream_sla(
+    const std::string& from_domain) const {
+  const auto it = upstream_slas_.find(from_domain);
+  return it == upstream_slas_.end() ? nullptr : &it->second;
+}
+
+void BandwidthBroker::set_next_hop(const std::string& destination_domain,
+                                   const std::string& peer_domain) {
+  next_hops_[destination_domain] = peer_domain;
+}
+
+std::optional<std::string> BandwidthBroker::next_hop(
+    const std::string& destination_domain) const {
+  if (destination_domain == config_.domain) return std::nullopt;
+  const auto it = next_hops_.find(destination_domain);
+  if (it == next_hops_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status BandwidthBroker::check_admission(const ResSpec& spec,
+                                        const std::string& from_domain) const {
+  std::lock_guard lock(mutex_);
+  return check_admission_locked(spec, from_domain);
+}
+
+Status BandwidthBroker::check_admission_locked(
+    const ResSpec& spec, const std::string& from_domain) const {
+  if (!spec.interval.valid() || spec.rate_bits_per_s <= 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "reservation needs a valid interval and positive rate",
+                      config_.domain);
+  }
+  if (!from_domain.empty()) {
+    // Transit traffic: must conform to the SLA with the upstream peer
+    // (paper §6.2: the intermediate BB "checks whether the requested
+    // traffic profile conforms to the related SLA").
+    const auto* agreement = upstream_sla(from_domain);
+    if (agreement == nullptr) {
+      return make_error(ErrorCode::kAdmissionRejected,
+                        "no SLA with upstream domain " + from_domain,
+                        config_.domain);
+    }
+    if (!agreement->covers(spec.interval.start)) {
+      return make_error(ErrorCode::kAdmissionRejected,
+                        "SLA with " + from_domain + " does not cover t=" +
+                            std::to_string(spec.interval.start),
+                        config_.domain);
+    }
+    const auto pool_it = peer_pools_.find(from_domain);
+    if (pool_it == peer_pools_.end() ||
+        !pool_it->second.can_admit(spec.interval, spec.rate_bits_per_s)) {
+      return make_error(ErrorCode::kAdmissionRejected,
+                        "SLA profile with " + from_domain + " exhausted",
+                        config_.domain);
+    }
+  }
+  if (!local_pool_.can_admit(spec.interval, spec.rate_bits_per_s)) {
+    return make_error(ErrorCode::kAdmissionRejected,
+                      "domain capacity exhausted (headroom " +
+                          std::to_string(local_pool_.headroom(spec.interval)) +
+                          " bits/s)",
+                      config_.domain);
+  }
+  return Status::ok_status();
+}
+
+Result<ReservationId> BandwidthBroker::commit(const ResSpec& spec,
+                                              const std::string& from_domain) {
+  std::unique_lock lock(mutex_);
+  ++counters_.requests;
+  auto admissible = check_admission_locked(spec, from_domain);
+  if (!admissible.ok()) {
+    ++counters_.denied_admission;
+    return admissible.error();
+  }
+  const ReservationId id =
+      config_.domain + "-resv-" + std::to_string(next_id_++);
+  auto local = local_pool_.commit(id, spec.interval, spec.rate_bits_per_s);
+  if (!local.ok()) {
+    ++counters_.denied_admission;
+    return local.error();
+  }
+  if (!from_domain.empty()) {
+    auto peer = peer_pools_.at(from_domain)
+                    .commit(id, spec.interval, spec.rate_bits_per_s);
+    if (!peer.ok()) {
+      (void)local_pool_.release(id);  // rollback
+      ++counters_.denied_admission;
+      return peer.error();
+    }
+  }
+  Reservation resv{id, spec, ReservationState::kGranted, from_domain};
+  reservations_.emplace(id, resv);
+  ++counters_.granted;
+  lock.unlock();  // configurator may call back into the broker
+  if (edge_configurator_) edge_configurator_(resv, /*install=*/true);
+  log::info("bb[" + config_.domain + "]")
+      << "committed " << id << ": " << spec.to_text();
+  return id;
+}
+
+Status BandwidthBroker::release(const ReservationId& id) {
+  std::unique_lock lock(mutex_);
+  const auto it = reservations_.find(id);
+  if (it == reservations_.end()) {
+    return make_error(ErrorCode::kNotFound, "unknown reservation " + id,
+                      config_.domain);
+  }
+  Reservation resv = it->second;
+  (void)local_pool_.release(id);
+  if (!resv.upstream_domain.empty()) {
+    const auto pool_it = peer_pools_.find(resv.upstream_domain);
+    if (pool_it != peer_pools_.end()) (void)pool_it->second.release(id);
+  }
+  resv.state = ReservationState::kReleased;
+  reservations_.erase(it);
+  ++counters_.released;
+  lock.unlock();
+  if (edge_configurator_) edge_configurator_(resv, /*install=*/false);
+  return Status::ok_status();
+}
+
+std::size_t BandwidthBroker::purge_expired(SimTime now) {
+  std::unique_lock lock(mutex_);
+  std::vector<Reservation> purged;
+  for (auto it = reservations_.begin(); it != reservations_.end();) {
+    if (it->second.spec.interval.end <= now) {
+      purged.push_back(it->second);
+      (void)local_pool_.release(it->first);
+      if (!it->second.upstream_domain.empty()) {
+        const auto pool_it = peer_pools_.find(it->second.upstream_domain);
+        if (pool_it != peer_pools_.end()) {
+          (void)pool_it->second.release(it->first);
+        }
+      }
+      it = reservations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  lock.unlock();
+  for (auto& resv : purged) {
+    resv.state = ReservationState::kReleased;
+    if (edge_configurator_) edge_configurator_(resv, /*install=*/false);
+  }
+  return purged.size();
+}
+
+const Reservation* BandwidthBroker::find(const ReservationId& id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = reservations_.find(id);
+  return it == reservations_.end() ? nullptr : &it->second;
+}
+
+Result<TunnelId> BandwidthBroker::register_tunnel(
+    const ResSpec& aggregate_spec) {
+  if (!aggregate_spec.is_tunnel) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "register_tunnel: spec is not a tunnel",
+                      config_.domain);
+  }
+  const TunnelId id =
+      config_.domain + "-tunnel-" + std::to_string(next_id_++);
+  tunnels_.emplace(id, Tunnel(id, aggregate_spec));
+  log::info("bb[" + config_.domain + "]")
+      << "registered " << id << " aggregate "
+      << aggregate_spec.rate_bits_per_s / 1e6 << " Mb/s";
+  return id;
+}
+
+Tunnel* BandwidthBroker::find_tunnel(const TunnelId& id) {
+  const auto it = tunnels_.find(id);
+  return it == tunnels_.end() ? nullptr : &it->second;
+}
+
+const Tunnel* BandwidthBroker::find_tunnel(const TunnelId& id) const {
+  const auto it = tunnels_.find(id);
+  return it == tunnels_.end() ? nullptr : &it->second;
+}
+
+}  // namespace e2e::bb

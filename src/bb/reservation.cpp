@@ -1,0 +1,79 @@
+#include "bb/reservation.hpp"
+
+#include "common/tlv.hpp"
+
+namespace e2e::bb {
+
+namespace {
+constexpr tlv::Tag kTagUser = 0x0301;
+constexpr tlv::Tag kTagSource = 0x0302;
+constexpr tlv::Tag kTagDestination = 0x0303;
+constexpr tlv::Tag kTagRate = 0x0304;
+constexpr tlv::Tag kTagBurst = 0x0305;
+constexpr tlv::Tag kTagStart = 0x0306;
+constexpr tlv::Tag kTagEnd = 0x0307;
+constexpr tlv::Tag kTagMaxCost = 0x0308;
+constexpr tlv::Tag kTagCpuResv = 0x0309;
+constexpr tlv::Tag kTagIsTunnel = 0x030a;
+}  // namespace
+
+Bytes ResSpec::encode() const {
+  tlv::Writer w;
+  w.put_string(kTagUser, user);
+  w.put_string(kTagSource, source_domain);
+  w.put_string(kTagDestination, destination_domain);
+  w.put_f64(kTagRate, rate_bits_per_s);
+  w.put_f64(kTagBurst, burst_bits);
+  w.put_i64(kTagStart, interval.start);
+  w.put_i64(kTagEnd, interval.end);
+  w.put_f64(kTagMaxCost, max_cost);
+  w.put_string(kTagCpuResv, linked_cpu_reservation);
+  w.put_bool(kTagIsTunnel, is_tunnel);
+  return w.take();
+}
+
+Result<ResSpec> ResSpec::decode(BytesView data) {
+  tlv::Reader r(data);
+  ResSpec s;
+  auto user = r.read_string(kTagUser);
+  if (!user) return user.error();
+  s.user = *user;
+  auto src = r.read_string(kTagSource);
+  if (!src) return src.error();
+  s.source_domain = *src;
+  auto dst = r.read_string(kTagDestination);
+  if (!dst) return dst.error();
+  s.destination_domain = *dst;
+  auto rate = r.read_f64(kTagRate);
+  if (!rate) return rate.error();
+  s.rate_bits_per_s = *rate;
+  auto burst = r.read_f64(kTagBurst);
+  if (!burst) return burst.error();
+  s.burst_bits = *burst;
+  auto start = r.read_i64(kTagStart);
+  if (!start) return start.error();
+  auto end = r.read_i64(kTagEnd);
+  if (!end) return end.error();
+  s.interval = TimeInterval{*start, *end};
+  auto cost = r.read_f64(kTagMaxCost);
+  if (!cost) return cost.error();
+  s.max_cost = *cost;
+  auto cpu = r.read_string(kTagCpuResv);
+  if (!cpu) return cpu.error();
+  s.linked_cpu_reservation = *cpu;
+  auto tunnel = r.read_bool(kTagIsTunnel);
+  if (!tunnel) return tunnel.error();
+  s.is_tunnel = *tunnel;
+  if (!r.at_end()) {
+    return make_error(ErrorCode::kBadMessage, "ResSpec: trailing bytes");
+  }
+  return s;
+}
+
+std::string ResSpec::to_text() const {
+  return (is_tunnel ? std::string("tunnel ") : std::string("flow ")) +
+         std::to_string(rate_bits_per_s / 1e6) + " Mb/s " + source_domain +
+         "->" + destination_domain + " for " + user;
+}
+
+}  // namespace e2e::bb

@@ -1,0 +1,71 @@
+// Tunnels: aggregate end-to-end reservations.
+//
+// Paper §1: "Support for tunnels allows an entity to request an aggregate
+// end-to-end reservation. Users authorized to use this tunnel can then
+// request portions of this aggregate bandwidth by contacting just the two
+// end domains — the intermediate domains do not need to be contacted as
+// long as the total bandwidth remains less than the size of the tunnel."
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "bb/admission.hpp"
+#include "bb/reservation.hpp"
+
+namespace e2e::bb {
+
+using TunnelId = std::string;
+
+class Tunnel {
+ public:
+  Tunnel() = default;
+  Tunnel(TunnelId id, ResSpec aggregate_spec)
+      : id_(std::move(id)),
+        spec_(std::move(aggregate_spec)),
+        pool_(spec_.rate_bits_per_s) {}
+
+  const TunnelId& id() const { return id_; }
+  const ResSpec& spec() const { return spec_; }
+  double aggregate_rate() const { return spec_.rate_bits_per_s; }
+
+  /// Principals authorized to draw bandwidth from this tunnel.
+  void authorize(const std::string& user_dn) { authorized_.insert(user_dn); }
+  bool is_authorized(const std::string& user_dn) const {
+    return authorized_.contains(user_dn);
+  }
+
+  /// Allocate a per-flow slice inside the aggregate. Only the two end
+  /// domains run this check — no intermediate signalling.
+  Status allocate(const ReservationId& sub_id, const std::string& user_dn,
+                  const TimeInterval& interval, double rate) {
+    if (!is_authorized(user_dn)) {
+      return make_error(ErrorCode::kPolicyDenied,
+                        user_dn + " not authorized for tunnel " + id_);
+    }
+    if (!spec_.interval.contains(interval.start) ||
+        interval.end > spec_.interval.end) {
+      return make_error(ErrorCode::kAdmissionRejected,
+                        "sub-reservation outside tunnel lifetime");
+    }
+    return pool_.commit(sub_id, interval, rate);
+  }
+
+  Status release(const ReservationId& sub_id) { return pool_.release(sub_id); }
+
+  double allocated_peak(const TimeInterval& interval) const {
+    return pool_.peak_committed(interval);
+  }
+  double headroom(const TimeInterval& interval) const {
+    return pool_.headroom(interval);
+  }
+  std::size_t active_allocations() const { return pool_.commitment_count(); }
+
+ private:
+  TunnelId id_;
+  ResSpec spec_;
+  CapacityPool pool_;
+  std::set<std::string> authorized_;
+};
+
+}  // namespace e2e::bb

@@ -1,0 +1,38 @@
+// Byte-buffer utilities shared by every layer of the stack.
+//
+// All protocol messages, hashes, signatures and certificates are carried as
+// `Bytes` (a plain std::vector<uint8_t>); this header provides conversions
+// to/from text and hex plus small helpers used by the canonical encoder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace e2e {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// UTF-8/ASCII string -> bytes (no terminator).
+Bytes to_bytes(std::string_view s);
+
+/// Bytes -> std::string (bytes are copied verbatim).
+std::string to_string(BytesView b);
+
+/// Lower-case hex encoding ("deadbeef").
+std::string hex_encode(BytesView b);
+
+/// Decode hex produced by hex_encode. Throws std::invalid_argument on
+/// malformed input (odd length or non-hex characters).
+Bytes hex_decode(std::string_view hex);
+
+/// Constant-time-style equality (length leak only); used when comparing MACs.
+bool equal_ct(BytesView a, BytesView b);
+
+/// Append `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+}  // namespace e2e

@@ -1,0 +1,84 @@
+// Simulated time.
+//
+// The whole system runs against a virtual clock so experiments are
+// deterministic and the latency model (bench/fig3) does not depend on wall
+// time. SimTime is microseconds since an arbitrary epoch.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace e2e {
+
+/// Microseconds of virtual time.
+using SimTime = std::int64_t;
+using SimDuration = std::int64_t;
+
+constexpr SimDuration microseconds(std::int64_t v) { return v; }
+constexpr SimDuration milliseconds(std::int64_t v) { return v * 1000; }
+constexpr SimDuration seconds(std::int64_t v) { return v * 1000000; }
+constexpr SimDuration minutes(std::int64_t v) { return v * 60000000; }
+constexpr SimDuration hours(std::int64_t v) { return v * 3600000000ll; }
+
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / 1e6;
+}
+constexpr double to_milliseconds(SimDuration d) {
+  return static_cast<double>(d) / 1e3;
+}
+
+/// Half-open virtual-time interval [start, end). Used by advance
+/// reservations and certificate validity periods.
+struct TimeInterval {
+  SimTime start = 0;
+  SimTime end = 0;
+
+  bool contains(SimTime t) const { return t >= start && t < end; }
+  bool overlaps(const TimeInterval& o) const {
+    return start < o.end && o.start < end;
+  }
+  SimDuration length() const { return end - start; }
+  bool valid() const { return end > start; }
+
+  bool operator==(const TimeInterval&) const = default;
+};
+
+/// A mutable clock owned by the environment (simulator or signalling
+/// fabric). Components hold a pointer and never advance it themselves.
+class VirtualClock {
+ public:
+  SimTime now() const { return now_; }
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+  void advance_by(SimDuration d) { now_ += d; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+/// Render a SimTime as "HH:MM:SS.mmm" of the virtual day (used by the
+/// time-of-day policy conditions in Fig. 6, e.g. "Time > 8am").
+inline std::string format_time_of_day(SimTime t) {
+  const std::int64_t us_per_day = hours(24);
+  std::int64_t rem = t % us_per_day;
+  if (rem < 0) rem += us_per_day;
+  const int h = static_cast<int>(rem / hours(1));
+  const int m = static_cast<int>((rem % hours(1)) / minutes(1));
+  const int s = static_cast<int>((rem % minutes(1)) / seconds(1));
+  const int ms = static_cast<int>((rem % seconds(1)) / 1000);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d.%03d", h, m, s, ms);
+  return buf;
+}
+
+/// Hour-of-day (0-23) for a SimTime, used by policy conditions.
+constexpr int hour_of_day(SimTime t) {
+  const std::int64_t us_per_day = hours(24);
+  std::int64_t rem = t % us_per_day;
+  if (rem < 0) rem += us_per_day;
+  return static_cast<int>(rem / hours(1));
+}
+
+}  // namespace e2e

@@ -1,0 +1,142 @@
+// Result<T> — a small expected-like type used across the library for
+// operations that can fail for *protocol* reasons (policy denial, bad
+// signature, SLA violation, ...). Exceptions are reserved for programming
+// errors (precondition violations, malformed internal state).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace e2e {
+
+/// Machine-readable failure category. The signalling protocol propagates
+/// these upstream so the requesting user learns *why* a reservation failed
+/// (paper §6.1: "Whenever a request is denied by one domain, the event is
+/// propagated upstream to inform the user of the reason for the denial").
+enum class ErrorCode {
+  kPolicyDenied,        // policy engine returned DENY
+  kAdmissionRejected,   // insufficient capacity / SLA profile exceeded
+  kAuthenticationFailed,// channel or signature authentication failure
+  kBadSignature,        // signature verification failed
+  kUntrustedKey,        // no acceptable trust path to the signing key
+  kBadMessage,          // malformed or non-canonical message
+  kNoRoute,             // no BB path between the given domains
+  kNotFound,            // unknown handle / DN / object
+  kExpired,             // certificate or reservation outside validity
+  kUnavailable,         // peer or server unreachable
+  kInvalidArgument,     // caller error detectable at the API boundary
+  kConflict,            // duplicate handle, overlapping state
+  kInternal,            // unexpected internal failure
+};
+
+/// Human-readable name for an ErrorCode (stable, used in logs and tests).
+constexpr const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kPolicyDenied: return "policy-denied";
+    case ErrorCode::kAdmissionRejected: return "admission-rejected";
+    case ErrorCode::kAuthenticationFailed: return "authentication-failed";
+    case ErrorCode::kBadSignature: return "bad-signature";
+    case ErrorCode::kUntrustedKey: return "untrusted-key";
+    case ErrorCode::kBadMessage: return "bad-message";
+    case ErrorCode::kNoRoute: return "no-route";
+    case ErrorCode::kNotFound: return "not-found";
+    case ErrorCode::kExpired: return "expired";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kConflict: return "conflict";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+  /// Name of the domain (or entity) that produced the error; filled in by the
+  /// signalling layer so denials can be attributed as they travel upstream.
+  std::string origin;
+
+  std::string to_text() const {
+    std::string s = to_string(code);
+    if (!origin.empty()) s += " @" + origin;
+    if (!message.empty()) s += ": " + message;
+    return s;
+  }
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Error error) : state_(std::move(error)) {}      // NOLINT(implicit)
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    require_ok();
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    require_ok();
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error() called on ok result");
+    return std::get<Error>(state_);
+  }
+
+  /// Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  void require_ok() const {
+    if (!ok()) {
+      throw std::logic_error("Result::value() on error: " +
+                             std::get<Error>(state_).to_text());
+    }
+  }
+  std::variant<T, Error> state_;
+};
+
+/// Result for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(implicit)
+
+  static Status ok_status() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Status::error() called on ok status");
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+inline Error make_error(ErrorCode code, std::string message,
+                        std::string origin = {}) {
+  return Error{code, std::move(message), std::move(origin)};
+}
+
+}  // namespace e2e

@@ -1,0 +1,68 @@
+// Deterministic PRNG used throughout the library.
+//
+// Reproducibility matters more than cryptographic strength here: simulator
+// runs, key generation for tests and benchmark workloads must be replayable
+// from a seed. xoshiro256** (public-domain algorithm by Blackman & Vigna)
+// seeded via SplitMix64.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace e2e {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding to fill the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias for practical purposes.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    return next_u64() % bound;  // bias negligible for simulation workloads
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponentially distributed with the given mean (>0); used by Poisson
+  /// traffic sources.
+  double next_exponential(double mean) {
+    double u = next_double();
+    if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+    return -mean * std::log(u);
+  }
+
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace e2e

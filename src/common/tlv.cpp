@@ -1,0 +1,209 @@
+#include "common/tlv.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace e2e::tlv {
+
+void put_be16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_be32(Bytes& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_be64(Bytes& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+std::uint64_t get_be(BytesView in, std::size_t nbytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    v = (v << 8) | in[i];
+  }
+  return v;
+}
+
+void Writer::put_header(Tag tag, std::uint32_t length) {
+  put_be16(buf_, tag);
+  put_be32(buf_, length);
+}
+
+void Writer::put_u8(Tag tag, std::uint8_t v) {
+  put_header(tag, 1);
+  buf_.push_back(v);
+}
+
+void Writer::put_u16(Tag tag, std::uint16_t v) {
+  put_header(tag, 2);
+  put_be16(buf_, v);
+}
+
+void Writer::put_u32(Tag tag, std::uint32_t v) {
+  put_header(tag, 4);
+  put_be32(buf_, v);
+}
+
+void Writer::put_u64(Tag tag, std::uint64_t v) {
+  put_header(tag, 8);
+  put_be64(buf_, v);
+}
+
+void Writer::put_i64(Tag tag, std::int64_t v) {
+  put_u64(tag, static_cast<std::uint64_t>(v));
+}
+
+void Writer::put_bool(Tag tag, bool v) { put_u8(tag, v ? 1 : 0); }
+
+void Writer::put_string(Tag tag, std::string_view v) {
+  put_header(tag, static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void Writer::put_bytes(Tag tag, BytesView v) {
+  put_header(tag, static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void Writer::put_f64(Tag tag, double v) {
+  put_u64(tag, std::bit_cast<std::uint64_t>(v));
+}
+
+void Writer::open(Tag tag) {
+  put_be16(buf_, tag);
+  open_offsets_.push_back(buf_.size());
+  put_be32(buf_, 0);  // placeholder length, patched in close()
+}
+
+void Writer::close() {
+  if (open_offsets_.empty()) {
+    throw std::logic_error("tlv::Writer::close without matching open");
+  }
+  const std::size_t off = open_offsets_.back();
+  open_offsets_.pop_back();
+  const std::size_t payload = buf_.size() - off - 4;
+  buf_[off] = static_cast<std::uint8_t>(payload >> 24);
+  buf_[off + 1] = static_cast<std::uint8_t>(payload >> 16);
+  buf_[off + 2] = static_cast<std::uint8_t>(payload >> 8);
+  buf_[off + 3] = static_cast<std::uint8_t>(payload);
+}
+
+Bytes Writer::take() {
+  if (!open_offsets_.empty()) {
+    throw std::logic_error("tlv::Writer::take with unclosed containers");
+  }
+  return std::move(buf_);
+}
+
+namespace {
+Error bad(std::string msg) {
+  return make_error(ErrorCode::kBadMessage, std::move(msg));
+}
+}  // namespace
+
+Result<Tag> Reader::peek_tag() const {
+  if (pos_ + 6 > data_.size()) return bad("tlv: truncated header");
+  return static_cast<Tag>(get_be(data_.subspan(pos_, 2), 2));
+}
+
+Result<Element> Reader::next() {
+  if (pos_ + 6 > data_.size()) return bad("tlv: truncated header");
+  const Tag tag = static_cast<Tag>(get_be(data_.subspan(pos_, 2), 2));
+  const std::uint64_t len = get_be(data_.subspan(pos_ + 2, 4), 4);
+  if (pos_ + 6 + len > data_.size()) return bad("tlv: truncated value");
+  Element e{tag, data_.subspan(pos_ + 6, static_cast<std::size_t>(len))};
+  pos_ += 6 + static_cast<std::size_t>(len);
+  return e;
+}
+
+Result<Element> Reader::expect(Tag tag) {
+  auto e = next();
+  if (!e) return e;
+  if (e->tag != tag) {
+    return bad("tlv: expected tag " + std::to_string(tag) + " got " +
+               std::to_string(e->tag));
+  }
+  return e;
+}
+
+std::optional<Element> Reader::try_next(Tag tag) {
+  auto t = peek_tag();
+  if (!t.ok() || *t != tag) return std::nullopt;
+  auto e = next();
+  if (!e.ok()) return std::nullopt;
+  return *e;
+}
+
+Result<std::uint8_t> Reader::read_u8(Tag tag) {
+  auto e = expect(tag);
+  if (!e) return e.error();
+  if (e->value.size() != 1) return bad("tlv: u8 length");
+  return e->value[0];
+}
+
+Result<std::uint16_t> Reader::read_u16(Tag tag) {
+  auto e = expect(tag);
+  if (!e) return e.error();
+  if (e->value.size() != 2) return bad("tlv: u16 length");
+  return static_cast<std::uint16_t>(get_be(e->value, 2));
+}
+
+Result<std::uint32_t> Reader::read_u32(Tag tag) {
+  auto e = expect(tag);
+  if (!e) return e.error();
+  if (e->value.size() != 4) return bad("tlv: u32 length");
+  return static_cast<std::uint32_t>(get_be(e->value, 4));
+}
+
+Result<std::uint64_t> Reader::read_u64(Tag tag) {
+  auto e = expect(tag);
+  if (!e) return e.error();
+  if (e->value.size() != 8) return bad("tlv: u64 length");
+  return get_be(e->value, 8);
+}
+
+Result<std::int64_t> Reader::read_i64(Tag tag) {
+  auto v = read_u64(tag);
+  if (!v) return v.error();
+  return static_cast<std::int64_t>(*v);
+}
+
+Result<bool> Reader::read_bool(Tag tag) {
+  auto v = read_u8(tag);
+  if (!v) return v.error();
+  if (*v > 1) return bad("tlv: bool out of range");
+  return *v == 1;
+}
+
+Result<std::string> Reader::read_string(Tag tag) {
+  auto e = expect(tag);
+  if (!e) return e.error();
+  return std::string(e->value.begin(), e->value.end());
+}
+
+Result<Bytes> Reader::read_bytes(Tag tag) {
+  auto e = expect(tag);
+  if (!e) return e.error();
+  return Bytes(e->value.begin(), e->value.end());
+}
+
+Result<double> Reader::read_f64(Tag tag) {
+  auto v = read_u64(tag);
+  if (!v) return v.error();
+  return std::bit_cast<double>(*v);
+}
+
+Result<Reader> Reader::read_nested(Tag tag) {
+  auto e = expect(tag);
+  if (!e) return e.error();
+  return Reader(e->value);
+}
+
+}  // namespace e2e::tlv

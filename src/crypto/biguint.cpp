@@ -1,0 +1,454 @@
+#include "crypto/biguint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace e2e::crypto {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+BigUInt::BigUInt(u64 v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+void BigUInt::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+unsigned BigUInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  const u64 top = limbs_.back();
+  const unsigned top_bits = 64 - static_cast<unsigned>(__builtin_clzll(top));
+  return static_cast<unsigned>((limbs_.size() - 1) * 64) + top_bits;
+}
+
+bool BigUInt::bit(unsigned i) const {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+int BigUInt::compare(const BigUInt& o) const {
+  if (limbs_.size() != o.limbs_.size()) {
+    return limbs_.size() < o.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != o.limbs_[i]) return limbs_[i] < o.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigUInt operator+(const BigUInt& a, const BigUInt& b) {
+  BigUInt out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 x = i < a.limbs_.size() ? a.limbs_[i] : 0;
+    const u64 y = i < b.limbs_.size() ? b.limbs_[i] : 0;
+    const u128 sum = static_cast<u128>(x) + y + carry;
+    out.limbs_[i] = static_cast<u64>(sum);
+    carry = static_cast<u64>(sum >> 64);
+  }
+  out.limbs_[n] = carry;
+  out.normalize();
+  return out;
+}
+
+BigUInt operator-(const BigUInt& a, const BigUInt& b) {
+  if (a < b) throw std::underflow_error("BigUInt: negative subtraction");
+  BigUInt out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    const u64 y = i < b.limbs_.size() ? b.limbs_[i] : 0;
+    const u128 rhs = static_cast<u128>(y) + borrow;
+    if (static_cast<u128>(a.limbs_[i]) >= rhs) {
+      out.limbs_[i] = static_cast<u64>(static_cast<u128>(a.limbs_[i]) - rhs);
+      borrow = 0;
+    } else {
+      out.limbs_[i] = static_cast<u64>((static_cast<u128>(1) << 64) +
+                                       a.limbs_[i] - rhs);
+      borrow = 1;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigUInt operator*(const BigUInt& a, const BigUInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigUInt();
+  BigUInt out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      const u128 cur = static_cast<u128>(a.limbs_[i]) * b.limbs_[j] +
+                       out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    out.limbs_[i + b.limbs_.size()] += carry;
+  }
+  out.normalize();
+  return out;
+}
+
+BigUInt BigUInt::shift_limbs(const BigUInt& a, std::size_t limbs) {
+  if (a.is_zero()) return a;
+  BigUInt out;
+  out.limbs_.assign(limbs, 0);
+  out.limbs_.insert(out.limbs_.end(), a.limbs_.begin(), a.limbs_.end());
+  return out;
+}
+
+BigUInt BigUInt::operator<<(unsigned bits) const {
+  if (is_zero()) return {};
+  const unsigned limb_shift = bits / 64;
+  const unsigned bit_shift = bits % 64;
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= bit_shift ? (limbs_[i] << bit_shift)
+                                            : limbs_[i];
+    if (bit_shift) {
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigUInt BigUInt::operator>>(unsigned bits) const {
+  const unsigned limb_shift = bits / 64;
+  const unsigned bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return {};
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = bit_shift ? (limbs_[i + limb_shift] >> bit_shift)
+                              : limbs_[i + limb_shift];
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigUInt::DivMod BigUInt::divmod(const BigUInt& a, const BigUInt& b) {
+  if (b.is_zero()) throw std::domain_error("BigUInt: division by zero");
+  if (a < b) return {BigUInt(), a};
+  if (b.limbs_.size() == 1) {
+    // Single-limb fast path.
+    const u64 d = b.limbs_[0];
+    BigUInt q;
+    q.limbs_.assign(a.limbs_.size(), 0);
+    u128 rem = 0;
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+      const u128 cur = (rem << 64) | a.limbs_[i];
+      q.limbs_[i] = static_cast<u64>(cur / d);
+      rem = cur % d;
+    }
+    q.normalize();
+    return {std::move(q), BigUInt(static_cast<u64>(rem))};
+  }
+
+  // Knuth Algorithm D, base 2^64.
+  // D1: normalize so the divisor's top limb has its high bit set.
+  const unsigned shift =
+      static_cast<unsigned>(__builtin_clzll(b.limbs_.back()));
+  const BigUInt u = a << shift;
+  const BigUInt v = b << shift;
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() >= n ? u.limbs_.size() - n : 0;
+
+  std::vector<u64> un(u.limbs_);
+  un.resize(u.limbs_.size() + 1, 0);  // extra high limb for D3 overflow
+  const std::vector<u64>& vn = v.limbs_;
+
+  BigUInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate qhat from the top two limbs of the current remainder.
+    const u128 numerator = (static_cast<u128>(un[j + n]) << 64) | un[j + n - 1];
+    u128 qhat = numerator / vn[n - 1];
+    u128 rhat = numerator % vn[n - 1];
+    const u128 kBase = static_cast<u128>(1) << 64;
+    while (qhat >= kBase ||
+           qhat * vn[n - 2] > ((rhat << 64) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // D4: multiply and subtract qhat * v from un[j .. j+n].
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u128 p = qhat * vn[i] + carry;
+      carry = p >> 64;
+      const u64 plo = static_cast<u64>(p);
+      const u128 sub = static_cast<u128>(un[i + j]) - plo - borrow;
+      un[i + j] = static_cast<u64>(sub);
+      borrow = (sub >> 64) ? 1 : 0;
+    }
+    const u128 subtop = static_cast<u128>(un[j + n]) - carry - borrow;
+    un[j + n] = static_cast<u64>(subtop);
+    bool negative = (subtop >> 64) != 0;
+
+    // D5/D6: if we overshot, add back one v and decrement qhat.
+    if (negative) {
+      --qhat;
+      u128 c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const u128 s = static_cast<u128>(un[i + j]) + vn[i] + c;
+        un[i + j] = static_cast<u64>(s);
+        c = s >> 64;
+      }
+      un[j + n] = static_cast<u64>(un[j + n] + c);
+    }
+    q.limbs_[j] = static_cast<u64>(qhat);
+  }
+  q.normalize();
+
+  BigUInt r;
+  r.limbs_.assign(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n));
+  r.normalize();
+  r = r >> shift;
+  return {std::move(q), std::move(r)};
+}
+
+BigUInt operator/(const BigUInt& a, const BigUInt& b) {
+  return BigUInt::divmod(a, b).quotient;
+}
+
+BigUInt operator%(const BigUInt& a, const BigUInt& b) {
+  return BigUInt::divmod(a, b).remainder;
+}
+
+BigUInt BigUInt::modexp(const BigUInt& exp, const BigUInt& m) const {
+  if (m.is_zero() || m == BigUInt(1)) {
+    throw std::domain_error("BigUInt::modexp: modulus must be > 1");
+  }
+  BigUInt base = *this % m;
+  BigUInt result(1);
+  const unsigned bits = exp.bit_length();
+  for (unsigned i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = (result * base) % m;
+    base = (base * base) % m;
+  }
+  return result;
+}
+
+BigUInt BigUInt::gcd(BigUInt a, BigUInt b) {
+  while (!b.is_zero()) {
+    BigUInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigUInt BigUInt::modinv(const BigUInt& m) const {
+  // Extended Euclid tracking only the coefficient of `this`, with signs
+  // handled explicitly (BigUInt is unsigned).
+  if (m.is_zero() || m == BigUInt(1)) return {};
+  BigUInt r0 = m;
+  BigUInt r1 = *this % m;
+  BigUInt t0;        // coefficient for r0
+  BigUInt t1(1);     // coefficient for r1
+  bool t0_neg = false, t1_neg = false;
+  while (!r1.is_zero()) {
+    const DivMod dm = divmod(r0, r1);
+    // t2 = t0 - q * t1  (signed arithmetic over unsigned magnitudes)
+    const BigUInt qt1 = dm.quotient * t1;
+    BigUInt t2;
+    bool t2_neg = false;
+    if (t0_neg == t1_neg) {
+      if (t0 >= qt1) {
+        t2 = t0 - qt1;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt1 - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0 + qt1;
+      t2_neg = t0_neg;
+    }
+    r0 = r1;
+    r1 = dm.remainder;
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+  if (r0 != BigUInt(1)) return {};  // not invertible
+  if (t0_neg) return m - (t0 % m);
+  return t0 % m;
+}
+
+BigUInt BigUInt::random_bits(Rng& rng, unsigned bits) {
+  if (bits == 0) return {};
+  BigUInt out;
+  out.limbs_.assign((bits + 63) / 64, 0);
+  for (auto& limb : out.limbs_) limb = rng.next_u64();
+  const unsigned top_bits = ((bits - 1) % 64) + 1;
+  u64& top = out.limbs_.back();
+  if (top_bits < 64) top &= (u64(1) << top_bits) - 1;
+  top |= u64(1) << (top_bits - 1);  // force exact bit length
+  out.normalize();
+  return out;
+}
+
+BigUInt BigUInt::random_below(Rng& rng, const BigUInt& bound) {
+  if (bound.is_zero()) throw std::domain_error("random_below: zero bound");
+  const unsigned bits = bound.bit_length();
+  for (;;) {
+    BigUInt candidate;
+    candidate.limbs_.assign((bits + 63) / 64, 0);
+    for (auto& limb : candidate.limbs_) limb = rng.next_u64();
+    const unsigned top_bits = ((bits - 1) % 64) + 1;
+    if (top_bits < 64) {
+      candidate.limbs_.back() &= (u64(1) << top_bits) - 1;
+    }
+    candidate.normalize();
+    if (candidate < bound) return candidate;
+  }
+}
+
+namespace {
+constexpr u64 kSmallPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19, 23, 29,
+                                31, 37, 41, 43, 47, 53, 59, 61, 67, 71,
+                                73, 79, 83, 89, 97, 101, 103, 107, 109, 113};
+}
+
+bool BigUInt::is_probable_prime(Rng& rng, int rounds) const {
+  if (bit_length() <= 6) {
+    const u64 v = low_u64();
+    for (u64 p : kSmallPrimes) {
+      if (v == p) return true;
+    }
+    return false;
+  }
+  if (!is_odd()) return false;
+  for (u64 p : kSmallPrimes) {
+    if ((*this % BigUInt(p)).is_zero()) return false;
+  }
+  // Write n-1 = d * 2^s.
+  const BigUInt one(1);
+  const BigUInt n_minus_1 = *this - one;
+  BigUInt d = n_minus_1;
+  unsigned s = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++s;
+  }
+  const BigUInt n_minus_3 = *this - BigUInt(3);
+  for (int round = 0; round < rounds; ++round) {
+    const BigUInt a = BigUInt(2) + random_below(rng, n_minus_3);
+    BigUInt x = a.modexp(d, *this);
+    if (x == one || x == n_minus_1) continue;
+    bool witness = true;
+    for (unsigned i = 1; i < s; ++i) {
+      x = (x * x) % *this;
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigUInt BigUInt::random_prime(Rng& rng, unsigned bits, int mr_rounds) {
+  if (bits < 16) throw std::domain_error("random_prime: need >= 16 bits");
+  for (;;) {
+    BigUInt candidate = random_bits(rng, bits);
+    if (!candidate.is_odd()) candidate = candidate + BigUInt(1);
+    if (candidate.is_probable_prime(rng, mr_rounds)) return candidate;
+  }
+}
+
+BigUInt BigUInt::from_string(std::string_view s) {
+  if (s.rfind("0x", 0) == 0 || s.rfind("0X", 0) == 0) {
+    BigUInt out;
+    for (char c : s.substr(2)) {
+      int nib;
+      if (c >= '0' && c <= '9') nib = c - '0';
+      else if (c >= 'a' && c <= 'f') nib = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') nib = c - 'A' + 10;
+      else throw std::invalid_argument("BigUInt: bad hex digit");
+      out = (out << 4) + BigUInt(static_cast<u64>(nib));
+    }
+    return out;
+  }
+  BigUInt out;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("BigUInt: bad decimal digit");
+    }
+    out = out * BigUInt(10) + BigUInt(static_cast<u64>(c - '0'));
+  }
+  return out;
+}
+
+BigUInt BigUInt::from_bytes(BytesView be) {
+  BigUInt out;
+  if (be.empty()) return out;
+  out.limbs_.assign((be.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < be.size(); ++i) {
+    const std::size_t byte_index = be.size() - 1 - i;  // position from LSB
+    out.limbs_[byte_index / 8] |= static_cast<u64>(be[i])
+                                  << ((byte_index % 8) * 8);
+  }
+  out.normalize();
+  return out;
+}
+
+Bytes BigUInt::to_bytes(std::size_t min_len) const {
+  Bytes out;
+  const std::size_t nbytes = (bit_length() + 7) / 8;
+  const std::size_t total = std::max(nbytes, min_len);
+  out.assign(total, 0);
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    const u64 limb = limbs_[i / 8];
+    out[total - 1 - i] = static_cast<std::uint8_t>(limb >> ((i % 8) * 8));
+  }
+  return out;
+}
+
+std::string BigUInt::to_hex() const {
+  if (is_zero()) return "0x0";
+  std::string out = "0x";
+  bool leading = true;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      const int nib = static_cast<int>((limbs_[i] >> shift) & 0xf);
+      if (leading && nib == 0) continue;
+      leading = false;
+      out.push_back("0123456789abcdef"[nib]);
+    }
+  }
+  return out;
+}
+
+std::string BigUInt::to_decimal() const {
+  if (is_zero()) return "0";
+  std::string out;
+  BigUInt v = *this;
+  const BigUInt ten(10);
+  while (!v.is_zero()) {
+    const DivMod dm = divmod(v, ten);
+    out.push_back(static_cast<char>('0' + dm.remainder.low_u64()));
+    v = dm.quotient;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace e2e::crypto

@@ -1,0 +1,105 @@
+// Arbitrary-precision unsigned integers.
+//
+// This is the arithmetic substrate for the toy RSA scheme used by the
+// signalling protocol (see DESIGN.md, substitutions table). Little-endian
+// 64-bit limbs, normalized (no leading zero limbs); schoolbook
+// multiplication and Knuth Algorithm D division via unsigned __int128.
+// Sizes in this library are small (<= 1024-bit products), so asymptotically
+// fancy algorithms are deliberately out of scope.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace e2e::crypto {
+
+class BigUInt;
+
+/// Quotient and remainder in one pass (see BigUInt::divmod).
+struct BigUIntDivMod;
+
+class BigUInt {
+ public:
+  BigUInt() = default;
+  BigUInt(std::uint64_t v);  // NOLINT(implicit) — natural promotion
+
+  /// Parse from decimal ("12345") or, with prefix 0x, hex ("0xdeadbeef").
+  static BigUInt from_string(std::string_view s);
+  /// Big-endian byte import (as used for hash-to-integer).
+  static BigUInt from_bytes(BytesView be);
+
+  /// Uniformly random integer with exactly `bits` bits (MSB forced to 1 for
+  /// bits >= 1). bits == 0 yields zero.
+  static BigUInt random_bits(Rng& rng, unsigned bits);
+  /// Uniform in [0, bound) for bound > 0.
+  static BigUInt random_below(Rng& rng, const BigUInt& bound);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  unsigned bit_length() const;
+  bool bit(unsigned i) const;
+
+  /// Value of the lowest limb (0 if zero); callers must check bit_length.
+  std::uint64_t low_u64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+  // Comparison.
+  int compare(const BigUInt& o) const;
+  bool operator==(const BigUInt& o) const { return compare(o) == 0; }
+  bool operator!=(const BigUInt& o) const { return compare(o) != 0; }
+  bool operator<(const BigUInt& o) const { return compare(o) < 0; }
+  bool operator<=(const BigUInt& o) const { return compare(o) <= 0; }
+  bool operator>(const BigUInt& o) const { return compare(o) > 0; }
+  bool operator>=(const BigUInt& o) const { return compare(o) >= 0; }
+
+  // Arithmetic. Subtraction requires a >= b (throws std::underflow_error).
+  friend BigUInt operator+(const BigUInt& a, const BigUInt& b);
+  friend BigUInt operator-(const BigUInt& a, const BigUInt& b);
+  friend BigUInt operator*(const BigUInt& a, const BigUInt& b);
+  friend BigUInt operator/(const BigUInt& a, const BigUInt& b);
+  friend BigUInt operator%(const BigUInt& a, const BigUInt& b);
+
+  /// Quotient and remainder in one pass. Divisor must be non-zero
+  /// (throws std::domain_error).
+  using DivMod = BigUIntDivMod;
+  static DivMod divmod(const BigUInt& a, const BigUInt& b);
+
+  BigUInt operator<<(unsigned bits) const;
+  BigUInt operator>>(unsigned bits) const;
+
+  /// this^exp mod m (m > 1). Square-and-multiply.
+  BigUInt modexp(const BigUInt& exp, const BigUInt& m) const;
+
+  static BigUInt gcd(BigUInt a, BigUInt b);
+  /// Modular inverse of this mod m; returns zero if gcd(this, m) != 1.
+  BigUInt modinv(const BigUInt& m) const;
+
+  /// Miller-Rabin probabilistic primality (`rounds` random bases plus small
+  /// trial division). Error probability <= 4^-rounds.
+  bool is_probable_prime(Rng& rng, int rounds = 24) const;
+  /// Random prime with exactly `bits` bits (>= 16).
+  static BigUInt random_prime(Rng& rng, unsigned bits, int mr_rounds = 24);
+
+  std::string to_decimal() const;
+  std::string to_hex() const;
+  /// Big-endian export, minimal length (empty for zero) unless `min_len`
+  /// pads with leading zero bytes.
+  Bytes to_bytes(std::size_t min_len = 0) const;
+
+ private:
+  void normalize();
+  static BigUInt shift_limbs(const BigUInt& a, std::size_t limbs);
+
+  std::vector<std::uint64_t> limbs_;  // little-endian, normalized
+};
+
+struct BigUIntDivMod {
+  BigUInt quotient;
+  BigUInt remainder;
+};
+
+}  // namespace e2e::crypto

@@ -1,0 +1,33 @@
+#include "crypto/ca.hpp"
+
+namespace e2e::crypto {
+
+CertificateAuthority::CertificateAuthority(DistinguishedName name, Rng& rng,
+                                           TimeInterval validity,
+                                           unsigned key_bits)
+    : name_(std::move(name)), keys_(generate_keypair(rng, key_bits)) {
+  Certificate::Builder b;
+  b.serial = next_serial_++;
+  b.issuer = name_;
+  b.subject = name_;
+  b.validity = validity;
+  b.subject_key = keys_.pub;
+  b.extensions.push_back(Extension{kExtCa, /*critical=*/true, "true"});
+  root_cert_ = b.sign_with(keys_.priv);
+}
+
+Certificate CertificateAuthority::issue(const DistinguishedName& subject,
+                                        const PublicKey& subject_key,
+                                        TimeInterval validity,
+                                        std::vector<Extension> extensions) {
+  Certificate::Builder b;
+  b.serial = next_serial_++;
+  b.issuer = name_;
+  b.subject = subject;
+  b.validity = validity;
+  b.subject_key = subject_key;
+  b.extensions = std::move(extensions);
+  return b.sign_with(keys_.priv);
+}
+
+}  // namespace e2e::crypto

@@ -1,0 +1,48 @@
+// Certificate authority.
+//
+// Each administrative domain (and each community service like the CAS) runs
+// a CA that issues certificates for its principals. SLAs between peered
+// domains carry "the certificate of the issuing certificate authority"
+// (paper §6) so peers can validate each other during the channel handshake.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "crypto/x509.hpp"
+
+namespace e2e::crypto {
+
+class CertificateAuthority {
+ public:
+  /// Creates the CA with a fresh key pair and a self-signed root
+  /// certificate valid over `validity`.
+  CertificateAuthority(DistinguishedName name, Rng& rng,
+                       TimeInterval validity, unsigned key_bits = 512);
+
+  const DistinguishedName& name() const { return name_; }
+  const Certificate& root_certificate() const { return root_cert_; }
+  const PublicKey& public_key() const { return keys_.pub; }
+
+  /// Issue a certificate binding `subject` to `subject_key`.
+  Certificate issue(const DistinguishedName& subject,
+                    const PublicKey& subject_key, TimeInterval validity,
+                    std::vector<Extension> extensions = {});
+
+  /// Revocation (CRL stand-in).
+  void revoke(std::uint64_t serial) { revoked_.insert(serial); }
+  bool is_revoked(std::uint64_t serial) const {
+    return revoked_.contains(serial);
+  }
+
+ private:
+  DistinguishedName name_;
+  KeyPair keys_;
+  Certificate root_cert_;
+  std::uint64_t next_serial_ = 1;
+  std::set<std::uint64_t> revoked_;
+};
+
+}  // namespace e2e::crypto

@@ -1,0 +1,78 @@
+#include "crypto/certstore.hpp"
+
+namespace e2e::crypto {
+
+bool TrustStore::add_anchor(const Certificate& cert) {
+  if (!cert.is_self_signed()) return false;
+  if (!cert.verify_signature(cert.subject_public_key())) return false;
+  anchors_.insert_or_assign(cert.subject().to_string(), cert);
+  return true;
+}
+
+const Certificate* TrustStore::find_anchor(const DistinguishedName& dn) const {
+  const auto it = anchors_.find(dn.to_string());
+  return it == anchors_.end() ? nullptr : &it->second;
+}
+
+Result<std::vector<Certificate>> TrustStore::verify_chain(
+    const Certificate& leaf, const std::vector<Certificate>& intermediates,
+    SimTime at) const {
+  std::vector<Certificate> path;
+  path.push_back(leaf);
+  constexpr std::size_t kMaxDepth = 16;
+
+  for (std::size_t depth = 0; depth < kMaxDepth; ++depth) {
+    const Certificate& current = path.back();
+    if (!current.valid_at(at)) {
+      return make_error(ErrorCode::kExpired,
+                        "certificate for " + current.subject().to_string() +
+                            " not valid at t=" + std::to_string(at));
+    }
+    if (revocation_ && revocation_(current.issuer(), current.serial())) {
+      return make_error(ErrorCode::kUntrustedKey,
+                        "certificate serial " +
+                            std::to_string(current.serial()) + " revoked");
+    }
+
+    // Anchor reached? The issuer must be a known anchor whose key verifies.
+    if (const Certificate* anchor = find_anchor(current.issuer())) {
+      if (!current.verify_signature(anchor->subject_public_key())) {
+        return make_error(ErrorCode::kBadSignature,
+                          "signature by anchor " +
+                              current.issuer().to_string() + " invalid");
+      }
+      if (!anchor->valid_at(at)) {
+        return make_error(ErrorCode::kExpired,
+                          "anchor " + anchor->subject().to_string() +
+                              " not valid at t=" + std::to_string(at));
+      }
+      if (!(current == *anchor)) path.push_back(*anchor);
+      return path;
+    }
+
+    // Otherwise find an intermediate that issued `current`.
+    const Certificate* issuer_cert = nullptr;
+    for (const auto& cand : intermediates) {
+      if (cand.subject() == current.issuer() &&
+          current.verify_signature(cand.subject_public_key())) {
+        issuer_cert = &cand;
+        break;
+      }
+    }
+    if (issuer_cert == nullptr) {
+      return make_error(ErrorCode::kUntrustedKey,
+                        "no trust path for issuer " +
+                            current.issuer().to_string());
+    }
+    // Intermediates must be marked as CAs.
+    if (issuer_cert->extension_value(kExtCa).value_or("") != "true") {
+      return make_error(ErrorCode::kUntrustedKey,
+                        "intermediate " + issuer_cert->subject().to_string() +
+                            " lacks CA extension");
+    }
+    path.push_back(*issuer_cert);
+  }
+  return make_error(ErrorCode::kUntrustedKey, "chain too deep");
+}
+
+}  // namespace e2e::crypto

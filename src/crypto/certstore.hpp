@@ -1,0 +1,54 @@
+// Trust store and chain verification.
+//
+// A TrustStore holds the trust anchors a bandwidth broker is configured
+// with: the CA certificates listed in its SLAs plus any locally trusted
+// roots. Chain verification walks issuer links, checks signatures, validity
+// windows, the CA extension on intermediates, and revocation.
+//
+// The web-of-trust ("key introducer") acceptance used by the transitive
+// trust model lives in src/sig/trust.hpp and builds on this store.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "crypto/x509.hpp"
+
+namespace e2e::crypto {
+
+class TrustStore {
+ public:
+  /// Trust `cert` as a root (must be self-signed with a valid signature;
+  /// returns false and ignores it otherwise).
+  bool add_anchor(const Certificate& cert);
+
+  bool is_anchor(const DistinguishedName& dn) const {
+    return anchors_.contains(dn.to_string());
+  }
+  const Certificate* find_anchor(const DistinguishedName& dn) const;
+  std::size_t anchor_count() const { return anchors_.size(); }
+
+  /// Optional revocation oracle: given issuer DN and serial, is the
+  /// certificate revoked? Default: nothing is revoked.
+  using RevocationCheck =
+      std::function<bool(const DistinguishedName& issuer, std::uint64_t serial)>;
+  void set_revocation_check(RevocationCheck check) {
+    revocation_ = std::move(check);
+  }
+
+  /// Verify `leaf` at virtual time `at`, using `intermediates` to build the
+  /// issuer path up to a trust anchor. On success returns the validated
+  /// path, leaf first, anchor last.
+  Result<std::vector<Certificate>> verify_chain(
+      const Certificate& leaf, const std::vector<Certificate>& intermediates,
+      SimTime at) const;
+
+ private:
+  std::map<std::string, Certificate> anchors_;  // keyed by DN text
+  RevocationCheck revocation_;
+};
+
+}  // namespace e2e::crypto

@@ -1,0 +1,83 @@
+#include "crypto/dn.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace e2e::crypto {
+
+namespace {
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+}  // namespace
+
+Result<DistinguishedName> DistinguishedName::parse(std::string_view text) {
+  DistinguishedName dn;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string_view part =
+        trim(text.substr(pos, comma == std::string_view::npos
+                                  ? std::string_view::npos
+                                  : comma - pos));
+    if (!part.empty()) {
+      const std::size_t eq = part.find('=');
+      if (eq == std::string_view::npos || eq == 0) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "DN: expected TYPE=value in '" + std::string(part) +
+                              "'");
+      }
+      std::string type(trim(part.substr(0, eq)));
+      std::transform(type.begin(), type.end(), type.begin(),
+                     [](unsigned char c) { return std::toupper(c); });
+      dn.rdns_.emplace_back(std::move(type),
+                            std::string(trim(part.substr(eq + 1))));
+    }
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  if (dn.rdns_.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "DN: empty");
+  }
+  return dn;
+}
+
+DistinguishedName DistinguishedName::make(std::string_view common_name,
+                                          std::string_view organization,
+                                          std::string_view country) {
+  DistinguishedName dn;
+  dn.add("CN", std::string(common_name));
+  dn.add("O", std::string(organization));
+  dn.add("C", std::string(country));
+  return dn;
+}
+
+std::string DistinguishedName::to_string() const {
+  std::string out;
+  for (const auto& [type, value] : rdns_) {
+    if (!out.empty()) out.push_back(',');
+    out += type;
+    out.push_back('=');
+    out += value;
+  }
+  return out;
+}
+
+std::string DistinguishedName::get(std::string_view type) const {
+  for (const auto& [t, v] : rdns_) {
+    if (t == type) return v;
+  }
+  return {};
+}
+
+void DistinguishedName::add(std::string type, std::string value) {
+  rdns_.emplace_back(std::move(type), std::move(value));
+}
+
+}  // namespace e2e::crypto

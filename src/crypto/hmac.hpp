@@ -1,0 +1,21 @@
+// HMAC-SHA256 (RFC 2104).
+//
+// Used by sig::SecureChannel for record integrity after the handshake — the
+// stand-in for the TLS record layer the paper assumes between peered
+// bandwidth brokers.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace e2e::crypto {
+
+/// HMAC-SHA256(key, message).
+Digest hmac_sha256(BytesView key, BytesView message);
+
+/// HKDF-style key derivation used by the channel handshake: derives
+/// `out_len` bytes from the shared secret and a context label by counter-mode
+/// expansion of HMAC-SHA256.
+Bytes derive_key(BytesView secret, std::string_view label, std::size_t out_len);
+
+}  // namespace e2e::crypto

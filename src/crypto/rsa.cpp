@@ -1,0 +1,93 @@
+#include "crypto/rsa.hpp"
+
+#include "common/tlv.hpp"
+
+namespace e2e::crypto {
+
+namespace {
+// TLV tags local to key encoding.
+constexpr tlv::Tag kTagModulus = 0x0101;
+constexpr tlv::Tag kTagExponent = 0x0102;
+}  // namespace
+
+Bytes PublicKey::encode() const {
+  tlv::Writer w;
+  w.put_bytes(kTagModulus, n.to_bytes());
+  w.put_bytes(kTagExponent, e.to_bytes());
+  return w.take();
+}
+
+Result<PublicKey> PublicKey::decode(BytesView data) {
+  tlv::Reader r(data);
+  auto n_bytes = r.read_bytes(kTagModulus);
+  if (!n_bytes) return n_bytes.error();
+  auto e_bytes = r.read_bytes(kTagExponent);
+  if (!e_bytes) return e_bytes.error();
+  if (!r.at_end()) {
+    return make_error(ErrorCode::kBadMessage, "PublicKey: trailing bytes");
+  }
+  return PublicKey{BigUInt::from_bytes(*n_bytes), BigUInt::from_bytes(*e_bytes)};
+}
+
+Digest PublicKey::fingerprint() const { return sha256(encode()); }
+
+Bytes PrivateKey::encode() const {
+  tlv::Writer w;
+  w.put_bytes(kTagModulus, n.to_bytes());
+  w.put_bytes(kTagExponent, d.to_bytes());
+  return w.take();
+}
+
+Result<PrivateKey> PrivateKey::decode(BytesView data) {
+  tlv::Reader r(data);
+  auto n_bytes = r.read_bytes(kTagModulus);
+  if (!n_bytes) return n_bytes.error();
+  auto d_bytes = r.read_bytes(kTagExponent);
+  if (!d_bytes) return d_bytes.error();
+  return PrivateKey{BigUInt::from_bytes(*n_bytes),
+                    BigUInt::from_bytes(*d_bytes)};
+}
+
+KeyPair generate_keypair(Rng& rng, unsigned bits) {
+  if (bits < 128) bits = 128;
+  const BigUInt e(65537);
+  for (;;) {
+    const BigUInt p = BigUInt::random_prime(rng, bits / 2);
+    const BigUInt q = BigUInt::random_prime(rng, bits - bits / 2);
+    if (p == q) continue;
+    const BigUInt n = p * q;
+    const BigUInt one(1);
+    const BigUInt phi = (p - one) * (q - one);
+    if (BigUInt::gcd(e, phi) != one) continue;
+    const BigUInt d = e.modinv(phi);
+    if (d.is_zero()) continue;
+    return KeyPair{PublicKey{n, e}, PrivateKey{n, d}};
+  }
+}
+
+namespace {
+BigUInt hash_to_int(BytesView message, const BigUInt& n) {
+  const Digest digest = sha256(message);
+  BigUInt h = BigUInt::from_bytes(BytesView(digest.data(), digest.size()));
+  // Keys are always > 256 bits in this library, but reduce defensively so
+  // the scheme stays well-defined for any modulus.
+  return h % n;
+}
+}  // namespace
+
+Bytes sign(const PrivateKey& key, BytesView message) {
+  const BigUInt h = hash_to_int(message, key.n);
+  const BigUInt s = h.modexp(key.d, key.n);
+  // Fixed-width output so signatures are canonical for a given key size.
+  return s.to_bytes((key.n.bit_length() + 7) / 8);
+}
+
+bool verify(const PublicKey& key, BytesView message, BytesView signature) {
+  if (key.n.is_zero() || key.e.is_zero()) return false;
+  const BigUInt s = BigUInt::from_bytes(signature);
+  if (s >= key.n) return false;
+  const BigUInt recovered = s.modexp(key.e, key.n);
+  return recovered == hash_to_int(message, key.n);
+}
+
+}  // namespace e2e::crypto

@@ -1,0 +1,61 @@
+// Toy RSA signatures over the from-scratch BigUInt arithmetic.
+//
+// Signing is hash-then-modexp: s = H^d mod n with H = SHA-256 of the
+// canonical encoding. Key sizes default to 512 bits, which keeps test and
+// benchmark runtimes sensible. THIS IS A SIMULATION SUBSTRATE — small keys
+// and textbook padding are not secure; the protocol logic (who signs what,
+// which keys verify which layers) is what this library exercises.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "crypto/biguint.hpp"
+#include "crypto/sha256.hpp"
+
+namespace e2e::crypto {
+
+struct PublicKey {
+  BigUInt n;  // modulus
+  BigUInt e;  // public exponent
+
+  bool operator==(const PublicKey& o) const {
+    return n == o.n && e == o.e;
+  }
+
+  /// Canonical encoding (TLV), used inside certificates and for
+  /// fingerprinting.
+  Bytes encode() const;
+  static Result<PublicKey> decode(BytesView data);
+
+  /// SHA-256 over the canonical encoding; identifies a key in logs/tests.
+  Digest fingerprint() const;
+};
+
+struct PrivateKey {
+  BigUInt n;
+  BigUInt d;  // private exponent
+
+  Bytes encode() const;
+  static Result<PrivateKey> decode(BytesView data);
+};
+
+struct KeyPair {
+  PublicKey pub;
+  PrivateKey priv;
+};
+
+/// Generate an RSA key pair with `bits`-bit modulus (e = 65537).
+/// Deterministic given the RNG state.
+KeyPair generate_keypair(Rng& rng, unsigned bits = 512);
+
+/// Signature = (H(message))^d mod n, transported big-endian.
+Bytes sign(const PrivateKey& key, BytesView message);
+
+/// Verify a signature produced by `sign` against `message`.
+bool verify(const PublicKey& key, BytesView message, BytesView signature);
+
+}  // namespace e2e::crypto

@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// All digital signatures in the signalling protocol hash the canonical TLV
+// encoding of the signed object with this function. Tested against the FIPS
+// test vectors in tests/crypto_sha256_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace e2e::crypto {
+
+constexpr std::size_t kSha256DigestSize = 32;
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental hasher.
+class Sha256 {
+ public:
+  Sha256();
+  void update(BytesView data);
+  /// Finalize and return the digest; the object must not be reused after.
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience.
+Digest sha256(BytesView data);
+
+/// Digest as Bytes (for embedding in messages).
+Bytes digest_bytes(const Digest& d);
+
+}  // namespace e2e::crypto

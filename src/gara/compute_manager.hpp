@@ -1,0 +1,80 @@
+// Slot-based CPU reservations.
+//
+// GARA "provides advance reservations and end-to-end management for
+// quality of service on different types of resources, including networks,
+// CPUs, and disks" (paper §3). This manager implements the CPU substrate:
+// advance reservations of CPU slots against a fixed machine size, with the
+// validity test the destination-domain policy needs for
+// HasValidCPUResv(RAR) (Fig. 6: "CPU_Reservation_ID=111").
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "bb/admission.hpp"
+#include "common/result.hpp"
+
+namespace e2e::gara {
+
+struct CpuReservation {
+  std::string id;
+  std::string user;
+  double cpus = 0;
+  TimeInterval interval{0, 0};
+};
+
+class ComputeManager {
+ public:
+  ComputeManager(std::string domain, double total_cpus)
+      : domain_(std::move(domain)), pool_(total_cpus) {}
+
+  const std::string& domain() const { return domain_; }
+  double total_cpus() const { return pool_.capacity(); }
+
+  Result<std::string> reserve(const std::string& user, double cpus,
+                              TimeInterval interval) {
+    if (cpus <= 0) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "cpu reservation needs cpus > 0", domain_);
+    }
+    const std::string id = "cpu-" + domain_ + "-" + std::to_string(next_++);
+    auto status = pool_.commit(id, interval, cpus);
+    if (!status.ok()) return status.error();
+    reservations_.emplace(id, CpuReservation{id, user, cpus, interval});
+    return id;
+  }
+
+  Status release(const std::string& id) {
+    if (reservations_.erase(id) == 0) {
+      return make_error(ErrorCode::kNotFound, "unknown cpu reservation " + id,
+                        domain_);
+    }
+    return pool_.release(id);
+  }
+
+  /// The HasValidCPUResv predicate: does this handle name a live
+  /// reservation covering time `at`?
+  bool is_valid(const std::string& id, SimTime at) const {
+    const auto it = reservations_.find(id);
+    return it != reservations_.end() && it->second.interval.contains(at);
+  }
+  /// Handle-existence variant used when the policy only checks linkage.
+  bool exists(const std::string& id) const {
+    return reservations_.contains(id);
+  }
+
+  const CpuReservation* find(const std::string& id) const {
+    const auto it = reservations_.find(id);
+    return it == reservations_.end() ? nullptr : &it->second;
+  }
+  std::size_t count() const { return reservations_.size(); }
+  double committed_at(SimTime t) const { return pool_.committed_at(t); }
+
+ private:
+  std::string domain_;
+  bb::CapacityPool pool_;
+  std::map<std::string, CpuReservation> reservations_;
+  std::uint64_t next_ = 1;
+};
+
+}  // namespace e2e::gara

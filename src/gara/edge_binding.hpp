@@ -1,0 +1,98 @@
+// Binding between a bandwidth broker and the DiffServ simulator's edge
+// router: "A BB provides admission control and configures the edge routers
+// of a single administrative network domain" (paper §2).
+//
+// When the broker commits a reservation, the matching traffic flow's
+// per-flow policer is installed on the configured edge link (marking
+// conforming packets EF); on release it is removed. Advance reservations
+// (interval starting in the future) are honoured: the policer is installed
+// by a simulator event at the interval start and removed at its end, so
+// premium service exists exactly during the reserved window.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "bb/bandwidth_broker.hpp"
+#include "net/simulator.hpp"
+
+namespace e2e::gara {
+
+class EdgeBinding {
+ public:
+  /// Reservations committed at the attached broker configure policers on
+  /// `edge_link` of `simulator`.
+  EdgeBinding(net::Simulator& simulator, net::LinkId edge_link,
+              sla::ExcessTreatment treatment = sla::ExcessTreatment::kDrop)
+      : simulator_(&simulator), edge_link_(edge_link), treatment_(treatment) {}
+
+  /// Associate a user's traffic flow with reservations made under that
+  /// user DN (the edge classifier's per-flow rule).
+  void bind_flow(const std::string& user_dn, net::FlowId flow) {
+    flows_[user_dn] = flow;
+  }
+
+  /// Install this binding as the broker's edge configurator.
+  void attach(bb::BandwidthBroker& broker) {
+    broker.set_edge_configurator(
+        [this](const bb::Reservation& resv, bool install) {
+          on_reservation(resv, install);
+        });
+  }
+
+  std::size_t installed_policers() const { return installed_; }
+
+ private:
+  void install_policer(net::FlowId flow, const bb::ResSpec& spec) {
+    simulator_->set_flow_policer(
+        edge_link_, flow,
+        net::TokenBucket(spec.rate_bits_per_s,
+                         spec.burst_bits > 0 ? spec.burst_bits : 30000,
+                         simulator_->now()),
+        treatment_);
+    ++installed_;
+  }
+
+  void on_reservation(const bb::Reservation& resv, bool install) {
+    const auto it = flows_.find(resv.spec.user);
+    if (it == flows_.end()) return;  // no local traffic flow for this user
+    const net::FlowId flow = it->second;
+    // Each (re)configuration invalidates previously scheduled actions for
+    // this reservation.
+    const std::uint64_t generation = ++generation_[resv.id];
+    if (!install) {
+      simulator_->clear_flow_policer(edge_link_, flow);
+      return;
+    }
+    const bb::ResSpec spec = resv.spec;
+    const std::string id = resv.id;
+    if (spec.interval.start <= simulator_->now()) {
+      install_policer(flow, spec);
+    } else {
+      // Advance reservation: activate at the window start.
+      simulator_->events().schedule_at(
+          spec.interval.start, [this, id, generation, flow, spec] {
+            if (generation_[id] != generation) return;  // superseded
+            install_policer(flow, spec);
+          });
+    }
+    // Deactivate when the window closes.
+    if (spec.interval.end > simulator_->now()) {
+      simulator_->events().schedule_at(
+          spec.interval.end, [this, id, generation, flow] {
+            if (generation_[id] != generation) return;
+            simulator_->clear_flow_policer(edge_link_, flow);
+          });
+    }
+  }
+
+  net::Simulator* simulator_;
+  net::LinkId edge_link_;
+  sla::ExcessTreatment treatment_;
+  std::map<std::string, net::FlowId> flows_;
+  std::map<std::string, std::uint64_t> generation_;
+  std::size_t installed_ = 0;
+};
+
+}  // namespace e2e::gara

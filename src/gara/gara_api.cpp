@@ -1,0 +1,86 @@
+#include "gara/gara_api.hpp"
+
+namespace e2e::gara {
+
+Result<GaraReservation> Gara::reserve_network(
+    const sig::UserCredentials& user, const bb::ResSpec& spec, SimTime at) {
+  auto msg = engine_->build_user_request(user, spec, at);
+  if (!msg) return msg.error();
+  auto outcome = engine_->reserve(*msg, at);
+  if (!outcome) return outcome.error();
+  if (!outcome->reply.granted) return outcome->reply.denial;
+  GaraReservation r;
+  r.type = ResourceType::kNetwork;
+  r.domain = spec.destination_domain;
+  r.handle = outcome->reply.handles.empty()
+                 ? ""
+                 : outcome->reply.handles.front().second;
+  r.network_reply = outcome->reply;
+  return r;
+}
+
+Result<GaraReservation> Gara::reserve_cpu(const std::string& domain,
+                                          const std::string& user,
+                                          double cpus, TimeInterval interval) {
+  const auto it = compute_.find(domain);
+  if (it == compute_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no compute manager in domain " + domain);
+  }
+  auto handle = it->second->reserve(user, cpus, interval);
+  if (!handle) return handle.error();
+  return GaraReservation{ResourceType::kCpu, domain, *handle, {}};
+}
+
+Result<GaraReservation> Gara::reserve_disk(const std::string& domain,
+                                           const std::string& user,
+                                           double bytes,
+                                           TimeInterval interval) {
+  const auto it = storage_.find(domain);
+  if (it == storage_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no storage manager in domain " + domain);
+  }
+  auto handle = it->second->reserve(user, bytes, interval);
+  if (!handle) return handle.error();
+  return GaraReservation{ResourceType::kDisk, domain, *handle, {}};
+}
+
+Status Gara::release(const GaraReservation& reservation) {
+  switch (reservation.type) {
+    case ResourceType::kNetwork:
+      return engine_->release_end_to_end(reservation.network_reply);
+    case ResourceType::kCpu: {
+      const auto it = compute_.find(reservation.domain);
+      if (it == compute_.end()) {
+        return make_error(ErrorCode::kNotFound, "no compute manager");
+      }
+      return it->second->release(reservation.handle);
+    }
+    case ResourceType::kDisk: {
+      const auto it = storage_.find(reservation.domain);
+      if (it == storage_.end()) {
+        return make_error(ErrorCode::kNotFound, "no storage manager");
+      }
+      return it->second->release(reservation.handle);
+    }
+  }
+  return make_error(ErrorCode::kInternal, "unknown resource type");
+}
+
+Result<Gara::CoReservation> Gara::co_reserve(const sig::UserCredentials& user,
+                                             bb::ResSpec network_spec,
+                                             double cpus, SimTime at) {
+  auto cpu = reserve_cpu(network_spec.destination_domain, network_spec.user,
+                         cpus, network_spec.interval);
+  if (!cpu) return cpu.error();
+  network_spec.linked_cpu_reservation = cpu->handle;
+  auto network = reserve_network(user, network_spec, at);
+  if (!network) {
+    (void)release(*cpu);  // atomicity: no dangling CPU reservation
+    return network.error();
+  }
+  return CoReservation{std::move(*cpu), std::move(*network)};
+}
+
+}  // namespace e2e::gara

@@ -1,0 +1,100 @@
+// GARA-style uniform reservation API.
+//
+// Paper §3: GARA "defines APIs that allow users and applications to
+// manipulate reservations of different resources in uniform ways. ... A
+// library provided by GARA implements an end-to-end network API that
+// facilitates end-to-end reservation for its users."
+//
+// This facade exposes one handle type over three resource kinds, drives
+// the hop-by-hop signalling engine for network reservations, and offers
+// the Fig. 5/6 co-reservation: a CPU reservation in the destination domain
+// coupled to a network reservation that references it (so the destination
+// policy's HasValidCPUResv(RAR) check passes).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "gara/compute_manager.hpp"
+#include "gara/storage_manager.hpp"
+#include "sig/hopbyhop.hpp"
+
+namespace e2e::gara {
+
+enum class ResourceType { kNetwork, kCpu, kDisk };
+
+constexpr const char* to_string(ResourceType t) {
+  switch (t) {
+    case ResourceType::kNetwork: return "network";
+    case ResourceType::kCpu: return "cpu";
+    case ResourceType::kDisk: return "disk";
+  }
+  return "?";
+}
+
+/// Uniform reservation handle.
+struct GaraReservation {
+  ResourceType type = ResourceType::kNetwork;
+  /// Domain the resource lives in (destination domain for network).
+  std::string domain;
+  /// Resource-manager handle (CPU/disk id, or the end-to-end network reply).
+  std::string handle;
+  sig::RarReply network_reply;  // network reservations only
+};
+
+class Gara {
+ public:
+  explicit Gara(sig::HopByHopEngine& engine) : engine_(&engine) {}
+
+  /// Attach per-domain resource managers. Attaching a compute manager also
+  /// binds the domain's HasValidCPUResv predicate to it.
+  void attach_compute(ComputeManager& manager) {
+    compute_[manager.domain()] = &manager;
+    engine_->set_cpu_reservation_checker(
+        manager.domain(), [m = &manager](const std::string& id) {
+          return m->exists(id);
+        });
+  }
+  void attach_storage(StorageManager& manager) {
+    storage_[manager.domain()] = &manager;
+  }
+
+  /// End-to-end network reservation via hop-by-hop signalling.
+  Result<GaraReservation> reserve_network(const sig::UserCredentials& user,
+                                          const bb::ResSpec& spec,
+                                          SimTime at);
+
+  Result<GaraReservation> reserve_cpu(const std::string& domain,
+                                      const std::string& user, double cpus,
+                                      TimeInterval interval);
+
+  Result<GaraReservation> reserve_disk(const std::string& domain,
+                                       const std::string& user, double bytes,
+                                       TimeInterval interval);
+
+  Status release(const GaraReservation& reservation);
+
+  /// Fig. 5/6 co-reservation: reserve `cpus` CPUs in the destination
+  /// domain, link the handle into the network request
+  /// (CPU_Reservation_ID), and make the end-to-end network reservation.
+  /// Atomic: if the network part is denied, the CPU part is released.
+  struct CoReservation {
+    GaraReservation cpu;
+    GaraReservation network;
+  };
+  Result<CoReservation> co_reserve(const sig::UserCredentials& user,
+                                   bb::ResSpec network_spec, double cpus,
+                                   SimTime at);
+
+  ComputeManager* compute(const std::string& domain) {
+    const auto it = compute_.find(domain);
+    return it == compute_.end() ? nullptr : it->second;
+  }
+
+ private:
+  sig::HopByHopEngine* engine_;
+  std::map<std::string, ComputeManager*> compute_;
+  std::map<std::string, StorageManager*> storage_;
+};
+
+}  // namespace e2e::gara

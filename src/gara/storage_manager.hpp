@@ -1,0 +1,64 @@
+// Disk-space reservations (the third GARA resource type).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "bb/admission.hpp"
+#include "common/result.hpp"
+
+namespace e2e::gara {
+
+struct DiskReservation {
+  std::string id;
+  std::string user;
+  double bytes = 0;
+  TimeInterval interval{0, 0};
+};
+
+class StorageManager {
+ public:
+  StorageManager(std::string domain, double total_bytes)
+      : domain_(std::move(domain)), pool_(total_bytes) {}
+
+  const std::string& domain() const { return domain_; }
+  double total_bytes() const { return pool_.capacity(); }
+
+  Result<std::string> reserve(const std::string& user, double bytes,
+                              TimeInterval interval) {
+    if (bytes <= 0) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "disk reservation needs bytes > 0", domain_);
+    }
+    const std::string id = "disk-" + domain_ + "-" + std::to_string(next_++);
+    auto status = pool_.commit(id, interval, bytes);
+    if (!status.ok()) return status.error();
+    reservations_.emplace(id, DiskReservation{id, user, bytes, interval});
+    return id;
+  }
+
+  Status release(const std::string& id) {
+    if (reservations_.erase(id) == 0) {
+      return make_error(ErrorCode::kNotFound, "unknown disk reservation " + id,
+                        domain_);
+    }
+    return pool_.release(id);
+  }
+
+  bool exists(const std::string& id) const {
+    return reservations_.contains(id);
+  }
+  const DiskReservation* find(const std::string& id) const {
+    const auto it = reservations_.find(id);
+    return it == reservations_.end() ? nullptr : &it->second;
+  }
+  std::size_t count() const { return reservations_.size(); }
+
+ private:
+  std::string domain_;
+  bb::CapacityPool pool_;
+  std::map<std::string, DiskReservation> reservations_;
+  std::uint64_t next_ = 1;
+};
+
+}  // namespace e2e::gara

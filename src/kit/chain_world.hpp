@@ -1,0 +1,192 @@
+// Ready-made deployment kit: a chain of administrative domains wired up the way
+// the paper's scenario is (Fig. 2/5/6) — one CA and one bandwidth broker
+// per domain, SLAs between neighbours carrying the peer trust material,
+// authenticated inter-BB channels, an ESnet community authorization server,
+// and helpers to mint users with identity + capability material.
+//
+// Key sizes default to 256 bits to keep suites fast; the crypto unit tests
+// cover 512-bit keys.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bb/bandwidth_broker.hpp"
+#include "policy/cas.hpp"
+#include "policy/group_server.hpp"
+#include "sig/hopbyhop.hpp"
+#include "sig/source_signalling.hpp"
+
+namespace e2e::kit {
+
+inline constexpr TimeInterval kWorldValidity{0, hours(24 * 365)};
+
+struct WorldUser {
+  crypto::DistinguishedName dn;
+  crypto::KeyPair identity_keys;
+  crypto::Certificate identity_cert;
+  crypto::KeyPair proxy_keys;
+  std::optional<crypto::Certificate> capability_cert;
+
+  sig::UserCredentials credentials() const {
+    sig::UserCredentials c;
+    c.identity_certificate = identity_cert;
+    c.identity_key = identity_keys.priv;
+    if (capability_cert.has_value()) {
+      c.capability_certificate = capability_cert;
+      c.proxy_key = proxy_keys.priv;
+    }
+    return c;
+  }
+};
+
+struct ChainWorldConfig {
+  std::size_t domains = 3;
+  /// Policy source per domain; reused cyclically if shorter than `domains`.
+  std::vector<std::string> policies = {"Return GRANT"};
+  double domain_capacity = 622e6;   // OC-12 backbone
+  double sla_rate = 100e6;          // premium profile between neighbours
+  unsigned key_bits = 256;
+  std::uint64_t seed = 20010801;    // HPDC-10 publication date
+  SimDuration inter_domain_latency = milliseconds(20);
+};
+
+class ChainWorld {
+ public:
+  explicit ChainWorld(const ChainWorldConfig& config = ChainWorldConfig())
+      : config_(config),
+        rng_(config.seed),
+        cas_esnet_("ESnet", rng_, kWorldValidity, config.key_bits),
+        engine_(fabric_, rng_),
+        source_engine_(fabric_) {
+    for (std::size_t i = 0; i < config.domains; ++i) {
+      names_.push_back(domain_name(i));
+    }
+    // Per-domain CA and broker.
+    for (std::size_t i = 0; i < config.domains; ++i) {
+      cas_.push_back(std::make_unique<crypto::CertificateAuthority>(
+          crypto::DistinguishedName::make("CA-" + names_[i], names_[i]),
+          rng_, kWorldValidity, config.key_bits));
+      policy::PolicyServer server(
+          names_[i], policy::Policy::compile(
+                         config.policies[i % config.policies.size()])
+                         .value());
+      brokers_.push_back(std::make_unique<bb::BandwidthBroker>(
+          bb::BrokerConfig{names_[i], config.domain_capacity,
+                           config.key_bits},
+          std::move(server), *cas_[i], rng_, kWorldValidity));
+    }
+    // SLAs along the chain (traffic flows 0 -> N-1) with peer trust
+    // material, plus next-hop routing toward every downstream domain.
+    for (std::size_t i = 0; i + 1 < config.domains; ++i) {
+      sla::ServiceLevelAgreement agreement;
+      agreement.from_domain = names_[i];
+      agreement.to_domain = names_[i + 1];
+      agreement.profile.rate_bits_per_s = config.sla_rate;
+      agreement.profile.burst_bits = 100000;
+      agreement.validity = kWorldValidity;
+      agreement.price_per_mbit_s = 0.01 * static_cast<double>(i + 1);
+      agreement.peer_bb_certificate = brokers_[i]->certificate();
+      agreement.peer_ca_certificate = cas_[i]->root_certificate();
+      brokers_[i + 1]->add_upstream_sla(agreement);
+      // The upstream side needs the downstream CA to authenticate the
+      // channel peer too.
+      brokers_[i]->trust_store().add_anchor(cas_[i + 1]->root_certificate());
+      for (std::size_t dest = i + 1; dest < config.domains; ++dest) {
+        brokers_[i]->set_next_hop(names_[dest], names_[i + 1]);
+      }
+      fabric_.set_latency(names_[i], names_[i + 1],
+                          config.inter_domain_latency);
+    }
+    // Engines.
+    for (std::size_t i = 0; i < config.domains; ++i) {
+      sig::DomainOptions options;
+      options.group_server = &group_server_;
+      options.relevant_groups = {"Atlas", "physicists"};
+      engine_.add_domain(*brokers_[i], options);
+      engine_.trust_community(names_[i], "ESnet", cas_esnet_.public_key());
+      sig::SourceDomainEngine::DomainOptions source_options;
+      source_options.group_server = &group_server_;
+      source_options.relevant_groups = {"Atlas", "physicists"};
+      source_engine_.add_domain(*brokers_[i], source_options);
+    }
+    for (std::size_t i = 0; i + 1 < config.domains; ++i) {
+      auto status = engine_.connect_peers(names_[i], names_[i + 1], 0);
+      if (!status.ok()) {
+        throw std::runtime_error("world: connect_peers failed: " +
+                                 status.error().to_text());
+      }
+    }
+  }
+
+  static std::string domain_name(std::size_t i) {
+    if (i < 26) return std::string("Domain") + static_cast<char>('A' + i);
+    return "Domain" + std::to_string(i);
+  }
+
+  /// Mint a user homed in domain `home`, optionally with an ESnet
+  /// capability certificate from grid-login, registered as a local user of
+  /// its home BB (hop-by-hop) — registration with every domain (source-
+  /// based signalling) is the caller's choice via register_everywhere.
+  WorldUser make_user(const std::string& name, std::size_t home,
+                      bool with_capability = true,
+                      bool register_everywhere = false) {
+    WorldUser user;
+    user.dn = crypto::DistinguishedName::make(name, names_.at(home));
+    user.identity_keys = crypto::generate_keypair(rng_, config_.key_bits);
+    user.identity_cert = cas_.at(home)->issue(user.dn, user.identity_keys.pub,
+                                              kWorldValidity);
+    user.proxy_keys = crypto::generate_keypair(rng_, config_.key_bits);
+    if (with_capability) {
+      user.capability_cert = cas_esnet_.grid_login(
+          user.dn, user.proxy_keys.pub, kWorldValidity);
+    }
+    engine_.register_local_user(names_.at(home), user.identity_cert);
+    if (register_everywhere) {
+      for (const auto& domain : names_) {
+        source_engine_.register_user(domain, user.identity_cert);
+      }
+    } else {
+      source_engine_.register_user(names_.at(home), user.identity_cert);
+    }
+    return user;
+  }
+
+  bb::ResSpec spec(const WorldUser& user, double rate,
+                   TimeInterval interval = {0, seconds(600)},
+                   std::size_t src = 0, std::size_t dst_offset_from_end = 0) {
+    bb::ResSpec s;
+    s.user = user.dn.to_string();
+    s.source_domain = names_.at(src);
+    s.destination_domain = names_.at(names_.size() - 1 - dst_offset_from_end);
+    s.rate_bits_per_s = rate;
+    s.burst_bits = 30000;
+    s.interval = interval;
+    return s;
+  }
+
+  const std::vector<std::string>& names() const { return names_; }
+  bb::BandwidthBroker& broker(std::size_t i) { return *brokers_.at(i); }
+  crypto::CertificateAuthority& ca(std::size_t i) { return *cas_.at(i); }
+  policy::CommunityAuthorizationServer& cas_esnet() { return cas_esnet_; }
+  policy::GroupServer& group_server() { return group_server_; }
+  sig::Fabric& fabric() { return fabric_; }
+  sig::HopByHopEngine& engine() { return engine_; }
+  sig::SourceDomainEngine& source_engine() { return source_engine_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  ChainWorldConfig config_;
+  Rng rng_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<crypto::CertificateAuthority>> cas_;
+  std::vector<std::unique_ptr<bb::BandwidthBroker>> brokers_;
+  policy::CommunityAuthorizationServer cas_esnet_;
+  policy::GroupServer group_server_{"world-group-server"};
+  sig::Fabric fabric_;
+  sig::HopByHopEngine engine_;
+  sig::SourceDomainEngine source_engine_;
+};
+
+}  // namespace e2e::kit

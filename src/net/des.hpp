@@ -1,0 +1,82 @@
+// Discrete-event simulation core.
+//
+// A binary-heap event queue over virtual time. Events scheduled at the same
+// timestamp run in insertion order (stable), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace e2e::net {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `at` (>= now; earlier times are
+  /// clamped to now).
+  void schedule_at(SimTime at, Handler fn) {
+    if (at < now_) at = now_;
+    heap_.push(Event{at, seq_++, std::move(fn)});
+  }
+  void schedule_in(SimDuration delay, Handler fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Run events until the queue is empty or virtual time would exceed
+  /// `until`. Returns the number of events executed.
+  std::size_t run_until(SimTime until) {
+    std::size_t executed = 0;
+    while (!heap_.empty() && heap_.top().at <= until) {
+      // Copy out before pop: the handler may schedule new events.
+      Event ev = heap_.top();
+      heap_.pop();
+      now_ = ev.at;
+      ev.fn();
+      ++executed;
+    }
+    if (now_ < until) now_ = until;
+    return executed;
+  }
+
+  /// Drain everything (use only when sources stop generating).
+  std::size_t run_all() {
+    std::size_t executed = 0;
+    while (!heap_.empty()) {
+      Event ev = heap_.top();
+      heap_.pop();
+      now_ = ev.at;
+      ev.fn();
+      ++executed;
+    }
+    return executed;
+  }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace e2e::net

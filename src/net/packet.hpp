@@ -1,0 +1,34 @@
+// Packets and per-hop behaviour classes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.hpp"
+
+namespace e2e::net {
+
+using FlowId = std::uint32_t;
+
+/// DiffServ per-hop-behaviour class. The paper's mechanism only needs the
+/// premium (EF) aggregate and best-effort; packets are marked EF by the
+/// first (edge) router and treated as an aggregate everywhere else.
+enum class TrafficClass : std::uint8_t {
+  kExpedited = 0,  // EF — reserved/premium aggregate
+  kBestEffort = 1,
+};
+
+constexpr const char* to_string(TrafficClass c) {
+  return c == TrafficClass::kExpedited ? "EF" : "BE";
+}
+
+struct Packet {
+  std::uint64_t id = 0;
+  FlowId flow = 0;
+  std::uint32_t size_bits = 0;
+  TrafficClass cls = TrafficClass::kBestEffort;
+  SimTime created = 0;
+  /// Set when an edge policer downgrades an out-of-profile EF packet.
+  bool downgraded = false;
+};
+
+}  // namespace e2e::net

@@ -1,0 +1,69 @@
+// Token-bucket policer/shaper.
+//
+// Tokens are bits; the bucket fills at `rate` bits/s up to `burst` bits.
+// Used (a) per flow at the ingress edge router, configured from the flow's
+// reservation, and (b) per EF aggregate at domain boundaries, configured
+// from the SLA profile between peered domains.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/clock.hpp"
+
+namespace e2e::net {
+
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double rate_bits_per_s, double burst_bits, SimTime start = 0)
+      : rate_(rate_bits_per_s),
+        burst_(burst_bits),
+        tokens_(burst_bits),
+        last_(start) {}
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+  /// Refill to `now`, then consume `size_bits` if available. Returns true
+  /// (conforming) or false (out of profile; no tokens are consumed).
+  bool conforms(std::uint32_t size_bits, SimTime now) {
+    refill(now);
+    if (tokens_ >= static_cast<double>(size_bits)) {
+      tokens_ -= static_cast<double>(size_bits);
+      return true;
+    }
+    return false;
+  }
+
+  /// Current token level after refilling to `now`.
+  double tokens(SimTime now) {
+    refill(now);
+    return tokens_;
+  }
+
+  /// Change the rate/burst in place (BB reconfigures edge routers when
+  /// reservations or tunnels change); the fill level is clamped to the new
+  /// burst.
+  void reconfigure(double rate_bits_per_s, double burst_bits, SimTime now) {
+    refill(now);
+    rate_ = rate_bits_per_s;
+    burst_ = burst_bits;
+    tokens_ = std::min(tokens_, burst_);
+  }
+
+ private:
+  void refill(SimTime now) {
+    if (now <= last_) return;
+    tokens_ = std::min(
+        burst_, tokens_ + rate_ * to_seconds(now - last_));
+    last_ = now;
+  }
+
+  double rate_ = 0;
+  double burst_ = 0;
+  double tokens_ = 0;
+  SimTime last_ = 0;
+};
+
+}  // namespace e2e::net

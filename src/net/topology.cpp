@@ -1,0 +1,103 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace e2e::net {
+
+DomainId Topology::add_domain(std::string name) {
+  const DomainId id = static_cast<DomainId>(domains_.size());
+  domains_.push_back(DomainInfo{id, std::move(name)});
+  return id;
+}
+
+RouterId Topology::add_router(DomainId domain, std::string name,
+                              bool is_edge) {
+  if (domain >= domains_.size()) {
+    throw std::out_of_range("Topology::add_router: unknown domain");
+  }
+  const RouterId id = static_cast<RouterId>(routers_.size());
+  routers_.push_back(RouterInfo{id, domain, std::move(name), is_edge});
+  outgoing_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_link(RouterId from, RouterId to,
+                          double capacity_bits_per_s, SimDuration latency,
+                          std::size_t queue_limit_packets) {
+  if (from >= routers_.size() || to >= routers_.size()) {
+    throw std::out_of_range("Topology::add_link: unknown router");
+  }
+  if (capacity_bits_per_s <= 0) {
+    throw std::invalid_argument("Topology::add_link: capacity must be > 0");
+  }
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(LinkInfo{id, from, to, capacity_bits_per_s, latency,
+                            queue_limit_packets});
+  outgoing_[from].push_back(id);
+  return id;
+}
+
+std::optional<DomainId> Topology::find_domain(const std::string& name) const {
+  for (const auto& d : domains_) {
+    if (d.name == name) return d.id;
+  }
+  return std::nullopt;
+}
+
+bool Topology::is_boundary_link(LinkId id) const {
+  const LinkInfo& l = links_.at(id);
+  return routers_[l.from].domain != routers_[l.to].domain;
+}
+
+Result<std::vector<LinkId>> Topology::shortest_path(RouterId from,
+                                                    RouterId to) const {
+  if (from >= routers_.size() || to >= routers_.size()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "shortest_path: unknown router");
+  }
+  if (from == to) return std::vector<LinkId>{};
+
+  std::vector<LinkId> via(routers_.size(), static_cast<LinkId>(-1));
+  std::vector<bool> seen(routers_.size(), false);
+  std::deque<RouterId> frontier{from};
+  seen[from] = true;
+  while (!frontier.empty()) {
+    const RouterId cur = frontier.front();
+    frontier.pop_front();
+    for (LinkId lid : outgoing_[cur]) {
+      const RouterId next = links_[lid].to;
+      if (seen[next]) continue;
+      seen[next] = true;
+      via[next] = lid;
+      if (next == to) {
+        std::vector<LinkId> path;
+        RouterId walk = to;
+        while (walk != from) {
+          path.push_back(via[walk]);
+          walk = links_[via[walk]].from;
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return make_error(ErrorCode::kNoRoute,
+                    "no route from " + routers_[from].name + " to " +
+                        routers_[to].name);
+}
+
+std::vector<DomainId> Topology::domains_on_path(
+    const std::vector<LinkId>& path, RouterId start) const {
+  std::vector<DomainId> out;
+  out.push_back(routers_.at(start).domain);
+  for (LinkId lid : path) {
+    const DomainId d = routers_[links_.at(lid).to].domain;
+    if (out.back() != d) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace e2e::net

@@ -1,0 +1,84 @@
+// Multi-domain network topology.
+//
+// Domains contain routers; unidirectional links connect routers within and
+// across domains. A link whose endpoints sit in different domains is a
+// *boundary* link — the place where SLA aggregate policing applies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+
+namespace e2e::net {
+
+using DomainId = std::uint32_t;
+using RouterId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+struct DomainInfo {
+  DomainId id = 0;
+  std::string name;
+};
+
+struct RouterInfo {
+  RouterId id = 0;
+  DomainId domain = 0;
+  std::string name;
+  /// Edge routers classify per flow; core routers only see aggregates.
+  bool is_edge = false;
+};
+
+struct LinkInfo {
+  LinkId id = 0;
+  RouterId from = 0;
+  RouterId to = 0;
+  double capacity_bits_per_s = 0;
+  SimDuration latency = 0;
+  /// Per-class queue limit in packets (drop-tail beyond this).
+  std::size_t queue_limit_packets = 64;
+};
+
+class Topology {
+ public:
+  DomainId add_domain(std::string name);
+  RouterId add_router(DomainId domain, std::string name, bool is_edge);
+  LinkId add_link(RouterId from, RouterId to, double capacity_bits_per_s,
+                  SimDuration latency, std::size_t queue_limit_packets = 64);
+
+  const DomainInfo& domain(DomainId id) const { return domains_.at(id); }
+  const RouterInfo& router(RouterId id) const { return routers_.at(id); }
+  const LinkInfo& link(LinkId id) const { return links_.at(id); }
+  std::size_t domain_count() const { return domains_.size(); }
+  std::size_t router_count() const { return routers_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+
+  std::optional<DomainId> find_domain(const std::string& name) const;
+
+  /// True if the link crosses an administrative boundary.
+  bool is_boundary_link(LinkId id) const;
+
+  /// Links leaving `router`.
+  const std::vector<LinkId>& outgoing(RouterId router) const {
+    return outgoing_.at(router);
+  }
+
+  /// Fewest-hops path (BFS over links). kNoRoute if unreachable.
+  Result<std::vector<LinkId>> shortest_path(RouterId from, RouterId to) const;
+
+  /// Ordered list of distinct domains traversed by a link path, starting
+  /// with the domain of the path's first router.
+  std::vector<DomainId> domains_on_path(const std::vector<LinkId>& path,
+                                        RouterId start) const;
+
+ private:
+  std::vector<DomainInfo> domains_;
+  std::vector<RouterInfo> routers_;
+  std::vector<LinkInfo> links_;
+  std::vector<std::vector<LinkId>> outgoing_;  // per router
+};
+
+}  // namespace e2e::net

@@ -1,0 +1,49 @@
+// Traditional access control lists, "expressed in terms of the identities
+// of individuals who are allowed to use resources" (paper §5, third policy
+// style).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "crypto/dn.hpp"
+
+namespace e2e::policy {
+
+class AccessControlList {
+ public:
+  enum class Mode { kAllowList, kDenyList };
+
+  explicit AccessControlList(Mode mode = Mode::kAllowList) : mode_(mode) {}
+
+  void add(const std::string& resource, const crypto::DistinguishedName& dn) {
+    entries_[resource].insert(dn.to_string());
+  }
+  void remove(const std::string& resource,
+              const crypto::DistinguishedName& dn) {
+    const auto it = entries_.find(resource);
+    if (it != entries_.end()) it->second.erase(dn.to_string());
+  }
+
+  /// Allow-list mode: permitted iff listed. Deny-list mode: permitted iff
+  /// NOT listed.
+  bool permits(const std::string& resource,
+               const crypto::DistinguishedName& dn) const {
+    const auto it = entries_.find(resource);
+    const bool listed =
+        it != entries_.end() && it->second.contains(dn.to_string());
+    return mode_ == Mode::kAllowList ? listed : !listed;
+  }
+
+  std::size_t size(const std::string& resource) const {
+    const auto it = entries_.find(resource);
+    return it == entries_.end() ? 0 : it->second.size();
+  }
+
+ private:
+  Mode mode_;
+  std::map<std::string, std::set<std::string>> entries_;
+};
+
+}  // namespace e2e::policy

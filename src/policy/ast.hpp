@@ -1,0 +1,70 @@
+// AST for the policy language.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "policy/value.hpp"
+
+namespace e2e::policy {
+
+enum class BinaryOp { kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr };
+enum class UnaryOp { kNot };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { kLiteral, kIdent, kCall, kBinary, kUnary };
+  Kind kind = Kind::kLiteral;
+
+  // kLiteral
+  Value literal;
+  // kIdent / kCall
+  std::string name;
+  std::vector<ExprPtr> args;  // kCall
+  // kBinary / kUnary
+  BinaryOp binary_op = BinaryOp::kEq;
+  UnaryOp unary_op = UnaryOp::kNot;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  int line = 0;
+};
+
+enum class Decision { kGrant, kDeny, kNoDecision };
+
+constexpr const char* to_string(Decision d) {
+  switch (d) {
+    case Decision::kGrant: return "GRANT";
+    case Decision::kDeny: return "DENY";
+    case Decision::kNoDecision: return "NO-DECISION";
+  }
+  return "?";
+}
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind { kIf, kReturn };
+  Kind kind = Kind::kReturn;
+
+  // kIf
+  ExprPtr condition;
+  std::vector<StmtPtr> then_block;
+  std::vector<StmtPtr> else_block;  // may hold a single nested kIf (else-if)
+
+  // kReturn
+  Decision decision = Decision::kDeny;
+
+  int line = 0;
+};
+
+/// A parsed policy file: an ordered list of statements.
+struct Program {
+  std::vector<StmtPtr> statements;
+};
+
+}  // namespace e2e::policy

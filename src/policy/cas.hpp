@@ -1,0 +1,68 @@
+// Community Authorization Server (CAS).
+//
+// Paper §6.5 / Fig. 7: during "grid-login" the user receives from the CAS a
+// capability certificate that "simply contains all capabilities of the
+// ESnet group in the X509v3 extension field. The certificate itself lists a
+// public proxy key, the DN of the user ... and the CAS, as well as the
+// signature of the CAS. In addition to the capability certificate, the user
+// owns the private key corresponding to the public proxy key."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/ca.hpp"
+#include "crypto/x509.hpp"
+
+namespace e2e::policy {
+
+class CommunityAuthorizationServer {
+ public:
+  /// `community` names the community whose capabilities this server grants
+  /// (e.g. "ESnet").
+  CommunityAuthorizationServer(std::string community, Rng& rng,
+                               TimeInterval validity, unsigned key_bits = 512)
+      : community_(std::move(community)),
+        ca_(crypto::DistinguishedName::make("CAS", community_), rng, validity,
+            key_bits) {}
+
+  const std::string& community() const { return community_; }
+  const crypto::DistinguishedName& dn() const { return ca_.name(); }
+  const crypto::Certificate& root_certificate() const {
+    return ca_.root_certificate();
+  }
+  const crypto::PublicKey& public_key() const { return ca_.public_key(); }
+
+  /// Grid-login: bind the user's *proxy* public key to a capability
+  /// certificate carrying the community's capabilities.
+  crypto::Certificate grid_login(const crypto::DistinguishedName& user,
+                                 const crypto::PublicKey& proxy_key,
+                                 TimeInterval validity,
+                                 std::vector<std::string> capabilities = {}) {
+    std::string cap_list;
+    if (capabilities.empty()) {
+      cap_list = "Capabilities of " + community_;
+    } else {
+      for (const auto& c : capabilities) {
+        if (!cap_list.empty()) cap_list += ",";
+        cap_list += c;
+      }
+    }
+    return ca_.issue(user, proxy_key, validity,
+                     {crypto::Extension{crypto::kExtCapabilityFlag,
+                                        /*critical=*/false, ""},
+                      crypto::Extension{crypto::kExtCapabilities,
+                                        /*critical=*/false, cap_list},
+                      crypto::Extension{crypto::kExtCommunity,
+                                        /*critical=*/false, community_}});
+  }
+
+  void revoke(std::uint64_t serial) { ca_.revoke(serial); }
+  bool is_revoked(std::uint64_t serial) const { return ca_.is_revoked(serial); }
+
+ private:
+  std::string community_;
+  crypto::CertificateAuthority ca_;
+};
+
+}  // namespace e2e::policy

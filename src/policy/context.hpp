@@ -1,0 +1,100 @@
+// Evaluation context: everything a bandwidth broker's policy engine may
+// consider when deciding a request (paper §4): request parameters,
+// authentication information, authorization information (validated group
+// assertions, capability certificates) and SLA information.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "policy/value.hpp"
+
+namespace e2e::policy {
+
+/// A capability the request carries, already authenticity-checked by the
+/// caller (the signalling layer verifies the certificate chain; the policy
+/// engine only consumes the validated attributes).
+struct ValidatedCapability {
+  std::string issuer_community;            // e.g. "ESnet"
+  std::vector<std::string> capabilities;   // e.g. {"Capabilities of ESnet"}
+};
+
+class EvalContext {
+ public:
+  /// Request parameters and identity attributes: "User", "BW" (bits/s),
+  /// "Source", "Destination", "Cost", ...
+  void set(std::string name, Value value) {
+    attributes_[std::move(name)] = std::move(value);
+  }
+  /// Bandwidth convenience (bits/s).
+  void set_bandwidth(double bits_per_s) { set("BW", Value(bits_per_s)); }
+  void set_user(std::string user) { set("User", Value(std::move(user))); }
+
+  /// Virtual time of the decision (drives "Time > 8am" conditions).
+  void set_time(SimTime t) { time_ = t; }
+  SimTime time() const { return time_; }
+
+  /// Currently available bandwidth, exposed as Avail_BW (paper Fig. 6).
+  void set_available_bandwidth(double bits_per_s) {
+    avail_bw_ = bits_per_s;
+  }
+  double available_bandwidth() const { return avail_bw_; }
+
+  /// Validated group memberships (e.g. via a group server).
+  void add_group(std::string group) { groups_.insert(std::move(group)); }
+  bool in_group(const std::string& group) const {
+    return groups_.contains(group);
+  }
+  const std::set<std::string>& groups() const { return groups_; }
+
+  void add_capability(ValidatedCapability cap) {
+    capabilities_.push_back(std::move(cap));
+  }
+  const std::vector<ValidatedCapability>& capabilities() const {
+    return capabilities_;
+  }
+  bool has_capability_issued_by(const std::string& community) const {
+    for (const auto& c : capabilities_) {
+      if (c.issuer_community == community) return true;
+    }
+    return false;
+  }
+
+  /// External predicates, e.g. HasValidCPUResv(RAR) delegating to GARA, or
+  /// Accredited_Physicist(requestor) delegating to a group server.
+  using Predicate = std::function<Value(std::span<const Value>)>;
+  void register_predicate(std::string name, Predicate fn) {
+    predicates_[std::move(name)] = std::move(fn);
+  }
+  const Predicate* find_predicate(const std::string& name) const {
+    const auto it = predicates_.find(name);
+    return it == predicates_.end() ? nullptr : &it->second;
+  }
+
+  /// Attribute lookup; null Value if absent.
+  Value get(const std::string& name) const {
+    const auto it = attributes_.find(name);
+    return it == attributes_.end() ? Value() : it->second;
+  }
+  bool has(const std::string& name) const {
+    return attributes_.contains(name);
+  }
+  const std::map<std::string, Value>& attributes() const {
+    return attributes_;
+  }
+
+ private:
+  std::map<std::string, Value> attributes_;
+  std::set<std::string> groups_;
+  std::vector<ValidatedCapability> capabilities_;
+  std::map<std::string, Predicate> predicates_;
+  SimTime time_ = 0;
+  double avail_bw_ = 0;
+};
+
+}  // namespace e2e::policy

@@ -1,0 +1,190 @@
+#include "policy/evaluator.hpp"
+
+namespace e2e::policy {
+
+namespace {
+
+Error eval_error(int line, std::string msg) {
+  return make_error(ErrorCode::kInvalidArgument,
+                    "policy eval line " + std::to_string(line) + ": " +
+                        std::move(msg));
+}
+
+double time_of_day_us(SimTime t) {
+  const std::int64_t day = hours(24);
+  std::int64_t rem = t % day;
+  if (rem < 0) rem += day;
+  return static_cast<double>(rem);
+}
+
+class Evaluator {
+ public:
+  explicit Evaluator(const EvalContext& ctx) : ctx_(ctx) {}
+
+  Result<Evaluation> run(const Program& program) {
+    Evaluation out;
+    auto status = run_block(program.statements, out);
+    if (!status.ok()) return status.error();
+    return out;
+  }
+
+ private:
+  /// Executes statements until a Return fires; returns an error status only
+  /// on evaluation failure. `out.decision` != kNoDecision signals the stop.
+  Status run_block(const std::vector<StmtPtr>& block, Evaluation& out) {
+    for (const auto& stmt : block) {
+      if (stmt->kind == Stmt::Kind::kReturn) {
+        out.decision = stmt->decision;
+        out.decided_at_line = stmt->line;
+        return Status::ok_status();
+      }
+      // If statement.
+      auto cond = eval_expr(*stmt->condition);
+      if (!cond) return cond.error();
+      const auto& branch = cond->truthy() ? stmt->then_block
+                                          : stmt->else_block;
+      auto status = run_block(branch, out);
+      if (!status.ok()) return status;
+      if (out.decision != Decision::kNoDecision) return Status::ok_status();
+    }
+    return Status::ok_status();
+  }
+
+  Result<Value> eval_expr(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kLiteral:
+        return e.literal;
+      case Expr::Kind::kIdent:
+        return eval_ident(e);
+      case Expr::Kind::kCall:
+        return eval_call(e);
+      case Expr::Kind::kUnary: {
+        auto operand = eval_expr(*e.lhs);
+        if (!operand) return operand;
+        return Value(!operand->truthy());
+      }
+      case Expr::Kind::kBinary:
+        return eval_binary(e);
+    }
+    return eval_error(e.line, "corrupt expression");
+  }
+
+  Result<Value> eval_ident(const Expr& e) {
+    if (e.name == "Time") return Value(time_of_day_us(ctx_.time()));
+    if (e.name == "Avail_BW") return Value(ctx_.available_bandwidth());
+    if (ctx_.has(e.name)) return ctx_.get(e.name);
+    // Paper-style bare words ("Alice", "Network") are string literals.
+    return Value(e.name);
+  }
+
+  Result<Value> eval_call(const Expr& e) {
+    if (const auto* pred = ctx_.find_predicate(e.name)) {
+      std::vector<Value> args;
+      args.reserve(e.args.size());
+      for (const auto& arg : e.args) {
+        auto v = eval_expr(*arg);
+        if (!v) return v;
+        args.push_back(std::move(*v));
+      }
+      return (*pred)(args);
+    }
+    if (e.name == "Issued_by") {
+      // Only meaningful inside a comparison (handled in eval_binary); a bare
+      // Issued_by(Capability) is truthy iff any capability is held.
+      return Value(!ctx_.capabilities().empty());
+    }
+    return eval_error(e.line, "unknown predicate '" + e.name + "'");
+  }
+
+  /// "Group = X" membership test (paper Fig. 6, BB-B policy).
+  bool is_group_test(const Expr& e) const {
+    return (e.binary_op == BinaryOp::kEq || e.binary_op == BinaryOp::kNe) &&
+           e.lhs->kind == Expr::Kind::kIdent && e.lhs->name == "Group" &&
+           !ctx_.has("Group");
+  }
+
+  /// "Issued_by(Capability) = Community" capability-issuer test.
+  bool is_issuer_test(const Expr& e) const {
+    return (e.binary_op == BinaryOp::kEq || e.binary_op == BinaryOp::kNe) &&
+           e.lhs->kind == Expr::Kind::kCall && e.lhs->name == "Issued_by" &&
+           ctx_.find_predicate("Issued_by") == nullptr;
+  }
+
+  Result<Value> eval_binary(const Expr& e) {
+    if (e.binary_op == BinaryOp::kAnd || e.binary_op == BinaryOp::kOr) {
+      auto lhs = eval_expr(*e.lhs);
+      if (!lhs) return lhs;
+      const bool l = lhs->truthy();
+      if (e.binary_op == BinaryOp::kAnd && !l) return Value(false);
+      if (e.binary_op == BinaryOp::kOr && l) return Value(true);
+      auto rhs = eval_expr(*e.rhs);
+      if (!rhs) return rhs;
+      return Value(rhs->truthy());
+    }
+
+    if (is_group_test(e)) {
+      auto rhs = eval_expr(*e.rhs);
+      if (!rhs) return rhs;
+      if (!rhs->is_string()) {
+        return eval_error(e.line, "Group comparison needs a group name");
+      }
+      const bool member = ctx_.in_group(rhs->as_string());
+      return Value(e.binary_op == BinaryOp::kEq ? member : !member);
+    }
+
+    if (is_issuer_test(e)) {
+      auto rhs = eval_expr(*e.rhs);
+      if (!rhs) return rhs;
+      if (!rhs->is_string()) {
+        return eval_error(e.line, "Issued_by comparison needs a community");
+      }
+      const bool held = ctx_.has_capability_issued_by(rhs->as_string());
+      return Value(e.binary_op == BinaryOp::kEq ? held : !held);
+    }
+
+    auto lhs = eval_expr(*e.lhs);
+    if (!lhs) return lhs;
+    auto rhs = eval_expr(*e.rhs);
+    if (!rhs) return rhs;
+
+    switch (e.binary_op) {
+      case BinaryOp::kEq:
+        return Value(lhs->equals(*rhs));
+      case BinaryOp::kNe:
+        // Null-safe: if either side is null, != is true only when exactly
+        // one side is null.
+        if (lhs->is_null() || rhs->is_null()) {
+          return Value(lhs->is_null() != rhs->is_null());
+        }
+        return Value(!lhs->equals(*rhs));
+      default:
+        break;
+    }
+
+    if (!lhs->is_number() || !rhs->is_number()) {
+      return eval_error(e.line, "ordered comparison needs numbers, got " +
+                                    lhs->to_text() + " and " + rhs->to_text());
+    }
+    const double l = lhs->as_number();
+    const double r = rhs->as_number();
+    switch (e.binary_op) {
+      case BinaryOp::kLt: return Value(l < r);
+      case BinaryOp::kLe: return Value(l <= r);
+      case BinaryOp::kGt: return Value(l > r);
+      case BinaryOp::kGe: return Value(l >= r);
+      default: break;
+    }
+    return eval_error(e.line, "corrupt binary operator");
+  }
+
+  const EvalContext& ctx_;
+};
+
+}  // namespace
+
+Result<Evaluation> evaluate(const Program& program, const EvalContext& ctx) {
+  Evaluator ev(ctx);
+  return ev.run(program);
+}
+
+}  // namespace e2e::policy

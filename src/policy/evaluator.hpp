@@ -1,0 +1,34 @@
+// Evaluator for parsed policy programs.
+//
+// Semantics (matching the paper's example policies):
+// - Statements run in order; the first executed Return decides.
+// - Falling off the end yields Decision::kNoDecision; brokers treat that as
+//   DENY (closed world) unless configured otherwise.
+// - Built-in identifiers: Time (microseconds since virtual midnight),
+//   Avail_BW (bits/s), Group (special: "Group = X" tests membership of X),
+//   Capability (special: used via Issued_by(Capability) = Community).
+// - Unknown bare identifiers evaluate to their own name as a string, so
+//   "User = Alice" compares the User attribute against "Alice".
+// - Built-in predicate: Issued_by(Capability) -> issuer community of a held
+//   capability; with several capabilities, the comparison "Issued_by(...) =
+//   X" is true if ANY validated capability was issued by X.
+#pragma once
+
+#include "common/result.hpp"
+#include "policy/ast.hpp"
+#include "policy/context.hpp"
+
+namespace e2e::policy {
+
+struct Evaluation {
+  Decision decision = Decision::kNoDecision;
+  /// Line of the Return that fired (0 when no decision).
+  int decided_at_line = 0;
+};
+
+/// Evaluate `program` against `ctx`. Returns an error only for *evaluation*
+/// failures (type confusion, unknown predicate) — policy denials are a
+/// Decision, not an error.
+Result<Evaluation> evaluate(const Program& program, const EvalContext& ctx);
+
+}  // namespace e2e::policy

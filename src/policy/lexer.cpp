@@ -1,0 +1,238 @@
+#include "policy/lexer.hpp"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/clock.hpp"
+
+namespace e2e::policy {
+
+const char* token_kind_name(TokenKind k) {
+  switch (k) {
+    case TokenKind::kIf: return "If";
+    case TokenKind::kElse: return "Else";
+    case TokenKind::kReturn: return "Return";
+    case TokenKind::kGrant: return "GRANT";
+    case TokenKind::kDeny: return "DENY";
+    case TokenKind::kAnd: return "and";
+    case TokenKind::kOr: return "or";
+    case TokenKind::kNot: return "not";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kTimeOfDay: return "time-of-day";
+    case TokenKind::kString: return "string";
+    case TokenKind::kEq: return "=";
+    case TokenKind::kNe: return "!=";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kLBrace: return "{";
+    case TokenKind::kRBrace: return "}";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kEnd: return "end-of-input";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+Error lex_error(int line, std::string msg) {
+  return make_error(ErrorCode::kInvalidArgument,
+                    "policy line " + std::to_string(line) + ": " + std::move(msg));
+}
+
+/// Scale factor for a bandwidth unit suffix. Decimal (SI) multiples of
+/// bits/s; an upper-case B (bytes) multiplies by 8. Returns 0 if unknown.
+double unit_scale(std::string_view unit) {
+  if (unit.empty()) return 1.0;
+  // Strip the "/s" or "ps" suffix if present.
+  std::string u(unit);
+  if (u.size() >= 2 && (u.substr(u.size() - 2) == "/s")) {
+    u = u.substr(0, u.size() - 2);
+  } else if (u.size() >= 2 && lower(u).substr(u.size() - 2) == "ps") {
+    u = u.substr(0, u.size() - 2);
+  }
+  if (u.empty()) return 0.0;
+  double byte_factor = 1.0;
+  const char last = u.back();
+  if (last == 'B') {
+    byte_factor = 8.0;  // bytes -> bits
+    u.pop_back();
+  } else if (last == 'b') {
+    u.pop_back();
+  }
+  if (u.empty()) return byte_factor;
+  const std::string prefix = lower(u);
+  if (prefix == "k") return 1e3 * byte_factor;
+  if (prefix == "m") return 1e6 * byte_factor;
+  if (prefix == "g") return 1e9 * byte_factor;
+  if (prefix == "t") return 1e12 * byte_factor;
+  return 0.0;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+
+  auto push = [&](TokenKind kind, std::string text = {}, double number = 0) {
+    out.push_back(Token{kind, std::move(text), number, line});
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '(') { push(TokenKind::kLParen); ++i; continue; }
+    if (c == ')') { push(TokenKind::kRParen); ++i; continue; }
+    if (c == '{') { push(TokenKind::kLBrace); ++i; continue; }
+    if (c == '}') { push(TokenKind::kRBrace); ++i; continue; }
+    if (c == ',') { push(TokenKind::kComma); ++i; continue; }
+    if (c == '=') {
+      ++i;
+      if (i < src.size() && src[i] == '=') ++i;
+      push(TokenKind::kEq);
+      continue;
+    }
+    if (c == '!') {
+      if (i + 1 < src.size() && src[i + 1] == '=') {
+        push(TokenKind::kNe);
+        i += 2;
+        continue;
+      }
+      return lex_error(line, "unexpected '!'");
+    }
+    if (c == '<') {
+      ++i;
+      if (i < src.size() && src[i] == '=') {
+        push(TokenKind::kLe);
+        ++i;
+      } else {
+        push(TokenKind::kLt);
+      }
+      continue;
+    }
+    if (c == '>') {
+      ++i;
+      if (i < src.size() && src[i] == '=') {
+        push(TokenKind::kGe);
+        ++i;
+      } else {
+        push(TokenKind::kGt);
+      }
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string text;
+      while (i < src.size() && src[i] != '"') {
+        if (src[i] == '\n') return lex_error(line, "unterminated string");
+        text.push_back(src[i]);
+        ++i;
+      }
+      if (i >= src.size()) return lex_error(line, "unterminated string");
+      ++i;  // closing quote
+      push(TokenKind::kString, std::move(text));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Number, possibly: bandwidth unit (10Mb/s), am/pm (8am), HH:MM (17:30).
+      std::size_t start = i;
+      while (i < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(src[i])) ||
+              src[i] == '.')) {
+        ++i;
+      }
+      const double base = std::stod(std::string(src.substr(start, i - start)));
+      // HH:MM time?
+      if (i < src.size() && src[i] == ':' && i + 1 < src.size() &&
+          std::isdigit(static_cast<unsigned char>(src[i + 1]))) {
+        ++i;
+        std::size_t mstart = i;
+        while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) {
+          ++i;
+        }
+        const double mins = std::stod(std::string(src.substr(mstart, i - mstart)));
+        if (base >= 24 || mins >= 60) return lex_error(line, "bad HH:MM time");
+        push(TokenKind::kTimeOfDay, {},
+             static_cast<double>(hours(static_cast<std::int64_t>(base))) +
+                 static_cast<double>(minutes(static_cast<std::int64_t>(mins))));
+        continue;
+      }
+      // Suffix letters?
+      std::size_t sstart = i;
+      while (i < src.size() &&
+             (std::isalpha(static_cast<unsigned char>(src[i])) ||
+              src[i] == '/')) {
+        ++i;
+      }
+      const std::string suffix(src.substr(sstart, i - sstart));
+      if (suffix.empty()) {
+        push(TokenKind::kNumber, {}, base);
+        continue;
+      }
+      const std::string ls = lower(suffix);
+      if (ls == "am" || ls == "pm") {
+        double h = base;
+        if (h == 12) h = 0;  // 12am == midnight, 12pm handled below
+        if (ls == "pm") h += 12;
+        if (h >= 24) return lex_error(line, "bad am/pm hour");
+        push(TokenKind::kTimeOfDay, {}, h * 3.6e9);  // hours -> microseconds
+        continue;
+      }
+      const double scale = unit_scale(suffix);
+      if (scale == 0.0) {
+        return lex_error(line, "unknown unit suffix '" + suffix + "'");
+      }
+      push(TokenKind::kNumber, {}, base * scale);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[i])) ||
+              src[i] == '_')) {
+        ++i;
+      }
+      const std::string word(src.substr(start, i - start));
+      const std::string lw = lower(word);
+      if (lw == "if") push(TokenKind::kIf);
+      else if (lw == "else") push(TokenKind::kElse);
+      else if (lw == "return") push(TokenKind::kReturn);
+      else if (lw == "grant") push(TokenKind::kGrant);
+      else if (lw == "deny") push(TokenKind::kDeny);
+      else if (lw == "and") push(TokenKind::kAnd);
+      else if (lw == "or") push(TokenKind::kOr);
+      else if (lw == "not") push(TokenKind::kNot);
+      else push(TokenKind::kIdent, word);
+      continue;
+    }
+    return lex_error(line, std::string("unexpected character '") + c + "'");
+  }
+  push(TokenKind::kEnd);
+  return out;
+}
+
+}  // namespace e2e::policy

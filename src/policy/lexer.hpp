@@ -1,0 +1,61 @@
+// Lexer for the policy-file language of Figures 1 and 6.
+//
+// Recognized forms, mirroring the paper's examples:
+//   If User = Alice { Return GRANT }
+//   If Time > 8am and Time < 5pm { If BW <= 10Mb/s { Return GRANT } }
+//   Else if Issued_by(Capability) = ESnet { ... }
+//   Return DENY
+//
+// Bandwidth literals carry their unit (10Mb/s -> 10e6 bits/s); time-of-day
+// literals (8am, 5pm, 17:30) become microseconds since midnight. Keywords
+// are case-insensitive; identifiers keep their case.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace e2e::policy {
+
+enum class TokenKind {
+  kIf,
+  kElse,
+  kReturn,
+  kGrant,
+  kDeny,
+  kAnd,
+  kOr,
+  kNot,
+  kIdent,
+  kNumber,   // value in `number` (bandwidth already scaled to bits/s)
+  kTimeOfDay,// value in `number` (microseconds since midnight)
+  kString,   // text in `text`
+  kEq,       // =  or ==
+  kNe,       // !=
+  kLe,
+  kGe,
+  kLt,
+  kGt,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // identifier or string payload
+  double number = 0;   // numeric payload
+  int line = 0;        // 1-based, for error messages
+};
+
+const char* token_kind_name(TokenKind k);
+
+/// Tokenize the whole input. `#` starts a comment to end of line.
+Result<std::vector<Token>> lex(std::string_view source);
+
+}  // namespace e2e::policy

@@ -1,0 +1,249 @@
+#include "policy/parser.hpp"
+
+namespace e2e::policy {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> parse_program() {
+    Program prog;
+    while (!check(TokenKind::kEnd)) {
+      auto stmt = parse_stmt();
+      if (!stmt) return stmt.error();
+      prog.statements.push_back(std::move(*stmt));
+    }
+    return prog;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool check(TokenKind k) const { return peek().kind == k; }
+  bool match(TokenKind k) {
+    if (!check(k)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Error err(const std::string& msg) const {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "policy line " + std::to_string(peek().line) + ": " +
+                          msg + " (got " + token_kind_name(peek().kind) + ")");
+  }
+
+  Result<StmtPtr> parse_stmt() {
+    if (check(TokenKind::kIf)) return parse_if();
+    if (check(TokenKind::kReturn)) return parse_return();
+    return err("expected If or Return");
+  }
+
+  Result<StmtPtr> parse_return() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kReturn;
+    stmt->line = peek().line;
+    advance();  // Return
+    if (match(TokenKind::kGrant)) {
+      stmt->decision = Decision::kGrant;
+    } else if (match(TokenKind::kDeny)) {
+      stmt->decision = Decision::kDeny;
+    } else {
+      return err("expected GRANT or DENY");
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  Result<StmtPtr> parse_if() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kIf;
+    stmt->line = peek().line;
+    advance();  // If
+    auto cond = parse_expr();
+    if (!cond) return cond.error();
+    stmt->condition = std::move(*cond);
+
+    auto then_block = parse_block();
+    if (!then_block) return then_block.error();
+    stmt->then_block = std::move(*then_block);
+
+    if (match(TokenKind::kElse)) {
+      if (check(TokenKind::kIf)) {
+        auto nested = parse_if();
+        if (!nested) return nested.error();
+        stmt->else_block.push_back(std::move(*nested));
+      } else {
+        auto else_block = parse_block();
+        if (!else_block) return else_block.error();
+        stmt->else_block = std::move(*else_block);
+      }
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  Result<std::vector<StmtPtr>> parse_block() {
+    std::vector<StmtPtr> block;
+    if (match(TokenKind::kLBrace)) {
+      while (!check(TokenKind::kRBrace)) {
+        if (check(TokenKind::kEnd)) return err("unterminated block");
+        auto stmt = parse_stmt();
+        if (!stmt) return stmt.error();
+        block.push_back(std::move(*stmt));
+      }
+      advance();  // }
+      return block;
+    }
+    // Single-statement block.
+    auto stmt = parse_stmt();
+    if (!stmt) return stmt.error();
+    block.push_back(std::move(*stmt));
+    return block;
+  }
+
+  Result<ExprPtr> parse_expr() { return parse_or(); }
+
+  Result<ExprPtr> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs) return lhs;
+    while (check(TokenKind::kOr)) {
+      const int line = peek().line;
+      advance();
+      auto rhs = parse_and();
+      if (!rhs) return rhs;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->binary_op = BinaryOp::kOr;
+      node->lhs = std::move(*lhs);
+      node->rhs = std::move(*rhs);
+      node->line = line;
+      lhs = ExprPtr(std::move(node));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> parse_and() {
+    auto lhs = parse_not();
+    if (!lhs) return lhs;
+    while (check(TokenKind::kAnd)) {
+      const int line = peek().line;
+      advance();
+      auto rhs = parse_not();
+      if (!rhs) return rhs;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->binary_op = BinaryOp::kAnd;
+      node->lhs = std::move(*lhs);
+      node->rhs = std::move(*rhs);
+      node->line = line;
+      lhs = ExprPtr(std::move(node));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> parse_not() {
+    if (check(TokenKind::kNot)) {
+      const int line = peek().line;
+      advance();
+      auto operand = parse_not();
+      if (!operand) return operand;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kUnary;
+      node->unary_op = UnaryOp::kNot;
+      node->lhs = std::move(*operand);
+      node->line = line;
+      return ExprPtr(std::move(node));
+    }
+    return parse_comparison();
+  }
+
+  Result<ExprPtr> parse_comparison() {
+    auto lhs = parse_primary();
+    if (!lhs) return lhs;
+    BinaryOp op;
+    switch (peek().kind) {
+      case TokenKind::kEq: op = BinaryOp::kEq; break;
+      case TokenKind::kNe: op = BinaryOp::kNe; break;
+      case TokenKind::kLt: op = BinaryOp::kLt; break;
+      case TokenKind::kLe: op = BinaryOp::kLe; break;
+      case TokenKind::kGt: op = BinaryOp::kGt; break;
+      case TokenKind::kGe: op = BinaryOp::kGe; break;
+      default:
+        return lhs;  // bare primary (e.g. a predicate call)
+    }
+    const int line = peek().line;
+    advance();
+    auto rhs = parse_primary();
+    if (!rhs) return rhs;
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kBinary;
+    node->binary_op = op;
+    node->lhs = std::move(*lhs);
+    node->rhs = std::move(*rhs);
+    node->line = line;
+    return ExprPtr(std::move(node));
+  }
+
+  Result<ExprPtr> parse_primary() {
+    const Token& tok = peek();
+    if (tok.kind == TokenKind::kNumber || tok.kind == TokenKind::kTimeOfDay) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kLiteral;
+      node->literal = Value(tok.number);
+      node->line = tok.line;
+      advance();
+      return ExprPtr(std::move(node));
+    }
+    if (tok.kind == TokenKind::kString) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kLiteral;
+      node->literal = Value(tok.text);
+      node->line = tok.line;
+      advance();
+      return ExprPtr(std::move(node));
+    }
+    if (tok.kind == TokenKind::kLParen) {
+      advance();
+      auto inner = parse_expr();
+      if (!inner) return inner;
+      if (!match(TokenKind::kRParen)) return err("expected ')'");
+      return inner;
+    }
+    if (tok.kind == TokenKind::kIdent) {
+      auto node = std::make_unique<Expr>();
+      node->name = tok.text;
+      node->line = tok.line;
+      advance();
+      if (match(TokenKind::kLParen)) {
+        node->kind = Expr::Kind::kCall;
+        if (!check(TokenKind::kRParen)) {
+          for (;;) {
+            auto arg = parse_expr();
+            if (!arg) return arg;
+            node->args.push_back(std::move(*arg));
+            if (!match(TokenKind::kComma)) break;
+          }
+        }
+        if (!match(TokenKind::kRParen)) return err("expected ')' after args");
+      } else {
+        node->kind = Expr::Kind::kIdent;
+      }
+      return ExprPtr(std::move(node));
+    }
+    return err("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> parse(std::string_view source) {
+  auto tokens = lex(source);
+  if (!tokens) return tokens.error();
+  Parser p(std::move(*tokens));
+  return p.parse_program();
+}
+
+}  // namespace e2e::policy

@@ -1,0 +1,28 @@
+// Recursive-descent parser for the policy language.
+//
+// Grammar (keywords case-insensitive):
+//   program   := stmt*
+//   stmt      := if_stmt | return_stmt
+//   if_stmt   := "If" expr block ("Else" (if_stmt | block))?
+//   block     := "{" stmt* "}" | stmt          (single statement allowed)
+//   return    := "Return" ("GRANT" | "DENY")
+//   expr      := and_expr ("or" and_expr)*
+//   and_expr  := not_expr ("and" not_expr)*
+//   not_expr  := "not" not_expr | comparison
+//   comparison:= primary (cmp_op primary)?
+//   primary   := literal | ident | ident "(" expr ("," expr)* ")" | "(" expr ")"
+//
+// A bare identifier that the evaluation context does not define evaluates to
+// its own name as a string — this lets policies read exactly like the
+// paper's "If User = Alice" without quoting.
+#pragma once
+
+#include "common/result.hpp"
+#include "policy/ast.hpp"
+#include "policy/lexer.hpp"
+
+namespace e2e::policy {
+
+Result<Program> parse(std::string_view source);
+
+}  // namespace e2e::policy

@@ -1,0 +1,29 @@
+#include "policy/policy.hpp"
+
+namespace e2e::policy {
+
+Result<Policy> Policy::compile(std::string source) {
+  auto program = parse(source);
+  if (!program) return program.error();
+  Policy p;
+  p.source_ = std::move(source);
+  p.program_ = std::make_shared<const Program>(std::move(*program));
+  return p;
+}
+
+Result<Evaluation> Policy::evaluate(const EvalContext& ctx) const {
+  if (!program_) {
+    return make_error(ErrorCode::kInternal, "evaluating empty policy");
+  }
+  return e2e::policy::evaluate(*program_, ctx);
+}
+
+Result<Decision> Policy::decide(const EvalContext& ctx,
+                                Decision default_decision) const {
+  auto ev = evaluate(ctx);
+  if (!ev) return ev.error();
+  if (ev->decision == Decision::kNoDecision) return default_decision;
+  return ev->decision;
+}
+
+}  // namespace e2e::policy

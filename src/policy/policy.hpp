@@ -1,0 +1,34 @@
+// Compiled policy: parse once, evaluate per request.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "policy/evaluator.hpp"
+#include "policy/parser.hpp"
+
+namespace e2e::policy {
+
+class Policy {
+ public:
+  Policy() = default;
+
+  /// Compile a policy file. The source text is retained for diagnostics.
+  static Result<Policy> compile(std::string source);
+
+  bool valid() const { return program_ != nullptr; }
+  const std::string& source() const { return source_; }
+
+  /// Evaluate against a context. NoDecision maps to the `default_decision`
+  /// (closed-world DENY by default).
+  Result<Evaluation> evaluate(const EvalContext& ctx) const;
+  Result<Decision> decide(const EvalContext& ctx,
+                          Decision default_decision = Decision::kDeny) const;
+
+ private:
+  std::string source_;
+  std::shared_ptr<const Program> program_;
+};
+
+}  // namespace e2e::policy

@@ -1,0 +1,36 @@
+#include "policy/policy_server.hpp"
+
+#include "common/logging.hpp"
+
+namespace e2e::policy {
+
+PolicyReply PolicyServer::decide(const EvalContext& ctx) const {
+  PolicyReply reply;
+  auto ev = policy_.evaluate(ctx);
+  if (!ev.ok()) {
+    reply.decision = Decision::kDeny;
+    reply.reason = "policy evaluation failed: " + ev.error().to_text();
+    log::warn("policy[" + domain_ + "]") << reply.reason;
+    return reply;
+  }
+  reply.decision = ev->decision == Decision::kNoDecision ? Decision::kDeny
+                                                         : ev->decision;
+  if (ev->decision == Decision::kNoDecision) {
+    reply.reason = "no policy rule matched (closed-world default deny)";
+  } else if (reply.decision == Decision::kDeny) {
+    reply.reason =
+        "denied by policy rule at line " + std::to_string(ev->decided_at_line);
+  }
+  if (reply.decision == Decision::kGrant) {
+    reply.augmentations = static_augmentations_;
+    for (const auto& rule : rules_) {
+      rule(ctx, reply.augmentations);
+    }
+  }
+  log::info("policy[" + domain_ + "]")
+      << "decision=" << to_string(reply.decision)
+      << (reply.reason.empty() ? "" : " reason=" + reply.reason);
+  return reply;
+}
+
+}  // namespace e2e::policy

@@ -1,0 +1,66 @@
+// Policy server — the entity that "encapsulates a BB's admission control
+// procedures" (paper §5). When a request comes in, the BB forwards it here;
+// the server executes local policy and passes back a result ("yes" or "no")
+// and a *modified request*: domain-wide information to add, such as groups
+// the end-domain requires, cost offers, traffic-engineering parameters for
+// downstream domains, or excess-traffic treatment derived from the SLA
+// (paper §6.1, step 2).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "policy/policy.hpp"
+
+namespace e2e::policy {
+
+/// An attribute-value pair attached to the outgoing request. The propagation
+/// protocol treats these as opaque signed payload (paper §4: "simple
+/// attribute-value pairs which might be signed by the assigning entity").
+struct Augmentation {
+  std::string name;
+  std::string value;
+
+  bool operator==(const Augmentation&) const = default;
+};
+
+struct PolicyReply {
+  Decision decision = Decision::kDeny;
+  std::string reason;                      // human-readable, for denials
+  std::vector<Augmentation> augmentations; // added only on GRANT
+};
+
+class PolicyServer {
+ public:
+  PolicyServer(std::string domain, Policy policy)
+      : domain_(std::move(domain)), policy_(std::move(policy)) {}
+
+  const std::string& domain() const { return domain_; }
+
+  /// Unconditional augmentation attached to every granted request
+  /// (e.g. traffic-engineering parameters of this domain).
+  void add_static_augmentation(Augmentation a) {
+    static_augmentations_.push_back(std::move(a));
+  }
+
+  /// Conditional augmentation: `rule` may inspect the context and append
+  /// attributes (e.g. cost offers that depend on the requested bandwidth).
+  using AugmentationRule =
+      std::function<void(const EvalContext&, std::vector<Augmentation>&)>;
+  void add_augmentation_rule(AugmentationRule rule) {
+    rules_.push_back(std::move(rule));
+  }
+
+  /// Execute local policy. Evaluation failures are conservative denials.
+  PolicyReply decide(const EvalContext& ctx) const;
+
+ private:
+  std::string domain_;
+  Policy policy_;
+  std::vector<Augmentation> static_augmentations_;
+  std::vector<AugmentationRule> rules_;
+};
+
+}  // namespace e2e::policy

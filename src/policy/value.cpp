@@ -1,0 +1,59 @@
+#include "policy/value.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace e2e::policy {
+
+bool Value::as_bool() const {
+  if (!is_bool()) throw std::logic_error("Value: not a bool: " + to_text());
+  return std::get<bool>(v_);
+}
+
+double Value::as_number() const {
+  if (!is_number()) {
+    throw std::logic_error("Value: not a number: " + to_text());
+  }
+  return std::get<double>(v_);
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) {
+    throw std::logic_error("Value: not a string: " + to_text());
+  }
+  return std::get<std::string>(v_);
+}
+
+bool Value::truthy() const {
+  if (is_null()) return false;
+  if (is_bool()) return std::get<bool>(v_);
+  if (is_number()) return std::get<double>(v_) != 0.0;
+  return !std::get<std::string>(v_).empty();
+}
+
+bool Value::equals(const Value& o) const {
+  if (is_null() || o.is_null()) return false;
+  if (is_bool() && o.is_bool()) return std::get<bool>(v_) == std::get<bool>(o.v_);
+  if (is_number() && o.is_number()) {
+    return std::get<double>(v_) == std::get<double>(o.v_);
+  }
+  if (is_string() && o.is_string()) {
+    return std::get<std::string>(v_) == std::get<std::string>(o.v_);
+  }
+  return false;
+}
+
+std::string Value::to_text() const {
+  if (is_null()) return "null";
+  if (is_bool()) return std::get<bool>(v_) ? "true" : "false";
+  if (is_number()) {
+    const double d = std::get<double>(v_);
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+      return std::to_string(static_cast<long long>(d));
+    }
+    return std::to_string(d);
+  }
+  return "\"" + std::get<std::string>(v_) + "\"";
+}
+
+}  // namespace e2e::policy

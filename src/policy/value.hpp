@@ -1,0 +1,47 @@
+// Typed values for the policy language.
+//
+// The propagation protocol is "independent of policy syntax" (paper §4); the
+// engine built here implements the example syntax of Figures 1 and 6 (the
+// syntax the domains in the paper's scenario agreed on). Values are what
+// policy expressions produce: booleans, numbers (bandwidth in bits/s,
+// time-of-day in microseconds), and strings.
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "common/result.hpp"
+
+namespace e2e::policy {
+
+class Value {
+ public:
+  Value() = default;
+  explicit Value(bool b) : v_(b) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  bool as_bool() const;      // throws std::logic_error on type mismatch
+  double as_number() const;  // throws std::logic_error on type mismatch
+  const std::string& as_string() const;
+
+  /// Truthiness used by `if`: bool -> itself; null -> false; number -> != 0;
+  /// string -> non-empty.
+  bool truthy() const;
+
+  /// Equality as the policy language defines it: same-type comparison;
+  /// null equals nothing (including null).
+  bool equals(const Value& o) const;
+
+  std::string to_text() const;
+
+ private:
+  std::variant<std::monostate, bool, double, std::string> v_;
+};
+
+}  // namespace e2e::policy

@@ -1,0 +1,40 @@
+#include "repo/cert_repository.hpp"
+
+namespace e2e::repo {
+
+Status CertificateRepository::publish(const crypto::Certificate& cert) {
+  if (cert.subject().empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "certificate has no subject DN", name_);
+  }
+  entries_.insert_or_assign(cert.subject().to_string(), cert);
+  return Status::ok_status();
+}
+
+Result<crypto::Certificate> CertificateRepository::lookup(
+    const crypto::DistinguishedName& subject,
+    const crypto::DistinguishedName& client, SimTime at) const {
+  ++lookups_;
+  audit_.emplace_back(client.to_string(), subject.to_string());
+  if (!allowed_clients_.contains(client.to_string())) {
+    ++denied_;
+    return make_error(ErrorCode::kAuthenticationFailed,
+                      "client " + client.to_string() +
+                          " not authorized for directory " + name_,
+                      name_);
+  }
+  const auto it = entries_.find(subject.to_string());
+  if (it == entries_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no certificate for " + subject.to_string(), name_);
+  }
+  if (!it->second.valid_at(at)) {
+    return make_error(ErrorCode::kExpired,
+                      "stored certificate for " + subject.to_string() +
+                          " expired",
+                      name_);
+  }
+  return it->second;
+}
+
+}  // namespace e2e::repo

@@ -1,0 +1,69 @@
+// DN-indexed certificate repository — the "secure LDAP" alternative for key
+// distribution.
+//
+// Paper §6.4, technique 2: "Maintain a certificate repository accessible
+// through secure LDAP. Upon receipt of the reservation specification, C
+// would extract the distinguished name (DN) of A from it, and would search
+// in the certificate repository for the related public key. It is
+// important to note that there has to be a strong trust relationship with
+// the repository."
+//
+// bench/keydist_ablation compares this against the in-band introduction
+// scheme the paper prefers.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "crypto/x509.hpp"
+
+namespace e2e::repo {
+
+class CertificateRepository {
+ public:
+  /// `lookup_latency` models the directory round trip a remote client pays
+  /// per search.
+  CertificateRepository(std::string name, SimDuration lookup_latency)
+      : name_(std::move(name)), lookup_latency_(lookup_latency) {}
+
+  const std::string& name() const { return name_; }
+  SimDuration lookup_latency() const { return lookup_latency_; }
+
+  /// Publish (or refresh) a certificate, indexed by subject DN.
+  Status publish(const crypto::Certificate& cert);
+
+  /// Directory access control: only enrolled client DNs may search.
+  void authorize_client(const crypto::DistinguishedName& client) {
+    allowed_clients_.insert(client.to_string());
+  }
+
+  /// Search by subject DN, authenticated as `client`. Expired entries are
+  /// purged on access.
+  Result<crypto::Certificate> lookup(const crypto::DistinguishedName& subject,
+                                     const crypto::DistinguishedName& client,
+                                     SimTime at) const;
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t lookups() const { return lookups_; }
+  std::size_t denied_lookups() const { return denied_; }
+
+  /// Audit trail: (client, subject) pairs in lookup order.
+  const std::vector<std::pair<std::string, std::string>>& audit_log() const {
+    return audit_;
+  }
+
+ private:
+  std::string name_;
+  SimDuration lookup_latency_;
+  std::map<std::string, crypto::Certificate> entries_;
+  std::set<std::string> allowed_clients_;
+  mutable std::size_t lookups_ = 0;
+  mutable std::size_t denied_ = 0;
+  mutable std::vector<std::pair<std::string, std::string>> audit_;
+};
+
+}  // namespace e2e::repo

@@ -1,0 +1,87 @@
+// Mutually authenticated channel between peered entities.
+//
+// Stand-in for the SSLv3/TLS channel the paper assumes between peered BBs
+// (§6: "The direct signalling between peer BBs ... can easily be secured
+// using SSLv3/TLS"). The handshake reproduces the *observable properties*
+// the protocol depends on:
+//  - mutual certificate exchange and verification against the trust
+//    anchors installed from the SLA,
+//  - proof of private-key possession (each side signs the transcript),
+//  - an integrity-protected record layer with replay protection.
+//
+// After the handshake each side holds the peer's certificate — exactly the
+// knowledge the signalling protocol leans on ("BB_C is able to check the
+// signature of RAR_B because it does have access to the certificate of
+// BB_B exchanged during the SSL handshake").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "crypto/certstore.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/x509.hpp"
+
+namespace e2e::sig {
+
+/// One party's handshake material.
+struct ChannelEndpoint {
+  crypto::Certificate certificate;
+  crypto::PrivateKey private_key;
+  const crypto::TrustStore* trust_store = nullptr;
+  /// When set, a peer presenting exactly this certificate is accepted even
+  /// without a trust-anchor path (proof of key possession still required).
+  /// This models the introduction-based acceptance behind tunnels: the end
+  /// domain learned the source BB's certificate through the signalling path
+  /// and pins it for the direct channel (paper §6.1/§6.4).
+  std::optional<crypto::Certificate> pinned_peer;
+};
+
+/// An integrity-protected record.
+struct Record {
+  std::uint64_t sequence = 0;
+  Bytes payload;
+  Bytes mac;
+};
+
+/// One direction-aware session half (each peer holds one).
+class Session {
+ public:
+  Session() = default;
+  Session(crypto::Certificate peer, Bytes send_key, Bytes recv_key)
+      : peer_(std::move(peer)),
+        send_key_(std::move(send_key)),
+        recv_key_(std::move(recv_key)) {}
+
+  const crypto::Certificate& peer_certificate() const { return peer_; }
+
+  /// Wrap a payload for transmission.
+  Record seal(BytesView payload);
+
+  /// Verify integrity and (strictly increasing) sequence; returns the
+  /// payload.
+  Result<Bytes> open(const Record& record);
+
+ private:
+  crypto::Certificate peer_;
+  Bytes send_key_;
+  Bytes recv_key_;
+  std::uint64_t next_send_seq_ = 0;
+  std::uint64_t expected_recv_seq_ = 0;
+};
+
+struct SessionPair {
+  Session initiator;
+  Session responder;
+};
+
+/// Run the mutual-authentication handshake at virtual time `at`. Fails with
+/// kAuthenticationFailed if either side cannot validate the other's
+/// certificate or proof of key possession.
+Result<SessionPair> handshake(const ChannelEndpoint& initiator,
+                              const ChannelEndpoint& responder, SimTime at,
+                              Rng& rng);
+
+}  // namespace e2e::sig

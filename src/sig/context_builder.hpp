@@ -1,0 +1,87 @@
+// Shared construction of the policy-evaluation context a broker uses for a
+// reservation request — the inputs paper §4 enumerates: request parameters,
+// authentication information, authorization information (validated group
+// assertions and capabilities), and SLA/augmentation information from
+// upstream domains.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bb/bandwidth_broker.hpp"
+#include "policy/context.hpp"
+#include "policy/group_server.hpp"
+
+namespace e2e::sig {
+
+struct ContextInputs {
+  const bb::BandwidthBroker* broker = nullptr;
+  const bb::ResSpec* spec = nullptr;
+  crypto::DistinguishedName user_dn;
+  SimTime at = 0;
+  /// Attribute-value pairs added by upstream policy servers.
+  const std::vector<policy::Augmentation>* augmentations = nullptr;
+  /// Group server this domain consults, plus the groups its policy may
+  /// reference (the server validates membership per group on demand).
+  policy::GroupServer* group_server = nullptr;
+  const std::vector<std::string>* relevant_groups = nullptr;
+  /// Validated capabilities (already chain-verified by the caller).
+  std::vector<policy::ValidatedCapability> capabilities;
+  /// Resolver for HasValidCPUResv(RAR) — bound to GARA by the deployment.
+  std::function<bool(const std::string&)> cpu_reservation_checker;
+};
+
+/// Build the evaluation context. Attributes set: User (common name),
+/// UserDN, BW, Source, Destination, Reservation_Type ("Network"),
+/// CPU_Reservation_ID, plus one attribute per upstream augmentation;
+/// builtin Time and Avail_BW are wired to `at` and the broker's headroom.
+inline policy::EvalContext build_policy_context(const ContextInputs& in) {
+  policy::EvalContext ctx;
+  const bb::ResSpec& spec = *in.spec;
+  ctx.set_user(in.user_dn.common_name());
+  ctx.set("UserDN", policy::Value(in.user_dn.to_string()));
+  ctx.set_bandwidth(spec.rate_bits_per_s);
+  ctx.set("Source", policy::Value(spec.source_domain));
+  ctx.set("Destination", policy::Value(spec.destination_domain));
+  ctx.set("Reservation_Type", policy::Value(std::string("Network")));
+  if (!spec.linked_cpu_reservation.empty()) {
+    ctx.set("CPU_Reservation_ID",
+            policy::Value(spec.linked_cpu_reservation));
+  }
+  ctx.set_time(in.at);
+  ctx.set_available_bandwidth(in.broker->headroom(spec.interval));
+
+  if (in.augmentations != nullptr) {
+    for (const auto& aug : *in.augmentations) {
+      ctx.set(aug.name, policy::Value(aug.value));
+    }
+  }
+  if (in.group_server != nullptr && in.relevant_groups != nullptr) {
+    for (const auto& group : *in.relevant_groups) {
+      if (in.group_server->validate(group, in.user_dn)) {
+        ctx.add_group(group);
+      }
+    }
+  }
+  for (const auto& cap : in.capabilities) {
+    ctx.add_capability(cap);
+  }
+  const std::string cpu_id = spec.linked_cpu_reservation;
+  const auto checker = in.cpu_reservation_checker;
+  ctx.register_predicate(
+      "HasValidCPUResv",
+      [cpu_id, checker](std::span<const policy::Value>) {
+        return policy::Value(checker && !cpu_id.empty() && checker(cpu_id));
+      });
+  policy::GroupServer* gs = in.group_server;
+  const crypto::DistinguishedName user = in.user_dn;
+  ctx.register_predicate(
+      "Accredited_Physicist",
+      [gs, user](std::span<const policy::Value>) {
+        return policy::Value(gs != nullptr && gs->validate("physicists", user));
+      });
+  return ctx;
+}
+
+}  // namespace e2e::sig

@@ -1,0 +1,109 @@
+// STARS-style reservation coordinator (paper §3).
+//
+// "The STARS system adopts a variant of this approach, in which a separate
+// source domain entity — the reservation coordinator (RC) — performs the
+// end-to-end reservation. This strategy alleviates the problems noted
+// above, in two respects: first, in many situations it may be feasible for
+// the RC to be 'trusted' to make all necessary reservations; second, all
+// bandwidth-brokers need not be aware of all end-users. However, we still
+// require a direct trust relationship between all intermediate and
+// possible end-domains."
+//
+// The RC is a principal of its own: domains register the RC's certificate
+// once (instead of every user's); the RC authorizes local users and issues
+// reservations under its own identity, keeping the user attribution in its
+// local records.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "sig/source_signalling.hpp"
+
+namespace e2e::sig {
+
+class ReservationCoordinator {
+ public:
+  ReservationCoordinator(SourceDomainEngine& engine, std::string home_domain,
+                         crypto::Certificate certificate,
+                         crypto::PrivateKey key)
+      : engine_(&engine),
+        home_domain_(std::move(home_domain)),
+        certificate_(std::move(certificate)),
+        key_(std::move(key)) {}
+
+  const crypto::Certificate& certificate() const { return certificate_; }
+  const std::string& home_domain() const { return home_domain_; }
+
+  /// Install the RC's trust relationship with every domain it may reserve
+  /// in ("we still require a direct trust relationship between all
+  /// intermediate and possible end-domains").
+  void enroll_with_domains(const std::vector<std::string>& domains) {
+    for (const auto& domain : domains) {
+      engine_->register_user(domain, certificate_);
+    }
+  }
+
+  /// Local user authorization: the RC decides who may reserve through it —
+  /// the brokers never learn the user identities.
+  void authorize_user(const std::string& user_dn) {
+    authorized_.insert(user_dn);
+  }
+  bool is_authorized(const std::string& user_dn) const {
+    return authorized_.contains(user_dn);
+  }
+
+  struct CoordinatedReservation {
+    SourceDomainEngine::Outcome outcome;
+    std::string on_behalf_of;
+  };
+
+  /// Reserve along `path` on behalf of `user_dn`. The request travels
+  /// under the RC's identity; the user attribution stays in the RC's
+  /// records.
+  Result<CoordinatedReservation> reserve_for(
+      const std::string& user_dn, const std::vector<std::string>& path,
+      bb::ResSpec spec, SourceDomainEngine::Mode mode, SimTime at) {
+    if (!is_authorized(user_dn)) {
+      return make_error(ErrorCode::kPolicyDenied,
+                        user_dn + " is not authorized to use coordinator " +
+                            certificate_.subject().to_string(),
+                        home_domain_);
+    }
+    spec.user = certificate_.subject().to_string();
+    auto outcome =
+        engine_->reserve(path, spec, certificate_, key_, mode, at);
+    if (!outcome) return outcome.error();
+    if (outcome->reply.granted) {
+      for (const auto& [domain, handle] : outcome->reply.handles) {
+        attribution_[handle] = user_dn;
+      }
+    }
+    return CoordinatedReservation{std::move(*outcome), user_dn};
+  }
+
+  Status release(const CoordinatedReservation& reservation) {
+    for (const auto& [domain, handle] : reservation.outcome.reply.handles) {
+      attribution_.erase(handle);
+    }
+    return engine_->release_end_to_end(reservation.outcome.reply);
+  }
+
+  /// Which user a granted per-domain handle belongs to ("" if unknown) —
+  /// the accounting/audit hook the brokers cannot provide themselves.
+  std::string attributed_user(const std::string& handle) const {
+    const auto it = attribution_.find(handle);
+    return it == attribution_.end() ? "" : it->second;
+  }
+
+ private:
+  SourceDomainEngine* engine_;
+  std::string home_domain_;
+  crypto::Certificate certificate_;
+  crypto::PrivateKey key_;
+  std::set<std::string> authorized_;
+  std::map<std::string, std::string> attribution_;
+};
+
+}  // namespace e2e::sig

@@ -1,0 +1,584 @@
+#include "sig/hopbyhop.hpp"
+
+#include <cstdlib>
+
+#include "common/logging.hpp"
+#include "sig/context_builder.hpp"
+#include "sig/delegation.hpp"
+
+namespace e2e::sig {
+
+void HopByHopEngine::add_domain(bb::BandwidthBroker& broker,
+                                DomainOptions options) {
+  Node node;
+  node.broker = &broker;
+  node.options = std::move(options);
+  nodes_.emplace(broker.domain(), std::move(node));
+}
+
+HopByHopEngine::Node* HopByHopEngine::find_node(const std::string& domain) {
+  const auto it = nodes_.find(domain);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const HopByHopEngine::Node* HopByHopEngine::find_node(
+    const std::string& domain) const {
+  const auto it = nodes_.find(domain);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+HopByHopEngine::Node* HopByHopEngine::node_by_dn(const std::string& dn_text) {
+  for (auto& [name, node] : nodes_) {
+    if (node.broker->dn().to_string() == dn_text) return &node;
+  }
+  return nullptr;
+}
+
+ChannelEndpoint HopByHopEngine::endpoint_for(
+    const Node& node, const crypto::Certificate* pinned) const {
+  ChannelEndpoint ep;
+  ep.certificate = node.broker->certificate();
+  ep.private_key = node.broker->private_key();
+  ep.trust_store = &node.broker->trust_store();
+  if (pinned != nullptr) ep.pinned_peer = *pinned;
+  return ep;
+}
+
+Status HopByHopEngine::connect_peers(const std::string& a,
+                                     const std::string& b, SimTime at) {
+  Node* na = find_node(a);
+  Node* nb = find_node(b);
+  if (na == nullptr || nb == nullptr) {
+    return make_error(ErrorCode::kNotFound, "unknown domain in connect_peers");
+  }
+  auto pair = handshake(endpoint_for(*na), endpoint_for(*nb), at, *rng_);
+  if (!pair.ok()) return pair.error();
+  na->sessions[b] = std::move(pair->initiator);
+  nb->sessions[a] = std::move(pair->responder);
+  return Status::ok_status();
+}
+
+void HopByHopEngine::trust_community(const std::string& domain,
+                                     const std::string& community,
+                                     const crypto::PublicKey& cas_key) {
+  if (Node* node = find_node(domain)) {
+    node->trusted_cas.emplace(community, cas_key);
+  }
+}
+
+void HopByHopEngine::set_community_revocation_check(
+    const std::string& domain, const std::string& community,
+    std::function<bool(std::uint64_t)> revoked) {
+  if (Node* node = find_node(domain)) {
+    node->cas_revocation[community] = std::move(revoked);
+  }
+}
+
+void HopByHopEngine::register_local_user(
+    const std::string& domain, const crypto::Certificate& user_cert) {
+  if (Node* node = find_node(domain)) {
+    // Re-registration replaces the stored certificate (renewal).
+    node->local_users.insert_or_assign(user_cert.subject().to_string(),
+                                       user_cert);
+  }
+}
+
+void HopByHopEngine::set_cpu_reservation_checker(
+    const std::string& domain, std::function<bool(const std::string&)> fn) {
+  if (Node* node = find_node(domain)) {
+    node->options.cpu_reservation_checker = std::move(fn);
+  }
+}
+
+Result<RarMessage> HopByHopEngine::build_user_request(
+    const UserCredentials& user, const bb::ResSpec& spec, SimTime at) const {
+  const Node* source = find_node(spec.source_domain);
+  if (source == nullptr) {
+    return make_error(ErrorCode::kNotFound,
+                      "unknown source domain " + spec.source_domain);
+  }
+  std::vector<Bytes> capability_certs;
+  if (user.capability_certificate.has_value()) {
+    if (!user.proxy_key.has_value()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "capability certificate without proxy key");
+    }
+    // Fig. 7: the user delegates the CAS capability to BB_A, restricted to
+    // reservations in the destination domain, signed with the private
+    // proxy key. The source BB's real public key becomes the subject key.
+    const std::string restriction =
+        "Valid for Reservation in " + spec.destination_domain;
+    const crypto::Certificate delegated = delegate_capability(
+        *user.capability_certificate, *user.proxy_key,
+        source->broker->dn(), source->broker->public_key(), restriction,
+        user.capability_certificate->validity(),
+        /*serial=*/static_cast<std::uint64_t>(at) + 1);
+    capability_certs.push_back(user.capability_certificate->encode());
+    capability_certs.push_back(delegated.encode());
+  }
+  return RarMessage::create_user_request(spec,
+                                         source->broker->dn().to_string(),
+                                         std::move(capability_certs),
+                                         user.identity_key);
+}
+
+std::vector<policy::ValidatedCapability>
+HopByHopEngine::validate_capabilities(Node& node, const VerifiedRar& vr,
+                                      SimTime at) const {
+  std::vector<policy::ValidatedCapability> out;
+  if (vr.capability_certs.empty()) return out;
+  auto chain = decode_chain(vr.capability_certs);
+  if (!chain.ok()) {
+    log::warn("sig[" + node.broker->domain() + "]")
+        << "capability chain undecodable: " << chain.error().to_text();
+    return out;
+  }
+  const std::string community =
+      chain->front().extension_value(crypto::kExtCommunity).value_or("");
+  const auto cas_it = node.trusted_cas.find(community);
+  if (cas_it == node.trusted_cas.end()) {
+    log::info("sig[" + node.broker->domain() + "]")
+        << "no trusted CAS for community '" << community << "'";
+    return out;
+  }
+  // CRL check on the CAS-issued root capability certificate.
+  const auto revocation_it = node.cas_revocation.find(community);
+  if (revocation_it != node.cas_revocation.end() &&
+      revocation_it->second(chain->front().serial())) {
+    log::warn("sig[" + node.broker->domain() + "]")
+        << "capability certificate serial " << chain->front().serial()
+        << " revoked by " << community << " CAS";
+    return out;
+  }
+  const std::string expected_rar =
+      "Valid for Reservation in " + vr.res_spec.destination_domain;
+  auto result = verify_capability_chain(*chain, cas_it->second,
+                                        node.broker->public_key(),
+                                        expected_rar, at);
+  if (!result.ok()) {
+    log::warn("sig[" + node.broker->domain() + "]")
+        << "capability chain rejected: " << result.error().to_text();
+    return out;
+  }
+  // Proof of possession: the broker demonstrates knowledge of the private
+  // key the final chain link binds the capability to (§6.5 checklist).
+  Bytes nonce(16);
+  Rng nonce_rng(static_cast<std::uint64_t>(at) ^ 0x706f7373);
+  for (auto& b : nonce) b = static_cast<std::uint8_t>(nonce_rng.next_u64());
+  const Bytes proof = node.broker->sign(nonce);
+  if (!check_possession(node.broker->public_key(), nonce, proof)) {
+    return out;
+  }
+  out.push_back(result->to_validated());
+  return out;
+}
+
+Result<HopByHopEngine::Outcome> HopByHopEngine::reserve(
+    const RarMessage& user_msg, SimTime at) {
+  const std::string& source_domain =
+      user_msg.user_layer().res_spec.source_domain;
+  Node* source = find_node(source_domain);
+  if (source == nullptr) {
+    return make_error(ErrorCode::kNotFound,
+                      "unknown source domain " + source_domain);
+  }
+  if (user_msg.user_layer().source_bb_dn !=
+      source->broker->dn().to_string()) {
+    return make_error(ErrorCode::kAuthenticationFailed,
+                      "request addresses " + user_msg.user_layer().source_bb_dn +
+                          " but the source domain's broker is " +
+                          source->broker->dn().to_string());
+  }
+
+  Outcome outcome;
+  // User <-> source BB exchange (request + final answer).
+  outcome.latency += 2 * source->options.user_link_latency;
+  fabric_->record_message("user", source_domain, user_msg.wire_size());
+  outcome.messages++;
+
+  outcome.reply = process(source_domain, user_msg, /*from_domain=*/"", at,
+                          outcome);
+  fabric_->record_message(source_domain, "user", 64);
+  outcome.messages++;
+  return outcome;
+}
+
+RarReply HopByHopEngine::process(const std::string& domain,
+                                 const RarMessage& msg,
+                                 const std::string& from_domain, SimTime at,
+                                 Outcome& outcome) {
+  Node* node = find_node(domain);
+  if (node == nullptr) {
+    return RarReply::deny(make_error(ErrorCode::kNoRoute,
+                                     "no broker for domain " + domain));
+  }
+  outcome.domains_contacted++;
+  outcome.latency += fabric_->processing_delay();
+  bb::BandwidthBroker& broker = *node->broker;
+
+  // 1. Verify the request: transitive-trust verification for inter-BB
+  //    messages, direct user authentication at the source.
+  Result<VerifiedRar> verified = [&]() -> Result<VerifiedRar> {
+    if (from_domain.empty()) {
+      const auto user_it =
+          node->local_users.find(msg.user_layer().res_spec.user);
+      if (user_it == node->local_users.end()) {
+        return make_error(
+            ErrorCode::kAuthenticationFailed,
+            "user " + msg.user_layer().res_spec.user +
+                " not known in source domain (no direct trust relationship)",
+            domain);
+      }
+      return verify_user_request(msg, user_it->second, broker.dn(), at);
+    }
+    const auto session_it = node->sessions.find(from_domain);
+    if (session_it == node->sessions.end()) {
+      return make_error(ErrorCode::kUnavailable,
+                        "no authenticated channel with " + from_domain,
+                        domain);
+    }
+    return verify_rar(msg, session_it->second.peer_certificate(),
+                      broker.dn(), broker.trust_store(),
+                      node->options.trust_policy, at);
+  }();
+  if (!verified.ok()) {
+    Error e = verified.error();
+    if (e.origin.empty()) e.origin = domain;
+    return RarReply::deny(std::move(e));
+  }
+  const VerifiedRar& vr = *verified;
+  if (observer_) observer_(domain, vr);
+
+  // 2. Policy decision via this domain's policy server.
+  ContextInputs inputs;
+  inputs.broker = &broker;
+  inputs.spec = &vr.res_spec;
+  inputs.user_dn = vr.user_dn;
+  inputs.at = at;
+  inputs.augmentations = &vr.augmentations;
+  inputs.group_server = node->options.group_server;
+  inputs.relevant_groups = &node->options.relevant_groups;
+  inputs.capabilities = validate_capabilities(*node, vr, at);
+  inputs.cpu_reservation_checker = node->options.cpu_reservation_checker;
+  const policy::EvalContext ctx = build_policy_context(inputs);
+  const policy::PolicyReply policy_reply = broker.policy_server().decide(ctx);
+  if (policy_reply.decision != policy::Decision::kGrant) {
+    return RarReply::deny(make_error(ErrorCode::kPolicyDenied,
+                                     policy_reply.reason, domain));
+  }
+
+  const bool is_destination =
+      vr.res_spec.destination_domain == domain;
+
+  // 2b. Cost negotiation (§6.1): the user's request carries "a cost that
+  // the user is willing to accept"; domains attach cost offers as signed
+  // augmentations. The destination totals them and refuses when the chain
+  // is more expensive than the user authorized.
+  if (is_destination && vr.res_spec.max_cost > 0) {
+    double total_cost = 0;
+    auto add_offers = [&total_cost](const std::vector<policy::Augmentation>&
+                                        augmentations) {
+      for (const auto& aug : augmentations) {
+        if (aug.name == "Cost.offer") {
+          char* end = nullptr;
+          const double v = std::strtod(aug.value.c_str(), &end);
+          if (end != aug.value.c_str()) total_cost += v;
+        }
+      }
+    };
+    add_offers(vr.augmentations);
+    add_offers(policy_reply.augmentations);
+    if (total_cost > vr.res_spec.max_cost) {
+      return RarReply::deny(make_error(
+          ErrorCode::kPolicyDenied,
+          "accumulated cost " + std::to_string(total_cost) +
+              " exceeds the user's limit " +
+              std::to_string(vr.res_spec.max_cost),
+          domain));
+    }
+  }
+
+  // 3. Admission control (SLA conformance for transit traffic).
+  auto handle = broker.commit(vr.res_spec, from_domain);
+  if (!handle.ok()) return RarReply::deny(handle.error());
+  if (is_destination) {
+    RarReply reply = RarReply::approve();
+    reply.handles.emplace_back(domain, *handle);
+    if (vr.res_spec.is_tunnel) {
+      auto tunnel_handle = broker.register_tunnel(vr.res_spec);
+      if (!tunnel_handle.ok()) {
+        (void)broker.release(*handle);
+        return RarReply::deny(tunnel_handle.error());
+      }
+      broker.find_tunnel(*tunnel_handle)->authorize(vr.res_spec.user);
+      reply.tunnel_id = *tunnel_handle;
+    }
+    return reply;
+  }
+
+  // 4. Forward downstream.
+  const auto next = broker.next_hop(vr.res_spec.destination_domain);
+  if (!next.has_value()) {
+    (void)broker.release(*handle);
+    return RarReply::deny(make_error(
+        ErrorCode::kNoRoute,
+        "no next hop toward " + vr.res_spec.destination_domain, domain));
+  }
+  Node* next_node = find_node(*next);
+  if (next_node == nullptr || !node->sessions.contains(*next)) {
+    (void)broker.release(*handle);
+    return RarReply::deny(make_error(ErrorCode::kUnavailable,
+                                     "peer " + *next + " unreachable",
+                                     domain));
+  }
+
+  RarMessage forwarded = msg;
+  BrokerLayer layer;
+  layer.upstream_certificate =
+      from_domain.empty()
+          ? vr.user_certificate.encode()
+          : node->sessions.at(from_domain).peer_certificate().encode();
+  layer.downstream_dn = next_node->broker->dn().to_string();
+  layer.augmentations = policy_reply.augmentations;
+  layer.signer_dn = broker.dn().to_string();
+  // §6.5: delegate the capability chain to the next broker under our own
+  // signature, preserving the RAR restriction.
+  if (!vr.capability_certs.empty()) {
+    auto chain = decode_chain(vr.capability_certs);
+    if (chain.ok() && !chain->empty()) {
+      const crypto::Certificate delegated =
+          broker.sign_certificate(build_delegation(
+              chain->back(), next_node->broker->dn(),
+              next_node->broker->public_key(), /*rar_restriction=*/"",
+              chain->back().validity(), broker.next_certificate_serial()));
+      layer.capability_certs.push_back(delegated.encode());
+    }
+  }
+  forwarded.append_broker_layer(std::move(layer),
+                                [&broker](BytesView tbs) {
+                                  return broker.sign(tbs);
+                                });
+
+  // Ship over the authenticated channel: seal here, open at the peer.
+  const Bytes wire = forwarded.encode();
+  const Record record = node->sessions.at(*next).seal(wire);
+  fabric_->record_message(domain, *next, wire.size());
+  outcome.messages++;
+  outcome.latency += fabric_->rtt(domain, *next);
+
+  auto opened = next_node->sessions.at(domain).open(record);
+  if (!opened.ok()) {
+    (void)broker.release(*handle);
+    Error e = opened.error();
+    e.origin = *next;
+    return RarReply::deny(std::move(e));
+  }
+  auto decoded = RarMessage::decode(*opened);
+  if (!decoded.ok()) {
+    (void)broker.release(*handle);
+    return RarReply::deny(decoded.error());
+  }
+  outcome.final_wire_bytes = wire.size();
+
+  RarReply downstream = process(*next, *decoded, domain, at, outcome);
+  // The reply travels back over the same authenticated channel, sealed by
+  // the peer and opened here (exercising both channel directions).
+  {
+    const Bytes reply_wire = downstream.encode();
+    const Record reply_record =
+        next_node->sessions.at(domain).seal(reply_wire);
+    fabric_->record_message(*next, domain, reply_wire.size());
+    outcome.messages++;
+    auto reply_opened = node->sessions.at(*next).open(reply_record);
+    if (!reply_opened.ok()) {
+      (void)broker.release(*handle);
+      Error e = reply_opened.error();
+      e.origin = domain;
+      return RarReply::deny(std::move(e));
+    }
+    auto reply_decoded = RarReply::decode(*reply_opened);
+    if (!reply_decoded.ok()) {
+      (void)broker.release(*handle);
+      return RarReply::deny(reply_decoded.error());
+    }
+    downstream = std::move(*reply_decoded);
+  }
+  if (!downstream.granted) {
+    // Denial propagates upstream; roll back our tentative commitment.
+    (void)broker.release(*handle);
+    return downstream;
+  }
+  downstream.handles.insert(downstream.handles.begin(), {domain, *handle});
+
+  // Tunnel establishment: once the end-to-end aggregate is approved, the
+  // source and destination set up the direct signalling channel. The
+  // destination pins the source BB's certificate, which it learned through
+  // the introduction chain (path tracing).
+  if (vr.res_spec.is_tunnel && from_domain.empty()) {
+    Node* dest = find_node(vr.res_spec.destination_domain);
+    auto source_tunnel = broker.register_tunnel(vr.res_spec);
+    if (source_tunnel.ok() && dest != nullptr) {
+      broker.find_tunnel(*source_tunnel)->authorize(vr.res_spec.user);
+      // Both ends pin the peer certificate they learned through the
+      // signalling exchange (source cert introduced downstream by the
+      // layer chain; destination cert introduced upstream with the signed
+      // approval).
+      const crypto::Certificate source_cert = broker.certificate();
+      const crypto::Certificate dest_cert = dest->broker->certificate();
+      auto direct = handshake(endpoint_for(*node, &dest_cert),
+                              endpoint_for(*dest, &source_cert), at, *rng_);
+      outcome.latency += fabric_->rtt(domain, dest->broker->domain());
+      outcome.messages += 2;  // handshake round trip
+      fabric_->record_message(domain, dest->broker->domain(), 512);
+      fabric_->record_message(dest->broker->domain(), domain, 512);
+      if (direct.ok()) {
+        TunnelRecord rec;
+        rec.id = "tunnel-" + std::to_string(next_tunnel_++);
+        rec.source_domain = domain;
+        rec.destination_domain = vr.res_spec.destination_domain;
+        rec.user_dn = vr.res_spec.user;
+        rec.source_handle = *source_tunnel;
+        rec.destination_handle = downstream.tunnel_id;
+        rec.source_session = std::move(direct->initiator);
+        rec.destination_session = std::move(direct->responder);
+        downstream.tunnel_id = rec.id;
+        tunnels_.emplace(rec.id, std::move(rec));
+      } else {
+        log::warn("sig[" + domain + "]")
+            << "direct tunnel channel failed: " << direct.error().to_text();
+      }
+    }
+  }
+  return downstream;
+}
+
+Status HopByHopEngine::release_end_to_end(const RarReply& reply) {
+  if (!reply.granted) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "cannot release a denied reservation");
+  }
+  for (const auto& [domain, handle] : reply.handles) {
+    Node* node = find_node(domain);
+    if (node == nullptr) continue;
+    auto status = node->broker->release(handle);
+    if (!status.ok()) return status;
+  }
+  return Status::ok_status();
+}
+
+Result<HopByHopEngine::Outcome> HopByHopEngine::reserve_in_tunnel(
+    const std::string& tunnel_id, const std::string& user_dn, double rate,
+    TimeInterval interval, [[maybe_unused]] SimTime at) {
+  const auto it = tunnels_.find(tunnel_id);
+  if (it == tunnels_.end()) {
+    return make_error(ErrorCode::kNotFound, "unknown tunnel " + tunnel_id);
+  }
+  TunnelRecord& rec = it->second;
+  Node* src = find_node(rec.source_domain);
+  Node* dst = find_node(rec.destination_domain);
+  if (src == nullptr || dst == nullptr) {
+    return make_error(ErrorCode::kInternal, "tunnel endpoints missing");
+  }
+  bb::Tunnel* src_tunnel = src->broker->find_tunnel(rec.source_handle);
+  bb::Tunnel* dst_tunnel = dst->broker->find_tunnel(rec.destination_handle);
+  if (src_tunnel == nullptr || dst_tunnel == nullptr) {
+    return make_error(ErrorCode::kInternal, "tunnel state missing");
+  }
+
+  Outcome outcome;
+  const std::string sub_id =
+      tunnel_id + "-flow-" + std::to_string(rec.next_sub++);
+
+  // User contacts the source-domain BB.
+  outcome.latency += 2 * src->options.user_link_latency;
+  outcome.latency += fabric_->processing_delay();
+  fabric_->record_message("user", rec.source_domain, 128);
+  outcome.messages++;
+  outcome.domains_contacted++;
+  auto src_alloc = src_tunnel->allocate(sub_id, user_dn, interval, rate);
+  if (!src_alloc.ok()) {
+    Error e = src_alloc.error();
+    e.origin = rec.source_domain;
+    outcome.reply = RarReply::deny(std::move(e));
+    return outcome;
+  }
+
+  // Source BB contacts the destination BB directly over the pinned
+  // channel — intermediate domains are not involved.
+  const Bytes wire = to_bytes("tunnel-alloc:" + sub_id);
+  const Record record = rec.source_session.seal(wire);
+  fabric_->record_message(rec.source_domain, rec.destination_domain,
+                          wire.size());
+  outcome.messages++;
+  outcome.latency +=
+      fabric_->rtt(rec.source_domain, rec.destination_domain);
+  outcome.latency += fabric_->processing_delay();
+  outcome.domains_contacted++;
+  auto opened = rec.destination_session.open(record);
+  if (!opened.ok()) {
+    (void)src_tunnel->release(sub_id);
+    outcome.reply = RarReply::deny(opened.error());
+    return outcome;
+  }
+  auto dst_alloc = dst_tunnel->allocate(sub_id, user_dn, interval, rate);
+  fabric_->record_message(rec.destination_domain, rec.source_domain, 64);
+  outcome.messages++;
+  if (!dst_alloc.ok()) {
+    (void)src_tunnel->release(sub_id);
+    Error e = dst_alloc.error();
+    e.origin = rec.destination_domain;
+    outcome.reply = RarReply::deny(std::move(e));
+    return outcome;
+  }
+
+  outcome.reply = RarReply::approve();
+  outcome.reply.handles.emplace_back(rec.source_domain, sub_id);
+  outcome.reply.handles.emplace_back(rec.destination_domain, sub_id);
+  outcome.reply.tunnel_id = tunnel_id;
+  return outcome;
+}
+
+Status HopByHopEngine::release_in_tunnel(const std::string& tunnel_id,
+                                         const std::string& sub_id) {
+  const auto it = tunnels_.find(tunnel_id);
+  if (it == tunnels_.end()) {
+    return make_error(ErrorCode::kNotFound, "unknown tunnel " + tunnel_id);
+  }
+  TunnelRecord& rec = it->second;
+  Node* src = find_node(rec.source_domain);
+  Node* dst = find_node(rec.destination_domain);
+  bb::Tunnel* src_tunnel =
+      src != nullptr ? src->broker->find_tunnel(rec.source_handle) : nullptr;
+  bb::Tunnel* dst_tunnel =
+      dst != nullptr ? dst->broker->find_tunnel(rec.destination_handle)
+                     : nullptr;
+  if (src_tunnel == nullptr || dst_tunnel == nullptr) {
+    return make_error(ErrorCode::kInternal, "tunnel state missing");
+  }
+  auto s1 = src_tunnel->release(sub_id);
+  auto s2 = dst_tunnel->release(sub_id);
+  if (!s1.ok()) return s1;
+  return s2;
+}
+
+std::optional<HopByHopEngine::TunnelInfo> HopByHopEngine::tunnel_info(
+    const std::string& id) const {
+  const auto it = tunnels_.find(id);
+  if (it == tunnels_.end()) return std::nullopt;
+  const TunnelRecord& rec = it->second;
+  TunnelInfo info;
+  info.id = rec.id;
+  info.source_domain = rec.source_domain;
+  info.destination_domain = rec.destination_domain;
+  info.user_dn = rec.user_dn;
+  const Node* src = find_node(rec.source_domain);
+  if (src != nullptr) {
+    if (const bb::Tunnel* t = src->broker->find_tunnel(rec.source_handle)) {
+      info.aggregate_rate = t->aggregate_rate();
+      info.active_flows = t->active_allocations();
+    }
+  }
+  return info;
+}
+
+}  // namespace e2e::sig

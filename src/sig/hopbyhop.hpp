@@ -1,0 +1,190 @@
+// Hop-by-hop inter-BB signalling engine (the paper's Approach 2 and core
+// contribution, §3/§6).
+//
+// "Alice only contacts BB_A, which then propagates the reservation request
+// to BB_B only if the reservation was accepted by BB_A. Similarly, BB_B
+// contacts BB_C. With this solution, each BB only needs to know about its
+// neighboring BBs, and all BBs are always contacted."
+//
+// Per hop the engine performs the §6.1/§6.2 steps: verify the received RAR
+// (transitive trust over the nested signatures), consult the policy server,
+// run admission control against the SLA with the upstream peer, delegate
+// the capability chain to the next broker (§6.5), append and sign a new
+// RAR layer, and forward over the mutually authenticated channel. Denials
+// propagate back upstream with their origin; approvals commit hop state and
+// (for tunnel requests) establish the direct source<->end signalling
+// channel.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bb/bandwidth_broker.hpp"
+#include "policy/group_server.hpp"
+#include "sig/channel.hpp"
+#include "sig/message.hpp"
+#include "sig/transport.hpp"
+#include "sig/trust.hpp"
+
+namespace e2e::sig {
+
+struct DomainOptions {
+  policy::GroupServer* group_server = nullptr;
+  /// Groups this domain's policy may reference; membership is validated
+  /// against the group server per request.
+  std::vector<std::string> relevant_groups;
+  /// Resolver for HasValidCPUResv(RAR); bound to GARA by the deployment.
+  std::function<bool(const std::string&)> cpu_reservation_checker;
+  TrustPolicy trust_policy;
+  /// One-way latency between a local user and this domain's BB.
+  SimDuration user_link_latency = milliseconds(1);
+};
+
+/// What a user holds after grid-login (paper Fig. 7): an identity
+/// certificate plus, optionally, a CAS capability certificate and the
+/// matching private proxy key.
+struct UserCredentials {
+  crypto::Certificate identity_certificate;
+  crypto::PrivateKey identity_key;
+  std::optional<crypto::Certificate> capability_certificate;
+  std::optional<crypto::PrivateKey> proxy_key;
+};
+
+class HopByHopEngine {
+ public:
+  HopByHopEngine(Fabric& fabric, Rng& rng) : fabric_(&fabric), rng_(&rng) {}
+
+  /// Register a domain's broker with the engine.
+  void add_domain(bb::BandwidthBroker& broker, DomainOptions options = {});
+
+  /// Establish the mutually authenticated channel between two peered
+  /// domains (part of SLA setup; paper §6). Must be called after both SLAs
+  /// installed the peer CA certificates.
+  Status connect_peers(const std::string& a, const std::string& b, SimTime at);
+
+  /// Make `domain` trust capability certificates issued by `community`'s
+  /// CAS (key distribution for communities is out of band).
+  void trust_community(const std::string& domain, const std::string& community,
+                       const crypto::PublicKey& cas_key);
+
+  /// Revocation oracle for a community's CAS-issued capability
+  /// certificates (CRL stand-in): `revoked(serial)` is consulted for the
+  /// root capability certificate during chain validation.
+  void set_community_revocation_check(
+      const std::string& domain, const std::string& community,
+      std::function<bool(std::uint64_t serial)> revoked);
+
+  /// The source-domain BB knows its local users directly (paper §6.1).
+  void register_local_user(const std::string& domain,
+                           const crypto::Certificate& user_cert);
+
+  /// Bind the HasValidCPUResv(RAR) predicate of a domain to a resolver
+  /// (GARA attaches its compute manager here; Fig. 5/6 coupling).
+  void set_cpu_reservation_checker(const std::string& domain,
+                                   std::function<bool(const std::string&)> fn);
+
+  /// Build the user's signed request (RAR_U): res_spec + DN of the source
+  /// BB + the CAS capability certificate + the user's delegation of it to
+  /// the source BB (signed with the private proxy key, restricted
+  /// "valid for RAR").
+  Result<RarMessage> build_user_request(const UserCredentials& user,
+                                        const bb::ResSpec& spec,
+                                        SimTime at) const;
+
+  struct Outcome {
+    RarReply reply;
+    /// Modeled end-to-end signalling latency (request submission to final
+    /// answer back at the user).
+    SimDuration latency = 0;
+    std::size_t domains_contacted = 0;
+    std::size_t messages = 0;
+    /// Wire size of the RAR as received by the destination (grows per hop).
+    std::size_t final_wire_bytes = 0;
+  };
+
+  /// Process a user request end to end. The request enters at the source
+  /// BB named in its user layer.
+  Result<Outcome> reserve(const RarMessage& user_msg, SimTime at);
+
+  /// Release every per-domain reservation of a granted request.
+  Status release_end_to_end(const RarReply& reply);
+
+  /// Allocate a per-flow slice inside an established tunnel: only the two
+  /// end domains are contacted, over the direct channel created at tunnel
+  /// establishment (paper §1/§6.4).
+  Result<Outcome> reserve_in_tunnel(const std::string& tunnel_id,
+                                    const std::string& user_dn, double rate,
+                                    TimeInterval interval, SimTime at);
+  Status release_in_tunnel(const std::string& tunnel_id,
+                           const std::string& sub_id);
+
+  /// Scenario observer: called at each BB with the request as that broker
+  /// verified it (drives the Fig. 7 walkthrough).
+  using Observer =
+      std::function<void(const std::string& domain, const VerifiedRar&)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  /// Established-tunnel inspection (for tests and benches).
+  struct TunnelInfo {
+    std::string id;
+    std::string source_domain;
+    std::string destination_domain;
+    std::string user_dn;
+    double aggregate_rate = 0;
+    std::size_t active_flows = 0;
+  };
+  std::optional<TunnelInfo> tunnel_info(const std::string& id) const;
+
+ private:
+  struct Node {
+    bb::BandwidthBroker* broker = nullptr;
+    DomainOptions options;
+    std::map<std::string, Session> sessions;  // peer domain -> channel half
+    std::map<std::string, crypto::PublicKey> trusted_cas;  // community -> key
+    std::map<std::string, std::function<bool(std::uint64_t)>>
+        cas_revocation;  // community -> revocation oracle
+    std::map<std::string, crypto::Certificate> local_users;  // DN -> cert
+  };
+
+  struct TunnelRecord {
+    std::string id;
+    std::string source_domain;
+    std::string destination_domain;
+    std::string user_dn;
+    bb::TunnelId source_handle;
+    bb::TunnelId destination_handle;
+    Session source_session;       // direct channel, source side
+    Session destination_session;  // direct channel, destination side
+    std::uint64_t next_sub = 1;
+  };
+
+  Node* find_node(const std::string& domain);
+  const Node* find_node(const std::string& domain) const;
+  Node* node_by_dn(const std::string& dn_text);
+
+  /// Recursive per-hop processing; returns the reply travelling upstream.
+  RarReply process(const std::string& domain, const RarMessage& msg,
+                   const std::string& from_domain, SimTime at,
+                   Outcome& outcome);
+
+  /// Validate the capability chain carried by a verified RAR at `node`;
+  /// returns the validated capabilities usable by the policy engine (empty
+  /// if no chain or no trusted CAS for the community).
+  std::vector<policy::ValidatedCapability> validate_capabilities(
+      Node& node, const VerifiedRar& vr, SimTime at) const;
+
+  ChannelEndpoint endpoint_for(const Node& node,
+                               const crypto::Certificate* pinned = nullptr) const;
+
+  Fabric* fabric_;
+  Rng* rng_;
+  std::map<std::string, Node> nodes_;
+  std::map<std::string, TunnelRecord> tunnels_;
+  std::uint64_t next_tunnel_ = 1;
+  Observer observer_;
+};
+
+}  // namespace e2e::sig

@@ -1,0 +1,107 @@
+#include "sig/impersonation.hpp"
+
+namespace e2e::sig {
+
+crypto::Certificate::Builder build_impersonation(
+    const crypto::Certificate& parent,
+    const crypto::DistinguishedName& delegate_dn,
+    const crypto::PublicKey& delegate_key, const std::string& restriction,
+    TimeInterval validity, std::uint64_t serial) {
+  crypto::Certificate::Builder b;
+  b.serial = serial;
+  b.issuer = parent.subject();
+  b.subject = delegate_dn;
+  b.validity = validity;
+  b.subject_key = delegate_key;
+  // The impersonated end entity: inherited from an impersonation parent,
+  // or the parent's own subject when the chain starts at an identity cert.
+  const std::string impersonated =
+      parent.extension_value(kExtImpersonates)
+          .value_or(parent.subject().to_string());
+  b.extensions.push_back(
+      crypto::Extension{kExtImpersonates, /*critical=*/true, impersonated});
+  std::string effective = restriction;
+  if (const auto inherited =
+          parent.extension_value(crypto::kExtValidForRar)) {
+    effective = *inherited;  // once restricted, always restricted
+  }
+  if (!effective.empty()) {
+    b.extensions.push_back(
+        crypto::Extension{crypto::kExtValidForRar, true, effective});
+  }
+  return b;
+}
+
+namespace {
+Error chain_error(std::string msg) {
+  return make_error(ErrorCode::kUntrustedKey,
+                    "impersonation chain: " + std::move(msg));
+}
+}  // namespace
+
+Result<ImpersonationResult> verify_impersonation_chain(
+    std::span<const crypto::Certificate> chain, const crypto::TrustStore& trust,
+    const crypto::PublicKey& holder_key,
+    const std::string& expected_restriction, SimTime at) {
+  if (chain.size() < 2) {
+    return chain_error("needs an identity certificate plus at least one "
+                       "impersonation link");
+  }
+  const crypto::Certificate& identity = chain[0];
+  auto anchored = trust.verify_chain(identity, {}, at);
+  if (!anchored.ok()) {
+    return chain_error("identity certificate rejected: " +
+                       anchored.error().to_text());
+  }
+
+  ImpersonationResult out;
+  out.impersonated = identity.subject();
+  out.length = chain.size() - 1;
+  std::string restriction;
+
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const crypto::Certificate& cert = chain[i];
+    const crypto::Certificate& parent = chain[i - 1];
+    if (!cert.valid_at(at)) {
+      return make_error(ErrorCode::kExpired,
+                        "impersonation chain: link " + std::to_string(i) +
+                            " expired");
+    }
+    if (!cert.verify_signature(parent.subject_public_key())) {
+      return chain_error("link " + std::to_string(i) +
+                         " not signed with parent's subject key");
+    }
+    if (cert.issuer() != parent.subject()) {
+      return chain_error("link " + std::to_string(i) +
+                         " issuer does not match parent subject");
+    }
+    const std::string impersonates =
+        cert.extension_value(kExtImpersonates).value_or("");
+    if (impersonates != out.impersonated.to_string()) {
+      return chain_error("link " + std::to_string(i) +
+                         " impersonates '" + impersonates +
+                         "', expected '" + out.impersonated.to_string() +
+                         "'");
+    }
+    const std::string link_restriction =
+        cert.extension_value(crypto::kExtValidForRar).value_or("");
+    if (!restriction.empty() && link_restriction != restriction) {
+      return chain_error("link " + std::to_string(i) +
+                         " altered the restriction");
+    }
+    restriction = link_restriction;
+  }
+
+  if (!expected_restriction.empty() && !restriction.empty() &&
+      restriction != expected_restriction) {
+    return chain_error("restriction '" + restriction +
+                       "' does not match '" + expected_restriction + "'");
+  }
+  if (!(chain.back().subject_public_key() == holder_key)) {
+    return chain_error("final subject key is not the presenting holder's");
+  }
+  out.restriction = restriction;
+  return out;
+}
+
+}  // namespace e2e::sig

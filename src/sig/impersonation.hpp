@@ -1,0 +1,60 @@
+// Restricted impersonation — §6.4's fourth key-distribution technique.
+//
+// "(Restricted) delegation mechanisms could be used to propagate
+// authorization attributes, by having each BB impersonate the caller's
+// identity." Modeled on the Internet X.509 Impersonation Certificate
+// profile the paper cites [24] (the draft that became RFC 3820 proxy
+// certificates): the *user's identity certificate* roots a chain of
+// impersonation certificates, each signed with the key of the previous
+// subject, each carrying the impersonated DN and a restriction.
+//
+// Structurally this mirrors capability delegation (§6.5) but is rooted in
+// identity rather than in a community-issued capability: the verifier
+// learns WHO the chain acts for (and checks the user's own certificate
+// against its trust anchors), not WHAT community attributes it carries.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "crypto/certstore.hpp"
+#include "crypto/x509.hpp"
+
+namespace e2e::sig {
+
+/// Extension marking impersonation certificates; the value is the DN of
+/// the impersonated end entity.
+inline constexpr const char* kExtImpersonates = "Impersonates";
+
+/// Build (unsigned) the next impersonation link: `parent` is either the
+/// user's identity certificate (first link) or a previous impersonation
+/// certificate; the caller signs with the key matching `parent`'s subject
+/// public key.
+crypto::Certificate::Builder build_impersonation(
+    const crypto::Certificate& parent,
+    const crypto::DistinguishedName& delegate_dn,
+    const crypto::PublicKey& delegate_key, const std::string& restriction,
+    TimeInterval validity, std::uint64_t serial);
+
+struct ImpersonationResult {
+  /// The end entity every link of the chain acts for.
+  crypto::DistinguishedName impersonated;
+  /// The restriction carried by the links ("" if none).
+  std::string restriction;
+  std::size_t length = 0;  // impersonation links (identity cert excluded)
+};
+
+/// Verify a chain [identity cert, impersonation 1, ..., impersonation k]:
+///  - the identity certificate chains to an anchor in `trust` at `at`;
+///  - each impersonation link is signed with the key matching its parent's
+///    subject public key, has linked issuer/subject DNs, names the same
+///    impersonated DN, preserves the restriction once set, and is valid;
+///  - the final subject key equals `holder_key`.
+Result<ImpersonationResult> verify_impersonation_chain(
+    std::span<const crypto::Certificate> chain, const crypto::TrustStore& trust,
+    const crypto::PublicKey& holder_key, const std::string& expected_restriction,
+    SimTime at);
+
+}  // namespace e2e::sig

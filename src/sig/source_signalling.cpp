@@ -1,0 +1,195 @@
+#include "sig/source_signalling.hpp"
+
+#include <algorithm>
+#include <future>
+
+#include "sig/context_builder.hpp"
+#include "sig/trust.hpp"
+
+namespace e2e::sig {
+
+void SourceDomainEngine::add_domain(bb::BandwidthBroker& broker,
+                                    DomainOptions options) {
+  Node node;
+  node.broker = &broker;
+  node.options = std::move(options);
+  nodes_.emplace(broker.domain(), std::move(node));
+}
+
+void SourceDomainEngine::register_user(const std::string& domain,
+                                       const crypto::Certificate& user_cert) {
+  const auto it = nodes_.find(domain);
+  if (it != nodes_.end()) {
+    it->second.known_users.emplace(user_cert.subject().to_string(),
+                                   user_cert);
+  }
+}
+
+SourceDomainEngine::PerDomainResult SourceDomainEngine::reserve_at(
+    const std::string& domain, const std::string& agent_domain,
+    const bb::ResSpec& spec, const crypto::Certificate& user_cert,
+    const crypto::PrivateKey& user_key, SimTime at) {
+  const SimDuration rtt = fabric_->rtt(agent_domain, domain) +
+                          fabric_->processing_delay();
+  const auto it = nodes_.find(domain);
+  if (it == nodes_.end()) {
+    return {domain,
+            Result<bb::ReservationId>(make_error(
+                ErrorCode::kNoRoute, "no broker for domain " + domain)),
+            rtt};
+  }
+  Node& node = it->second;
+  bb::BandwidthBroker& broker = *node.broker;
+
+  // The agent signs a request addressed directly to this broker.
+  const RarMessage msg = RarMessage::create_user_request(
+      spec, broker.dn().to_string(), {}, user_key);
+  fabric_->record_message(agent_domain, domain, msg.wire_size());
+
+  // Direct trust: this broker must know the user.
+  const auto user_it = node.known_users.find(spec.user);
+  if (user_it == node.known_users.end()) {
+    return {domain,
+            Result<bb::ReservationId>(make_error(
+                ErrorCode::kAuthenticationFailed,
+                "user " + spec.user + " unknown in " + domain +
+                    " (source-based signalling requires direct trust "
+                    "with every domain)",
+                domain)),
+            rtt};
+  }
+  if (!(user_it->second == user_cert)) {
+    return {domain,
+            Result<bb::ReservationId>(make_error(
+                ErrorCode::kAuthenticationFailed,
+                "presented certificate does not match the registered one",
+                domain)),
+            rtt};
+  }
+  auto verified = verify_user_request(msg, user_it->second, broker.dn(), at);
+  if (!verified.ok()) {
+    return {domain, Result<bb::ReservationId>(verified.error()), rtt};
+  }
+
+  ContextInputs inputs;
+  inputs.broker = &broker;
+  inputs.spec = &spec;
+  inputs.user_dn = verified->user_dn;
+  inputs.at = at;
+  inputs.group_server = node.options.group_server;
+  inputs.relevant_groups = &node.options.relevant_groups;
+  inputs.cpu_reservation_checker = node.options.cpu_reservation_checker;
+  const policy::EvalContext ctx = build_policy_context(inputs);
+  const policy::PolicyReply reply = broker.policy_server().decide(ctx);
+  if (reply.decision != policy::Decision::kGrant) {
+    return {domain,
+            Result<bb::ReservationId>(make_error(ErrorCode::kPolicyDenied,
+                                                 reply.reason, domain)),
+            rtt};
+  }
+  // Approach 1 has no upstream-SLA context: each reservation is a direct
+  // request against the domain's own capacity.
+  return {domain, broker.commit(spec, /*from_domain=*/""), rtt};
+}
+
+Result<SourceDomainEngine::Outcome> SourceDomainEngine::reserve(
+    const std::vector<std::string>& domain_path, const bb::ResSpec& spec,
+    const crypto::Certificate& user_cert, const crypto::PrivateKey& user_key,
+    Mode mode, SimTime at) {
+  if (domain_path.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "empty domain path");
+  }
+  return reserve_subset(domain_path, domain_path.front(), spec, user_cert,
+                        user_key, mode, at);
+}
+
+Result<SourceDomainEngine::Outcome> SourceDomainEngine::reserve_subset(
+    const std::vector<std::string>& contacted, const std::string& agent_domain,
+    const bb::ResSpec& spec, const crypto::Certificate& user_cert,
+    const crypto::PrivateKey& user_key, Mode mode, SimTime at) {
+  if (contacted.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "no domains to contact");
+  }
+  Outcome outcome;
+  std::vector<PerDomainResult> results;
+  results.reserve(contacted.size());
+
+  if (mode == Mode::kSequential) {
+    for (const auto& domain : contacted) {
+      results.push_back(
+          reserve_at(domain, agent_domain, spec, user_cert, user_key, at));
+      outcome.latency += results.back().rtt;  // one request at a time
+      outcome.messages += 2;
+      outcome.domains_contacted++;
+      if (!results.back().outcome.ok()) break;  // stop on first denial
+    }
+  } else {
+    // Parallel: all requests in flight at once; the answer arrives when the
+    // slowest domain answers.
+    ThreadPool pool(std::min<std::size_t>(contacted.size(), 16));
+    std::vector<std::future<PerDomainResult>> futures;
+    futures.reserve(contacted.size());
+    for (const auto& domain : contacted) {
+      futures.push_back(pool.submit([this, domain, agent_domain, &spec,
+                                     &user_cert, &user_key, at] {
+        return reserve_at(domain, agent_domain, spec, user_cert, user_key,
+                          at);
+      }));
+    }
+    SimDuration slowest = 0;
+    for (auto& f : futures) {
+      results.push_back(f.get());
+      slowest = std::max(slowest, results.back().rtt);
+      outcome.messages += 2;
+      outcome.domains_contacted++;
+    }
+    outcome.latency = slowest;
+  }
+
+  const bool all_granted =
+      results.size() == contacted.size() &&
+      std::all_of(results.begin(), results.end(),
+                  [](const PerDomainResult& r) { return r.outcome.ok(); });
+  if (all_granted) {
+    outcome.reply = RarReply::approve();
+    for (const auto& r : results) {
+      outcome.reply.handles.emplace_back(r.domain, r.outcome.value());
+    }
+    return outcome;
+  }
+
+  // Roll back any granted parts, then report the first denial.
+  for (const auto& r : results) {
+    if (r.outcome.ok()) {
+      const auto it = nodes_.find(r.domain);
+      if (it != nodes_.end()) {
+        (void)it->second.broker->release(r.outcome.value());
+      }
+    }
+  }
+  for (const auto& r : results) {
+    if (!r.outcome.ok()) {
+      outcome.reply = RarReply::deny(r.outcome.error());
+      return outcome;
+    }
+  }
+  outcome.reply = RarReply::deny(
+      make_error(ErrorCode::kInternal, "incomplete reservation results"));
+  return outcome;
+}
+
+Status SourceDomainEngine::release_end_to_end(const RarReply& reply) {
+  if (!reply.granted) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "cannot release a denied reservation");
+  }
+  for (const auto& [domain, handle] : reply.handles) {
+    const auto it = nodes_.find(domain);
+    if (it == nodes_.end()) continue;
+    auto status = it->second.broker->release(handle);
+    if (!status.ok()) return status;
+  }
+  return Status::ok_status();
+}
+
+}  // namespace e2e::sig

@@ -1,0 +1,111 @@
+// Source-domain-based signalling (the paper's Approach 1, Fig. 3).
+//
+// "Alice, or an agent working on her behalf, can contact each BB
+// individually. A positive response from every BB indicates that Alice has
+// an end-to-end reservation. However, there are two serious flaws ...
+// First, it is difficult to scale since each BB must know about (and be
+// able to authenticate) Alice ... Furthermore, if another user, Bob, makes
+// an incomplete reservation, either maliciously or accidentally, he can
+// interfere with Alice's reservation." (Fig. 4.)
+//
+// This engine implements that approach faithfully, including its flaws:
+//  - every contacted BB authenticates the user directly (a per-domain
+//    registry of known users — the scalability problem);
+//  - reservations can be issued sequentially or in parallel ("source-
+//    domain-based signalling may be faster ... because the reservations
+//    for each domain can be made in parallel");
+//  - nothing forces the agent to contact every domain on the path:
+//    `reserve_subset` models David's misreservation.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bb/bandwidth_broker.hpp"
+#include "common/thread_pool.hpp"
+#include "policy/group_server.hpp"
+#include "sig/message.hpp"
+#include "sig/transport.hpp"
+
+namespace e2e::sig {
+
+class SourceDomainEngine {
+ public:
+  explicit SourceDomainEngine(Fabric& fabric) : fabric_(&fabric) {}
+
+  struct DomainOptions {
+    policy::GroupServer* group_server = nullptr;
+    std::vector<std::string> relevant_groups;
+    std::function<bool(const std::string&)> cpu_reservation_checker;
+  };
+
+  void add_domain(bb::BandwidthBroker& broker, DomainOptions options);
+  void add_domain(bb::BandwidthBroker& broker) {
+    add_domain(broker, DomainOptions());
+  }
+
+  /// Direct trust registration: the user must be known at EVERY domain it
+  /// wants to reserve in (the approach's scalability flaw).
+  void register_user(const std::string& domain,
+                     const crypto::Certificate& user_cert);
+
+  enum class Mode { kSequential, kParallel };
+
+  struct Outcome {
+    RarReply reply;
+    SimDuration latency = 0;
+    std::size_t domains_contacted = 0;
+    std::size_t messages = 0;
+  };
+
+  /// Reserve in every domain on `domain_path` (source first). The agent
+  /// runs in `domain_path.front()`. On any denial, already-granted
+  /// per-domain reservations are rolled back.
+  Result<Outcome> reserve(const std::vector<std::string>& domain_path,
+                          const bb::ResSpec& spec,
+                          const crypto::Certificate& user_cert,
+                          const crypto::PrivateKey& user_key, Mode mode,
+                          SimTime at);
+
+  /// The misreservation primitive (Fig. 4): contact only `contacted`
+  /// (a subset of the real path). The engine cannot stop a user from doing
+  /// this — that is the point the paper makes against Approach 1.
+  Result<Outcome> reserve_subset(const std::vector<std::string>& contacted,
+                                 const std::string& agent_domain,
+                                 const bb::ResSpec& spec,
+                                 const crypto::Certificate& user_cert,
+                                 const crypto::PrivateKey& user_key,
+                                 Mode mode, SimTime at);
+
+  Status release_end_to_end(const RarReply& reply);
+
+ private:
+  struct Node {
+    bb::BandwidthBroker* broker = nullptr;
+    DomainOptions options;
+    std::map<std::string, crypto::Certificate> known_users;
+  };
+
+  struct PerDomainResult {
+    std::string domain;
+    Result<bb::ReservationId> outcome;
+    SimDuration rtt = 0;
+
+    PerDomainResult(std::string d, Result<bb::ReservationId> o, SimDuration r)
+        : domain(std::move(d)), outcome(std::move(o)), rtt(r) {}
+  };
+
+  /// One per-domain reservation: authenticate the user, evaluate policy,
+  /// admit. Thread-safe across distinct domains.
+  PerDomainResult reserve_at(const std::string& domain,
+                             const std::string& agent_domain,
+                             const bb::ResSpec& spec,
+                             const crypto::Certificate& user_cert,
+                             const crypto::PrivateKey& user_key, SimTime at);
+
+  Fabric* fabric_;
+  std::map<std::string, Node> nodes_;
+};
+
+}  // namespace e2e::sig

@@ -1,0 +1,44 @@
+#include "sig/transport.hpp"
+
+namespace e2e::sig {
+
+void Fabric::set_latency(const std::string& a, const std::string& b,
+                         SimDuration one_way) {
+  latencies_[key(a, b)] = one_way;
+}
+
+SimDuration Fabric::one_way(const std::string& a, const std::string& b) const {
+  if (a == b) return 0;
+  const auto it = latencies_.find(key(a, b));
+  return it == latencies_.end() ? default_latency_ : it->second;
+}
+
+void Fabric::record_message(const std::string& from, const std::string& to,
+                            std::size_t bytes) {
+  std::lock_guard lock(counter_mutex_);
+  Stats& pair_stats = per_pair_[key(from, to)];
+  pair_stats.messages++;
+  pair_stats.bytes += bytes;
+  total_.messages++;
+  total_.bytes += bytes;
+}
+
+Fabric::Stats Fabric::total() const {
+  std::lock_guard lock(counter_mutex_);
+  return total_;
+}
+
+Fabric::Stats Fabric::between(const std::string& a,
+                              const std::string& b) const {
+  std::lock_guard lock(counter_mutex_);
+  const auto it = per_pair_.find(key(a, b));
+  return it == per_pair_.end() ? Stats{} : it->second;
+}
+
+void Fabric::reset_counters() {
+  std::lock_guard lock(counter_mutex_);
+  per_pair_.clear();
+  total_ = Stats{};
+}
+
+}  // namespace e2e::sig

@@ -1,0 +1,65 @@
+// Signalling-plane transport fabric.
+//
+// All signalling in this library runs in-process; the fabric supplies the
+// *model* of the wide-area control plane: one-way latencies between named
+// parties and message/byte accounting. The engines consult it to compute
+// the modeled end-to-end signalling latency of each strategy (bench/fig3)
+// and to count the messages each strategy generates (bench/tunnel_scaling).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/clock.hpp"
+
+namespace e2e::sig {
+
+class Fabric {
+ public:
+  /// Symmetric one-way latency between two parties.
+  void set_latency(const std::string& a, const std::string& b,
+                   SimDuration one_way);
+  void set_default_latency(SimDuration one_way) { default_latency_ = one_way; }
+
+  SimDuration one_way(const std::string& a, const std::string& b) const;
+  SimDuration rtt(const std::string& a, const std::string& b) const {
+    return 2 * one_way(a, b);
+  }
+
+  /// Per-hop processing budget a broker spends on verification, policy and
+  /// admission before forwarding (modeled; the real CPU cost is measured
+  /// separately by the microbenchmarks).
+  void set_processing_delay(SimDuration d) { processing_delay_ = d; }
+  SimDuration processing_delay() const { return processing_delay_; }
+
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Thread-safe: the parallel source-based engine records messages from
+  /// worker threads.
+  void record_message(const std::string& from, const std::string& to,
+                      std::size_t bytes);
+  Stats total() const;
+  Stats between(const std::string& a, const std::string& b) const;
+  void reset_counters();
+
+ private:
+  static std::pair<std::string, std::string> key(const std::string& a,
+                                                 const std::string& b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  std::map<std::pair<std::string, std::string>, SimDuration> latencies_;
+  mutable std::mutex counter_mutex_;
+  std::map<std::pair<std::string, std::string>, Stats> per_pair_;
+  Stats total_;
+  SimDuration default_latency_ = milliseconds(20);
+  SimDuration processing_delay_ = milliseconds(1);
+};
+
+}  // namespace e2e::sig

@@ -1,0 +1,55 @@
+// Service Level Agreement between two peered domains.
+//
+// Paper §2: "Whenever the network reservation end-points are in different
+// domains, a specific contract between peered domains comes into place,
+// used by BBs as input for their admission control procedures."
+// Paper §6: "While SLAs are used to regulate the services between two
+// domains, we extend this agreement by adding information to facilitate the
+// trust relationship between two peered BBs. This information includes the
+// certificates of the peered BBs as well as the certificate of the issuing
+// certificate authority, all used during the SSL handshake."
+// The SLA also carries the billing rate used by the transitive billing
+// scheme of §6.4.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crypto/x509.hpp"
+#include "sla/sls.hpp"
+
+namespace e2e::sla {
+
+struct ServiceLevelAgreement {
+  /// Upstream domain (traffic source side of this contract).
+  std::string from_domain;
+  /// Downstream domain (traffic sink side).
+  std::string to_domain;
+
+  /// Aggregate premium-traffic profile the downstream domain accepts from
+  /// the upstream domain.
+  ServiceLevelSpec profile;
+
+  /// Trust material exchanged with the contract: peer BB certificate and
+  /// the CA that issued it (used to authenticate the signalling channel).
+  std::optional<crypto::Certificate> peer_bb_certificate;
+  std::optional<crypto::Certificate> peer_ca_certificate;
+
+  /// Price per megabit-second of premium traffic, billed by the downstream
+  /// domain to the upstream domain (transitive billing, paper §6.4).
+  double price_per_mbit_s = 0.0;
+
+  /// Contract validity window.
+  TimeInterval validity{0, 0};
+
+  bool covers(SimTime t) const { return validity.contains(t); }
+
+  /// Does a requested premium rate fit the remaining profile headroom given
+  /// `already_committed` bits/s of existing reservations?
+  bool admits(double request_bits_per_s, double already_committed) const {
+    return already_committed + request_bits_per_s <=
+           profile.rate_bits_per_s + 1e-9;
+  }
+};
+
+}  // namespace e2e::sla

@@ -1,0 +1,49 @@
+// Service Level Specification (SLS).
+//
+// "Service Level Specifications (SLS) are used to describe the appropriate
+// QoS parameters that an SLA demands. End-to-end guarantees can then be
+// built by a chain of SLSs." (paper §2). The fields follow the QoS
+// parameters the paper cites from the IFIP/IEEE IM 2001 framework:
+// traffic profile, treatment of excess traffic, delay class, reliability.
+#pragma once
+
+#include <string>
+
+#include "common/clock.hpp"
+
+namespace e2e::sla {
+
+/// What a policer does with out-of-profile premium traffic.
+enum class ExcessTreatment : std::uint8_t {
+  kDrop = 0,       // discard the extra traffic
+  kDowngrade = 1,  // remark to best-effort ("downgrade", paper Fig. 4)
+};
+
+constexpr const char* to_string(ExcessTreatment t) {
+  return t == ExcessTreatment::kDrop ? "drop" : "downgrade";
+}
+
+struct ServiceLevelSpec {
+  /// Committed premium rate in bits/s.
+  double rate_bits_per_s = 0;
+  /// Token-bucket burst allowance in bits.
+  double burst_bits = 0;
+  /// Treatment of traffic exceeding the profile.
+  ExcessTreatment excess = ExcessTreatment::kDrop;
+  /// Upper bound on per-domain queueing delay the service targets (a delay
+  /// class, not a hard guarantee in this simulator).
+  SimDuration delay_bound = 0;
+  /// Expected availability of the service, as a fraction (0.999 = "three
+  /// nines"). Informational; propagated for downstream decisions.
+  double reliability = 0.999;
+
+  bool operator==(const ServiceLevelSpec&) const = default;
+
+  std::string to_text() const {
+    return std::to_string(rate_bits_per_s / 1e6) + " Mb/s, burst " +
+           std::to_string(burst_bits / 1e3) + " kb, excess=" +
+           to_string(excess);
+  }
+};
+
+}  // namespace e2e::sla

@@ -1,0 +1,109 @@
+#include "acct/billing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace e2e::acct {
+namespace {
+
+bb::ResSpec spec_10mbps_60s() {
+  bb::ResSpec s;
+  s.user = "CN=Alice,O=DomainA,C=US";
+  s.source_domain = "DomainA";
+  s.destination_domain = "DomainC";
+  s.rate_bits_per_s = 10e6;
+  s.interval = {0, seconds(60)};
+  return s;
+}
+
+/// Flat 0.01 per megabit-second everywhere.
+BillingLedger flat_ledger() {
+  return BillingLedger([](const std::string&, const std::string&) {
+    return 0.01;
+  });
+}
+
+TEST(Billing, TransitiveChainShape) {
+  BillingLedger ledger = flat_ledger();
+  const auto records = ledger.bill_reservation(
+      {"DomainA", "DomainB", "DomainC"}, "CN=Alice,O=DomainA,C=US",
+      spec_10mbps_60s(), "resv-1");
+  // User->A, A->B, B->C: exactly the chain of §6.4.
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].payer, "CN=Alice,O=DomainA,C=US");
+  EXPECT_EQ(records[0].payee, "DomainA");
+  EXPECT_EQ(records[1].payer, "DomainA");
+  EXPECT_EQ(records[1].payee, "DomainB");
+  EXPECT_EQ(records[2].payer, "DomainB");
+  EXPECT_EQ(records[2].payee, "DomainC");
+  // 10 Mb/s * 60 s = 600 megabit-seconds.
+  for (const auto& r : records) {
+    EXPECT_DOUBLE_EQ(r.mbit_seconds, 600.0);
+    EXPECT_DOUBLE_EQ(r.amount, 6.0);
+    EXPECT_EQ(r.reservation_id, "resv-1");
+  }
+}
+
+TEST(Billing, BalancesConserve) {
+  BillingLedger ledger = flat_ledger();
+  ledger.bill_reservation({"DomainA", "DomainB", "DomainC"},
+                          "CN=Alice,O=DomainA,C=US", spec_10mbps_60s(), "r1");
+  // Flat pricing: transit domains break even, the destination nets income,
+  // the user pays.
+  EXPECT_DOUBLE_EQ(ledger.balance("DomainA"), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.balance("DomainB"), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.balance("DomainC"), 6.0);
+  EXPECT_DOUBLE_EQ(ledger.balance("CN=Alice,O=DomainA,C=US"), -6.0);
+  // Money in = money out.
+  const double sum = ledger.balance("DomainA") + ledger.balance("DomainB") +
+                     ledger.balance("DomainC") +
+                     ledger.balance("CN=Alice,O=DomainA,C=US");
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ledger.total_user_payments(), 6.0);
+}
+
+TEST(Billing, AsymmetricPricesCreateTransitMargin) {
+  // A charges the user 0.03; B charges A 0.02; C charges B 0.01.
+  BillingLedger ledger(
+      [](const std::string& payer, const std::string& payee) {
+        if (payee == "DomainA") return 0.03;
+        if (payee == "DomainB") return 0.02;
+        return 0.01;
+      });
+  ledger.bill_reservation({"DomainA", "DomainB", "DomainC"}, "user",
+                          spec_10mbps_60s(), "r1");
+  EXPECT_DOUBLE_EQ(ledger.balance("DomainA"), 600 * (0.03 - 0.02));
+  EXPECT_DOUBLE_EQ(ledger.balance("DomainB"), 600 * (0.02 - 0.01));
+  EXPECT_DOUBLE_EQ(ledger.balance("DomainC"), 600 * 0.01);
+  EXPECT_DOUBLE_EQ(ledger.balance("user"), -600 * 0.03);
+}
+
+TEST(Billing, SingleDomainPathBillsOnlyUser) {
+  BillingLedger ledger = flat_ledger();
+  const auto records =
+      ledger.bill_reservation({"DomainA"}, "user", spec_10mbps_60s(), "r1");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].payer, "user");
+  EXPECT_EQ(records[0].payee, "DomainA");
+}
+
+TEST(Billing, EmptyPathYieldsNothing) {
+  BillingLedger ledger = flat_ledger();
+  EXPECT_TRUE(
+      ledger.bill_reservation({}, "user", spec_10mbps_60s(), "r").empty());
+}
+
+TEST(Billing, MultipleReservationsAccumulate) {
+  BillingLedger ledger = flat_ledger();
+  ledger.bill_reservation({"DomainA", "DomainB"}, "u1", spec_10mbps_60s(),
+                          "r1");
+  ledger.bill_reservation({"DomainA", "DomainB"}, "u2", spec_10mbps_60s(),
+                          "r2");
+  EXPECT_EQ(ledger.records().size(), 4u);
+  EXPECT_DOUBLE_EQ(ledger.balance("DomainB"), 12.0);
+  EXPECT_DOUBLE_EQ(ledger.total_user_payments(), 12.0);
+  ledger.clear();
+  EXPECT_TRUE(ledger.records().empty());
+}
+
+}  // namespace
+}  // namespace e2e::acct

@@ -1,0 +1,128 @@
+#include "bb/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace e2e::bb {
+namespace {
+
+TEST(CapacityPool, EmptyPoolAdmitsUpToCapacity) {
+  CapacityPool pool(100e6);
+  EXPECT_TRUE(pool.can_admit({0, seconds(10)}, 100e6));
+  EXPECT_FALSE(pool.can_admit({0, seconds(10)}, 100e6 + 1));
+  EXPECT_DOUBLE_EQ(pool.headroom({0, seconds(10)}), 100e6);
+}
+
+TEST(CapacityPool, CommitReducesHeadroom) {
+  CapacityPool pool(100e6);
+  ASSERT_TRUE(pool.commit("r1", {0, seconds(10)}, 60e6).ok());
+  EXPECT_DOUBLE_EQ(pool.headroom({0, seconds(10)}), 40e6);
+  EXPECT_TRUE(pool.can_admit({0, seconds(10)}, 40e6));
+  EXPECT_FALSE(pool.can_admit({0, seconds(10)}, 40e6 + 1));
+}
+
+TEST(CapacityPool, DisjointIntervalsDoNotInteract) {
+  CapacityPool pool(100e6);
+  ASSERT_TRUE(pool.commit("morning", {0, seconds(10)}, 100e6).ok());
+  EXPECT_TRUE(pool.can_admit({seconds(10), seconds(20)}, 100e6));
+}
+
+TEST(CapacityPool, OverlapPeakIsEnforced) {
+  CapacityPool pool(100e6);
+  ASSERT_TRUE(pool.commit("a", {0, seconds(10)}, 50e6).ok());
+  ASSERT_TRUE(pool.commit("b", {seconds(5), seconds(15)}, 50e6).ok());
+  // Peak in [5,10) is 100 Mb/s: nothing fits there.
+  EXPECT_FALSE(pool.can_admit({seconds(7), seconds(8)}, 1));
+  // But [10,15) has 50 Mb/s headroom.
+  EXPECT_TRUE(pool.can_admit({seconds(10), seconds(15)}, 50e6));
+}
+
+TEST(CapacityPool, PeakSeenEvenWhenRequestStartsEarlier) {
+  CapacityPool pool(100e6);
+  ASSERT_TRUE(pool.commit("late", {seconds(50), seconds(60)}, 90e6).ok());
+  // A request spanning the busy region must see the future peak.
+  EXPECT_FALSE(pool.can_admit({0, seconds(100)}, 20e6));
+  EXPECT_TRUE(pool.can_admit({0, seconds(100)}, 10e6));
+}
+
+TEST(CapacityPool, ReleaseRestoresCapacity) {
+  CapacityPool pool(10e6);
+  ASSERT_TRUE(pool.commit("r", {0, seconds(1)}, 10e6).ok());
+  EXPECT_FALSE(pool.can_admit({0, seconds(1)}, 1e6));
+  ASSERT_TRUE(pool.release("r").ok());
+  EXPECT_TRUE(pool.can_admit({0, seconds(1)}, 10e6));
+  EXPECT_EQ(pool.commitment_count(), 0u);
+}
+
+TEST(CapacityPool, DuplicateKeyRejected) {
+  CapacityPool pool(10e6);
+  ASSERT_TRUE(pool.commit("r", {0, seconds(1)}, 1e6).ok());
+  const Status dup = pool.commit("r", {seconds(2), seconds(3)}, 1e6);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, ErrorCode::kConflict);
+}
+
+TEST(CapacityPool, ReleaseUnknownKeyFails) {
+  CapacityPool pool(10e6);
+  EXPECT_FALSE(pool.release("ghost").ok());
+}
+
+TEST(CapacityPool, InvalidCommitRejected) {
+  CapacityPool pool(10e6);
+  EXPECT_FALSE(pool.commit("bad", {seconds(5), seconds(5)}, 1e6).ok());
+  EXPECT_FALSE(pool.commit("bad2", {seconds(5), seconds(1)}, 1e6).ok());
+  EXPECT_FALSE(pool.commit("bad3", {0, seconds(1)}, -1.0).ok());
+}
+
+TEST(CapacityPool, CommittedAtInstant) {
+  CapacityPool pool(100e6);
+  ASSERT_TRUE(pool.commit("a", {seconds(1), seconds(3)}, 10e6).ok());
+  ASSERT_TRUE(pool.commit("b", {seconds(2), seconds(4)}, 20e6).ok());
+  EXPECT_DOUBLE_EQ(pool.committed_at(0), 0);
+  EXPECT_DOUBLE_EQ(pool.committed_at(seconds(1)), 10e6);
+  EXPECT_DOUBLE_EQ(pool.committed_at(seconds(2)), 30e6);
+  EXPECT_DOUBLE_EQ(pool.committed_at(seconds(3)), 20e6);
+  EXPECT_DOUBLE_EQ(pool.committed_at(seconds(4)), 0);
+}
+
+// Property: under random workloads, committed rate never exceeds capacity
+// at any commitment boundary.
+class CapacityPoolRandomWorkload
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CapacityPoolRandomWorkload, NeverOversubscribes) {
+  Rng rng(GetParam());
+  const double capacity = 100e6;
+  CapacityPool pool(capacity);
+  std::vector<std::string> held;
+  std::vector<SimTime> boundaries;
+  for (int i = 0; i < 300; ++i) {
+    if (!held.empty() && rng.next_bool(0.3)) {
+      const std::size_t pick = rng.next_below(held.size());
+      ASSERT_TRUE(pool.release(held[pick]).ok());
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(pick));
+      continue;
+    }
+    const SimTime start = static_cast<SimTime>(rng.next_below(1000)) * 1000;
+    const SimDuration len =
+        (1 + static_cast<SimDuration>(rng.next_below(200))) * 1000;
+    const double rate = 1e6 * static_cast<double>(1 + rng.next_below(50));
+    const std::string key = "r" + std::to_string(i);
+    if (pool.commit(key, {start, start + len}, rate).ok()) {
+      held.push_back(key);
+      boundaries.push_back(start);
+      boundaries.push_back(start + len - 1);
+    }
+    // Invariant: no instant exceeds capacity.
+    for (SimTime t : boundaries) {
+      ASSERT_LE(pool.committed_at(t), capacity + 1e-3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CapacityPoolRandomWorkload,
+                         ::testing::Values(1, 7, 42, 1234));
+
+}  // namespace
+}  // namespace e2e::bb

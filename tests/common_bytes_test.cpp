@@ -1,0 +1,50 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+TEST(Bytes, RoundTripString) {
+  const std::string s = "hello, broker";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Bytes, HexEncode) {
+  EXPECT_EQ(hex_encode(to_bytes("")), "");
+  EXPECT_EQ(hex_encode(Bytes{0x00, 0xff, 0x10}), "00ff10");
+  EXPECT_EQ(hex_encode(to_bytes("AB")), "4142");
+}
+
+TEST(Bytes, HexDecodeRoundTrip) {
+  const Bytes b{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01};
+  EXPECT_EQ(hex_decode(hex_encode(b)), b);
+}
+
+TEST(Bytes, HexDecodeUppercase) {
+  EXPECT_EQ(hex_decode("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Bytes, HexDecodeRejectsOddLength) {
+  EXPECT_THROW(hex_decode("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexDecodeRejectsNonHex) {
+  EXPECT_THROW(hex_decode("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, EqualCt) {
+  EXPECT_TRUE(equal_ct(to_bytes("abc"), to_bytes("abc")));
+  EXPECT_FALSE(equal_ct(to_bytes("abc"), to_bytes("abd")));
+  EXPECT_FALSE(equal_ct(to_bytes("abc"), to_bytes("ab")));
+  EXPECT_TRUE(equal_ct(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, Append) {
+  Bytes dst = to_bytes("foo");
+  append(dst, to_bytes("bar"));
+  EXPECT_EQ(to_string(dst), "foobar");
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,61 @@
+#include "common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+TEST(Clock, DurationHelpers) {
+  EXPECT_EQ(milliseconds(1), 1000);
+  EXPECT_EQ(seconds(1), 1000000);
+  EXPECT_EQ(minutes(1), 60 * seconds(1));
+  EXPECT_EQ(hours(1), 60 * minutes(1));
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(7)), 7.0);
+}
+
+TEST(Clock, IntervalContains) {
+  const TimeInterval iv{seconds(10), seconds(20)};
+  EXPECT_FALSE(iv.contains(seconds(9)));
+  EXPECT_TRUE(iv.contains(seconds(10)));
+  EXPECT_TRUE(iv.contains(seconds(19)));
+  EXPECT_FALSE(iv.contains(seconds(20)));  // half-open
+  EXPECT_EQ(iv.length(), seconds(10));
+  EXPECT_TRUE(iv.valid());
+}
+
+TEST(Clock, IntervalOverlap) {
+  const TimeInterval a{0, 10};
+  EXPECT_TRUE(a.overlaps({5, 15}));
+  EXPECT_TRUE(a.overlaps({-5, 1}));
+  EXPECT_FALSE(a.overlaps({10, 20}));  // touching is not overlapping
+  EXPECT_FALSE(a.overlaps({-10, 0}));
+  EXPECT_TRUE(a.overlaps({0, 10}));
+}
+
+TEST(Clock, VirtualClockMonotone) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance_to(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance_to(50);  // never goes backwards
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance_by(25);
+  EXPECT_EQ(clock.now(), 125);
+}
+
+TEST(Clock, HourOfDay) {
+  EXPECT_EQ(hour_of_day(0), 0);
+  EXPECT_EQ(hour_of_day(hours(9) + minutes(30)), 9);
+  EXPECT_EQ(hour_of_day(hours(25)), 1);  // wraps around the day
+  EXPECT_EQ(hour_of_day(hours(23) + minutes(59)), 23);
+}
+
+TEST(Clock, FormatTimeOfDay) {
+  EXPECT_EQ(format_time_of_day(0), "00:00:00.000");
+  EXPECT_EQ(format_time_of_day(hours(13) + minutes(5) + seconds(7) + 42000),
+            "13:05:07.042");
+}
+
+}  // namespace
+}  // namespace e2e

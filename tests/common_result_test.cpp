@@ -1,0 +1,73 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace e2e {
+namespace {
+
+TEST(Result, OkValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Result, ErrorPropagates) {
+  Result<int> r(make_error(ErrorCode::kPolicyDenied, "no", "DomainB"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kPolicyDenied);
+  EXPECT_EQ(r.error().origin, "DomainB");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  Result<int> r(make_error(ErrorCode::kInternal, "boom"));
+  EXPECT_THROW(r.value(), std::logic_error);
+}
+
+TEST(Result, ErrorOnOkThrows) {
+  Result<int> r(7);
+  EXPECT_THROW(r.error(), std::logic_error);
+}
+
+TEST(Result, MoveValue) {
+  Result<std::string> r(std::string("reservation"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "reservation");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_THROW(s.error(), std::logic_error);
+}
+
+TEST(Status, WithError) {
+  Status s = make_error(ErrorCode::kAdmissionRejected, "full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kAdmissionRejected);
+}
+
+TEST(Error, TextRendering) {
+  const Error e = make_error(ErrorCode::kBadSignature, "layer 2", "BB-B");
+  EXPECT_EQ(e.to_text(), "bad-signature @BB-B: layer 2");
+}
+
+TEST(ErrorCode, AllNamesDistinct) {
+  const ErrorCode codes[] = {
+      ErrorCode::kPolicyDenied,   ErrorCode::kAdmissionRejected,
+      ErrorCode::kAuthenticationFailed, ErrorCode::kBadSignature,
+      ErrorCode::kUntrustedKey,   ErrorCode::kBadMessage,
+      ErrorCode::kNoRoute,        ErrorCode::kNotFound,
+      ErrorCode::kExpired,        ErrorCode::kUnavailable,
+      ErrorCode::kInvalidArgument, ErrorCode::kConflict,
+      ErrorCode::kInternal};
+  std::set<std::string> names;
+  for (ErrorCode c : codes) names.insert(to_string(c));
+  EXPECT_EQ(names.size(), std::size(codes));
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,160 @@
+#include "common/tlv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace e2e::tlv {
+namespace {
+
+TEST(Tlv, ScalarRoundTrip) {
+  Writer w;
+  w.put_u8(1, 0xab);
+  w.put_u16(2, 0xbeef);
+  w.put_u32(3, 0xdeadbeef);
+  w.put_u64(4, 0x0123456789abcdefull);
+  w.put_i64(5, -42);
+  w.put_bool(6, true);
+  w.put_string(7, "bandwidth broker");
+  w.put_f64(8, 3.14159);
+  const Bytes encoded = w.take();
+
+  Reader r(encoded);
+  EXPECT_EQ(r.read_u8(1).value(), 0xab);
+  EXPECT_EQ(r.read_u16(2).value(), 0xbeef);
+  EXPECT_EQ(r.read_u32(3).value(), 0xdeadbeefu);
+  EXPECT_EQ(r.read_u64(4).value(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.read_i64(5).value(), -42);
+  EXPECT_TRUE(r.read_bool(6).value());
+  EXPECT_EQ(r.read_string(7).value(), "bandwidth broker");
+  EXPECT_DOUBLE_EQ(r.read_f64(8).value(), 3.14159);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Tlv, NestedContainers) {
+  Writer w;
+  w.open(10);
+  w.put_string(11, "outer");
+  w.open(12);
+  w.put_u32(13, 99);
+  w.close();
+  w.close();
+  const Bytes encoded = w.take();
+
+  Reader r(encoded);
+  auto outer = r.read_nested(10);
+  ASSERT_TRUE(outer.ok());
+  EXPECT_EQ(outer->read_string(11).value(), "outer");
+  auto inner = outer->read_nested(12);
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(inner->read_u32(13).value(), 99u);
+  EXPECT_TRUE(inner->at_end());
+  EXPECT_TRUE(outer->at_end());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Tlv, WrongTagIsError) {
+  Writer w;
+  w.put_u32(1, 5);
+  const Bytes encoded = w.take();
+  Reader r(encoded);
+  auto res = r.read_u32(2);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.error().code, ErrorCode::kBadMessage);
+}
+
+TEST(Tlv, WrongLengthIsError) {
+  Writer w;
+  w.put_u16(1, 5);
+  const Bytes encoded = w.take();
+  Reader r(encoded);
+  EXPECT_FALSE(r.read_u32(1).ok());
+}
+
+TEST(Tlv, TruncatedHeaderIsError) {
+  Reader r(Bytes{0x00, 0x01, 0x00});
+  EXPECT_FALSE(r.next().ok());
+}
+
+TEST(Tlv, TruncatedValueIsError) {
+  Writer w;
+  w.put_string(1, "hello");
+  Bytes encoded = w.take();
+  encoded.pop_back();
+  Reader r(encoded);
+  EXPECT_FALSE(r.next().ok());
+}
+
+TEST(Tlv, TryNextConsumesOnlyOnMatch) {
+  Writer w;
+  w.put_u8(1, 1);
+  w.put_u8(2, 2);
+  const Bytes encoded = w.take();
+  Reader r(encoded);
+  EXPECT_FALSE(r.try_next(2).has_value());  // next tag is 1
+  EXPECT_TRUE(r.try_next(1).has_value());
+  EXPECT_TRUE(r.try_next(2).has_value());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Tlv, UnbalancedCloseThrows) {
+  Writer w;
+  EXPECT_THROW(w.close(), std::logic_error);
+}
+
+TEST(Tlv, TakeWithOpenContainerThrows) {
+  Writer w;
+  w.open(1);
+  EXPECT_THROW(w.take(), std::logic_error);
+}
+
+TEST(Tlv, CanonicalDeterminism) {
+  auto build = [] {
+    Writer w;
+    w.open(1);
+    w.put_string(2, "alpha");
+    w.put_u64(3, 77);
+    w.close();
+    return w.take();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+// Property: random sequences of scalars round-trip through encode/decode.
+class TlvRandomRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TlvRandomRoundTrip, RoundTrips) {
+  Rng rng(GetParam());
+  const int count = 1 + static_cast<int>(rng.next_below(30));
+  std::vector<std::pair<Tag, std::uint64_t>> expected;
+  Writer w;
+  for (int i = 0; i < count; ++i) {
+    const Tag tag = static_cast<Tag>(1 + rng.next_below(1000));
+    const std::uint64_t value = rng.next_u64();
+    w.put_u64(tag, value);
+    expected.emplace_back(tag, value);
+  }
+  const Bytes encoded = w.take();
+  Reader r(encoded);
+  for (const auto& [tag, value] : expected) {
+    EXPECT_EQ(r.read_u64(tag).value(), value);
+  }
+  EXPECT_TRUE(r.at_end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TlvRandomRoundTrip,
+                         ::testing::Values(1, 2, 3, 42, 999, 123456789));
+
+TEST(Tlv, BigEndianHelpers) {
+  Bytes b;
+  put_be16(b, 0x0102);
+  put_be32(b, 0x03040506);
+  put_be64(b, 0x0708090a0b0c0d0eull);
+  EXPECT_EQ(b.size(), 14u);
+  EXPECT_EQ(get_be(BytesView(b).subspan(0, 2), 2), 0x0102u);
+  EXPECT_EQ(get_be(BytesView(b).subspan(2, 4), 4), 0x03040506u);
+  EXPECT_EQ(get_be(BytesView(b).subspan(6, 8), 8), 0x0708090a0b0c0d0eull);
+}
+
+}  // namespace
+}  // namespace e2e::tlv

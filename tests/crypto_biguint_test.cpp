@@ -1,0 +1,207 @@
+#include "crypto/biguint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace e2e::crypto {
+namespace {
+
+TEST(BigUInt, ZeroProperties) {
+  BigUInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_odd());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_decimal(), "0");
+  EXPECT_EQ(z.to_hex(), "0x0");
+  EXPECT_TRUE(z.to_bytes().empty());
+}
+
+TEST(BigUInt, SmallArithmetic) {
+  const BigUInt a(1000), b(27);
+  EXPECT_EQ((a + b).to_decimal(), "1027");
+  EXPECT_EQ((a - b).to_decimal(), "973");
+  EXPECT_EQ((a * b).to_decimal(), "27000");
+  EXPECT_EQ((a / b).to_decimal(), "37");
+  EXPECT_EQ((a % b).to_decimal(), "1");
+}
+
+TEST(BigUInt, CarryAcrossLimbs) {
+  const BigUInt max64(~0ull);
+  const BigUInt sum = max64 + BigUInt(1);
+  EXPECT_EQ(sum.bit_length(), 65u);
+  EXPECT_EQ(sum.to_hex(), "0x10000000000000000");
+  EXPECT_EQ((sum - BigUInt(1)), max64);
+}
+
+TEST(BigUInt, MultiplicationKnownValue) {
+  // 2^64 * 2^64 = 2^128.
+  const BigUInt x = BigUInt(1) << 64;
+  EXPECT_EQ((x * x).to_hex(), "0x100000000000000000000000000000000");
+  // Factorial of 25 = 15511210043330985984000000.
+  BigUInt fact(1);
+  for (std::uint64_t i = 2; i <= 25; ++i) fact = fact * BigUInt(i);
+  EXPECT_EQ(fact.to_decimal(), "15511210043330985984000000");
+}
+
+TEST(BigUInt, DecimalStringRoundTrip) {
+  const std::string s = "123456789012345678901234567890123456789";
+  EXPECT_EQ(BigUInt::from_string(s).to_decimal(), s);
+}
+
+TEST(BigUInt, HexStringRoundTrip) {
+  const std::string s = "0xdeadbeefcafebabe0123456789abcdef";
+  EXPECT_EQ(BigUInt::from_string(s).to_hex(), s);
+}
+
+TEST(BigUInt, BytesRoundTrip) {
+  const BigUInt v = BigUInt::from_string("0x0102030405060708090a0b0c0d0e0f");
+  const Bytes b = v.to_bytes();
+  EXPECT_EQ(BigUInt::from_bytes(b), v);
+  // Padded export keeps the value.
+  EXPECT_EQ(BigUInt::from_bytes(v.to_bytes(64)), v);
+  EXPECT_EQ(v.to_bytes(64).size(), 64u);
+}
+
+TEST(BigUInt, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigUInt(1) - BigUInt(2), std::underflow_error);
+}
+
+TEST(BigUInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigUInt(1) / BigUInt(0), std::domain_error);
+}
+
+TEST(BigUInt, Shifts) {
+  const BigUInt one(1);
+  EXPECT_EQ((one << 130).bit_length(), 131u);
+  EXPECT_EQ(((one << 130) >> 130), one);
+  EXPECT_TRUE((one >> 1).is_zero());
+  const BigUInt v = BigUInt::from_string("0x123456789abcdef0fedcba987654321");
+  EXPECT_EQ(((v << 67) >> 67), v);
+}
+
+TEST(BigUInt, CompareOrdering) {
+  const BigUInt a = BigUInt::from_string("0xffffffffffffffff");
+  const BigUInt b = BigUInt::from_string("0x10000000000000000");
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LE(a, a);
+  EXPECT_GE(b, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(BigUInt, DivModKnownLargeValue) {
+  const BigUInt a = BigUInt::from_string(
+      "340282366920938463463374607431768211456");  // 2^128
+  const BigUInt b = BigUInt::from_string("18446744073709551629");  // prime>2^64
+  const auto dm = BigUInt::divmod(a, b);
+  EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+  EXPECT_LT(dm.remainder, b);
+}
+
+TEST(BigUInt, ModexpKnownValues) {
+  // 2^10 mod 1000 = 24.
+  EXPECT_EQ(BigUInt(2).modexp(BigUInt(10), BigUInt(1000)), BigUInt(24));
+  // Fermat: a^(p-1) = 1 mod p for prime p.
+  const BigUInt p = BigUInt::from_string("0xffffffffffffffc5");  // 2^64-59
+  EXPECT_EQ(BigUInt(12345).modexp(p - BigUInt(1), p), BigUInt(1));
+}
+
+TEST(BigUInt, ModinvBasics) {
+  // 3 * 7 = 21 = 1 mod 10 -> 3^-1 mod 10 = 7.
+  EXPECT_EQ(BigUInt(3).modinv(BigUInt(10)), BigUInt(7));
+  // Non-invertible returns zero.
+  EXPECT_TRUE(BigUInt(4).modinv(BigUInt(8)).is_zero());
+}
+
+TEST(BigUInt, Gcd) {
+  EXPECT_EQ(BigUInt::gcd(BigUInt(48), BigUInt(36)), BigUInt(12));
+  EXPECT_EQ(BigUInt::gcd(BigUInt(17), BigUInt(13)), BigUInt(1));
+  EXPECT_EQ(BigUInt::gcd(BigUInt(0), BigUInt(5)), BigUInt(5));
+}
+
+TEST(BigUInt, PrimalityKnownValues) {
+  Rng rng(7);
+  EXPECT_TRUE(BigUInt(2).is_probable_prime(rng));
+  EXPECT_TRUE(BigUInt(61).is_probable_prime(rng));
+  EXPECT_FALSE(BigUInt(1).is_probable_prime(rng));
+  EXPECT_FALSE(BigUInt(561).is_probable_prime(rng));   // Carmichael number
+  EXPECT_FALSE(BigUInt(62745).is_probable_prime(rng)); // Carmichael number
+  // Known 128-bit prime: 2^127 - 1 (Mersenne).
+  const BigUInt m127 = (BigUInt(1) << 127) - BigUInt(1);
+  EXPECT_TRUE(m127.is_probable_prime(rng));
+  // 2^128 - 1 is composite.
+  EXPECT_FALSE(((BigUInt(1) << 128) - BigUInt(1)).is_probable_prime(rng));
+}
+
+TEST(BigUInt, RandomPrimeHasRequestedSize) {
+  Rng rng(99);
+  const BigUInt p = BigUInt::random_prime(rng, 96);
+  EXPECT_EQ(p.bit_length(), 96u);
+  EXPECT_TRUE(p.is_probable_prime(rng));
+}
+
+TEST(BigUInt, RandomBitsExactLength) {
+  Rng rng(5);
+  for (unsigned bits : {1u, 63u, 64u, 65u, 200u}) {
+    EXPECT_EQ(BigUInt::random_bits(rng, bits).bit_length(), bits);
+  }
+  EXPECT_TRUE(BigUInt::random_bits(rng, 0).is_zero());
+}
+
+TEST(BigUInt, RandomBelowInRange) {
+  Rng rng(11);
+  const BigUInt bound = BigUInt::from_string("1000000000000000000000");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LT(BigUInt::random_below(rng, bound), bound);
+  }
+}
+
+// Property sweep: (a*b)/b == a, (a*b)%b == 0, and divmod reconstruction for
+// random operand sizes.
+class BigUIntDivMulProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BigUIntDivMulProperty, DivModReconstruction) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    const unsigned abits = 1 + static_cast<unsigned>(rng.next_below(512));
+    const unsigned bbits = 1 + static_cast<unsigned>(rng.next_below(512));
+    const BigUInt a = BigUInt::random_bits(rng, abits);
+    const BigUInt b = BigUInt::random_bits(rng, bbits);
+    if (b.is_zero()) continue;
+    const auto dm = BigUInt::divmod(a, b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+    EXPECT_LT(dm.remainder, b);
+    // Exact-multiple identities.
+    const BigUInt prod = a * b;
+    EXPECT_EQ(prod / b, a);
+    EXPECT_TRUE((prod % b).is_zero());
+  }
+}
+
+TEST_P(BigUIntDivMulProperty, AddSubInverse) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 40; ++i) {
+    const BigUInt a =
+        BigUInt::random_bits(rng, 1 + static_cast<unsigned>(rng.next_below(300)));
+    const BigUInt b =
+        BigUInt::random_bits(rng, 1 + static_cast<unsigned>(rng.next_below(300)));
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a + b) - a, b);
+  }
+}
+
+TEST_P(BigUIntDivMulProperty, ModinvIsInverse) {
+  Rng rng(GetParam() + 17);
+  const BigUInt m = BigUInt::random_prime(rng, 128);
+  for (int i = 0; i < 10; ++i) {
+    const BigUInt a = BigUInt(1) + BigUInt::random_below(rng, m - BigUInt(1));
+    const BigUInt inv = a.modinv(m);
+    EXPECT_EQ((a * inv) % m, BigUInt(1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigUIntDivMulProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace e2e::crypto

@@ -1,0 +1,136 @@
+#include "crypto/certstore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/ca.hpp"
+
+namespace e2e::crypto {
+namespace {
+
+class CertStoreTest : public ::testing::Test {
+ protected:
+  CertStoreTest()
+      : root_ca_(DistinguishedName::make("Root CA", "TrustCo"), rng_,
+                 {0, hours(1000)}, 512),
+        user_keys_(generate_keypair(rng_, 512)),
+        intermediate_keys_(generate_keypair(rng_, 512)) {
+    store_.add_anchor(root_ca_.root_certificate());
+  }
+
+  Rng rng_{555};
+  CertificateAuthority root_ca_;
+  KeyPair user_keys_;
+  KeyPair intermediate_keys_;
+  TrustStore store_;
+};
+
+TEST_F(CertStoreTest, AnchorRegistration) {
+  EXPECT_EQ(store_.anchor_count(), 1u);
+  EXPECT_TRUE(store_.is_anchor(root_ca_.name()));
+  EXPECT_NE(store_.find_anchor(root_ca_.name()), nullptr);
+  EXPECT_FALSE(store_.is_anchor(DistinguishedName::make("X", "Y")));
+}
+
+TEST_F(CertStoreTest, RejectsNonSelfSignedAnchor) {
+  const Certificate leaf = root_ca_.issue(
+      DistinguishedName::make("Alice", "A"), user_keys_.pub, {0, hours(1)});
+  EXPECT_FALSE(store_.add_anchor(leaf));
+  EXPECT_EQ(store_.anchor_count(), 1u);
+}
+
+TEST_F(CertStoreTest, DirectlyIssuedLeafVerifies) {
+  const Certificate leaf = root_ca_.issue(
+      DistinguishedName::make("Alice", "A"), user_keys_.pub, {0, hours(1)});
+  const auto path = store_.verify_chain(leaf, {}, minutes(30));
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->size(), 2u);
+  EXPECT_EQ((*path)[0].subject().common_name(), "Alice");
+  EXPECT_EQ((*path)[1].subject(), root_ca_.name());
+}
+
+TEST_F(CertStoreTest, TwoLevelChainVerifies) {
+  const DistinguishedName mid_dn = DistinguishedName::make("Sub CA", "DomainB");
+  const Certificate mid = root_ca_.issue(
+      mid_dn, intermediate_keys_.pub, {0, hours(100)},
+      {Extension{kExtCa, true, "true"}});
+  // The intermediate issues the leaf.
+  Certificate::Builder b;
+  b.serial = 7;
+  b.issuer = mid_dn;
+  b.subject = DistinguishedName::make("BB-B", "DomainB");
+  b.validity = {0, hours(10)};
+  b.subject_key = user_keys_.pub;
+  const Certificate leaf = b.sign_with(intermediate_keys_.priv);
+
+  const auto path = store_.verify_chain(leaf, {mid}, hours(1));
+  ASSERT_TRUE(path.ok()) << path.error().to_text();
+  EXPECT_EQ(path->size(), 3u);
+}
+
+TEST_F(CertStoreTest, IntermediateWithoutCaExtensionRejected) {
+  const DistinguishedName mid_dn = DistinguishedName::make("Sub CA", "B");
+  const Certificate mid = root_ca_.issue(mid_dn, intermediate_keys_.pub,
+                                         {0, hours(100)});  // no CA ext
+  Certificate::Builder b;
+  b.serial = 8;
+  b.issuer = mid_dn;
+  b.subject = DistinguishedName::make("BB-B", "B");
+  b.validity = {0, hours(10)};
+  b.subject_key = user_keys_.pub;
+  const Certificate leaf = b.sign_with(intermediate_keys_.priv);
+
+  const auto path = store_.verify_chain(leaf, {mid}, hours(1));
+  ASSERT_FALSE(path.ok());
+  EXPECT_EQ(path.error().code, ErrorCode::kUntrustedKey);
+}
+
+TEST_F(CertStoreTest, ExpiredLeafRejected) {
+  const Certificate leaf = root_ca_.issue(
+      DistinguishedName::make("Alice", "A"), user_keys_.pub,
+      {0, minutes(10)});
+  const auto path = store_.verify_chain(leaf, {}, hours(1));
+  ASSERT_FALSE(path.ok());
+  EXPECT_EQ(path.error().code, ErrorCode::kExpired);
+}
+
+TEST_F(CertStoreTest, UnknownIssuerRejected) {
+  Rng other_rng(9);
+  CertificateAuthority rogue(DistinguishedName::make("Rogue CA", "Evil"),
+                             other_rng, {0, hours(100)}, 512);
+  const Certificate leaf = rogue.issue(DistinguishedName::make("Mallory", "E"),
+                                       user_keys_.pub, {0, hours(1)});
+  const auto path = store_.verify_chain(leaf, {}, minutes(5));
+  ASSERT_FALSE(path.ok());
+  EXPECT_EQ(path.error().code, ErrorCode::kUntrustedKey);
+}
+
+TEST_F(CertStoreTest, RevokedCertificateRejected) {
+  const Certificate leaf = root_ca_.issue(
+      DistinguishedName::make("Alice", "A"), user_keys_.pub, {0, hours(1)});
+  root_ca_.revoke(leaf.serial());
+  store_.set_revocation_check(
+      [this](const DistinguishedName& issuer, std::uint64_t serial) {
+        return issuer == root_ca_.name() && root_ca_.is_revoked(serial);
+      });
+  const auto path = store_.verify_chain(leaf, {}, minutes(5));
+  ASSERT_FALSE(path.ok());
+  EXPECT_EQ(path.error().code, ErrorCode::kUntrustedKey);
+}
+
+TEST_F(CertStoreTest, ForgedSignatureRejected) {
+  // Leaf claims the root as issuer but is signed by another key.
+  Certificate::Builder b;
+  b.serial = 99;
+  b.issuer = root_ca_.name();
+  b.subject = DistinguishedName::make("Mallory", "E");
+  b.validity = {0, hours(10)};
+  b.subject_key = user_keys_.pub;
+  const Certificate forged = b.sign_with(intermediate_keys_.priv);
+
+  const auto path = store_.verify_chain(forged, {}, minutes(5));
+  ASSERT_FALSE(path.ok());
+  EXPECT_EQ(path.error().code, ErrorCode::kBadSignature);
+}
+
+}  // namespace
+}  // namespace e2e::crypto

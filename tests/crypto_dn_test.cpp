@@ -1,0 +1,76 @@
+#include "crypto/dn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace e2e::crypto {
+namespace {
+
+TEST(Dn, ParseBasic) {
+  const auto dn = DistinguishedName::parse("CN=Alice, O=Argonne, C=US");
+  ASSERT_TRUE(dn.ok());
+  EXPECT_EQ(dn->common_name(), "Alice");
+  EXPECT_EQ(dn->organization(), "Argonne");
+  EXPECT_EQ(dn->get("C"), "US");
+}
+
+TEST(Dn, CanonicalFormStripsSpaces) {
+  const auto dn = DistinguishedName::parse("  CN = Alice ,  O = Argonne ");
+  ASSERT_TRUE(dn.ok());
+  EXPECT_EQ(dn->to_string(), "CN=Alice,O=Argonne");
+}
+
+TEST(Dn, TypeIsCaseInsensitive) {
+  const auto dn = DistinguishedName::parse("cn=Alice,o=Argonne");
+  ASSERT_TRUE(dn.ok());
+  EXPECT_EQ(dn->to_string(), "CN=Alice,O=Argonne");
+}
+
+TEST(Dn, ValueCasePreserved) {
+  const auto dn = DistinguishedName::parse("CN=alice");
+  ASSERT_TRUE(dn.ok());
+  EXPECT_EQ(dn->common_name(), "alice");
+}
+
+TEST(Dn, OrderSignificant) {
+  const auto a = DistinguishedName::parse("CN=X,O=Y").value();
+  const auto b = DistinguishedName::parse("O=Y,CN=X").value();
+  EXPECT_NE(a, b);
+}
+
+TEST(Dn, ParseErrors) {
+  EXPECT_FALSE(DistinguishedName::parse("").ok());
+  EXPECT_FALSE(DistinguishedName::parse("no-equals").ok());
+  EXPECT_FALSE(DistinguishedName::parse("=value").ok());
+  EXPECT_FALSE(DistinguishedName::parse(",,,").ok());
+}
+
+TEST(Dn, MakeBuilder) {
+  const auto dn = DistinguishedName::make("BB-A", "DomainA");
+  EXPECT_EQ(dn.to_string(), "CN=BB-A,O=DomainA,C=US");
+}
+
+TEST(Dn, RoundTripThroughText) {
+  const auto dn = DistinguishedName::make("Charlie", "DomainC", "DE");
+  const auto back = DistinguishedName::parse(dn.to_string());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, dn);
+}
+
+TEST(Dn, GetMissingAttributeEmpty) {
+  const auto dn = DistinguishedName::make("Alice", "ANL");
+  EXPECT_EQ(dn.get("OU"), "");
+}
+
+TEST(Dn, UsableAsMapKey) {
+  std::map<DistinguishedName, int> m;
+  m[DistinguishedName::make("A", "X")] = 1;
+  m[DistinguishedName::make("B", "X")] = 2;
+  EXPECT_EQ(m.at(DistinguishedName::make("A", "X")), 1);
+  EXPECT_EQ(m.at(DistinguishedName::make("B", "X")), 2);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+}  // namespace
+}  // namespace e2e::crypto

@@ -1,0 +1,84 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace e2e::crypto {
+namespace {
+
+std::string mac_hex(BytesView key, BytesView msg) {
+  const Digest d = hmac_sha256(key, msg);
+  return hex_encode(BytesView(d.data(), d.size()));
+}
+
+// RFC 4231 test vectors for HMAC-SHA256.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(mac_hex(key, to_bytes("Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(
+      mac_hex(to_bytes("Jefe"), to_bytes("what do ya want for nothing?")),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  EXPECT_EQ(mac_hex(key, msg),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      mac_hex(key, to_bytes("Test Using Larger Than Block-Size Key - Hash "
+                            "Key First")),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, KeySensitivity) {
+  const Bytes msg = to_bytes("record");
+  EXPECT_NE(mac_hex(to_bytes("key-a"), msg), mac_hex(to_bytes("key-b"), msg));
+}
+
+TEST(Hmac, MessageSensitivity) {
+  const Bytes key = to_bytes("session-key");
+  EXPECT_NE(mac_hex(key, to_bytes("m1")), mac_hex(key, to_bytes("m2")));
+}
+
+TEST(Hmac, EmptyKeyAndMessageDefined) {
+  // Must not crash and must be deterministic.
+  EXPECT_EQ(mac_hex(Bytes{}, Bytes{}), mac_hex(Bytes{}, Bytes{}));
+}
+
+TEST(DeriveKey, ProducesRequestedLength) {
+  const Bytes secret = to_bytes("shared-secret");
+  for (std::size_t len : {0u, 1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(derive_key(secret, "label", len).size(), len);
+  }
+}
+
+TEST(DeriveKey, LabelSeparation) {
+  const Bytes secret = to_bytes("shared-secret");
+  EXPECT_NE(derive_key(secret, "client->server", 32),
+            derive_key(secret, "server->client", 32));
+}
+
+TEST(DeriveKey, Deterministic) {
+  const Bytes secret = to_bytes("s");
+  EXPECT_EQ(derive_key(secret, "l", 48), derive_key(secret, "l", 48));
+}
+
+TEST(DeriveKey, PrefixConsistency) {
+  // Counter-mode expansion: a longer output extends the shorter one.
+  const Bytes secret = to_bytes("s2");
+  const Bytes short_key = derive_key(secret, "l", 16);
+  const Bytes long_key = derive_key(secret, "l", 48);
+  EXPECT_TRUE(std::equal(short_key.begin(), short_key.end(),
+                         long_key.begin()));
+}
+
+}  // namespace
+}  // namespace e2e::crypto

@@ -1,0 +1,112 @@
+// Algebraic property tests for the crypto substrate — laws that must hold
+// for the protocol's security arguments to make sense.
+#include <gtest/gtest.h>
+
+#include "crypto/biguint.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace e2e::crypto {
+namespace {
+
+class CryptoLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CryptoLaws, ModexpExponentAddition) {
+  // a^(b+c) mod m == (a^b * a^c) mod m.
+  Rng rng(GetParam());
+  const BigUInt m = BigUInt::random_prime(rng, 96);
+  for (int i = 0; i < 10; ++i) {
+    const BigUInt a = BigUInt::random_below(rng, m);
+    const BigUInt b = BigUInt::random_bits(rng, 64);
+    const BigUInt c = BigUInt::random_bits(rng, 64);
+    if (a.is_zero()) continue;
+    const BigUInt lhs = a.modexp(b + c, m);
+    const BigUInt rhs = (a.modexp(b, m) * a.modexp(c, m)) % m;
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST_P(CryptoLaws, ModexpBaseMultiplication) {
+  // (a*b)^e mod m == (a^e * b^e) mod m.
+  Rng rng(GetParam() ^ 0xbeef);
+  const BigUInt m = BigUInt::random_prime(rng, 96);
+  for (int i = 0; i < 10; ++i) {
+    const BigUInt a = BigUInt::random_below(rng, m);
+    const BigUInt b = BigUInt::random_below(rng, m);
+    const BigUInt e = BigUInt::random_bits(rng, 48);
+    const BigUInt lhs = ((a * b) % m).modexp(e, m);
+    const BigUInt rhs = (a.modexp(e, m) * b.modexp(e, m)) % m;
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST_P(CryptoLaws, RsaInverseExponents) {
+  // For any message representative m < n: (m^e)^d == m mod n.
+  Rng rng(GetParam() + 99);
+  const KeyPair kp = generate_keypair(rng, 256);
+  for (int i = 0; i < 5; ++i) {
+    const BigUInt m = BigUInt::random_below(rng, kp.pub.n);
+    const BigUInt round_trip =
+        m.modexp(kp.pub.e, kp.pub.n).modexp(kp.priv.d, kp.priv.n);
+    EXPECT_EQ(round_trip, m);
+  }
+}
+
+TEST_P(CryptoLaws, DistinctMessagesDistinctSignatures) {
+  Rng rng(GetParam() + 7);
+  const KeyPair kp = generate_keypair(rng, 256);
+  const Bytes s1 = sign(kp.priv, to_bytes("m1"));
+  const Bytes s2 = sign(kp.priv, to_bytes("m2"));
+  EXPECT_NE(s1, s2);
+  // Signatures are deterministic for a given (key, message).
+  EXPECT_EQ(s1, sign(kp.priv, to_bytes("m1")));
+}
+
+TEST_P(CryptoLaws, MulDivShiftConsistency) {
+  Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 20; ++i) {
+    const unsigned bits = 1 + static_cast<unsigned>(rng.next_below(400));
+    const BigUInt a = BigUInt::random_bits(rng, bits);
+    const unsigned k = static_cast<unsigned>(rng.next_below(200));
+    // a << k == a * 2^k, and (a << k) >> k == a.
+    EXPECT_EQ(a << k, a * (BigUInt(1) << k));
+    EXPECT_EQ((a << k) >> k, a);
+    // divmod by 2^k matches shift/mask semantics.
+    const auto dm = BigUInt::divmod(a << k, BigUInt(1) << k);
+    EXPECT_EQ(dm.quotient, a);
+    EXPECT_TRUE(dm.remainder.is_zero());
+  }
+}
+
+TEST_P(CryptoLaws, DecimalHexAgreement) {
+  Rng rng(GetParam() + 31);
+  for (int i = 0; i < 10; ++i) {
+    const BigUInt a = BigUInt::random_bits(
+        rng, 1 + static_cast<unsigned>(rng.next_below(256)));
+    EXPECT_EQ(BigUInt::from_string(a.to_decimal()), a);
+    EXPECT_EQ(BigUInt::from_string(a.to_hex()), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CryptoLaws, ::testing::Values(1, 2, 3));
+
+TEST(CryptoLaws, Sha256AvalancheSingleBitFlip) {
+  // Flipping any single bit of a short message changes ~half the digest
+  // bits (sanity check on diffusion; bounds are generous).
+  const Bytes base = to_bytes("resource allocation request");
+  const Digest d0 = sha256(base);
+  for (std::size_t byte = 0; byte < base.size(); byte += 5) {
+    Bytes flipped = base;
+    flipped[byte] ^= 0x01;
+    const Digest d1 = sha256(flipped);
+    int differing_bits = 0;
+    for (std::size_t i = 0; i < d0.size(); ++i) {
+      differing_bits += __builtin_popcount(d0[i] ^ d1[i]);
+    }
+    EXPECT_GT(differing_bits, 80);   // out of 256
+    EXPECT_LT(differing_bits, 176);
+  }
+}
+
+}  // namespace
+}  // namespace e2e::crypto

@@ -1,0 +1,121 @@
+#include "crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace e2e::crypto {
+namespace {
+
+// Key generation is the slow part; share one pair across tests.
+const KeyPair& test_keys() {
+  static const KeyPair kp = [] {
+    Rng rng(4242);
+    return generate_keypair(rng, 512);
+  }();
+  return kp;
+}
+
+TEST(Rsa, SignVerifyRoundTrip) {
+  const Bytes msg = to_bytes("reserve 10 Mb/s from A to C");
+  const Bytes sig = sign(test_keys().priv, msg);
+  EXPECT_TRUE(verify(test_keys().pub, msg, sig));
+}
+
+TEST(Rsa, TamperedMessageFails) {
+  const Bytes msg = to_bytes("reserve 10 Mb/s from A to C");
+  const Bytes sig = sign(test_keys().priv, msg);
+  Bytes tampered = msg;
+  tampered[8] = '9';  // 90 Mb/s
+  EXPECT_FALSE(verify(test_keys().pub, tampered, sig));
+}
+
+TEST(Rsa, TamperedSignatureFails) {
+  const Bytes msg = to_bytes("request");
+  Bytes sig = sign(test_keys().priv, msg);
+  sig[0] ^= 0x01;
+  EXPECT_FALSE(verify(test_keys().pub, msg, sig));
+}
+
+TEST(Rsa, WrongKeyFails) {
+  Rng rng(777);
+  const KeyPair other = generate_keypair(rng, 512);
+  const Bytes msg = to_bytes("request");
+  const Bytes sig = sign(test_keys().priv, msg);
+  EXPECT_FALSE(verify(other.pub, msg, sig));
+}
+
+TEST(Rsa, SignatureIsCanonicalWidth) {
+  const Bytes sig = sign(test_keys().priv, to_bytes("x"));
+  EXPECT_EQ(sig.size(), (test_keys().pub.n.bit_length() + 7) / 8);
+}
+
+TEST(Rsa, EmptyMessageSignable) {
+  const Bytes sig = sign(test_keys().priv, Bytes{});
+  EXPECT_TRUE(verify(test_keys().pub, Bytes{}, sig));
+}
+
+TEST(Rsa, SignatureOutOfRangeRejected) {
+  // A "signature" >= n must be rejected before the math.
+  const Bytes big = test_keys().pub.n.to_bytes();
+  EXPECT_FALSE(verify(test_keys().pub, to_bytes("m"), big));
+}
+
+TEST(Rsa, KeypairDeterministicFromSeed) {
+  Rng a(31337), b(31337);
+  const KeyPair ka = generate_keypair(a, 256);
+  const KeyPair kb = generate_keypair(b, 256);
+  EXPECT_EQ(ka.pub, kb.pub);
+}
+
+TEST(Rsa, PublicKeyEncodeDecode) {
+  const Bytes enc = test_keys().pub.encode();
+  const auto dec = PublicKey::decode(enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, test_keys().pub);
+}
+
+TEST(Rsa, PublicKeyDecodeRejectsTrailing) {
+  Bytes enc = test_keys().pub.encode();
+  enc.push_back(0);
+  // Trailing byte makes the TLV malformed (truncated header) or non-canonical.
+  EXPECT_FALSE(PublicKey::decode(enc).ok());
+}
+
+TEST(Rsa, PrivateKeyEncodeDecode) {
+  const Bytes enc = test_keys().priv.encode();
+  const auto dec = PrivateKey::decode(enc);
+  ASSERT_TRUE(dec.ok());
+  // Decoded key must still sign verifiably.
+  const Bytes sig = sign(*dec, to_bytes("roundtrip"));
+  EXPECT_TRUE(verify(test_keys().pub, to_bytes("roundtrip"), sig));
+}
+
+TEST(Rsa, FingerprintStable) {
+  EXPECT_EQ(test_keys().pub.fingerprint(), test_keys().pub.fingerprint());
+  Rng rng(91);
+  const KeyPair other = generate_keypair(rng, 256);
+  EXPECT_NE(hex_encode(digest_bytes(test_keys().pub.fingerprint())),
+            hex_encode(digest_bytes(other.pub.fingerprint())));
+}
+
+// The paper's protocol signs many different payload shapes; sweep payload
+// sizes to make sure hashing + modexp stay consistent.
+class RsaPayloadSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RsaPayloadSweep, RoundTrips) {
+  Rng rng(GetParam());
+  Bytes msg(GetParam());
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_u64());
+  const Bytes sig = sign(test_keys().priv, msg);
+  EXPECT_TRUE(verify(test_keys().pub, msg, sig));
+  if (!msg.empty()) {
+    msg.back() ^= 0xff;
+    EXPECT_FALSE(verify(test_keys().pub, msg, sig));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RsaPayloadSweep,
+                         ::testing::Values(0, 1, 16, 63, 64, 65, 255, 1024,
+                                           65536));
+
+}  // namespace
+}  // namespace e2e::crypto

@@ -1,0 +1,122 @@
+// Advance reservations end to end: a reservation whose window starts in
+// the future must provide premium service exactly during the window.
+#include <gtest/gtest.h>
+
+#include "gara/edge_binding.hpp"
+#include "testing_world.hpp"
+
+namespace e2e::gara {
+namespace {
+
+using testing::ChainWorld;
+using testing::WorldUser;
+
+struct AdvanceFixture {
+  ChainWorld world;
+  WorldUser alice = world.make_user("Alice", 0);
+  net::RouterId ra{}, rb{}, rc{};
+  net::LinkId ab{};
+  // NOTE: member order matters — make_sim() fills the router/link ids the
+  // binding initializer reads.
+  std::unique_ptr<net::Simulator> sim = make_sim();
+  std::unique_ptr<EdgeBinding> binding =
+      std::make_unique<EdgeBinding>(*sim, ab);
+  net::FlowId flow = 0;
+
+  AdvanceFixture() {
+    net::FlowDescription fd;
+    fd.name = "alice";
+    fd.source = ra;
+    fd.destination = rc;
+    fd.wants_premium = true;
+    fd.pattern = net::TrafficPattern::cbr(9e6);
+    flow = sim->add_flow(fd).value();
+    binding->bind_flow(alice.dn.to_string(), flow);
+    binding->attach(world.broker(0));
+  }
+
+  std::unique_ptr<net::Simulator> make_sim() {
+    net::Topology topo;
+    const auto da = topo.add_domain("DomainA");
+    const auto db = topo.add_domain("DomainB");
+    const auto dc = topo.add_domain("DomainC");
+    ra = topo.add_router(da, "edge-A", true);
+    rb = topo.add_router(db, "core-B", false);
+    rc = topo.add_router(dc, "edge-C", true);
+    ab = topo.add_link(ra, rb, 100e6, milliseconds(5));
+    topo.add_link(rb, rc, 100e6, milliseconds(5));
+    return std::make_unique<net::Simulator>(std::move(topo), 11);
+  }
+
+  std::uint64_t premium_bits() const {
+    return sim->stats(flow).delivered_premium_bits;
+  }
+};
+
+TEST(AdvanceReservation, PremiumOnlyDuringWindow) {
+  AdvanceFixture f;
+  // Reserve [2s, 4s) in advance, committed at t=0.
+  bb::ResSpec spec = f.world.spec(f.alice, 10e6, {seconds(2), seconds(4)});
+  spec.burst_bits = 120000;
+  const auto msg =
+      f.world.engine().build_user_request(f.alice.credentials(), spec, 0);
+  const auto outcome = f.world.engine().reserve(*msg, 0);
+  ASSERT_TRUE(outcome->reply.granted) << outcome->reply.denial.to_text();
+  // Policer not yet installed (window starts at 2s).
+  EXPECT_EQ(f.binding->installed_policers(), 0u);
+
+  f.sim->run_until(seconds(2));
+  const auto before_window = f.premium_bits();
+  EXPECT_EQ(before_window, 0u);  // best effort before the window
+
+  f.sim->run_until(seconds(4));
+  const auto during_window = f.premium_bits() - before_window;
+  EXPECT_GT(during_window, static_cast<std::uint64_t>(14e6));  // ~18 Mbit
+  EXPECT_EQ(f.binding->installed_policers(), 1u);
+
+  f.sim->run_until(seconds(6));
+  const auto after_window = f.premium_bits() - before_window - during_window;
+  EXPECT_LT(after_window, static_cast<std::uint64_t>(1e6));  // demoted again
+}
+
+TEST(AdvanceReservation, EarlyReleaseCancelsScheduledActivation) {
+  AdvanceFixture f;
+  bb::ResSpec spec = f.world.spec(f.alice, 10e6, {seconds(2), seconds(4)});
+  const auto msg =
+      f.world.engine().build_user_request(f.alice.credentials(), spec, 0);
+  const auto outcome = f.world.engine().reserve(*msg, 0);
+  ASSERT_TRUE(outcome->reply.granted);
+  // Release before the window opens: activation must never happen.
+  ASSERT_TRUE(f.world.engine().release_end_to_end(outcome->reply).ok());
+  f.sim->run_until(seconds(5));
+  EXPECT_EQ(f.premium_bits(), 0u);
+  EXPECT_EQ(f.binding->installed_policers(), 0u);
+}
+
+TEST(AdvanceReservation, BackToBackWindowsDoNotOverlapCapacity) {
+  // Two reservations near the 100 Mb/s SLA profile in *adjacent* windows
+  // both admit (interval bookkeeping), while an overlapping third that
+  // would push either window past the profile is denied.
+  AdvanceFixture f;
+  bb::ResSpec first = f.world.spec(f.alice, 90e6, {seconds(1), seconds(2)});
+  bb::ResSpec second = f.world.spec(f.alice, 90e6, {seconds(2), seconds(3)});
+  const auto m1 =
+      f.world.engine().build_user_request(f.alice.credentials(), first, 0);
+  const auto m2 =
+      f.world.engine().build_user_request(f.alice.credentials(), second, 0);
+  EXPECT_TRUE(f.world.engine().reserve(*m1, 0)->reply.granted);
+  EXPECT_TRUE(f.world.engine().reserve(*m2, 0)->reply.granted);
+  // 20 Mb/s spanning both windows: 90 + 20 > 100 Mb/s SLA -> denied.
+  bb::ResSpec third = f.world.spec(f.alice, 20e6, {seconds(1), seconds(3)});
+  const auto m3 =
+      f.world.engine().build_user_request(f.alice.credentials(), third, 0);
+  EXPECT_FALSE(f.world.engine().reserve(*m3, 0)->reply.granted);
+  // 10 Mb/s spanning both windows still fits.
+  bb::ResSpec fourth = f.world.spec(f.alice, 10e6, {seconds(1), seconds(3)});
+  const auto m4 =
+      f.world.engine().build_user_request(f.alice.credentials(), fourth, 0);
+  EXPECT_TRUE(f.world.engine().reserve(*m4, 0)->reply.granted);
+}
+
+}  // namespace
+}  // namespace e2e::gara

@@ -1,0 +1,178 @@
+// GARA uniform API, resource managers, and the Fig. 5/6 co-reservation.
+#include "gara/gara_api.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gara/edge_binding.hpp"
+#include "testing_world.hpp"
+
+namespace e2e::gara {
+namespace {
+
+using testing::ChainWorld;
+using testing::ChainWorldConfig;
+using testing::WorldUser;
+
+TEST(ComputeManager, ReserveReleaseLifecycle) {
+  ComputeManager cm("DomainC", 64);
+  const auto id = cm.reserve("CN=Alice,O=A,C=US", 16, {0, seconds(100)});
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(cm.exists(*id));
+  EXPECT_TRUE(cm.is_valid(*id, seconds(50)));
+  EXPECT_FALSE(cm.is_valid(*id, seconds(100)));  // half-open interval
+  EXPECT_DOUBLE_EQ(cm.committed_at(seconds(50)), 16);
+  ASSERT_TRUE(cm.release(*id).ok());
+  EXPECT_FALSE(cm.exists(*id));
+}
+
+TEST(ComputeManager, CapacityEnforced) {
+  ComputeManager cm("DomainC", 64);
+  ASSERT_TRUE(cm.reserve("u1", 40, {0, seconds(100)}).ok());
+  EXPECT_FALSE(cm.reserve("u2", 30, {0, seconds(100)}).ok());
+  EXPECT_TRUE(cm.reserve("u2", 30, {seconds(100), seconds(200)}).ok());
+  EXPECT_FALSE(cm.reserve("u3", 0, {0, seconds(1)}).ok());
+  EXPECT_FALSE(cm.release("ghost").ok());
+}
+
+TEST(StorageManager, ReserveReleaseLifecycle) {
+  StorageManager sm("DomainC", 1e12);
+  const auto id = sm.reserve("u", 4e11, {0, seconds(100)});
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(sm.exists(*id));
+  EXPECT_FALSE(sm.reserve("u2", 7e11, {0, seconds(100)}).ok());
+  ASSERT_TRUE(sm.release(*id).ok());
+  EXPECT_TRUE(sm.reserve("u2", 7e11, {0, seconds(100)}).ok());
+}
+
+struct GaraFixture {
+  ChainWorld world{[] {
+    ChainWorldConfig config;
+    // Destination requires a valid CPU reservation above 5 Mb/s (Fig. 6
+    // policy C shape).
+    config.policies = {"Return GRANT", "Return GRANT",
+                       "If BW >= 5Mb/s {\n"
+                       "  If Issued_by(Capability) = ESnet and "
+                       "HasValidCPUResv(RAR) { Return GRANT }\n"
+                       "}\n"
+                       "Else { Return GRANT }\n"
+                       "Return DENY"};
+    return config;
+  }()};
+  ComputeManager compute{"DomainC", 64};
+  StorageManager storage{"DomainC", 1e12};
+  Gara gara{world.engine()};
+  WorldUser alice = world.make_user("Alice", 0);
+
+  GaraFixture() {
+    gara.attach_compute(compute);
+    gara.attach_storage(storage);
+  }
+};
+
+TEST(Gara, NetworkReservationThroughUniformApi) {
+  GaraFixture f;
+  bb::ResSpec spec = f.world.spec(f.alice, 1e6);  // below the CPU threshold
+  const auto r = f.gara.reserve_network(f.alice.credentials(), spec, 0);
+  ASSERT_TRUE(r.ok()) << r.error().to_text();
+  EXPECT_EQ(r->type, ResourceType::kNetwork);
+  EXPECT_EQ(r->domain, "DomainC");
+  EXPECT_EQ(r->network_reply.handles.size(), 3u);
+  ASSERT_TRUE(f.gara.release(*r).ok());
+  EXPECT_EQ(f.world.broker(0).reservation_count(), 0u);
+}
+
+TEST(Gara, NetworkDenialSurfacesOrigin) {
+  GaraFixture f;
+  // 10 Mb/s without a CPU reservation: destination policy denies.
+  bb::ResSpec spec = f.world.spec(f.alice, 10e6);
+  const auto r = f.gara.reserve_network(f.alice.credentials(), spec, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kPolicyDenied);
+  EXPECT_EQ(r.error().origin, "DomainC");
+}
+
+TEST(Gara, CoReservationSatisfiesDestinationPolicy) {
+  GaraFixture f;
+  bb::ResSpec spec = f.world.spec(f.alice, 10e6);
+  const auto co = f.gara.co_reserve(f.alice.credentials(), spec, 8, 0);
+  ASSERT_TRUE(co.ok()) << co.error().to_text();
+  EXPECT_EQ(co->cpu.type, ResourceType::kCpu);
+  EXPECT_TRUE(f.compute.exists(co->cpu.handle));
+  EXPECT_EQ(co->network.network_reply.handles.size(), 3u);
+  // Releasing both restores all state.
+  ASSERT_TRUE(f.gara.release(co->network).ok());
+  ASSERT_TRUE(f.gara.release(co->cpu).ok());
+  EXPECT_EQ(f.compute.count(), 0u);
+}
+
+TEST(Gara, CoReservationRollsBackCpuOnNetworkDenial) {
+  GaraFixture f;
+  // Exhaust the SLA so the network leg fails after the CPU leg succeeds.
+  bb::ResSpec big = f.world.spec(f.alice, 200e6);  // above the 100 Mb/s SLA
+  const auto co = f.gara.co_reserve(f.alice.credentials(), big, 8, 0);
+  ASSERT_FALSE(co.ok());
+  EXPECT_EQ(f.compute.count(), 0u);  // CPU reservation rolled back
+}
+
+TEST(Gara, CpuAndDiskThroughUniformApi) {
+  GaraFixture f;
+  const auto cpu = f.gara.reserve_cpu("DomainC", "u", 4, {0, seconds(60)});
+  ASSERT_TRUE(cpu.ok());
+  const auto disk =
+      f.gara.reserve_disk("DomainC", "u", 1e9, {0, seconds(60)});
+  ASSERT_TRUE(disk.ok());
+  EXPECT_FALSE(f.gara.reserve_cpu("DomainX", "u", 1, {0, seconds(1)}).ok());
+  EXPECT_FALSE(f.gara.reserve_disk("DomainX", "u", 1, {0, seconds(1)}).ok());
+  EXPECT_TRUE(f.gara.release(*cpu).ok());
+  EXPECT_TRUE(f.gara.release(*disk).ok());
+}
+
+TEST(EdgeBinding, InstallsAndRemovesPolicers) {
+  // A broker commit must configure the simulator's edge policer so the
+  // user's flow gets EF marking (observable as premium goodput).
+  net::Topology topo;
+  const auto da = topo.add_domain("DomainA");
+  const auto db = topo.add_domain("DomainB");
+  const auto ra = topo.add_router(da, "edge-A", true);
+  const auto rb = topo.add_router(db, "edge-B", true);
+  const auto ab = topo.add_link(ra, rb, 100e6, milliseconds(5));
+  net::Simulator sim(std::move(topo));
+
+  net::FlowDescription fd;
+  fd.name = "alice";
+  fd.source = ra;
+  fd.destination = rb;
+  fd.wants_premium = true;
+  fd.pattern = net::TrafficPattern::cbr(10e6);
+  const net::FlowId flow = sim.add_flow(fd).value();
+
+  ChainWorld world;  // supplies a ready-made broker for DomainA
+  EdgeBinding binding(sim, ab);
+  binding.bind_flow("CN=Alice,O=DomainA,C=US", flow);
+  binding.attach(world.broker(0));
+
+  bb::ResSpec spec;
+  spec.user = "CN=Alice,O=DomainA,C=US";
+  spec.source_domain = "DomainA";
+  spec.destination_domain = "DomainA";
+  spec.rate_bits_per_s = 10e6;
+  spec.burst_bits = 30000;
+  spec.interval = {0, seconds(10)};
+  const auto handle = world.broker(0).commit(spec, "");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(binding.installed_policers(), 1u);
+
+  sim.run_until(seconds(2));
+  EXPECT_NEAR(sim.stats(flow).premium_goodput_bits_per_s(seconds(2)), 10e6,
+              1e6);
+
+  // Release removes the policer; subsequent traffic is best-effort.
+  ASSERT_TRUE(world.broker(0).release(*handle).ok());
+  const auto premium_before = sim.stats(flow).delivered_premium_bits;
+  sim.run_until(seconds(4));
+  EXPECT_LT(sim.stats(flow).delivered_premium_bits - premium_before,
+            premium_before / 4);
+}
+
+}  // namespace
+}  // namespace e2e::gara

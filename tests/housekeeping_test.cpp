@@ -1,0 +1,107 @@
+// Operational housekeeping: expired-reservation purge and per-link
+// transmission accounting.
+#include <gtest/gtest.h>
+
+#include "net/simulator.hpp"
+#include "testing_world.hpp"
+
+namespace e2e {
+namespace {
+
+using testing::ChainWorld;
+using testing::WorldUser;
+
+TEST(Housekeeping, PurgeDropsOnlyExpiredReservations) {
+  ChainWorld world;
+  const WorldUser alice = world.make_user("Alice", 0);
+  const auto short_msg = world.engine().build_user_request(
+      alice.credentials(), world.spec(alice, 10e6, {0, seconds(10)}), 0);
+  const auto long_msg = world.engine().build_user_request(
+      alice.credentials(), world.spec(alice, 10e6, {0, seconds(100)}), 0);
+  ASSERT_TRUE(world.engine().reserve(*short_msg, 0)->reply.granted);
+  ASSERT_TRUE(world.engine().reserve(*long_msg, 0)->reply.granted);
+  EXPECT_EQ(world.broker(1).reservation_count(), 2u);
+
+  // At t=50 the first reservation's window has closed.
+  EXPECT_EQ(world.broker(1).purge_expired(seconds(50)), 1u);
+  EXPECT_EQ(world.broker(1).reservation_count(), 1u);
+  // The long reservation still counts against capacity.
+  EXPECT_DOUBLE_EQ(world.broker(1).committed_at(seconds(60)), 10e6);
+  // Purge is idempotent.
+  EXPECT_EQ(world.broker(1).purge_expired(seconds(50)), 0u);
+}
+
+TEST(Housekeeping, PurgeNotifiesEdgeConfigurator) {
+  ChainWorld world;
+  const WorldUser alice = world.make_user("Alice", 0);
+  std::vector<std::pair<std::string, bool>> calls;
+  world.broker(0).set_edge_configurator(
+      [&calls](const bb::Reservation& r, bool install) {
+        calls.emplace_back(r.id, install);
+      });
+  const auto msg = world.engine().build_user_request(
+      alice.credentials(), world.spec(alice, 10e6, {0, seconds(10)}), 0);
+  ASSERT_TRUE(world.engine().reserve(*msg, 0)->reply.granted);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_TRUE(calls[0].second);
+  ASSERT_EQ(world.broker(0).purge_expired(seconds(20)), 1u);
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_FALSE(calls[1].second);  // uninstall notification
+}
+
+TEST(Housekeeping, PurgeRestoresSlaPools) {
+  ChainWorld world;  // 100 Mb/s SLA between neighbours
+  const WorldUser alice = world.make_user("Alice", 0);
+  const auto msg = world.engine().build_user_request(
+      alice.credentials(), world.spec(alice, 90e6, {0, seconds(10)}), 0);
+  ASSERT_TRUE(world.engine().reserve(*msg, 0)->reply.granted);
+  for (std::size_t i = 0; i < 3; ++i) {
+    (void)world.broker(i).purge_expired(seconds(20));
+  }
+  // A new reservation in a window overlapping the purged one's record
+  // must succeed (pool entries were reclaimed, and the old window ended).
+  const auto next = world.engine().build_user_request(
+      alice.credentials(),
+      world.spec(alice, 90e6, {seconds(30), seconds(40)}), 0);
+  EXPECT_TRUE(world.engine().reserve(*next, seconds(20))->reply.granted);
+}
+
+TEST(Housekeeping, LinkStatsAccounting) {
+  net::Topology topo;
+  const auto d = topo.add_domain("D");
+  const auto a = topo.add_router(d, "a", true);
+  const auto b = topo.add_router(d, "b", true);
+  const auto ab = topo.add_link(a, b, 100e6, milliseconds(1));
+  net::Simulator sim(std::move(topo));
+  net::FlowDescription fd;
+  fd.name = "f";
+  fd.source = a;
+  fd.destination = b;
+  fd.pattern = net::TrafficPattern::cbr(50e6);
+  const auto flow = sim.add_flow(fd).value();
+  sim.run_until(seconds(2));
+
+  const auto& ls = sim.link_stats(ab);
+  // Transmitted >= delivered (packets still propagating at the cut-off)
+  // and <= emitted.
+  EXPECT_GE(ls.tx_packets, sim.stats(flow).delivered_packets);
+  EXPECT_LE(ls.tx_packets, sim.stats(flow).emitted_packets);
+  EXPECT_LE(ls.tx_packets - sim.stats(flow).delivered_packets, 10u);
+  // 50 Mb/s offered on a 100 Mb/s link: ~50% utilization.
+  EXPECT_NEAR(ls.utilization(seconds(2)), 0.5, 0.03);
+}
+
+TEST(Housekeeping, IdleLinkHasZeroStats) {
+  net::Topology topo;
+  const auto d = topo.add_domain("D");
+  const auto a = topo.add_router(d, "a", true);
+  const auto b = topo.add_router(d, "b", true);
+  const auto ab = topo.add_link(a, b, 100e6, 0);
+  net::Simulator sim(std::move(topo));
+  sim.run_until(seconds(1));
+  EXPECT_EQ(sim.link_stats(ab).tx_packets, 0u);
+  EXPECT_DOUBLE_EQ(sim.link_stats(ab).utilization(seconds(1)), 0.0);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,89 @@
+// The deployment kit is public API (examples and downstream users build on
+// it); pin its wiring invariants.
+#include "kit/chain_world.hpp"
+
+#include <gtest/gtest.h>
+
+namespace e2e::kit {
+namespace {
+
+TEST(ChainWorld, DefaultShape) {
+  ChainWorld world;
+  ASSERT_EQ(world.names().size(), 3u);
+  EXPECT_EQ(world.names()[0], "DomainA");
+  EXPECT_EQ(world.names()[2], "DomainC");
+  EXPECT_EQ(world.broker(0).domain(), "DomainA");
+}
+
+TEST(ChainWorld, SlasInstalledDownstream) {
+  ChainWorld world;
+  // B accepts from A, C accepts from B — and nothing else.
+  EXPECT_NE(world.broker(1).upstream_sla("DomainA"), nullptr);
+  EXPECT_NE(world.broker(2).upstream_sla("DomainB"), nullptr);
+  EXPECT_EQ(world.broker(0).upstream_sla("DomainB"), nullptr);
+  EXPECT_EQ(world.broker(2).upstream_sla("DomainA"), nullptr);
+  // SLA carries the peer trust material.
+  const auto* sla = world.broker(1).upstream_sla("DomainA");
+  ASSERT_TRUE(sla->peer_bb_certificate.has_value());
+  ASSERT_TRUE(sla->peer_ca_certificate.has_value());
+  EXPECT_EQ(sla->peer_bb_certificate->subject(), world.broker(0).dn());
+}
+
+TEST(ChainWorld, NextHopsReachEveryDownstreamDomain) {
+  ChainWorldConfig config;
+  config.domains = 5;
+  ChainWorld world(config);
+  for (std::size_t i = 0; i + 1 < 5; ++i) {
+    for (std::size_t dest = i + 1; dest < 5; ++dest) {
+      const auto hop = world.broker(i).next_hop(world.names()[dest]);
+      ASSERT_TRUE(hop.has_value());
+      EXPECT_EQ(*hop, world.names()[i + 1]);
+    }
+  }
+}
+
+TEST(ChainWorld, CustomPoliciesCycle) {
+  ChainWorldConfig config;
+  config.domains = 4;
+  config.policies = {"Return GRANT", "Return DENY"};  // cycles A,B,C,D
+  ChainWorld world(config);
+  WorldUser alice = world.make_user("Alice", 0);
+  const auto msg = world.engine().build_user_request(
+      alice.credentials(), world.spec(alice, 1e6), 0);
+  const auto outcome = world.engine().reserve(*msg, seconds(1));
+  ASSERT_FALSE(outcome->reply.granted);
+  EXPECT_EQ(outcome->reply.denial.origin, "DomainB");  // second policy
+}
+
+TEST(ChainWorld, UserMaterialConsistent) {
+  ChainWorld world;
+  const WorldUser u = world.make_user("Alice", 1, /*with_capability=*/true);
+  EXPECT_EQ(u.dn.organization(), "DomainB");
+  EXPECT_TRUE(u.identity_cert.verify_signature(world.ca(1).public_key()));
+  ASSERT_TRUE(u.capability_cert.has_value());
+  EXPECT_TRUE(u.capability_cert->is_capability_certificate());
+  EXPECT_EQ(u.capability_cert->subject_public_key(), u.proxy_keys.pub);
+  const auto creds = u.credentials();
+  EXPECT_TRUE(creds.capability_certificate.has_value());
+  EXPECT_TRUE(creds.proxy_key.has_value());
+  // Without capability: credentials omit the proxy material.
+  const WorldUser plain = world.make_user("Bob", 1, false);
+  EXPECT_FALSE(plain.credentials().capability_certificate.has_value());
+}
+
+TEST(ChainWorld, DeterministicAcrossInstances) {
+  ChainWorldConfig config;
+  config.seed = 777;
+  ChainWorld w1(config), w2(config);
+  EXPECT_EQ(w1.broker(0).certificate().encode(),
+            w2.broker(0).certificate().encode());
+}
+
+TEST(ChainWorld, DomainNamesBeyondAlphabet) {
+  EXPECT_EQ(ChainWorld::domain_name(0), "DomainA");
+  EXPECT_EQ(ChainWorld::domain_name(25), "DomainZ");
+  EXPECT_EQ(ChainWorld::domain_name(26), "Domain26");
+}
+
+}  // namespace
+}  // namespace e2e::kit

@@ -1,0 +1,71 @@
+#include "net/des.hpp"
+
+#include <gtest/gtest.h>
+
+namespace e2e::net {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueue, StableForEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(10, [&] { ++ran; });
+  q.schedule_at(20, [&] { ++ran; });
+  q.schedule_at(21, [&] { ++ran; });
+  EXPECT_EQ(q.run_until(20), 2u);  // inclusive boundary
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.schedule_in(10, chain);
+  };
+  q.schedule_at(0, chain);
+  q.run_until(1000);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), 1000);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue q;
+  SimTime seen = -1;
+  q.schedule_at(50, [&] {
+    q.schedule_at(10, [&] { seen = q.now(); });  // in the past
+  });
+  q.run_all();
+  EXPECT_EQ(seen, 50);
+}
+
+TEST(EventQueue, ScheduleInUsesCurrentTime) {
+  EventQueue q;
+  SimTime seen = -1;
+  q.schedule_at(100, [&] { q.schedule_in(25, [&] { seen = q.now(); }); });
+  q.run_all();
+  EXPECT_EQ(seen, 125);
+}
+
+}  // namespace
+}  // namespace e2e::net

@@ -1,0 +1,178 @@
+// Simulator edge cases: queue boundaries, delay behaviour under load,
+// policer reconfiguration mid-run, multi-path topologies.
+#include <gtest/gtest.h>
+
+#include "net/simulator.hpp"
+
+namespace e2e::net {
+namespace {
+
+struct TwoHop {
+  Topology topo;
+  RouterId ra, rb, rc;
+  LinkId ab, bc;
+
+  explicit TwoHop(double capacity = 100e6, std::size_t qlimit = 64) {
+    const auto da = topo.add_domain("A");
+    const auto db = topo.add_domain("B");
+    const auto dc = topo.add_domain("C");
+    ra = topo.add_router(da, "ra", true);
+    rb = topo.add_router(db, "rb", false);
+    rc = topo.add_router(dc, "rc", true);
+    ab = topo.add_link(ra, rb, capacity, milliseconds(5), qlimit);
+    bc = topo.add_link(rb, rc, capacity, milliseconds(5), qlimit);
+  }
+};
+
+FlowDescription flow(const char* name, RouterId src, RouterId dst,
+                     TrafficPattern pattern, bool premium = false) {
+  FlowDescription d;
+  d.name = name;
+  d.source = src;
+  d.destination = dst;
+  d.wants_premium = premium;
+  d.pattern = pattern;
+  return d;
+}
+
+TEST(NetEdge, QueueLimitOneStillDelivers) {
+  TwoHop t(100e6, /*qlimit=*/1);
+  Simulator sim(std::move(t.topo));
+  const FlowId f = sim.add_flow(flow("tiny-queues", t.ra, t.rc,
+                                     TrafficPattern::cbr(10e6)))
+                       .value();
+  sim.run_until(seconds(1));
+  // Uncongested CBR with queue limit 1: everything still flows.
+  EXPECT_GT(sim.stats(f).delivered_packets, 0u);
+  EXPECT_EQ(sim.stats(f).dropped_queue_packets, 0u);
+}
+
+TEST(NetEdge, BestEffortDelayGrowsUnderCongestionEfDoesNot) {
+  TwoHop t(20e6);
+  Simulator sim(std::move(t.topo), 3);
+  const FlowId ef =
+      sim.add_flow(flow("ef", t.ra, t.rc, TrafficPattern::cbr(5e6), true))
+          .value();
+  const FlowId be =
+      sim.add_flow(flow("be", t.ra, t.rc, TrafficPattern::poisson(18e6)))
+          .value();
+  sim.set_flow_policer(t.ab, ef, TokenBucket(6e6, 60000),
+                       sla::ExcessTreatment::kDrop);
+  sim.run_until(seconds(3));
+  // EF rides the priority queue: close to the propagation floor (10 ms).
+  EXPECT_LT(sim.stats(ef).mean_delay_us(), 13000.0);
+  // The overloaded best-effort class queues up far beyond that.
+  EXPECT_GT(sim.stats(be).mean_delay_us(),
+            2 * sim.stats(ef).mean_delay_us());
+}
+
+TEST(NetEdge, PolicerReconfigurationMidRun) {
+  TwoHop t;
+  Simulator sim(std::move(t.topo));
+  const FlowId f =
+      sim.add_flow(flow("resize", t.ra, t.rc, TrafficPattern::cbr(10e6),
+                        true))
+          .value();
+  sim.set_flow_policer(t.ab, f, TokenBucket(10e6, 120000),
+                       sla::ExcessTreatment::kDrop);
+  sim.run_until(seconds(2));
+  const auto premium_phase1 = sim.stats(f).delivered_premium_bits;
+  EXPECT_GT(premium_phase1, static_cast<std::uint64_t>(15e6));
+  // Broker downgrades the reservation to 2 Mb/s at t=2s.
+  sim.set_flow_policer(t.ab, f, TokenBucket(2e6, 24000, sim.now()),
+                       sla::ExcessTreatment::kDrop);
+  sim.run_until(seconds(4));
+  const auto premium_phase2 =
+      sim.stats(f).delivered_premium_bits - premium_phase1;
+  // Phase 2 premium roughly 2 Mb/s * 2 s = 4 Mbit (policer-limited).
+  EXPECT_LT(premium_phase2, static_cast<std::uint64_t>(6e6));
+  EXPECT_GT(sim.stats(f).dropped_policer_packets, 0u);
+}
+
+TEST(NetEdge, FanInCongestionSharedLink) {
+  // Two sources fan into one bottleneck.
+  Topology topo;
+  const auto d = topo.add_domain("D");
+  const auto r1 = topo.add_router(d, "src1", true);
+  const auto r2 = topo.add_router(d, "src2", true);
+  const auto mid = topo.add_router(d, "mid", false);
+  const auto dst = topo.add_router(d, "dst", true);
+  topo.add_link(r1, mid, 100e6, milliseconds(1));
+  topo.add_link(r2, mid, 100e6, milliseconds(1));
+  topo.add_link(mid, dst, 10e6, milliseconds(1));  // bottleneck
+  Simulator sim(std::move(topo), 5);
+  const FlowId f1 =
+      sim.add_flow(flow("f1", r1, dst, TrafficPattern::poisson(8e6))).value();
+  const FlowId f2 =
+      sim.add_flow(flow("f2", r2, dst, TrafficPattern::poisson(8e6))).value();
+  sim.run_until(seconds(4));
+  const double g1 = sim.stats(f1).goodput_bits_per_s(seconds(4));
+  const double g2 = sim.stats(f2).goodput_bits_per_s(seconds(4));
+  // Bottleneck shared: combined goodput ~ 10 Mb/s, roughly fair.
+  EXPECT_NEAR(g1 + g2, 10e6, 1.5e6);
+  EXPECT_GT(g1, 3e6);
+  EXPECT_GT(g2, 3e6);
+}
+
+TEST(NetEdge, ZeroLatencyLinksWork) {
+  Topology topo;
+  const auto d = topo.add_domain("D");
+  const auto a = topo.add_router(d, "a", true);
+  const auto b = topo.add_router(d, "b", true);
+  topo.add_link(a, b, 100e6, 0);
+  Simulator sim(std::move(topo));
+  const FlowId f =
+      sim.add_flow(flow("zl", a, b, TrafficPattern::cbr(1e6))).value();
+  sim.run_until(seconds(1));
+  EXPECT_GT(sim.stats(f).delivered_packets, 0u);
+  // Delay = pure transmission time: 12000 bits / 100 Mb/s = 120 us.
+  EXPECT_NEAR(sim.stats(f).mean_delay_us(), 120.0, 1.0);
+}
+
+TEST(NetEdge, StatsStartEmpty) {
+  TwoHop t;
+  Simulator sim(std::move(t.topo));
+  const FlowId f =
+      sim.add_flow(flow("idle", t.ra, t.rc, TrafficPattern::cbr(1e6)))
+          .value();
+  const FlowStats& st = sim.stats(f);
+  EXPECT_EQ(st.emitted_packets, 0u);
+  EXPECT_EQ(st.delivered_packets, 0u);
+  EXPECT_DOUBLE_EQ(st.goodput_bits_per_s(seconds(1)), 0.0);
+  EXPECT_DOUBLE_EQ(st.mean_delay_us(), 0.0);
+}
+
+TEST(NetEdge, DelayedFlowStart) {
+  TwoHop t;
+  Simulator sim(std::move(t.topo));
+  FlowDescription d = flow("late", t.ra, t.rc, TrafficPattern::cbr(10e6));
+  d.start = seconds(2);
+  const FlowId f = sim.add_flow(d).value();
+  sim.run_until(seconds(1));
+  EXPECT_EQ(sim.stats(f).emitted_packets, 0u);
+  sim.run_until(seconds(4));
+  EXPECT_NEAR(static_cast<double>(sim.stats(f).emitted_bits), 20e6, 1e6);
+}
+
+TEST(NetEdge, PerFlowPolicerOnlyAffectsItsFlow) {
+  TwoHop t;
+  Simulator sim(std::move(t.topo));
+  const FlowId policed =
+      sim.add_flow(flow("policed", t.ra, t.rc, TrafficPattern::cbr(10e6),
+                        true))
+          .value();
+  const FlowId other =
+      sim.add_flow(flow("other", t.ra, t.rc, TrafficPattern::cbr(10e6),
+                        true))
+          .value();
+  sim.set_flow_policer(t.ab, policed, TokenBucket(1e6, 12000),
+                       sla::ExcessTreatment::kDrop);
+  sim.run_until(seconds(2));
+  EXPECT_GT(sim.stats(policed).dropped_policer_packets, 0u);
+  // The other flow has no policer: it is never dropped (and never marked).
+  EXPECT_EQ(sim.stats(other).dropped_policer_packets, 0u);
+  EXPECT_EQ(sim.stats(other).delivered_premium_bits, 0u);
+}
+
+}  // namespace
+}  // namespace e2e::net

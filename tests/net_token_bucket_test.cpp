@@ -1,0 +1,77 @@
+#include "net/token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace e2e::net {
+namespace {
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket tb(1e6, 10000);
+  EXPECT_DOUBLE_EQ(tb.tokens(0), 10000);
+  EXPECT_TRUE(tb.conforms(10000, 0));
+  EXPECT_FALSE(tb.conforms(1, 0));
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket tb(1e6, 10000);  // 1 Mb/s, 10 kb burst
+  EXPECT_TRUE(tb.conforms(10000, 0));
+  // After 5 ms at 1 Mb/s: 5000 bits refilled.
+  EXPECT_DOUBLE_EQ(tb.tokens(milliseconds(5)), 5000);
+  EXPECT_TRUE(tb.conforms(5000, milliseconds(5)));
+  EXPECT_FALSE(tb.conforms(1000, milliseconds(5)));
+}
+
+TEST(TokenBucket, CapsAtBurst) {
+  TokenBucket tb(1e6, 10000);
+  EXPECT_TRUE(tb.conforms(10000, 0));
+  // Long idle: tokens cap at burst, not rate * elapsed.
+  EXPECT_DOUBLE_EQ(tb.tokens(seconds(100)), 10000);
+}
+
+TEST(TokenBucket, NonConformingConsumesNothing) {
+  TokenBucket tb(1e6, 8000);
+  EXPECT_TRUE(tb.conforms(8000, 0));
+  EXPECT_FALSE(tb.conforms(5000, milliseconds(1)));  // only 1000 available
+  // The failed attempt must not have burned the 1000 tokens.
+  EXPECT_DOUBLE_EQ(tb.tokens(milliseconds(1)), 1000);
+}
+
+TEST(TokenBucket, LongRunConformanceMatchesRate) {
+  // Property: over a long window, admitted traffic <= rate * time + burst.
+  TokenBucket tb(10e6, 15000);
+  const std::uint32_t pkt = 12000;
+  std::uint64_t admitted_bits = 0;
+  // Offer 2x the contracted rate for 1 second.
+  const SimDuration gap = static_cast<SimDuration>(pkt / 20e6 * 1e6);
+  for (SimTime t = 0; t < seconds(1); t += gap) {
+    if (tb.conforms(pkt, t)) admitted_bits += pkt;
+  }
+  EXPECT_LE(admitted_bits, 10e6 + 15000 + pkt);
+  EXPECT_GE(admitted_bits, 10e6 * 0.95);  // bucket should not under-admit
+}
+
+TEST(TokenBucket, ReconfigureClampsTokens) {
+  TokenBucket tb(1e6, 100000);
+  tb.reconfigure(2e6, 5000, 0);
+  EXPECT_DOUBLE_EQ(tb.tokens(0), 5000);
+  EXPECT_DOUBLE_EQ(tb.rate(), 2e6);
+  // Refill now follows the new rate: 2 Mb/s for 1 ms = 2000 bits.
+  EXPECT_TRUE(tb.conforms(5000, 0));
+  EXPECT_DOUBLE_EQ(tb.tokens(milliseconds(1)), 2000);
+}
+
+TEST(TokenBucket, TimeNeverRunsBackwards) {
+  TokenBucket tb(1e6, 10000);
+  EXPECT_TRUE(tb.conforms(10000, milliseconds(10)));
+  // An out-of-order query at an earlier time must not refill or crash.
+  EXPECT_DOUBLE_EQ(tb.tokens(milliseconds(5)), 0);
+}
+
+TEST(TokenBucket, ZeroRateNeverRefills) {
+  TokenBucket tb(0, 1000);
+  EXPECT_TRUE(tb.conforms(1000, 0));
+  EXPECT_FALSE(tb.conforms(1, seconds(1000)));
+}
+
+}  // namespace
+}  // namespace e2e::net

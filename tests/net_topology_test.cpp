@@ -1,0 +1,112 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace e2e::net {
+namespace {
+
+/// Linear three-domain topology used throughout the paper's figures:
+/// host-side edge A -> boundary A|B -> core B -> boundary B|C -> edge C.
+struct ChainFixture {
+  Topology topo;
+  DomainId da, db, dc;
+  RouterId ra, rb, rc;
+  LinkId ab, bc;
+
+  ChainFixture() {
+    da = topo.add_domain("DomainA");
+    db = topo.add_domain("DomainB");
+    dc = topo.add_domain("DomainC");
+    ra = topo.add_router(da, "edge-A", true);
+    rb = topo.add_router(db, "core-B", false);
+    rc = topo.add_router(dc, "edge-C", true);
+    ab = topo.add_link(ra, rb, 100e6, milliseconds(5));
+    bc = topo.add_link(rb, rc, 100e6, milliseconds(5));
+  }
+};
+
+TEST(Topology, BasicAccessors) {
+  ChainFixture f;
+  EXPECT_EQ(f.topo.domain_count(), 3u);
+  EXPECT_EQ(f.topo.router_count(), 3u);
+  EXPECT_EQ(f.topo.link_count(), 2u);
+  EXPECT_EQ(f.topo.domain(f.db).name, "DomainB");
+  EXPECT_TRUE(f.topo.router(f.ra).is_edge);
+  EXPECT_FALSE(f.topo.router(f.rb).is_edge);
+  EXPECT_EQ(f.topo.link(f.ab).capacity_bits_per_s, 100e6);
+}
+
+TEST(Topology, FindDomainByName) {
+  ChainFixture f;
+  EXPECT_EQ(f.topo.find_domain("DomainC"), f.dc);
+  EXPECT_FALSE(f.topo.find_domain("DomainX").has_value());
+}
+
+TEST(Topology, BoundaryLinkDetection) {
+  ChainFixture f;
+  EXPECT_TRUE(f.topo.is_boundary_link(f.ab));
+  const RouterId ra2 = f.topo.add_router(f.da, "core-A", false);
+  const LinkId intra = f.topo.add_link(f.ra, ra2, 1e9, microseconds(10));
+  EXPECT_FALSE(f.topo.is_boundary_link(intra));
+}
+
+TEST(Topology, ShortestPathLinear) {
+  ChainFixture f;
+  const auto path = f.topo.shortest_path(f.ra, f.rc);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, (std::vector<LinkId>{f.ab, f.bc}));
+}
+
+TEST(Topology, ShortestPathSelf) {
+  ChainFixture f;
+  EXPECT_TRUE(f.topo.shortest_path(f.ra, f.ra)->empty());
+}
+
+TEST(Topology, NoRouteBackwards) {
+  ChainFixture f;  // links are unidirectional
+  const auto path = f.topo.shortest_path(f.rc, f.ra);
+  ASSERT_FALSE(path.ok());
+  EXPECT_EQ(path.error().code, ErrorCode::kNoRoute);
+}
+
+TEST(Topology, ShortestPathPrefersFewerHops) {
+  ChainFixture f;
+  // Add a direct A->C shortcut; BFS must choose it.
+  const LinkId direct = f.topo.add_link(f.ra, f.rc, 10e6, milliseconds(50));
+  const auto path = f.topo.shortest_path(f.ra, f.rc);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, (std::vector<LinkId>{direct}));
+}
+
+TEST(Topology, DomainsOnPath) {
+  ChainFixture f;
+  const auto path = f.topo.shortest_path(f.ra, f.rc).value();
+  const auto domains = f.topo.domains_on_path(path, f.ra);
+  EXPECT_EQ(domains, (std::vector<DomainId>{f.da, f.db, f.dc}));
+}
+
+TEST(Topology, DomainsOnPathCollapsesIntraDomainHops) {
+  Topology topo;
+  const DomainId da = topo.add_domain("A");
+  const DomainId db = topo.add_domain("B");
+  const RouterId r1 = topo.add_router(da, "a1", true);
+  const RouterId r2 = topo.add_router(da, "a2", false);
+  const RouterId r3 = topo.add_router(db, "b1", true);
+  topo.add_link(r1, r2, 1e9, 0);
+  topo.add_link(r2, r3, 1e9, 0);
+  const auto path = topo.shortest_path(r1, r3).value();
+  EXPECT_EQ(topo.domains_on_path(path, r1), (std::vector<DomainId>{da, db}));
+}
+
+TEST(Topology, InvalidConstruction) {
+  Topology topo;
+  EXPECT_THROW(topo.add_router(5, "x", true), std::out_of_range);
+  const DomainId d = topo.add_domain("A");
+  const RouterId r = topo.add_router(d, "r", true);
+  EXPECT_THROW(topo.add_link(r, 99, 1e6, 0), std::out_of_range);
+  const RouterId r2 = topo.add_router(d, "r2", true);
+  EXPECT_THROW(topo.add_link(r, r2, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace e2e::net

@@ -1,0 +1,401 @@
+#include <gtest/gtest.h>
+
+#include "policy/policy.hpp"
+
+namespace e2e::policy {
+namespace {
+
+Policy compile(std::string src) {
+  auto p = Policy::compile(std::move(src));
+  EXPECT_TRUE(p.ok()) << (p.ok() ? "" : p.error().to_text());
+  return p.value();
+}
+
+Decision run(const Policy& p, const EvalContext& ctx) {
+  return p.decide(ctx).value();
+}
+
+TEST(Eval, ReturnGrant) {
+  const Policy p = compile("Return GRANT");
+  EXPECT_EQ(run(p, EvalContext{}), Decision::kGrant);
+}
+
+TEST(Eval, EmptyPolicyDefaultsDeny) {
+  const Policy p = compile("");
+  EXPECT_EQ(run(p, EvalContext{}), Decision::kDeny);
+  EXPECT_EQ(p.decide(EvalContext{}, Decision::kGrant).value(),
+            Decision::kGrant);  // configurable open-world
+}
+
+TEST(Eval, UserEqualsBareWord) {
+  const Policy p = compile(R"(
+    If User = Alice { Return GRANT }
+    Return DENY
+  )");
+  EvalContext alice;
+  alice.set_user("Alice");
+  EXPECT_EQ(run(p, alice), Decision::kGrant);
+  EvalContext bob;
+  bob.set_user("Bob");
+  EXPECT_EQ(run(p, bob), Decision::kDeny);
+}
+
+TEST(Eval, UserEqualsQuotedString) {
+  const Policy p = compile(R"(If User = "Alice Liddell" Return GRANT)");
+  EvalContext ctx;
+  ctx.set_user("Alice Liddell");
+  EXPECT_EQ(run(p, ctx), Decision::kGrant);
+}
+
+TEST(Eval, BandwidthComparison) {
+  const Policy p = compile(R"(
+    If BW <= 10Mb/s { Return GRANT }
+    Return DENY
+  )");
+  EvalContext ok;
+  ok.set_bandwidth(10e6);
+  EXPECT_EQ(run(p, ok), Decision::kGrant);
+  EvalContext too_much;
+  too_much.set_bandwidth(10e6 + 1);
+  EXPECT_EQ(run(p, too_much), Decision::kDeny);
+}
+
+TEST(Eval, TimeOfDayWindow) {
+  const Policy p = compile(R"(
+    If Time > 8am and Time < 5pm { Return DENY }
+    Return GRANT
+  )");
+  EvalContext business;
+  business.set_time(hours(12));
+  EXPECT_EQ(run(p, business), Decision::kDeny);
+  EvalContext night;
+  night.set_time(hours(22));
+  EXPECT_EQ(run(p, night), Decision::kGrant);
+  // Next virtual day wraps.
+  EvalContext next_day_noon;
+  next_day_noon.set_time(hours(24 + 12));
+  EXPECT_EQ(run(p, next_day_noon), Decision::kDeny);
+}
+
+TEST(Eval, AvailBwBuiltin) {
+  const Policy p = compile(R"(
+    If BW <= Avail_BW Return GRANT
+    Return DENY
+  )");
+  EvalContext ctx;
+  ctx.set_bandwidth(40e6);
+  ctx.set_available_bandwidth(100e6);
+  EXPECT_EQ(run(p, ctx), Decision::kGrant);
+  ctx.set_available_bandwidth(30e6);
+  EXPECT_EQ(run(p, ctx), Decision::kDeny);
+}
+
+TEST(Eval, GroupMembershipTest) {
+  const Policy p = compile(R"(
+    If Group = Atlas { If BW <= 10Mb/s Return GRANT }
+    Return DENY
+  )");
+  EvalContext member;
+  member.add_group("Atlas");
+  member.set_bandwidth(5e6);
+  EXPECT_EQ(run(p, member), Decision::kGrant);
+
+  EvalContext non_member;
+  non_member.set_bandwidth(5e6);
+  EXPECT_EQ(run(p, non_member), Decision::kDeny);
+
+  EvalContext member_too_fast;
+  member_too_fast.add_group("Atlas");
+  member_too_fast.set_bandwidth(50e6);
+  EXPECT_EQ(run(p, member_too_fast), Decision::kDeny);
+}
+
+TEST(Eval, IssuedByCapabilityTest) {
+  const Policy p = compile(R"(
+    If Issued_by(Capability) = ESnet Return GRANT
+    Return DENY
+  )");
+  EvalContext with;
+  with.add_capability({"ESnet", {"Capabilities of ESnet"}});
+  EXPECT_EQ(run(p, with), Decision::kGrant);
+
+  EvalContext wrong_community;
+  wrong_community.add_capability({"DOEGrid", {"x"}});
+  EXPECT_EQ(run(p, wrong_community), Decision::kDeny);
+
+  EvalContext without;
+  EXPECT_EQ(run(p, without), Decision::kDeny);
+}
+
+TEST(Eval, ExternalPredicate) {
+  const Policy p = compile(R"(
+    If HasValidCPUResv(RAR) Return GRANT
+    Return DENY
+  )");
+  EvalContext ctx;
+  bool cpu_ok = false;
+  ctx.register_predicate("HasValidCPUResv",
+                         [&](std::span<const Value>) { return Value(cpu_ok); });
+  EXPECT_EQ(run(p, ctx), Decision::kDeny);
+  cpu_ok = true;
+  EXPECT_EQ(run(p, ctx), Decision::kGrant);
+}
+
+TEST(Eval, PredicateReceivesArguments) {
+  const Policy p = compile(R"(
+    If Member("ATLAS experiment", User) Return GRANT
+    Return DENY
+  )");
+  EvalContext ctx;
+  ctx.set_user("Alice");
+  ctx.register_predicate("Member", [](std::span<const Value> args) {
+    return Value(args.size() == 2 && args[0].as_string() == "ATLAS experiment" &&
+                 args[1].as_string() == "Alice");
+  });
+  EXPECT_EQ(run(p, ctx), Decision::kGrant);
+}
+
+TEST(Eval, UnknownPredicateIsError) {
+  const Policy p = compile("If Accredited_Physicist(requestor) Return GRANT");
+  EvalContext ctx;
+  EXPECT_FALSE(p.decide(ctx).ok());
+}
+
+TEST(Eval, ElseAndElseIfChain) {
+  const Policy p = compile(R"(
+    If User = Alice {
+      If BW <= 10Mb/s { Return GRANT }
+      Else if BW <= 100Mb/s { Return DENY }
+      Else { Return DENY }
+    }
+    Else if User = Bob { Return DENY }
+    Else { Return GRANT }
+  )");
+  EvalContext alice;
+  alice.set_user("Alice");
+  alice.set_bandwidth(1e6);
+  EXPECT_EQ(run(p, alice), Decision::kGrant);
+
+  EvalContext bob;
+  bob.set_user("Bob");
+  bob.set_bandwidth(1e6);
+  EXPECT_EQ(run(p, bob), Decision::kDeny);
+
+  EvalContext carol;
+  carol.set_user("Carol");
+  carol.set_bandwidth(1e6);
+  EXPECT_EQ(run(p, carol), Decision::kGrant);
+}
+
+TEST(Eval, FallThroughIfNoBranchDecides) {
+  const Policy p = compile(R"(
+    If User = Alice { If BW <= 1Mb/s Return GRANT }
+    Return DENY
+  )");
+  EvalContext ctx;
+  ctx.set_user("Alice");
+  ctx.set_bandwidth(5e6);  // inner If fails, falls through to outer DENY
+  EXPECT_EQ(run(p, ctx), Decision::kDeny);
+}
+
+TEST(Eval, NotAndOrPrecedence) {
+  const Policy p = compile(R"(
+    If not User = Alice and BW <= 10Mb/s or Group = Ops Return GRANT
+    Return DENY
+  )");
+  // Parsed as ((not (User=Alice)) and BW<=10M) or (Group=Ops).
+  EvalContext bob_small;
+  bob_small.set_user("Bob");
+  bob_small.set_bandwidth(1e6);
+  EXPECT_EQ(run(p, bob_small), Decision::kGrant);
+
+  EvalContext alice_ops;
+  alice_ops.set_user("Alice");
+  alice_ops.set_bandwidth(99e6);
+  alice_ops.add_group("Ops");
+  EXPECT_EQ(run(p, alice_ops), Decision::kGrant);
+
+  EvalContext alice_plain;
+  alice_plain.set_user("Alice");
+  alice_plain.set_bandwidth(1e6);
+  EXPECT_EQ(run(p, alice_plain), Decision::kDeny);
+}
+
+TEST(Eval, OrderedComparisonOnStringsIsError) {
+  const Policy p = compile("If User < 5 Return GRANT");
+  EvalContext ctx;
+  ctx.set_user("Alice");
+  EXPECT_FALSE(p.decide(ctx).ok());
+}
+
+TEST(Eval, MissingAttributeComparesUnequal) {
+  const Policy p = compile(R"(
+    If Destination = DomainC Return GRANT
+    Return DENY
+  )");
+  EvalContext ctx;  // Destination never set -> treated as bare string "Destination"? No:
+  // "Destination" is unknown, so it evaluates to the string "Destination",
+  // which != "DomainC".
+  EXPECT_EQ(run(p, ctx), Decision::kDeny);
+  ctx.set("Destination", Value(std::string("DomainC")));
+  EXPECT_EQ(run(p, ctx), Decision::kGrant);
+}
+
+// ---- The actual policies from the paper's figures ----
+
+// Fig. 1, domain A: "If User = Alice ... GRANT; if Bob ... DENY".
+TEST(PaperPolicies, Fig1DomainA) {
+  const Policy p = compile(R"(
+    If User = Alice {
+      If Reservation_Type = Network { Return GRANT }
+    }
+    If User = Bob {
+      If Reservation_Type = Network { Return DENY }
+    }
+    Return DENY
+  )");
+  EvalContext alice;
+  alice.set_user("Alice");
+  alice.set("Reservation_Type", Value(std::string("Network")));
+  EXPECT_EQ(run(p, alice), Decision::kGrant);
+
+  EvalContext bob = alice;
+  bob.set_user("Bob");
+  EXPECT_EQ(run(p, bob), Decision::kDeny);
+}
+
+// Fig. 1, domain B: "If Accredited_Physicist(requestor) GRANT else DENY".
+TEST(PaperPolicies, Fig1DomainB) {
+  const Policy p = compile(R"(
+    If Reservation_Type = Network {
+      If Accredited_Physicist(requestor) { Return GRANT }
+      Else { Return DENY }
+    }
+    Return DENY
+  )");
+  EvalContext physicist;
+  physicist.set("Reservation_Type", Value(std::string("Network")));
+  physicist.register_predicate("Accredited_Physicist",
+                               [](std::span<const Value>) {
+                                 return Value(true);
+                               });
+  EXPECT_EQ(run(p, physicist), Decision::kGrant);
+}
+
+// Fig. 6, policy file A: Alice unlimited off-hours, 10 Mb/s business hours.
+const char* kFig6PolicyA = R"(
+  If User = Alice {
+    If Time > 8am and Time < 5pm {
+      If BW <= 10Mb/s { Return GRANT }
+      Else { Return DENY }
+    }
+    Else if BW <= Avail_BW { Return GRANT }
+    Else { Return DENY }
+  }
+  Return DENY
+)";
+
+TEST(PaperPolicies, Fig6PolicyA) {
+  const Policy p = compile(kFig6PolicyA);
+
+  EvalContext business;
+  business.set_user("Alice");
+  business.set_time(hours(10));
+  business.set_available_bandwidth(622e6);
+  business.set_bandwidth(10e6);
+  EXPECT_EQ(run(p, business), Decision::kGrant);
+
+  business.set_bandwidth(20e6);
+  EXPECT_EQ(run(p, business), Decision::kDeny);
+
+  EvalContext evening = business;
+  evening.set_time(hours(20));
+  evening.set_bandwidth(500e6);
+  EXPECT_EQ(run(p, evening), Decision::kGrant);
+
+  evening.set_bandwidth(700e6);  // above available
+  EXPECT_EQ(run(p, evening), Decision::kDeny);
+
+  EvalContext bob = business;
+  bob.set_user("Bob");
+  bob.set_bandwidth(1e6);
+  EXPECT_EQ(run(p, bob), Decision::kDeny);
+}
+
+// Fig. 6, policy file B: Atlas members or ESnet capability holders, 10 Mb/s.
+const char* kFig6PolicyB = R"(
+  If Group = Atlas {
+    If BW <= 10Mb/s { Return GRANT }
+  }
+  Else if Issued_by(Capability) = ESnet {
+    If BW <= 10Mb/s { Return GRANT }
+  }
+  Return DENY
+)";
+
+TEST(PaperPolicies, Fig6PolicyB) {
+  const Policy p = compile(kFig6PolicyB);
+
+  EvalContext atlas;
+  atlas.add_group("Atlas");
+  atlas.set_bandwidth(10e6);
+  EXPECT_EQ(run(p, atlas), Decision::kGrant);
+
+  EvalContext esnet;
+  esnet.add_capability({"ESnet", {"Capabilities of ESnet"}});
+  esnet.set_bandwidth(10e6);
+  EXPECT_EQ(run(p, esnet), Decision::kGrant);
+
+  EvalContext neither;
+  neither.set_bandwidth(1e6);
+  EXPECT_EQ(run(p, neither), Decision::kDeny);
+
+  EvalContext too_fast = esnet;
+  too_fast.set_bandwidth(11e6);
+  EXPECT_EQ(run(p, too_fast), Decision::kDeny);
+}
+
+// Fig. 6, policy file C: >= 5 Mb/s needs ESnet capability AND a valid CPU
+// reservation referenced by the RAR.
+const char* kFig6PolicyC = R"(
+  If BW >= 5Mb/s {
+    If Issued_by(Capability) = ESnet and HasValidCPUResv(RAR) {
+      Return GRANT
+    }
+  }
+  Return DENY
+)";
+
+TEST(PaperPolicies, Fig6PolicyC) {
+  const Policy p = compile(kFig6PolicyC);
+
+  EvalContext full;
+  full.set_bandwidth(10e6);
+  full.add_capability({"ESnet", {"Capabilities of ESnet"}});
+  full.register_predicate("HasValidCPUResv", [](std::span<const Value>) {
+    return Value(true);
+  });
+  EXPECT_EQ(run(p, full), Decision::kGrant);
+
+  EvalContext no_cpu = full;
+  no_cpu.register_predicate("HasValidCPUResv", [](std::span<const Value>) {
+    return Value(false);
+  });
+  EXPECT_EQ(run(p, no_cpu), Decision::kDeny);
+
+  EvalContext no_cap;
+  no_cap.set_bandwidth(10e6);
+  no_cap.register_predicate("HasValidCPUResv", [](std::span<const Value>) {
+    return Value(true);
+  });
+  EXPECT_EQ(run(p, no_cap), Decision::kDeny);
+
+  // Below the 5 Mb/s threshold the conjunct is never consulted, but the
+  // policy file as printed in the paper then denies (closed world).
+  EvalContext slow;
+  slow.set_bandwidth(1e6);
+  EXPECT_EQ(run(p, slow), Decision::kDeny);
+}
+
+}  // namespace
+}  // namespace e2e::policy

@@ -1,0 +1,56 @@
+// Robustness fuzzing of the policy front end: random byte soup and random
+// token streams must produce clean errors, never crashes.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "policy/policy.hpp"
+
+namespace e2e::policy {
+namespace {
+
+class PolicyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolicyFuzz, RandomBytesNeverCrashCompiler) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string soup;
+    const std::size_t len = rng.next_below(200);
+    for (std::size_t j = 0; j < len; ++j) {
+      soup.push_back(static_cast<char>(rng.next_below(128)));
+    }
+    (void)Policy::compile(soup);  // result irrelevant; must not crash
+  }
+}
+
+TEST_P(PolicyFuzz, RandomTokenSaladNeverCrashes) {
+  static const char* kFragments[] = {
+      "If",        "Else",     "Return", "GRANT",  "DENY",   "and",
+      "or",        "not",      "User",   "BW",     "Time",   "Group",
+      "Avail_BW",  "=",        "!=",     "<=",     ">=",     "<",
+      ">",         "(",        ")",      "{",      "}",      ",",
+      "Alice",     "10Mb/s",   "8am",    "5pm",    "17:30",  "42",
+      "\"quoted\"", "Issued_by", "Capability", "ESnet", "#x\n"};
+  Rng rng(GetParam() ^ 0xf00d);
+  for (int i = 0; i < 300; ++i) {
+    std::string program;
+    const std::size_t words = rng.next_below(40);
+    for (std::size_t j = 0; j < words; ++j) {
+      program += kFragments[rng.next_below(std::size(kFragments))];
+      program += ' ';
+    }
+    auto policy = Policy::compile(program);
+    if (policy.ok()) {
+      // Compiled token salads must also evaluate without crashing.
+      EvalContext ctx;
+      ctx.set_user("Alice");
+      ctx.set_bandwidth(5e6);
+      (void)policy->evaluate(ctx);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace e2e::policy

@@ -1,0 +1,95 @@
+#include "policy/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace e2e::policy {
+namespace {
+
+TEST(Lexer, KeywordsCaseInsensitive) {
+  const auto toks = lex("If ELSE return Grant DENY and OR Not").value();
+  ASSERT_EQ(toks.size(), 9u);  // 8 + end
+  EXPECT_EQ(toks[0].kind, TokenKind::kIf);
+  EXPECT_EQ(toks[1].kind, TokenKind::kElse);
+  EXPECT_EQ(toks[2].kind, TokenKind::kReturn);
+  EXPECT_EQ(toks[3].kind, TokenKind::kGrant);
+  EXPECT_EQ(toks[4].kind, TokenKind::kDeny);
+  EXPECT_EQ(toks[5].kind, TokenKind::kAnd);
+  EXPECT_EQ(toks[6].kind, TokenKind::kOr);
+  EXPECT_EQ(toks[7].kind, TokenKind::kNot);
+  EXPECT_EQ(toks[8].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, IdentifiersKeepCase) {
+  const auto toks = lex("User Avail_BW Issued_by").value();
+  EXPECT_EQ(toks[0].text, "User");
+  EXPECT_EQ(toks[1].text, "Avail_BW");
+  EXPECT_EQ(toks[2].text, "Issued_by");
+}
+
+TEST(Lexer, BandwidthUnits) {
+  const auto toks = lex("10Mb/s 5Gb/s 2kb/s 1Mbps 3MB/s 7").value();
+  EXPECT_DOUBLE_EQ(toks[0].number, 10e6);
+  EXPECT_DOUBLE_EQ(toks[1].number, 5e9);
+  EXPECT_DOUBLE_EQ(toks[2].number, 2e3);
+  EXPECT_DOUBLE_EQ(toks[3].number, 1e6);
+  EXPECT_DOUBLE_EQ(toks[4].number, 3e6 * 8);  // bytes -> bits
+  EXPECT_DOUBLE_EQ(toks[5].number, 7.0);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(toks[i].kind, TokenKind::kNumber);
+}
+
+TEST(Lexer, TimeOfDayLiterals) {
+  const auto toks = lex("8am 5pm 12am 12pm 17:30").value();
+  EXPECT_EQ(toks[0].kind, TokenKind::kTimeOfDay);
+  EXPECT_DOUBLE_EQ(toks[0].number, 8 * 3.6e9);
+  EXPECT_DOUBLE_EQ(toks[1].number, 17 * 3.6e9);
+  EXPECT_DOUBLE_EQ(toks[2].number, 0.0);
+  EXPECT_DOUBLE_EQ(toks[3].number, 12 * 3.6e9);
+  EXPECT_DOUBLE_EQ(toks[4].number, 17 * 3.6e9 + 30 * 6e7);
+}
+
+TEST(Lexer, Operators) {
+  const auto toks = lex("= == != <= >= < > ( ) { } ,").value();
+  EXPECT_EQ(toks[0].kind, TokenKind::kEq);
+  EXPECT_EQ(toks[1].kind, TokenKind::kEq);
+  EXPECT_EQ(toks[2].kind, TokenKind::kNe);
+  EXPECT_EQ(toks[3].kind, TokenKind::kLe);
+  EXPECT_EQ(toks[4].kind, TokenKind::kGe);
+  EXPECT_EQ(toks[5].kind, TokenKind::kLt);
+  EXPECT_EQ(toks[6].kind, TokenKind::kGt);
+  EXPECT_EQ(toks[7].kind, TokenKind::kLParen);
+  EXPECT_EQ(toks[8].kind, TokenKind::kRParen);
+  EXPECT_EQ(toks[9].kind, TokenKind::kLBrace);
+  EXPECT_EQ(toks[10].kind, TokenKind::kRBrace);
+  EXPECT_EQ(toks[11].kind, TokenKind::kComma);
+}
+
+TEST(Lexer, StringLiterals) {
+  const auto toks = lex("\"ATLAS experiment\"").value();
+  EXPECT_EQ(toks[0].kind, TokenKind::kString);
+  EXPECT_EQ(toks[0].text, "ATLAS experiment");
+}
+
+TEST(Lexer, CommentsSkipped) {
+  const auto toks = lex("If # this is Fig. 6 policy A\nReturn GRANT").value();
+  EXPECT_EQ(toks[0].kind, TokenKind::kIf);
+  EXPECT_EQ(toks[1].kind, TokenKind::kReturn);
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  const auto toks = lex("If\nReturn\n\nGRANT").value();
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_FALSE(lex("10Xq/s").ok());          // unknown unit
+  EXPECT_FALSE(lex("\"open").ok());          // unterminated string
+  EXPECT_FALSE(lex("a ! b").ok());           // stray '!'
+  EXPECT_FALSE(lex("13pm").ok());            // bad am/pm hour
+  EXPECT_FALSE(lex("25:00").ok());           // bad HH:MM
+  EXPECT_FALSE(lex("$").ok());               // unexpected character
+}
+
+}  // namespace
+}  // namespace e2e::policy

@@ -1,0 +1,173 @@
+// Parser-level tests: grammar corners, precedence, and error reporting.
+#include <gtest/gtest.h>
+
+#include "policy/policy.hpp"
+
+namespace e2e::policy {
+namespace {
+
+Result<Policy> try_compile(const char* src) { return Policy::compile(src); }
+
+TEST(Parser, SingleStatementBlocksWithoutBraces) {
+  const auto p = try_compile(R"(
+    If User = Alice If BW <= 10Mb/s Return GRANT
+    Return DENY
+  )");
+  ASSERT_TRUE(p.ok()) << p.error().to_text();
+  EvalContext ctx;
+  ctx.set_user("Alice");
+  ctx.set_bandwidth(5e6);
+  EXPECT_EQ(p->decide(ctx).value(), Decision::kGrant);
+}
+
+TEST(Parser, DeepNesting) {
+  std::string src;
+  for (int i = 0; i < 30; ++i) src += "If BW <= 100Mb/s {\n";
+  src += "Return GRANT\n";
+  for (int i = 0; i < 30; ++i) src += "}\n";
+  src += "Return DENY";
+  const auto p = try_compile(src.c_str());
+  ASSERT_TRUE(p.ok());
+  EvalContext ctx;
+  ctx.set_bandwidth(1e6);
+  EXPECT_EQ(p->decide(ctx).value(), Decision::kGrant);
+}
+
+TEST(Parser, ElseIfChainsArbitraryLength) {
+  const auto p = try_compile(R"(
+    If User = A { Return DENY }
+    Else if User = B { Return DENY }
+    Else if User = C { Return GRANT }
+    Else if User = D { Return DENY }
+    Else { Return DENY }
+  )");
+  ASSERT_TRUE(p.ok());
+  EvalContext ctx;
+  ctx.set_user("C");
+  EXPECT_EQ(p->decide(ctx).value(), Decision::kGrant);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  // Without parens: A and (B or C) != (A and B) or C.
+  const auto p = try_compile(R"(
+    If User = Alice and (Group = Ops or BW <= 1Mb/s) Return GRANT
+    Return DENY
+  )");
+  ASSERT_TRUE(p.ok());
+  EvalContext alice_small;
+  alice_small.set_user("Alice");
+  alice_small.set_bandwidth(0.5e6);
+  EXPECT_EQ(p->decide(alice_small).value(), Decision::kGrant);
+  EvalContext bob_ops;
+  bob_ops.set_user("Bob");
+  bob_ops.add_group("Ops");
+  bob_ops.set_bandwidth(0.5e6);
+  EXPECT_EQ(p->decide(bob_ops).value(), Decision::kDeny);
+}
+
+TEST(Parser, DoubleNegation) {
+  const auto p = try_compile("If not not User = Alice Return GRANT\n"
+                             "Return DENY");
+  ASSERT_TRUE(p.ok());
+  EvalContext ctx;
+  ctx.set_user("Alice");
+  EXPECT_EQ(p->decide(ctx).value(), Decision::kGrant);
+}
+
+TEST(Parser, CallWithMultipleArguments) {
+  const auto p = try_compile(
+      "If Within(BW, 1Mb/s, 20Mb/s) Return GRANT\nReturn DENY");
+  ASSERT_TRUE(p.ok());
+  EvalContext ctx;
+  ctx.set_bandwidth(5e6);
+  ctx.register_predicate("Within", [](std::span<const Value> args) {
+    return Value(args.size() == 3 &&
+                 args[0].as_number() >= args[1].as_number() &&
+                 args[0].as_number() <= args[2].as_number());
+  });
+  EXPECT_EQ(p->decide(ctx).value(), Decision::kGrant);
+}
+
+TEST(Parser, EmptyCallArguments) {
+  const auto p =
+      try_compile("If MaintenanceWindow() Return DENY\nReturn GRANT");
+  ASSERT_TRUE(p.ok());
+  EvalContext ctx;
+  ctx.register_predicate("MaintenanceWindow", [](std::span<const Value>) {
+    return Value(false);
+  });
+  EXPECT_EQ(p->decide(ctx).value(), Decision::kGrant);
+}
+
+TEST(Parser, ErrorMessagesCarryLineNumbers) {
+  const auto missing_brace = try_compile("If User = Alice {\nReturn GRANT\n");
+  ASSERT_FALSE(missing_brace.ok());
+  EXPECT_NE(missing_brace.error().message.find("line"), std::string::npos);
+
+  const auto bad_return = try_compile("Return MAYBE");
+  ASSERT_FALSE(bad_return.ok());
+  EXPECT_NE(bad_return.error().message.find("GRANT or DENY"),
+            std::string::npos);
+}
+
+TEST(Parser, RejectsMalformedPrograms) {
+  EXPECT_FALSE(try_compile("If { Return GRANT }").ok());      // missing cond
+  EXPECT_FALSE(try_compile("Else Return GRANT").ok());        // orphan else
+  EXPECT_FALSE(try_compile("If User = Return GRANT").ok());   // bad rhs
+  EXPECT_FALSE(try_compile("If (User = Alice Return GRANT").ok());  // paren
+  EXPECT_FALSE(try_compile("Return GRANT }").ok());           // stray brace
+  EXPECT_FALSE(try_compile("If Member(User Return GRANT").ok());  // call
+  EXPECT_FALSE(try_compile("GRANT").ok());                    // bare keyword
+}
+
+TEST(Parser, CommentsAnywhere) {
+  const auto p = try_compile(R"(
+    # Fig. 6 policy file A, transcribed
+    If User = Alice {   # identity check
+      Return GRANT      # accept
+    }
+    Return DENY         # closed world
+  )");
+  ASSERT_TRUE(p.ok());
+  EvalContext ctx;
+  ctx.set_user("Alice");
+  EXPECT_EQ(p->decide(ctx).value(), Decision::kGrant);
+}
+
+TEST(Parser, ComparisonIsNonAssociative) {
+  // "a < b < c" is not chained; the second '<' must fail to parse as the
+  // grammar allows one comparison per level.
+  EXPECT_FALSE(try_compile("If 1 < BW < 3 Return GRANT").ok());
+}
+
+// Property: every policy that compiles evaluates without crashing on an
+// arbitrary context (errors are fine; UB is not).
+class ParserEvalRobustness : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserEvalRobustness, CompiledPoliciesEvaluateSafely) {
+  const auto p = try_compile(GetParam());
+  ASSERT_TRUE(p.ok()) << p.error().to_text();
+  EvalContext empty;
+  (void)p->evaluate(empty);  // may error, must not crash
+  EvalContext rich;
+  rich.set_user("Alice");
+  rich.set_bandwidth(5e6);
+  rich.set_time(hours(12));
+  rich.set_available_bandwidth(100e6);
+  rich.add_group("Atlas");
+  rich.add_capability({"ESnet", {"cap"}});
+  (void)p->evaluate(rich);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, ParserEvalRobustness,
+    ::testing::Values(
+        "Return GRANT",
+        "If BW <= Avail_BW Return GRANT\nReturn DENY",
+        "If Time > 8am and Time < 17:30 Return DENY\nReturn GRANT",
+        "If Group = Atlas or Issued_by(Capability) = ESnet Return GRANT",
+        "If not (User = Bob) { If BW < 1Gb/s Return GRANT }\nReturn DENY",
+        "If User = \"Alice Liddell\" Return GRANT"));
+
+}  // namespace
+}  // namespace e2e::policy

@@ -1,0 +1,166 @@
+#include "policy/policy_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policy/acl.hpp"
+#include "policy/cas.hpp"
+#include "policy/group_server.hpp"
+
+namespace e2e::policy {
+namespace {
+
+PolicyServer make_server(const char* policy_src) {
+  return PolicyServer("DomainA", Policy::compile(policy_src).value());
+}
+
+TEST(PolicyServer, GrantsAndAugments) {
+  PolicyServer server = make_server("If User = Alice Return GRANT\nReturn DENY");
+  server.add_static_augmentation({"TE.excess", "drop"});
+  server.add_augmentation_rule(
+      [](const EvalContext& ctx, std::vector<Augmentation>& out) {
+        if (ctx.get("BW").is_number() && ctx.get("BW").as_number() > 5e6) {
+          out.push_back({"Cost.offer", "premium"});
+        }
+      });
+
+  EvalContext ctx;
+  ctx.set_user("Alice");
+  ctx.set_bandwidth(10e6);
+  const PolicyReply reply = server.decide(ctx);
+  EXPECT_EQ(reply.decision, Decision::kGrant);
+  ASSERT_EQ(reply.augmentations.size(), 2u);
+  EXPECT_EQ(reply.augmentations[0], (Augmentation{"TE.excess", "drop"}));
+  EXPECT_EQ(reply.augmentations[1], (Augmentation{"Cost.offer", "premium"}));
+}
+
+TEST(PolicyServer, DenialCarriesReasonAndNoAugmentations) {
+  PolicyServer server = make_server("If User = Alice Return GRANT\nReturn DENY");
+  server.add_static_augmentation({"TE.excess", "drop"});
+  EvalContext ctx;
+  ctx.set_user("Bob");
+  const PolicyReply reply = server.decide(ctx);
+  EXPECT_EQ(reply.decision, Decision::kDeny);
+  EXPECT_FALSE(reply.reason.empty());
+  EXPECT_TRUE(reply.augmentations.empty());
+}
+
+TEST(PolicyServer, NoDecisionBecomesDeny) {
+  PolicyServer server = make_server("If User = Alice Return GRANT");
+  EvalContext ctx;
+  ctx.set_user("Bob");
+  const PolicyReply reply = server.decide(ctx);
+  EXPECT_EQ(reply.decision, Decision::kDeny);
+  EXPECT_NE(reply.reason.find("closed-world"), std::string::npos);
+}
+
+TEST(PolicyServer, EvaluationFailureIsConservativeDeny) {
+  PolicyServer server = make_server("If Unknown_Pred(x) Return GRANT");
+  const PolicyReply reply = server.decide(EvalContext{});
+  EXPECT_EQ(reply.decision, Decision::kDeny);
+  EXPECT_NE(reply.reason.find("evaluation failed"), std::string::npos);
+}
+
+TEST(GroupServer, MembershipLifecycle) {
+  GroupServer gs("LBNL group server");
+  const auto alice = crypto::DistinguishedName::make("Alice", "ANL");
+  const auto bob = crypto::DistinguishedName::make("Bob", "ANL");
+  gs.add_member("physicists", alice);
+  EXPECT_TRUE(gs.validate("physicists", alice));
+  EXPECT_FALSE(gs.validate("physicists", bob));
+  EXPECT_FALSE(gs.validate("admins", alice));
+  gs.remove_member("physicists", alice);
+  EXPECT_FALSE(gs.validate("physicists", alice));
+  EXPECT_EQ(gs.lookups(), 4u);
+}
+
+TEST(GroupServer, BacksAccreditedPhysicistPredicate) {
+  GroupServer gs("group-server-P");
+  const auto alice = crypto::DistinguishedName::make("Alice", "ANL");
+  gs.add_member("physicists", alice);
+
+  const Policy p =
+      Policy::compile("If Accredited_Physicist(requestor) Return GRANT\n"
+                      "Return DENY")
+          .value();
+  EvalContext ctx;
+  ctx.register_predicate("Accredited_Physicist",
+                         [&](std::span<const Value>) {
+                           return Value(gs.validate("physicists", alice));
+                         });
+  EXPECT_EQ(p.decide(ctx).value(), Decision::kGrant);
+}
+
+TEST(Cas, GridLoginIssuesCapabilityCert) {
+  Rng rng(808);
+  CommunityAuthorizationServer cas("ESnet", rng, {0, hours(1000)});
+  const crypto::KeyPair proxy = crypto::generate_keypair(rng, 512);
+  const auto alice = crypto::DistinguishedName::make("Alice", "ANL");
+
+  const crypto::Certificate cert =
+      cas.grid_login(alice, proxy.pub, {0, hours(24)});
+  EXPECT_TRUE(cert.is_capability_certificate());
+  EXPECT_EQ(cert.subject(), alice);
+  EXPECT_EQ(cert.issuer(), cas.dn());
+  EXPECT_EQ(cert.subject_public_key(), proxy.pub);
+  EXPECT_TRUE(cert.verify_signature(cas.public_key()));
+  const auto caps = cert.capabilities();
+  ASSERT_EQ(caps.size(), 1u);
+  EXPECT_EQ(caps[0], "Capabilities of ESnet");
+  EXPECT_EQ(cert.extension_value(crypto::kExtCommunity).value_or(""), "ESnet");
+}
+
+TEST(Cas, CustomCapabilityList) {
+  Rng rng(809);
+  CommunityAuthorizationServer cas("ESnet", rng, {0, hours(1000)});
+  const crypto::KeyPair proxy = crypto::generate_keypair(rng, 512);
+  const crypto::Certificate cert = cas.grid_login(
+      crypto::DistinguishedName::make("Alice", "ANL"), proxy.pub,
+      {0, hours(24)}, {"reserve-bw", "use-tunnel"});
+  const auto caps = cert.capabilities();
+  ASSERT_EQ(caps.size(), 2u);
+  EXPECT_EQ(caps[0], "reserve-bw");
+  EXPECT_EQ(caps[1], "use-tunnel");
+}
+
+TEST(Cas, RevocationFlows) {
+  Rng rng(810);
+  CommunityAuthorizationServer cas("ESnet", rng, {0, hours(1000)});
+  const crypto::KeyPair proxy = crypto::generate_keypair(rng, 512);
+  const crypto::Certificate cert = cas.grid_login(
+      crypto::DistinguishedName::make("Alice", "ANL"), proxy.pub,
+      {0, hours(24)});
+  EXPECT_FALSE(cas.is_revoked(cert.serial()));
+  cas.revoke(cert.serial());
+  EXPECT_TRUE(cas.is_revoked(cert.serial()));
+}
+
+TEST(Acl, AllowList) {
+  AccessControlList acl;
+  const auto alice = crypto::DistinguishedName::make("Alice", "ANL");
+  const auto bob = crypto::DistinguishedName::make("Bob", "ANL");
+  acl.add("network", alice);
+  EXPECT_TRUE(acl.permits("network", alice));
+  EXPECT_FALSE(acl.permits("network", bob));
+  EXPECT_FALSE(acl.permits("cpu", alice));
+  EXPECT_EQ(acl.size("network"), 1u);
+}
+
+TEST(Acl, DenyList) {
+  AccessControlList acl(AccessControlList::Mode::kDenyList);
+  const auto mallory = crypto::DistinguishedName::make("Mallory", "Evil");
+  const auto alice = crypto::DistinguishedName::make("Alice", "ANL");
+  acl.add("network", mallory);
+  EXPECT_FALSE(acl.permits("network", mallory));
+  EXPECT_TRUE(acl.permits("network", alice));
+}
+
+TEST(Acl, RemoveRestoresDefault) {
+  AccessControlList acl;
+  const auto alice = crypto::DistinguishedName::make("Alice", "ANL");
+  acl.add("network", alice);
+  acl.remove("network", alice);
+  EXPECT_FALSE(acl.permits("network", alice));
+}
+
+}  // namespace
+}  // namespace e2e::policy

@@ -1,0 +1,87 @@
+// Value semantics and EvalContext plumbing.
+#include <gtest/gtest.h>
+
+#include "policy/context.hpp"
+
+namespace e2e::policy {
+namespace {
+
+TEST(Value, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(1.5).is_number());
+  EXPECT_TRUE(Value(std::string("x")).is_string());
+}
+
+TEST(Value, AccessorsThrowOnMismatch) {
+  EXPECT_THROW(Value(1.0).as_bool(), std::logic_error);
+  EXPECT_THROW(Value(true).as_number(), std::logic_error);
+  EXPECT_THROW(Value(1.0).as_string(), std::logic_error);
+  EXPECT_THROW(Value().as_number(), std::logic_error);
+}
+
+TEST(Value, Truthiness) {
+  EXPECT_FALSE(Value().truthy());
+  EXPECT_TRUE(Value(true).truthy());
+  EXPECT_FALSE(Value(false).truthy());
+  EXPECT_TRUE(Value(0.1).truthy());
+  EXPECT_FALSE(Value(0.0).truthy());
+  EXPECT_TRUE(Value(std::string("x")).truthy());
+  EXPECT_FALSE(Value(std::string("")).truthy());
+}
+
+TEST(Value, EqualityRules) {
+  EXPECT_TRUE(Value(2.0).equals(Value(2.0)));
+  EXPECT_FALSE(Value(2.0).equals(Value(3.0)));
+  EXPECT_TRUE(Value(std::string("a")).equals(Value(std::string("a"))));
+  // Cross-type never equal; null equals nothing, not even null.
+  EXPECT_FALSE(Value(1.0).equals(Value(std::string("1"))));
+  EXPECT_FALSE(Value().equals(Value()));
+  EXPECT_FALSE(Value(true).equals(Value(1.0)));
+}
+
+TEST(Value, TextRendering) {
+  EXPECT_EQ(Value().to_text(), "null");
+  EXPECT_EQ(Value(true).to_text(), "true");
+  EXPECT_EQ(Value(42.0).to_text(), "42");
+  EXPECT_EQ(Value(std::string("hi")).to_text(), "\"hi\"");
+}
+
+TEST(EvalContext, AttributeLifecycle) {
+  EvalContext ctx;
+  EXPECT_FALSE(ctx.has("User"));
+  EXPECT_TRUE(ctx.get("User").is_null());
+  ctx.set_user("Alice");
+  EXPECT_TRUE(ctx.has("User"));
+  EXPECT_EQ(ctx.get("User").as_string(), "Alice");
+  ctx.set("User", Value(std::string("Bob")));  // overwrite
+  EXPECT_EQ(ctx.get("User").as_string(), "Bob");
+}
+
+TEST(EvalContext, GroupsAndCapabilities) {
+  EvalContext ctx;
+  EXPECT_FALSE(ctx.in_group("Atlas"));
+  ctx.add_group("Atlas");
+  EXPECT_TRUE(ctx.in_group("Atlas"));
+  EXPECT_FALSE(ctx.has_capability_issued_by("ESnet"));
+  ctx.add_capability({"ESnet", {"cap-a", "cap-b"}});
+  EXPECT_TRUE(ctx.has_capability_issued_by("ESnet"));
+  EXPECT_FALSE(ctx.has_capability_issued_by("DOEGrid"));
+  ASSERT_EQ(ctx.capabilities().size(), 1u);
+  EXPECT_EQ(ctx.capabilities()[0].capabilities.size(), 2u);
+}
+
+TEST(EvalContext, PredicateRegistry) {
+  EvalContext ctx;
+  EXPECT_EQ(ctx.find_predicate("F"), nullptr);
+  ctx.register_predicate("F", [](std::span<const Value> args) {
+    return Value(static_cast<double>(args.size()));
+  });
+  const auto* pred = ctx.find_predicate("F");
+  ASSERT_NE(pred, nullptr);
+  const std::vector<Value> args{Value(1.0), Value(2.0)};
+  EXPECT_DOUBLE_EQ((*pred)(args).as_number(), 2.0);
+}
+
+}  // namespace
+}  // namespace e2e::policy

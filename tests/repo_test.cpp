@@ -1,0 +1,103 @@
+#include "repo/cert_repository.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/ca.hpp"
+
+namespace e2e::repo {
+namespace {
+
+const TimeInterval kValidity{0, hours(1000)};
+
+struct RepoFixture {
+  Rng rng{606};
+  crypto::CertificateAuthority ca{
+      crypto::DistinguishedName::make("CA", "TrustCo"), rng, kValidity, 256};
+  crypto::KeyPair keys = crypto::generate_keypair(rng, 256);
+  crypto::DistinguishedName bb_a =
+      crypto::DistinguishedName::make("BB-A", "DomainA");
+  crypto::DistinguishedName client =
+      crypto::DistinguishedName::make("BB-C", "DomainC");
+  CertificateRepository repo{"grid-directory", milliseconds(15)};
+
+  RepoFixture() {
+    repo.authorize_client(client);
+  }
+};
+
+TEST(CertRepository, PublishAndLookup) {
+  RepoFixture f;
+  const crypto::Certificate cert = f.ca.issue(f.bb_a, f.keys.pub, kValidity);
+  ASSERT_TRUE(f.repo.publish(cert).ok());
+  EXPECT_EQ(f.repo.size(), 1u);
+  const auto found = f.repo.lookup(f.bb_a, f.client, seconds(1));
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, cert);
+  EXPECT_EQ(f.repo.lookups(), 1u);
+}
+
+TEST(CertRepository, RefreshReplacesEntry) {
+  RepoFixture f;
+  const crypto::Certificate old_cert =
+      f.ca.issue(f.bb_a, f.keys.pub, {0, seconds(10)});
+  const crypto::Certificate new_cert =
+      f.ca.issue(f.bb_a, f.keys.pub, kValidity);
+  ASSERT_TRUE(f.repo.publish(old_cert).ok());
+  ASSERT_TRUE(f.repo.publish(new_cert).ok());
+  EXPECT_EQ(f.repo.size(), 1u);
+  EXPECT_EQ(f.repo.lookup(f.bb_a, f.client, seconds(60)).value(), new_cert);
+}
+
+TEST(CertRepository, UnknownSubjectFails) {
+  RepoFixture f;
+  const auto missing = f.repo.lookup(
+      crypto::DistinguishedName::make("Ghost", "X"), f.client, 0);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kNotFound);
+}
+
+TEST(CertRepository, ExpiredEntryRejected) {
+  RepoFixture f;
+  const crypto::Certificate cert =
+      f.ca.issue(f.bb_a, f.keys.pub, {0, seconds(10)});
+  ASSERT_TRUE(f.repo.publish(cert).ok());
+  const auto expired = f.repo.lookup(f.bb_a, f.client, seconds(60));
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.error().code, ErrorCode::kExpired);
+}
+
+TEST(CertRepository, AccessControlEnforced) {
+  RepoFixture f;
+  const crypto::Certificate cert = f.ca.issue(f.bb_a, f.keys.pub, kValidity);
+  ASSERT_TRUE(f.repo.publish(cert).ok());
+  const auto stranger = f.repo.lookup(
+      f.bb_a, crypto::DistinguishedName::make("Eve", "Evil"), 0);
+  ASSERT_FALSE(stranger.ok());
+  EXPECT_EQ(stranger.error().code, ErrorCode::kAuthenticationFailed);
+  EXPECT_EQ(f.repo.denied_lookups(), 1u);
+}
+
+TEST(CertRepository, AuditTrailRecordsAllAccess) {
+  RepoFixture f;
+  const crypto::Certificate cert = f.ca.issue(f.bb_a, f.keys.pub, kValidity);
+  ASSERT_TRUE(f.repo.publish(cert).ok());
+  (void)f.repo.lookup(f.bb_a, f.client, 0);
+  (void)f.repo.lookup(f.bb_a, crypto::DistinguishedName::make("Eve", "E"), 0);
+  ASSERT_EQ(f.repo.audit_log().size(), 2u);
+  EXPECT_EQ(f.repo.audit_log()[0].first, f.client.to_string());
+  EXPECT_EQ(f.repo.audit_log()[1].first, "CN=Eve,O=E,C=US");
+}
+
+TEST(CertRepository, LatencyModelExposed) {
+  RepoFixture f;
+  EXPECT_EQ(f.repo.lookup_latency(), milliseconds(15));
+}
+
+TEST(CertRepository, RejectsSubjectlessCertificate) {
+  RepoFixture f;
+  crypto::Certificate empty;
+  EXPECT_FALSE(f.repo.publish(empty).ok());
+}
+
+}  // namespace
+}  // namespace e2e::repo

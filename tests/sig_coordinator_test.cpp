@@ -1,0 +1,100 @@
+// STARS-style reservation coordinator (paper §3 related approach).
+#include "sig/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing_world.hpp"
+
+namespace e2e::sig {
+namespace {
+
+using testing::ChainWorld;
+using testing::kWorldValidity;
+using testing::WorldUser;
+
+struct CoordinatorFixture {
+  ChainWorld world;
+  crypto::KeyPair rc_keys = crypto::generate_keypair(world.rng(), 256);
+  crypto::Certificate rc_cert = world.ca(0).issue(
+      crypto::DistinguishedName::make("RC", "DomainA"), rc_keys.pub,
+      kWorldValidity);
+  ReservationCoordinator rc{world.source_engine(), "DomainA", rc_cert,
+                            rc_keys.priv};
+  WorldUser alice = world.make_user("Alice", 0);
+
+  CoordinatorFixture() {
+    rc.enroll_with_domains(world.names());
+    rc.authorize_user(alice.dn.to_string());
+  }
+};
+
+TEST(Coordinator, ReservesWithoutPerDomainUserTrust) {
+  CoordinatorFixture f;
+  // Alice is NOT registered with B or C — only the RC is.
+  const auto reservation = f.rc.reserve_for(
+      f.alice.dn.to_string(), f.world.names(), f.world.spec(f.alice, 10e6),
+      SourceDomainEngine::Mode::kParallel, seconds(1));
+  ASSERT_TRUE(reservation.ok()) << reservation.error().to_text();
+  EXPECT_TRUE(reservation->outcome.reply.granted);
+  EXPECT_EQ(reservation->on_behalf_of, f.alice.dn.to_string());
+  // The brokers recorded the RC, not Alice.
+  const auto& [domain, handle] = reservation->outcome.reply.handles.front();
+  EXPECT_EQ(f.world.broker(0).find(handle)->spec.user, "CN=RC,O=DomainA,C=US");
+  // But the RC keeps the attribution.
+  EXPECT_EQ(f.rc.attributed_user(handle), f.alice.dn.to_string());
+}
+
+TEST(Coordinator, DirectUserAttemptStillFailsAtForeignDomains) {
+  CoordinatorFixture f;
+  // The same user going directly (without the RC) hits the trust wall.
+  const auto direct = f.world.source_engine().reserve(
+      f.world.names(), f.world.spec(f.alice, 10e6), f.alice.identity_cert,
+      f.alice.identity_keys.priv, SourceDomainEngine::Mode::kSequential,
+      seconds(1));
+  ASSERT_FALSE(direct->reply.granted);
+  EXPECT_EQ(direct->reply.denial.code, ErrorCode::kAuthenticationFailed);
+}
+
+TEST(Coordinator, UnauthorizedUserRejectedLocally) {
+  CoordinatorFixture f;
+  const WorldUser eve = f.world.make_user("Eve", 0);
+  const auto reservation = f.rc.reserve_for(
+      eve.dn.to_string(), f.world.names(), f.world.spec(eve, 1e6),
+      SourceDomainEngine::Mode::kSequential, seconds(1));
+  ASSERT_FALSE(reservation.ok());
+  EXPECT_EQ(reservation.error().code, ErrorCode::kPolicyDenied);
+  // No broker was bothered.
+  EXPECT_EQ(f.world.broker(1).counters().requests, 0u);
+}
+
+TEST(Coordinator, ReleaseClearsAttribution) {
+  CoordinatorFixture f;
+  const auto reservation = f.rc.reserve_for(
+      f.alice.dn.to_string(), f.world.names(), f.world.spec(f.alice, 10e6),
+      SourceDomainEngine::Mode::kSequential, seconds(1));
+  ASSERT_TRUE(reservation.ok());
+  const std::string handle =
+      reservation->outcome.reply.handles.front().second;
+  ASSERT_TRUE(f.rc.release(*reservation).ok());
+  EXPECT_EQ(f.rc.attributed_user(handle), "");
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(f.world.broker(i).reservation_count(), 0u);
+  }
+}
+
+TEST(Coordinator, StillVulnerableToMisreservationUnlikeHopByHop) {
+  // The RC *can* make complete reservations, but nothing structural forces
+  // it to — the engine it uses still allows subsets. This documents the
+  // paper's residual criticism of the approach.
+  CoordinatorFixture f;
+  const auto reservation = f.rc.reserve_for(
+      f.alice.dn.to_string(), {"DomainA", "DomainB"},
+      f.world.spec(f.alice, 10e6), SourceDomainEngine::Mode::kSequential,
+      seconds(1));
+  ASSERT_TRUE(reservation.ok());
+  EXPECT_TRUE(reservation->outcome.reply.granted);
+  EXPECT_EQ(f.world.broker(2).reservation_count(), 0u);  // C skipped
+}
+
+}  // namespace
+}  // namespace e2e::sig

@@ -1,0 +1,138 @@
+// Extensions of the base protocol that the paper describes but the core
+// scenario does not exercise: cost negotiation (§6.1) and capability
+// revocation (CRL behaviour of the community authorization server).
+#include <gtest/gtest.h>
+
+#include "testing_world.hpp"
+
+namespace e2e::sig {
+namespace {
+
+using testing::ChainWorld;
+using testing::ChainWorldConfig;
+using testing::WorldUser;
+
+TEST(CostNegotiation, WithinBudgetGranted) {
+  ChainWorld world;
+  // Domains A and B each offer their transit at a price.
+  world.broker(0).policy_server().add_static_augmentation(
+      {"Cost.offer", "2.5"});
+  world.broker(1).policy_server().add_static_augmentation(
+      {"Cost.offer", "4.0"});
+  const WorldUser alice = world.make_user("Alice", 0);
+  bb::ResSpec spec = world.spec(alice, 10e6);
+  spec.max_cost = 10.0;
+  const auto msg =
+      world.engine().build_user_request(alice.credentials(), spec, 0);
+  const auto outcome = world.engine().reserve(*msg, seconds(1));
+  EXPECT_TRUE(outcome->reply.granted) << outcome->reply.denial.to_text();
+}
+
+TEST(CostNegotiation, OverBudgetDeniedAtDestination) {
+  ChainWorld world;
+  world.broker(0).policy_server().add_static_augmentation(
+      {"Cost.offer", "6.0"});
+  world.broker(1).policy_server().add_static_augmentation(
+      {"Cost.offer", "7.0"});
+  const WorldUser alice = world.make_user("Alice", 0);
+  bb::ResSpec spec = world.spec(alice, 10e6);
+  spec.max_cost = 10.0;
+  const auto msg =
+      world.engine().build_user_request(alice.credentials(), spec, 0);
+  const auto outcome = world.engine().reserve(*msg, seconds(1));
+  ASSERT_FALSE(outcome->reply.granted);
+  EXPECT_EQ(outcome->reply.denial.code, ErrorCode::kPolicyDenied);
+  EXPECT_EQ(outcome->reply.denial.origin, "DomainC");
+  EXPECT_NE(outcome->reply.denial.message.find("cost"), std::string::npos);
+  // All tentative commitments rolled back.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(world.broker(i).reservation_count(), 0u);
+  }
+}
+
+TEST(CostNegotiation, ZeroMaxCostMeansUnlimited) {
+  ChainWorld world;
+  world.broker(0).policy_server().add_static_augmentation(
+      {"Cost.offer", "9999"});
+  const WorldUser alice = world.make_user("Alice", 0);
+  bb::ResSpec spec = world.spec(alice, 10e6);
+  spec.max_cost = 0;  // user did not constrain cost
+  const auto msg =
+      world.engine().build_user_request(alice.credentials(), spec, 0);
+  EXPECT_TRUE(world.engine().reserve(*msg, seconds(1))->reply.granted);
+}
+
+TEST(CostNegotiation, DestinationOwnOfferCounts) {
+  ChainWorld world;
+  world.broker(2).policy_server().add_static_augmentation(
+      {"Cost.offer", "11.0"});
+  const WorldUser alice = world.make_user("Alice", 0);
+  bb::ResSpec spec = world.spec(alice, 10e6);
+  spec.max_cost = 10.0;
+  const auto msg =
+      world.engine().build_user_request(alice.credentials(), spec, 0);
+  const auto outcome = world.engine().reserve(*msg, seconds(1));
+  ASSERT_FALSE(outcome->reply.granted);
+  EXPECT_EQ(outcome->reply.denial.origin, "DomainC");
+}
+
+struct RevocationFixture {
+  ChainWorldConfig config;
+  ChainWorld world;
+  WorldUser alice;
+
+  RevocationFixture()
+      : config([] {
+          ChainWorldConfig c;
+          // Destination demands the ESnet capability.
+          c.policies = {"Return GRANT", "Return GRANT",
+                        "If Issued_by(Capability) = ESnet Return GRANT\n"
+                        "Return DENY"};
+          return c;
+        }()),
+        world(config),
+        alice(world.make_user("Alice", 0)) {
+    // Wire the CAS's revocation list into every domain.
+    for (const auto& domain : world.names()) {
+      world.engine().set_community_revocation_check(
+          domain, "ESnet", [this](std::uint64_t serial) {
+            return world.cas_esnet().is_revoked(serial);
+          });
+    }
+  }
+};
+
+TEST(Revocation, ValidCapabilityStillWorks) {
+  RevocationFixture f;
+  const auto msg = f.world.engine().build_user_request(
+      f.alice.credentials(), f.world.spec(f.alice, 10e6), 0);
+  EXPECT_TRUE(f.world.engine().reserve(*msg, seconds(1))->reply.granted);
+}
+
+TEST(Revocation, RevokedCapabilityDeniedAtCapabilityGatedDomain) {
+  RevocationFixture f;
+  f.world.cas_esnet().revoke(f.alice.capability_cert->serial());
+  const auto msg = f.world.engine().build_user_request(
+      f.alice.credentials(), f.world.spec(f.alice, 10e6), 0);
+  const auto outcome = f.world.engine().reserve(*msg, seconds(1));
+  ASSERT_FALSE(outcome->reply.granted);
+  EXPECT_EQ(outcome->reply.denial.code, ErrorCode::kPolicyDenied);
+  EXPECT_EQ(outcome->reply.denial.origin, "DomainC");
+}
+
+TEST(Revocation, RevocationDoesNotAffectNonCapabilityPolicies) {
+  // Domains whose policy does not consult capabilities keep granting.
+  ChainWorld world;  // default "Return GRANT" everywhere
+  WorldUser alice = world.make_user("Alice", 0);
+  for (const auto& domain : world.names()) {
+    world.engine().set_community_revocation_check(
+        domain, "ESnet",
+        [](std::uint64_t) { return true; });  // everything revoked
+  }
+  const auto msg = world.engine().build_user_request(
+      alice.credentials(), world.spec(alice, 10e6), 0);
+  EXPECT_TRUE(world.engine().reserve(*msg, seconds(1))->reply.granted);
+}
+
+}  // namespace
+}  // namespace e2e::sig

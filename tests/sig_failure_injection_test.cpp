@@ -1,0 +1,159 @@
+// Failure injection against the hop-by-hop engine: unreachable peers,
+// missing routes, stale certificates, and byzantine brokers.
+#include <gtest/gtest.h>
+
+#include "testing_world.hpp"
+
+namespace e2e::sig {
+namespace {
+
+using testing::ChainWorld;
+using testing::ChainWorldConfig;
+using testing::WorldUser;
+using testing::kWorldValidity;
+
+TEST(FailureInjection, MissingChannelReportsUnavailable) {
+  // Build an engine where B<->C were never connected.
+  ChainWorld world;
+  Fabric fabric;
+  Rng rng(1);
+  HopByHopEngine engine(fabric, rng);
+  for (std::size_t i = 0; i < 3; ++i) {
+    engine.add_domain(world.broker(i));
+    engine.trust_community(world.names()[i], "ESnet",
+                           world.cas_esnet().public_key());
+  }
+  ASSERT_TRUE(engine.connect_peers("DomainA", "DomainB", 0).ok());
+  // DomainB -> DomainC deliberately not connected.
+  const WorldUser alice = world.make_user("Alice", 0);
+  engine.register_local_user("DomainA", alice.identity_cert);
+  const auto msg = engine.build_user_request(alice.credentials(),
+                                             world.spec(alice, 1e6), 0);
+  const auto outcome = engine.reserve(*msg, seconds(1));
+  ASSERT_FALSE(outcome->reply.granted);
+  EXPECT_EQ(outcome->reply.denial.code, ErrorCode::kUnavailable);
+  EXPECT_EQ(outcome->reply.denial.origin, "DomainB");
+  // B rolled back its tentative commitment.
+  EXPECT_EQ(world.broker(1).reservation_count(), 0u);
+}
+
+TEST(FailureInjection, MissingRouteReportsNoRoute) {
+  ChainWorld world;
+  const WorldUser alice = world.make_user("Alice", 0);
+  bb::ResSpec spec = world.spec(alice, 1e6);
+  spec.destination_domain = "DomainZ";  // no such place
+  const auto msg =
+      world.engine().build_user_request(alice.credentials(), spec, 0);
+  const auto outcome = world.engine().reserve(*msg, seconds(1));
+  ASSERT_FALSE(outcome->reply.granted);
+  EXPECT_EQ(outcome->reply.denial.code, ErrorCode::kNoRoute);
+}
+
+TEST(FailureInjection, ExpiredUserCertificateRejected) {
+  ChainWorld world;
+  WorldUser alice = world.make_user("Alice", 0);
+  // Re-issue Alice's identity with a tiny validity and re-register it.
+  alice.identity_cert = world.ca(0).issue(alice.dn, alice.identity_keys.pub,
+                                          {0, seconds(10)});
+  world.engine().register_local_user("DomainA", alice.identity_cert);
+  const auto msg = world.engine().build_user_request(
+      alice.credentials(), world.spec(alice, 1e6), 0);
+  const auto outcome = world.engine().reserve(*msg, seconds(60));
+  ASSERT_FALSE(outcome->reply.granted);
+  EXPECT_EQ(outcome->reply.denial.code, ErrorCode::kExpired);
+}
+
+TEST(FailureInjection, RequestAddressedToWrongBrokerRejected) {
+  ChainWorld world;
+  const WorldUser alice = world.make_user("Alice", 0);
+  bb::ResSpec spec = world.spec(alice, 1e6);
+  // Sign a request addressed to DomainB's broker but submit it with
+  // source_domain = DomainA.
+  const RarMessage msg = RarMessage::create_user_request(
+      spec, world.broker(1).dn().to_string(), {}, alice.identity_keys.priv);
+  const auto outcome = world.engine().reserve(msg, seconds(1));
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, ErrorCode::kAuthenticationFailed);
+}
+
+TEST(FailureInjection, ByzantineBrokerCannotForgeUserConsent) {
+  // A compromised intermediate cannot rewrite the reservation (e.g. raise
+  // the bandwidth) without breaking the user's signature.
+  ChainWorld world;
+  const WorldUser alice = world.make_user("Alice", 0);
+  const auto msg = world.engine().build_user_request(
+      alice.credentials(), world.spec(alice, 1e6), 0);
+  // "Byzantine B" rebuilds the message with a different res_spec but can
+  // only re-sign the user layer with a key it controls.
+  bb::ResSpec inflated = world.spec(alice, 500e6);
+  Rng rng(3);
+  const crypto::KeyPair mallory = crypto::generate_keypair(rng, 256);
+  const RarMessage forged = RarMessage::create_user_request(
+      inflated, world.broker(0).dn().to_string(),
+      msg->user_layer().capability_certs, mallory.priv);
+  // The source BB verifies against Alice's registered certificate.
+  const auto outcome = world.engine().reserve(forged, seconds(1));
+  ASSERT_FALSE(outcome->reply.granted);
+  EXPECT_EQ(outcome->reply.denial.code, ErrorCode::kBadSignature);
+}
+
+TEST(FailureInjection, TunnelSurvivesIntermediateChannelLoss) {
+  // Once a tunnel exists, losing the A-B signalling channel does not stop
+  // per-flow allocations (they ride the direct A<->C channel).
+  ChainWorld world;
+  const WorldUser alice = world.make_user("Alice", 0);
+  bb::ResSpec agg = world.spec(alice, 50e6, {0, hours(1)});
+  agg.is_tunnel = true;
+  const auto msg =
+      world.engine().build_user_request(alice.credentials(), agg, 0);
+  const auto established = world.engine().reserve(*msg, seconds(1));
+  ASSERT_TRUE(established->reply.granted);
+  // No explicit channel-kill API (sessions are engine state), but a fresh
+  // end-to-end reservation and a tunnel flow must both still work — and
+  // the flow must not touch the intermediate broker at all.
+  const auto before = world.broker(1).counters().requests;
+  const auto flow = world.engine().reserve_in_tunnel(
+      established->reply.tunnel_id, alice.dn.to_string(), 1e6,
+      {0, seconds(60)}, seconds(2));
+  ASSERT_TRUE(flow->reply.granted);
+  EXPECT_EQ(world.broker(1).counters().requests, before);
+}
+
+TEST(FailureInjection, DoubleReleaseIsSafe) {
+  ChainWorld world;
+  const WorldUser alice = world.make_user("Alice", 0);
+  const auto msg = world.engine().build_user_request(
+      alice.credentials(), world.spec(alice, 1e6), 0);
+  const auto outcome = world.engine().reserve(*msg, seconds(1));
+  ASSERT_TRUE(outcome->reply.granted);
+  ASSERT_TRUE(world.engine().release_end_to_end(outcome->reply).ok());
+  const auto second = world.engine().release_end_to_end(outcome->reply);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, ErrorCode::kNotFound);
+  // State stays consistent.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(world.broker(i).reservation_count(), 0u);
+  }
+}
+
+TEST(FailureInjection, ReplayedRarRejectedByChannel) {
+  // The engine drives sessions with strictly increasing sequence numbers;
+  // a replayed record is refused by the channel layer. We exercise this
+  // directly through Session (the engine consumes records immediately).
+  ChainWorld world;
+  Rng rng(17);
+  auto ep = [&world](std::size_t i) {
+    ChannelEndpoint ep;
+    ep.certificate = world.broker(i).certificate();
+    ep.private_key = world.broker(i).private_key();
+    ep.trust_store = &world.broker(i).trust_store();
+    return ep;
+  };
+  auto pair = handshake(ep(0), ep(1), 0, rng).value();
+  const Record rec = pair.initiator.seal(to_bytes("RAR"));
+  ASSERT_TRUE(pair.responder.open(rec).ok());
+  EXPECT_FALSE(pair.responder.open(rec).ok());
+}
+
+}  // namespace
+}  // namespace e2e::sig

@@ -1,0 +1,151 @@
+// Restricted impersonation (§6.4 technique 4).
+#include "sig/impersonation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/ca.hpp"
+
+namespace e2e::sig {
+namespace {
+
+const TimeInterval kValidity{0, hours(1000)};
+
+struct ImpFixture {
+  Rng rng{4242};
+  crypto::CertificateAuthority ca{
+      crypto::DistinguishedName::make("CA-A", "DomainA"), rng, kValidity,
+      256};
+  crypto::KeyPair alice_keys = crypto::generate_keypair(rng, 256);
+  crypto::KeyPair bb_a = crypto::generate_keypair(rng, 256);
+  crypto::KeyPair bb_b = crypto::generate_keypair(rng, 256);
+  crypto::DistinguishedName alice =
+      crypto::DistinguishedName::make("Alice", "DomainA");
+  crypto::DistinguishedName dn_a =
+      crypto::DistinguishedName::make("BB-A", "DomainA");
+  crypto::DistinguishedName dn_b =
+      crypto::DistinguishedName::make("BB-B", "DomainB");
+  crypto::Certificate identity =
+      ca.issue(alice, alice_keys.pub, kValidity);
+  crypto::TrustStore trust;
+  std::string restriction = "Valid for Reservation in DomainC";
+
+  ImpFixture() { trust.add_anchor(ca.root_certificate()); }
+
+  std::vector<crypto::Certificate> build_chain() {
+    const crypto::Certificate to_a =
+        build_impersonation(identity, dn_a, bb_a.pub, restriction, kValidity,
+                            1)
+            .sign_with(alice_keys.priv);
+    const crypto::Certificate to_b =
+        build_impersonation(to_a, dn_b, bb_b.pub, "", kValidity, 2)
+            .sign_with(bb_a.priv);
+    return {identity, to_a, to_b};
+  }
+};
+
+TEST(Impersonation, ChainStructure) {
+  ImpFixture f;
+  const auto chain = f.build_chain();
+  // Every link names the impersonated end entity and the restriction.
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_EQ(chain[i].extension_value(kExtImpersonates).value_or(""),
+              f.alice.to_string());
+    EXPECT_EQ(chain[i].extension_value(crypto::kExtValidForRar).value_or(""),
+              f.restriction);
+  }
+}
+
+TEST(Impersonation, FullChainVerifies) {
+  ImpFixture f;
+  const auto chain = f.build_chain();
+  const auto result = verify_impersonation_chain(
+      chain, f.trust, f.bb_b.pub, f.restriction, seconds(1));
+  ASSERT_TRUE(result.ok()) << result.error().to_text();
+  EXPECT_EQ(result->impersonated, f.alice);
+  EXPECT_EQ(result->restriction, f.restriction);
+  EXPECT_EQ(result->length, 2u);
+}
+
+TEST(Impersonation, UntrustedIdentityRejected) {
+  ImpFixture f;
+  const auto chain = f.build_chain();
+  crypto::TrustStore empty;
+  EXPECT_FALSE(verify_impersonation_chain(chain, empty, f.bb_b.pub,
+                                          f.restriction, seconds(1))
+                   .ok());
+}
+
+TEST(Impersonation, WrongSignerRejected) {
+  ImpFixture f;
+  auto chain = f.build_chain();
+  // Re-sign link 2 with the wrong key (B's own instead of A's).
+  chain[2] = build_impersonation(chain[1], f.dn_b, f.bb_b.pub, "", kValidity,
+                                 9)
+                 .sign_with(f.bb_b.priv);
+  EXPECT_FALSE(verify_impersonation_chain(chain, f.trust, f.bb_b.pub,
+                                          f.restriction, seconds(1))
+                   .ok());
+}
+
+TEST(Impersonation, SwitchedIdentityRejected) {
+  // A link that claims to impersonate somebody else must be refused.
+  ImpFixture f;
+  auto chain = f.build_chain();
+  crypto::Certificate::Builder b =
+      build_impersonation(chain[1], f.dn_b, f.bb_b.pub, "", kValidity, 9);
+  for (auto& ext : b.extensions) {
+    if (ext.name == kExtImpersonates) ext.value = "CN=Mallory,O=E,C=US";
+  }
+  chain[2] = b.sign_with(f.bb_a.priv);
+  const auto result = verify_impersonation_chain(
+      chain, f.trust, f.bb_b.pub, f.restriction, seconds(1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("impersonates"), std::string::npos);
+}
+
+TEST(Impersonation, RestrictionTamperingRejected) {
+  ImpFixture f;
+  auto chain = f.build_chain();
+  crypto::Certificate::Builder b =
+      build_impersonation(chain[1], f.dn_b, f.bb_b.pub, "", kValidity, 9);
+  for (auto& ext : b.extensions) {
+    if (ext.name == crypto::kExtValidForRar) {
+      ext.value = "Valid for Reservation in DomainX";
+    }
+  }
+  chain[2] = b.sign_with(f.bb_a.priv);
+  EXPECT_FALSE(verify_impersonation_chain(chain, f.trust, f.bb_b.pub,
+                                          f.restriction, seconds(1))
+                   .ok());
+}
+
+TEST(Impersonation, WrongHolderRejected) {
+  ImpFixture f;
+  const auto chain = f.build_chain();
+  EXPECT_FALSE(verify_impersonation_chain(chain, f.trust, f.bb_a.pub,
+                                          f.restriction, seconds(1))
+                   .ok());
+}
+
+TEST(Impersonation, TooShortChainRejected) {
+  ImpFixture f;
+  const std::vector<crypto::Certificate> just_identity{f.identity};
+  EXPECT_FALSE(verify_impersonation_chain(just_identity, f.trust,
+                                          f.alice_keys.pub, "", 0)
+                   .ok());
+}
+
+TEST(Impersonation, ExpiredLinkRejected) {
+  ImpFixture f;
+  auto chain = f.build_chain();
+  chain[2] = build_impersonation(chain[1], f.dn_b, f.bb_b.pub, "",
+                                 {0, seconds(5)}, 9)
+                 .sign_with(f.bb_a.priv);
+  const auto result = verify_impersonation_chain(
+      chain, f.trust, f.bb_b.pub, f.restriction, seconds(60));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kExpired);
+}
+
+}  // namespace
+}  // namespace e2e::sig

@@ -1,0 +1,61 @@
+// RarReply wire format.
+#include <gtest/gtest.h>
+
+#include "sig/message.hpp"
+
+namespace e2e::sig {
+namespace {
+
+TEST(RarReplyWire, ApprovalRoundTrip) {
+  RarReply reply = RarReply::approve();
+  reply.handles = {{"DomainA", "DomainA-resv-1"},
+                   {"DomainB", "DomainB-resv-7"},
+                   {"DomainC", "DomainC-resv-2"}};
+  reply.tunnel_id = "tunnel-3";
+  const auto back = RarReply::decode(reply.encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->granted);
+  ASSERT_EQ(back->handles.size(), 3u);
+  EXPECT_EQ(back->handles[1].first, "DomainB");
+  EXPECT_EQ(back->handles[1].second, "DomainB-resv-7");
+  EXPECT_EQ(back->tunnel_id, "tunnel-3");
+}
+
+TEST(RarReplyWire, DenialRoundTrip) {
+  const RarReply reply = RarReply::deny(
+      make_error(ErrorCode::kAdmissionRejected, "SLA exhausted", "DomainB"));
+  const auto back = RarReply::decode(reply.encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->granted);
+  EXPECT_EQ(back->denial.code, ErrorCode::kAdmissionRejected);
+  EXPECT_EQ(back->denial.message, "SLA exhausted");
+  EXPECT_EQ(back->denial.origin, "DomainB");
+}
+
+TEST(RarReplyWire, EmptyApproval) {
+  const auto back = RarReply::decode(RarReply::approve().encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->granted);
+  EXPECT_TRUE(back->handles.empty());
+  EXPECT_TRUE(back->tunnel_id.empty());
+}
+
+TEST(RarReplyWire, RejectsGarbageAndTrailingBytes) {
+  EXPECT_FALSE(RarReply::decode(to_bytes("nope")).ok());
+  Bytes enc = RarReply::approve().encode();
+  enc.push_back(0x00);
+  EXPECT_FALSE(RarReply::decode(enc).ok());
+}
+
+TEST(RarReplyWire, EncodingIsCanonical) {
+  RarReply a = RarReply::approve();
+  a.handles = {{"D", "h"}};
+  RarReply b = RarReply::approve();
+  b.handles = {{"D", "h"}};
+  EXPECT_EQ(a.encode(), b.encode());
+  b.handles[0].second = "h2";
+  EXPECT_NE(a.encode(), b.encode());
+}
+
+}  // namespace
+}  // namespace e2e::sig

@@ -1,0 +1,55 @@
+#include "sig/transport.hpp"
+
+#include <gtest/gtest.h>
+
+namespace e2e::sig {
+namespace {
+
+TEST(Fabric, DefaultLatencyApplies) {
+  Fabric f;
+  f.set_default_latency(milliseconds(25));
+  EXPECT_EQ(f.one_way("X", "Y"), milliseconds(25));
+  EXPECT_EQ(f.rtt("X", "Y"), milliseconds(50));
+}
+
+TEST(Fabric, SelfLatencyIsZero) {
+  Fabric f;
+  EXPECT_EQ(f.one_way("X", "X"), 0);
+}
+
+TEST(Fabric, ConfiguredLatencyIsSymmetric) {
+  Fabric f;
+  f.set_latency("A", "B", milliseconds(7));
+  EXPECT_EQ(f.one_way("A", "B"), milliseconds(7));
+  EXPECT_EQ(f.one_way("B", "A"), milliseconds(7));
+}
+
+TEST(Fabric, MessageAccounting) {
+  Fabric f;
+  f.record_message("A", "B", 100);
+  f.record_message("B", "A", 50);
+  f.record_message("A", "C", 10);
+  EXPECT_EQ(f.total().messages, 3u);
+  EXPECT_EQ(f.total().bytes, 160u);
+  EXPECT_EQ(f.between("A", "B").messages, 2u);  // symmetric pair key
+  EXPECT_EQ(f.between("A", "B").bytes, 150u);
+  EXPECT_EQ(f.between("A", "C").messages, 1u);
+  EXPECT_EQ(f.between("B", "C").messages, 0u);
+}
+
+TEST(Fabric, ResetCounters) {
+  Fabric f;
+  f.record_message("A", "B", 100);
+  f.reset_counters();
+  EXPECT_EQ(f.total().messages, 0u);
+  EXPECT_EQ(f.between("A", "B").messages, 0u);
+}
+
+TEST(Fabric, ProcessingDelayConfigurable) {
+  Fabric f;
+  f.set_processing_delay(microseconds(250));
+  EXPECT_EQ(f.processing_delay(), microseconds(250));
+}
+
+}  // namespace
+}  // namespace e2e::sig

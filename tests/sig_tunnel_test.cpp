@@ -1,0 +1,162 @@
+// Tunnel establishment and per-flow signalling inside tunnels.
+#include <gtest/gtest.h>
+
+#include "testing_world.hpp"
+
+namespace e2e::sig {
+namespace {
+
+using testing::ChainWorld;
+using testing::ChainWorldConfig;
+using testing::WorldUser;
+
+struct TunnelFixture {
+  ChainWorld world;
+  WorldUser alice = world.make_user("Alice", 0);
+  std::string tunnel_id;
+
+  TunnelFixture() {
+    bb::ResSpec agg = world.spec(alice, 50e6, {0, seconds(3600)});
+    agg.is_tunnel = true;
+    const auto msg =
+        world.engine().build_user_request(alice.credentials(), agg, 0);
+    const auto outcome = world.engine().reserve(*msg, seconds(1));
+    EXPECT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->reply.granted) << outcome->reply.denial.to_text();
+    tunnel_id = outcome->reply.tunnel_id;
+  }
+};
+
+TEST(Tunnel, EstablishmentCreatesEndDomainState) {
+  TunnelFixture f;
+  ASSERT_FALSE(f.tunnel_id.empty());
+  const auto info = f.world.engine().tunnel_info(f.tunnel_id);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->source_domain, "DomainA");
+  EXPECT_EQ(info->destination_domain, "DomainC");
+  EXPECT_DOUBLE_EQ(info->aggregate_rate, 50e6);
+  EXPECT_EQ(info->active_flows, 0u);
+  // Both end brokers registered the tunnel; the transit domain did not.
+  EXPECT_EQ(f.world.broker(0).tunnel_count(), 1u);
+  EXPECT_EQ(f.world.broker(1).tunnel_count(), 0u);
+  EXPECT_EQ(f.world.broker(2).tunnel_count(), 1u);
+}
+
+TEST(Tunnel, PerFlowTouchesOnlyEndDomains) {
+  TunnelFixture f;
+  const auto before_b = f.world.broker(1).counters().requests;
+  f.world.fabric().reset_counters();
+
+  const auto flow = f.world.engine().reserve_in_tunnel(
+      f.tunnel_id, f.alice.dn.to_string(), 5e6, {0, seconds(60)}, seconds(2));
+  ASSERT_TRUE(flow.ok()) << flow.error().to_text();
+  ASSERT_TRUE(flow->reply.granted) << flow->reply.denial.to_text();
+  // Only the two end domains processed anything.
+  EXPECT_EQ(flow->domains_contacted, 2u);
+  EXPECT_EQ(f.world.broker(1).counters().requests, before_b);
+  // Exactly three messages: user->source, source->dest, dest->source.
+  EXPECT_EQ(flow->messages, 3u);
+  // Nothing crossed the A-B or B-C signalling links.
+  EXPECT_EQ(f.world.fabric().between("DomainA", "DomainB").messages, 0u);
+  EXPECT_EQ(f.world.fabric().between("DomainB", "DomainC").messages, 0u);
+}
+
+TEST(Tunnel, AggregateLimitEnforcedAcrossFlows) {
+  TunnelFixture f;
+  // 50 Mb/s aggregate admits ten 5 Mb/s flows, not eleven.
+  for (int i = 0; i < 10; ++i) {
+    const auto flow = f.world.engine().reserve_in_tunnel(
+        f.tunnel_id, f.alice.dn.to_string(), 5e6, {0, seconds(60)},
+        seconds(2));
+    ASSERT_TRUE(flow->reply.granted) << "flow " << i;
+  }
+  const auto over = f.world.engine().reserve_in_tunnel(
+      f.tunnel_id, f.alice.dn.to_string(), 5e6, {0, seconds(60)}, seconds(2));
+  ASSERT_FALSE(over->reply.granted);
+  EXPECT_EQ(over->reply.denial.code, ErrorCode::kAdmissionRejected);
+  EXPECT_EQ(f.world.engine().tunnel_info(f.tunnel_id)->active_flows, 10u);
+}
+
+TEST(Tunnel, DisjointIntervalsReuseAggregate) {
+  TunnelFixture f;
+  ASSERT_TRUE(f.world.engine()
+                  .reserve_in_tunnel(f.tunnel_id, f.alice.dn.to_string(),
+                                     50e6, {0, seconds(60)}, seconds(2))
+                  ->reply.granted);
+  // Full aggregate again, in a later window.
+  EXPECT_TRUE(f.world.engine()
+                  .reserve_in_tunnel(f.tunnel_id, f.alice.dn.to_string(),
+                                     50e6, {seconds(120), seconds(180)},
+                                     seconds(2))
+                  ->reply.granted);
+}
+
+TEST(Tunnel, UnauthorizedUserDenied) {
+  TunnelFixture f;
+  const WorldUser eve = f.world.make_user("Eve", 0);
+  const auto flow = f.world.engine().reserve_in_tunnel(
+      f.tunnel_id, eve.dn.to_string(), 1e6, {0, seconds(60)}, seconds(2));
+  ASSERT_FALSE(flow->reply.granted);
+  EXPECT_EQ(flow->reply.denial.code, ErrorCode::kPolicyDenied);
+}
+
+TEST(Tunnel, ReleaseRestoresAggregate) {
+  TunnelFixture f;
+  const auto flow = f.world.engine().reserve_in_tunnel(
+      f.tunnel_id, f.alice.dn.to_string(), 50e6, {0, seconds(60)}, seconds(2));
+  ASSERT_TRUE(flow->reply.granted);
+  const std::string sub_id = flow->reply.handles[0].second;
+  ASSERT_TRUE(f.world.engine().release_in_tunnel(f.tunnel_id, sub_id).ok());
+  EXPECT_TRUE(f.world.engine()
+                  .reserve_in_tunnel(f.tunnel_id, f.alice.dn.to_string(),
+                                     50e6, {0, seconds(60)}, seconds(2))
+                  ->reply.granted);
+}
+
+TEST(Tunnel, UnknownTunnelFails) {
+  TunnelFixture f;
+  EXPECT_FALSE(f.world.engine()
+                   .reserve_in_tunnel("tunnel-999", f.alice.dn.to_string(),
+                                      1e6, {0, seconds(60)}, 0)
+                   .ok());
+  EXPECT_FALSE(
+      f.world.engine().release_in_tunnel("tunnel-999", "sub-1").ok());
+}
+
+TEST(Tunnel, SourceRollbackWhenDestinationRejects) {
+  TunnelFixture f;
+  // Exhaust the destination side only, by releasing at the source between
+  // requests — simplest deterministic trigger: allocate the full aggregate
+  // at destination via a first flow, then release only at the source side.
+  // Instead, drive a mismatch through the public API: allocate 30 then try
+  // 30 (dest rejects); source-side allocation must have been rolled back,
+  // so a subsequent 20 fits.
+  ASSERT_TRUE(f.world.engine()
+                  .reserve_in_tunnel(f.tunnel_id, f.alice.dn.to_string(),
+                                     30e6, {0, seconds(60)}, seconds(2))
+                  ->reply.granted);
+  ASSERT_FALSE(f.world.engine()
+                   .reserve_in_tunnel(f.tunnel_id, f.alice.dn.to_string(),
+                                      30e6, {0, seconds(60)}, seconds(2))
+                   ->reply.granted);
+  EXPECT_TRUE(f.world.engine()
+                  .reserve_in_tunnel(f.tunnel_id, f.alice.dn.to_string(),
+                                     20e6, {0, seconds(60)}, seconds(2))
+                  ->reply.granted);
+}
+
+TEST(Tunnel, FlowSignallingChannelIsAuthenticated) {
+  // The per-flow path exercises seal/open on the pinned direct channel; a
+  // tunnel with many flows keeps strictly increasing sequence numbers.
+  TunnelFixture f;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(f.world.engine()
+                    .reserve_in_tunnel(f.tunnel_id, f.alice.dn.to_string(),
+                                       1e6, {0, seconds(60)}, seconds(2))
+                    ->reply.granted);
+  }
+  EXPECT_EQ(f.world.engine().tunnel_info(f.tunnel_id)->active_flows, 5u);
+}
+
+}  // namespace
+}  // namespace e2e::sig

@@ -1,0 +1,12 @@
+// Test alias for the deployment kit's chain world (src/kit/chain_world.hpp):
+// a ready-made multi-domain deployment matching the paper's scenario.
+#pragma once
+
+#include "kit/chain_world.hpp"
+
+namespace e2e::testing {
+using e2e::kit::ChainWorld;
+using e2e::kit::ChainWorldConfig;
+using e2e::kit::WorldUser;
+using e2e::kit::kWorldValidity;
+}  // namespace e2e::testing
