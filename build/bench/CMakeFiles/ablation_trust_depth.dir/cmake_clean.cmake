@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trust_depth.dir/ablation_trust_depth.cpp.o"
+  "CMakeFiles/ablation_trust_depth.dir/ablation_trust_depth.cpp.o.d"
+  "ablation_trust_depth"
+  "ablation_trust_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trust_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

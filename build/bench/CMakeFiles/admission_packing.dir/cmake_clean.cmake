@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_packing.dir/admission_packing.cpp.o"
+  "CMakeFiles/admission_packing.dir/admission_packing.cpp.o.d"
+  "admission_packing"
+  "admission_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_delay_protection.dir/ef_delay_protection.cpp.o"
+  "CMakeFiles/ef_delay_protection.dir/ef_delay_protection.cpp.o.d"
+  "ef_delay_protection"
+  "ef_delay_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_delay_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

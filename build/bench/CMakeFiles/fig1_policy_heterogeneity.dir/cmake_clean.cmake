@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_policy_heterogeneity.dir/fig1_policy_heterogeneity.cpp.o"
+  "CMakeFiles/fig1_policy_heterogeneity.dir/fig1_policy_heterogeneity.cpp.o.d"
+  "fig1_policy_heterogeneity"
+  "fig1_policy_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_policy_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

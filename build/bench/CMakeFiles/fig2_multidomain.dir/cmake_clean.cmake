@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_multidomain.dir/fig2_multidomain.cpp.o"
+  "CMakeFiles/fig2_multidomain.dir/fig2_multidomain.cpp.o.d"
+  "fig2_multidomain"
+  "fig2_multidomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_multidomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_signalling_latency.dir/fig3_signalling_latency.cpp.o"
+  "CMakeFiles/fig3_signalling_latency.dir/fig3_signalling_latency.cpp.o.d"
+  "fig3_signalling_latency"
+  "fig3_signalling_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_signalling_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

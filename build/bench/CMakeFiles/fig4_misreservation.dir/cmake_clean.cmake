@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_misreservation.dir/fig4_misreservation.cpp.o"
+  "CMakeFiles/fig4_misreservation.dir/fig4_misreservation.cpp.o.d"
+  "fig4_misreservation"
+  "fig4_misreservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_misreservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hopbyhop.dir/fig5_hopbyhop.cpp.o"
+  "CMakeFiles/fig5_hopbyhop.dir/fig5_hopbyhop.cpp.o.d"
+  "fig5_hopbyhop"
+  "fig5_hopbyhop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hopbyhop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

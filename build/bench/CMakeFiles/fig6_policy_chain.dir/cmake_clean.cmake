@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_policy_chain.dir/fig6_policy_chain.cpp.o"
+  "CMakeFiles/fig6_policy_chain.dir/fig6_policy_chain.cpp.o.d"
+  "fig6_policy_chain"
+  "fig6_policy_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_policy_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keydist_ablation.dir/keydist_ablation.cpp.o"
+  "CMakeFiles/keydist_ablation.dir/keydist_ablation.cpp.o.d"
+  "keydist_ablation"
+  "keydist_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keydist_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunnel_scaling.dir/tunnel_scaling.cpp.o"
+  "CMakeFiles/tunnel_scaling.dir/tunnel_scaling.cpp.o.d"
+  "tunnel_scaling"
+  "tunnel_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunnel_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/adaptive_reservation.cpp" "examples/CMakeFiles/adaptive_reservation.dir/adaptive_reservation.cpp.o" "gcc" "examples/CMakeFiles/adaptive_reservation.dir/adaptive_reservation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gara/CMakeFiles/e2e_gara.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/e2e_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/e2e_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/bb/CMakeFiles/e2e_bb.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/e2e_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/e2e_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/e2e_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_reservation.dir/adaptive_reservation.cpp.o"
+  "CMakeFiles/adaptive_reservation.dir/adaptive_reservation.cpp.o.d"
+  "adaptive_reservation"
+  "adaptive_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

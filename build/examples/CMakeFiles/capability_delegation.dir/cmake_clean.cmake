@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capability_delegation.dir/capability_delegation.cpp.o"
+  "CMakeFiles/capability_delegation.dir/capability_delegation.cpp.o.d"
+  "capability_delegation"
+  "capability_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capability_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

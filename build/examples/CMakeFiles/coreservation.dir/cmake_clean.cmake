@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreservation.dir/coreservation.cpp.o"
+  "CMakeFiles/coreservation.dir/coreservation.cpp.o.d"
+  "coreservation"
+  "coreservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misreservation_demo.dir/misreservation_demo.cpp.o"
+  "CMakeFiles/misreservation_demo.dir/misreservation_demo.cpp.o.d"
+  "misreservation_demo"
+  "misreservation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misreservation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_check.dir/policy_check.cpp.o"
+  "CMakeFiles/policy_check.dir/policy_check.cpp.o.d"
+  "policy_check"
+  "policy_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

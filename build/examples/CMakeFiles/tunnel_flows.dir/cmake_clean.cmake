@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunnel_flows.dir/tunnel_flows.cpp.o"
+  "CMakeFiles/tunnel_flows.dir/tunnel_flows.cpp.o.d"
+  "tunnel_flows"
+  "tunnel_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunnel_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_acct.dir/billing.cpp.o"
+  "CMakeFiles/e2e_acct.dir/billing.cpp.o.d"
+  "libe2e_acct.a"
+  "libe2e_acct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_acct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bb/admission.cpp" "src/bb/CMakeFiles/e2e_bb.dir/admission.cpp.o" "gcc" "src/bb/CMakeFiles/e2e_bb.dir/admission.cpp.o.d"
+  "/root/repo/src/bb/bandwidth_broker.cpp" "src/bb/CMakeFiles/e2e_bb.dir/bandwidth_broker.cpp.o" "gcc" "src/bb/CMakeFiles/e2e_bb.dir/bandwidth_broker.cpp.o.d"
+  "/root/repo/src/bb/reservation.cpp" "src/bb/CMakeFiles/e2e_bb.dir/reservation.cpp.o" "gcc" "src/bb/CMakeFiles/e2e_bb.dir/reservation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/e2e_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/e2e_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/e2e_policy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_bb.dir/admission.cpp.o"
+  "CMakeFiles/e2e_bb.dir/admission.cpp.o.d"
+  "CMakeFiles/e2e_bb.dir/bandwidth_broker.cpp.o"
+  "CMakeFiles/e2e_bb.dir/bandwidth_broker.cpp.o.d"
+  "CMakeFiles/e2e_bb.dir/reservation.cpp.o"
+  "CMakeFiles/e2e_bb.dir/reservation.cpp.o.d"
+  "libe2e_bb.a"
+  "libe2e_bb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_bb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

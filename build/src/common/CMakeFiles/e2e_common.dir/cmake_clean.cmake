@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_common.dir/bytes.cpp.o"
+  "CMakeFiles/e2e_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/e2e_common.dir/logging.cpp.o"
+  "CMakeFiles/e2e_common.dir/logging.cpp.o.d"
+  "CMakeFiles/e2e_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/e2e_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/e2e_common.dir/tlv.cpp.o"
+  "CMakeFiles/e2e_common.dir/tlv.cpp.o.d"
+  "libe2e_common.a"
+  "libe2e_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

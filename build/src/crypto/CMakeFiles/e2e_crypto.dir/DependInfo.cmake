@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/biguint.cpp" "src/crypto/CMakeFiles/e2e_crypto.dir/biguint.cpp.o" "gcc" "src/crypto/CMakeFiles/e2e_crypto.dir/biguint.cpp.o.d"
+  "/root/repo/src/crypto/ca.cpp" "src/crypto/CMakeFiles/e2e_crypto.dir/ca.cpp.o" "gcc" "src/crypto/CMakeFiles/e2e_crypto.dir/ca.cpp.o.d"
+  "/root/repo/src/crypto/certstore.cpp" "src/crypto/CMakeFiles/e2e_crypto.dir/certstore.cpp.o" "gcc" "src/crypto/CMakeFiles/e2e_crypto.dir/certstore.cpp.o.d"
+  "/root/repo/src/crypto/dn.cpp" "src/crypto/CMakeFiles/e2e_crypto.dir/dn.cpp.o" "gcc" "src/crypto/CMakeFiles/e2e_crypto.dir/dn.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/e2e_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/e2e_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/e2e_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/e2e_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/e2e_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/e2e_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/x509.cpp" "src/crypto/CMakeFiles/e2e_crypto.dir/x509.cpp.o" "gcc" "src/crypto/CMakeFiles/e2e_crypto.dir/x509.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/e2e_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

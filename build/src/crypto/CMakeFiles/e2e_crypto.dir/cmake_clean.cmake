@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_crypto.dir/biguint.cpp.o"
+  "CMakeFiles/e2e_crypto.dir/biguint.cpp.o.d"
+  "CMakeFiles/e2e_crypto.dir/ca.cpp.o"
+  "CMakeFiles/e2e_crypto.dir/ca.cpp.o.d"
+  "CMakeFiles/e2e_crypto.dir/certstore.cpp.o"
+  "CMakeFiles/e2e_crypto.dir/certstore.cpp.o.d"
+  "CMakeFiles/e2e_crypto.dir/dn.cpp.o"
+  "CMakeFiles/e2e_crypto.dir/dn.cpp.o.d"
+  "CMakeFiles/e2e_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/e2e_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/e2e_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/e2e_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/e2e_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/e2e_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/e2e_crypto.dir/x509.cpp.o"
+  "CMakeFiles/e2e_crypto.dir/x509.cpp.o.d"
+  "libe2e_crypto.a"
+  "libe2e_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_gara.dir/gara_api.cpp.o"
+  "CMakeFiles/e2e_gara.dir/gara_api.cpp.o.d"
+  "libe2e_gara.a"
+  "libe2e_gara.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_gara.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_net.dir/simulator.cpp.o"
+  "CMakeFiles/e2e_net.dir/simulator.cpp.o.d"
+  "CMakeFiles/e2e_net.dir/topology.cpp.o"
+  "CMakeFiles/e2e_net.dir/topology.cpp.o.d"
+  "libe2e_net.a"
+  "libe2e_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/evaluator.cpp" "src/policy/CMakeFiles/e2e_policy.dir/evaluator.cpp.o" "gcc" "src/policy/CMakeFiles/e2e_policy.dir/evaluator.cpp.o.d"
+  "/root/repo/src/policy/lexer.cpp" "src/policy/CMakeFiles/e2e_policy.dir/lexer.cpp.o" "gcc" "src/policy/CMakeFiles/e2e_policy.dir/lexer.cpp.o.d"
+  "/root/repo/src/policy/parser.cpp" "src/policy/CMakeFiles/e2e_policy.dir/parser.cpp.o" "gcc" "src/policy/CMakeFiles/e2e_policy.dir/parser.cpp.o.d"
+  "/root/repo/src/policy/policy.cpp" "src/policy/CMakeFiles/e2e_policy.dir/policy.cpp.o" "gcc" "src/policy/CMakeFiles/e2e_policy.dir/policy.cpp.o.d"
+  "/root/repo/src/policy/policy_server.cpp" "src/policy/CMakeFiles/e2e_policy.dir/policy_server.cpp.o" "gcc" "src/policy/CMakeFiles/e2e_policy.dir/policy_server.cpp.o.d"
+  "/root/repo/src/policy/value.cpp" "src/policy/CMakeFiles/e2e_policy.dir/value.cpp.o" "gcc" "src/policy/CMakeFiles/e2e_policy.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/e2e_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/e2e_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

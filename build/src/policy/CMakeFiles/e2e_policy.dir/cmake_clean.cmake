@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_policy.dir/evaluator.cpp.o"
+  "CMakeFiles/e2e_policy.dir/evaluator.cpp.o.d"
+  "CMakeFiles/e2e_policy.dir/lexer.cpp.o"
+  "CMakeFiles/e2e_policy.dir/lexer.cpp.o.d"
+  "CMakeFiles/e2e_policy.dir/parser.cpp.o"
+  "CMakeFiles/e2e_policy.dir/parser.cpp.o.d"
+  "CMakeFiles/e2e_policy.dir/policy.cpp.o"
+  "CMakeFiles/e2e_policy.dir/policy.cpp.o.d"
+  "CMakeFiles/e2e_policy.dir/policy_server.cpp.o"
+  "CMakeFiles/e2e_policy.dir/policy_server.cpp.o.d"
+  "CMakeFiles/e2e_policy.dir/value.cpp.o"
+  "CMakeFiles/e2e_policy.dir/value.cpp.o.d"
+  "libe2e_policy.a"
+  "libe2e_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

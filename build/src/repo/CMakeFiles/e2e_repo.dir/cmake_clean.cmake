@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_repo.dir/cert_repository.cpp.o"
+  "CMakeFiles/e2e_repo.dir/cert_repository.cpp.o.d"
+  "libe2e_repo.a"
+  "libe2e_repo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_repo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

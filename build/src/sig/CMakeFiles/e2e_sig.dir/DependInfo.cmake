@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sig/channel.cpp" "src/sig/CMakeFiles/e2e_sig.dir/channel.cpp.o" "gcc" "src/sig/CMakeFiles/e2e_sig.dir/channel.cpp.o.d"
+  "/root/repo/src/sig/delegation.cpp" "src/sig/CMakeFiles/e2e_sig.dir/delegation.cpp.o" "gcc" "src/sig/CMakeFiles/e2e_sig.dir/delegation.cpp.o.d"
+  "/root/repo/src/sig/hopbyhop.cpp" "src/sig/CMakeFiles/e2e_sig.dir/hopbyhop.cpp.o" "gcc" "src/sig/CMakeFiles/e2e_sig.dir/hopbyhop.cpp.o.d"
+  "/root/repo/src/sig/impersonation.cpp" "src/sig/CMakeFiles/e2e_sig.dir/impersonation.cpp.o" "gcc" "src/sig/CMakeFiles/e2e_sig.dir/impersonation.cpp.o.d"
+  "/root/repo/src/sig/message.cpp" "src/sig/CMakeFiles/e2e_sig.dir/message.cpp.o" "gcc" "src/sig/CMakeFiles/e2e_sig.dir/message.cpp.o.d"
+  "/root/repo/src/sig/source_signalling.cpp" "src/sig/CMakeFiles/e2e_sig.dir/source_signalling.cpp.o" "gcc" "src/sig/CMakeFiles/e2e_sig.dir/source_signalling.cpp.o.d"
+  "/root/repo/src/sig/transport.cpp" "src/sig/CMakeFiles/e2e_sig.dir/transport.cpp.o" "gcc" "src/sig/CMakeFiles/e2e_sig.dir/transport.cpp.o.d"
+  "/root/repo/src/sig/trust.cpp" "src/sig/CMakeFiles/e2e_sig.dir/trust.cpp.o" "gcc" "src/sig/CMakeFiles/e2e_sig.dir/trust.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/e2e_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/e2e_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/e2e_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/bb/CMakeFiles/e2e_bb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

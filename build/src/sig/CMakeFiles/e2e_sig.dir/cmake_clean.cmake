@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_sig.dir/channel.cpp.o"
+  "CMakeFiles/e2e_sig.dir/channel.cpp.o.d"
+  "CMakeFiles/e2e_sig.dir/delegation.cpp.o"
+  "CMakeFiles/e2e_sig.dir/delegation.cpp.o.d"
+  "CMakeFiles/e2e_sig.dir/hopbyhop.cpp.o"
+  "CMakeFiles/e2e_sig.dir/hopbyhop.cpp.o.d"
+  "CMakeFiles/e2e_sig.dir/impersonation.cpp.o"
+  "CMakeFiles/e2e_sig.dir/impersonation.cpp.o.d"
+  "CMakeFiles/e2e_sig.dir/message.cpp.o"
+  "CMakeFiles/e2e_sig.dir/message.cpp.o.d"
+  "CMakeFiles/e2e_sig.dir/source_signalling.cpp.o"
+  "CMakeFiles/e2e_sig.dir/source_signalling.cpp.o.d"
+  "CMakeFiles/e2e_sig.dir/transport.cpp.o"
+  "CMakeFiles/e2e_sig.dir/transport.cpp.o.d"
+  "CMakeFiles/e2e_sig.dir/trust.cpp.o"
+  "CMakeFiles/e2e_sig.dir/trust.cpp.o.d"
+  "libe2e_sig.a"
+  "libe2e_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

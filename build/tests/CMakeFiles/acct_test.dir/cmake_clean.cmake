@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acct_test.dir/acct_billing_test.cpp.o"
+  "CMakeFiles/acct_test.dir/acct_billing_test.cpp.o.d"
+  "acct_test"
+  "acct_test.pdb"
+  "acct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_test.dir/bb_admission_test.cpp.o"
+  "CMakeFiles/bb_test.dir/bb_admission_test.cpp.o.d"
+  "CMakeFiles/bb_test.dir/bb_broker_test.cpp.o"
+  "CMakeFiles/bb_test.dir/bb_broker_test.cpp.o.d"
+  "bb_test"
+  "bb_test.pdb"
+  "bb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

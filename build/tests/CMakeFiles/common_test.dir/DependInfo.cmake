@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_bytes_test.cpp" "tests/CMakeFiles/common_test.dir/common_bytes_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common_bytes_test.cpp.o.d"
+  "/root/repo/tests/common_clock_test.cpp" "tests/CMakeFiles/common_test.dir/common_clock_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common_clock_test.cpp.o.d"
+  "/root/repo/tests/common_result_test.cpp" "tests/CMakeFiles/common_test.dir/common_result_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common_result_test.cpp.o.d"
+  "/root/repo/tests/common_thread_pool_test.cpp" "tests/CMakeFiles/common_test.dir/common_thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common_thread_pool_test.cpp.o.d"
+  "/root/repo/tests/common_tlv_test.cpp" "tests/CMakeFiles/common_test.dir/common_tlv_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common_tlv_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/e2e_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

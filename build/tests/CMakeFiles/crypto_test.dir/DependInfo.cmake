@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto_biguint_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_biguint_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_biguint_test.cpp.o.d"
+  "/root/repo/tests/crypto_certstore_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_certstore_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_certstore_test.cpp.o.d"
+  "/root/repo/tests/crypto_dn_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_dn_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_dn_test.cpp.o.d"
+  "/root/repo/tests/crypto_hmac_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_hmac_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_hmac_test.cpp.o.d"
+  "/root/repo/tests/crypto_properties_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_properties_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_properties_test.cpp.o.d"
+  "/root/repo/tests/crypto_rsa_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_rsa_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_rsa_test.cpp.o.d"
+  "/root/repo/tests/crypto_sha256_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_sha256_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_sha256_test.cpp.o.d"
+  "/root/repo/tests/crypto_x509_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_x509_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_x509_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/e2e_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/e2e_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test.dir/crypto_biguint_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_biguint_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto_certstore_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_certstore_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto_dn_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_dn_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto_hmac_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_hmac_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto_properties_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_properties_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto_rsa_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_rsa_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto_sha256_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_sha256_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto_x509_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_x509_test.cpp.o.d"
+  "crypto_test"
+  "crypto_test.pdb"
+  "crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

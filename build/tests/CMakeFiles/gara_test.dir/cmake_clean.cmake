@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gara_test.dir/gara_advance_test.cpp.o"
+  "CMakeFiles/gara_test.dir/gara_advance_test.cpp.o.d"
+  "CMakeFiles/gara_test.dir/gara_test.cpp.o"
+  "CMakeFiles/gara_test.dir/gara_test.cpp.o.d"
+  "gara_test"
+  "gara_test.pdb"
+  "gara_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gara_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

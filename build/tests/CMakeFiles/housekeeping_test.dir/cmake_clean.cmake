@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/housekeeping_test.dir/housekeeping_test.cpp.o"
+  "CMakeFiles/housekeeping_test.dir/housekeeping_test.cpp.o.d"
+  "housekeeping_test"
+  "housekeeping_test.pdb"
+  "housekeeping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/housekeeping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

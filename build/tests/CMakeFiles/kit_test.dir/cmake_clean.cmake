@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kit_test.dir/kit_world_test.cpp.o"
+  "CMakeFiles/kit_test.dir/kit_world_test.cpp.o.d"
+  "kit_test"
+  "kit_test.pdb"
+  "kit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net_des_test.cpp" "tests/CMakeFiles/net_test.dir/net_des_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net_des_test.cpp.o.d"
+  "/root/repo/tests/net_edge_cases_test.cpp" "tests/CMakeFiles/net_test.dir/net_edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net_edge_cases_test.cpp.o.d"
+  "/root/repo/tests/net_simulator_test.cpp" "tests/CMakeFiles/net_test.dir/net_simulator_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net_simulator_test.cpp.o.d"
+  "/root/repo/tests/net_token_bucket_test.cpp" "tests/CMakeFiles/net_test.dir/net_token_bucket_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net_token_bucket_test.cpp.o.d"
+  "/root/repo/tests/net_topology_test.cpp" "tests/CMakeFiles/net_test.dir/net_topology_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net_topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/e2e_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/e2e_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/e2e_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/policy_eval_test.cpp" "tests/CMakeFiles/policy_test.dir/policy_eval_test.cpp.o" "gcc" "tests/CMakeFiles/policy_test.dir/policy_eval_test.cpp.o.d"
+  "/root/repo/tests/policy_fuzz_test.cpp" "tests/CMakeFiles/policy_test.dir/policy_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/policy_test.dir/policy_fuzz_test.cpp.o.d"
+  "/root/repo/tests/policy_lexer_test.cpp" "tests/CMakeFiles/policy_test.dir/policy_lexer_test.cpp.o" "gcc" "tests/CMakeFiles/policy_test.dir/policy_lexer_test.cpp.o.d"
+  "/root/repo/tests/policy_parser_test.cpp" "tests/CMakeFiles/policy_test.dir/policy_parser_test.cpp.o" "gcc" "tests/CMakeFiles/policy_test.dir/policy_parser_test.cpp.o.d"
+  "/root/repo/tests/policy_server_test.cpp" "tests/CMakeFiles/policy_test.dir/policy_server_test.cpp.o" "gcc" "tests/CMakeFiles/policy_test.dir/policy_server_test.cpp.o.d"
+  "/root/repo/tests/policy_value_test.cpp" "tests/CMakeFiles/policy_test.dir/policy_value_test.cpp.o" "gcc" "tests/CMakeFiles/policy_test.dir/policy_value_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policy/CMakeFiles/e2e_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/e2e_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/e2e_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_test.dir/policy_eval_test.cpp.o"
+  "CMakeFiles/policy_test.dir/policy_eval_test.cpp.o.d"
+  "CMakeFiles/policy_test.dir/policy_fuzz_test.cpp.o"
+  "CMakeFiles/policy_test.dir/policy_fuzz_test.cpp.o.d"
+  "CMakeFiles/policy_test.dir/policy_lexer_test.cpp.o"
+  "CMakeFiles/policy_test.dir/policy_lexer_test.cpp.o.d"
+  "CMakeFiles/policy_test.dir/policy_parser_test.cpp.o"
+  "CMakeFiles/policy_test.dir/policy_parser_test.cpp.o.d"
+  "CMakeFiles/policy_test.dir/policy_server_test.cpp.o"
+  "CMakeFiles/policy_test.dir/policy_server_test.cpp.o.d"
+  "CMakeFiles/policy_test.dir/policy_value_test.cpp.o"
+  "CMakeFiles/policy_test.dir/policy_value_test.cpp.o.d"
+  "policy_test"
+  "policy_test.pdb"
+  "policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repo_test.dir/repo_test.cpp.o"
+  "CMakeFiles/repo_test.dir/repo_test.cpp.o.d"
+  "repo_test"
+  "repo_test.pdb"
+  "repo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sig_channel_test.cpp" "tests/CMakeFiles/sig_test.dir/sig_channel_test.cpp.o" "gcc" "tests/CMakeFiles/sig_test.dir/sig_channel_test.cpp.o.d"
+  "/root/repo/tests/sig_coordinator_test.cpp" "tests/CMakeFiles/sig_test.dir/sig_coordinator_test.cpp.o" "gcc" "tests/CMakeFiles/sig_test.dir/sig_coordinator_test.cpp.o.d"
+  "/root/repo/tests/sig_delegation_test.cpp" "tests/CMakeFiles/sig_test.dir/sig_delegation_test.cpp.o" "gcc" "tests/CMakeFiles/sig_test.dir/sig_delegation_test.cpp.o.d"
+  "/root/repo/tests/sig_extensions_test.cpp" "tests/CMakeFiles/sig_test.dir/sig_extensions_test.cpp.o" "gcc" "tests/CMakeFiles/sig_test.dir/sig_extensions_test.cpp.o.d"
+  "/root/repo/tests/sig_failure_injection_test.cpp" "tests/CMakeFiles/sig_test.dir/sig_failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/sig_test.dir/sig_failure_injection_test.cpp.o.d"
+  "/root/repo/tests/sig_hopbyhop_test.cpp" "tests/CMakeFiles/sig_test.dir/sig_hopbyhop_test.cpp.o" "gcc" "tests/CMakeFiles/sig_test.dir/sig_hopbyhop_test.cpp.o.d"
+  "/root/repo/tests/sig_impersonation_test.cpp" "tests/CMakeFiles/sig_test.dir/sig_impersonation_test.cpp.o" "gcc" "tests/CMakeFiles/sig_test.dir/sig_impersonation_test.cpp.o.d"
+  "/root/repo/tests/sig_message_test.cpp" "tests/CMakeFiles/sig_test.dir/sig_message_test.cpp.o" "gcc" "tests/CMakeFiles/sig_test.dir/sig_message_test.cpp.o.d"
+  "/root/repo/tests/sig_path_sweep_test.cpp" "tests/CMakeFiles/sig_test.dir/sig_path_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/sig_test.dir/sig_path_sweep_test.cpp.o.d"
+  "/root/repo/tests/sig_release_flow_test.cpp" "tests/CMakeFiles/sig_test.dir/sig_release_flow_test.cpp.o" "gcc" "tests/CMakeFiles/sig_test.dir/sig_release_flow_test.cpp.o.d"
+  "/root/repo/tests/sig_reply_test.cpp" "tests/CMakeFiles/sig_test.dir/sig_reply_test.cpp.o" "gcc" "tests/CMakeFiles/sig_test.dir/sig_reply_test.cpp.o.d"
+  "/root/repo/tests/sig_source_test.cpp" "tests/CMakeFiles/sig_test.dir/sig_source_test.cpp.o" "gcc" "tests/CMakeFiles/sig_test.dir/sig_source_test.cpp.o.d"
+  "/root/repo/tests/sig_transport_test.cpp" "tests/CMakeFiles/sig_test.dir/sig_transport_test.cpp.o" "gcc" "tests/CMakeFiles/sig_test.dir/sig_transport_test.cpp.o.d"
+  "/root/repo/tests/sig_tunnel_test.cpp" "tests/CMakeFiles/sig_test.dir/sig_tunnel_test.cpp.o" "gcc" "tests/CMakeFiles/sig_test.dir/sig_tunnel_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sig/CMakeFiles/e2e_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/bb/CMakeFiles/e2e_bb.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/e2e_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/e2e_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/e2e_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

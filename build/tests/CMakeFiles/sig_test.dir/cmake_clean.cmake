@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sig_test.dir/sig_channel_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig_channel_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig_coordinator_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig_coordinator_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig_delegation_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig_delegation_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig_extensions_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig_extensions_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig_failure_injection_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig_failure_injection_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig_hopbyhop_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig_hopbyhop_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig_impersonation_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig_impersonation_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig_message_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig_message_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig_path_sweep_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig_path_sweep_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig_release_flow_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig_release_flow_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig_reply_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig_reply_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig_source_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig_source_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig_transport_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig_transport_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig_tunnel_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig_tunnel_test.cpp.o.d"
+  "sig_test"
+  "sig_test.pdb"
+  "sig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

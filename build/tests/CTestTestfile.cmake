@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/bb_test[1]_include.cmake")
+include("/root/repo/build/tests/sig_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/kit_test[1]_include.cmake")
+include("/root/repo/build/tests/housekeeping_test[1]_include.cmake")
+include("/root/repo/build/tests/gara_test[1]_include.cmake")
+include("/root/repo/build/tests/acct_test[1]_include.cmake")
+include("/root/repo/build/tests/repo_test[1]_include.cmake")
