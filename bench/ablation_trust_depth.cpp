@@ -79,5 +79,6 @@ int main() {
                   "fit the destination's depth limit");
   bu::note("Operators trade reach (longer paths work) against exposure");
   bu::note("(each introduction extends trust one more contractual hop).");
+  bu::dump_metrics_snapshot("ablation_trust_depth");
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

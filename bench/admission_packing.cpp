@@ -97,5 +97,6 @@ int main() {
                   "the schedule still packs substantial utilization under "
                   "overload");
   ok &= bu::check(ok, "capacity invariant held at every probed instant");
+  bu::dump_metrics_snapshot("admission_packing");
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -3,7 +3,10 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <fstream>
 #include <string>
+
+#include "obs/metrics.hpp"
 
 namespace e2e::benchutil {
 
@@ -35,6 +38,23 @@ inline void rule() {
 inline bool check(bool ok, const std::string& claim) {
   std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
   return ok;
+}
+
+/// Write the global metrics registry as a JSON snapshot next to the bench
+/// binary: `<name>.metrics.json`. Every bench calls this on exit so runs
+/// leave a machine-readable record of everything the instrumentation
+/// counted (the telemetry contract is docs/OBSERVABILITY.md).
+inline bool dump_metrics_snapshot(const std::string& name) {
+  const std::string path = name + ".metrics.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("  (failed to write %s)\n", path.c_str());
+    return false;
+  }
+  out << obs::MetricsRegistry::global().to_json() << "\n";
+  std::printf("  metrics snapshot: %s (%zu series)\n", path.c_str(),
+              obs::MetricsRegistry::global().series_count());
+  return true;
 }
 
 }  // namespace e2e::benchutil

@@ -69,5 +69,6 @@ int main() {
   ok &= bu::check(ledger.total_user_payments() ==
                       -ledger.balance(alice.dn.to_string()),
                   "everything entering the system is paid by the user");
+  bu::dump_metrics_snapshot("billing");
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

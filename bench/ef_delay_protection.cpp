@@ -95,5 +95,6 @@ int main() {
                   "EF goodput unaffected by best-effort overload");
   ok &= bu::check(ef_delay_overload < 3.0,
                   "EF delay stays near the propagation floor (2 ms)");
+  bu::dump_metrics_snapshot("ef_delay_protection");
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -89,5 +89,6 @@ int main() {
   ok &= bu::check(dave_b == Decision::kDeny,
                   "domain B denies non-physicists — same request, different "
                   "policy");
+  bu::dump_metrics_snapshot("fig1_policy_heterogeneity");
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -74,5 +74,6 @@ int main() {
                     std::string("exhausting ") + names[starved] +
                         " alone breaks the end-to-end reservation");
   }
+  bu::dump_metrics_snapshot("fig2_multidomain");
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -9,6 +9,7 @@
 // latency (the control path follows the chain). Hop-by-hop pays the sum of
 // adjacent RTTs; parallel source-based pays the max (the farthest domain);
 // sequential source-based pays the sum of increasingly long RTTs — worst.
+#include <cmath>
 #include <cstdlib>
 
 #include "bench_util.hpp"
@@ -92,6 +93,9 @@ int main() {
                                      // domains the two strategies coincide
                                      // (one remote BB either way).
   double last_gap = 0;
+  double printed_hbh_total_us = 0;  // accumulates the table's hop-by-hop
+                                    // column for the snapshot cross-check
+  std::size_t printed_hbh_rows = 0;
   for (std::size_t n = 2; n <= 8; ++n) {
     const Sample s = run(n);
     bu::row("%-8zu %-16.1f %-18.1f %-16.1f %-10zu %-10zu", n,
@@ -100,6 +104,8 @@ int main() {
     parallel_always_fastest &= s.source_par_ms < s.hop_by_hop_ms;
     if (n >= 3) hbh_beats_sequential &= s.hop_by_hop_ms <= s.source_seq_ms;
     last_gap = s.hop_by_hop_ms - s.source_par_ms;
+    printed_hbh_total_us += s.hop_by_hop_ms * 1000.0;
+    printed_hbh_rows++;
   }
 
   bu::rule();
@@ -114,5 +120,18 @@ int main() {
   ok &= bu::check(last_gap > 0,
                   "the gap grows with path length (parallelism wins more "
                   "on longer paths)");
+
+  // The metrics snapshot must agree with the printed table: the hop-by-hop
+  // end-to-end latency histogram saw exactly one observation per table row
+  // and its sum is the hop-by-hop column total.
+  const auto& hbh_latency = obs::MetricsRegistry::global().histogram(
+      "e2e_sig_e2e_latency_us", {{"engine", "hopbyhop"}});
+  ok &= bu::check(hbh_latency.count() == printed_hbh_rows,
+                  "metrics snapshot: hop-by-hop latency histogram count "
+                  "matches the table rows");
+  ok &= bu::check(std::abs(hbh_latency.sum() - printed_hbh_total_us) < 1.0,
+                  "metrics snapshot: hop-by-hop latency histogram sum "
+                  "matches the table total");
+  bu::dump_metrics_snapshot("fig3_signalling_latency");
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -273,5 +273,6 @@ int main() {
                     "source-based: David's excess EF traffic degrades "
                     "Alice's premium goodput at C's aggregate policer");
   }
+  bu::dump_metrics_snapshot("fig4_misreservation");
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -80,5 +80,6 @@ int main() {
   ok &= bu::check(compute.count() == 2,
                   "the denied request's CPU leg was rolled back (atomic "
                   "co-reservation)");
+  bu::dump_metrics_snapshot("fig5_hopbyhop");
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

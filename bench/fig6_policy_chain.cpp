@@ -129,5 +129,6 @@ int main() {
   bu::rule();
   ok &= bu::check(ok, "all decisions match the Fig. 6 policy files, and "
                       "every denial is attributed to the deciding domain");
+  bu::dump_metrics_snapshot("fig6_policy_chain");
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

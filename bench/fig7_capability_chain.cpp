@@ -133,5 +133,6 @@ int main() {
                   "path hops)");
   ok &= bu::check(last_verify < 20 * first_verify,
                   "growth is modest — no super-linear blowup");
+  bu::dump_metrics_snapshot("fig7_capability_chain");
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -90,5 +90,6 @@ int main() {
   bu::note("(each hop vouches for its upstream peer, bounded by the local");
   bu::note("depth policy); LDAP needs 'a strong trust relationship with the");
   bu::note("repository' (§6.4) plus its availability on the request path.");
+  bu::dump_metrics_snapshot("keydist_ablation");
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -141,5 +141,6 @@ int main() {
                   "a 10 Mb/s tunnel admits exactly ten 1 Mb/s flows — the "
                   "aggregate stays enforced without contacting the "
                   "intermediate domains");
+  bu::dump_metrics_snapshot("tunnel_scaling");
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

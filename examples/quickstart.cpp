@@ -72,6 +72,13 @@ int main() {
               outcome->messages, to_milliseconds(outcome->latency),
               outcome->final_wire_bytes);
 
+  // The trace the reservation left behind: one span per hop under the root
+  // reservation span, with verify/policy/admission/sign_and_forward step
+  // spans timed against the virtual clock (see docs/OBSERVABILITY.md).
+  std::printf("\nTrace tree for %s:\n%s",
+              outcome->trace_id.c_str(),
+              world.tracer().render_tree(outcome->trace_id).c_str());
+
   // Release when done; every domain's capacity is restored.
   if (!world.engine().release_end_to_end(outcome->reply).ok()) return 1;
   std::printf("Released. DomainB committed now: %.0f bits/s\n",

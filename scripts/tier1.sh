@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite.
+# Additionally fails on ANY compiler warning in src/obs/ — the
+# observability layer is held to a warning-free standard.
+#
+# Usage: ./scripts/tier1.sh   (from the repo root; build dir: ./build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+
+# Force the obs sources to recompile so their warnings (if any) are
+# visible in this build's output even on incremental runs.
+find build -name '*.o' -path '*obs*' -delete 2>/dev/null || true
+
+build_log=$(mktemp)
+trap 'rm -f "$build_log"' EXIT
+cmake --build build -j 2>&1 | tee "$build_log"
+
+if grep -E 'warning:' "$build_log" | grep -q 'src/obs/\|obs/metrics\|obs/trace\|obs/instruments'; then
+  echo "FAIL: compiler warnings in src/obs/:" >&2
+  grep -E 'warning:' "$build_log" | grep 'obs' >&2
+  exit 1
+fi
+
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+echo "tier1: OK"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/instruments.hpp"
+
 namespace e2e::bb {
 
 double CapacityPool::peak_committed(const TimeInterval& interval) const {
@@ -39,11 +41,17 @@ Status CapacityPool::commit(const std::string& key,
     return make_error(ErrorCode::kConflict, "commit: duplicate key " + key);
   }
   if (!can_admit(interval, rate)) {
+    obs::MetricsRegistry::global()
+        .counter(obs::kBbPoolRejectionsTotal)
+        .increment();
     return make_error(ErrorCode::kAdmissionRejected,
                       "commit: insufficient capacity (headroom " +
                           std::to_string(headroom(interval)) + " bits/s)");
   }
   commitments_.emplace(key, Commitment{interval, rate});
+  obs::MetricsRegistry::global()
+      .counter(obs::kBbPoolCommitsTotal)
+      .increment();
   return Status::ok_status();
 }
 
@@ -51,6 +59,9 @@ Status CapacityPool::release(const std::string& key) {
   if (commitments_.erase(key) == 0) {
     return make_error(ErrorCode::kNotFound, "release: unknown key " + key);
   }
+  obs::MetricsRegistry::global()
+      .counter(obs::kBbPoolReleasesTotal)
+      .increment();
   return Status::ok_status();
 }
 

@@ -1,6 +1,7 @@
 #include "bb/bandwidth_broker.hpp"
 
 #include "common/logging.hpp"
+#include "obs/instruments.hpp"
 
 namespace e2e::bb {
 
@@ -95,11 +96,19 @@ Status BandwidthBroker::check_admission_locked(
 
 Result<ReservationId> BandwidthBroker::commit(const ResSpec& spec,
                                               const std::string& from_domain) {
+  auto& registry = obs::MetricsRegistry::global();
+  auto count_admission = [&](const char* result) {
+    registry
+        .counter(obs::kBbAdmissionChecksTotal,
+                 {{"domain", config_.domain}, {"result", result}})
+        .increment();
+  };
   std::unique_lock lock(mutex_);
   ++counters_.requests;
   auto admissible = check_admission_locked(spec, from_domain);
   if (!admissible.ok()) {
     ++counters_.denied_admission;
+    count_admission("rejected");
     return admissible.error();
   }
   const ReservationId id =
@@ -107,6 +116,7 @@ Result<ReservationId> BandwidthBroker::commit(const ResSpec& spec,
   auto local = local_pool_.commit(id, spec.interval, spec.rate_bits_per_s);
   if (!local.ok()) {
     ++counters_.denied_admission;
+    count_admission("rejected");
     return local.error();
   }
   if (!from_domain.empty()) {
@@ -115,12 +125,21 @@ Result<ReservationId> BandwidthBroker::commit(const ResSpec& spec,
     if (!peer.ok()) {
       (void)local_pool_.release(id);  // rollback
       ++counters_.denied_admission;
+      count_admission("rejected");
       return peer.error();
     }
   }
   Reservation resv{id, spec, ReservationState::kGranted, from_domain};
   reservations_.emplace(id, resv);
   ++counters_.granted;
+  count_admission("admitted");
+  registry
+      .counter(obs::kBbReservationsCommittedTotal,
+               {{"domain", config_.domain}})
+      .increment();
+  registry
+      .gauge(obs::kBbReservationsActive, {{"domain", config_.domain}})
+      .add(1);
   lock.unlock();  // configurator may call back into the broker
   if (edge_configurator_) edge_configurator_(resv, /*install=*/true);
   log::info("bb[" + config_.domain + "]")
@@ -144,6 +163,14 @@ Status BandwidthBroker::release(const ReservationId& id) {
   resv.state = ReservationState::kReleased;
   reservations_.erase(it);
   ++counters_.released;
+  auto& registry = obs::MetricsRegistry::global();
+  registry
+      .counter(obs::kBbReservationsReleasedTotal,
+               {{"domain", config_.domain}})
+      .increment();
+  registry
+      .gauge(obs::kBbReservationsActive, {{"domain", config_.domain}})
+      .add(-1);
   lock.unlock();
   if (edge_configurator_) edge_configurator_(resv, /*install=*/false);
   return Status::ok_status();
@@ -166,6 +193,16 @@ std::size_t BandwidthBroker::purge_expired(SimTime now) {
     } else {
       ++it;
     }
+  }
+  if (!purged.empty()) {
+    auto& registry = obs::MetricsRegistry::global();
+    registry
+        .counter(obs::kBbReservationsReleasedTotal,
+                 {{"domain", config_.domain}})
+        .increment(purged.size());
+    registry
+        .gauge(obs::kBbReservationsActive, {{"domain", config_.domain}})
+        .add(-static_cast<double>(purged.size()));
   }
   lock.unlock();
   for (auto& resv : purged) {
@@ -191,6 +228,9 @@ Result<TunnelId> BandwidthBroker::register_tunnel(
   const TunnelId id =
       config_.domain + "-tunnel-" + std::to_string(next_id_++);
   tunnels_.emplace(id, Tunnel(id, aggregate_spec));
+  obs::MetricsRegistry::global()
+      .counter(obs::kBbTunnelsRegisteredTotal, {{"domain", config_.domain}})
+      .increment();
   log::info("bb[" + config_.domain + "]")
       << "registered " << id << " aggregate "
       << aggregate_spec.rate_bits_per_s / 1e6 << " Mb/s";

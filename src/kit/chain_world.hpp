@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bb/bandwidth_broker.hpp"
+#include "obs/trace.hpp"
 #include "policy/cas.hpp"
 #include "policy/group_server.hpp"
 #include "sig/hopbyhop.hpp"
@@ -118,6 +119,9 @@ class ChainWorld {
                                  status.error().to_text());
       }
     }
+    // Every hop-by-hop reservation in this world records a trace tree
+    // (keyed by Outcome::trace_id) into the world-owned recorder.
+    engine_.set_trace_recorder(&tracer_);
   }
 
   static std::string domain_name(std::size_t i) {
@@ -174,6 +178,7 @@ class ChainWorld {
   sig::Fabric& fabric() { return fabric_; }
   sig::HopByHopEngine& engine() { return engine_; }
   sig::SourceDomainEngine& source_engine() { return source_engine_; }
+  obs::TraceRecorder& tracer() { return tracer_; }
   Rng& rng() { return rng_; }
 
  private:
@@ -187,6 +192,7 @@ class ChainWorld {
   sig::Fabric fabric_;
   sig::HopByHopEngine engine_;
   sig::SourceDomainEngine source_engine_;
+  obs::TraceRecorder tracer_;
 };
 
 }  // namespace e2e::kit

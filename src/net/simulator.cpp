@@ -4,12 +4,22 @@
 #include <deque>
 
 #include "common/logging.hpp"
+#include "obs/instruments.hpp"
 
 namespace e2e::net {
 
 Simulator::Simulator(Topology topology, std::uint64_t seed)
     : topo_(std::move(topology)), rng_(seed) {
   links_.resize(topo_.link_count());
+  auto& registry = obs::MetricsRegistry::global();
+  packets_emitted_ = &registry.counter(obs::kNetPacketsEmittedTotal);
+  packets_delivered_ = &registry.counter(obs::kNetPacketsDeliveredTotal);
+  packets_dropped_policer_ =
+      &registry.counter(obs::kNetPacketsDroppedTotal, {{"reason", "policer"}});
+  packets_dropped_queue_ =
+      &registry.counter(obs::kNetPacketsDroppedTotal, {{"reason", "queue"}});
+  packets_downgraded_ = &registry.counter(obs::kNetPacketsDowngradedTotal);
+  packet_delay_us_ = &registry.histogram(obs::kNetPacketDelayUs);
 }
 
 Result<FlowId> Simulator::add_flow(const FlowDescription& desc) {
@@ -85,6 +95,7 @@ void Simulator::emit_packet(FlowId id) {
   pkt.created = now;
   flow.stats.emitted_packets++;
   flow.stats.emitted_bits += pkt.size_bits;
+  packets_emitted_->increment();
 
   enter_link(pkt, id, 0);
   events_.schedule_in(emission_gap(flow.desc.pattern),
@@ -105,11 +116,13 @@ void Simulator::enter_link(Packet pkt, FlowId flow, std::size_t hop) {
         pkt.cls = TrafficClass::kExpedited;
       } else if (it->second.treatment == sla::ExcessTreatment::kDrop) {
         fs.stats.dropped_policer_packets++;
+        packets_dropped_policer_->increment();
         return;
       } else {
         pkt.cls = TrafficClass::kBestEffort;
         pkt.downgraded = true;
         fs.stats.downgraded_packets++;
+        packets_downgraded_->increment();
       }
     }
   }
@@ -120,11 +133,13 @@ void Simulator::enter_link(Packet pkt, FlowId flow, std::size_t hop) {
     if (!ls.aggregate_policer->bucket.conforms(pkt.size_bits, now)) {
       if (ls.aggregate_policer->treatment == sla::ExcessTreatment::kDrop) {
         fs.stats.dropped_policer_packets++;
+        packets_dropped_policer_->increment();
         return;
       }
       pkt.cls = TrafficClass::kBestEffort;
       pkt.downgraded = true;
       fs.stats.downgraded_packets++;
+      packets_downgraded_->increment();
     }
   }
 
@@ -132,6 +147,7 @@ void Simulator::enter_link(Packet pkt, FlowId flow, std::size_t hop) {
                                                     : ls.be_queue;
   if (queue.size() >= topo_.link(link).queue_limit_packets) {
     fs.stats.dropped_queue_packets++;
+    packets_dropped_queue_->increment();
     return;
   }
   queue.push_back(QueuedPacket{pkt, hop});
@@ -181,7 +197,10 @@ void Simulator::deliver(const Packet& pkt, FlowId flow) {
   if (pkt.cls == TrafficClass::kExpedited) {
     st.delivered_premium_bits += pkt.size_bits;
   }
-  st.total_delay += events_.now() - pkt.created;
+  const SimDuration delay = events_.now() - pkt.created;
+  st.total_delay += delay;
+  packets_delivered_->increment();
+  packet_delay_us_->observe(static_cast<double>(delay));
 }
 
 void Simulator::run_until(SimTime t) { events_.run_until(t); }

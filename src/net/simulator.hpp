@@ -24,6 +24,7 @@
 #include "net/packet.hpp"
 #include "net/token_bucket.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sla/sls.hpp"
 
 namespace e2e::net {
@@ -189,6 +190,16 @@ class Simulator {
   std::vector<FlowState> flows_;
   std::vector<LinkState> links_;
   std::uint64_t next_packet_id_ = 1;
+
+  // Global-registry instruments, resolved once in the constructor; the
+  // per-packet hot path increments through these cached references
+  // (guaranteed stable for the registry's lifetime).
+  obs::Counter* packets_emitted_;
+  obs::Counter* packets_delivered_;
+  obs::Counter* packets_dropped_policer_;
+  obs::Counter* packets_dropped_queue_;
+  obs::Counter* packets_downgraded_;
+  obs::Histogram* packet_delay_us_;
 };
 
 }  // namespace e2e::net

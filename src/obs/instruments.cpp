@@ -1,0 +1,100 @@
+#include "obs/instruments.hpp"
+
+namespace e2e::obs {
+
+namespace {
+
+std::vector<MetricInfo> build_catalog() {
+  // Introduction-depth buckets: one per step, far below the latency ladder.
+  // (TrustPolicy::max_introduction_depth defaults to 8.)
+  const char* kUs = "us";
+  const char* kOne = "1";
+  return {
+      {kBbAdmissionChecksTotal, MetricType::kCounter, kOne,
+       {"domain", "result"},
+       "Admission decisions at reservation commit time"},
+      {kBbPoolCommitsTotal, MetricType::kCounter, kOne, {},
+       "CapacityPool commitments (domain, peer-SLA and tunnel pools)"},
+      {kBbPoolRejectionsTotal, MetricType::kCounter, kOne, {},
+       "CapacityPool commits refused (rate does not fit the interval)"},
+      {kBbPoolReleasesTotal, MetricType::kCounter, kOne, {},
+       "CapacityPool releases"},
+      {kBbReservationsActive, MetricType::kGauge, kOne, {"domain"},
+       "Reservations currently held by a broker"},
+      {kBbReservationsCommittedTotal, MetricType::kCounter, kOne, {"domain"},
+       "Reservations committed by a broker"},
+      {kBbReservationsReleasedTotal, MetricType::kCounter, kOne, {"domain"},
+       "Reservations released or purged by a broker"},
+      {kBbTunnelsRegisteredTotal, MetricType::kCounter, kOne, {"domain"},
+       "Aggregate tunnels registered at an end domain"},
+      {kNetPacketDelayUs, MetricType::kHistogram, kUs, {},
+       "End-to-end packet delay in the DiffServ simulator"},
+      {kNetPacketsDeliveredTotal, MetricType::kCounter, kOne, {},
+       "Packets delivered end to end"},
+      {kNetPacketsDowngradedTotal, MetricType::kCounter, kOne, {},
+       "EF packets demoted to best-effort by a policer"},
+      {kNetPacketsDroppedTotal, MetricType::kCounter, kOne, {"reason"},
+       "Packets dropped by a policer or a full queue"},
+      {kNetPacketsEmittedTotal, MetricType::kCounter, kOne, {},
+       "Packets emitted by traffic sources"},
+      {kPolicyDecisionsTotal, MetricType::kCounter, kOne,
+       {"decision", "domain"},
+       "Policy-server decisions"},
+      {kPolicyEvalFailuresTotal, MetricType::kCounter, kOne, {"domain"},
+       "Policy evaluations that failed outright (conservative denials)"},
+      {kSigChannelAuthFailuresTotal, MetricType::kCounter, kOne, {},
+       "Record-layer authentication failures (bad MAC or replay)"},
+      {kSigChannelHandshakesTotal, MetricType::kCounter, kOne, {"result"},
+       "Mutual-authentication channel handshakes"},
+      {kSigChannelRecordsTotal, MetricType::kCounter, kOne, {"op"},
+       "Record-layer seal/open operations"},
+      {kSigE2eLatencyUs, MetricType::kHistogram, kUs, {"engine"},
+       "Modeled end-to-end signalling latency per request"},
+      {kSigFabricBytesTotal, MetricType::kCounter, "bytes", {},
+       "Control-plane bytes crossing the signalling fabric"},
+      {kSigFabricMessagesTotal, MetricType::kCounter, kOne, {},
+       "Control-plane messages crossing the signalling fabric"},
+      {kSigHopDenialsTotal, MetricType::kCounter, kOne, {"domain", "stage"},
+       "Hops that denied or failed a RAR, by pipeline stage"},
+      {kSigHopProcessingUs, MetricType::kHistogram, kUs, {"domain"},
+       "Per-hop RAR processing time (verify+policy+admission+forward)"},
+      {kSigHopsProcessedTotal, MetricType::kCounter, kOne, {"domain"},
+       "Broker hops that processed a RAR"},
+      {kSigRarOutcomesTotal, MetricType::kCounter, kOne,
+       {"engine", "outcome"},
+       "Final answers returned to the requesting user"},
+      {kSigRarRequestsTotal, MetricType::kCounter, kOne, {"engine"},
+       "End-to-end RARs entering a signalling engine"},
+      {kSigTrustIntroductionDepth, MetricType::kHistogram, kOne, {},
+       "Deepest introduction step accepted per verified inter-BB RAR",
+       },
+      {kSigTrustVerificationsTotal, MetricType::kCounter, kOne, {"result"},
+       "RAR trust verifications (transitive trust or direct user auth)"},
+  };
+}
+
+}  // namespace
+
+const std::vector<MetricInfo>& catalog() {
+  static const std::vector<MetricInfo> kCatalog = build_catalog();
+  return kCatalog;
+}
+
+void register_all(MetricsRegistry& registry) {
+  for (const MetricInfo& info : catalog()) {
+    MetricMetadata metadata;
+    metadata.name = info.name;
+    metadata.type = info.type;
+    metadata.unit = info.unit;
+    metadata.label_keys.assign(info.label_keys.begin(),
+                               info.label_keys.end());
+    metadata.help = info.help;
+    if (info.type == MetricType::kHistogram &&
+        std::string(info.name) == kSigTrustIntroductionDepth) {
+      metadata.buckets = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+    }
+    registry.declare(std::move(metadata));
+  }
+}
+
+}  // namespace e2e::obs

@@ -1,0 +1,119 @@
+// The instrument catalog: every metric name the library emits, in one
+// place. Instrumented code refers to these constants (never string
+// literals), register_all() declares the metadata on the global registry,
+// and tests/obs_contract_test.cpp diffs this catalog against the telemetry
+// contract in docs/OBSERVABILITY.md — an undocumented metric is a test
+// failure, in both directions.
+#pragma once
+
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace e2e::obs {
+
+// --- sig: signalling engines ------------------------------------------------
+/// End-to-end RARs entering an engine. Labels:
+/// engine=hopbyhop|source|tunnel.
+inline constexpr char kSigRarRequestsTotal[] = "e2e_sig_rar_requests_total";
+/// Final answers returned to the user. Labels: engine, outcome=granted|denied.
+inline constexpr char kSigRarOutcomesTotal[] = "e2e_sig_rar_outcomes_total";
+/// Modeled end-to-end signalling latency per request (us). Labels: engine.
+inline constexpr char kSigE2eLatencyUs[] = "e2e_sig_e2e_latency_us";
+/// Broker hops that processed a RAR. Labels: domain.
+inline constexpr char kSigHopsProcessedTotal[] = "e2e_sig_hops_processed_total";
+/// Per-hop processing time (verify+policy+admission+forward, us).
+/// Labels: domain.
+inline constexpr char kSigHopProcessingUs[] = "e2e_sig_hop_processing_us";
+/// Hops that denied or failed a RAR. Labels: domain,
+/// stage=verify|policy|cost|admission|forward.
+inline constexpr char kSigHopDenialsTotal[] = "e2e_sig_hop_denials_total";
+
+// --- sig: trust --------------------------------------------------------------
+/// verify_rar / verify_user_request outcomes. Labels: result=ok|fail.
+inline constexpr char kSigTrustVerificationsTotal[] =
+    "e2e_sig_trust_verifications_total";
+/// Deepest introduction step accepted per verified inter-BB RAR.
+inline constexpr char kSigTrustIntroductionDepth[] =
+    "e2e_sig_trust_introduction_depth";
+
+// --- sig: channel ------------------------------------------------------------
+/// Mutual-authentication handshakes. Labels: result=ok|fail.
+inline constexpr char kSigChannelHandshakesTotal[] =
+    "e2e_sig_channel_handshakes_total";
+/// Record-layer operations. Labels: op=seal|open.
+inline constexpr char kSigChannelRecordsTotal[] =
+    "e2e_sig_channel_records_total";
+/// Record-layer authentication failures (bad MAC, replay).
+inline constexpr char kSigChannelAuthFailuresTotal[] =
+    "e2e_sig_channel_auth_failures_total";
+
+// --- sig: fabric ---------------------------------------------------------------
+/// Control-plane messages crossing the fabric.
+inline constexpr char kSigFabricMessagesTotal[] =
+    "e2e_sig_fabric_messages_total";
+/// Control-plane bytes crossing the fabric.
+inline constexpr char kSigFabricBytesTotal[] = "e2e_sig_fabric_bytes_total";
+
+// --- bb: bandwidth broker ------------------------------------------------------
+/// Admission decisions at commit time. Labels: domain,
+/// result=admitted|rejected.
+inline constexpr char kBbAdmissionChecksTotal[] =
+    "e2e_bb_admission_checks_total";
+/// Reservations committed. Labels: domain.
+inline constexpr char kBbReservationsCommittedTotal[] =
+    "e2e_bb_reservations_committed_total";
+/// Reservations released or purged. Labels: domain.
+inline constexpr char kBbReservationsReleasedTotal[] =
+    "e2e_bb_reservations_released_total";
+/// Currently held reservations. Labels: domain.
+inline constexpr char kBbReservationsActive[] = "e2e_bb_reservations_active";
+/// Aggregate tunnels registered. Labels: domain.
+inline constexpr char kBbTunnelsRegisteredTotal[] =
+    "e2e_bb_tunnels_registered_total";
+
+// --- bb: capacity pools (admission.cpp; domain, peer-SLA and tunnel pools) ---
+inline constexpr char kBbPoolCommitsTotal[] = "e2e_bb_pool_commits_total";
+inline constexpr char kBbPoolReleasesTotal[] = "e2e_bb_pool_releases_total";
+/// Commits refused because the rate does not fit the interval.
+inline constexpr char kBbPoolRejectionsTotal[] = "e2e_bb_pool_rejections_total";
+
+// --- policy --------------------------------------------------------------------
+/// Policy-server decisions. Labels: domain, decision=grant|deny.
+inline constexpr char kPolicyDecisionsTotal[] = "e2e_policy_decisions_total";
+/// Evaluations that failed outright (conservative denials). Labels: domain.
+inline constexpr char kPolicyEvalFailuresTotal[] =
+    "e2e_policy_eval_failures_total";
+
+// --- net: DiffServ simulator -----------------------------------------------------
+inline constexpr char kNetPacketsEmittedTotal[] =
+    "e2e_net_packets_emitted_total";
+inline constexpr char kNetPacketsDeliveredTotal[] =
+    "e2e_net_packets_delivered_total";
+/// Drops. Labels: reason=policer|queue.
+inline constexpr char kNetPacketsDroppedTotal[] =
+    "e2e_net_packets_dropped_total";
+/// EF packets demoted to best-effort by a policer.
+inline constexpr char kNetPacketsDowngradedTotal[] =
+    "e2e_net_packets_downgraded_total";
+/// End-to-end packet delay (us of virtual time).
+inline constexpr char kNetPacketDelayUs[] = "e2e_net_packet_delay_us";
+
+/// One catalog row (drives registration, export metadata and the contract
+/// test).
+struct MetricInfo {
+  const char* name;
+  MetricType type;
+  const char* unit;  // "1" for dimensionless counts
+  std::vector<const char*> label_keys;
+  const char* help;
+};
+
+/// Every metric the library emits, sorted by name.
+const std::vector<MetricInfo>& catalog();
+
+/// Declare the full catalog on `registry` (global() does this on first
+/// use).
+void register_all(MetricsRegistry& registry);
+
+}  // namespace e2e::obs

@@ -1,0 +1,158 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace e2e::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string* Span::attribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Span* TraceRecorder::find_locked(SpanId id) {
+  // Ids are dense and ascending; index directly.
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+SpanId TraceRecorder::begin_span(const std::string& trace_id,
+                                 const std::string& name, SpanId parent,
+                                 SimTime start) {
+  std::lock_guard lock(mutex_);
+  Span span;
+  span.id = next_id_++;
+  span.parent = parent;
+  span.trace_id = trace_id;
+  span.name = name;
+  span.start = start;
+  span.end = start;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void TraceRecorder::end_span(SpanId id, SimTime end) {
+  std::lock_guard lock(mutex_);
+  if (Span* span = find_locked(id)) span->end = end;
+}
+
+void TraceRecorder::annotate(SpanId id, const std::string& key,
+                             const std::string& value) {
+  std::lock_guard lock(mutex_);
+  if (Span* span = find_locked(id)) span->attributes.emplace_back(key, value);
+}
+
+void TraceRecorder::fail_span(SpanId id, const std::string& reason) {
+  std::lock_guard lock(mutex_);
+  if (Span* span = find_locked(id)) {
+    span->failed = true;
+    span->attributes.emplace_back("error", reason);
+  }
+}
+
+std::vector<Span> TraceRecorder::trace(const std::string& trace_id) const {
+  std::lock_guard lock(mutex_);
+  std::vector<Span> out;
+  for (const Span& span : spans_) {
+    if (span.trace_id == trace_id) out.push_back(span);
+  }
+  return out;
+}
+
+std::vector<std::string> TraceRecorder::trace_ids() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> ids;
+  for (const Span& span : spans_) {
+    if (std::find(ids.begin(), ids.end(), span.trace_id) == ids.end()) {
+      ids.push_back(span.trace_id);
+    }
+  }
+  return ids;
+}
+
+std::size_t TraceRecorder::span_count() const {
+  std::lock_guard lock(mutex_);
+  return spans_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  spans_.clear();
+  next_id_ = 1;
+}
+
+std::string TraceRecorder::render_tree(const std::string& trace_id) const {
+  const std::vector<Span> spans = trace(trace_id);
+  if (spans.empty()) return "(no spans for trace " + trace_id + ")\n";
+  // Offsets are relative to the trace's earliest start so trees read the
+  // same regardless of the absolute virtual time of submission.
+  SimTime origin = spans.front().start;
+  for (const Span& span : spans) origin = std::min(origin, span.start);
+
+  std::ostringstream out;
+  out << "trace " << trace_id << "\n";
+  // Creation order already places parents before children; emit each root
+  // and recurse.
+  auto emit = [&](auto&& self, const Span& span, int depth) -> void {
+    for (int i = 0; i < depth; ++i) out << "   ";
+    if (depth > 0) out << "`- ";
+    out << span.name << "  [+" << (span.start - origin) << "us .. +"
+        << (span.end - origin) << "us]  (" << span.duration() << " us)";
+    for (const auto& [key, value] : span.attributes) {
+      out << "  " << key << "=" << value;
+    }
+    if (span.failed) out << "  [FAILED]";
+    out << "\n";
+    for (const Span& child : spans) {
+      if (child.parent == span.id) self(self, child, depth + 1);
+    }
+  };
+  for (const Span& span : spans) {
+    if (span.parent == 0) emit(emit, span, 0);
+  }
+  return out.str();
+}
+
+std::string TraceRecorder::to_json(const std::string& trace_id) const {
+  const std::vector<Span> spans = trace(trace_id);
+  std::ostringstream out;
+  out << "{\"trace_id\":\"" << json_escape(trace_id) << "\",\"spans\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& span = spans[i];
+    if (i > 0) out << ",";
+    out << "{\"id\":" << span.id << ",\"parent\":" << span.parent
+        << ",\"name\":\"" << json_escape(span.name) << "\",\"start_us\":"
+        << span.start << ",\"end_us\":" << span.end << ",\"failed\":"
+        << (span.failed ? "true" : "false") << ",\"attributes\":{";
+    for (std::size_t a = 0; a < span.attributes.size(); ++a) {
+      if (a > 0) out << ",";
+      out << "\"" << json_escape(span.attributes[a].first) << "\":\""
+          << json_escape(span.attributes[a].second) << "\"";
+    }
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace e2e::obs

@@ -1,0 +1,85 @@
+// Per-request trace trees for the signalling plane.
+//
+// A TraceRecorder collects spans keyed by a request id (the trace id): one
+// root "reservation" span per end-to-end RAR, one "hop" child per broker
+// that processed it, and step children under each hop for the §6.1/§6.2
+// pipeline stages (verify, policy, admission, sign_and_forward,
+// channel_handshake). Timestamps are virtual-clock microseconds
+// (common/clock.hpp), so traces are deterministic and assertable in tests.
+//
+// The span schema — names, attribute keys, failure tagging — is the
+// contract documented in docs/OBSERVABILITY.md; obs_contract_test diffs
+// emitted attribute keys against that document.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace e2e::obs {
+
+/// Recorder-local span handle; 0 is "no span" (safe to pass as a parent).
+using SpanId = std::uint64_t;
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;  // 0 = root of its trace
+  std::string trace_id;
+  std::string name;
+  SimTime start = 0;
+  SimTime end = 0;
+  /// Attribute key/value pairs, in insertion order.
+  std::vector<std::pair<std::string, std::string>> attributes;
+  bool failed = false;
+
+  SimDuration duration() const { return end - start; }
+  /// First value recorded under `key`, or nullptr.
+  const std::string* attribute(std::string_view key) const;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Open a span at virtual time `start`. `parent` = 0 starts a new root.
+  SpanId begin_span(const std::string& trace_id, const std::string& name,
+                    SpanId parent, SimTime start);
+  /// Close a span. A span never closed keeps end == start.
+  void end_span(SpanId id, SimTime end);
+  void annotate(SpanId id, const std::string& key, const std::string& value);
+  /// Mark a span failed and record the reason under the "error" attribute.
+  void fail_span(SpanId id, const std::string& reason);
+
+  /// All spans of one trace, in creation order (parents before children).
+  std::vector<Span> trace(const std::string& trace_id) const;
+  /// Distinct trace ids, in first-seen order.
+  std::vector<std::string> trace_ids() const;
+  std::size_t span_count() const;
+  void clear();
+
+  /// Human-readable tree of one trace, children indented under parents,
+  /// with virtual-time offsets and durations:
+  ///   reservation  [+0us .. +47000us]  (47000 us)  user=Alice
+  ///   `- hop  [+1000us .. +2000us]  (1000 us)  domain=DomainA
+  ///      `- verify  [+1000us .. +1400us]  (400 us)
+  std::string render_tree(const std::string& trace_id) const;
+
+  /// JSON export: {"trace_id":...,"spans":[{...}]}.
+  std::string to_json(const std::string& trace_id) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+  SpanId next_id_ = 1;
+
+  Span* find_locked(SpanId id);
+};
+
+}  // namespace e2e::obs

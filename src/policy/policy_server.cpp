@@ -1,16 +1,28 @@
 #include "policy/policy_server.hpp"
 
 #include "common/logging.hpp"
+#include "obs/instruments.hpp"
 
 namespace e2e::policy {
 
 PolicyReply PolicyServer::decide(const EvalContext& ctx) const {
+  auto& registry = obs::MetricsRegistry::global();
+  auto count_decision = [&](const char* decision) {
+    registry
+        .counter(obs::kPolicyDecisionsTotal,
+                 {{"decision", decision}, {"domain", domain_}})
+        .increment();
+  };
   PolicyReply reply;
   auto ev = policy_.evaluate(ctx);
   if (!ev.ok()) {
     reply.decision = Decision::kDeny;
     reply.reason = "policy evaluation failed: " + ev.error().to_text();
     log::warn("policy[" + domain_ + "]") << reply.reason;
+    registry
+        .counter(obs::kPolicyEvalFailuresTotal, {{"domain", domain_}})
+        .increment();
+    count_decision("deny");
     return reply;
   }
   reply.decision = ev->decision == Decision::kNoDecision ? Decision::kDeny
@@ -27,6 +39,7 @@ PolicyReply PolicyServer::decide(const EvalContext& ctx) const {
       rule(ctx, reply.augmentations);
     }
   }
+  count_decision(reply.decision == Decision::kGrant ? "grant" : "deny");
   log::info("policy[" + domain_ + "]")
       << "decision=" << to_string(reply.decision)
       << (reply.reason.empty() ? "" : " reason=" + reply.reason);

@@ -3,10 +3,14 @@
 #include "common/tlv.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/instruments.hpp"
 
 namespace e2e::sig {
 
 Record Session::seal(BytesView payload) {
+  obs::MetricsRegistry::global()
+      .counter(obs::kSigChannelRecordsTotal, {{"op", "seal"}})
+      .increment();
   Record rec;
   rec.sequence = next_send_seq_++;
   rec.payload.assign(payload.begin(), payload.end());
@@ -19,15 +23,20 @@ Record Session::seal(BytesView payload) {
 }
 
 Result<Bytes> Session::open(const Record& record) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter(obs::kSigChannelRecordsTotal, {{"op", "open"}})
+      .increment();
   Bytes mac_input;
   tlv::put_be64(mac_input, record.sequence);
   append(mac_input, record.payload);
   const crypto::Digest d = crypto::hmac_sha256(recv_key_, mac_input);
   if (!equal_ct(record.mac, crypto::digest_bytes(d))) {
+    registry.counter(obs::kSigChannelAuthFailuresTotal).increment();
     return make_error(ErrorCode::kAuthenticationFailed,
                       "record MAC verification failed");
   }
   if (record.sequence < expected_recv_seq_) {
+    registry.counter(obs::kSigChannelAuthFailuresTotal).increment();
     return make_error(ErrorCode::kAuthenticationFailed,
                       "record replay detected (seq " +
                           std::to_string(record.sequence) + ")");
@@ -70,6 +79,12 @@ Status validate_peer(const ChannelEndpoint& self,
 Result<SessionPair> handshake(const ChannelEndpoint& initiator,
                               const ChannelEndpoint& responder, SimTime at,
                               Rng& rng) {
+  auto& registry = obs::MetricsRegistry::global();
+  auto count_handshake = [&registry](const char* result) {
+    registry
+        .counter(obs::kSigChannelHandshakesTotal, {{"result", result}})
+        .increment();
+  };
   // Hello nonces.
   Bytes nonce_i(32), nonce_r(32);
   for (auto& b : nonce_i) b = static_cast<std::uint8_t>(rng.next_u64());
@@ -87,10 +102,16 @@ Result<SessionPair> handshake(const ChannelEndpoint& initiator,
 
   auto check_r =
       validate_peer(initiator, responder.certificate, transcript, proof_r, at);
-  if (!check_r.ok()) return check_r.error();
+  if (!check_r.ok()) {
+    count_handshake("fail");
+    return check_r.error();
+  }
   auto check_i =
       validate_peer(responder, initiator.certificate, transcript, proof_i, at);
-  if (!check_i.ok()) return check_i.error();
+  if (!check_i.ok()) {
+    count_handshake("fail");
+    return check_i.error();
+  }
 
   // Both proofs are public in this exchange; the session secret mixes them
   // with the nonces. (A real deployment would run a key exchange here; the
@@ -107,6 +128,7 @@ Result<SessionPair> handshake(const ChannelEndpoint& initiator,
   SessionPair pair;
   pair.initiator = Session(responder.certificate, i_to_r, r_to_i);
   pair.responder = Session(initiator.certificate, r_to_i, i_to_r);
+  count_handshake("ok");
   return pair;
 }
 

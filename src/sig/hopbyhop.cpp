@@ -3,10 +3,19 @@
 #include <cstdlib>
 
 #include "common/logging.hpp"
+#include "obs/instruments.hpp"
 #include "sig/context_builder.hpp"
 #include "sig/delegation.hpp"
 
 namespace e2e::sig {
+
+namespace {
+
+obs::Labels engine_label(const char* engine) {
+  return {{"engine", engine}};
+}
+
+}  // namespace
 
 void HopByHopEngine::add_domain(bb::BandwidthBroker& broker,
                                 DomainOptions options) {
@@ -190,23 +199,58 @@ Result<HopByHopEngine::Outcome> HopByHopEngine::reserve(
                           source->broker->dn().to_string());
   }
 
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter(obs::kSigRarRequestsTotal, engine_label("hopbyhop"))
+      .increment();
+
   Outcome outcome;
+  outcome.trace_id = "rar-" + std::to_string(next_request_++);
+  obs::SpanId root = 0;
+  if (tracer_ != nullptr) {
+    root = tracer_->begin_span(outcome.trace_id, "reservation", 0, at);
+    const bb::ResSpec& spec = user_msg.user_layer().res_spec;
+    tracer_->annotate(root, "user", spec.user);
+    tracer_->annotate(root, "source", spec.source_domain);
+    tracer_->annotate(root, "destination", spec.destination_domain);
+    tracer_->annotate(root, "rate_bits_per_s",
+                      std::to_string(spec.rate_bits_per_s));
+  }
+
   // User <-> source BB exchange (request + final answer).
   outcome.latency += 2 * source->options.user_link_latency;
   fabric_->record_message("user", source_domain, user_msg.wire_size());
   outcome.messages++;
 
+  TraceCtx trace{outcome.trace_id, root,
+                 at + source->options.user_link_latency};
   outcome.reply = process(source_domain, user_msg, /*from_domain=*/"", at,
-                          outcome);
+                          outcome, trace);
   fabric_->record_message(source_domain, "user", 64);
   outcome.messages++;
+
+  if (tracer_ != nullptr) {
+    if (!outcome.reply.granted) {
+      tracer_->annotate(root, "failure.domain", outcome.reply.denial.origin);
+      tracer_->annotate(root, "failure.code",
+                        to_string(outcome.reply.denial.code));
+      tracer_->fail_span(root, outcome.reply.denial.message);
+    }
+    tracer_->end_span(root, at + outcome.latency);
+  }
+  registry
+      .counter(obs::kSigRarOutcomesTotal,
+               {{"engine", "hopbyhop"},
+                {"outcome", outcome.reply.granted ? "granted" : "denied"}})
+      .increment();
+  registry.histogram(obs::kSigE2eLatencyUs, engine_label("hopbyhop"))
+      .observe(static_cast<double>(outcome.latency));
   return outcome;
 }
 
 RarReply HopByHopEngine::process(const std::string& domain,
                                  const RarMessage& msg,
                                  const std::string& from_domain, SimTime at,
-                                 Outcome& outcome) {
+                                 Outcome& outcome, const TraceCtx& trace) {
   Node* node = find_node(domain);
   if (node == nullptr) {
     return RarReply::deny(make_error(ErrorCode::kNoRoute,
@@ -216,8 +260,58 @@ RarReply HopByHopEngine::process(const std::string& domain,
   outcome.latency += fabric_->processing_delay();
   bb::BandwidthBroker& broker = *node->broker;
 
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter(obs::kSigHopsProcessedTotal, {{"domain", domain}})
+      .increment();
+
+  // Per-stage virtual-time model: the hop's processing budget
+  // (Fabric::processing_delay) is apportioned across the §6.1/§6.2 pipeline
+  // stages so trace spans carry non-zero deterministic durations that sum
+  // to exactly the budget the latency model already charges.
+  const SimDuration budget = fabric_->processing_delay();
+  const SimDuration verify_cost = budget * 2 / 5;
+  const SimDuration policy_cost = budget / 4;
+  const SimDuration admission_cost = budget / 5;
+  const SimDuration forward_cost =
+      budget - verify_cost - policy_cost - admission_cost;
+
+  // `cursor` walks virtual time through the hop; spans start/end on it.
+  SimTime cursor = trace.arrival;
+  obs::SpanId hop_span = 0;
+  if (tracer_ != nullptr) {
+    hop_span = tracer_->begin_span(trace.trace_id, "hop", trace.root, cursor);
+    tracer_->annotate(hop_span, "domain", domain);
+  }
+
+  // Every exit path closes the hop span and records the hop metrics;
+  // `stage` names the pipeline stage that denied (nullptr on success or
+  // when the denial came from a downstream hop).
+  auto finish_hop = [&](RarReply reply, const char* stage) {
+    registry.histogram(obs::kSigHopProcessingUs, {{"domain", domain}})
+        .observe(static_cast<double>(cursor - trace.arrival));
+    if (stage != nullptr) {
+      registry
+          .counter(obs::kSigHopDenialsTotal,
+                   {{"domain", domain}, {"stage", stage}})
+          .increment();
+    }
+    if (tracer_ != nullptr) {
+      if (stage != nullptr) {
+        tracer_->annotate(hop_span, "stage", stage);
+        tracer_->fail_span(hop_span, reply.denial.to_text());
+      }
+      tracer_->end_span(hop_span, cursor);
+    }
+    return reply;
+  };
+
   // 1. Verify the request: transitive-trust verification for inter-BB
   //    messages, direct user authentication at the source.
+  obs::SpanId verify_span = 0;
+  if (tracer_ != nullptr) {
+    verify_span =
+        tracer_->begin_span(trace.trace_id, "verify", hop_span, cursor);
+  }
   Result<VerifiedRar> verified = [&]() -> Result<VerifiedRar> {
     if (from_domain.empty()) {
       const auto user_it =
@@ -241,15 +335,29 @@ RarReply HopByHopEngine::process(const std::string& domain,
                       broker.dn(), broker.trust_store(),
                       node->options.trust_policy, at);
   }();
+  cursor += verify_cost;
+  if (tracer_ != nullptr) {
+    if (!verified.ok()) {
+      tracer_->fail_span(verify_span, verified.error().to_text());
+    }
+    tracer_->end_span(verify_span, cursor);
+  }
   if (!verified.ok()) {
     Error e = verified.error();
     if (e.origin.empty()) e.origin = domain;
-    return RarReply::deny(std::move(e));
+    return finish_hop(RarReply::deny(std::move(e)), "verify");
   }
   const VerifiedRar& vr = *verified;
   if (observer_) observer_(domain, vr);
 
-  // 2. Policy decision via this domain's policy server.
+  // 2. Policy decision via this domain's policy server (the span also
+  //    covers capability-chain validation and, at the destination, cost
+  //    negotiation — everything feeding the decision).
+  obs::SpanId policy_span = 0;
+  if (tracer_ != nullptr) {
+    policy_span =
+        tracer_->begin_span(trace.trace_id, "policy", hop_span, cursor);
+  }
   ContextInputs inputs;
   inputs.broker = &broker;
   inputs.spec = &vr.res_spec;
@@ -262,9 +370,15 @@ RarReply HopByHopEngine::process(const std::string& domain,
   inputs.cpu_reservation_checker = node->options.cpu_reservation_checker;
   const policy::EvalContext ctx = build_policy_context(inputs);
   const policy::PolicyReply policy_reply = broker.policy_server().decide(ctx);
+  cursor += policy_cost;
   if (policy_reply.decision != policy::Decision::kGrant) {
-    return RarReply::deny(make_error(ErrorCode::kPolicyDenied,
-                                     policy_reply.reason, domain));
+    RarReply denial = RarReply::deny(make_error(ErrorCode::kPolicyDenied,
+                                                policy_reply.reason, domain));
+    if (tracer_ != nullptr) {
+      tracer_->fail_span(policy_span, policy_reply.reason);
+      tracer_->end_span(policy_span, cursor);
+    }
+    return finish_hop(std::move(denial), "policy");
   }
 
   const bool is_destination =
@@ -289,18 +403,37 @@ RarReply HopByHopEngine::process(const std::string& domain,
     add_offers(vr.augmentations);
     add_offers(policy_reply.augmentations);
     if (total_cost > vr.res_spec.max_cost) {
-      return RarReply::deny(make_error(
+      RarReply denial = RarReply::deny(make_error(
           ErrorCode::kPolicyDenied,
           "accumulated cost " + std::to_string(total_cost) +
               " exceeds the user's limit " +
               std::to_string(vr.res_spec.max_cost),
           domain));
+      if (tracer_ != nullptr) {
+        tracer_->fail_span(policy_span, denial.denial.message);
+        tracer_->end_span(policy_span, cursor);
+      }
+      return finish_hop(std::move(denial), "cost");
     }
   }
+  if (tracer_ != nullptr) tracer_->end_span(policy_span, cursor);
 
   // 3. Admission control (SLA conformance for transit traffic).
+  obs::SpanId admission_span = 0;
+  if (tracer_ != nullptr) {
+    admission_span =
+        tracer_->begin_span(trace.trace_id, "admission", hop_span, cursor);
+  }
   auto handle = broker.commit(vr.res_spec, from_domain);
-  if (!handle.ok()) return RarReply::deny(handle.error());
+  cursor += admission_cost;
+  if (!handle.ok()) {
+    if (tracer_ != nullptr) {
+      tracer_->fail_span(admission_span, handle.error().to_text());
+      tracer_->end_span(admission_span, cursor);
+    }
+    return finish_hop(RarReply::deny(handle.error()), "admission");
+  }
+  if (tracer_ != nullptr) tracer_->end_span(admission_span, cursor);
   if (is_destination) {
     RarReply reply = RarReply::approve();
     reply.handles.emplace_back(domain, *handle);
@@ -308,28 +441,45 @@ RarReply HopByHopEngine::process(const std::string& domain,
       auto tunnel_handle = broker.register_tunnel(vr.res_spec);
       if (!tunnel_handle.ok()) {
         (void)broker.release(*handle);
-        return RarReply::deny(tunnel_handle.error());
+        return finish_hop(RarReply::deny(tunnel_handle.error()),
+                          "admission");
       }
       broker.find_tunnel(*tunnel_handle)->authorize(vr.res_spec.user);
       reply.tunnel_id = *tunnel_handle;
     }
-    return reply;
+    return finish_hop(std::move(reply), nullptr);
   }
 
-  // 4. Forward downstream.
+  // 4. Forward downstream: delegate, append a signed layer, seal, send.
+  obs::SpanId forward_span = 0;
+  if (tracer_ != nullptr) {
+    forward_span = tracer_->begin_span(trace.trace_id, "sign_and_forward",
+                                       hop_span, cursor);
+  }
+  // Local forwarding failure: roll back the tentative commitment, close the
+  // forward span and deny at this hop.
+  auto deny_forward = [&](Error e) {
+    (void)broker.release(*handle);
+    cursor += forward_cost;
+    RarReply denial = RarReply::deny(std::move(e));
+    if (tracer_ != nullptr) {
+      tracer_->fail_span(forward_span, denial.denial.to_text());
+      tracer_->end_span(forward_span, cursor);
+    }
+    return finish_hop(std::move(denial), "forward");
+  };
+
   const auto next = broker.next_hop(vr.res_spec.destination_domain);
   if (!next.has_value()) {
-    (void)broker.release(*handle);
-    return RarReply::deny(make_error(
+    return deny_forward(make_error(
         ErrorCode::kNoRoute,
         "no next hop toward " + vr.res_spec.destination_domain, domain));
   }
   Node* next_node = find_node(*next);
   if (next_node == nullptr || !node->sessions.contains(*next)) {
-    (void)broker.release(*handle);
-    return RarReply::deny(make_error(ErrorCode::kUnavailable,
-                                     "peer " + *next + " unreachable",
-                                     domain));
+    return deny_forward(make_error(ErrorCode::kUnavailable,
+                                   "peer " + *next + " unreachable",
+                                   domain));
   }
 
   RarMessage forwarded = msg;
@@ -365,22 +515,27 @@ RarReply HopByHopEngine::process(const std::string& domain,
   fabric_->record_message(domain, *next, wire.size());
   outcome.messages++;
   outcome.latency += fabric_->rtt(domain, *next);
+  cursor += forward_cost;
+  if (tracer_ != nullptr) tracer_->end_span(forward_span, cursor);
 
   auto opened = next_node->sessions.at(domain).open(record);
   if (!opened.ok()) {
     (void)broker.release(*handle);
     Error e = opened.error();
     e.origin = *next;
-    return RarReply::deny(std::move(e));
+    return finish_hop(RarReply::deny(std::move(e)), "forward");
   }
   auto decoded = RarMessage::decode(*opened);
   if (!decoded.ok()) {
     (void)broker.release(*handle);
-    return RarReply::deny(decoded.error());
+    return finish_hop(RarReply::deny(decoded.error()), "forward");
   }
   outcome.final_wire_bytes = wire.size();
 
-  RarReply downstream = process(*next, *decoded, domain, at, outcome);
+  TraceCtx next_trace{trace.trace_id, trace.root,
+                      cursor + fabric_->one_way(domain, *next)};
+  RarReply downstream = process(*next, *decoded, domain, at, outcome,
+                                next_trace);
   // The reply travels back over the same authenticated channel, sealed by
   // the peer and opened here (exercising both channel directions).
   {
@@ -394,19 +549,21 @@ RarReply HopByHopEngine::process(const std::string& domain,
       (void)broker.release(*handle);
       Error e = reply_opened.error();
       e.origin = domain;
-      return RarReply::deny(std::move(e));
+      return finish_hop(RarReply::deny(std::move(e)), "forward");
     }
     auto reply_decoded = RarReply::decode(*reply_opened);
     if (!reply_decoded.ok()) {
       (void)broker.release(*handle);
-      return RarReply::deny(reply_decoded.error());
+      return finish_hop(RarReply::deny(reply_decoded.error()), "forward");
     }
     downstream = std::move(*reply_decoded);
   }
   if (!downstream.granted) {
-    // Denial propagates upstream; roll back our tentative commitment.
+    // Denial propagates upstream; roll back our tentative commitment. The
+    // failure is attributed to the hop that produced it, so this hop's span
+    // closes clean (stage = nullptr).
     (void)broker.release(*handle);
-    return downstream;
+    return finish_hop(std::move(downstream), nullptr);
   }
   downstream.handles.insert(downstream.handles.begin(), {domain, *handle});
 
@@ -425,12 +582,27 @@ RarReply HopByHopEngine::process(const std::string& domain,
       // approval).
       const crypto::Certificate source_cert = broker.certificate();
       const crypto::Certificate dest_cert = dest->broker->certificate();
+      obs::SpanId handshake_span = 0;
+      if (tracer_ != nullptr) {
+        handshake_span = tracer_->begin_span(trace.trace_id,
+                                             "channel_handshake", hop_span,
+                                             cursor);
+        tracer_->annotate(handshake_span, "peer", dest->broker->domain());
+      }
       auto direct = handshake(endpoint_for(*node, &dest_cert),
                               endpoint_for(*dest, &source_cert), at, *rng_);
       outcome.latency += fabric_->rtt(domain, dest->broker->domain());
       outcome.messages += 2;  // handshake round trip
       fabric_->record_message(domain, dest->broker->domain(), 512);
       fabric_->record_message(dest->broker->domain(), domain, 512);
+      if (tracer_ != nullptr) {
+        if (!direct.ok()) {
+          tracer_->fail_span(handshake_span, direct.error().to_text());
+        }
+        tracer_->end_span(handshake_span,
+                          cursor + fabric_->rtt(domain,
+                                                dest->broker->domain()));
+      }
       if (direct.ok()) {
         TunnelRecord rec;
         rec.id = "tunnel-" + std::to_string(next_tunnel_++);
@@ -449,7 +621,7 @@ RarReply HopByHopEngine::process(const std::string& domain,
       }
     }
   }
-  return downstream;
+  return finish_hop(std::move(downstream), nullptr);
 }
 
 Status HopByHopEngine::release_end_to_end(const RarReply& reply) {
@@ -469,6 +641,21 @@ Status HopByHopEngine::release_end_to_end(const RarReply& reply) {
 Result<HopByHopEngine::Outcome> HopByHopEngine::reserve_in_tunnel(
     const std::string& tunnel_id, const std::string& user_dn, double rate,
     TimeInterval interval, [[maybe_unused]] SimTime at) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter(obs::kSigRarRequestsTotal, engine_label("tunnel"))
+      .increment();
+  // Every exit path that produced an Outcome records the tunnel-engine
+  // outcome counter and latency histogram.
+  auto finish = [&registry](Outcome o) {
+    registry
+        .counter(obs::kSigRarOutcomesTotal,
+                 {{"engine", "tunnel"},
+                  {"outcome", o.reply.granted ? "granted" : "denied"}})
+        .increment();
+    registry.histogram(obs::kSigE2eLatencyUs, engine_label("tunnel"))
+        .observe(static_cast<double>(o.latency));
+    return o;
+  };
   const auto it = tunnels_.find(tunnel_id);
   if (it == tunnels_.end()) {
     return make_error(ErrorCode::kNotFound, "unknown tunnel " + tunnel_id);
@@ -500,7 +687,7 @@ Result<HopByHopEngine::Outcome> HopByHopEngine::reserve_in_tunnel(
     Error e = src_alloc.error();
     e.origin = rec.source_domain;
     outcome.reply = RarReply::deny(std::move(e));
-    return outcome;
+    return finish(std::move(outcome));
   }
 
   // Source BB contacts the destination BB directly over the pinned
@@ -518,7 +705,7 @@ Result<HopByHopEngine::Outcome> HopByHopEngine::reserve_in_tunnel(
   if (!opened.ok()) {
     (void)src_tunnel->release(sub_id);
     outcome.reply = RarReply::deny(opened.error());
-    return outcome;
+    return finish(std::move(outcome));
   }
   auto dst_alloc = dst_tunnel->allocate(sub_id, user_dn, interval, rate);
   fabric_->record_message(rec.destination_domain, rec.source_domain, 64);
@@ -528,14 +715,14 @@ Result<HopByHopEngine::Outcome> HopByHopEngine::reserve_in_tunnel(
     Error e = dst_alloc.error();
     e.origin = rec.destination_domain;
     outcome.reply = RarReply::deny(std::move(e));
-    return outcome;
+    return finish(std::move(outcome));
   }
 
   outcome.reply = RarReply::approve();
   outcome.reply.handles.emplace_back(rec.source_domain, sub_id);
   outcome.reply.handles.emplace_back(rec.destination_domain, sub_id);
   outcome.reply.tunnel_id = tunnel_id;
-  return outcome;
+  return finish(std::move(outcome));
 }
 
 Status HopByHopEngine::release_in_tunnel(const std::string& tunnel_id,

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bb/bandwidth_broker.hpp"
+#include "obs/trace.hpp"
 #include "policy/group_server.hpp"
 #include "sig/channel.hpp"
 #include "sig/message.hpp"
@@ -103,7 +104,18 @@ class HopByHopEngine {
     std::size_t messages = 0;
     /// Wire size of the RAR as received by the destination (grows per hop).
     std::size_t final_wire_bytes = 0;
+    /// Request id keying this reservation's spans in the attached
+    /// TraceRecorder (empty when none is attached).
+    std::string trace_id;
   };
+
+  /// Attach a trace recorder: every reserve() then produces a per-request
+  /// trace tree (root reservation span, one hop span per broker, step spans
+  /// for verify/policy/admission/sign_and_forward) against virtual time.
+  /// Pass nullptr to detach. The recorder must outlive the engine's use.
+  void set_trace_recorder(obs::TraceRecorder* recorder) {
+    tracer_ = recorder;
+  }
 
   /// Process a user request end to end. The request enters at the source
   /// BB named in its user layer.
@@ -165,10 +177,19 @@ class HopByHopEngine {
   const Node* find_node(const std::string& domain) const;
   Node* node_by_dn(const std::string& dn_text);
 
+  /// Tracing state threaded through the recursive hop processing.
+  struct TraceCtx {
+    std::string trace_id;
+    /// Root reservation span all hop spans parent under (0 = tracing off).
+    obs::SpanId root = 0;
+    /// Virtual time the RAR arrives at the current hop.
+    SimTime arrival = 0;
+  };
+
   /// Recursive per-hop processing; returns the reply travelling upstream.
   RarReply process(const std::string& domain, const RarMessage& msg,
                    const std::string& from_domain, SimTime at,
-                   Outcome& outcome);
+                   Outcome& outcome, const TraceCtx& trace);
 
   /// Validate the capability chain carried by a verified RAR at `node`;
   /// returns the validated capabilities usable by the policy engine (empty
@@ -184,7 +205,9 @@ class HopByHopEngine {
   std::map<std::string, Node> nodes_;
   std::map<std::string, TunnelRecord> tunnels_;
   std::uint64_t next_tunnel_ = 1;
+  std::uint64_t next_request_ = 1;
   Observer observer_;
+  obs::TraceRecorder* tracer_ = nullptr;
 };
 
 }  // namespace e2e::sig

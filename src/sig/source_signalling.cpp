@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <future>
 
+#include "obs/instruments.hpp"
 #include "sig/context_builder.hpp"
 #include "sig/trust.hpp"
 
@@ -110,6 +111,21 @@ Result<SourceDomainEngine::Outcome> SourceDomainEngine::reserve_subset(
   if (contacted.empty()) {
     return make_error(ErrorCode::kInvalidArgument, "no domains to contact");
   }
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter(obs::kSigRarRequestsTotal, {{"engine", "source"}})
+      .increment();
+  // Every Outcome-producing exit records the source-engine outcome counter
+  // and the end-to-end latency histogram.
+  auto finish = [&registry](Outcome o) {
+    registry
+        .counter(obs::kSigRarOutcomesTotal,
+                 {{"engine", "source"},
+                  {"outcome", o.reply.granted ? "granted" : "denied"}})
+        .increment();
+    registry.histogram(obs::kSigE2eLatencyUs, {{"engine", "source"}})
+        .observe(static_cast<double>(o.latency));
+    return o;
+  };
   Outcome outcome;
   std::vector<PerDomainResult> results;
   results.reserve(contacted.size());
@@ -155,7 +171,7 @@ Result<SourceDomainEngine::Outcome> SourceDomainEngine::reserve_subset(
     for (const auto& r : results) {
       outcome.reply.handles.emplace_back(r.domain, r.outcome.value());
     }
-    return outcome;
+    return finish(std::move(outcome));
   }
 
   // Roll back any granted parts, then report the first denial.
@@ -170,12 +186,12 @@ Result<SourceDomainEngine::Outcome> SourceDomainEngine::reserve_subset(
   for (const auto& r : results) {
     if (!r.outcome.ok()) {
       outcome.reply = RarReply::deny(r.outcome.error());
-      return outcome;
+      return finish(std::move(outcome));
     }
   }
   outcome.reply = RarReply::deny(
       make_error(ErrorCode::kInternal, "incomplete reservation results"));
-  return outcome;
+  return finish(std::move(outcome));
 }
 
 Status SourceDomainEngine::release_end_to_end(const RarReply& reply) {

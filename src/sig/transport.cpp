@@ -1,5 +1,7 @@
 #include "sig/transport.hpp"
 
+#include "obs/instruments.hpp"
+
 namespace e2e::sig {
 
 void Fabric::set_latency(const std::string& a, const std::string& b,
@@ -15,6 +17,9 @@ SimDuration Fabric::one_way(const std::string& a, const std::string& b) const {
 
 void Fabric::record_message(const std::string& from, const std::string& to,
                             std::size_t bytes) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter(obs::kSigFabricMessagesTotal).increment();
+  registry.counter(obs::kSigFabricBytesTotal).increment(bytes);
   std::lock_guard lock(counter_mutex_);
   Stats& pair_stats = per_pair_[key(from, to)];
   pair_stats.messages++;

@@ -1,5 +1,9 @@
 #include "sig/trust.hpp"
 
+#include <algorithm>
+
+#include "obs/instruments.hpp"
+
 namespace e2e::sig {
 
 namespace {
@@ -33,11 +37,11 @@ Result<crypto::DistinguishedName> user_dn_of(const bb::ResSpec& spec) {
 
 }  // namespace
 
-Result<VerifiedRar> verify_rar(const RarMessage& msg,
-                               const crypto::Certificate& channel_peer,
-                               const crypto::DistinguishedName& self_dn,
-                               const crypto::TrustStore& anchors,
-                               const TrustPolicy& policy, SimTime at) {
+static Result<VerifiedRar> verify_rar_impl(
+    const RarMessage& msg, const crypto::Certificate& channel_peer,
+    const crypto::DistinguishedName& self_dn,
+    const crypto::TrustStore& anchors, const TrustPolicy& policy,
+    SimTime at) {
   const auto& layers = msg.broker_layers();
   if (layers.empty()) {
     return auth_error("inter-BB RAR must carry at least one broker layer");
@@ -153,7 +157,7 @@ Result<VerifiedRar> verify_rar(const RarMessage& msg,
   return out;
 }
 
-Result<VerifiedRar> verify_user_request(
+static Result<VerifiedRar> verify_user_request_impl(
     const RarMessage& msg, const crypto::Certificate& user_cert,
     const crypto::DistinguishedName& self_dn, SimTime at) {
   if (!msg.broker_layers().empty()) {
@@ -180,6 +184,44 @@ Result<VerifiedRar> verify_user_request(
   out.user_certificate = user_cert;
   collect_payload(msg, out);
   return out;
+}
+
+namespace {
+
+/// Count the verification outcome and, for accepted inter-BB RARs, record
+/// the deepest introduction step the verifier had to trust.
+Result<VerifiedRar> metered(Result<VerifiedRar> result) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry
+      .counter(obs::kSigTrustVerificationsTotal,
+               {{"result", result.ok() ? "ok" : "fail"}})
+      .increment();
+  if (result.ok() && !result->path.empty()) {
+    std::size_t deepest = 0;
+    for (const auto& elem : result->path) {
+      deepest = std::max(deepest, elem.introduction_depth);
+    }
+    registry.histogram(obs::kSigTrustIntroductionDepth)
+        .observe(static_cast<double>(deepest));
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<VerifiedRar> verify_rar(const RarMessage& msg,
+                               const crypto::Certificate& channel_peer,
+                               const crypto::DistinguishedName& self_dn,
+                               const crypto::TrustStore& anchors,
+                               const TrustPolicy& policy, SimTime at) {
+  return metered(
+      verify_rar_impl(msg, channel_peer, self_dn, anchors, policy, at));
+}
+
+Result<VerifiedRar> verify_user_request(
+    const RarMessage& msg, const crypto::Certificate& user_cert,
+    const crypto::DistinguishedName& self_dn, SimTime at) {
+  return metered(verify_user_request_impl(msg, user_cert, self_dn, at));
 }
 
 }  // namespace e2e::sig

@@ -1,0 +1,210 @@
+// Trace-recorder tests: span mechanics plus the per-RAR trace trees the
+// hop-by-hop engine emits (one hop span per domain, step spans for the
+// §6.1/§6.2 pipeline, failure tagging on denials).
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "testing_world.hpp"
+
+namespace e2e::obs {
+namespace {
+
+using e2e::testing::ChainWorld;
+using e2e::testing::ChainWorldConfig;
+using e2e::testing::WorldUser;
+
+TEST(TraceRecorder, SpanLifecycleAndAttributes) {
+  TraceRecorder rec;
+  const SpanId root = rec.begin_span("t1", "reservation", 0, 100);
+  const SpanId child = rec.begin_span("t1", "hop", root, 150);
+  rec.annotate(child, "domain", "DomainA");
+  rec.end_span(child, 350);
+  rec.end_span(root, 500);
+
+  const auto spans = rec.trace("t1");
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "reservation");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[0].duration(), 400);
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_EQ(spans[1].duration(), 200);
+  ASSERT_NE(spans[1].attribute("domain"), nullptr);
+  EXPECT_EQ(*spans[1].attribute("domain"), "DomainA");
+  EXPECT_EQ(spans[1].attribute("missing"), nullptr);
+}
+
+TEST(TraceRecorder, FailSpanRecordsErrorAttribute) {
+  TraceRecorder rec;
+  const SpanId s = rec.begin_span("t1", "verify", 0, 0);
+  rec.fail_span(s, "bad signature");
+  rec.end_span(s, 10);
+  const auto spans = rec.trace("t1");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].failed);
+  ASSERT_NE(spans[0].attribute("error"), nullptr);
+  EXPECT_EQ(*spans[0].attribute("error"), "bad signature");
+}
+
+TEST(TraceRecorder, TracesAreIsolatedByTraceId) {
+  TraceRecorder rec;
+  rec.begin_span("rar-1", "reservation", 0, 0);
+  rec.begin_span("rar-2", "reservation", 0, 0);
+  EXPECT_EQ(rec.trace("rar-1").size(), 1u);
+  EXPECT_EQ(rec.trace("rar-2").size(), 1u);
+  const auto ids = rec.trace_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], "rar-1");
+  EXPECT_EQ(ids[1], "rar-2");
+}
+
+/// Helper: run one hop-by-hop reservation through `world` and return its
+/// trace spans.
+std::vector<Span> reserve_and_trace(ChainWorld& world, bool expect_grant) {
+  WorldUser alice = world.make_user("Alice", 0);
+  const auto msg = world.engine().build_user_request(
+      alice.credentials(), world.spec(alice, 10e6), 0);
+  EXPECT_TRUE(msg.ok());
+  const auto outcome = world.engine().reserve(*msg, seconds(1));
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->reply.granted, expect_grant);
+  EXPECT_FALSE(outcome->trace_id.empty());
+  return world.tracer().trace(outcome->trace_id);
+}
+
+TEST(HopByHopTrace, FourDomainPathYieldsOneHopSpanPerDomain) {
+  ChainWorldConfig config;
+  config.domains = 4;
+  ChainWorld world(config);
+  const auto spans = reserve_and_trace(world, /*expect_grant=*/true);
+
+  ASSERT_FALSE(spans.empty());
+  const Span& root = spans.front();
+  EXPECT_EQ(root.name, "reservation");
+  EXPECT_FALSE(root.failed);
+
+  // Exactly one hop span per domain on the path, parented under the root,
+  // in path order.
+  std::vector<const Span*> hops;
+  for (const auto& s : spans) {
+    if (s.name == "hop") {
+      EXPECT_EQ(s.parent, root.id);
+      hops.push_back(&s);
+    }
+  }
+  ASSERT_EQ(hops.size(), 4u);
+  EXPECT_EQ(*hops[0]->attribute("domain"), "DomainA");
+  EXPECT_EQ(*hops[1]->attribute("domain"), "DomainB");
+  EXPECT_EQ(*hops[2]->attribute("domain"), "DomainC");
+  EXPECT_EQ(*hops[3]->attribute("domain"), "DomainD");
+
+  // Every hop ran verify -> policy -> admission; non-destination hops also
+  // signed-and-forwarded. All step durations are non-zero virtual time.
+  std::map<SpanId, std::vector<const Span*>> children;
+  for (const auto& s : spans) children[s.parent].push_back(&s);
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const auto& steps = children[hops[i]->id];
+    const bool is_destination = i + 1 == hops.size();
+    ASSERT_EQ(steps.size(), is_destination ? 3u : 4u)
+        << "hop " << i << " has the wrong number of step spans";
+    EXPECT_EQ(steps[0]->name, "verify");
+    EXPECT_EQ(steps[1]->name, "policy");
+    EXPECT_EQ(steps[2]->name, "admission");
+    if (!is_destination) {
+      EXPECT_EQ(steps[3]->name, "sign_and_forward");
+    }
+    for (const Span* step : steps) {
+      EXPECT_GT(step->duration(), 0)
+          << step->name << " span must carry virtual-clock duration";
+      EXPECT_FALSE(step->failed);
+    }
+  }
+
+  // Hops nest inside the root's time interval and advance monotonically.
+  for (const Span* hop : hops) {
+    EXPECT_GE(hop->start, root.start);
+    EXPECT_LE(hop->end, root.end);
+  }
+  for (std::size_t i = 1; i < hops.size(); ++i) {
+    EXPECT_GT(hops[i]->start, hops[i - 1]->start)
+        << "downstream hops start later (inter-domain latency)";
+  }
+}
+
+TEST(HopByHopTrace, RejectedRarTagsTheFailingHop) {
+  ChainWorldConfig config;
+  config.domains = 4;
+  // DomainB denies everything; A, C, D grant.
+  config.policies = {"Return GRANT", "Return DENY", "Return GRANT",
+                     "Return GRANT"};
+  ChainWorld world(config);
+  const auto spans = reserve_and_trace(world, /*expect_grant=*/false);
+
+  ASSERT_FALSE(spans.empty());
+  const Span& root = spans.front();
+  EXPECT_TRUE(root.failed);
+  ASSERT_NE(root.attribute("failure.domain"), nullptr);
+  EXPECT_EQ(*root.attribute("failure.domain"), "DomainB");
+  ASSERT_NE(root.attribute("failure.code"), nullptr);
+
+  // The request died at DomainB: two hop spans, the second failed at the
+  // policy stage, and no downstream hop was ever contacted.
+  std::vector<const Span*> hops;
+  for (const auto& s : spans) {
+    if (s.name == "hop") hops.push_back(&s);
+  }
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_FALSE(hops[0]->failed);
+  EXPECT_TRUE(hops[1]->failed);
+  EXPECT_EQ(*hops[1]->attribute("domain"), "DomainB");
+  ASSERT_NE(hops[1]->attribute("stage"), nullptr);
+  EXPECT_EQ(*hops[1]->attribute("stage"), "policy");
+  ASSERT_NE(hops[1]->attribute("error"), nullptr);
+
+  // The failing step span itself is marked.
+  const Span* failed_policy = nullptr;
+  for (const auto& s : spans) {
+    if (s.name == "policy" && s.parent == hops[1]->id) failed_policy = &s;
+  }
+  ASSERT_NE(failed_policy, nullptr);
+  EXPECT_TRUE(failed_policy->failed);
+}
+
+TEST(HopByHopTrace, RenderTreeShowsHierarchyAndTimings) {
+  ChainWorld world;  // default 3 domains
+  WorldUser alice = world.make_user("Alice", 0);
+  const auto msg = world.engine().build_user_request(
+      alice.credentials(), world.spec(alice, 10e6), 0);
+  const auto outcome = world.engine().reserve(*msg, seconds(1));
+  ASSERT_TRUE(outcome.ok());
+  const std::string tree = world.tracer().render_tree(outcome->trace_id);
+  EXPECT_NE(tree.find("reservation"), std::string::npos);
+  EXPECT_NE(tree.find("hop"), std::string::npos);
+  EXPECT_NE(tree.find("verify"), std::string::npos);
+  EXPECT_NE(tree.find("domain=DomainA"), std::string::npos);
+  EXPECT_NE(tree.find("us)"), std::string::npos);  // durations rendered
+
+  const std::string json = world.tracer().to_json(outcome->trace_id);
+  EXPECT_NE(json.find("\"trace_id\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+}
+
+TEST(HopByHopTrace, EachReservationGetsItsOwnTrace) {
+  ChainWorld world;
+  WorldUser alice = world.make_user("Alice", 0);
+  const auto msg = world.engine().build_user_request(
+      alice.credentials(), world.spec(alice, 10e6), 0);
+  const auto first = world.engine().reserve(*msg, seconds(1));
+  const auto second = world.engine().reserve(*msg, seconds(2));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first->trace_id, second->trace_id);
+  EXPECT_FALSE(world.tracer().trace(first->trace_id).empty());
+  EXPECT_FALSE(world.tracer().trace(second->trace_id).empty());
+}
+
+}  // namespace
+}  // namespace e2e::obs
