@@ -3,10 +3,26 @@
 # Additionally fails on ANY compiler warning in src/obs/ — the
 # observability layer is held to a warning-free standard.
 #
-# Usage: ./scripts/tier1.sh   (from the repo root; build dir: ./build)
+# Usage: ./scripts/tier1.sh          (from the repo root; build dir: ./build)
+#        ./scripts/tier1.sh --soak   (seeded fault-injection soak suite under
+#                                     ASan/UBSan, 3 fixed seeds; build dir:
+#                                     ./build-asan via the "asan" preset)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--soak" ]]; then
+  cmake --preset asan >/dev/null
+  cmake --build build-asan -j --target sig_soak_test
+  # Three fixed seeds: every trial prints its mix + seed, so a failure is
+  # reproducible with E2E_SOAK_SEED=<seed> ./build-asan/tests/sig_soak_test.
+  for seed in 20010801 31337 987654321; do
+    echo "tier1 --soak: running sig_soak_test with E2E_SOAK_SEED=$seed"
+    E2E_SOAK_SEED=$seed ./build-asan/tests/sig_soak_test
+  done
+  echo "tier1 --soak: OK"
+  exit 0
+fi
 
 cmake -B build -S . >/dev/null
 

@@ -29,6 +29,7 @@ enum class ErrorCode {
   kUnavailable,         // peer or server unreachable
   kInvalidArgument,     // caller error detectable at the API boundary
   kConflict,            // duplicate handle, overlapping state
+  kTimeout,             // peer stayed silent past the retry budget
   kInternal,            // unexpected internal failure
 };
 
@@ -47,6 +48,7 @@ constexpr const char* to_string(ErrorCode c) {
     case ErrorCode::kUnavailable: return "unavailable";
     case ErrorCode::kInvalidArgument: return "invalid-argument";
     case ErrorCode::kConflict: return "conflict";
+    case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

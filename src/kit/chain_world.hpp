@@ -17,6 +17,7 @@
 #include "policy/cas.hpp"
 #include "policy/group_server.hpp"
 #include "sig/hopbyhop.hpp"
+#include "sig/retry.hpp"
 #include "sig/source_signalling.hpp"
 
 namespace e2e::kit {
@@ -51,6 +52,13 @@ struct ChainWorldConfig {
   unsigned key_bits = 256;
   std::uint64_t seed = 20010801;    // HPDC-10 publication date
   SimDuration inter_domain_latency = milliseconds(20);
+  /// Fault model applied to every fabric link (all-zero = clean fabric,
+  /// byte-identical to a world without a fault model).
+  sig::FaultProfile fault_profile;
+  /// Seed of the fabric's private fault RNG; never consumes `seed`'s RNG.
+  std::uint64_t fault_seed = 20010801;
+  /// Retry/backoff policy installed on both signalling engines.
+  sig::RetryPolicy retry_policy;
 };
 
 class ChainWorld {
@@ -122,6 +130,13 @@ class ChainWorld {
     // Every hop-by-hop reservation in this world records a trace tree
     // (keyed by Outcome::trace_id) into the world-owned recorder.
     engine_.set_trace_recorder(&tracer_);
+    // Fault model + retry policy (no-ops for the default clean config).
+    fabric_.seed_faults(config.fault_seed);
+    if (config.fault_profile.any()) {
+      fabric_.set_default_fault_profile(config.fault_profile);
+    }
+    engine_.set_retry_policy(config.retry_policy);
+    source_engine_.set_retry_policy(config.retry_policy);
   }
 
   static std::string domain_name(std::size_t i) {
@@ -168,6 +183,34 @@ class ChainWorld {
     s.burst_bits = 30000;
     s.interval = interval;
     return s;
+  }
+
+  // --- Fault-injection hooks (soak/robustness suites) -----------------------
+  /// Partition / heal the inter-BB link between domains `i` and `j`.
+  void partition_link(std::size_t i, std::size_t j) {
+    fabric_.partition(names_.at(i), names_.at(j));
+  }
+  void heal_link(std::size_t i, std::size_t j) {
+    fabric_.heal(names_.at(i), names_.at(j));
+  }
+  /// Crash / restore a domain's broker on the fabric (while down, nothing
+  /// is delivered to or sent by it).
+  void crash_broker(std::size_t i) { fabric_.set_down(names_.at(i), true); }
+  void restore_broker(std::size_t i) {
+    fabric_.set_down(names_.at(i), false);
+  }
+  /// Residual committed state across every broker — the soak invariant
+  /// checks this returns to zero after each failed or released trial.
+  std::size_t total_reservations() const {
+    std::size_t n = 0;
+    for (const auto& broker : brokers_) n += broker->reservation_count();
+    return n;
+  }
+  /// Total bandwidth committed across every broker at time `t`.
+  double total_committed_at(SimTime t) const {
+    double r = 0;
+    for (const auto& broker : brokers_) r += broker->committed_at(t);
+    return r;
   }
 
   const std::vector<std::string>& names() const { return names_; }

@@ -48,12 +48,16 @@ std::vector<MetricInfo> build_catalog() {
        "Mutual-authentication channel handshakes"},
       {kSigChannelRecordsTotal, MetricType::kCounter, kOne, {"op"},
        "Record-layer seal/open operations"},
+      {kSigDuplicatesSuppressedTotal, MetricType::kCounter, kOne, {"via"},
+       "Redelivered requests suppressed instead of reprocessed"},
       {kSigE2eLatencyUs, MetricType::kHistogram, kUs, {"engine"},
        "Modeled end-to-end signalling latency per request"},
       {kSigFabricBytesTotal, MetricType::kCounter, "bytes", {},
        "Control-plane bytes crossing the signalling fabric"},
       {kSigFabricMessagesTotal, MetricType::kCounter, kOne, {},
        "Control-plane messages crossing the signalling fabric"},
+      {kSigFaultsInjectedTotal, MetricType::kCounter, kOne, {"kind"},
+       "Faults the fabric injected into transmissions"},
       {kSigHopDenialsTotal, MetricType::kCounter, kOne, {"domain", "stage"},
        "Hops that denied or failed a RAR, by pipeline stage"},
       {kSigHopProcessingUs, MetricType::kHistogram, kUs, {"domain"},
@@ -65,6 +69,14 @@ std::vector<MetricInfo> build_catalog() {
        "Final answers returned to the requesting user"},
       {kSigRarRequestsTotal, MetricType::kCounter, kOne, {"engine"},
        "End-to-end RARs entering a signalling engine"},
+      {kSigReleasedOnFailureTotal, MetricType::kCounter, kOne, {"domain"},
+       "Commitments released because a downstream domain stayed dark"},
+      {kSigRetransmitsTotal, MetricType::kCounter, kOne, {"engine"},
+       "Retransmissions after a timed-out exchange"},
+      {kSigRetryAttempts, MetricType::kHistogram, kOne, {"engine"},
+       "Attempts needed by exchanges that required a retransmission"},
+      {kSigTimeoutsTotal, MetricType::kCounter, kOne, {"engine"},
+       "Exchanges that timed out waiting for the peer's answer"},
       {kSigTrustIntroductionDepth, MetricType::kHistogram, kOne, {},
        "Deepest introduction step accepted per verified inter-BB RAR",
        },
@@ -92,6 +104,11 @@ void register_all(MetricsRegistry& registry) {
     if (info.type == MetricType::kHistogram &&
         std::string(info.name) == kSigTrustIntroductionDepth) {
       metadata.buckets = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+    }
+    // Retry attempts are small integers too (RetryPolicy::max_attempts).
+    if (info.type == MetricType::kHistogram &&
+        std::string(info.name) == kSigRetryAttempts) {
+      metadata.buckets = {1, 2, 3, 4, 5, 6, 7, 8};
     }
     registry.declare(std::move(metadata));
   }

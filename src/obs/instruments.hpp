@@ -54,6 +54,28 @@ inline constexpr char kSigFabricMessagesTotal[] =
     "e2e_sig_fabric_messages_total";
 /// Control-plane bytes crossing the fabric.
 inline constexpr char kSigFabricBytesTotal[] = "e2e_sig_fabric_bytes_total";
+/// Faults the fabric injected into transmissions. Labels:
+/// kind=drop|duplicate|corrupt|delay|partition|down.
+inline constexpr char kSigFaultsInjectedTotal[] =
+    "e2e_sig_faults_injected_total";
+
+// --- sig: retry/failure handling ---------------------------------------------
+/// Retransmissions after a timed-out exchange. Labels:
+/// engine=hopbyhop|source|tunnel.
+inline constexpr char kSigRetransmitsTotal[] = "e2e_sig_retransmits_total";
+/// Exchanges that timed out waiting for the peer's answer. Labels: engine.
+inline constexpr char kSigTimeoutsTotal[] = "e2e_sig_timeouts_total";
+/// Redelivered requests suppressed instead of reprocessed. Labels:
+/// via=cache (request-id cache) | channel (record-layer replay protection).
+inline constexpr char kSigDuplicatesSuppressedTotal[] =
+    "e2e_sig_duplicates_suppressed_total";
+/// Commitments released because a downstream domain stayed dark past the
+/// retry budget. Labels: domain.
+inline constexpr char kSigReleasedOnFailureTotal[] =
+    "e2e_sig_released_on_failure_total";
+/// Attempts needed by exchanges that required at least one retransmission.
+/// Labels: engine.
+inline constexpr char kSigRetryAttempts[] = "e2e_sig_retry_attempts";
 
 // --- bb: bandwidth broker ------------------------------------------------------
 /// Admission decisions at commit time. Labels: domain,

@@ -99,6 +99,37 @@ void HopByHopEngine::set_cpu_reservation_checker(
   }
 }
 
+void HopByHopEngine::set_trust_policy(const std::string& domain,
+                                      const TrustPolicy& policy) {
+  if (Node* node = find_node(domain)) {
+    node->options.trust_policy = policy;
+  }
+}
+
+void HopByHopEngine::forget_completed_requests() {
+  for (auto& [name, node] : nodes_) node.completed_requests.clear();
+  for (auto& [id, rec] : tunnels_) rec.completed_subs.clear();
+}
+
+void HopByHopEngine::release_orphaned(const std::string& domain,
+                                      const crypto::Digest& digest) {
+  Node* node = find_node(domain);
+  if (node == nullptr) return;
+  const auto it = node->completed_requests.find(digest);
+  if (it == node->completed_requests.end()) return;
+  if (it->second.granted) {
+    auto& registry = obs::MetricsRegistry::global();
+    for (const auto& [d, handle] : it->second.handles) {
+      if (Node* owner = find_node(d)) {
+        (void)owner->broker->release(handle);
+        registry.counter(obs::kSigReleasedOnFailureTotal, {{"domain", d}})
+            .increment();
+      }
+    }
+  }
+  node->completed_requests.erase(it);
+}
+
 Result<RarMessage> HopByHopEngine::build_user_request(
     const UserCredentials& user, const bb::ResSpec& spec, SimTime at) const {
   const Node* source = find_node(spec.source_domain);
@@ -509,54 +540,143 @@ RarReply HopByHopEngine::process(const std::string& domain,
                                   return broker.sign(tbs);
                                 });
 
-  // Ship over the authenticated channel: seal here, open at the peer.
+  // Ship over the authenticated channel: seal here, open at the peer. The
+  // exchange runs under the retry policy: arm a timeout, retransmit on
+  // silence (lost request, lost reply, or a corrupted record the receiver
+  // discarded), and give up once the budget is spent. The request is
+  // identified downstream by the SHA-256 of its wire bytes, so a
+  // retransmission that *did* get through the first time is answered from
+  // the peer's reply cache instead of being admitted twice.
   const Bytes wire = forwarded.encode();
-  const Record record = node->sessions.at(*next).seal(wire);
-  fabric_->record_message(domain, *next, wire.size());
-  outcome.messages++;
-  outcome.latency += fabric_->rtt(domain, *next);
+  outcome.final_wire_bytes = wire.size();
   cursor += forward_cost;
   if (tracer_ != nullptr) tracer_->end_span(forward_span, cursor);
 
-  auto opened = next_node->sessions.at(domain).open(record);
-  if (!opened.ok()) {
-    (void)broker.release(*handle);
-    Error e = opened.error();
-    e.origin = *next;
-    return finish_hop(RarReply::deny(std::move(e)), "forward");
+  const crypto::Digest request_digest = crypto::sha256(wire);
+  std::uint64_t jitter_seed = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    jitter_seed = (jitter_seed << 8) | request_digest[i];
   }
-  auto decoded = RarMessage::decode(*opened);
-  if (!decoded.ok()) {
-    (void)broker.release(*handle);
-    return finish_hop(RarReply::deny(decoded.error()), "forward");
-  }
-  outcome.final_wire_bytes = wire.size();
 
-  TraceCtx next_trace{trace.trace_id, trace.root,
-                      cursor + fabric_->one_way(domain, *next)};
-  RarReply downstream = process(*next, *decoded, domain, at, outcome,
-                                next_trace);
-  // The reply travels back over the same authenticated channel, sealed by
-  // the peer and opened here (exercising both channel directions).
-  {
-    const Bytes reply_wire = downstream.encode();
-    const Record reply_record =
-        next_node->sessions.at(domain).seal(reply_wire);
-    fabric_->record_message(*next, domain, reply_wire.size());
+  RarReply downstream;
+  bool exchange_complete = false;
+  std::size_t attempts_used = 0;
+  for (std::size_t attempt = 1; attempt <= retry_policy_.max_attempts;
+       ++attempt) {
+    attempts_used = attempt;
+    if (attempt > 1) {
+      registry.counter(obs::kSigRetransmitsTotal, engine_label("hopbyhop"))
+          .increment();
+    }
+    // Sender waits at most this long for the answer; every failure path
+    // below charges it to the modeled latency.
+    const SimDuration timeout =
+        retry_timeout(retry_policy_, attempt, jitter_seed);
+    auto attempt_timed_out = [&] {
+      registry.counter(obs::kSigTimeoutsTotal, engine_label("hopbyhop"))
+          .increment();
+      outcome.latency += timeout;
+    };
+
+    const Record record = node->sessions.at(*next).seal(wire);
+    Delivery sent = fabric_->transmit(domain, *next, wire);
     outcome.messages++;
-    auto reply_opened = node->sessions.at(*next).open(reply_record);
+    if (!sent.delivered()) {
+      attempt_timed_out();
+      continue;
+    }
+    Record received = record;
+    received.payload = sent.payload;
+    auto opened = next_node->sessions.at(domain).open(received);
+    if (sent.duplicated) {
+      // The duplicate copy trails the original; the record layer's
+      // strictly-increasing sequence check rejects it.
+      (void)next_node->sessions.at(domain).open(received);
+      registry
+          .counter(obs::kSigDuplicatesSuppressedTotal, {{"via", "channel"}})
+          .increment();
+    }
+    if (!opened.ok()) {
+      attempt_timed_out();  // corrupted in transit; receiver stays silent
+      continue;
+    }
+    auto decoded = RarMessage::decode(*opened);
+    if (!decoded.ok()) {
+      attempt_timed_out();
+      continue;
+    }
+
+    const auto cached = next_node->completed_requests.find(request_digest);
+    if (cached != next_node->completed_requests.end()) {
+      // Already processed: a previous attempt got through but its reply
+      // was lost. Answer from the cache — admit exactly once.
+      registry
+          .counter(obs::kSigDuplicatesSuppressedTotal, {{"via", "cache"}})
+          .increment();
+      downstream = cached->second;
+    } else {
+      TraceCtx next_trace{trace.trace_id, trace.root, cursor + sent.latency};
+      downstream = process(*next, *decoded, domain, at, outcome, next_trace);
+      next_node->completed_requests.emplace(request_digest, downstream);
+    }
+
+    // The reply travels back over the same authenticated channel, sealed
+    // by the peer and opened here (exercising both channel directions).
+    const Bytes reply_wire = downstream.encode();
+    const Record reply_record = next_node->sessions.at(domain).seal(reply_wire);
+    Delivery back = fabric_->transmit(*next, domain, reply_wire);
+    outcome.messages++;
+    if (!back.delivered()) {
+      attempt_timed_out();
+      continue;
+    }
+    Record reply_received = reply_record;
+    reply_received.payload = back.payload;
+    auto reply_opened = node->sessions.at(*next).open(reply_received);
+    if (back.duplicated) {
+      (void)node->sessions.at(*next).open(reply_received);
+      registry
+          .counter(obs::kSigDuplicatesSuppressedTotal, {{"via", "channel"}})
+          .increment();
+    }
     if (!reply_opened.ok()) {
-      (void)broker.release(*handle);
-      Error e = reply_opened.error();
-      e.origin = domain;
-      return finish_hop(RarReply::deny(std::move(e)), "forward");
+      attempt_timed_out();
+      continue;
     }
     auto reply_decoded = RarReply::decode(*reply_opened);
     if (!reply_decoded.ok()) {
-      (void)broker.release(*handle);
-      return finish_hop(RarReply::deny(reply_decoded.error()), "forward");
+      attempt_timed_out();
+      continue;
     }
     downstream = std::move(*reply_decoded);
+    outcome.latency += sent.latency + back.latency;
+    exchange_complete = true;
+    break;
+  }
+  if (attempts_used > 1) {
+    registry.histogram(obs::kSigRetryAttempts, engine_label("hopbyhop"))
+        .observe(static_cast<double>(attempts_used));
+    if (tracer_ != nullptr) {
+      tracer_->annotate(hop_span, "retry.attempts",
+                        std::to_string(attempts_used));
+    }
+  }
+  if (!exchange_complete) {
+    // The downstream domain stayed dark past the retry budget. Release the
+    // local tentative commitment, and — if an earlier attempt did commit
+    // the downstream chain — model its grant timing out unconfirmed.
+    release_orphaned(*next, request_digest);
+    (void)broker.release(*handle);
+    registry
+        .counter(obs::kSigReleasedOnFailureTotal, {{"domain", domain}})
+        .increment();
+    return finish_hop(
+        RarReply::deny(make_error(
+            ErrorCode::kTimeout,
+            "no answer from " + *next + " after " +
+                std::to_string(attempts_used) + " attempts",
+            domain)),
+        "forward");
   }
   if (!downstream.granted) {
     // Denial propagates upstream; roll back our tentative commitment. The
@@ -691,30 +811,116 @@ Result<HopByHopEngine::Outcome> HopByHopEngine::reserve_in_tunnel(
   }
 
   // Source BB contacts the destination BB directly over the pinned
-  // channel — intermediate domains are not involved.
+  // channel — intermediate domains are not involved. The exchange runs
+  // under the same retry policy as inter-BB forwarding; the destination
+  // keeps a per-flow grant cache so a retransmitted tunnel-alloc (whose
+  // first reply was lost) doesn't debit the tunnel pool twice.
   const Bytes wire = to_bytes("tunnel-alloc:" + sub_id);
-  const Record record = rec.source_session.seal(wire);
-  fabric_->record_message(rec.source_domain, rec.destination_domain,
-                          wire.size());
-  outcome.messages++;
-  outcome.latency +=
-      fabric_->rtt(rec.source_domain, rec.destination_domain);
+  const crypto::Digest request_digest = crypto::sha256(wire);
+  std::uint64_t jitter_seed = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    jitter_seed = (jitter_seed << 8) | request_digest[i];
+  }
   outcome.latency += fabric_->processing_delay();
   outcome.domains_contacted++;
-  auto opened = rec.destination_session.open(record);
-  if (!opened.ok()) {
+
+  std::optional<Error> dst_error;
+  bool exchange_complete = false;
+  std::size_t attempts_used = 0;
+  for (std::size_t attempt = 1; attempt <= retry_policy_.max_attempts;
+       ++attempt) {
+    attempts_used = attempt;
+    if (attempt > 1) {
+      registry.counter(obs::kSigRetransmitsTotal, engine_label("tunnel"))
+          .increment();
+    }
+    const SimDuration timeout =
+        retry_timeout(retry_policy_, attempt, jitter_seed);
+    auto attempt_timed_out = [&] {
+      registry.counter(obs::kSigTimeoutsTotal, engine_label("tunnel"))
+          .increment();
+      outcome.latency += timeout;
+    };
+
+    const Record record = rec.source_session.seal(wire);
+    Delivery sent =
+        fabric_->transmit(rec.source_domain, rec.destination_domain, wire);
+    outcome.messages++;
+    if (!sent.delivered()) {
+      attempt_timed_out();
+      continue;
+    }
+    Record received = record;
+    received.payload = sent.payload;
+    auto opened = rec.destination_session.open(received);
+    if (sent.duplicated) {
+      (void)rec.destination_session.open(received);
+      registry
+          .counter(obs::kSigDuplicatesSuppressedTotal, {{"via", "channel"}})
+          .increment();
+    }
+    if (!opened.ok()) {
+      attempt_timed_out();
+      continue;
+    }
+
+    dst_error.reset();
+    if (rec.completed_subs.contains(sub_id)) {
+      // Granted by an earlier attempt whose reply was lost.
+      registry
+          .counter(obs::kSigDuplicatesSuppressedTotal, {{"via", "cache"}})
+          .increment();
+    } else {
+      auto dst_alloc = dst_tunnel->allocate(sub_id, user_dn, interval, rate);
+      if (dst_alloc.ok()) {
+        rec.completed_subs.insert(sub_id);
+      } else {
+        dst_error = dst_alloc.error();
+        dst_error->origin = rec.destination_domain;
+      }
+    }
+
+    const Bytes reply_wire(64, 0);
+    Delivery back = fabric_->transmit(rec.destination_domain,
+                                      rec.source_domain, reply_wire);
+    outcome.messages++;
+    if (!back.delivered()) {
+      attempt_timed_out();
+      continue;
+    }
+    outcome.latency += sent.latency + back.latency;
+    exchange_complete = true;
+    break;
+  }
+  if (attempts_used > 1) {
+    registry.histogram(obs::kSigRetryAttempts, engine_label("tunnel"))
+        .observe(static_cast<double>(attempts_used));
+  }
+  if (!exchange_complete) {
+    // Destination stayed dark: roll back the source half and model the
+    // destination expiring any unconfirmed grant an earlier attempt made.
     (void)src_tunnel->release(sub_id);
-    outcome.reply = RarReply::deny(opened.error());
+    registry
+        .counter(obs::kSigReleasedOnFailureTotal,
+                 {{"domain", rec.source_domain}})
+        .increment();
+    if (rec.completed_subs.erase(sub_id) > 0) {
+      (void)dst_tunnel->release(sub_id);
+      registry
+          .counter(obs::kSigReleasedOnFailureTotal,
+                   {{"domain", rec.destination_domain}})
+          .increment();
+    }
+    outcome.reply = RarReply::deny(make_error(
+        ErrorCode::kTimeout,
+        "no answer from " + rec.destination_domain + " after " +
+            std::to_string(attempts_used) + " attempts",
+        rec.source_domain));
     return finish(std::move(outcome));
   }
-  auto dst_alloc = dst_tunnel->allocate(sub_id, user_dn, interval, rate);
-  fabric_->record_message(rec.destination_domain, rec.source_domain, 64);
-  outcome.messages++;
-  if (!dst_alloc.ok()) {
+  if (dst_error.has_value()) {
     (void)src_tunnel->release(sub_id);
-    Error e = dst_alloc.error();
-    e.origin = rec.destination_domain;
-    outcome.reply = RarReply::deny(std::move(e));
+    outcome.reply = RarReply::deny(std::move(*dst_error));
     return finish(std::move(outcome));
   }
 

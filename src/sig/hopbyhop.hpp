@@ -19,14 +19,17 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "bb/bandwidth_broker.hpp"
+#include "crypto/sha256.hpp"
 #include "obs/trace.hpp"
 #include "policy/group_server.hpp"
 #include "sig/channel.hpp"
 #include "sig/message.hpp"
+#include "sig/retry.hpp"
 #include "sig/transport.hpp"
 #include "sig/trust.hpp"
 
@@ -86,6 +89,21 @@ class HopByHopEngine {
   /// (GARA attaches its compute manager here; Fig. 5/6 coupling).
   void set_cpu_reservation_checker(const std::string& domain,
                                    std::function<bool(const std::string&)> fn);
+
+  /// Replace a domain's trust policy after setup (failure-injection tests
+  /// tighten max_introduction_depth per hop).
+  void set_trust_policy(const std::string& domain, const TrustPolicy& policy);
+
+  /// Retry budget and backoff for every inter-BB exchange (shared by the
+  /// hop-by-hop path and the tunnel per-flow path).
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// Drop every per-node request-id reply cache (and the tunnels'
+  /// per-flow equivalents). Models cache expiry between scenario runs so
+  /// long-lived soak worlds don't serve stale replies for recycled
+  /// request ids.
+  void forget_completed_requests();
 
   /// Build the user's signed request (RAR_U): res_spec + DN of the source
   /// BB + the CAS capability certificate + the user's delegation of it to
@@ -159,6 +177,10 @@ class HopByHopEngine {
     std::map<std::string, std::function<bool(std::uint64_t)>>
         cas_revocation;  // community -> revocation oracle
     std::map<std::string, crypto::Certificate> local_users;  // DN -> cert
+    /// Idempotency cache: replies already produced here, keyed by the
+    /// SHA-256 of the request's wire bytes. A retransmitted RAR is answered
+    /// from the cache instead of re-admitted.
+    std::map<crypto::Digest, RarReply> completed_requests;
   };
 
   struct TunnelRecord {
@@ -171,6 +193,9 @@ class HopByHopEngine {
     Session source_session;       // direct channel, source side
     Session destination_session;  // direct channel, destination side
     std::uint64_t next_sub = 1;
+    /// Per-flow idempotency: sub-allocations the destination already
+    /// granted, so a retransmitted tunnel-alloc doesn't double-debit.
+    std::set<std::string> completed_subs;
   };
 
   Node* find_node(const std::string& domain);
@@ -191,6 +216,13 @@ class HopByHopEngine {
                    const std::string& from_domain, SimTime at,
                    Outcome& outcome, const TraceCtx& trace);
 
+  /// Graceful degradation: the upstream hop gave up on `domain`. If that
+  /// node already granted the request (reply cached under `digest`),
+  /// release every handle the cached grant carries — modeling the
+  /// downstream chain expiring a grant whose confirmation never came.
+  void release_orphaned(const std::string& domain,
+                        const crypto::Digest& digest);
+
   /// Validate the capability chain carried by a verified RAR at `node`;
   /// returns the validated capabilities usable by the policy engine (empty
   /// if no chain or no trusted CAS for the community).
@@ -202,6 +234,7 @@ class HopByHopEngine {
 
   Fabric* fabric_;
   Rng* rng_;
+  RetryPolicy retry_policy_;
   std::map<std::string, Node> nodes_;
   std::map<std::string, TunnelRecord> tunnels_;
   std::uint64_t next_tunnel_ = 1;

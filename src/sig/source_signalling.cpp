@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <future>
 
+#include "crypto/sha256.hpp"
 #include "obs/instruments.hpp"
 #include "sig/context_builder.hpp"
 #include "sig/trust.hpp"
@@ -30,22 +31,75 @@ SourceDomainEngine::PerDomainResult SourceDomainEngine::reserve_at(
     const std::string& domain, const std::string& agent_domain,
     const bb::ResSpec& spec, const crypto::Certificate& user_cert,
     const crypto::PrivateKey& user_key, SimTime at) {
-  const SimDuration rtt = fabric_->rtt(agent_domain, domain) +
-                          fabric_->processing_delay();
   const auto it = nodes_.find(domain);
   if (it == nodes_.end()) {
     return {domain,
             Result<bb::ReservationId>(make_error(
                 ErrorCode::kNoRoute, "no broker for domain " + domain)),
-            rtt};
+            fabric_->rtt(agent_domain, domain) + fabric_->processing_delay()};
   }
   Node& node = it->second;
   bb::BandwidthBroker& broker = *node.broker;
 
-  // The agent signs a request addressed directly to this broker.
+  // The agent signs a request addressed directly to this broker and
+  // retransmits on silence. One delivered request stands for the whole
+  // exchange (the broker's answer rides the same abstraction), so faults
+  // are applied to the request leg: a drop/partition/crash or a corrupted
+  // request the broker discards all leave the agent waiting for the armed
+  // timeout, then retrying. A duplicated delivery is suppressed at the
+  // broker by request id rather than admitted twice.
   const RarMessage msg = RarMessage::create_user_request(
       spec, broker.dn().to_string(), {}, user_key);
-  fabric_->record_message(agent_domain, domain, msg.wire_size());
+  const Bytes wire = msg.encode();
+  const crypto::Digest request_digest = crypto::sha256(wire);
+  std::uint64_t jitter_seed = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    jitter_seed = (jitter_seed << 8) | request_digest[i];
+  }
+
+  auto& registry = obs::MetricsRegistry::global();
+  SimDuration latency = 0;
+  bool delivered = false;
+  std::size_t attempts_used = 0;
+  for (std::size_t attempt = 1; attempt <= retry_policy_.max_attempts;
+       ++attempt) {
+    attempts_used = attempt;
+    if (attempt > 1) {
+      registry.counter(obs::kSigRetransmitsTotal, {{"engine", "source"}})
+          .increment();
+    }
+    Delivery sent = fabric_->transmit(agent_domain, domain, wire);
+    if (sent.delivered() && !sent.corrupted) {
+      if (sent.duplicated) {
+        // The broker sees the copy, recognizes the request id and drops it.
+        registry
+            .counter(obs::kSigDuplicatesSuppressedTotal, {{"via", "cache"}})
+            .increment();
+      }
+      latency += sent.latency + fabric_->one_way(agent_domain, domain) +
+                 fabric_->processing_delay();
+      delivered = true;
+      break;
+    }
+    // Lost, blocked or corrupted-and-discarded: wait out the timeout.
+    registry.counter(obs::kSigTimeoutsTotal, {{"engine", "source"}})
+        .increment();
+    latency += retry_timeout(retry_policy_, attempt, jitter_seed);
+  }
+  if (attempts_used > 1) {
+    registry.histogram(obs::kSigRetryAttempts, {{"engine", "source"}})
+        .observe(static_cast<double>(attempts_used));
+  }
+  if (!delivered) {
+    return {domain,
+            Result<bb::ReservationId>(make_error(
+                ErrorCode::kTimeout,
+                "no answer from " + domain + " after " +
+                    std::to_string(attempts_used) + " attempts",
+                domain)),
+            latency};
+  }
+  const SimDuration rtt = latency;
 
   // Direct trust: this broker must know the user.
   const auto user_it = node.known_users.find(spec.user);

@@ -26,6 +26,7 @@
 #include "common/thread_pool.hpp"
 #include "policy/group_server.hpp"
 #include "sig/message.hpp"
+#include "sig/retry.hpp"
 #include "sig/transport.hpp"
 
 namespace e2e::sig {
@@ -33,6 +34,12 @@ namespace e2e::sig {
 class SourceDomainEngine {
  public:
   explicit SourceDomainEngine(Fabric& fabric) : fabric_(&fabric) {}
+
+  /// Retry budget and backoff for each per-domain request. Timeouts are a
+  /// pure function of (policy, attempt, request digest), so the parallel
+  /// mode stays deterministic without a shared RNG.
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
 
   struct DomainOptions {
     policy::GroupServer* group_server = nullptr;
@@ -105,6 +112,7 @@ class SourceDomainEngine {
                              const crypto::PrivateKey& user_key, SimTime at);
 
   Fabric* fabric_;
+  RetryPolicy retry_policy_;
   std::map<std::string, Node> nodes_;
 };
 

@@ -136,6 +136,143 @@ TEST(FailureInjection, DoubleReleaseIsSafe) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Per-stage / per-hop failure matrix on a 4-domain path (ISSUE 2
+// satellite): force a failure at each processing stage (verify, policy,
+// admission, sign_and_forward) at each hop and assert both the denial
+// (code + origin) and that every upstream broker released its tentative
+// commitment.
+//
+// Stage "verify" cannot be forced at hop 1 through public configuration:
+// hop 1 receives exactly one broker layer from its directly authenticated
+// channel peer (introduction depth 0), so no trust policy — however
+// strict — can reject it, and the channel layer already authenticates the
+// bytes. That structural gap is intentional; the hop-0 (bad user
+// signature) and hop-2/3 (trust-depth) cases bracket it.
+// ---------------------------------------------------------------------------
+
+ChainWorldConfig four_domain_config() {
+  ChainWorldConfig config;
+  config.domains = 4;
+  return config;
+}
+
+void expect_all_released(ChainWorld& world, std::size_t expected_residual = 0) {
+  std::size_t residual = 0;
+  for (std::size_t i = 0; i < world.names().size(); ++i) {
+    residual += world.broker(i).reservation_count();
+  }
+  EXPECT_EQ(residual, expected_residual);
+}
+
+TEST(FailureMatrix, VerifyFailsAtHop0WithForgedUserSignature) {
+  ChainWorld world(four_domain_config());
+  const WorldUser alice = world.make_user("Alice", 0);
+  const auto msg = world.engine().build_user_request(
+      alice.credentials(), world.spec(alice, 1e6), 0);
+  Rng rng(7);
+  const crypto::KeyPair mallory = crypto::generate_keypair(rng, 256);
+  const RarMessage forged = RarMessage::create_user_request(
+      world.spec(alice, 1e6), world.broker(0).dn().to_string(),
+      msg->user_layer().capability_certs, mallory.priv);
+  const auto outcome = world.engine().reserve(forged, seconds(1));
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_FALSE(outcome->reply.granted);
+  EXPECT_EQ(outcome->reply.denial.code, ErrorCode::kBadSignature);
+  EXPECT_EQ(outcome->reply.denial.origin, "DomainA");
+  expect_all_released(world);
+}
+
+TEST(FailureMatrix, VerifyFailsAtDeepHopsViaTrustDepthPolicy) {
+  // Hop k (0-indexed) sees broker signature layers introduced at depths
+  // 0..k-1, so max_introduction_depth = k-2 rejects exactly the deepest
+  // introduction at hop k while hops before it still pass.
+  for (std::size_t hop : {std::size_t{2}, std::size_t{3}}) {
+    SCOPED_TRACE(::testing::Message() << "verify hop " << hop);
+    ChainWorld world(four_domain_config());
+    const WorldUser alice = world.make_user("Alice", 0);
+    TrustPolicy strict;
+    strict.max_introduction_depth = hop - 2;
+    world.engine().set_trust_policy(world.names()[hop], strict);
+    const auto msg = world.engine().build_user_request(
+        alice.credentials(), world.spec(alice, 1e6), 0);
+    const auto outcome = world.engine().reserve(*msg, seconds(1));
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_FALSE(outcome->reply.granted);
+    EXPECT_EQ(outcome->reply.denial.code, ErrorCode::kUntrustedKey);
+    EXPECT_EQ(outcome->reply.denial.origin, world.names()[hop]);
+    expect_all_released(world);
+  }
+}
+
+TEST(FailureMatrix, PolicyDeniesAtEveryHop) {
+  for (std::size_t hop = 0; hop < 4; ++hop) {
+    SCOPED_TRACE(::testing::Message() << "policy hop " << hop);
+    ChainWorldConfig config = four_domain_config();
+    config.policies.assign(4, "Return GRANT");
+    config.policies[hop] = "Return DENY";
+    ChainWorld world(config);
+    const WorldUser alice = world.make_user("Alice", 0);
+    const auto msg = world.engine().build_user_request(
+        alice.credentials(), world.spec(alice, 1e6), 0);
+    const auto outcome = world.engine().reserve(*msg, seconds(1));
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_FALSE(outcome->reply.granted);
+    EXPECT_EQ(outcome->reply.denial.code, ErrorCode::kPolicyDenied);
+    EXPECT_EQ(outcome->reply.denial.origin, world.names()[hop]);
+    expect_all_released(world);
+  }
+}
+
+TEST(FailureMatrix, AdmissionRejectsAtEveryHop) {
+  for (std::size_t hop = 0; hop < 4; ++hop) {
+    SCOPED_TRACE(::testing::Message() << "admission hop " << hop);
+    ChainWorld world(four_domain_config());
+    const WorldUser alice = world.make_user("Alice", 0);
+    // Pre-fill hop's local pool so the request's 10 Mb/s no longer fits
+    // (capacity 622 Mb/s; the SLA pools stay untouched by a local commit).
+    bb::ResSpec filler;
+    filler.user = "uid=prefill";
+    filler.source_domain = world.names()[hop];
+    filler.destination_domain = world.names()[hop];
+    filler.rate_bits_per_s = 615e6;
+    filler.interval = {0, seconds(600)};
+    ASSERT_TRUE(world.broker(hop).commit(filler, "").ok());
+    const auto msg = world.engine().build_user_request(
+        alice.credentials(), world.spec(alice, 10e6), 0);
+    const auto outcome = world.engine().reserve(*msg, seconds(1));
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_FALSE(outcome->reply.granted);
+    EXPECT_EQ(outcome->reply.denial.code, ErrorCode::kAdmissionRejected);
+    EXPECT_EQ(outcome->reply.denial.origin, world.names()[hop]);
+    expect_all_released(world, /*expected_residual=*/1);  // the filler
+  }
+}
+
+TEST(FailureMatrix, ForwardTimesOutAtEveryLink) {
+  for (std::size_t hop = 0; hop < 3; ++hop) {
+    SCOPED_TRACE(::testing::Message() << "forward hop " << hop);
+    ChainWorld world(four_domain_config());
+    const WorldUser alice = world.make_user("Alice", 0);
+    world.partition_link(hop, hop + 1);
+    const auto msg = world.engine().build_user_request(
+        alice.credentials(), world.spec(alice, 1e6), 0);
+    const auto outcome = world.engine().reserve(*msg, seconds(1));
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_FALSE(outcome->reply.granted);
+    EXPECT_EQ(outcome->reply.denial.code, ErrorCode::kTimeout);
+    EXPECT_EQ(outcome->reply.denial.origin, world.names()[hop]);
+    expect_all_released(world);
+    // And the path works again once the link heals — after cache expiry,
+    // or an identical re-submission would be served the cached denial.
+    world.heal_link(hop, hop + 1);
+    world.engine().forget_completed_requests();
+    const auto retry = world.engine().reserve(*msg, seconds(2));
+    ASSERT_TRUE(retry.ok());
+    EXPECT_TRUE(retry->reply.granted);
+  }
+}
+
 TEST(FailureInjection, ReplayedRarRejectedByChannel) {
   // The engine drives sessions with strictly increasing sequence numbers;
   // a replayed record is refused by the channel layer. We exercise this

@@ -144,6 +144,93 @@ TEST(RarMessage, TbsIsDeterministic) {
   EXPECT_EQ(msg.broker_tbs(0), msg.broker_tbs(0));
 }
 
+// ---------------------------------------------------------------------------
+// Property tests (ISSUE 2 satellite): the TLV codec under random wire
+// corruption. For any handful of random byte/bit flips on an encoded
+// multi-layer RAR, decode must either fail cleanly or yield a message
+// that no longer verifies as the original — corruption is never silently
+// accepted as authentic. Seeded, so a failure reproduces exactly.
+// ---------------------------------------------------------------------------
+
+RarMessage sample_two_layer_message() {
+  RarMessage msg = sample_user_message();
+  msg.append_broker_layer(sample_layer_a(), keys().bb_a.priv);
+  BrokerLayer layer_b;
+  layer_b.upstream_certificate = to_bytes("cert-of-a");
+  layer_b.downstream_dn = "CN=BB-DomainC,O=DomainC,C=US";
+  layer_b.signer_dn = "CN=BB-DomainB,O=DomainB,C=US";
+  msg.append_broker_layer(std::move(layer_b), keys().bb_b.priv);
+  return msg;
+}
+
+bool verifies_as_original(const RarMessage& decoded) {
+  return decoded.depth() == 2 &&
+         decoded.verify_user_signature(keys().user.pub) &&
+         decoded.verify_broker_signature(0, keys().bb_a.pub) &&
+         decoded.verify_broker_signature(1, keys().bb_b.pub);
+}
+
+TEST(RarMessageProperty, RandomBitFlipsNeverVerifyAsOriginal) {
+  const Bytes wire = sample_two_layer_message().encode();
+  Rng rng(20010801);
+  for (int iter = 0; iter < 500; ++iter) {
+    SCOPED_TRACE(::testing::Message() << "iteration " << iter);
+    Bytes mutated = wire;
+    const std::size_t flips = 1 + rng.next_below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.next_below(mutated.size());
+      const std::uint8_t mask =
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+      mutated[pos] = static_cast<std::uint8_t>(mutated[pos] ^ mask);
+    }
+    const auto decoded = RarMessage::decode(mutated);  // must not crash
+    if (!decoded.ok()) continue;  // clean decode failure: fine
+    EXPECT_FALSE(verifies_as_original(*decoded));
+  }
+}
+
+TEST(RarMessageProperty, RandomByteStompsNeverVerifyAsOriginal) {
+  const Bytes wire = sample_two_layer_message().encode();
+  Rng rng(31337);
+  for (int iter = 0; iter < 500; ++iter) {
+    SCOPED_TRACE(::testing::Message() << "iteration " << iter);
+    Bytes mutated = wire;
+    const std::size_t stomps = 1 + rng.next_below(4);
+    for (std::size_t s = 0; s < stomps; ++s) {
+      const std::size_t pos = rng.next_below(mutated.size());
+      std::uint8_t value = static_cast<std::uint8_t>(rng.next_below(256));
+      if (value == mutated[pos]) value = static_cast<std::uint8_t>(value ^ 1u);
+      mutated[pos] = value;
+    }
+    const auto decoded = RarMessage::decode(mutated);
+    if (!decoded.ok()) continue;
+    EXPECT_FALSE(verifies_as_original(*decoded));
+  }
+}
+
+TEST(RarMessageProperty, EveryTruncationFailsOrLosesLayers) {
+  // A truncation that lands exactly on a layer boundary legitimately
+  // decodes to a message with FEWER layers (the outer signatures are
+  // simply gone); every other cut must fail cleanly. Either way the
+  // result never passes as the complete 2-layer original, and the parser
+  // never crashes or reads past the buffer.
+  const Bytes wire = sample_two_layer_message().encode();
+  std::size_t boundary_decodes = 0;
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    SCOPED_TRACE(::testing::Message() << "length " << len);
+    Bytes truncated(wire.begin(),
+                    wire.begin() + static_cast<std::ptrdiff_t>(len));
+    const auto decoded = RarMessage::decode(truncated);
+    if (decoded.ok()) {
+      ++boundary_decodes;
+      EXPECT_LT(decoded->depth(), 2u);
+      EXPECT_FALSE(verifies_as_original(*decoded));
+    }
+  }
+  // Exactly the two layer boundaries (user-only, user+A) can decode.
+  EXPECT_LE(boundary_decodes, 2u);
+}
+
 TEST(RarReply, Factories) {
   const RarReply ok = RarReply::approve();
   EXPECT_TRUE(ok.granted);
