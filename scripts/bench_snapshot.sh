@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Perf-trajectory snapshot: run the crypto micro benches and the fig3
+# signalling-latency bench and write their results to the repo root as
+#   BENCH_crypto.json  (google-benchmark JSON for bench/micro_crypto)
+#   BENCH_fig3.json    (fig3 stdout table + metrics snapshot, wrapped)
+# so successive PRs can diff the numbers.
+#
+# Usage: ./scripts/bench_snapshot.sh           (full run)
+#        SMOKE=1 ./scripts/bench_snapshot.sh   (fast smoke: fewer repetitions,
+#                                               used by tier1.sh --bench)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target micro_crypto fig3_signalling_latency >/dev/null
+
+min_time=""
+if [[ "${SMOKE:-0}" == "1" ]]; then
+  min_time="--benchmark_min_time=0.05"
+fi
+
+./build/bench/micro_crypto \
+  --benchmark_out=BENCH_crypto.json --benchmark_out_format=json \
+  ${min_time:+"$min_time"} >/dev/null
+
+# fig3 prints a human table and drops a metrics snapshot in the cwd; fold
+# both into one JSON document.
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+(cd "$workdir" && "$OLDPWD/build/bench/fig3_signalling_latency" > stdout.txt)
+python3 - "$workdir" > BENCH_fig3.json <<'EOF'
+import json, sys, pathlib
+workdir = pathlib.Path(sys.argv[1])
+doc = {
+    "bench": "fig3_signalling_latency",
+    "stdout": (workdir / "stdout.txt").read_text(),
+    "metrics": json.loads(
+        (workdir / "fig3_signalling_latency.metrics.json").read_text()),
+}
+json.dump(doc, sys.stdout, indent=1)
+sys.stdout.write("\n")
+EOF
+
+echo "bench_snapshot: wrote BENCH_crypto.json and BENCH_fig3.json"

@@ -7,9 +7,23 @@
 #        ./scripts/tier1.sh --soak   (seeded fault-injection soak suite under
 #                                     ASan/UBSan, 3 fixed seeds; build dir:
 #                                     ./build-asan via the "asan" preset)
+#        ./scripts/tier1.sh --bench  (crypto differential tests + a smoke run
+#                                     of scripts/bench_snapshot.sh)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--bench" ]]; then
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target crypto_test >/dev/null
+  # The differential suites pin the Montgomery kernel and CRT signing
+  # against the reference implementations before we trust any numbers.
+  ./build/tests/crypto_test \
+    --gtest_filter='Montgomery*:CryptoCache*:Rsa*:BigUInt*'
+  SMOKE=1 ./scripts/bench_snapshot.sh
+  echo "tier1 --bench: OK"
+  exit 0
+fi
 
 if [[ "${1:-}" == "--soak" ]]; then
   cmake --preset asan >/dev/null

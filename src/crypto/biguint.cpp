@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "crypto/montgomery.hpp"
+#include "obs/instruments.hpp"
+
 namespace e2e::crypto {
 
 using u64 = std::uint64_t;
@@ -233,12 +236,33 @@ BigUInt BigUInt::modexp(const BigUInt& exp, const BigUInt& m) const {
   if (m.is_zero() || m == BigUInt(1)) {
     throw std::domain_error("BigUInt::modexp: modulus must be > 1");
   }
+  auto& registry = obs::MetricsRegistry::global();
+  if (m.is_odd()) {
+    static obs::Counter& montgomery_count = registry.counter(
+        obs::kCryptoModexpTotal, {{"kernel", "montgomery"}});
+    montgomery_count.increment();
+    return MontgomeryContext::shared(m)->modexp(*this, exp);
+  }
+  static obs::Counter& reference_count =
+      registry.counter(obs::kCryptoModexpTotal, {{"kernel", "reference"}});
+  reference_count.increment();
+  return modexp_reference(exp, m);
+}
+
+BigUInt BigUInt::modexp_reference(const BigUInt& exp, const BigUInt& m) const {
+  if (m.is_zero() || m == BigUInt(1)) {
+    throw std::domain_error("BigUInt::modexp: modulus must be > 1");
+  }
+  if (exp.is_zero()) return BigUInt(1);  // m > 1, so 1 mod m == 1
   BigUInt base = *this % m;
+  if (exp == BigUInt(1)) return base;
   BigUInt result(1);
   const unsigned bits = exp.bit_length();
   for (unsigned i = 0; i < bits; ++i) {
     if (exp.bit(i)) result = (result * base) % m;
-    base = (base * base) % m;
+    // The top bit's multiply already happened; squaring past it would be
+    // pure waste.
+    if (i + 1 < bits) base = (base * base) % m;
   }
   return result;
 }
@@ -394,6 +418,13 @@ BigUInt BigUInt::from_string(std::string_view s) {
     }
     out = out * BigUInt(10) + BigUInt(static_cast<u64>(c - '0'));
   }
+  return out;
+}
+
+BigUInt BigUInt::from_limbs(std::vector<std::uint64_t> limbs) {
+  BigUInt out;
+  out.limbs_ = std::move(limbs);
+  out.normalize();
   return out;
 }
 

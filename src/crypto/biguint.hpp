@@ -5,7 +5,12 @@
 // 64-bit limbs, normalized (no leading zero limbs); schoolbook
 // multiplication and Knuth Algorithm D division via unsigned __int128.
 // Sizes in this library are small (<= 1024-bit products), so asymptotically
-// fancy algorithms are deliberately out of scope.
+// fancy algorithms are deliberately out of scope — with one exception:
+// modular exponentiation over odd moduli dispatches to the Montgomery
+// kernel in crypto/montgomery.hpp (division-free REDC multiplication plus
+// fixed-window exponentiation), because per-hop RSA dominates the
+// signalling latency benches. The pre-Montgomery square-and-multiply
+// survives as modexp_reference(), the differential-testing oracle.
 #pragma once
 
 #include <cstdint>
@@ -71,8 +76,14 @@ class BigUInt {
   BigUInt operator<<(unsigned bits) const;
   BigUInt operator>>(unsigned bits) const;
 
-  /// this^exp mod m (m > 1). Square-and-multiply.
+  /// this^exp mod m (m > 1). Odd moduli use the Montgomery fast path
+  /// (crypto/montgomery.hpp); even moduli fall back to modexp_reference.
   BigUInt modexp(const BigUInt& exp, const BigUInt& m) const;
+
+  /// Square-and-multiply with a full division per step — the original
+  /// implementation, kept as the oracle the Montgomery kernel is
+  /// differential-tested against. Works for any m > 1.
+  BigUInt modexp_reference(const BigUInt& exp, const BigUInt& m) const;
 
   static BigUInt gcd(BigUInt a, BigUInt b);
   /// Modular inverse of this mod m; returns zero if gcd(this, m) != 1.
@@ -89,6 +100,12 @@ class BigUInt {
   /// Big-endian export, minimal length (empty for zero) unless `min_len`
   /// pads with leading zero bytes.
   Bytes to_bytes(std::size_t min_len = 0) const;
+
+  /// Little-endian limb view (normalized, no leading zeros). The Montgomery
+  /// kernel operates on these directly.
+  const std::vector<std::uint64_t>& limbs() const { return limbs_; }
+  /// Build from little-endian limbs (normalizes).
+  static BigUInt from_limbs(std::vector<std::uint64_t> limbs);
 
  private:
   void normalize();

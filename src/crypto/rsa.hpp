@@ -35,9 +35,27 @@ struct PublicKey {
   Digest fingerprint() const;
 };
 
+/// CRT precomputation for the signing fast path: two half-size
+/// exponentiations mod p and q instead of one full-size one mod n,
+/// recombined with Garner's formula. Produces bit-identical signatures.
+struct CrtParams {
+  BigUInt p;     // first prime factor
+  BigUInt q;     // second prime factor
+  BigUInt dp;    // d mod (p - 1)
+  BigUInt dq;    // d mod (q - 1)
+  BigUInt qinv;  // q^-1 mod p
+
+  bool operator==(const CrtParams& o) const {
+    return p == o.p && q == o.q && dp == o.dp && dq == o.dq && qinv == o.qinv;
+  }
+};
+
 struct PrivateKey {
   BigUInt n;
   BigUInt d;  // private exponent
+  /// Populated by generate_keypair(); absent when decoding the legacy
+  /// two-field encoding. sign() falls back to s = H^d mod n without it.
+  std::optional<CrtParams> crt;
 
   Bytes encode() const;
   static Result<PrivateKey> decode(BytesView data);
@@ -52,10 +70,14 @@ struct KeyPair {
 /// Deterministic given the RNG state.
 KeyPair generate_keypair(Rng& rng, unsigned bits = 512);
 
-/// Signature = (H(message))^d mod n, transported big-endian.
+/// Signature = (H(message))^d mod n, transported big-endian. Uses the CRT
+/// fast path when key.crt is populated (identical output either way).
 Bytes sign(const PrivateKey& key, BytesView message);
 
-/// Verify a signature produced by `sign` against `message`.
+/// Verify a signature produced by `sign` against `message`. Results are
+/// memoized in VerifyCache::global() keyed over (key, message, signature);
+/// keys whose modulus is even or <= 1 (Montgomery precondition) are
+/// rejected outright and counted in e2e_crypto_bad_key_rejects_total.
 bool verify(const PublicKey& key, BytesView message, BytesView signature);
 
 }  // namespace e2e::crypto

@@ -1,6 +1,7 @@
 #include "crypto/x509.hpp"
 
 #include "common/tlv.hpp"
+#include "obs/instruments.hpp"
 
 namespace e2e::crypto {
 
@@ -78,6 +79,16 @@ void encode_tbs_into(tlv::Writer& w, std::uint64_t serial,
 }  // namespace
 
 Bytes Certificate::tbs_encode() const {
+  auto& registry = obs::MetricsRegistry::global();
+  if (!tbs_cache_.empty()) {
+    static obs::Counter& hits = registry.counter(
+        obs::kCryptoTbsCacheLookupsTotal, {{"result", "hit"}});
+    hits.increment();
+    return tbs_cache_;
+  }
+  static obs::Counter& misses = registry.counter(
+      obs::kCryptoTbsCacheLookupsTotal, {{"result", "miss"}});
+  misses.increment();
   tlv::Writer w;
   encode_tbs_into(w, serial_, issuer_, subject_, validity_, subject_key_,
                   extensions_);
@@ -85,11 +96,13 @@ Bytes Certificate::tbs_encode() const {
 }
 
 Bytes Certificate::encode() const {
+  // The wire format is the TBS TLV followed by the signature TLV, so the
+  // cached TBS bytes can be reused verbatim.
+  Bytes out = tbs_encode();
   tlv::Writer w;
-  encode_tbs_into(w, serial_, issuer_, subject_, validity_, subject_key_,
-                  extensions_);
   w.put_bytes(kTagSignature, signature_);
-  return w.take();
+  append(out, w.take());
+  return out;
 }
 
 Result<Certificate> Certificate::decode(BytesView data) {
@@ -148,6 +161,13 @@ Result<Certificate> Certificate::decode(BytesView data) {
   if (!top.at_end()) {
     return make_error(ErrorCode::kBadMessage, "Certificate: trailing bytes");
   }
+  // Precompute the TBS bytes while the object is still private to this
+  // frame; every later tbs_encode()/encode()/verify_signature() reads the
+  // cache without re-serializing.
+  tlv::Writer w;
+  encode_tbs_into(w, cert.serial_, cert.issuer_, cert.subject_,
+                  cert.validity_, cert.subject_key_, cert.extensions_);
+  cert.tbs_cache_ = w.take();
   return cert;
 }
 
@@ -164,7 +184,11 @@ Certificate Certificate::Builder::sign_with(
   cert.validity_ = validity;
   cert.subject_key_ = subject_key;
   cert.extensions_ = extensions;
-  cert.signature_ = sign(issuer_key, cert.tbs_encode());
+  tlv::Writer w;
+  encode_tbs_into(w, cert.serial_, cert.issuer_, cert.subject_,
+                  cert.validity_, cert.subject_key_, cert.extensions_);
+  cert.tbs_cache_ = w.take();
+  cert.signature_ = sign(issuer_key, cert.tbs_cache_);
   return cert;
 }
 

@@ -65,8 +65,12 @@ class Certificate {
   bool is_self_signed() const { return issuer_ == subject_; }
 
   /// Canonical to-be-signed bytes (everything except the signature).
+  /// Certificates produced by decode() or Builder::sign_with() carry the
+  /// encoding precomputed, so per-hop re-verification never re-serializes.
   Bytes tbs_encode() const;
-  /// Full canonical encoding including the signature.
+  /// Full canonical encoding including the signature (the wire format is
+  /// the TBS TLV followed by the signature TLV, so this reuses the cached
+  /// TBS bytes).
   Bytes encode() const;
   static Result<Certificate> decode(BytesView data);
 
@@ -100,6 +104,10 @@ class Certificate {
   PublicKey subject_key_;
   std::vector<Extension> extensions_;
   Bytes signature_;
+  // Filled eagerly by decode()/Builder::sign_with(), after which the object
+  // is immutable — tbs_encode() const only ever reads it (thread-safe
+  // without locks). Empty for default-constructed certificates.
+  Bytes tbs_cache_;
 };
 
 }  // namespace e2e::crypto

@@ -27,6 +27,21 @@ std::vector<MetricInfo> build_catalog() {
        "Reservations released or purged by a broker"},
       {kBbTunnelsRegisteredTotal, MetricType::kCounter, kOne, {"domain"},
        "Aggregate tunnels registered at an end domain"},
+      {kCryptoBadKeyRejectsTotal, MetricType::kCounter, kOne, {},
+       "Verifications rejected before any arithmetic (malformed key or "
+       "oversized signature)"},
+      {kCryptoChainCacheLookupsTotal, MetricType::kCounter, kOne, {"result"},
+       "Verified-certificate-chain cache lookups (TrustStore)"},
+      {kCryptoModexpTotal, MetricType::kCounter, kOne, {"kernel"},
+       "Modular exponentiations, by kernel (montgomery or reference)"},
+      {kCryptoMontCtxLookupsTotal, MetricType::kCounter, kOne, {"result"},
+       "Montgomery-context cache lookups, by modulus value"},
+      {kCryptoSignsTotal, MetricType::kCounter, kOne, {"path"},
+       "RSA signatures produced (crt or plain path)"},
+      {kCryptoTbsCacheLookupsTotal, MetricType::kCounter, kOne, {"result"},
+       "Certificate TBS-encoding cache lookups"},
+      {kCryptoVerifyCacheLookupsTotal, MetricType::kCounter, kOne, {"result"},
+       "Signature-verification cache lookups"},
       {kNetPacketDelayUs, MetricType::kHistogram, kUs, {},
        "End-to-end packet delay in the DiffServ simulator"},
       {kNetPacketsDeliveredTotal, MetricType::kCounter, kOne, {},

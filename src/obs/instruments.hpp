@@ -77,6 +77,29 @@ inline constexpr char kSigReleasedOnFailureTotal[] =
 /// Labels: engine.
 inline constexpr char kSigRetryAttempts[] = "e2e_sig_retry_attempts";
 
+// --- crypto: fast path + caches ---------------------------------------------
+/// Modular exponentiations, by kernel. Labels: kernel=montgomery|reference.
+inline constexpr char kCryptoModexpTotal[] = "e2e_crypto_modexp_total";
+/// RSA signatures produced. Labels: path=crt|plain.
+inline constexpr char kCryptoSignsTotal[] = "e2e_crypto_signs_total";
+/// Signature-verification cache lookups. Labels: result=hit|miss.
+inline constexpr char kCryptoVerifyCacheLookupsTotal[] =
+    "e2e_crypto_verify_cache_lookups_total";
+/// Verified-certificate-chain cache lookups (TrustStore). Labels:
+/// result=hit|miss.
+inline constexpr char kCryptoChainCacheLookupsTotal[] =
+    "e2e_crypto_chain_cache_lookups_total";
+/// Certificate TBS-encoding cache lookups. Labels: result=hit|miss.
+inline constexpr char kCryptoTbsCacheLookupsTotal[] =
+    "e2e_crypto_tbs_cache_lookups_total";
+/// Montgomery-context cache lookups. Labels: result=hit|miss.
+inline constexpr char kCryptoMontCtxLookupsTotal[] =
+    "e2e_crypto_mont_ctx_lookups_total";
+/// Verifications rejected before any arithmetic (zero/even/tiny modulus,
+/// oversized signature).
+inline constexpr char kCryptoBadKeyRejectsTotal[] =
+    "e2e_crypto_bad_key_rejects_total";
+
 // --- bb: bandwidth broker ------------------------------------------------------
 /// Admission decisions at commit time. Labels: domain,
 /// result=admitted|rejected.

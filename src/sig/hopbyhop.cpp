@@ -194,7 +194,7 @@ HopByHopEngine::validate_capabilities(Node& node, const VerifiedRar& vr,
       "Valid for Reservation in " + vr.res_spec.destination_domain;
   auto result = verify_capability_chain(*chain, cas_it->second,
                                         node.broker->public_key(),
-                                        expected_rar, at);
+                                        expected_rar, at, verify_pool_);
   if (!result.ok()) {
     log::warn("sig[" + node.broker->domain() + "]")
         << "capability chain rejected: " << result.error().to_text();

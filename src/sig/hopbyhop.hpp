@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bb/bandwidth_broker.hpp"
+#include "common/thread_pool.hpp"
 #include "crypto/sha256.hpp"
 #include "obs/trace.hpp"
 #include "policy/group_server.hpp"
@@ -126,6 +127,12 @@ class HopByHopEngine {
     /// TraceRecorder (empty when none is attached).
     std::string trace_id;
   };
+
+  /// Attach a thread pool used to verify the independent signature layers
+  /// of capability chains concurrently (see verify_capability_chain).
+  /// Pass nullptr to go back to serial verification. The pool must outlive
+  /// the engine's use; results are identical either way.
+  void set_verify_pool(ThreadPool* pool) { verify_pool_ = pool; }
 
   /// Attach a trace recorder: every reserve() then produces a per-request
   /// trace tree (root reservation span, one hop span per broker, step spans
@@ -241,6 +248,7 @@ class HopByHopEngine {
   std::uint64_t next_request_ = 1;
   Observer observer_;
   obs::TraceRecorder* tracer_ = nullptr;
+  ThreadPool* verify_pool_ = nullptr;
 };
 
 }  // namespace e2e::sig

@@ -1,0 +1,173 @@
+// Differential tests for the Montgomery fast path: every result is pinned
+// against BigUInt::modexp_reference (the pre-Montgomery square-and-multiply
+// oracle), across random operands and the edge cases the kernel special-
+// cases (base >= m, exp 0/1, single-limb moduli).
+#include "crypto/montgomery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/biguint.hpp"
+#include "obs/instruments.hpp"
+
+namespace e2e::crypto {
+namespace {
+
+BigUInt random_odd(Rng& rng, unsigned bits) {
+  BigUInt m = BigUInt::random_bits(rng, bits);
+  if (!m.is_odd()) m = m + BigUInt(1);
+  return m;
+}
+
+TEST(Montgomery, MatchesReferenceAcrossRandomOddModuli) {
+  Rng rng(20010801);
+  for (unsigned bits : {16u, 63u, 64u, 65u, 128u, 257u, 512u, 1024u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const BigUInt m = random_odd(rng, bits);
+      if (m == BigUInt(1)) continue;
+      const BigUInt base = BigUInt::random_below(rng, m);
+      const BigUInt exp = BigUInt::random_bits(rng, bits);
+      EXPECT_EQ(base.modexp(exp, m), base.modexp_reference(exp, m))
+          << "bits=" << bits << " trial=" << trial;
+    }
+  }
+}
+
+TEST(Montgomery, BaseLargerThanModulusReduces) {
+  Rng rng(7);
+  const BigUInt m = random_odd(rng, 256);
+  const BigUInt base = m * BigUInt(12345) + BigUInt(678);
+  const BigUInt exp = BigUInt::random_bits(rng, 200);
+  EXPECT_EQ(base.modexp(exp, m), base.modexp_reference(exp, m));
+}
+
+TEST(Montgomery, ExponentZeroAndOne) {
+  Rng rng(8);
+  const BigUInt m = random_odd(rng, 192);
+  const BigUInt base = BigUInt::random_below(rng, m);
+  EXPECT_EQ(base.modexp(BigUInt(0), m), BigUInt(1));
+  EXPECT_EQ(base.modexp(BigUInt(1), m), base);
+  // exp == 1 with base >= m must still reduce.
+  const BigUInt big_base = base + m;
+  EXPECT_EQ(big_base.modexp(BigUInt(1), m), base);
+}
+
+TEST(Montgomery, ZeroBase) {
+  Rng rng(9);
+  const BigUInt m = random_odd(rng, 128);
+  EXPECT_EQ(BigUInt(0).modexp(BigUInt(12345), m), BigUInt(0));
+  EXPECT_EQ(BigUInt(0).modexp(BigUInt(0), m), BigUInt(1));
+}
+
+TEST(Montgomery, SingleLimbModuli) {
+  Rng rng(10);
+  for (std::uint64_t m64 :
+       {3ull, 5ull, 65537ull, 0x7fffffffull, 0xfffffffffffffff1ull}) {
+    const BigUInt m(m64);
+    for (int trial = 0; trial < 4; ++trial) {
+      const BigUInt base = BigUInt::random_below(rng, m);
+      const BigUInt exp = BigUInt::random_bits(rng, 80);
+      EXPECT_EQ(base.modexp(exp, m), base.modexp_reference(exp, m)) << m64;
+    }
+  }
+}
+
+TEST(Montgomery, SmallPublicExponentShape) {
+  // e = 65537 is the verify-side shape: a 17-bit exponent must not pay the
+  // 4-bit-window table and must still be exact.
+  Rng rng(11);
+  const BigUInt m = random_odd(rng, 512);
+  const BigUInt base = BigUInt::random_below(rng, m);
+  const BigUInt e(65537);
+  EXPECT_EQ(base.modexp(e, m), base.modexp_reference(e, m));
+}
+
+TEST(Montgomery, EvenModulusFallsBackToReference) {
+  // BigUInt::modexp must still be correct for even moduli (reference
+  // kernel), since MontgomeryContext cannot represent them.
+  Rng rng(12);
+  BigUInt m = BigUInt::random_bits(rng, 128);
+  if (m.is_odd()) m = m + BigUInt(1);
+  const BigUInt base = BigUInt::random_below(rng, m);
+  const BigUInt exp = BigUInt::random_bits(rng, 100);
+  EXPECT_EQ(base.modexp(exp, m), base.modexp_reference(exp, m));
+}
+
+TEST(Montgomery, ContextRejectsEvenOrTrivialModulus) {
+  EXPECT_THROW(MontgomeryContext(BigUInt(0)), std::domain_error);
+  EXPECT_THROW(MontgomeryContext(BigUInt(1)), std::domain_error);
+  EXPECT_THROW(MontgomeryContext(BigUInt(4096)), std::domain_error);
+  Rng rng(13);
+  BigUInt even = BigUInt::random_bits(rng, 256);
+  if (even.is_odd()) even = even + BigUInt(1);
+  EXPECT_THROW(MontgomeryContext ctx(even), std::domain_error);
+}
+
+TEST(Montgomery, ModexpThrowsOnTrivialModulus) {
+  EXPECT_THROW(BigUInt(5).modexp(BigUInt(3), BigUInt(0)), std::domain_error);
+  EXPECT_THROW(BigUInt(5).modexp(BigUInt(3), BigUInt(1)), std::domain_error);
+}
+
+TEST(Montgomery, DomainRoundTripAndPrimitives) {
+  Rng rng(14);
+  const BigUInt m = random_odd(rng, 320);
+  const MontgomeryContext ctx(m);
+  const BigUInt a = BigUInt::random_below(rng, m);
+  const BigUInt b = BigUInt::random_below(rng, m);
+
+  // to_mont / from_mont are inverses.
+  EXPECT_EQ(ctx.from_mont(ctx.to_mont(a)), a);
+  // mul in the Montgomery domain is ordinary modular multiplication.
+  const BigUInt prod =
+      ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)));
+  EXPECT_EQ(prod, (a * b) % m);
+  // The dedicated squaring path agrees with mul(a, a).
+  EXPECT_EQ(ctx.sqr(ctx.to_mont(a)), ctx.mul(ctx.to_mont(a), ctx.to_mont(a)));
+}
+
+TEST(Montgomery, SharedContextIsReusedAndCounted) {
+  Rng rng(15);
+  const BigUInt m = random_odd(rng, 256);
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Counter& hits = registry.counter(obs::kCryptoMontCtxLookupsTotal,
+                                        {{"result", "hit"}});
+  const std::uint64_t hits_before = hits.value();
+  const auto first = MontgomeryContext::shared(m);
+  const auto second = MontgomeryContext::shared(m);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_GT(hits.value(), hits_before);
+}
+
+TEST(Montgomery, SharedCacheEvictsBeyondCapacity) {
+  Rng rng(16);
+  // Fill well past capacity with distinct moduli; every lookup must still
+  // return a working context (eviction is LRU, correctness is unaffected).
+  for (std::size_t i = 0; i < MontgomeryContext::kSharedCacheCapacity + 8;
+       ++i) {
+    const BigUInt m = random_odd(rng, 96);
+    const auto ctx = MontgomeryContext::shared(m);
+    ASSERT_NE(ctx, nullptr);
+    EXPECT_EQ(ctx->modulus(), m);
+  }
+}
+
+// Property sweep at the RSA shapes the protocol actually uses.
+class MontgomeryRsaShapes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MontgomeryRsaShapes, SignVerifyShapesMatchReference) {
+  const unsigned bits = GetParam();
+  Rng rng(1000 + bits);
+  const BigUInt m = random_odd(rng, bits);
+  const BigUInt base = BigUInt::random_below(rng, m);
+  // Private-exponent shape (full width) and public shape (65537).
+  const BigUInt d = BigUInt::random_bits(rng, bits);
+  EXPECT_EQ(base.modexp(d, m), base.modexp_reference(d, m));
+  const BigUInt e(65537);
+  EXPECT_EQ(base.modexp(e, m), base.modexp_reference(e, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, MontgomeryRsaShapes,
+                         ::testing::Values(256u, 512u, 768u, 1024u));
+
+}  // namespace
+}  // namespace e2e::crypto

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/tlv.hpp"
+#include "obs/instruments.hpp"
+
 namespace e2e::crypto {
 namespace {
 
@@ -95,6 +98,100 @@ TEST(Rsa, FingerprintStable) {
   const KeyPair other = generate_keypair(rng, 256);
   EXPECT_NE(hex_encode(digest_bytes(test_keys().pub.fingerprint())),
             hex_encode(digest_bytes(other.pub.fingerprint())));
+}
+
+TEST(Rsa, GenerateKeypairPopulatesCrt) {
+  const PrivateKey& priv = test_keys().priv;
+  ASSERT_TRUE(priv.crt.has_value());
+  const CrtParams& crt = priv.crt.value();
+  EXPECT_EQ(crt.p * crt.q, priv.n);
+  const BigUInt one(1);
+  EXPECT_EQ(crt.dp, priv.d % (crt.p - one));
+  EXPECT_EQ(crt.dq, priv.d % (crt.q - one));
+  EXPECT_EQ((crt.q * crt.qinv) % crt.p, one);
+}
+
+TEST(Rsa, CrtSignatureMatchesPlainPath) {
+  // The CRT recombination must be byte-identical to s = H^d mod n — the
+  // wire format cannot change just because the signer holds CRT params.
+  const PrivateKey plain{test_keys().priv.n, test_keys().priv.d, std::nullopt};
+  for (const char* payload :
+       {"", "RAR: 10Mb/s A->C", "a much longer reservation payload with "
+        "nested signatures and capability chains attached"}) {
+    const Bytes msg = to_bytes(payload);
+    EXPECT_EQ(sign(test_keys().priv, msg), sign(plain, msg)) << payload;
+  }
+}
+
+TEST(Rsa, CrtSignatureMatchesPlainAcrossKeySizes) {
+  for (unsigned bits : {256u, 384u, 512u}) {
+    Rng rng(9000 + bits);
+    const KeyPair kp = generate_keypair(rng, bits);
+    const PrivateKey plain{kp.priv.n, kp.priv.d, std::nullopt};
+    const Bytes msg = to_bytes("cross-size differential");
+    const Bytes crt_sig = sign(kp.priv, msg);
+    EXPECT_EQ(crt_sig, sign(plain, msg)) << bits;
+    EXPECT_TRUE(verify(kp.pub, msg, crt_sig));
+  }
+}
+
+TEST(Rsa, LegacyTwoFieldPrivateKeyStillDecodes) {
+  // Pre-CRT encodings carry only modulus + exponent; they must keep
+  // decoding (with no CRT params) and keep signing verifiably.
+  const PrivateKey legacy{test_keys().priv.n, test_keys().priv.d,
+                          std::nullopt};
+  const Bytes enc = legacy.encode();
+  const auto dec = PrivateKey::decode(enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_FALSE(dec->crt.has_value());
+  const Bytes sig = sign(*dec, to_bytes("legacy"));
+  EXPECT_TRUE(verify(test_keys().pub, to_bytes("legacy"), sig));
+}
+
+TEST(Rsa, ExtendedPrivateKeyEncodeDecodeRoundTrips) {
+  const Bytes enc = test_keys().priv.encode();
+  const auto dec = PrivateKey::decode(enc);
+  ASSERT_TRUE(dec.ok());
+  ASSERT_TRUE(dec->crt.has_value());
+  EXPECT_EQ(*dec->crt, *test_keys().priv.crt);
+  EXPECT_EQ(dec->encode(), enc);
+}
+
+TEST(Rsa, ExtendedPrivateKeyDecodeRejectsTruncatedCrt) {
+  // n, d, then only p (tag 0x0103): an incomplete CRT trailer must be an
+  // error, not a silently-plain key.
+  const PrivateKey& priv = test_keys().priv;
+  tlv::Writer w;
+  w.put_bytes(0x0101, priv.n.to_bytes());
+  w.put_bytes(0x0102, priv.d.to_bytes());
+  w.put_bytes(0x0103, priv.crt->p.to_bytes());
+  EXPECT_FALSE(PrivateKey::decode(w.take()).ok());
+}
+
+// --- Montgomery precondition guard ----------------------------------------
+
+TEST(Rsa, VerifyRejectsEvenModulus) {
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Counter& rejects =
+      registry.counter(obs::kCryptoBadKeyRejectsTotal, {});
+  const std::uint64_t before = rejects.value();
+  PublicKey bad = test_keys().pub;
+  bad.n = bad.n + BigUInt(1);  // odd RSA modulus + 1 = even
+  const Bytes msg = to_bytes("m");
+  EXPECT_FALSE(verify(bad, msg, sign(test_keys().priv, msg)));
+  EXPECT_GT(rejects.value(), before);
+}
+
+TEST(Rsa, VerifyRejectsTrivialModulus) {
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Counter& rejects =
+      registry.counter(obs::kCryptoBadKeyRejectsTotal, {});
+  for (std::uint64_t n : {0ull, 1ull}) {
+    const std::uint64_t before = rejects.value();
+    PublicKey bad{BigUInt(n), BigUInt(65537)};
+    EXPECT_FALSE(verify(bad, to_bytes("m"), Bytes{}));
+    EXPECT_GT(rejects.value(), before) << n;
+  }
 }
 
 // The paper's protocol signs many different payload shapes; sweep payload
