@@ -3,6 +3,8 @@
 # signalling-latency bench and write their results to the repo root as
 #   BENCH_crypto.json  (google-benchmark JSON for bench/micro_crypto)
 #   BENCH_fig3.json    (fig3 stdout table + metrics snapshot, wrapped)
+#   BENCH_obs.json     (google-benchmark JSON for bench/micro_obs: hot-path
+#                       overhead traced vs detached + primitive costs)
 # so successive PRs can diff the numbers.
 #
 # Usage: ./scripts/bench_snapshot.sh           (full run)
@@ -13,7 +15,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build -j --target micro_crypto fig3_signalling_latency >/dev/null
+cmake --build build -j --target micro_crypto micro_obs \
+  fig3_signalling_latency >/dev/null
 
 min_time=""
 if [[ "${SMOKE:-0}" == "1" ]]; then
@@ -22,6 +25,10 @@ fi
 
 ./build/bench/micro_crypto \
   --benchmark_out=BENCH_crypto.json --benchmark_out_format=json \
+  ${min_time:+"$min_time"} >/dev/null
+
+./build/bench/micro_obs \
+  --benchmark_out=BENCH_obs.json --benchmark_out_format=json \
   ${min_time:+"$min_time"} >/dev/null
 
 # fig3 prints a human table and drops a metrics snapshot in the cwd; fold
@@ -42,4 +49,4 @@ json.dump(doc, sys.stdout, indent=1)
 sys.stdout.write("\n")
 EOF
 
-echo "bench_snapshot: wrote BENCH_crypto.json and BENCH_fig3.json"
+echo "bench_snapshot: wrote BENCH_crypto.json, BENCH_fig3.json and BENCH_obs.json"

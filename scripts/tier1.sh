@@ -9,6 +9,10 @@
 #                                     ./build-asan via the "asan" preset)
 #        ./scripts/tier1.sh --bench  (crypto differential tests + a smoke run
 #                                     of scripts/bench_snapshot.sh)
+#        ./scripts/tier1.sh --obs    (observability contract tests, the
+#                                     trace-propagation/audit soak, a
+#                                     tracedump determinism check, and the
+#                                     micro_obs <5% hot-path overhead gate)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,6 +39,49 @@ if [[ "${1:-}" == "--soak" ]]; then
     E2E_SOAK_SEED=$seed ./build-asan/tests/sig_soak_test
   done
   echo "tier1 --soak: OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--obs" ]]; then
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target obs_test obs_propagation_soak_test \
+    micro_obs tracedump >/dev/null
+  workdir=$(mktemp -d)
+  trap 'rm -rf "$workdir"' EXIT
+
+  # Both directions of the documented telemetry contract: metrics, span
+  # schema, audit schema, TraceContext wire tags.
+  ./build/tests/obs_test --gtest_filter='TelemetryContract.*'
+
+  # Seeded propagation soak: collector tree == source-side reference tree
+  # under faults/retries, audit chain integrity + tamper detection.
+  ./build/tests/obs_propagation_soak_test
+
+  # The operator CLI must be bit-for-bit deterministic, faults included.
+  ./build/tools/tracedump --faults > "$workdir/dump.a"
+  ./build/tools/tracedump --faults > "$workdir/dump.b"
+  cmp "$workdir/dump.a" "$workdir/dump.b"
+  echo "tier1 --obs: tracedump --faults deterministic"
+
+  # Overhead gate: the fully instrumented fig3 hot path (arg 1) must stay
+  # within 5% of the recorder-detached baseline (arg 0), by median of 7.
+  ./build/bench/micro_obs --benchmark_filter='BM_Fig3HotPath' \
+    --benchmark_repetitions=7 --benchmark_report_aggregates_only=true \
+    --benchmark_out="$workdir/micro_obs.json" \
+    --benchmark_out_format=json >/dev/null
+  python3 - "$workdir/micro_obs.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+med = {b["run_name"]: b["real_time"] for b in doc["benchmarks"]
+       if b.get("aggregate_name") == "median"}
+base, traced = med["BM_Fig3HotPath/0"], med["BM_Fig3HotPath/1"]
+overhead = (traced - base) / base * 100.0
+print(f"tier1 --obs: fig3 hot path baseline={base:.1f}us "
+      f"traced={traced:.1f}us overhead={overhead:+.2f}%")
+if overhead > 5.0:
+    sys.exit("FAIL: observability overhead exceeds the 5% budget")
+EOF
+  echo "tier1 --obs: OK"
   exit 0
 fi
 

@@ -1,6 +1,7 @@
 #include "bb/bandwidth_broker.hpp"
 
 #include "common/logging.hpp"
+#include "obs/audit.hpp"
 #include "obs/instruments.hpp"
 
 namespace e2e::bb {
@@ -103,12 +104,28 @@ Result<ReservationId> BandwidthBroker::commit(const ResSpec& spec,
                  {{"domain", config_.domain}, {"result", result}})
         .increment();
   };
+  // Audit every accept/reject with the residual local capacity the decision
+  // left behind; the record joins the caller's active admission span.
+  auto audit_admission = [&](const char* result, const std::string& reason) {
+    std::vector<std::pair<std::string, std::string>> fields;
+    fields.emplace_back("result", result);
+    fields.emplace_back("user", spec.user);
+    fields.emplace_back("rate_bits_per_s",
+                        std::to_string(spec.rate_bits_per_s));
+    fields.emplace_back(
+        "residual_bits_per_s",
+        std::to_string(local_pool_.headroom(spec.interval)));
+    if (!reason.empty()) fields.emplace_back("reason", reason);
+    obs::AuditLog::global().append(config_.domain, obs::audit_kind::kAdmission,
+                                   std::move(fields));
+  };
   std::unique_lock lock(mutex_);
   ++counters_.requests;
   auto admissible = check_admission_locked(spec, from_domain);
   if (!admissible.ok()) {
     ++counters_.denied_admission;
     count_admission("rejected");
+    audit_admission("rejected", admissible.error().message);
     return admissible.error();
   }
   const ReservationId id =
@@ -117,6 +134,7 @@ Result<ReservationId> BandwidthBroker::commit(const ResSpec& spec,
   if (!local.ok()) {
     ++counters_.denied_admission;
     count_admission("rejected");
+    audit_admission("rejected", local.error().message);
     return local.error();
   }
   if (!from_domain.empty()) {
@@ -126,6 +144,7 @@ Result<ReservationId> BandwidthBroker::commit(const ResSpec& spec,
       (void)local_pool_.release(id);  // rollback
       ++counters_.denied_admission;
       count_admission("rejected");
+      audit_admission("rejected", peer.error().message);
       return peer.error();
     }
   }
@@ -133,6 +152,7 @@ Result<ReservationId> BandwidthBroker::commit(const ResSpec& spec,
   reservations_.emplace(id, resv);
   ++counters_.granted;
   count_admission("admitted");
+  audit_admission("admitted", "");
   registry
       .counter(obs::kBbReservationsCommittedTotal,
                {{"domain", config_.domain}})

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bb/bandwidth_broker.hpp"
+#include "obs/collector.hpp"
 #include "obs/trace.hpp"
 #include "policy/cas.hpp"
 #include "policy/group_server.hpp"
@@ -130,6 +131,17 @@ class ChainWorld {
     // Every hop-by-hop reservation in this world records a trace tree
     // (keyed by Outcome::trace_id) into the world-owned recorder.
     engine_.set_trace_recorder(&tracer_);
+    source_engine_.set_trace_recorder(&tracer_);
+    // Each domain also records into its own recorder; cross-domain linkage
+    // travels in the transport envelope and collect() stitches the exports
+    // back into end-to-end trees.
+    domain_tracers_.reserve(config.domains);
+    for (std::size_t i = 0; i < config.domains; ++i) {
+      domain_tracers_.push_back(std::make_unique<obs::TraceRecorder>());
+      engine_.set_domain_trace_recorder(names_[i], domain_tracers_[i].get());
+      source_engine_.set_domain_trace_recorder(names_[i],
+                                               domain_tracers_[i].get());
+    }
     // Fault model + retry policy (no-ops for the default clean config).
     fabric_.seed_faults(config.fault_seed);
     if (config.fault_profile.any()) {
@@ -222,6 +234,16 @@ class ChainWorld {
   sig::HopByHopEngine& engine() { return engine_; }
   sig::SourceDomainEngine& source_engine() { return source_engine_; }
   obs::TraceRecorder& tracer() { return tracer_; }
+  obs::TraceRecorder& domain_tracer(std::size_t i) {
+    return *domain_tracers_.at(i);
+  }
+  /// Ingest every domain's export into `collector` (the destination side
+  /// of distributed tracing; call after the reservations of interest).
+  void collect(obs::SpanCollector& collector) const {
+    for (std::size_t i = 0; i < domain_tracers_.size(); ++i) {
+      collector.ingest(names_[i], *domain_tracers_[i]);
+    }
+  }
   Rng& rng() { return rng_; }
 
  private:
@@ -236,6 +258,7 @@ class ChainWorld {
   sig::HopByHopEngine engine_;
   sig::SourceDomainEngine source_engine_;
   obs::TraceRecorder tracer_;
+  std::vector<std::unique_ptr<obs::TraceRecorder>> domain_tracers_;
 };
 
 }  // namespace e2e::kit

@@ -52,6 +52,16 @@ std::vector<MetricInfo> build_catalog() {
        "Packets dropped by a policer or a full queue"},
       {kNetPacketsEmittedTotal, MetricType::kCounter, kOne, {},
        "Packets emitted by traffic sources"},
+      {kObsAuditRecordsTotal, MetricType::kCounter, kOne, {"kind"},
+       "Audit records appended to the hash-chained audit log"},
+      {kObsDroppedLabelsTotal, MetricType::kCounter, kOne, {"metric"},
+       "Series lookups routed to the overflow series by the cardinality "
+       "cap"},
+      {kObsTraceCtxBytesTotal, MetricType::kCounter, "bytes", {},
+       "Unsigned-envelope bytes spent carrying trace context"},
+      {kObsTraceCtxPropagatedTotal, MetricType::kCounter, kOne, {},
+       "Trace contexts propagated across the fabric on the unsigned "
+       "envelope"},
       {kPolicyDecisionsTotal, MetricType::kCounter, kOne,
        {"decision", "domain"},
        "Policy-server decisions"},
@@ -97,6 +107,13 @@ std::vector<MetricInfo> build_catalog() {
        },
       {kSigTrustVerificationsTotal, MetricType::kCounter, kOne, {"result"},
        "RAR trust verifications (transitive trust or direct user auth)"},
+      {kSloBreachesTotal, MetricType::kCounter, kOne, {"objective"},
+       "Objective evaluations that found at least one budget exceeded"},
+      {kSloEvaluationsTotal, MetricType::kCounter, kOne, {"result"},
+       "SLO objective evaluations performed"},
+      {kSloLatencyQuantileUs, MetricType::kGauge, kUs,
+       {"objective", "quantile"},
+       "Latest estimated latency quantile per objective"},
   };
 }
 

@@ -100,6 +100,33 @@ inline constexpr char kCryptoMontCtxLookupsTotal[] =
 inline constexpr char kCryptoBadKeyRejectsTotal[] =
     "e2e_crypto_bad_key_rejects_total";
 
+// --- obs: the observability plane itself -------------------------------------
+/// Trace contexts carried across the fabric on the unsigned envelope.
+inline constexpr char kObsTraceCtxPropagatedTotal[] =
+    "e2e_obs_trace_ctx_propagated_total";
+/// Envelope bytes spent on trace context (out-of-band; not counted in
+/// e2e_sig_fabric_bytes_total, which tracks only protocol payload).
+inline constexpr char kObsTraceCtxBytesTotal[] =
+    "e2e_obs_trace_ctx_bytes_total";
+/// Series lookups routed to the overflow series by the registry's
+/// cardinality cap. Labels: metric=<family that overflowed>.
+inline constexpr char kObsDroppedLabelsTotal[] =
+    "e2e_obs_dropped_labels_total";
+/// Audit records appended to the hash chain. Labels:
+/// kind=peer_auth|verify|policy|delegation|admission.
+inline constexpr char kObsAuditRecordsTotal[] =
+    "e2e_obs_audit_records_total";
+
+// --- slo: objective evaluation ------------------------------------------------
+/// Latest estimated latency quantile per objective (us of virtual time).
+/// Labels: objective, quantile=p50|p95|p99.
+inline constexpr char kSloLatencyQuantileUs[] = "e2e_slo_latency_quantile_us";
+/// Objective evaluations that found at least one budget exceeded. Labels:
+/// objective.
+inline constexpr char kSloBreachesTotal[] = "e2e_slo_breaches_total";
+/// Objective evaluations performed. Labels: result=ok|breach|no_data.
+inline constexpr char kSloEvaluationsTotal[] = "e2e_slo_evaluations_total";
+
 // --- bb: bandwidth broker ------------------------------------------------------
 /// Admission decisions at commit time. Labels: domain,
 /// result=admitted|rejected.

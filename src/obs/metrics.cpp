@@ -129,11 +129,32 @@ MetricsRegistry::Family& MetricsRegistry::family_locked(
   return family;
 }
 
+template <typename Map>
+Labels MetricsRegistry::capped_labels_locked(const std::string& name,
+                                             const Map& series,
+                                             Labels labels) {
+  labels = sorted(std::move(labels));
+  if (series.size() < series_limit_ || series.count(labels) != 0 ||
+      name == kObsDroppedLabelsTotal) {
+    return labels;
+  }
+  // Family full and this is a new label set: account the drop and route
+  // the caller to the shared overflow series. The dropped-labels counter
+  // is created directly (same lock) — counter() here would deadlock.
+  Family& dropped =
+      family_locked(kObsDroppedLabelsTotal, MetricType::kCounter);
+  auto& slot = dropped.counters[Labels{{"metric", name}}];
+  if (!slot) slot = std::make_unique<Counter>();
+  slot->increment();
+  return Labels{{"overflow", "other"}};
+}
+
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const Labels& labels) {
   std::lock_guard lock(mutex_);
   Family& family = family_locked(name, MetricType::kCounter);
-  auto& slot = family.counters[sorted(labels)];
+  auto& slot =
+      family.counters[capped_labels_locked(name, family.counters, labels)];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
@@ -141,7 +162,8 @@ Counter& MetricsRegistry::counter(const std::string& name,
 Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
   std::lock_guard lock(mutex_);
   Family& family = family_locked(name, MetricType::kGauge);
-  auto& slot = family.gauges[sorted(labels)];
+  auto& slot =
+      family.gauges[capped_labels_locked(name, family.gauges, labels)];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
@@ -150,13 +172,25 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const Labels& labels) {
   std::lock_guard lock(mutex_);
   Family& family = family_locked(name, MetricType::kHistogram);
-  auto& slot = family.histograms[sorted(labels)];
+  auto& slot =
+      family.histograms[capped_labels_locked(name, family.histograms,
+                                             labels)];
   if (!slot) {
     slot = family.metadata.buckets.empty()
                ? std::make_unique<Histogram>()
                : std::make_unique<Histogram>(family.metadata.buckets);
   }
   return *slot;
+}
+
+void MetricsRegistry::set_series_limit(std::size_t limit) {
+  std::lock_guard lock(mutex_);
+  series_limit_ = limit == 0 ? 1 : limit;
+}
+
+std::size_t MetricsRegistry::series_limit() const {
+  std::lock_guard lock(mutex_);
+  return series_limit_;
 }
 
 std::vector<std::string> MetricsRegistry::exported_names() const {

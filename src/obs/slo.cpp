@@ -1,0 +1,181 @@
+#include "obs/slo.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "obs/instruments.hpp"
+
+namespace e2e::obs {
+
+namespace {
+
+std::string format_us(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+std::string format_rate(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+double estimate_quantile(const Histogram::Snapshot& snapshot, double q) {
+  if (snapshot.count == 0 || snapshot.bounds.empty()) return 0;
+  const double target = q * static_cast<double>(snapshot.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < snapshot.bounds.size(); ++i) {
+    const std::uint64_t before = cumulative;
+    cumulative += snapshot.counts[i];
+    if (static_cast<double>(cumulative) >= target) {
+      const double lower = i == 0 ? 0 : snapshot.bounds[i - 1];
+      const double upper = snapshot.bounds[i];
+      const double in_bucket = static_cast<double>(snapshot.counts[i]);
+      if (in_bucket <= 0) return upper;
+      const double fraction = (target - static_cast<double>(before)) /
+                              in_bucket;
+      return lower + fraction * (upper - lower);
+    }
+  }
+  // Overflow bucket: all we know is "above the last bound"; clamp.
+  return snapshot.bounds.back();
+}
+
+void SloTracker::add(SloSpec spec) { specs_.push_back(std::move(spec)); }
+
+SloTracker SloTracker::with_default_objectives(
+    const std::vector<std::string>& domains) {
+  SloTracker tracker;
+  for (const char* engine : {"hopbyhop", "source", "tunnel"}) {
+    SloSpec spec;
+    spec.objective = std::string("e2e.") + engine;
+    spec.latency_metric = kSigE2eLatencyUs;
+    spec.latency_labels = {{"engine", engine}};
+    spec.p50_budget_us = 200000;
+    spec.p95_budget_us = 500000;
+    spec.p99_budget_us = 1000000;
+    spec.bad_metric = kSigRarOutcomesTotal;
+    spec.bad_labels = {{"engine", engine}, {"outcome", "denied"}};
+    spec.total_metric = kSigRarRequestsTotal;
+    spec.total_labels = {{"engine", engine}};
+    spec.max_error_rate = 0.5;
+    spec.setup_budget_us = 1000000;
+    tracker.add(std::move(spec));
+  }
+  for (const std::string& domain : domains) {
+    SloSpec spec;
+    spec.objective = "hop." + domain;
+    spec.latency_metric = kSigHopProcessingUs;
+    spec.latency_labels = {{"domain", domain}};
+    spec.p50_budget_us = 100000;
+    spec.p95_budget_us = 200000;
+    spec.p99_budget_us = 500000;
+    tracker.add(std::move(spec));
+  }
+  return tracker;
+}
+
+std::vector<SloReport> SloTracker::evaluate(MetricsRegistry& registry) const {
+  std::vector<SloReport> reports;
+  reports.reserve(specs_.size());
+  for (const SloSpec& spec : specs_) {
+    SloReport report;
+    report.objective = spec.objective;
+    if (!spec.latency_metric.empty()) {
+      const Histogram::Snapshot snapshot =
+          registry.histogram(spec.latency_metric, spec.latency_labels)
+              .snapshot();
+      if (snapshot.count > 0) {
+        report.has_data = true;
+        report.p50_us = estimate_quantile(snapshot, 0.50);
+        report.p95_us = estimate_quantile(snapshot, 0.95);
+        report.p99_us = estimate_quantile(snapshot, 0.99);
+        const auto check = [&](const char* q, double value, double budget) {
+          if (budget > 0 && value > budget) {
+            report.breaches.push_back(std::string(q) + " " +
+                                      format_us(value) + "us > budget " +
+                                      format_us(budget) + "us");
+          }
+          registry
+              .gauge(kSloLatencyQuantileUs,
+                     {{"objective", spec.objective}, {"quantile", q}})
+              .set(value);
+        };
+        check("p50", report.p50_us, spec.p50_budget_us);
+        check("p95", report.p95_us, spec.p95_budget_us);
+        check("p99", report.p99_us, spec.p99_budget_us);
+      }
+    }
+    if (spec.max_error_rate >= 0 && !spec.total_metric.empty()) {
+      const double total = static_cast<double>(
+          registry.counter(spec.total_metric, spec.total_labels).value());
+      if (total > 0) {
+        report.has_data = true;
+        const double bad = static_cast<double>(
+            registry.counter(spec.bad_metric, spec.bad_labels).value());
+        report.error_rate = bad / total;
+        if (report.error_rate > spec.max_error_rate) {
+          report.breaches.push_back(
+              "error rate " + format_rate(report.error_rate) + " > budget " +
+              format_rate(spec.max_error_rate));
+        }
+      }
+    }
+    const char* result = !report.has_data ? "no_data"
+                         : report.ok()    ? "ok"
+                                          : "breach";
+    registry.counter(kSloEvaluationsTotal, {{"result", result}}).increment();
+    if (report.has_data && !report.ok()) {
+      registry
+          .counter(kSloBreachesTotal, {{"objective", spec.objective}})
+          .increment();
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+std::string SloTracker::setup_verdict(const std::string& objective,
+                                      const Span& root) const {
+  for (const SloSpec& spec : specs_) {
+    if (spec.objective != objective || spec.setup_budget_us <= 0) continue;
+    const double duration = static_cast<double>(root.duration());
+    const bool ok = duration <= spec.setup_budget_us;
+    return "setup " + objective + ": " + format_us(duration) +
+           "us <= budget " + format_us(spec.setup_budget_us) + "us [" +
+           (ok ? "OK" : "BREACH") + "]";
+  }
+  return "";
+}
+
+std::string SloTracker::render(const std::vector<SloReport>& reports) {
+  std::ostringstream out;
+  for (const SloReport& report : reports) {
+    out << report.objective << "  ";
+    if (!report.has_data) {
+      out << "no data\n";
+      continue;
+    }
+    out << "p50=" << format_us(report.p50_us)
+        << "us p95=" << format_us(report.p95_us)
+        << "us p99=" << format_us(report.p99_us)
+        << "us err=" << format_rate(report.error_rate) << "  ";
+    if (report.ok()) {
+      out << "[OK]";
+    } else {
+      out << "[BREACH:";
+      for (const std::string& breach : report.breaches) {
+        out << " " << breach << ";";
+      }
+      out << "]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace e2e::obs

@@ -1,0 +1,92 @@
+// Service-level objectives over the virtual clock.
+//
+// An SloSpec names an objective and binds it to registry series: latency
+// quantile budgets (p50/p95/p99, estimated from a histogram series by
+// linear interpolation inside the bucket), an error-rate window (bad
+// counter / total counter), and a per-RAR setup-time budget checked
+// against a trace's root span. SloTracker::evaluate() reads the registry,
+// surfaces verdicts back into it (e2e_slo_* gauges and counters) and
+// returns structured reports; tools/tracedump renders them next to the
+// collected trace tree.
+//
+// All quantities are microseconds of virtual time (common/clock.hpp), so
+// verdicts are deterministic and assertable in tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace e2e::obs {
+
+struct SloSpec {
+  std::string objective;  // e.g. "e2e.hopbyhop", "hop.DomainB"
+
+  // Latency budgets (0 = not checked) read from one histogram series.
+  std::string latency_metric;
+  Labels latency_labels;
+  double p50_budget_us = 0;
+  double p95_budget_us = 0;
+  double p99_budget_us = 0;
+
+  // Error-rate window (max_error_rate < 0 = not checked): bad / total.
+  std::string bad_metric;
+  Labels bad_labels;
+  std::string total_metric;
+  Labels total_labels;
+  double max_error_rate = -1;
+
+  // Per-RAR setup budget (0 = not checked), applied to a trace root span.
+  double setup_budget_us = 0;
+};
+
+struct SloReport {
+  std::string objective;
+  bool has_data = false;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double error_rate = 0;
+  std::vector<std::string> breaches;  // human-readable budget violations
+
+  bool ok() const { return breaches.empty(); }
+};
+
+/// Estimate the q-quantile (0 < q < 1) of a histogram snapshot by linear
+/// interpolation within the containing bucket; observations above the last
+/// bound clamp to it. Returns 0 for an empty histogram.
+double estimate_quantile(const Histogram::Snapshot& snapshot, double q);
+
+class SloTracker {
+ public:
+  void add(SloSpec spec);
+  const std::vector<SloSpec>& specs() const { return specs_; }
+
+  /// Default objectives for the signalling plane: one end-to-end latency +
+  /// error-rate objective per engine (hopbyhop, source, tunnel) plus a
+  /// per-domain hop-processing objective for each domain given.
+  static SloTracker with_default_objectives(
+      const std::vector<std::string>& domains);
+
+  /// Evaluate every spec against `registry`, publish the verdicts
+  /// (e2e_slo_latency_quantile_us, e2e_slo_breaches_total,
+  /// e2e_slo_evaluations_total) and return the reports in spec order.
+  std::vector<SloReport> evaluate(MetricsRegistry& registry) const;
+
+  /// Check one reservation's wall time (root span of a collected trace)
+  /// against the matching objective's setup budget. Returns a one-line
+  /// verdict, or "" when no objective with a setup budget matches.
+  std::string setup_verdict(const std::string& objective,
+                            const Span& root) const;
+
+  /// Render reports as an aligned text table (one line per objective).
+  static std::string render(const std::vector<SloReport>& reports);
+
+ private:
+  std::vector<SloSpec> specs_;
+};
+
+}  // namespace e2e::obs

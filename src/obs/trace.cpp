@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 namespace e2e::obs {
 
@@ -22,6 +23,10 @@ std::string json_escape(const std::string& s) {
 }
 
 }  // namespace
+
+std::string TraceContext::remote_parent_ref() const {
+  return origin + ":" + std::to_string(span_id);
+}
 
 const std::string* Span::attribute(std::string_view key) const {
   for (const auto& [k, v] : attributes) {
@@ -154,5 +159,99 @@ std::string TraceRecorder::to_json(const std::string& trace_id) const {
   out << "]}";
   return out.str();
 }
+
+SpanScope::SpanScope(TraceRecorder* primary, TraceRecorder* secondary,
+                     const std::string& trace_id, const std::string& name,
+                     SpanId primary_parent, SpanId secondary_parent,
+                     const SimTime* cursor)
+    : primary_(primary), secondary_(secondary), cursor_(cursor),
+      finished_(false) {
+  const SimTime start = cursor_ ? *cursor_ : 0;
+  if (primary_) {
+    primary_id_ = primary_->begin_span(trace_id, name, primary_parent, start);
+  }
+  if (secondary_) {
+    secondary_id_ =
+        secondary_->begin_span(trace_id, name, secondary_parent, start);
+  }
+}
+
+SpanScope::~SpanScope() { finish(); }
+
+SpanScope::SpanScope(SpanScope&& other) noexcept
+    : primary_(other.primary_),
+      secondary_(other.secondary_),
+      primary_id_(other.primary_id_),
+      secondary_id_(other.secondary_id_),
+      cursor_(other.cursor_),
+      finished_(other.finished_) {
+  other.finished_ = true;
+}
+
+SpanScope& SpanScope::operator=(SpanScope&& other) noexcept {
+  if (this != &other) {
+    finish();
+    primary_ = other.primary_;
+    secondary_ = other.secondary_;
+    primary_id_ = other.primary_id_;
+    secondary_id_ = other.secondary_id_;
+    cursor_ = other.cursor_;
+    finished_ = other.finished_;
+    other.finished_ = true;
+  }
+  return *this;
+}
+
+void SpanScope::annotate(const std::string& key, const std::string& value) {
+  if (primary_ && primary_id_ != 0) primary_->annotate(primary_id_, key, value);
+  if (secondary_ && secondary_id_ != 0) {
+    secondary_->annotate(secondary_id_, key, value);
+  }
+}
+
+void SpanScope::annotate_secondary(const std::string& key,
+                                   const std::string& value) {
+  if (secondary_ && secondary_id_ != 0) {
+    secondary_->annotate(secondary_id_, key, value);
+  }
+}
+
+void SpanScope::fail(const std::string& reason) {
+  if (primary_ && primary_id_ != 0) primary_->fail_span(primary_id_, reason);
+  if (secondary_ && secondary_id_ != 0) {
+    secondary_->fail_span(secondary_id_, reason);
+  }
+}
+
+void SpanScope::finish() {
+  if (finished_) return;
+  finish_at(cursor_ ? *cursor_ : 0);
+}
+
+void SpanScope::finish_at(SimTime end) {
+  if (finished_) return;
+  finished_ = true;
+  if (primary_ && primary_id_ != 0) primary_->end_span(primary_id_, end);
+  if (secondary_ && secondary_id_ != 0) {
+    secondary_->end_span(secondary_id_, end);
+  }
+}
+
+namespace {
+
+SpanRef& thread_span_ref() {
+  thread_local SpanRef ref;
+  return ref;
+}
+
+}  // namespace
+
+const SpanRef& current_span_ref() { return thread_span_ref(); }
+
+CurrentSpan::CurrentSpan(SpanRef ref) : saved_(thread_span_ref()) {
+  thread_span_ref() = std::move(ref);
+}
+
+CurrentSpan::~CurrentSpan() { thread_span_ref() = std::move(saved_); }
 
 }  // namespace e2e::obs

@@ -26,6 +26,24 @@ namespace e2e::obs {
 /// Recorder-local span handle; 0 is "no span" (safe to pass as a parent).
 using SpanId = std::uint64_t;
 
+/// Wire trace context, W3C-traceparent style, carried hop to hop in the
+/// *unsigned* transport envelope (sig/transport.hpp) so the signed RAR
+/// bytes — and therefore signatures, digests and grants — are untouched.
+/// Each receiving broker parents its local hop span under
+/// `origin`:`span_id` via the `remote.parent` span attribute, and
+/// obs/collector.hpp stitches the per-domain exports back into one tree.
+struct TraceContext {
+  std::string trace_id;       // end-to-end request id, e.g. "rar-7"
+  std::string origin;         // domain whose recorder owns `span_id`
+  std::uint64_t span_id = 0;  // remote parent span (root of the trace)
+  std::uint32_t hop_count = 0;  // hops traversed before this transmission
+  bool sampled = true;        // false = downstream hops skip recording
+
+  bool valid() const { return !trace_id.empty() && span_id != 0; }
+  /// "Origin:span_id" — the value local spans store under `remote.parent`.
+  std::string remote_parent_ref() const;
+};
+
 struct Span {
   SpanId id = 0;
   SpanId parent = 0;  // 0 = root of its trace
@@ -80,6 +98,79 @@ class TraceRecorder {
   SpanId next_id_ = 1;
 
   Span* find_locked(SpanId id);
+};
+
+/// RAII span guard that mirrors one logical span into up to two recorders:
+/// the engine-wide "reference" recorder (primary) and the processing
+/// domain's local recorder (secondary) whose export the collector merges.
+/// The constructor opens the span(s) at `*cursor`; the destructor closes
+/// them at the *current* `*cursor` value, so early returns no longer leak
+/// spans with end == start. Either recorder may be null.
+class SpanScope {
+ public:
+  SpanScope() = default;  // inactive
+  SpanScope(TraceRecorder* primary, TraceRecorder* secondary,
+            const std::string& trace_id, const std::string& name,
+            SpanId primary_parent, SpanId secondary_parent,
+            const SimTime* cursor);
+  ~SpanScope();
+  SpanScope(SpanScope&& other) noexcept;
+  SpanScope& operator=(SpanScope&& other) noexcept;
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// Record the attribute on both mirrors.
+  void annotate(const std::string& key, const std::string& value);
+  /// Record the attribute on the local (secondary) mirror only — used for
+  /// collector-linking attributes (`remote.parent`, `hop.index`) that must
+  /// not perturb the reference recorder's export.
+  void annotate_secondary(const std::string& key, const std::string& value);
+  /// Mark both mirrors failed with `reason`.
+  void fail(const std::string& reason);
+  /// Close now, at `*cursor`. Idempotent; the destructor then does nothing.
+  void finish();
+  /// Close at an explicit virtual time (e.g. a reply arrival).
+  void finish_at(SimTime end);
+
+  SpanId id() const { return primary_id_; }
+  SpanId secondary_id() const { return secondary_id_; }
+  bool active() const { return !finished_ && (primary_ || secondary_); }
+
+ private:
+  TraceRecorder* primary_ = nullptr;
+  TraceRecorder* secondary_ = nullptr;
+  SpanId primary_id_ = 0;
+  SpanId secondary_id_ = 0;
+  const SimTime* cursor_ = nullptr;
+  bool finished_ = true;
+};
+
+/// The trace/span the current thread is processing, so deep call sites
+/// (policy server, bandwidth broker) can join their audit records to the
+/// active span without threading ids through every signature.
+struct SpanRef {
+  std::string trace_id;
+  std::uint64_t span_id = 0;
+  SimTime at = 0;  // virtual time of the enclosing processing step
+
+  bool valid() const { return !trace_id.empty() && span_id != 0; }
+};
+
+/// Thread-local active span; a default-constructed (invalid) ref when no
+/// CurrentSpan scope is open on this thread.
+const SpanRef& current_span_ref();
+
+/// RAII push/pop of the thread-local SpanRef (nests; restores the previous
+/// ref on destruction).
+class CurrentSpan {
+ public:
+  explicit CurrentSpan(SpanRef ref);
+  ~CurrentSpan();
+  CurrentSpan(const CurrentSpan&) = delete;
+  CurrentSpan& operator=(const CurrentSpan&) = delete;
+
+ private:
+  SpanRef saved_;
 };
 
 }  // namespace e2e::obs

@@ -1,6 +1,7 @@
 #include "policy/policy_server.hpp"
 
 #include "common/logging.hpp"
+#include "obs/audit.hpp"
 #include "obs/instruments.hpp"
 
 namespace e2e::policy {
@@ -13,6 +14,17 @@ PolicyReply PolicyServer::decide(const EvalContext& ctx) const {
                  {{"decision", decision}, {"domain", domain_}})
         .increment();
   };
+  // Every evaluation is audited: the decision, the policy line that
+  // produced it (0 = no rule fired), and a denial reason when there is one.
+  auto audit_policy = [&](const char* decision, int rule_line,
+                          const std::string& reason) {
+    std::vector<std::pair<std::string, std::string>> fields;
+    fields.emplace_back("decision", decision);
+    fields.emplace_back("rule_line", std::to_string(rule_line));
+    if (!reason.empty()) fields.emplace_back("reason", reason);
+    obs::AuditLog::global().append(domain_, obs::audit_kind::kPolicy,
+                                   std::move(fields));
+  };
   PolicyReply reply;
   auto ev = policy_.evaluate(ctx);
   if (!ev.ok()) {
@@ -23,6 +35,7 @@ PolicyReply PolicyServer::decide(const EvalContext& ctx) const {
         .counter(obs::kPolicyEvalFailuresTotal, {{"domain", domain_}})
         .increment();
     count_decision("deny");
+    audit_policy("deny", 0, reply.reason);
     return reply;
   }
   reply.decision = ev->decision == Decision::kNoDecision ? Decision::kDeny
@@ -40,6 +53,8 @@ PolicyReply PolicyServer::decide(const EvalContext& ctx) const {
     }
   }
   count_decision(reply.decision == Decision::kGrant ? "grant" : "deny");
+  audit_policy(reply.decision == Decision::kGrant ? "grant" : "deny",
+               ev->decided_at_line, reply.reason);
   log::info("policy[" + domain_ + "]")
       << "decision=" << to_string(reply.decision)
       << (reply.reason.empty() ? "" : " reason=" + reply.reason);

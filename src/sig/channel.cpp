@@ -3,7 +3,9 @@
 #include "common/tlv.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/audit.hpp"
 #include "obs/instruments.hpp"
+#include "obs/trace.hpp"
 
 namespace e2e::sig {
 
@@ -85,6 +87,22 @@ Result<SessionPair> handshake(const ChannelEndpoint& initiator,
         .counter(obs::kSigChannelHandshakesTotal, {{"result", result}})
         .increment();
   };
+  // Audit the mutual authentication — but only when a span is active:
+  // world-setup handshakes (SLA peering before any RAR exists) would
+  // otherwise flood the log with records that join to no trace.
+  auto audit_peer_auth = [&](const char* result, const std::string& reason) {
+    if (!obs::current_span_ref().valid()) return;
+    std::vector<std::pair<std::string, std::string>> fields;
+    fields.emplace_back("result", result);
+    fields.emplace_back("initiator",
+                        initiator.certificate.subject().to_string());
+    fields.emplace_back("responder",
+                        responder.certificate.subject().to_string());
+    if (!reason.empty()) fields.emplace_back("reason", reason);
+    obs::AuditLog::global().append(
+        initiator.certificate.subject().to_string(),
+        obs::audit_kind::kPeerAuth, std::move(fields));
+  };
   // Hello nonces.
   Bytes nonce_i(32), nonce_r(32);
   for (auto& b : nonce_i) b = static_cast<std::uint8_t>(rng.next_u64());
@@ -104,12 +122,14 @@ Result<SessionPair> handshake(const ChannelEndpoint& initiator,
       validate_peer(initiator, responder.certificate, transcript, proof_r, at);
   if (!check_r.ok()) {
     count_handshake("fail");
+    audit_peer_auth("fail", check_r.error().message);
     return check_r.error();
   }
   auto check_i =
       validate_peer(responder, initiator.certificate, transcript, proof_i, at);
   if (!check_i.ok()) {
     count_handshake("fail");
+    audit_peer_auth("fail", check_i.error().message);
     return check_i.error();
   }
 
@@ -129,6 +149,7 @@ Result<SessionPair> handshake(const ChannelEndpoint& initiator,
   pair.initiator = Session(responder.certificate, i_to_r, r_to_i);
   pair.responder = Session(initiator.certificate, r_to_i, i_to_r);
   count_handshake("ok");
+  audit_peer_auth("ok", "");
   return pair;
 }
 

@@ -4,6 +4,9 @@
 #include <future>
 #include <optional>
 
+#include "obs/audit.hpp"
+#include "obs/trace.hpp"
+
 namespace e2e::sig {
 
 crypto::Certificate delegate_capability(
@@ -12,9 +15,24 @@ crypto::Certificate delegate_capability(
     const crypto::DistinguishedName& delegate_dn,
     const crypto::PublicKey& delegate_key, const std::string& rar_restriction,
     TimeInterval validity, std::uint64_t serial) {
-  return build_delegation(parent, delegate_dn, delegate_key, rar_restriction,
-                          validity, serial)
-      .sign_with(parent_subject_key);
+  crypto::Certificate delegated =
+      build_delegation(parent, delegate_dn, delegate_key, rar_restriction,
+                       validity, serial)
+          .sign_with(parent_subject_key);
+  // Audited only when a span is active: the user-side delegation that
+  // seeds a request happens before any RAR exists and would join no
+  // trace. Broker re-issues mid-reservation audit at their call sites
+  // with the processing span open (sig/hopbyhop.cpp).
+  if (obs::current_span_ref().valid()) {
+    obs::AuditLog::global().append(
+        parent.subject().to_string(), obs::audit_kind::kDelegation,
+        {{"issuer", parent.subject().to_string()},
+         {"subject", delegate_dn.to_string()},
+         {"serial", std::to_string(serial)},
+         {"restriction", delegated.extension_value(crypto::kExtValidForRar)
+                             .value_or("")}});
+  }
+  return delegated;
 }
 
 crypto::Certificate::Builder build_delegation(

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/logging.hpp"
+#include "obs/audit.hpp"
 #include "obs/instruments.hpp"
 #include "sig/context_builder.hpp"
 #include "sig/delegation.hpp"
@@ -103,6 +104,13 @@ void HopByHopEngine::set_trust_policy(const std::string& domain,
                                       const TrustPolicy& policy) {
   if (Node* node = find_node(domain)) {
     node->options.trust_policy = policy;
+  }
+}
+
+void HopByHopEngine::set_domain_trace_recorder(const std::string& domain,
+                                               obs::TraceRecorder* recorder) {
+  if (Node* node = find_node(domain)) {
+    node->recorder = recorder;
   }
 }
 
@@ -236,15 +244,17 @@ Result<HopByHopEngine::Outcome> HopByHopEngine::reserve(
 
   Outcome outcome;
   outcome.trace_id = "rar-" + std::to_string(next_request_++);
-  obs::SpanId root = 0;
-  if (tracer_ != nullptr) {
-    root = tracer_->begin_span(outcome.trace_id, "reservation", 0, at);
+  // Dual-recorded root: the engine-wide reference recorder plus the source
+  // domain's own recorder, whose span id seeds the wire trace context.
+  const SimTime submitted = at;
+  obs::SpanScope root(tracer_, source->recorder, outcome.trace_id,
+                      "reservation", 0, 0, &submitted);
+  {
     const bb::ResSpec& spec = user_msg.user_layer().res_spec;
-    tracer_->annotate(root, "user", spec.user);
-    tracer_->annotate(root, "source", spec.source_domain);
-    tracer_->annotate(root, "destination", spec.destination_domain);
-    tracer_->annotate(root, "rate_bits_per_s",
-                      std::to_string(spec.rate_bits_per_s));
+    root.annotate("user", spec.user);
+    root.annotate("source", spec.source_domain);
+    root.annotate("destination", spec.destination_domain);
+    root.annotate("rate_bits_per_s", std::to_string(spec.rate_bits_per_s));
   }
 
   // User <-> source BB exchange (request + final answer).
@@ -252,22 +262,24 @@ Result<HopByHopEngine::Outcome> HopByHopEngine::reserve(
   fabric_->record_message("user", source_domain, user_msg.wire_size());
   outcome.messages++;
 
-  TraceCtx trace{outcome.trace_id, root,
-                 at + source->options.user_link_latency};
+  TraceCtx trace;
+  trace.trace_id = outcome.trace_id;
+  trace.root = root.id();
+  trace.arrival = at + source->options.user_link_latency;
+  trace.local_parent = root.secondary_id();
+  trace.wire = obs::TraceContext{outcome.trace_id, source_domain,
+                                 root.secondary_id(), 0, true};
   outcome.reply = process(source_domain, user_msg, /*from_domain=*/"", at,
                           outcome, trace);
   fabric_->record_message(source_domain, "user", 64);
   outcome.messages++;
 
-  if (tracer_ != nullptr) {
-    if (!outcome.reply.granted) {
-      tracer_->annotate(root, "failure.domain", outcome.reply.denial.origin);
-      tracer_->annotate(root, "failure.code",
-                        to_string(outcome.reply.denial.code));
-      tracer_->fail_span(root, outcome.reply.denial.message);
-    }
-    tracer_->end_span(root, at + outcome.latency);
+  if (!outcome.reply.granted) {
+    root.annotate("failure.domain", outcome.reply.denial.origin);
+    root.annotate("failure.code", to_string(outcome.reply.denial.code));
+    root.fail(outcome.reply.denial.message);
   }
+  root.finish_at(at + outcome.latency);
   registry
       .counter(obs::kSigRarOutcomesTotal,
                {{"engine", "hopbyhop"},
@@ -308,11 +320,33 @@ RarReply HopByHopEngine::process(const std::string& domain,
 
   // `cursor` walks virtual time through the hop; spans start/end on it.
   SimTime cursor = trace.arrival;
-  obs::SpanId hop_span = 0;
-  if (tracer_ != nullptr) {
-    hop_span = tracer_->begin_span(trace.trace_id, "hop", trace.root, cursor);
-    tracer_->annotate(hop_span, "domain", domain);
+  const bool at_source = from_domain.empty();
+  // The domain's own recorder joins in only when the wire trace context
+  // originated here or actually arrived in the transport envelope (and
+  // stayed sampled) — the envelope, not shared engine state, is what links
+  // the per-domain recorders.
+  obs::TraceRecorder* local = nullptr;
+  obs::SpanId local_parent = 0;
+  if (node->recorder != nullptr &&
+      (at_source || (trace.wire.valid() && trace.wire.sampled))) {
+    local = node->recorder;
+    local_parent = at_source ? trace.local_parent : 0;
   }
+  obs::SpanScope hop(tracer_, local, trace.trace_id, "hop", trace.root,
+                     local_parent, &cursor);
+  hop.annotate("domain", domain);
+  if (!at_source && local != nullptr) {
+    hop.annotate_secondary("remote.parent", trace.wire.remote_parent_ref());
+    hop.annotate_secondary("hop.index",
+                           std::to_string(trace.wire.hop_count));
+  }
+  // Audit records emitted inside a stage join that stage's local span (the
+  // reference span when no domain recorder is attached).
+  auto stage_ref = [&](const obs::SpanScope& scope) {
+    const obs::SpanId id =
+        scope.secondary_id() != 0 ? scope.secondary_id() : scope.id();
+    return obs::SpanRef{id != 0 ? trace.trace_id : std::string(), id, cursor};
+  };
 
   // Every exit path closes the hop span and records the hop metrics;
   // `stage` names the pipeline stage that denied (nullptr on success or
@@ -325,24 +359,21 @@ RarReply HopByHopEngine::process(const std::string& domain,
           .counter(obs::kSigHopDenialsTotal,
                    {{"domain", domain}, {"stage", stage}})
           .increment();
+      hop.annotate("stage", stage);
+      hop.fail(reply.denial.to_text());
     }
-    if (tracer_ != nullptr) {
-      if (stage != nullptr) {
-        tracer_->annotate(hop_span, "stage", stage);
-        tracer_->fail_span(hop_span, reply.denial.to_text());
-      }
-      tracer_->end_span(hop_span, cursor);
-    }
+    hop.finish();
     return reply;
   };
 
   // 1. Verify the request: transitive-trust verification for inter-BB
   //    messages, direct user authentication at the source.
-  obs::SpanId verify_span = 0;
-  if (tracer_ != nullptr) {
-    verify_span =
-        tracer_->begin_span(trace.trace_id, "verify", hop_span, cursor);
-  }
+  obs::SpanScope verify_scope(tracer_, local, trace.trace_id, "verify",
+                              hop.id(), hop.secondary_id(), &cursor);
+  const std::uint64_t verify_cache_hits_before =
+      registry
+          .counter(obs::kCryptoVerifyCacheLookupsTotal, {{"result", "hit"}})
+          .value();
   Result<VerifiedRar> verified = [&]() -> Result<VerifiedRar> {
     if (from_domain.empty()) {
       const auto user_it =
@@ -366,13 +397,26 @@ RarReply HopByHopEngine::process(const std::string& domain,
                       broker.dn(), broker.trust_store(),
                       node->options.trust_policy, at);
   }();
-  cursor += verify_cost;
-  if (tracer_ != nullptr) {
-    if (!verified.ok()) {
-      tracer_->fail_span(verify_span, verified.error().to_text());
-    }
-    tracer_->end_span(verify_span, cursor);
+  // Signature-verify verdict, with whether the verification cache served
+  // it (counter delta — the engine is single-threaded per request).
+  const bool verify_cache_hit =
+      registry
+          .counter(obs::kCryptoVerifyCacheLookupsTotal, {{"result", "hit"}})
+          .value() > verify_cache_hits_before;
+  {
+    obs::CurrentSpan audit_scope(stage_ref(verify_scope));
+    obs::AuditLog::global().append(
+        domain, obs::audit_kind::kVerify,
+        {{"result", verified.ok() ? "ok" : "fail"},
+         {"subject",
+          at_source ? msg.user_layer().res_spec.user : from_domain},
+         {"cache", verify_cache_hit ? "hit" : "miss"}});
   }
+  cursor += verify_cost;
+  if (!verified.ok()) {
+    verify_scope.fail(verified.error().to_text());
+  }
+  verify_scope.finish();
   if (!verified.ok()) {
     Error e = verified.error();
     if (e.origin.empty()) e.origin = domain;
@@ -384,11 +428,8 @@ RarReply HopByHopEngine::process(const std::string& domain,
   // 2. Policy decision via this domain's policy server (the span also
   //    covers capability-chain validation and, at the destination, cost
   //    negotiation — everything feeding the decision).
-  obs::SpanId policy_span = 0;
-  if (tracer_ != nullptr) {
-    policy_span =
-        tracer_->begin_span(trace.trace_id, "policy", hop_span, cursor);
-  }
+  obs::SpanScope policy_scope(tracer_, local, trace.trace_id, "policy",
+                              hop.id(), hop.secondary_id(), &cursor);
   ContextInputs inputs;
   inputs.broker = &broker;
   inputs.spec = &vr.res_spec;
@@ -400,15 +441,16 @@ RarReply HopByHopEngine::process(const std::string& domain,
   inputs.capabilities = validate_capabilities(*node, vr, at);
   inputs.cpu_reservation_checker = node->options.cpu_reservation_checker;
   const policy::EvalContext ctx = build_policy_context(inputs);
-  const policy::PolicyReply policy_reply = broker.policy_server().decide(ctx);
+  const policy::PolicyReply policy_reply = [&] {
+    obs::CurrentSpan audit_scope(stage_ref(policy_scope));
+    return broker.policy_server().decide(ctx);
+  }();
   cursor += policy_cost;
   if (policy_reply.decision != policy::Decision::kGrant) {
     RarReply denial = RarReply::deny(make_error(ErrorCode::kPolicyDenied,
                                                 policy_reply.reason, domain));
-    if (tracer_ != nullptr) {
-      tracer_->fail_span(policy_span, policy_reply.reason);
-      tracer_->end_span(policy_span, cursor);
-    }
+    policy_scope.fail(policy_reply.reason);
+    policy_scope.finish();
     return finish_hop(std::move(denial), "policy");
   }
 
@@ -440,31 +482,27 @@ RarReply HopByHopEngine::process(const std::string& domain,
               " exceeds the user's limit " +
               std::to_string(vr.res_spec.max_cost),
           domain));
-      if (tracer_ != nullptr) {
-        tracer_->fail_span(policy_span, denial.denial.message);
-        tracer_->end_span(policy_span, cursor);
-      }
+      policy_scope.fail(denial.denial.message);
+      policy_scope.finish();
       return finish_hop(std::move(denial), "cost");
     }
   }
-  if (tracer_ != nullptr) tracer_->end_span(policy_span, cursor);
+  policy_scope.finish();
 
   // 3. Admission control (SLA conformance for transit traffic).
-  obs::SpanId admission_span = 0;
-  if (tracer_ != nullptr) {
-    admission_span =
-        tracer_->begin_span(trace.trace_id, "admission", hop_span, cursor);
-  }
-  auto handle = broker.commit(vr.res_spec, from_domain);
+  obs::SpanScope admission_scope(tracer_, local, trace.trace_id, "admission",
+                                 hop.id(), hop.secondary_id(), &cursor);
+  auto handle = [&] {
+    obs::CurrentSpan audit_scope(stage_ref(admission_scope));
+    return broker.commit(vr.res_spec, from_domain);
+  }();
   cursor += admission_cost;
   if (!handle.ok()) {
-    if (tracer_ != nullptr) {
-      tracer_->fail_span(admission_span, handle.error().to_text());
-      tracer_->end_span(admission_span, cursor);
-    }
+    admission_scope.fail(handle.error().to_text());
+    admission_scope.finish();
     return finish_hop(RarReply::deny(handle.error()), "admission");
   }
-  if (tracer_ != nullptr) tracer_->end_span(admission_span, cursor);
+  admission_scope.finish();
   if (is_destination) {
     RarReply reply = RarReply::approve();
     reply.handles.emplace_back(domain, *handle);
@@ -482,21 +520,17 @@ RarReply HopByHopEngine::process(const std::string& domain,
   }
 
   // 4. Forward downstream: delegate, append a signed layer, seal, send.
-  obs::SpanId forward_span = 0;
-  if (tracer_ != nullptr) {
-    forward_span = tracer_->begin_span(trace.trace_id, "sign_and_forward",
-                                       hop_span, cursor);
-  }
+  obs::SpanScope forward_scope(tracer_, local, trace.trace_id,
+                               "sign_and_forward", hop.id(),
+                               hop.secondary_id(), &cursor);
   // Local forwarding failure: roll back the tentative commitment, close the
   // forward span and deny at this hop.
   auto deny_forward = [&](Error e) {
     (void)broker.release(*handle);
     cursor += forward_cost;
     RarReply denial = RarReply::deny(std::move(e));
-    if (tracer_ != nullptr) {
-      tracer_->fail_span(forward_span, denial.denial.to_text());
-      tracer_->end_span(forward_span, cursor);
-    }
+    forward_scope.fail(denial.denial.to_text());
+    forward_scope.finish();
     return finish_hop(std::move(denial), "forward");
   };
 
@@ -533,6 +567,12 @@ RarReply HopByHopEngine::process(const std::string& domain,
               next_node->broker->public_key(), /*rar_restriction=*/"",
               chain->back().validity(), broker.next_certificate_serial()));
       layer.capability_certs.push_back(delegated.encode());
+      obs::CurrentSpan audit_scope(stage_ref(forward_scope));
+      obs::AuditLog::global().append(
+          domain, obs::audit_kind::kDelegation,
+          {{"issuer", broker.dn().to_string()},
+           {"subject", next_node->broker->dn().to_string()},
+           {"serial", std::to_string(delegated.serial())}});
     }
   }
   forwarded.append_broker_layer(std::move(layer),
@@ -550,7 +590,7 @@ RarReply HopByHopEngine::process(const std::string& domain,
   const Bytes wire = forwarded.encode();
   outcome.final_wire_bytes = wire.size();
   cursor += forward_cost;
-  if (tracer_ != nullptr) tracer_->end_span(forward_span, cursor);
+  forward_scope.finish();
 
   const crypto::Digest request_digest = crypto::sha256(wire);
   std::uint64_t jitter_seed = 0;
@@ -579,7 +619,11 @@ RarReply HopByHopEngine::process(const std::string& domain,
     };
 
     const Record record = node->sessions.at(*next).seal(wire);
-    Delivery sent = fabric_->transmit(domain, *next, wire);
+    // The trace context rides the unsigned envelope next to the sealed
+    // record, one hop deeper than it arrived here.
+    obs::TraceContext next_ctx = trace.wire;
+    next_ctx.hop_count++;
+    Delivery sent = fabric_->transmit(domain, *next, wire, &next_ctx);
     outcome.messages++;
     if (!sent.delivered()) {
       attempt_timed_out();
@@ -615,7 +659,13 @@ RarReply HopByHopEngine::process(const std::string& domain,
           .increment();
       downstream = cached->second;
     } else {
-      TraceCtx next_trace{trace.trace_id, trace.root, cursor + sent.latency};
+      TraceCtx next_trace;
+      next_trace.trace_id = trace.trace_id;
+      next_trace.root = trace.root;
+      next_trace.arrival = cursor + sent.latency;
+      if (sent.trace_context.has_value()) {
+        next_trace.wire = *sent.trace_context;
+      }
       downstream = process(*next, *decoded, domain, at, outcome, next_trace);
       next_node->completed_requests.emplace(request_digest, downstream);
     }
@@ -656,10 +706,7 @@ RarReply HopByHopEngine::process(const std::string& domain,
   if (attempts_used > 1) {
     registry.histogram(obs::kSigRetryAttempts, engine_label("hopbyhop"))
         .observe(static_cast<double>(attempts_used));
-    if (tracer_ != nullptr) {
-      tracer_->annotate(hop_span, "retry.attempts",
-                        std::to_string(attempts_used));
-    }
+    hop.annotate("retry.attempts", std::to_string(attempts_used));
   }
   if (!exchange_complete) {
     // The downstream domain stayed dark past the retry budget. Release the
@@ -702,27 +749,24 @@ RarReply HopByHopEngine::process(const std::string& domain,
       // approval).
       const crypto::Certificate source_cert = broker.certificate();
       const crypto::Certificate dest_cert = dest->broker->certificate();
-      obs::SpanId handshake_span = 0;
-      if (tracer_ != nullptr) {
-        handshake_span = tracer_->begin_span(trace.trace_id,
-                                             "channel_handshake", hop_span,
-                                             cursor);
-        tracer_->annotate(handshake_span, "peer", dest->broker->domain());
-      }
-      auto direct = handshake(endpoint_for(*node, &dest_cert),
-                              endpoint_for(*dest, &source_cert), at, *rng_);
+      obs::SpanScope handshake_scope(tracer_, local, trace.trace_id,
+                                     "channel_handshake", hop.id(),
+                                     hop.secondary_id(), &cursor);
+      handshake_scope.annotate("peer", dest->broker->domain());
+      auto direct = [&] {
+        obs::CurrentSpan audit_scope(stage_ref(handshake_scope));
+        return handshake(endpoint_for(*node, &dest_cert),
+                         endpoint_for(*dest, &source_cert), at, *rng_);
+      }();
       outcome.latency += fabric_->rtt(domain, dest->broker->domain());
       outcome.messages += 2;  // handshake round trip
       fabric_->record_message(domain, dest->broker->domain(), 512);
       fabric_->record_message(dest->broker->domain(), domain, 512);
-      if (tracer_ != nullptr) {
-        if (!direct.ok()) {
-          tracer_->fail_span(handshake_span, direct.error().to_text());
-        }
-        tracer_->end_span(handshake_span,
-                          cursor + fabric_->rtt(domain,
-                                                dest->broker->domain()));
+      if (!direct.ok()) {
+        handshake_scope.fail(direct.error().to_text());
       }
+      handshake_scope.finish_at(
+          cursor + fabric_->rtt(domain, dest->broker->domain()));
       if (direct.ok()) {
         TunnelRecord rec;
         rec.id = "tunnel-" + std::to_string(next_tunnel_++);
@@ -760,22 +804,10 @@ Status HopByHopEngine::release_end_to_end(const RarReply& reply) {
 
 Result<HopByHopEngine::Outcome> HopByHopEngine::reserve_in_tunnel(
     const std::string& tunnel_id, const std::string& user_dn, double rate,
-    TimeInterval interval, [[maybe_unused]] SimTime at) {
+    TimeInterval interval, SimTime at) {
   auto& registry = obs::MetricsRegistry::global();
   registry.counter(obs::kSigRarRequestsTotal, engine_label("tunnel"))
       .increment();
-  // Every exit path that produced an Outcome records the tunnel-engine
-  // outcome counter and latency histogram.
-  auto finish = [&registry](Outcome o) {
-    registry
-        .counter(obs::kSigRarOutcomesTotal,
-                 {{"engine", "tunnel"},
-                  {"outcome", o.reply.granted ? "granted" : "denied"}})
-        .increment();
-    registry.histogram(obs::kSigE2eLatencyUs, engine_label("tunnel"))
-        .observe(static_cast<double>(o.latency));
-    return o;
-  };
   const auto it = tunnels_.find(tunnel_id);
   if (it == tunnels_.end()) {
     return make_error(ErrorCode::kNotFound, "unknown tunnel " + tunnel_id);
@@ -793,8 +825,45 @@ Result<HopByHopEngine::Outcome> HopByHopEngine::reserve_in_tunnel(
   }
 
   Outcome outcome;
+  outcome.trace_id = "rar-" + std::to_string(next_request_++);
   const std::string sub_id =
       tunnel_id + "-flow-" + std::to_string(rec.next_sub++);
+
+  // A per-flow sub-reservation traces like any RAR: root at the user's
+  // submission, one hop per contacted end domain. The destination recorder
+  // links through the wire context on the direct channel (hop index 1: the
+  // aggregate's intermediate hops are exactly what this path skips), and a
+  // retransmitted attempt reuses the same trace id.
+  const SimTime submitted = at;
+  obs::SpanScope root(tracer_, src->recorder, outcome.trace_id,
+                      "reservation", 0, 0, &submitted);
+  root.annotate("user", user_dn);
+  root.annotate("source", rec.source_domain);
+  root.annotate("destination", rec.destination_domain);
+  root.annotate("rate_bits_per_s", std::to_string(rate));
+  root.annotate("tunnel", tunnel_id);
+  obs::TraceContext wire_ctx{outcome.trace_id, rec.source_domain,
+                             root.secondary_id(), 1, true};
+
+  // Every exit path that produced an Outcome closes the root (tagging
+  // failures) and records the tunnel-engine outcome counter and latency
+  // histogram.
+  auto finish = [&](Outcome o) {
+    if (!o.reply.granted) {
+      root.annotate("failure.domain", o.reply.denial.origin);
+      root.annotate("failure.code", to_string(o.reply.denial.code));
+      root.fail(o.reply.denial.message);
+    }
+    root.finish_at(at + o.latency);
+    registry
+        .counter(obs::kSigRarOutcomesTotal,
+                 {{"engine", "tunnel"},
+                  {"outcome", o.reply.granted ? "granted" : "denied"}})
+        .increment();
+    registry.histogram(obs::kSigE2eLatencyUs, engine_label("tunnel"))
+        .observe(static_cast<double>(o.latency));
+    return o;
+  };
 
   // User contacts the source-domain BB.
   outcome.latency += 2 * src->options.user_link_latency;
@@ -802,13 +871,40 @@ Result<HopByHopEngine::Outcome> HopByHopEngine::reserve_in_tunnel(
   fabric_->record_message("user", rec.source_domain, 128);
   outcome.messages++;
   outcome.domains_contacted++;
-  auto src_alloc = src_tunnel->allocate(sub_id, user_dn, interval, rate);
+  SimTime cursor = at + src->options.user_link_latency;
+  obs::SpanScope src_hop(tracer_, src->recorder, outcome.trace_id, "hop",
+                         root.id(), root.secondary_id(), &cursor);
+  src_hop.annotate("domain", rec.source_domain);
+  obs::SpanScope src_adm(tracer_, src->recorder, outcome.trace_id,
+                         "admission", src_hop.id(), src_hop.secondary_id(),
+                         &cursor);
+  auto src_alloc = [&] {
+    const obs::SpanId span = src_adm.secondary_id() != 0
+                                 ? src_adm.secondary_id()
+                                 : src_adm.id();
+    obs::CurrentSpan audit_scope(obs::SpanRef{
+        span != 0 ? outcome.trace_id : std::string(), span, cursor});
+    auto result = src_tunnel->allocate(sub_id, user_dn, interval, rate);
+    obs::AuditLog::global().append(
+        rec.source_domain, obs::audit_kind::kAdmission,
+        {{"result", result.ok() ? "admitted" : "rejected"},
+         {"flow", sub_id},
+         {"rate_bits_per_s", std::to_string(rate)}});
+    return result;
+  }();
+  cursor += fabric_->processing_delay();
   if (!src_alloc.ok()) {
     Error e = src_alloc.error();
     e.origin = rec.source_domain;
+    src_adm.fail(e.to_text());
+    src_adm.finish();
+    src_hop.annotate("stage", "admission");
+    src_hop.fail(e.to_text());
+    src_hop.finish();
     outcome.reply = RarReply::deny(std::move(e));
     return finish(std::move(outcome));
   }
+  src_adm.finish();
 
   // Source BB contacts the destination BB directly over the pinned
   // channel — intermediate domains are not involved. The exchange runs
@@ -827,6 +923,7 @@ Result<HopByHopEngine::Outcome> HopByHopEngine::reserve_in_tunnel(
   std::optional<Error> dst_error;
   bool exchange_complete = false;
   std::size_t attempts_used = 0;
+  SimTime send_at = cursor;
   for (std::size_t attempt = 1; attempt <= retry_policy_.max_attempts;
        ++attempt) {
     attempts_used = attempt;
@@ -840,11 +937,12 @@ Result<HopByHopEngine::Outcome> HopByHopEngine::reserve_in_tunnel(
       registry.counter(obs::kSigTimeoutsTotal, engine_label("tunnel"))
           .increment();
       outcome.latency += timeout;
+      send_at += timeout;
     };
 
     const Record record = rec.source_session.seal(wire);
-    Delivery sent =
-        fabric_->transmit(rec.source_domain, rec.destination_domain, wire);
+    Delivery sent = fabric_->transmit(rec.source_domain,
+                                      rec.destination_domain, wire, &wire_ctx);
     outcome.messages++;
     if (!sent.delivered()) {
       attempt_timed_out();
@@ -871,13 +969,50 @@ Result<HopByHopEngine::Outcome> HopByHopEngine::reserve_in_tunnel(
           .counter(obs::kSigDuplicatesSuppressedTotal, {{"via", "cache"}})
           .increment();
     } else {
-      auto dst_alloc = dst_tunnel->allocate(sub_id, user_dn, interval, rate);
+      SimTime dst_cursor = send_at + sent.latency;
+      obs::TraceRecorder* dst_local =
+          (dst->recorder != nullptr && sent.trace_context.has_value() &&
+           sent.trace_context->valid() && sent.trace_context->sampled)
+              ? dst->recorder
+              : nullptr;
+      obs::SpanScope dst_hop(tracer_, dst_local, outcome.trace_id, "hop",
+                             root.id(), 0, &dst_cursor);
+      dst_hop.annotate("domain", rec.destination_domain);
+      if (dst_local != nullptr) {
+        dst_hop.annotate_secondary("remote.parent",
+                                   sent.trace_context->remote_parent_ref());
+        dst_hop.annotate_secondary(
+            "hop.index", std::to_string(sent.trace_context->hop_count));
+      }
+      obs::SpanScope dst_adm(tracer_, dst_local, outcome.trace_id,
+                             "admission", dst_hop.id(), dst_hop.secondary_id(),
+                             &dst_cursor);
+      auto dst_alloc = [&] {
+        const obs::SpanId span = dst_adm.secondary_id() != 0
+                                     ? dst_adm.secondary_id()
+                                     : dst_adm.id();
+        obs::CurrentSpan audit_scope(obs::SpanRef{
+            span != 0 ? outcome.trace_id : std::string(), span, dst_cursor});
+        auto result = dst_tunnel->allocate(sub_id, user_dn, interval, rate);
+        obs::AuditLog::global().append(
+            rec.destination_domain, obs::audit_kind::kAdmission,
+            {{"result", result.ok() ? "admitted" : "rejected"},
+             {"flow", sub_id},
+             {"rate_bits_per_s", std::to_string(rate)}});
+        return result;
+      }();
+      dst_cursor += fabric_->processing_delay();
       if (dst_alloc.ok()) {
         rec.completed_subs.insert(sub_id);
       } else {
         dst_error = dst_alloc.error();
         dst_error->origin = rec.destination_domain;
+        dst_adm.fail(dst_error->to_text());
+        dst_hop.annotate("stage", "admission");
+        dst_hop.fail(dst_error->to_text());
       }
+      dst_adm.finish();
+      dst_hop.finish();
     }
 
     const Bytes reply_wire(64, 0);
@@ -895,6 +1030,7 @@ Result<HopByHopEngine::Outcome> HopByHopEngine::reserve_in_tunnel(
   if (attempts_used > 1) {
     registry.histogram(obs::kSigRetryAttempts, engine_label("tunnel"))
         .observe(static_cast<double>(attempts_used));
+    src_hop.annotate("retry.attempts", std::to_string(attempts_used));
   }
   if (!exchange_complete) {
     // Destination stayed dark: roll back the source half and model the
@@ -916,8 +1052,12 @@ Result<HopByHopEngine::Outcome> HopByHopEngine::reserve_in_tunnel(
         "no answer from " + rec.destination_domain + " after " +
             std::to_string(attempts_used) + " attempts",
         rec.source_domain));
+    src_hop.annotate("stage", "forward");
+    src_hop.fail(outcome.reply.denial.to_text());
+    src_hop.finish();
     return finish(std::move(outcome));
   }
+  src_hop.finish();
   if (dst_error.has_value()) {
     (void)src_tunnel->release(sub_id);
     outcome.reply = RarReply::deny(std::move(*dst_error));

@@ -142,6 +142,15 @@ class HopByHopEngine {
     tracer_ = recorder;
   }
 
+  /// Attach `domain`'s own recorder. Its spans mirror the engine-wide
+  /// recorder's, but cross-domain linkage travels only in the unsigned
+  /// transport envelope: downstream hops carry a `remote.parent`
+  /// attribute instead of a local parent id, and
+  /// obs::SpanCollector::ingest() stitches the per-domain exports back
+  /// into one end-to-end tree. Pass nullptr to detach.
+  void set_domain_trace_recorder(const std::string& domain,
+                                 obs::TraceRecorder* recorder);
+
   /// Process a user request end to end. The request enters at the source
   /// BB named in its user layer.
   Result<Outcome> reserve(const RarMessage& user_msg, SimTime at);
@@ -188,6 +197,8 @@ class HopByHopEngine {
     /// SHA-256 of the request's wire bytes. A retransmitted RAR is answered
     /// from the cache instead of re-admitted.
     std::map<crypto::Digest, RarReply> completed_requests;
+    /// This domain's own trace recorder (nullptr = no local recording).
+    obs::TraceRecorder* recorder = nullptr;
   };
 
   struct TunnelRecord {
@@ -216,6 +227,14 @@ class HopByHopEngine {
     obs::SpanId root = 0;
     /// Virtual time the RAR arrives at the current hop.
     SimTime arrival = 0;
+    /// Wire trace context as received at this hop (invalid = no per-domain
+    /// recording upstream). Downstream hops parent their local spans under
+    /// wire.remote_parent_ref(); the engine re-sends it with hop_count+1.
+    obs::TraceContext wire;
+    /// Local parent for this hop's domain-recorder span: the source
+    /// domain's own root (source hop only — downstream domains link
+    /// remotely through `wire`).
+    obs::SpanId local_parent = 0;
   };
 
   /// Recursive per-hop processing; returns the reply travelling upstream.

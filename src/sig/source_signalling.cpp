@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <future>
+#include <optional>
 
 #include "crypto/sha256.hpp"
+#include "obs/audit.hpp"
 #include "obs/instruments.hpp"
 #include "sig/context_builder.hpp"
 #include "sig/trust.hpp"
@@ -27,10 +29,19 @@ void SourceDomainEngine::register_user(const std::string& domain,
   }
 }
 
+void SourceDomainEngine::set_domain_trace_recorder(
+    const std::string& domain, obs::TraceRecorder* recorder) {
+  const auto it = nodes_.find(domain);
+  if (it != nodes_.end()) {
+    it->second.recorder = recorder;
+  }
+}
+
 SourceDomainEngine::PerDomainResult SourceDomainEngine::reserve_at(
     const std::string& domain, const std::string& agent_domain,
     const bb::ResSpec& spec, const crypto::Certificate& user_cert,
-    const crypto::PrivateKey& user_key, SimTime at) {
+    const crypto::PrivateKey& user_key, SimTime at, const TraceCtx& trace,
+    std::size_t hop_index) {
   const auto it = nodes_.find(domain);
   if (it == nodes_.end()) {
     return {domain,
@@ -58,7 +69,13 @@ SourceDomainEngine::PerDomainResult SourceDomainEngine::reserve_at(
   }
 
   auto& registry = obs::MetricsRegistry::global();
+  // Each per-domain request carries the reservation's trace context in the
+  // unsigned transport envelope; hop_count is this domain's path index.
+  obs::TraceContext ctx_to_send = trace.wire;
+  ctx_to_send.hop_count = static_cast<std::uint32_t>(hop_index);
   SimDuration latency = 0;
+  SimTime arrival = at;
+  std::optional<obs::TraceContext> rx_ctx;
   bool delivered = false;
   std::size_t attempts_used = 0;
   for (std::size_t attempt = 1; attempt <= retry_policy_.max_attempts;
@@ -68,7 +85,7 @@ SourceDomainEngine::PerDomainResult SourceDomainEngine::reserve_at(
       registry.counter(obs::kSigRetransmitsTotal, {{"engine", "source"}})
           .increment();
     }
-    Delivery sent = fabric_->transmit(agent_domain, domain, wire);
+    Delivery sent = fabric_->transmit(agent_domain, domain, wire, &ctx_to_send);
     if (sent.delivered() && !sent.corrupted) {
       if (sent.duplicated) {
         // The broker sees the copy, recognizes the request id and drops it.
@@ -76,8 +93,10 @@ SourceDomainEngine::PerDomainResult SourceDomainEngine::reserve_at(
             .counter(obs::kSigDuplicatesSuppressedTotal, {{"via", "cache"}})
             .increment();
       }
+      arrival = at + latency + sent.latency;  // timeouts waited + this leg
       latency += sent.latency + fabric_->one_way(agent_domain, domain) +
                  fabric_->processing_delay();
+      rx_ctx = sent.trace_context;
       delivered = true;
       break;
     }
@@ -101,30 +120,78 @@ SourceDomainEngine::PerDomainResult SourceDomainEngine::reserve_at(
   }
   const SimDuration rtt = latency;
 
+  // Broker-side processing walks a cursor over the delivered request's
+  // processing-delay budget: verify 2/5, policy 1/4, admission the rest.
+  // Per-domain recording requires the wire context to have arrived sampled.
+  const SimDuration processing = fabric_->processing_delay();
+  const SimDuration verify_cost = processing * 2 / 5;
+  const SimDuration policy_cost = processing / 4;
+  SimTime cursor = arrival;
+  obs::TraceRecorder* local =
+      (node.recorder != nullptr && rx_ctx.has_value() && rx_ctx->valid() &&
+       rx_ctx->sampled)
+          ? node.recorder
+          : nullptr;
+  obs::SpanScope hop(tracer_, local, trace.trace_id, "hop", trace.root, 0,
+                     &cursor);
+  hop.annotate("domain", domain);
+  if (local != nullptr) {
+    hop.annotate_secondary("remote.parent", rx_ctx->remote_parent_ref());
+    hop.annotate_secondary("hop.index", std::to_string(rx_ctx->hop_count));
+  }
+  // Audit records written inside a stage join that stage's span (the
+  // per-domain one when recording locally, else the engine-wide one).
+  auto stage_ref = [&](const obs::SpanScope& scope) {
+    const obs::SpanId id =
+        scope.secondary_id() != 0 ? scope.secondary_id() : scope.id();
+    return obs::SpanRef{id != 0 ? trace.trace_id : std::string(), id, cursor};
+  };
+
+  obs::SpanScope verify_scope(tracer_, local, trace.trace_id, "verify",
+                              hop.id(), hop.secondary_id(), &cursor);
+  // Direct trust has no verification cache: every request re-checks the
+  // user's signature, so (unlike the hop-by-hop path) no cache field.
+  auto audit_verify = [&](const char* result, const std::string& subject) {
+    obs::CurrentSpan audit_scope(stage_ref(verify_scope));
+    obs::AuditLog::global().append(
+        domain, obs::audit_kind::kVerify,
+        {{"result", result}, {"subject", subject}});
+  };
+  auto deny_verify = [&](Error e) {
+    const std::string text = e.to_text();
+    audit_verify("fail", spec.user);
+    cursor += verify_cost;
+    verify_scope.fail(text);
+    verify_scope.finish();
+    hop.annotate("stage", "verify");
+    hop.fail(text);
+    hop.finish();
+    return PerDomainResult{domain, Result<bb::ReservationId>(std::move(e)),
+                           rtt};
+  };
+
   // Direct trust: this broker must know the user.
   const auto user_it = node.known_users.find(spec.user);
   if (user_it == node.known_users.end()) {
-    return {domain,
-            Result<bb::ReservationId>(make_error(
-                ErrorCode::kAuthenticationFailed,
-                "user " + spec.user + " unknown in " + domain +
-                    " (source-based signalling requires direct trust "
-                    "with every domain)",
-                domain)),
-            rtt};
+    return deny_verify(make_error(
+        ErrorCode::kAuthenticationFailed,
+        "user " + spec.user + " unknown in " + domain +
+            " (source-based signalling requires direct trust "
+            "with every domain)",
+        domain));
   }
   if (!(user_it->second == user_cert)) {
-    return {domain,
-            Result<bb::ReservationId>(make_error(
-                ErrorCode::kAuthenticationFailed,
-                "presented certificate does not match the registered one",
-                domain)),
-            rtt};
+    return deny_verify(make_error(
+        ErrorCode::kAuthenticationFailed,
+        "presented certificate does not match the registered one", domain));
   }
   auto verified = verify_user_request(msg, user_it->second, broker.dn(), at);
   if (!verified.ok()) {
-    return {domain, Result<bb::ReservationId>(verified.error()), rtt};
+    return deny_verify(verified.error());
   }
+  audit_verify("ok", verified->user_dn.to_string());
+  cursor += verify_cost;
+  verify_scope.finish();
 
   ContextInputs inputs;
   inputs.broker = &broker;
@@ -135,16 +202,46 @@ SourceDomainEngine::PerDomainResult SourceDomainEngine::reserve_at(
   inputs.relevant_groups = &node.options.relevant_groups;
   inputs.cpu_reservation_checker = node.options.cpu_reservation_checker;
   const policy::EvalContext ctx = build_policy_context(inputs);
-  const policy::PolicyReply reply = broker.policy_server().decide(ctx);
+  obs::SpanScope policy_scope(tracer_, local, trace.trace_id, "policy",
+                              hop.id(), hop.secondary_id(), &cursor);
+  const policy::PolicyReply reply = [&] {
+    obs::CurrentSpan audit_scope(stage_ref(policy_scope));
+    return broker.policy_server().decide(ctx);
+  }();
+  cursor += policy_cost;
   if (reply.decision != policy::Decision::kGrant) {
+    policy_scope.fail(reply.reason);
+    policy_scope.finish();
+    hop.annotate("stage", "policy");
+    hop.fail(reply.reason);
+    hop.finish();
     return {domain,
             Result<bb::ReservationId>(make_error(ErrorCode::kPolicyDenied,
                                                  reply.reason, domain)),
             rtt};
   }
+  policy_scope.finish();
+
   // Approach 1 has no upstream-SLA context: each reservation is a direct
   // request against the domain's own capacity.
-  return {domain, broker.commit(spec, /*from_domain=*/""), rtt};
+  obs::SpanScope admission_scope(tracer_, local, trace.trace_id, "admission",
+                                 hop.id(), hop.secondary_id(), &cursor);
+  auto committed = [&] {
+    obs::CurrentSpan audit_scope(stage_ref(admission_scope));
+    return broker.commit(spec, /*from_domain=*/"");
+  }();
+  cursor = arrival + processing;
+  if (!committed.ok()) {
+    const std::string text = committed.error().to_text();
+    admission_scope.fail(text);
+    admission_scope.finish();
+    hop.annotate("stage", "admission");
+    hop.fail(text);
+  } else {
+    admission_scope.finish();
+  }
+  hop.finish();
+  return {domain, std::move(committed), rtt};
 }
 
 Result<SourceDomainEngine::Outcome> SourceDomainEngine::reserve(
@@ -168,9 +265,37 @@ Result<SourceDomainEngine::Outcome> SourceDomainEngine::reserve_subset(
   auto& registry = obs::MetricsRegistry::global();
   registry.counter(obs::kSigRarRequestsTotal, {{"engine", "source"}})
       .increment();
-  // Every Outcome-producing exit records the source-engine outcome counter
-  // and the end-to-end latency histogram.
-  auto finish = [&registry](Outcome o) {
+  Outcome outcome;
+  outcome.trace_id = "src-rar-" + std::to_string(next_request_++);
+
+  // Root reservation span: engine-wide recorder plus the agent domain's own
+  // recorder. Every per-domain request parents under it (locally for the
+  // engine-wide recorder, via the wire context for per-domain ones).
+  const auto agent_it = nodes_.find(agent_domain);
+  obs::TraceRecorder* agent_recorder =
+      agent_it != nodes_.end() ? agent_it->second.recorder : nullptr;
+  const SimTime submitted = at;
+  obs::SpanScope root(tracer_, agent_recorder, outcome.trace_id,
+                      "reservation", 0, 0, &submitted);
+  root.annotate("user", spec.user);
+  root.annotate("source", agent_domain);
+  root.annotate("destination", spec.destination_domain);
+  root.annotate("rate_bits_per_s", std::to_string(spec.rate_bits_per_s));
+  TraceCtx trace;
+  trace.trace_id = outcome.trace_id;
+  trace.root = root.id();
+  trace.wire = obs::TraceContext{outcome.trace_id, agent_domain,
+                                 root.secondary_id(), 0, true};
+
+  // Every Outcome-producing exit closes the root (tagging failures) and
+  // records the source-engine outcome counter and latency histogram.
+  auto finish = [&](Outcome o) {
+    if (!o.reply.granted) {
+      root.annotate("failure.domain", o.reply.denial.origin);
+      root.annotate("failure.code", to_string(o.reply.denial.code));
+      root.fail(o.reply.denial.message);
+    }
+    root.finish_at(at + o.latency);
     registry
         .counter(obs::kSigRarOutcomesTotal,
                  {{"engine", "source"},
@@ -180,14 +305,13 @@ Result<SourceDomainEngine::Outcome> SourceDomainEngine::reserve_subset(
         .observe(static_cast<double>(o.latency));
     return o;
   };
-  Outcome outcome;
   std::vector<PerDomainResult> results;
   results.reserve(contacted.size());
 
   if (mode == Mode::kSequential) {
-    for (const auto& domain : contacted) {
-      results.push_back(
-          reserve_at(domain, agent_domain, spec, user_cert, user_key, at));
+    for (std::size_t i = 0; i < contacted.size(); ++i) {
+      results.push_back(reserve_at(contacted[i], agent_domain, spec,
+                                   user_cert, user_key, at, trace, i));
       outcome.latency += results.back().rtt;  // one request at a time
       outcome.messages += 2;
       outcome.domains_contacted++;
@@ -199,11 +323,12 @@ Result<SourceDomainEngine::Outcome> SourceDomainEngine::reserve_subset(
     ThreadPool pool(std::min<std::size_t>(contacted.size(), 16));
     std::vector<std::future<PerDomainResult>> futures;
     futures.reserve(contacted.size());
-    for (const auto& domain : contacted) {
-      futures.push_back(pool.submit([this, domain, agent_domain, &spec,
-                                     &user_cert, &user_key, at] {
+    for (std::size_t i = 0; i < contacted.size(); ++i) {
+      futures.push_back(pool.submit([this, domain = contacted[i],
+                                     agent_domain, &spec, &user_cert,
+                                     &user_key, at, &trace, i] {
         return reserve_at(domain, agent_domain, spec, user_cert, user_key,
-                          at);
+                          at, trace, i);
       }));
     }
     SimDuration slowest = 0;

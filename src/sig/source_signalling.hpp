@@ -24,6 +24,7 @@
 
 #include "bb/bandwidth_broker.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
 #include "policy/group_server.hpp"
 #include "sig/message.hpp"
 #include "sig/retry.hpp"
@@ -64,7 +65,20 @@ class SourceDomainEngine {
     SimDuration latency = 0;
     std::size_t domains_contacted = 0;
     std::size_t messages = 0;
+    /// Request id keying this reservation's spans in the attached
+    /// TraceRecorder (empty when none is attached).
+    std::string trace_id;
   };
+
+  /// Attach an engine-wide trace recorder (mirrors HopByHopEngine). In
+  /// parallel mode span creation order across domains is nondeterministic;
+  /// tests asserting exact trees use sequential mode.
+  void set_trace_recorder(obs::TraceRecorder* recorder) { tracer_ = recorder; }
+
+  /// Attach `domain`'s own recorder; cross-domain linkage travels in the
+  /// unsigned transport envelope exactly as in the hop-by-hop engine.
+  void set_domain_trace_recorder(const std::string& domain,
+                                 obs::TraceRecorder* recorder);
 
   /// Reserve in every domain on `domain_path` (source first). The agent
   /// runs in `domain_path.front()`. On any denial, already-granted
@@ -92,6 +106,8 @@ class SourceDomainEngine {
     bb::BandwidthBroker* broker = nullptr;
     DomainOptions options;
     std::map<std::string, crypto::Certificate> known_users;
+    /// This domain's own trace recorder (nullptr = no local recording).
+    obs::TraceRecorder* recorder = nullptr;
   };
 
   struct PerDomainResult {
@@ -103,17 +119,30 @@ class SourceDomainEngine {
         : domain(std::move(d)), outcome(std::move(o)), rtt(r) {}
   };
 
+  /// Tracing state shared by every per-domain request of one reservation.
+  struct TraceCtx {
+    std::string trace_id;
+    /// Root reservation span in the engine-wide recorder (0 = off).
+    obs::SpanId root = 0;
+    /// Wire trace context stamped on each request's transport envelope
+    /// (hop_count is replaced per domain with its path index).
+    obs::TraceContext wire;
+  };
+
   /// One per-domain reservation: authenticate the user, evaluate policy,
   /// admit. Thread-safe across distinct domains.
   PerDomainResult reserve_at(const std::string& domain,
                              const std::string& agent_domain,
                              const bb::ResSpec& spec,
                              const crypto::Certificate& user_cert,
-                             const crypto::PrivateKey& user_key, SimTime at);
+                             const crypto::PrivateKey& user_key, SimTime at,
+                             const TraceCtx& trace, std::size_t hop_index);
 
   Fabric* fabric_;
   RetryPolicy retry_policy_;
   std::map<std::string, Node> nodes_;
+  std::uint64_t next_request_ = 1;
+  obs::TraceRecorder* tracer_ = nullptr;
 };
 
 }  // namespace e2e::sig

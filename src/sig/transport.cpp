@@ -6,6 +6,46 @@
 
 namespace e2e::sig {
 
+Bytes encode_trace_context(const obs::TraceContext& context) {
+  tlv::Writer writer;
+  writer.open(envelope_tag::kTraceContext);
+  writer.put_string(envelope_tag::kTraceId, context.trace_id);
+  writer.put_string(envelope_tag::kOrigin, context.origin);
+  writer.put_u64(envelope_tag::kSpanId, context.span_id);
+  writer.put_u32(envelope_tag::kHopCount, context.hop_count);
+  writer.put_bool(envelope_tag::kSampled, context.sampled);
+  writer.close();
+  return writer.take();
+}
+
+Result<obs::TraceContext> decode_trace_context(BytesView bytes) {
+  tlv::Reader outer(bytes);
+  auto nested = outer.read_nested(envelope_tag::kTraceContext);
+  if (!nested.ok()) return nested.error();
+  tlv::Reader& reader = nested.value();
+  obs::TraceContext context;
+  auto trace_id = reader.read_string(envelope_tag::kTraceId);
+  if (!trace_id.ok()) return trace_id.error();
+  context.trace_id = std::move(trace_id.value());
+  auto origin = reader.read_string(envelope_tag::kOrigin);
+  if (!origin.ok()) return origin.error();
+  context.origin = std::move(origin.value());
+  auto span_id = reader.read_u64(envelope_tag::kSpanId);
+  if (!span_id.ok()) return span_id.error();
+  context.span_id = span_id.value();
+  auto hop_count = reader.read_u32(envelope_tag::kHopCount);
+  if (!hop_count.ok()) return hop_count.error();
+  context.hop_count = hop_count.value();
+  auto sampled = reader.read_bool(envelope_tag::kSampled);
+  if (!sampled.ok()) return sampled.error();
+  context.sampled = sampled.value();
+  if (!outer.at_end()) {
+    return make_error(ErrorCode::kBadMessage,
+                      "trailing bytes after trace-context envelope", "");
+  }
+  return context;
+}
+
 void Fabric::set_latency(const std::string& a, const std::string& b,
                          SimDuration one_way) {
   std::lock_guard lock(mutex_);
@@ -131,10 +171,23 @@ void Fabric::clear_faults() {
 }
 
 Delivery Fabric::transmit(const std::string& from, const std::string& to,
-                          BytesView payload) {
+                          BytesView payload,
+                          const obs::TraceContext* trace_context) {
   auto& registry = obs::MetricsRegistry::global();
   registry.counter(obs::kSigFabricMessagesTotal).increment();
   registry.counter(obs::kSigFabricBytesTotal).increment(payload.size());
+
+  // The unsigned envelope travels next to the payload: encode through the
+  // wire format (so the overhead is real and accounted), decode on the
+  // receiving side below. It must not consume fault RNG draws or touch
+  // the fabric byte counters the protocol benches pin.
+  Bytes envelope;
+  if (trace_context != nullptr && trace_context->valid()) {
+    envelope = encode_trace_context(*trace_context);
+    registry.counter(obs::kObsTraceCtxPropagatedTotal).increment();
+    registry.counter(obs::kObsTraceCtxBytesTotal)
+        .increment(envelope.size());
+  }
 
   Delivery d;
   const char* loss_kind = nullptr;
@@ -187,6 +240,10 @@ Delivery Fabric::transmit(const std::string& from, const std::string& to,
   if (delayed) count_fault("delay");
   if (d.corrupted) count_fault("corrupt");
   if (d.duplicated) count_fault("duplicate");
+  if (!envelope.empty() && d.delivered()) {
+    auto decoded = decode_trace_context(envelope);
+    if (decoded.ok()) d.trace_context = std::move(decoded.value());
+  }
   return d;
 }
 

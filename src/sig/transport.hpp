@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -30,8 +31,28 @@
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
+#include "common/tlv.hpp"
+#include "obs/trace.hpp"
 
 namespace e2e::sig {
+
+// TLV tags of the *unsigned* trace-context envelope that may accompany a
+// transmission (docs/OBSERVABILITY.md, "TraceContext wire format"). The
+// envelope is carried out of band next to the sealed record: it is never
+// part of the signed RAR bytes or the channel MAC input, so arming
+// tracing changes no signature, digest or grant byte.
+namespace envelope_tag {
+inline constexpr tlv::Tag kTraceContext = 0xE270;  // container
+inline constexpr tlv::Tag kTraceId = 0xE271;       // string
+inline constexpr tlv::Tag kOrigin = 0xE272;        // string
+inline constexpr tlv::Tag kSpanId = 0xE273;        // u64
+inline constexpr tlv::Tag kHopCount = 0xE274;      // u32
+inline constexpr tlv::Tag kSampled = 0xE275;       // bool
+}  // namespace envelope_tag
+
+/// Canonical TLV encoding of a trace context (the envelope payload).
+Bytes encode_trace_context(const obs::TraceContext& context);
+Result<obs::TraceContext> decode_trace_context(BytesView bytes);
 
 /// Per-link, per-direction fault probabilities. All-zero (the default)
 /// means the link behaves exactly like the pre-fault-model fabric.
@@ -63,6 +84,11 @@ struct Delivery {
   bool corrupted = false;
   /// A second copy arrived right behind the first one.
   bool duplicated = false;
+  /// Trace context from the unsigned envelope, when the sender attached
+  /// one and the message was delivered. Envelope corruption is not
+  /// modeled: telemetry is best-effort metadata, and the fault RNG must
+  /// not consume extra draws (clean-path byte-identity).
+  std::optional<obs::TraceContext> trace_context;
 
   bool delivered() const { return outcome == Outcome::kDelivered; }
 };
@@ -132,8 +158,15 @@ class Fabric {
   /// in the message/byte statistics (the sender spent the bytes even when
   /// the fabric lost them). With no fault state armed this is exactly
   /// record_message() plus a clean Delivery carrying one_way(from, to).
+  ///
+  /// `trace_context`, when non-null, rides the unsigned envelope: it is
+  /// encoded/decoded through the TLV wire format, shares the payload's
+  /// delivery fate, and is accounted only in the e2e_obs_trace_ctx_*
+  /// counters — never in the fabric message/byte statistics the protocol
+  /// benches assert on.
   Delivery transmit(const std::string& from, const std::string& to,
-                    BytesView payload);
+                    BytesView payload,
+                    const obs::TraceContext* trace_context = nullptr);
 
  private:
   static std::pair<std::string, std::string> key(const std::string& a,

@@ -9,10 +9,13 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 
+#include "obs/audit.hpp"
 #include "obs/instruments.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sig/transport.hpp"
 #include "testing_world.hpp"
 
 #ifndef E2E_SOURCE_DIR
@@ -185,6 +188,101 @@ TEST(TelemetryContract, DocCoversEverySpanNameAndAttributeKey) {
     EXPECT_NE(doc.find("`" + key + "`"), std::string::npos)
         << "span attribute key `" << key
         << "` is emitted but not documented in docs/OBSERVABILITY.md";
+  }
+}
+
+TEST(TelemetryContract, DocListsEveryAuditKindAndEmittedField) {
+  const std::string doc = read_doc();
+
+  // The closed kind set (obs/audit.hpp) must be documented in full...
+  for (const char* kind :
+       {audit_kind::kPeerAuth, audit_kind::kVerify, audit_kind::kPolicy,
+        audit_kind::kDelegation, audit_kind::kAdmission}) {
+    EXPECT_NE(doc.find("`" + std::string(kind) + "`"), std::string::npos)
+        << "audit kind `" << kind
+        << "` is in obs/audit.hpp but not documented in "
+        << "docs/OBSERVABILITY.md";
+  }
+
+  // ...and everything the instrumented library actually appends — kinds
+  // AND kind-specific field keys — must come from the documented schema.
+  // Exercise grant, policy denial and a tunnel per-flow reservation so
+  // every emission point fires.
+  AuditLog::global().clear();
+  const std::set<std::string> known_kinds = {
+      audit_kind::kPeerAuth, audit_kind::kVerify, audit_kind::kPolicy,
+      audit_kind::kDelegation, audit_kind::kAdmission};
+  {
+    ChainWorldConfig config;
+    config.domains = 4;
+    config.policies = {"Return GRANT", "Return GRANT", "Return GRANT",
+                       "Return DENY"};
+    ChainWorld world(config);
+    WorldUser alice = world.make_user("Alice", 0, true, true);
+    const auto msg = world.engine().build_user_request(
+        alice.credentials(), world.spec(alice, 10e6), 0);
+    ASSERT_TRUE(msg.ok());
+    (void)world.engine().reserve(*msg, seconds(1));
+    (void)world.source_engine().reserve(
+        world.names(), world.spec(alice, 1e6), alice.identity_cert,
+        alice.identity_keys.priv,
+        sig::SourceDomainEngine::Mode::kSequential, seconds(1));
+  }
+  {
+    ChainWorld world;
+    WorldUser alice = world.make_user("Alice", 0);
+    auto spec = world.spec(alice, 50e6, {0, seconds(3600)});
+    spec.is_tunnel = true;
+    const auto msg =
+        world.engine().build_user_request(alice.credentials(), spec, 0);
+    ASSERT_TRUE(msg.ok());
+    const auto est = world.engine().reserve(*msg, seconds(1));
+    ASSERT_TRUE(est.ok());
+    ASSERT_TRUE(est->reply.granted);
+    (void)world.engine().reserve_in_tunnel(est->reply.tunnel_id,
+                                           alice.dn.to_string(), 5e6,
+                                           {0, seconds(60)}, seconds(2));
+  }
+  const auto records = AuditLog::global().records();
+  ASSERT_FALSE(records.empty());
+  std::set<std::string> seen_kinds;
+  for (const auto& record : records) {
+    EXPECT_TRUE(known_kinds.contains(record.kind))
+        << "runtime emitted unknown audit kind " << record.kind;
+    seen_kinds.insert(record.kind);
+    for (const auto& [key, value] : record.fields) {
+      EXPECT_NE(doc.find("`" + key + "`"), std::string::npos)
+          << "audit field key `" << key << "` (kind " << record.kind
+          << ") is emitted but not documented in docs/OBSERVABILITY.md";
+    }
+  }
+  // The exercised scenarios cover every kind except peer_auth (channel
+  // handshakes happen at world setup, outside any span, and are not
+  // audited by design).
+  for (const char* kind : {audit_kind::kVerify, audit_kind::kPolicy,
+                           audit_kind::kDelegation, audit_kind::kAdmission}) {
+    EXPECT_TRUE(seen_kinds.contains(kind)) << kind << " never emitted";
+  }
+  AuditLog::global().clear();
+}
+
+TEST(TelemetryContract, DocMatchesTraceContextWireTags) {
+  const std::string doc = read_doc();
+  const std::pair<const char*, tlv::Tag> tags[] = {
+      {"0xE270", sig::envelope_tag::kTraceContext},
+      {"0xE271", sig::envelope_tag::kTraceId},
+      {"0xE272", sig::envelope_tag::kOrigin},
+      {"0xE273", sig::envelope_tag::kSpanId},
+      {"0xE274", sig::envelope_tag::kHopCount},
+      {"0xE275", sig::envelope_tag::kSampled},
+  };
+  for (const auto& [text, tag] : tags) {
+    // The doc names the tag...
+    EXPECT_NE(doc.find("`" + std::string(text) + "`"), std::string::npos)
+        << "envelope tag " << text
+        << " is not documented in docs/OBSERVABILITY.md";
+    // ...and the documented hex value is the one the wire actually uses.
+    EXPECT_EQ(static_cast<tlv::Tag>(std::stoul(text, nullptr, 16)), tag);
   }
 }
 
