@@ -5,6 +5,10 @@
 #   BENCH_fig3.json    (fig3 stdout table + metrics snapshot, wrapped)
 #   BENCH_obs.json     (google-benchmark JSON for bench/micro_obs: hot-path
 #                       overhead traced vs detached + primitive costs)
+#   BENCH_admission.json (bench/load_broker: RARs/sec + p50/p99 for the
+#                       timeline pool vs the reference scan, the sharded
+#                       broker, parallel tunnels and batch admission;
+#                       format documented in docs/PERFORMANCE.md)
 # so successive PRs can diff the numbers.
 #
 # Usage: ./scripts/bench_snapshot.sh           (full run)
@@ -16,7 +20,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
 cmake --build build -j --target micro_crypto micro_obs \
-  fig3_signalling_latency >/dev/null
+  fig3_signalling_latency load_broker >/dev/null
 
 min_time=""
 if [[ "${SMOKE:-0}" == "1" ]]; then
@@ -49,4 +53,14 @@ json.dump(doc, sys.stdout, indent=1)
 sys.stdout.write("\n")
 EOF
 
-echo "bench_snapshot: wrote BENCH_crypto.json, BENCH_fig3.json and BENCH_obs.json"
+# load_broker writes its own JSON summary; run it from the workdir so the
+# per-run metrics snapshot doesn't land in the repo root.
+load_flags=""
+if [[ "${SMOKE:-0}" == "1" ]]; then
+  load_flags="--smoke"
+fi
+(cd "$workdir" &&
+  "$OLDPWD/build/bench/load_broker" ${load_flags:+"$load_flags"} \
+    --json-out "$OLDPWD/BENCH_admission.json" > load_broker.stdout.txt)
+
+echo "bench_snapshot: wrote BENCH_crypto.json, BENCH_fig3.json, BENCH_obs.json and BENCH_admission.json"

@@ -13,6 +13,13 @@
 #                                     trace-propagation/audit soak, a
 #                                     tracedump determinism check, and the
 #                                     micro_obs <5% hot-path overhead gate)
+#        ./scripts/tier1.sh --load   (admission load gates: pool equivalence
+#                                     suite under default + ASan, the
+#                                     concurrent batch-admit suite under the
+#                                     TSan preset, a load_broker smoke run
+#                                     gating timeline >= 5x reference at 10k
+#                                     live, and byte-identity of the fig3 /
+#                                     tunnel_scaling protocol stdout)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,6 +33,69 @@ if [[ "${1:-}" == "--bench" ]]; then
     --gtest_filter='Montgomery*:CryptoCache*:Rsa*:BigUInt*'
   SMOKE=1 ./scripts/bench_snapshot.sh
   echo "tier1 --bench: OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--load" ]]; then
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target bb_pool_equivalence_test \
+    bb_batch_admission_test load_broker fig3_signalling_latency \
+    tunnel_scaling >/dev/null
+  workdir=$(mktemp -d)
+  trap 'rm -rf "$workdir"' EXIT
+
+  # Decision-for-decision equivalence of the timeline pool vs the original
+  # scan (the reference oracle) — default build, then ASan/UBSan.
+  ./build/tests/bb_pool_equivalence_test
+  cmake --preset asan >/dev/null
+  cmake --build build-asan -j --target bb_pool_equivalence_test >/dev/null
+  ./build-asan/tests/bb_pool_equivalence_test
+  echo "tier1 --load: pool equivalence OK (default + asan)"
+
+  # Concurrent batch-admit + sharded broker state under ThreadSanitizer.
+  cmake --preset tsan >/dev/null
+  cmake --build build-tsan -j --target bb_batch_admission_test >/dev/null
+  ./build-tsan/tests/bb_batch_admission_test
+  echo "tier1 --load: batch/concurrent admission OK under TSan"
+
+  # Throughput gate: timeline pool >= 5x the reference scan at 10k live
+  # reservations (small --smoke iteration counts; the bench prints
+  # "RESULT pool_speedup_10k=<x>" and exits nonzero on its own checks).
+  (cd "$workdir" && "$OLDPWD/build/bench/load_broker" --smoke \
+    > load_broker.stdout.txt) || {
+      cat "$workdir/load_broker.stdout.txt"; exit 1; }
+  python3 - "$workdir/load_broker.stdout.txt" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+m = re.search(r"RESULT pool_speedup_10k=([0-9.]+)", text)
+if not m:
+    sys.exit("FAIL: load_broker did not report pool_speedup_10k")
+speedup = float(m.group(1))
+print(f"tier1 --load: timeline pool speedup at 10k live = {speedup:.1f}x")
+if speedup < 5.0:
+    sys.exit(f"FAIL: pool speedup {speedup:.2f}x below the 5x gate")
+EOF
+
+  # Protocol byte-identity: the fig3 stdout must match the committed
+  # BENCH_fig3.json snapshot exactly (grants, latencies, counters — the
+  # new wall-clock e2e_bb_admission_us series lives only in the metrics
+  # snapshot, never in stdout), and tunnel_scaling must be run-to-run
+  # deterministic.
+  (cd "$workdir" && "$OLDPWD/build/bench/fig3_signalling_latency" \
+    > fig3.stdout.txt)
+  python3 - "$workdir/fig3.stdout.txt" BENCH_fig3.json <<'EOF'
+import json, sys
+fresh = open(sys.argv[1]).read()
+committed = json.load(open(sys.argv[2]))["stdout"]
+if fresh != committed:
+    sys.exit("FAIL: fig3 stdout diverged from the committed BENCH_fig3.json")
+print("tier1 --load: fig3 stdout byte-identical to committed snapshot")
+EOF
+  (cd "$workdir" && "$OLDPWD/build/bench/tunnel_scaling" > tunnel.a.txt \
+    && "$OLDPWD/build/bench/tunnel_scaling" > tunnel.b.txt)
+  cmp "$workdir/tunnel.a.txt" "$workdir/tunnel.b.txt"
+  echo "tier1 --load: tunnel_scaling stdout run-to-run identical"
+  echo "tier1 --load: OK"
   exit 0
 fi
 

@@ -1,10 +1,24 @@
 #include "bb/bandwidth_broker.hpp"
 
+#include <chrono>
+
 #include "common/logging.hpp"
 #include "obs/audit.hpp"
 #include "obs/instruments.hpp"
 
 namespace e2e::bb {
+
+namespace {
+
+/// Wall-clock microseconds since `t0` (the admission histogram is the one
+/// wall-clock metric; everything else runs on virtual time).
+double wall_us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 BandwidthBroker::BandwidthBroker(BrokerConfig config,
                                  policy::PolicyServer policy_server,
@@ -16,8 +30,25 @@ BandwidthBroker::BandwidthBroker(BrokerConfig config,
       keys_(crypto::generate_keypair(rng, config_.key_bits)),
       certificate_(ca.issue(dn_, keys_.pub, cert_validity)),
       policy_server_(std::move(policy_server)),
-      local_pool_(config_.capacity_bits_per_s) {
+      local_pool_(config_.capacity_bits_per_s, config_.domain) {
   trust_store_.add_anchor(ca.root_certificate());
+  // Resolve the per-domain instruments once; references stay valid for the
+  // registry's lifetime, so the admission hot path never takes the
+  // registry mutex.
+  auto& registry = obs::MetricsRegistry::global();
+  const obs::Labels domain{{"domain", config_.domain}};
+  checks_admitted_ = &registry.counter(
+      obs::kBbAdmissionChecksTotal,
+      {{"domain", config_.domain}, {"result", "admitted"}});
+  checks_rejected_ = &registry.counter(
+      obs::kBbAdmissionChecksTotal,
+      {{"domain", config_.domain}, {"result", "rejected"}});
+  committed_counter_ =
+      &registry.counter(obs::kBbReservationsCommittedTotal, domain);
+  released_counter_ =
+      &registry.counter(obs::kBbReservationsReleasedTotal, domain);
+  active_gauge_ = &registry.gauge(obs::kBbReservationsActive, domain);
+  admission_hist_ = &registry.histogram(obs::kBbAdmissionUs, domain);
 }
 
 void BandwidthBroker::add_upstream_sla(sla::ServiceLevelAgreement agreement) {
@@ -25,7 +56,8 @@ void BandwidthBroker::add_upstream_sla(sla::ServiceLevelAgreement agreement) {
     trust_store_.add_anchor(*agreement.peer_ca_certificate);
   }
   peer_pools_.emplace(agreement.from_domain,
-                      CapacityPool(agreement.profile.rate_bits_per_s));
+                      CapacityPool(agreement.profile.rate_bits_per_s,
+                                   config_.domain));
   upstream_slas_[agreement.from_domain] = std::move(agreement);
 }
 
@@ -50,13 +82,21 @@ std::optional<std::string> BandwidthBroker::next_hop(
 
 Status BandwidthBroker::check_admission(const ResSpec& spec,
                                         const std::string& from_domain) const {
-  std::lock_guard lock(mutex_);
-  return check_admission_locked(spec, from_domain);
+  auto pre = precheck_admission(spec, from_domain);
+  if (!pre.ok()) return pre;
+  if (!local_pool_.can_admit(spec.interval, spec.rate_bits_per_s)) {
+    return make_error(ErrorCode::kAdmissionRejected,
+                      "domain capacity exhausted (headroom " +
+                          std::to_string(local_pool_.headroom(spec.interval)) +
+                          " bits/s)",
+                      config_.domain);
+  }
+  return Status::ok_status();
 }
 
-Status BandwidthBroker::check_admission_locked(
+Status BandwidthBroker::precheck_admission(
     const ResSpec& spec, const std::string& from_domain) const {
-  if (!spec.interval.valid() || spec.rate_bits_per_s <= 0) {
+  if (!spec.admissible()) {
     return make_error(ErrorCode::kInvalidArgument,
                       "reservation needs a valid interval and positive rate",
                       config_.domain);
@@ -85,56 +125,65 @@ Status BandwidthBroker::check_admission_locked(
                         config_.domain);
     }
   }
-  if (!local_pool_.can_admit(spec.interval, spec.rate_bits_per_s)) {
-    return make_error(ErrorCode::kAdmissionRejected,
-                      "domain capacity exhausted (headroom " +
-                          std::to_string(local_pool_.headroom(spec.interval)) +
-                          " bits/s)",
-                      config_.domain);
-  }
   return Status::ok_status();
+}
+
+void BandwidthBroker::record_rejection(const ResSpec& spec,
+                                       const std::string& reason) {
+  stats_.denied.fetch_add(1, std::memory_order_relaxed);
+  checks_rejected_->increment();
+  obs::AuditLog::global().append(
+      config_.domain, obs::audit_kind::kAdmission,
+      {{"result", "rejected"},
+       {"user", spec.user},
+       {"rate_bits_per_s", std::to_string(spec.rate_bits_per_s)},
+       {"residual_bits_per_s",
+        std::to_string(local_pool_.headroom(spec.interval))},
+       {"reason", reason}});
+}
+
+void BandwidthBroker::record_grant(const ResSpec& spec) {
+  stats_.granted.fetch_add(1, std::memory_order_relaxed);
+  checks_admitted_->increment();
+  obs::AuditLog::global().append(
+      config_.domain, obs::audit_kind::kAdmission,
+      {{"result", "admitted"},
+       {"user", spec.user},
+       {"rate_bits_per_s", std::to_string(spec.rate_bits_per_s)},
+       {"residual_bits_per_s",
+        std::to_string(local_pool_.headroom(spec.interval))}});
+  committed_counter_->increment();
+  active_gauge_->add(1);
 }
 
 Result<ReservationId> BandwidthBroker::commit(const ResSpec& spec,
                                               const std::string& from_domain) {
-  auto& registry = obs::MetricsRegistry::global();
-  auto count_admission = [&](const char* result) {
-    registry
-        .counter(obs::kBbAdmissionChecksTotal,
-                 {{"domain", config_.domain}, {"result", result}})
-        .increment();
-  };
-  // Audit every accept/reject with the residual local capacity the decision
-  // left behind; the record joins the caller's active admission span.
-  auto audit_admission = [&](const char* result, const std::string& reason) {
-    std::vector<std::pair<std::string, std::string>> fields;
-    fields.emplace_back("result", result);
-    fields.emplace_back("user", spec.user);
-    fields.emplace_back("rate_bits_per_s",
-                        std::to_string(spec.rate_bits_per_s));
-    fields.emplace_back(
-        "residual_bits_per_s",
-        std::to_string(local_pool_.headroom(spec.interval)));
-    if (!reason.empty()) fields.emplace_back("reason", reason);
-    obs::AuditLog::global().append(config_.domain, obs::audit_kind::kAdmission,
-                                   std::move(fields));
-  };
-  std::unique_lock lock(mutex_);
-  ++counters_.requests;
-  auto admissible = check_admission_locked(spec, from_domain);
+  const auto t0 = std::chrono::steady_clock::now();
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  // Advisory pre-pool checks (spec shape, SLA conformance). The local-pool
+  // check-and-insert below is the authoritative admission decision under
+  // concurrency.
+  auto admissible = precheck_admission(spec, from_domain);
+  if (admissible.ok() &&
+      !local_pool_.can_admit(spec.interval, spec.rate_bits_per_s)) {
+    admissible = make_error(
+        ErrorCode::kAdmissionRejected,
+        "domain capacity exhausted (headroom " +
+            std::to_string(local_pool_.headroom(spec.interval)) + " bits/s)",
+        config_.domain);
+  }
   if (!admissible.ok()) {
-    ++counters_.denied_admission;
-    count_admission("rejected");
-    audit_admission("rejected", admissible.error().message);
+    record_rejection(spec, admissible.error().message);
+    admission_hist_->observe(wall_us_since(t0));
     return admissible.error();
   }
   const ReservationId id =
-      config_.domain + "-resv-" + std::to_string(next_id_++);
+      config_.domain + "-resv-" +
+      std::to_string(next_id_.fetch_add(1, std::memory_order_relaxed));
   auto local = local_pool_.commit(id, spec.interval, spec.rate_bits_per_s);
   if (!local.ok()) {
-    ++counters_.denied_admission;
-    count_admission("rejected");
-    audit_admission("rejected", local.error().message);
+    record_rejection(spec, local.error().message);
+    admission_hist_->observe(wall_us_since(t0));
     return local.error();
   }
   if (!from_domain.empty()) {
@@ -142,89 +191,178 @@ Result<ReservationId> BandwidthBroker::commit(const ResSpec& spec,
                     .commit(id, spec.interval, spec.rate_bits_per_s);
     if (!peer.ok()) {
       (void)local_pool_.release(id);  // rollback
-      ++counters_.denied_admission;
-      count_admission("rejected");
-      audit_admission("rejected", peer.error().message);
+      record_rejection(spec, peer.error().message);
+      admission_hist_->observe(wall_us_since(t0));
       return peer.error();
     }
   }
   Reservation resv{id, spec, ReservationState::kGranted, from_domain};
-  reservations_.emplace(id, resv);
-  ++counters_.granted;
-  count_admission("admitted");
-  audit_admission("admitted", "");
-  registry
-      .counter(obs::kBbReservationsCommittedTotal,
-               {{"domain", config_.domain}})
-      .increment();
-  registry
-      .gauge(obs::kBbReservationsActive, {{"domain", config_.domain}})
-      .add(1);
-  lock.unlock();  // configurator may call back into the broker
+  {
+    RecordShard& shard = shard_for(id);
+    std::lock_guard lock(shard.mutex);
+    shard.records.emplace(id, resv);
+  }
+  record_grant(spec);
+  admission_hist_->observe(wall_us_since(t0));
   if (edge_configurator_) edge_configurator_(resv, /*install=*/true);
   log::info("bb[" + config_.domain + "]")
       << "committed " << id << ": " << spec.to_text();
   return id;
 }
 
-Status BandwidthBroker::release(const ReservationId& id) {
-  std::unique_lock lock(mutex_);
-  const auto it = reservations_.find(id);
-  if (it == reservations_.end()) {
-    return make_error(ErrorCode::kNotFound, "unknown reservation " + id,
-                      config_.domain);
+std::vector<Result<ReservationId>> BandwidthBroker::commit_batch(
+    const std::vector<ResSpec>& specs, const std::string& from_domain) {
+  const auto t0 = std::chrono::steady_clock::now();
+  stats_.requests.fetch_add(specs.size(), std::memory_order_relaxed);
+  std::vector<Result<ReservationId>> results(
+      specs.size(),
+      Result<ReservationId>(make_error(ErrorCode::kInternal, "unset")));
+
+  // Pre-pool validation, then one id per surviving spec (input order keeps
+  // handle numbering deterministic regardless of admission order).
+  struct Pending {
+    std::size_t index;
+    ReservationId id;
+  };
+  std::vector<Pending> pending;
+  std::vector<CapacityPool::BatchRequest> local_batch;
+  pending.reserve(specs.size());
+  local_batch.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    auto pre = precheck_admission(specs[i], from_domain);
+    if (!pre.ok()) {
+      record_rejection(specs[i], pre.error().message);
+      results[i] = pre.error();
+      continue;
+    }
+    ReservationId id =
+        config_.domain + "-resv-" +
+        std::to_string(next_id_.fetch_add(1, std::memory_order_relaxed));
+    local_batch.push_back(CapacityPool::BatchRequest{
+        id, specs[i].interval, specs[i].rate_bits_per_s});
+    pending.push_back(Pending{i, std::move(id)});
   }
-  Reservation resv = it->second;
+
+  // One lock acquisition on the local pool for the whole batch; the pool
+  // evaluates in ascending start order.
+  const std::vector<Status> local_statuses =
+      local_pool_.commit_batch(local_batch);
+  std::vector<Pending> admitted;
+  admitted.reserve(pending.size());
+  for (std::size_t j = 0; j < pending.size(); ++j) {
+    if (!local_statuses[j].ok()) {
+      record_rejection(specs[pending[j].index],
+                       local_statuses[j].error().message);
+      results[pending[j].index] = local_statuses[j].error();
+      continue;
+    }
+    admitted.push_back(std::move(pending[j]));
+  }
+
+  // Transit traffic additionally debits the per-peer SLA pool, again in
+  // one lock acquisition, rolling back local commits that don't fit.
+  if (!from_domain.empty() && !admitted.empty()) {
+    CapacityPool& peer = peer_pools_.at(from_domain);
+    std::vector<CapacityPool::BatchRequest> peer_batch;
+    peer_batch.reserve(admitted.size());
+    for (const Pending& p : admitted) {
+      peer_batch.push_back(CapacityPool::BatchRequest{
+          p.id, specs[p.index].interval, specs[p.index].rate_bits_per_s});
+    }
+    const std::vector<Status> peer_statuses = peer.commit_batch(peer_batch);
+    std::vector<Pending> kept;
+    kept.reserve(admitted.size());
+    for (std::size_t j = 0; j < admitted.size(); ++j) {
+      if (!peer_statuses[j].ok()) {
+        (void)local_pool_.release(admitted[j].id);  // rollback
+        record_rejection(specs[admitted[j].index],
+                         peer_statuses[j].error().message);
+        results[admitted[j].index] = peer_statuses[j].error();
+        continue;
+      }
+      kept.push_back(std::move(admitted[j]));
+    }
+    admitted = std::move(kept);
+  }
+
+  std::vector<Reservation> installed;
+  installed.reserve(admitted.size());
+  for (const Pending& p : admitted) {
+    Reservation resv{p.id, specs[p.index], ReservationState::kGranted,
+                     from_domain};
+    {
+      RecordShard& shard = shard_for(p.id);
+      std::lock_guard lock(shard.mutex);
+      shard.records.emplace(p.id, resv);
+    }
+    record_grant(specs[p.index]);
+    results[p.index] = p.id;
+    installed.push_back(std::move(resv));
+  }
+  // One observation covering the whole batch (documented in
+  // docs/OBSERVABILITY.md; per-RAR amortized cost is batch/size).
+  admission_hist_->observe(wall_us_since(t0));
+  if (edge_configurator_) {
+    for (const Reservation& resv : installed) {
+      edge_configurator_(resv, /*install=*/true);
+    }
+  }
+  log::info("bb[" + config_.domain + "]")
+      << "batch committed " << installed.size() << "/" << specs.size()
+      << " reservations";
+  return results;
+}
+
+Status BandwidthBroker::release(const ReservationId& id) {
+  Reservation resv;
+  {
+    RecordShard& shard = shard_for(id);
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.records.find(id);
+    if (it == shard.records.end()) {
+      return make_error(ErrorCode::kNotFound, "unknown reservation " + id,
+                        config_.domain);
+    }
+    resv = it->second;
+    shard.records.erase(it);
+  }
   (void)local_pool_.release(id);
   if (!resv.upstream_domain.empty()) {
     const auto pool_it = peer_pools_.find(resv.upstream_domain);
     if (pool_it != peer_pools_.end()) (void)pool_it->second.release(id);
   }
   resv.state = ReservationState::kReleased;
-  reservations_.erase(it);
-  ++counters_.released;
-  auto& registry = obs::MetricsRegistry::global();
-  registry
-      .counter(obs::kBbReservationsReleasedTotal,
-               {{"domain", config_.domain}})
-      .increment();
-  registry
-      .gauge(obs::kBbReservationsActive, {{"domain", config_.domain}})
-      .add(-1);
-  lock.unlock();
+  stats_.released.fetch_add(1, std::memory_order_relaxed);
+  released_counter_->increment();
+  active_gauge_->add(-1);
   if (edge_configurator_) edge_configurator_(resv, /*install=*/false);
   return Status::ok_status();
 }
 
 std::size_t BandwidthBroker::purge_expired(SimTime now) {
-  std::unique_lock lock(mutex_);
   std::vector<Reservation> purged;
-  for (auto it = reservations_.begin(); it != reservations_.end();) {
-    if (it->second.spec.interval.end <= now) {
-      purged.push_back(it->second);
-      (void)local_pool_.release(it->first);
-      if (!it->second.upstream_domain.empty()) {
-        const auto pool_it = peer_pools_.find(it->second.upstream_domain);
-        if (pool_it != peer_pools_.end()) {
-          (void)pool_it->second.release(it->first);
+  for (RecordShard& shard : record_shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (auto it = shard.records.begin(); it != shard.records.end();) {
+      if (it->second.spec.interval.end <= now) {
+        purged.push_back(it->second);
+        (void)local_pool_.release(it->first);
+        if (!it->second.upstream_domain.empty()) {
+          const auto pool_it = peer_pools_.find(it->second.upstream_domain);
+          if (pool_it != peer_pools_.end()) {
+            (void)pool_it->second.release(it->first);
+          }
         }
+        it = shard.records.erase(it);
+      } else {
+        ++it;
       }
-      it = reservations_.erase(it);
-    } else {
-      ++it;
     }
   }
   if (!purged.empty()) {
-    auto& registry = obs::MetricsRegistry::global();
-    registry
-        .counter(obs::kBbReservationsReleasedTotal,
-                 {{"domain", config_.domain}})
-        .increment(purged.size());
-    registry
-        .gauge(obs::kBbReservationsActive, {{"domain", config_.domain}})
-        .add(-static_cast<double>(purged.size()));
+    released_counter_->increment(purged.size());
+    active_gauge_->add(-static_cast<double>(purged.size()));
   }
-  lock.unlock();
   for (auto& resv : purged) {
     resv.state = ReservationState::kReleased;
     if (edge_configurator_) edge_configurator_(resv, /*install=*/false);
@@ -233,9 +371,10 @@ std::size_t BandwidthBroker::purge_expired(SimTime now) {
 }
 
 const Reservation* BandwidthBroker::find(const ReservationId& id) const {
-  std::lock_guard lock(mutex_);
-  const auto it = reservations_.find(id);
-  return it == reservations_.end() ? nullptr : &it->second;
+  const RecordShard& shard = shard_for(id);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.records.find(id);
+  return it == shard.records.end() ? nullptr : &it->second;
 }
 
 Result<TunnelId> BandwidthBroker::register_tunnel(
@@ -246,8 +385,13 @@ Result<TunnelId> BandwidthBroker::register_tunnel(
                       config_.domain);
   }
   const TunnelId id =
-      config_.domain + "-tunnel-" + std::to_string(next_id_++);
-  tunnels_.emplace(id, Tunnel(id, aggregate_spec));
+      config_.domain + "-tunnel-" +
+      std::to_string(next_id_.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::lock_guard lock(tunnels_mutex_);
+    auto [it, inserted] = tunnels_.emplace(id, Tunnel(id, aggregate_spec));
+    if (inserted) it->second.set_owner_domain(config_.domain);
+  }
   obs::MetricsRegistry::global()
       .counter(obs::kBbTunnelsRegisteredTotal, {{"domain", config_.domain}})
       .increment();
@@ -258,11 +402,13 @@ Result<TunnelId> BandwidthBroker::register_tunnel(
 }
 
 Tunnel* BandwidthBroker::find_tunnel(const TunnelId& id) {
+  std::lock_guard lock(tunnels_mutex_);
   const auto it = tunnels_.find(id);
   return it == tunnels_.end() ? nullptr : &it->second;
 }
 
 const Tunnel* BandwidthBroker::find_tunnel(const TunnelId& id) const {
+  std::lock_guard lock(tunnels_mutex_);
   const auto it = tunnels_.find(id);
   return it == tunnels_.end() ? nullptr : &it->second;
 }

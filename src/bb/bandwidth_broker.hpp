@@ -12,11 +12,14 @@
 // this interface.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "bb/admission.hpp"
 #include "bb/reservation.hpp"
@@ -26,6 +29,10 @@
 #include "crypto/certstore.hpp"
 #include "policy/policy_server.hpp"
 #include "sla/sla.hpp"
+
+namespace e2e::obs {
+class Histogram;
+}  // namespace e2e::obs
 
 namespace e2e::bb {
 
@@ -88,12 +95,18 @@ class BandwidthBroker {
   const policy::PolicyServer& policy_server() const { return policy_server_; }
 
   // --- Admission control ----------------------------------------------------
-  // Reservation state is guarded by an internal mutex: a broker is a
-  // server, and the parallel source-based engine issues concurrent
-  // requests against it.
+  // A broker is a server: the parallel source-based engine, concurrent
+  // tunnel sub-reservations and the load harness all issue requests
+  // against it from worker threads. Admission state is sharded instead of
+  // serialized behind one broker lock: each capacity pool carries its own
+  // internal mutex (commit is an atomic check+insert), reservation records
+  // are striped across kRecordShards lock shards keyed by handle hash, and
+  // the statistics counters / id source are atomics. SLA and routing
+  // tables are written only at setup and read lock-free afterwards.
 
   /// Check-only: would `spec`, arriving from `from_domain` ("" = local
-  /// user), be admissible right now?
+  /// user), be admissible right now? Advisory under concurrency — the
+  /// authoritative check is the pool's atomic check+insert inside commit().
   Status check_admission(const ResSpec& spec,
                          const std::string& from_domain) const;
 
@@ -102,6 +115,15 @@ class BandwidthBroker {
   /// SLA pool, with rollback on partial failure.
   Result<ReservationId> commit(const ResSpec& spec,
                                const std::string& from_domain);
+
+  /// Batch admission: admit a vector of RARs in one pool-lock acquisition
+  /// per touched pool (specs are evaluated in ascending interval.start
+  /// order; see CapacityPool::commit_batch). Results come back in input
+  /// order; each entry is the handle or the per-spec rejection. A batch's
+  /// decisions are identical to committing the same specs sequentially in
+  /// that sorted order.
+  std::vector<Result<ReservationId>> commit_batch(
+      const std::vector<ResSpec>& specs, const std::string& from_domain);
 
   Status release(const ReservationId& id);
   const Reservation* find(const ReservationId& id) const;
@@ -112,24 +134,29 @@ class BandwidthBroker {
   /// Returns the number purged.
   std::size_t purge_expired(SimTime now);
   std::size_t reservation_count() const {
-    std::lock_guard lock(mutex_);
-    return reservations_.size();
+    std::size_t n = 0;
+    for (const auto& shard : record_shards_) {
+      std::lock_guard lock(shard.mutex);
+      n += shard.records.size();
+    }
+    return n;
   }
-  double committed_at(SimTime t) const {
-    std::lock_guard lock(mutex_);
-    return local_pool_.committed_at(t);
-  }
+  double committed_at(SimTime t) const { return local_pool_.committed_at(t); }
   double headroom(const TimeInterval& iv) const {
-    std::lock_guard lock(mutex_);
     return local_pool_.headroom(iv);
   }
 
   // --- Tunnels --------------------------------------------------------------
   /// Record an established aggregate tunnel at this (end) domain.
+  /// Registration is locked; the returned Tunnel* stays valid (tunnels are
+  /// never erased) and is itself thread-safe for allocate/release.
   Result<TunnelId> register_tunnel(const ResSpec& aggregate_spec);
   Tunnel* find_tunnel(const TunnelId& id);
   const Tunnel* find_tunnel(const TunnelId& id) const;
-  std::size_t tunnel_count() const { return tunnels_.size(); }
+  std::size_t tunnel_count() const {
+    std::lock_guard lock(tunnels_mutex_);
+    return tunnels_.size();
+  }
 
   // --- Edge-router configuration --------------------------------------------
   /// Invoked on commit (install=true) and release (install=false); the
@@ -148,11 +175,37 @@ class BandwidthBroker {
     std::uint64_t released = 0;
   };
   Counters counters() const {
-    std::lock_guard lock(mutex_);
-    return counters_;
+    Counters c;
+    c.requests = stats_.requests.load(std::memory_order_relaxed);
+    c.granted = stats_.granted.load(std::memory_order_relaxed);
+    c.denied_admission = stats_.denied.load(std::memory_order_relaxed);
+    c.released = stats_.released.load(std::memory_order_relaxed);
+    return c;
   }
 
  private:
+  /// Reservation records are striped across this many lock shards (keyed
+  /// by handle hash) so concurrent commits/releases on different handles
+  /// don't contend on one broker-wide mutex.
+  static constexpr std::size_t kRecordShards = 16;
+  struct RecordShard {
+    mutable std::mutex mutex;
+    std::map<ReservationId, Reservation> records;
+  };
+  RecordShard& shard_for(const ReservationId& id) {
+    return record_shards_[std::hash<std::string>{}(id) % kRecordShards];
+  }
+  const RecordShard& shard_for(const ReservationId& id) const {
+    return record_shards_[std::hash<std::string>{}(id) % kRecordShards];
+  }
+
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> granted{0};
+    std::atomic<std::uint64_t> denied{0};
+    std::atomic<std::uint64_t> released{0};
+  };
+
   BrokerConfig config_;
   crypto::DistinguishedName dn_;
   crypto::KeyPair keys_;
@@ -160,23 +213,40 @@ class BandwidthBroker {
   crypto::TrustStore trust_store_;
   policy::PolicyServer policy_server_;
 
+  // Setup-time tables: written by add_upstream_sla()/set_next_hop() during
+  // world wiring, read lock-free afterwards (std::map nodes are stable and
+  // the pools carry their own locks).
   std::map<std::string, sla::ServiceLevelAgreement> upstream_slas_;
   std::map<std::string, CapacityPool> peer_pools_;
   std::map<std::string, std::string> next_hops_;
 
   CapacityPool local_pool_;
-  std::map<ReservationId, Reservation> reservations_;
+  std::array<RecordShard, kRecordShards> record_shards_;
+  mutable std::mutex tunnels_mutex_;
   std::map<TunnelId, Tunnel> tunnels_;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t next_cert_serial_ = 100000;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> next_cert_serial_{100000};
 
-  /// Unlocked implementation shared by check_admission() and commit().
-  Status check_admission_locked(const ResSpec& spec,
-                                const std::string& from_domain) const;
+  /// Pre-pool validation shared by check_admission() and commit(): spec
+  /// shape and SLA conformance (advisory; pools re-check atomically).
+  Status precheck_admission(const ResSpec& spec,
+                            const std::string& from_domain) const;
+  /// Per-decision bookkeeping shared by commit()/commit_batch().
+  void record_rejection(const ResSpec& spec, const std::string& reason);
+  void record_grant(const ResSpec& spec);
 
-  mutable std::mutex mutex_;
   EdgeConfigurator edge_configurator_;
-  Counters counters_;
+  AtomicCounters stats_;
+
+  // Cached instrument pointers (stable for the registry's lifetime);
+  // resolved once in the constructor so the admission hot path never takes
+  // the registry mutex.
+  obs::Counter* checks_admitted_ = nullptr;
+  obs::Counter* checks_rejected_ = nullptr;
+  obs::Counter* committed_counter_ = nullptr;
+  obs::Counter* released_counter_ = nullptr;
+  obs::Gauge* active_gauge_ = nullptr;
+  obs::Histogram* admission_hist_ = nullptr;
 };
 
 }  // namespace e2e::bb

@@ -37,6 +37,13 @@ struct ResSpec {
 
   bool operator==(const ResSpec&) const = default;
 
+  /// Structurally fit for admission control: a valid advance-reservation
+  /// window and a positive rate. Brokers reject anything else before
+  /// touching a capacity pool (single and batch paths share this gate).
+  bool admissible() const {
+    return interval.valid() && rate_bits_per_s > 0;
+  }
+
   Bytes encode() const;
   static Result<ResSpec> decode(BytesView data);
 

@@ -9,6 +9,7 @@
 
 #include <set>
 #include <string>
+#include <vector>
 
 #include "bb/admission.hpp"
 #include "bb/reservation.hpp"
@@ -29,26 +30,63 @@ class Tunnel {
   const ResSpec& spec() const { return spec_; }
   double aggregate_rate() const { return spec_.rate_bits_per_s; }
 
-  /// Principals authorized to draw bandwidth from this tunnel.
+  /// Domain whose broker registered this tunnel; labels the pool's
+  /// rejection counter and boundary gauge. Call before concurrent use.
+  void set_owner_domain(std::string domain) {
+    pool_.set_owner_domain(std::move(domain));
+  }
+
+  /// Principals authorized to draw bandwidth from this tunnel. Setup-time
+  /// only: authorization is not synchronized against concurrent allocate().
   void authorize(const std::string& user_dn) { authorized_.insert(user_dn); }
   bool is_authorized(const std::string& user_dn) const {
     return authorized_.contains(user_dn);
   }
 
   /// Allocate a per-flow slice inside the aggregate. Only the two end
-  /// domains run this check — no intermediate signalling.
+  /// domains run this check — no intermediate signalling. Thread-safe:
+  /// the pool's internal lock makes the check-and-commit atomic.
   Status allocate(const ReservationId& sub_id, const std::string& user_dn,
                   const TimeInterval& interval, double rate) {
-    if (!is_authorized(user_dn)) {
-      return make_error(ErrorCode::kPolicyDenied,
-                        user_dn + " not authorized for tunnel " + id_);
-    }
-    if (!spec_.interval.contains(interval.start) ||
-        interval.end > spec_.interval.end) {
-      return make_error(ErrorCode::kAdmissionRejected,
-                        "sub-reservation outside tunnel lifetime");
-    }
+    auto gate = admission_gate(user_dn, interval);
+    if (!gate.ok()) return gate;
     return pool_.commit(sub_id, interval, rate);
+  }
+
+  /// One per-flow request inside a batch allocation.
+  struct SubFlowRequest {
+    ReservationId sub_id;
+    std::string user_dn;
+    TimeInterval interval;
+    double rate = 0;
+  };
+
+  /// Admit a vector of per-flow requests against the aggregate in one
+  /// pool-lock acquisition (sorted by interval start; see
+  /// CapacityPool::commit_batch). Statuses come back in input order;
+  /// authorization/lifetime failures never reach the pool.
+  std::vector<Status> allocate_batch(
+      const std::vector<SubFlowRequest>& flows) {
+    std::vector<Status> statuses(flows.size(), Status::ok_status());
+    std::vector<CapacityPool::BatchRequest> pool_batch;
+    std::vector<std::size_t> pool_index;
+    pool_batch.reserve(flows.size());
+    pool_index.reserve(flows.size());
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      auto gate = admission_gate(flows[i].user_dn, flows[i].interval);
+      if (!gate.ok()) {
+        statuses[i] = std::move(gate);
+        continue;
+      }
+      pool_batch.push_back(CapacityPool::BatchRequest{
+          flows[i].sub_id, flows[i].interval, flows[i].rate});
+      pool_index.push_back(i);
+    }
+    std::vector<Status> pool_statuses = pool_.commit_batch(pool_batch);
+    for (std::size_t j = 0; j < pool_statuses.size(); ++j) {
+      statuses[pool_index[j]] = std::move(pool_statuses[j]);
+    }
+    return statuses;
   }
 
   Status release(const ReservationId& sub_id) { return pool_.release(sub_id); }
@@ -62,6 +100,21 @@ class Tunnel {
   std::size_t active_allocations() const { return pool_.commitment_count(); }
 
  private:
+  /// Authorization + lifetime checks shared by allocate()/allocate_batch().
+  Status admission_gate(const std::string& user_dn,
+                        const TimeInterval& interval) const {
+    if (!is_authorized(user_dn)) {
+      return make_error(ErrorCode::kPolicyDenied,
+                        user_dn + " not authorized for tunnel " + id_);
+    }
+    if (!spec_.interval.contains(interval.start) ||
+        interval.end > spec_.interval.end) {
+      return make_error(ErrorCode::kAdmissionRejected,
+                        "sub-reservation outside tunnel lifetime");
+    }
+    return Status::ok_status();
+  }
+
   TunnelId id_;
   ResSpec spec_;
   CapacityPool pool_;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bb/bandwidth_broker.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/collector.hpp"
 #include "obs/trace.hpp"
 #include "policy/cas.hpp"
@@ -60,6 +61,11 @@ struct ChainWorldConfig {
   std::uint64_t fault_seed = 20010801;
   /// Retry/backoff policy installed on both signalling engines.
   sig::RetryPolicy retry_policy;
+  /// Worker threads for concurrent tunnel admission (0 = sequential).
+  /// When set, the world owns a ThreadPool and attaches it to the
+  /// hop-by-hop engine so reserve_in_tunnel_batch evaluates the two
+  /// endpoint pools in parallel; grants are identical either way.
+  std::size_t admission_threads = 0;
 };
 
 class ChainWorld {
@@ -149,7 +155,15 @@ class ChainWorld {
     }
     engine_.set_retry_policy(config.retry_policy);
     source_engine_.set_retry_policy(config.retry_policy);
+    if (config.admission_threads > 0) {
+      admission_pool_ = std::make_unique<ThreadPool>(config.admission_threads);
+      engine_.set_admission_pool(admission_pool_.get());
+    }
   }
+
+  /// The world-owned admission worker pool (nullptr when
+  /// admission_threads == 0).
+  ThreadPool* admission_pool() { return admission_pool_.get(); }
 
   static std::string domain_name(std::size_t i) {
     if (i < 26) return std::string("Domain") + static_cast<char>('A' + i);
@@ -254,6 +268,9 @@ class ChainWorld {
   std::vector<std::unique_ptr<bb::BandwidthBroker>> brokers_;
   policy::CommunityAuthorizationServer cas_esnet_;
   policy::GroupServer group_server_{"world-group-server"};
+  // Declared before the engines so it outlives them (the engines hold a
+  // raw pointer to the pool while an admission batch is in flight).
+  std::unique_ptr<ThreadPool> admission_pool_;
   sig::Fabric fabric_;
   sig::HopByHopEngine engine_;
   sig::SourceDomainEngine source_engine_;

@@ -13,9 +13,15 @@ std::vector<MetricInfo> build_catalog() {
       {kBbAdmissionChecksTotal, MetricType::kCounter, kOne,
        {"domain", "result"},
        "Admission decisions at reservation commit time"},
+      {kBbAdmissionUs, MetricType::kHistogram, kUs, {"domain"},
+       "Wall-clock time a broker spent deciding one admission (or one "
+       "batch)"},
+      {kBbPoolBoundaries, MetricType::kGauge, kOne, {"domain"},
+       "Live boundary points across a domain's timeline-indexed capacity "
+       "pools"},
       {kBbPoolCommitsTotal, MetricType::kCounter, kOne, {},
        "CapacityPool commitments (domain, peer-SLA and tunnel pools)"},
-      {kBbPoolRejectionsTotal, MetricType::kCounter, kOne, {},
+      {kBbPoolRejectionsTotal, MetricType::kCounter, kOne, {"domain"},
        "CapacityPool commits refused (rate does not fit the interval)"},
       {kBbPoolReleasesTotal, MetricType::kCounter, kOne, {},
        "CapacityPool releases"},
@@ -141,6 +147,13 @@ void register_all(MetricsRegistry& registry) {
     if (info.type == MetricType::kHistogram &&
         std::string(info.name) == kSigRetryAttempts) {
       metadata.buckets = {1, 2, 3, 4, 5, 6, 7, 8};
+    }
+    // Admission decisions are wall-clock and fast (sub-us to low ms), far
+    // below the default virtual-time latency ladder.
+    if (info.type == MetricType::kHistogram &&
+        std::string(info.name) == kBbAdmissionUs) {
+      metadata.buckets = {0.5, 1,   2,   5,    10,   20,  50,
+                          100, 200, 500, 1000, 2000, 5000};
     }
     registry.declare(std::move(metadata));
   }

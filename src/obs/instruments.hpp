@@ -143,12 +143,21 @@ inline constexpr char kBbReservationsActive[] = "e2e_bb_reservations_active";
 /// Aggregate tunnels registered. Labels: domain.
 inline constexpr char kBbTunnelsRegisteredTotal[] =
     "e2e_bb_tunnels_registered_total";
+/// Wall-clock time a broker spent deciding one admission (or one batch;
+/// the only wall-clock histogram — every other latency metric is virtual
+/// time, so this family's values vary run to run). Labels: domain.
+inline constexpr char kBbAdmissionUs[] = "e2e_bb_admission_us";
 
 // --- bb: capacity pools (admission.cpp; domain, peer-SLA and tunnel pools) ---
 inline constexpr char kBbPoolCommitsTotal[] = "e2e_bb_pool_commits_total";
 inline constexpr char kBbPoolReleasesTotal[] = "e2e_bb_pool_releases_total";
-/// Commits refused because the rate does not fit the interval.
+/// Commits refused because the rate does not fit the interval. Labels:
+/// domain (of the owning broker; unlabelled for free-standing pools).
 inline constexpr char kBbPoolRejectionsTotal[] = "e2e_bb_pool_rejections_total";
+/// Live boundary points across a domain's timeline-indexed pools (local,
+/// peer-SLA and tunnel pools; at most 2x the live commitments). Labels:
+/// domain (unlabelled for free-standing pools).
+inline constexpr char kBbPoolBoundaries[] = "e2e_bb_pool_boundaries";
 
 // --- policy --------------------------------------------------------------------
 /// Policy-server decisions. Labels: domain, decision=grant|deny.

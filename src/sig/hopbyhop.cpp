@@ -146,6 +146,7 @@ Result<RarMessage> HopByHopEngine::build_user_request(
                       "unknown source domain " + spec.source_domain);
   }
   std::vector<Bytes> capability_certs;
+  capability_certs.reserve(2);  // root capability + one delegation layer
   if (user.capability_certificate.has_value()) {
     if (!user.proxy_key.has_value()) {
       return make_error(ErrorCode::kInvalidArgument,
@@ -175,6 +176,7 @@ HopByHopEngine::validate_capabilities(Node& node, const VerifiedRar& vr,
                                       SimTime at) const {
   std::vector<policy::ValidatedCapability> out;
   if (vr.capability_certs.empty()) return out;
+  out.reserve(1);  // one validated chain per RAR
   auto chain = decode_chain(vr.capability_certs);
   if (!chain.ok()) {
     log::warn("sig[" + node.broker->domain() + "]")
@@ -1068,6 +1070,193 @@ Result<HopByHopEngine::Outcome> HopByHopEngine::reserve_in_tunnel(
   outcome.reply.handles.emplace_back(rec.source_domain, sub_id);
   outcome.reply.handles.emplace_back(rec.destination_domain, sub_id);
   outcome.reply.tunnel_id = tunnel_id;
+  return finish(std::move(outcome));
+}
+
+Result<HopByHopEngine::TunnelBatchOutcome>
+HopByHopEngine::reserve_in_tunnel_batch(
+    const std::string& tunnel_id, const std::vector<TunnelFlowRequest>& flows,
+    SimTime at) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter(obs::kSigRarRequestsTotal, engine_label("tunnel"))
+      .increment(flows.size());
+  const auto it = tunnels_.find(tunnel_id);
+  if (it == tunnels_.end()) {
+    return make_error(ErrorCode::kNotFound, "unknown tunnel " + tunnel_id);
+  }
+  TunnelRecord& rec = it->second;
+  Node* src = find_node(rec.source_domain);
+  Node* dst = find_node(rec.destination_domain);
+  if (src == nullptr || dst == nullptr) {
+    return make_error(ErrorCode::kInternal, "tunnel endpoints missing");
+  }
+  bb::Tunnel* src_tunnel = src->broker->find_tunnel(rec.source_handle);
+  bb::Tunnel* dst_tunnel = dst->broker->find_tunnel(rec.destination_handle);
+  if (src_tunnel == nullptr || dst_tunnel == nullptr) {
+    return make_error(ErrorCode::kInternal, "tunnel state missing");
+  }
+
+  TunnelBatchOutcome outcome;
+  outcome.replies.reserve(flows.size());
+  std::vector<bb::Tunnel::SubFlowRequest> batch;
+  batch.reserve(flows.size());
+  for (const TunnelFlowRequest& flow : flows) {
+    batch.push_back(bb::Tunnel::SubFlowRequest{
+        tunnel_id + "-flow-" + std::to_string(rec.next_sub++), flow.user_dn,
+        flow.interval, flow.rate});
+  }
+  (void)at;
+
+  auto finish = [&](TunnelBatchOutcome o) {
+    for (const RarReply& reply : o.replies) {
+      registry
+          .counter(obs::kSigRarOutcomesTotal,
+                   {{"engine", "tunnel"},
+                    {"outcome", reply.granted ? "granted" : "denied"}})
+          .increment();
+      registry.histogram(obs::kSigE2eLatencyUs, engine_label("tunnel"))
+          .observe(static_cast<double>(o.latency));
+    }
+    return o;
+  };
+
+  // The user hands the whole batch to the source BB in one message.
+  outcome.latency += 2 * src->options.user_link_latency;
+  outcome.latency += fabric_->processing_delay();
+  fabric_->record_message("user", rec.source_domain, 64 + 64 * flows.size());
+  outcome.messages++;
+
+  // One source<->destination round trip carries the batch. Unlike the
+  // per-flow path, nothing is committed until the exchange succeeds, so a
+  // retransmitted batch needs no idempotency cache and a dark destination
+  // leaves zero residual state.
+  const Bytes wire = to_bytes("tunnel-alloc-batch:" + tunnel_id + ":" +
+                              std::to_string(batch.size()));
+  const crypto::Digest request_digest = crypto::sha256(wire);
+  std::uint64_t jitter_seed = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    jitter_seed = (jitter_seed << 8) | request_digest[i];
+  }
+  bool exchange_complete = false;
+  std::size_t attempts_used = 0;
+  for (std::size_t attempt = 1; attempt <= retry_policy_.max_attempts;
+       ++attempt) {
+    attempts_used = attempt;
+    if (attempt > 1) {
+      registry.counter(obs::kSigRetransmitsTotal, engine_label("tunnel"))
+          .increment();
+    }
+    const SimDuration timeout =
+        retry_timeout(retry_policy_, attempt, jitter_seed);
+    auto attempt_timed_out = [&] {
+      registry.counter(obs::kSigTimeoutsTotal, engine_label("tunnel"))
+          .increment();
+      outcome.latency += timeout;
+    };
+
+    const Record record = rec.source_session.seal(wire);
+    Delivery sent =
+        fabric_->transmit(rec.source_domain, rec.destination_domain, wire);
+    outcome.messages++;
+    if (!sent.delivered()) {
+      attempt_timed_out();
+      continue;
+    }
+    Record received = record;
+    received.payload = sent.payload;
+    auto opened = rec.destination_session.open(received);
+    if (sent.duplicated) {
+      (void)rec.destination_session.open(received);
+      registry
+          .counter(obs::kSigDuplicatesSuppressedTotal, {{"via", "channel"}})
+          .increment();
+    }
+    if (!opened.ok()) {
+      attempt_timed_out();
+      continue;
+    }
+    const Bytes reply_wire(64, 0);
+    Delivery back = fabric_->transmit(rec.destination_domain,
+                                      rec.source_domain, reply_wire);
+    outcome.messages++;
+    if (!back.delivered()) {
+      attempt_timed_out();
+      continue;
+    }
+    outcome.latency += sent.latency + back.latency;
+    exchange_complete = true;
+    break;
+  }
+  if (attempts_used > 1) {
+    registry.histogram(obs::kSigRetryAttempts, engine_label("tunnel"))
+        .observe(static_cast<double>(attempts_used));
+  }
+  if (!exchange_complete) {
+    const Error timeout_error = make_error(
+        ErrorCode::kTimeout,
+        "no answer from " + rec.destination_domain + " after " +
+            std::to_string(attempts_used) + " attempts",
+        rec.source_domain);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      outcome.replies.push_back(RarReply::deny(timeout_error));
+    }
+    return finish(std::move(outcome));
+  }
+
+  // Both endpoints evaluate the full batch against their tunnel pools —
+  // independent pools, so running them concurrently (admission pool
+  // attached) grants exactly what sequential evaluation grants.
+  outcome.latency += 2 * fabric_->processing_delay();
+  std::vector<Status> src_statuses;
+  std::vector<Status> dst_statuses;
+  if (admission_pool_ != nullptr) {
+    auto src_future =
+        admission_pool_->submit([&] { return src_tunnel->allocate_batch(batch); });
+    auto dst_future =
+        admission_pool_->submit([&] { return dst_tunnel->allocate_batch(batch); });
+    src_statuses = src_future.get();
+    dst_statuses = dst_future.get();
+  } else {
+    src_statuses = src_tunnel->allocate_batch(batch);
+    dst_statuses = dst_tunnel->allocate_batch(batch);
+  }
+  auto audit_end = [&](const std::string& domain, const std::string& sub_id,
+                       double rate, bool admitted) {
+    obs::AuditLog::global().append(
+        domain, obs::audit_kind::kAdmission,
+        {{"result", admitted ? "admitted" : "rejected"},
+         {"flow", sub_id},
+         {"rate_bits_per_s", std::to_string(rate)}});
+  };
+
+  // A flow is granted iff both ends admitted it; one-sided admissions are
+  // rolled back so the tunnel halves never diverge. Denials report the
+  // source's error first (the per-flow path never consults the
+  // destination once the source rejects).
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const bool src_ok = src_statuses[i].ok();
+    const bool dst_ok = dst_statuses[i].ok();
+    audit_end(rec.source_domain, batch[i].sub_id, batch[i].rate, src_ok);
+    audit_end(rec.destination_domain, batch[i].sub_id, batch[i].rate, dst_ok);
+    if (src_ok && dst_ok) {
+      rec.completed_subs.insert(batch[i].sub_id);
+      RarReply reply = RarReply::approve();
+      reply.handles.emplace_back(rec.source_domain, batch[i].sub_id);
+      reply.handles.emplace_back(rec.destination_domain, batch[i].sub_id);
+      reply.tunnel_id = tunnel_id;
+      outcome.replies.push_back(std::move(reply));
+      ++outcome.granted;
+      continue;
+    }
+    if (src_ok) (void)src_tunnel->release(batch[i].sub_id);
+    if (dst_ok) (void)dst_tunnel->release(batch[i].sub_id);
+    Error denial =
+        !src_ok ? src_statuses[i].error() : dst_statuses[i].error();
+    if (denial.origin.empty()) {
+      denial.origin = !src_ok ? rec.source_domain : rec.destination_domain;
+    }
+    outcome.replies.push_back(RarReply::deny(std::move(denial)));
+  }
   return finish(std::move(outcome));
 }
 

@@ -134,6 +134,12 @@ class HopByHopEngine {
   /// the engine's use; results are identical either way.
   void set_verify_pool(ThreadPool* pool) { verify_pool_ = pool; }
 
+  /// Attach a thread pool used to run the two endpoint evaluations of a
+  /// batched tunnel allocation concurrently (reserve_in_tunnel_batch).
+  /// Pass nullptr to go back to sequential evaluation. The pool must
+  /// outlive the engine's use; grants are identical either way.
+  void set_admission_pool(ThreadPool* pool) { admission_pool_ = pool; }
+
   /// Attach a trace recorder: every reserve() then produces a per-request
   /// trace tree (root reservation span, one hop span per broker, step spans
   /// for verify/policy/admission/sign_and_forward) against virtual time.
@@ -166,6 +172,37 @@ class HopByHopEngine {
                                     TimeInterval interval, SimTime at);
   Status release_in_tunnel(const std::string& tunnel_id,
                            const std::string& sub_id);
+
+  /// One per-flow request inside a batched tunnel allocation.
+  struct TunnelFlowRequest {
+    std::string user_dn;
+    double rate = 0;
+    TimeInterval interval;
+  };
+
+  /// Per-flow replies of a batched tunnel allocation, in input order.
+  struct TunnelBatchOutcome {
+    std::vector<RarReply> replies;
+    std::size_t granted = 0;
+    /// Modeled end-to-end latency of the whole batch (one wire exchange).
+    SimDuration latency = 0;
+    std::size_t messages = 0;
+  };
+
+  /// Batched tunnel sub-reservations: one wire exchange carries the whole
+  /// vector to the destination endpoint, then BOTH end domains evaluate
+  /// the full batch against their tunnel pools in one lock acquisition
+  /// each (ascending interval.start order; see Tunnel::allocate_batch).
+  /// A flow is granted iff both endpoints admit it — one-sided admissions
+  /// are rolled back, so the two tunnel halves never diverge. With an
+  /// admission pool attached (set_admission_pool) the two endpoint batch
+  /// evaluations run concurrently; grants are identical either way because
+  /// the endpoints evaluate independent pools. If the exchange exhausts
+  /// the retry budget (or the reply leg is lost) nothing is committed and
+  /// every flow is denied with kTimeout.
+  Result<TunnelBatchOutcome> reserve_in_tunnel_batch(
+      const std::string& tunnel_id,
+      const std::vector<TunnelFlowRequest>& flows, SimTime at);
 
   /// Scenario observer: called at each BB with the request as that broker
   /// verified it (drives the Fig. 7 walkthrough).
@@ -268,6 +305,7 @@ class HopByHopEngine {
   Observer observer_;
   obs::TraceRecorder* tracer_ = nullptr;
   ThreadPool* verify_pool_ = nullptr;
+  ThreadPool* admission_pool_ = nullptr;
 };
 
 }  // namespace e2e::sig

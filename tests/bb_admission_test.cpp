@@ -86,6 +86,48 @@ TEST(CapacityPool, CommittedAtInstant) {
   EXPECT_DOUBLE_EQ(pool.committed_at(seconds(4)), 0);
 }
 
+// Regression: the pre-timeline scan collected boundary points with
+// duplicates and no ordering guarantee, so many commitments sharing one
+// start instant could mis-evaluate the peak. Pile 40 flows onto the same
+// start with staggered ends and check the step-down profile exactly, on
+// both the timeline index and the reference scan.
+TEST(CapacityPool, ManySameStartCommitmentsPeakExact) {
+  CapacityPool pool(1000e6);
+  constexpr int kFlows = 40;
+  for (int i = 0; i < kFlows; ++i) {
+    ASSERT_TRUE(pool
+                    .commit("f" + std::to_string(i),
+                            {seconds(10), seconds(11 + i)}, 1e6)
+                    .ok());
+  }
+  // Shared start + staggered ends: one boundary per distinct instant.
+  EXPECT_EQ(pool.boundary_count(), static_cast<std::size_t>(kFlows + 1));
+  // Peak over the whole span is all flows stacked at the shared start.
+  EXPECT_DOUBLE_EQ(pool.peak_committed({0, seconds(100)}),
+                   static_cast<double>(kFlows) * 1e6);
+  EXPECT_DOUBLE_EQ(pool.peak_committed_reference({0, seconds(100)}),
+                   static_cast<double>(kFlows) * 1e6);
+  // The profile steps down by exactly one flow per second after t=11.
+  for (int i = 0; i < kFlows; ++i) {
+    const double expect = static_cast<double>(kFlows - i) * 1e6;
+    EXPECT_DOUBLE_EQ(pool.peak_committed({seconds(10 + i), seconds(200)}),
+                     expect)
+        << "suffix starting at " << 10 + i << " s";
+    EXPECT_DOUBLE_EQ(pool.committed_at(seconds(10 + i)), expect);
+    EXPECT_DOUBLE_EQ(pool.committed_at_reference(seconds(10 + i)), expect);
+  }
+  // A request overlapping only the tail sees only the tail's load.
+  EXPECT_TRUE(pool.can_admit({seconds(11 + kFlows - 1), seconds(60)},
+                             1000e6 - 1e6));
+  EXPECT_FALSE(pool.can_admit({seconds(10), seconds(60)},
+                              1000e6 - (kFlows - 1) * 1e6));
+  // Releasing every flow empties the index completely.
+  for (int i = 0; i < kFlows; ++i) {
+    ASSERT_TRUE(pool.release("f" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(pool.boundary_count(), 0u);
+}
+
 // Property: under random workloads, committed rate never exceeds capacity
 // at any commitment boundary.
 class CapacityPoolRandomWorkload
