@@ -15,6 +15,11 @@
 //            sharded state must scale near-linearly).
 //   Phase D  batch admission: commit_batch in chunks vs one-by-one
 //            commits against identically prepared brokers.
+//   Phase E  WAL overhead (ISSUE 6): the same commit churn with durability
+//            off, write-no-sync, fsync-before-ack, and fsync + batch-64
+//            (one group-committed record per batch). The fsync modes price
+//            the durability contract; the batch row shows the group commit
+//            amortizing it.
 //
 // Latency percentiles are wall-clock (std::chrono::steady_clock), like the
 // e2e_bb_admission_us histogram and unlike every protocol-level metric —
@@ -29,11 +34,13 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bb/bandwidth_broker.hpp"
+#include "bb/wal.hpp"
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 
@@ -328,6 +335,80 @@ BatchSample bench_batch(std::size_t live, std::size_t total,
   return s;
 }
 
+struct WalSample {
+  std::string mode;  // off | nosync | fsync | fsync_batch64
+  double rars_per_s = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+/// Phase E: the Phase-B commit workload under each durability mode. The
+/// batch row commits the same specs through commit_batch in chunks of 64 —
+/// one WAL record and (at most) one fsync per chunk.
+WalSample bench_wal(const std::string& mode, std::size_t live,
+                    std::size_t ops) {
+  WalSample s;
+  s.mode = mode;
+  BrokerHarness h;
+  std::unique_ptr<WriteAheadLog> wal;
+  const std::string path = "/tmp/e2e_load_broker_" + mode + ".wal";
+  std::remove(path.c_str());
+  if (mode != "off") {
+    auto opened = WriteAheadLog::open(
+        path, mode == "nosync" ? WriteAheadLog::SyncMode::kNone
+                               : WriteAheadLog::SyncMode::kFsync);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "wal open failed: %s\n",
+                   opened.error().to_text().c_str());
+      return s;
+    }
+    wal = std::move(*opened);
+    h.broker.attach_wal(wal.get());
+  }
+  for (const ChurnOp& op : make_churn(13, live, live)) {
+    (void)h.broker.commit(BrokerHarness::spec(op), "");
+  }
+  const auto offered = make_churn(31, ops, live);
+  std::vector<double> latencies;
+  latencies.reserve(ops);
+  const auto t0 = Clock::now();
+  if (mode == "fsync_batch64") {
+    std::vector<ResSpec> chunk;
+    chunk.reserve(64);
+    for (std::size_t i = 0; i < offered.size(); ++i) {
+      chunk.push_back(BrokerHarness::spec(offered[i]));
+      if (chunk.size() == 64 || i + 1 == offered.size()) {
+        const auto op_t0 = Clock::now();
+        (void)h.broker.commit_batch(chunk, "");
+        const double us =
+            std::chrono::duration<double, std::micro>(Clock::now() - op_t0)
+                .count();
+        // Per-RAR amortized latency, comparable with the other rows.
+        for (std::size_t j = 0; j < chunk.size(); ++j) {
+          latencies.push_back(us / static_cast<double>(chunk.size()));
+        }
+        chunk.clear();
+      }
+    }
+  } else {
+    for (const ChurnOp& op : offered) {
+      const auto op_t0 = Clock::now();
+      (void)h.broker.commit(BrokerHarness::spec(op), "");
+      latencies.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - op_t0)
+              .count());
+    }
+  }
+  const double elapsed = secs_since(t0);
+  s.rars_per_s = static_cast<double>(ops) / elapsed;
+  s.p50_us = percentile(latencies, 0.50);
+  s.p99_us = percentile(latencies, 0.99);
+  h.broker.attach_wal(nullptr);
+  wal.reset();
+  std::remove(path.c_str());
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -427,6 +508,27 @@ int main(int argc, char** argv) {
           batch.batch_rars_per_s / batch.individual_rars_per_s);
   ok &= bu::check(batch.batch_rars_per_s > 0, "batch admission completes");
 
+  bu::rule();
+  bu::note("Phase E: WAL overhead (durability off / no-sync / fsync / "
+           "fsync+batch64)");
+  const std::size_t wal_live = smoke ? 1000 : 10000;
+  const std::size_t wal_ops = smoke ? 600 : 3000;
+  std::vector<WalSample> wal_samples;
+  for (const char* mode : {"off", "nosync", "fsync", "fsync_batch64"}) {
+    const WalSample s = bench_wal(mode, wal_live, wal_ops);
+    wal_samples.push_back(s);
+    bu::row("wal=%-13s %10.0f RARs/s   p50 %8.2f us   p99 %8.2f us",
+            s.mode.c_str(), s.rars_per_s, s.p50_us, s.p99_us);
+  }
+  const double fsync_cost =
+      wal_samples[0].rars_per_s / wal_samples[2].rars_per_s;
+  const double batch_recovery =
+      wal_samples[3].rars_per_s / wal_samples[2].rars_per_s;
+  std::printf("RESULT wal_fsync_slowdown=%.2f wal_batch_speedup=%.2f\n",
+              fsync_cost, batch_recovery);
+  ok &= bu::check(wal_samples[2].rars_per_s > 0,
+                  "fsync-before-ack sustains load");
+
   if (!json_out.empty()) {
     std::ofstream out(json_out);
     out << "{\n \"bench\": \"load_broker\",\n \"smoke\": "
@@ -456,7 +558,16 @@ int main(int argc, char** argv) {
     }
     out << "\n ],\n \"batch\": {\"batch_size\": " << batch.batch_size
         << ", \"individual_rars_per_s\": " << batch.individual_rars_per_s
-        << ", \"batch_rars_per_s\": " << batch.batch_rars_per_s << "}\n}\n";
+        << ", \"batch_rars_per_s\": " << batch.batch_rars_per_s << "},\n"
+        << " \"wal\": [";
+    for (std::size_t i = 0; i < wal_samples.size(); ++i) {
+      const WalSample& s = wal_samples[i];
+      out << (i ? ",\n  " : "\n  ") << "{\"mode\": \"" << s.mode
+          << "\", \"rars_per_s\": " << s.rars_per_s
+          << ", \"p50_us\": " << s.p50_us << ", \"p99_us\": " << s.p99_us
+          << "}";
+    }
+    out << "\n ]\n}\n";
     std::printf("  wrote %s\n", json_out.c_str());
   }
   bu::dump_metrics_snapshot("load_broker");

@@ -7,7 +7,8 @@
 #                       overhead traced vs detached + primitive costs)
 #   BENCH_admission.json (bench/load_broker: RARs/sec + p50/p99 for the
 #                       timeline pool vs the reference scan, the sharded
-#                       broker, parallel tunnels and batch admission;
+#                       broker, parallel tunnels, batch admission, and the
+#                       WAL overhead sweep (off/nosync/fsync/fsync+batch);
 #                       format documented in docs/PERFORMANCE.md)
 # so successive PRs can diff the numbers.
 #

@@ -3,7 +3,10 @@
 # Additionally fails on ANY compiler warning in src/obs/ — the
 # observability layer is held to a warning-free standard.
 #
-# Usage: ./scripts/tier1.sh          (from the repo root; build dir: ./build)
+# Usage: ./scripts/tier1.sh          (from the repo root; build dir: ./build.
+#                                     Also lints the metrics/doc contract:
+#                                     every e2e_* series named in src/ must
+#                                     appear in docs/OBSERVABILITY.md)
 #        ./scripts/tier1.sh --soak   (seeded fault-injection soak suite under
 #                                     ASan/UBSan, 3 fixed seeds; build dir:
 #                                     ./build-asan via the "asan" preset)
@@ -20,6 +23,10 @@
 #                                     gating timeline >= 5x reference at 10k
 #                                     live, and byte-identity of the fig3 /
 #                                     tunnel_scaling protocol stdout)
+#        ./scripts/tier1.sh --recovery (durability gates: the WAL/snapshot
+#                                     differential suite and the crash/recover
+#                                     soak, each in the default build and
+#                                     again under the ASan/UBSan preset)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -99,6 +106,33 @@ EOF
   exit 0
 fi
 
+if [[ "${1:-}" == "--recovery" ]]; then
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target bb_wal_recovery_test \
+    bb_recovery_soak_test >/dev/null
+
+  # Differential replay: snapshot + WAL tail into a blank broker must
+  # reproduce the exact pre-crash pool timeline (torn tails dropped,
+  # tampered logs refused) — default build first.
+  ./build/tests/bb_wal_recovery_test
+  # Crash/recover soak: brokers killed mid-traffic via the fault fabric,
+  # recovered from disk and compared against the live oracle; reproducible
+  # with E2E_SOAK_SEED=<seed>.
+  ./build/tests/bb_recovery_soak_test
+  echo "tier1 --recovery: differential + soak OK (default build)"
+
+  # Same suites again under ASan/UBSan — replay touches freshly rebuilt
+  # broker state, so lifetime bugs would hide in the default build.
+  cmake --preset asan >/dev/null
+  cmake --build build-asan -j --target bb_wal_recovery_test \
+    bb_recovery_soak_test >/dev/null
+  ./build-asan/tests/bb_wal_recovery_test
+  ./build-asan/tests/bb_recovery_soak_test
+  echo "tier1 --recovery: differential + soak OK (asan)"
+  echo "tier1 --recovery: OK"
+  exit 0
+fi
+
 if [[ "${1:-}" == "--soak" ]]; then
   cmake --preset asan >/dev/null
   cmake --build build-asan -j --target sig_soak_test
@@ -170,6 +204,26 @@ if grep -E 'warning:' "$build_log" | grep -q 'src/obs/\|obs/metrics\|obs/trace\|
   grep -E 'warning:' "$build_log" | grep 'obs' >&2
   exit 1
 fi
+
+# Metrics/doc contract, code -> doc direction: every e2e_* series name
+# that appears as a string literal in src/ must be documented (in
+# backticks) in docs/OBSERVABILITY.md. The doc -> code direction (every
+# documented name really emitted) is tests/obs_contract_test.cpp.
+python3 - <<'EOF'
+import pathlib, re, sys
+root = pathlib.Path(".")
+names = set()
+for path in root.glob("src/**/*"):
+    if path.suffix not in (".hpp", ".cpp"):
+        continue
+    names.update(re.findall(r'"(e2e_[a-z0-9_]+)"', path.read_text()))
+doc = (root / "docs" / "OBSERVABILITY.md").read_text()
+missing = sorted(n for n in names if f"`{n}`" not in doc)
+if missing:
+    sys.exit("FAIL: metric series named in src/ but missing from "
+             "docs/OBSERVABILITY.md:\n  " + "\n  ".join(missing))
+print(f"tier1: docs lint OK ({len(names)} e2e_* series all documented)")
+EOF
 
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 echo "tier1: OK"

@@ -115,6 +115,25 @@ class CapacityPool {
   /// Largest rate admissible over `interval` (capacity - peak committed).
   double headroom(const TimeInterval& interval) const;
 
+  /// One live commitment, as seen by a state snapshot (bb/snapshot.cpp).
+  struct CommitmentView {
+    std::string key;
+    TimeInterval interval;
+    double rate = 0;
+  };
+  /// Stable copy of every live commitment, in key order. The timeline is a
+  /// pure function of this set, so persisting it is enough to rebuild the
+  /// pool exactly (recovery re-commits each entry).
+  std::vector<CommitmentView> commitments_view() const {
+    std::lock_guard lock(*mutex_);
+    std::vector<CommitmentView> out;
+    out.reserve(commitments_.size());
+    for (const auto& [key, c] : commitments_) {
+      out.push_back(CommitmentView{key, c.interval, c.rate});
+    }
+    return out;
+  }
+
   // --- Reference oracle -----------------------------------------------------
   // The original implementation: committed_at scans every commitment,
   // peak_committed re-evaluates committed_at per boundary point. Kept for

@@ -1,7 +1,9 @@
 #include "bb/bandwidth_broker.hpp"
 
+#include <algorithm>
 #include <chrono>
 
+#include "bb/wal.hpp"
 #include "common/logging.hpp"
 #include "obs/audit.hpp"
 #include "obs/instruments.hpp"
@@ -202,6 +204,22 @@ Result<ReservationId> BandwidthBroker::commit(const ResSpec& spec,
     std::lock_guard lock(shard.mutex);
     shard.records.emplace(id, resv);
   }
+  // Durable before acked: the grant is only returned once its WAL record
+  // is fsync'd (group-committed with concurrent grants). A sync failure
+  // unwinds the whole admission.
+  auto durable = wal_log(wal_kind::kAdmit, reservation_to_fields(resv));
+  if (!durable.ok()) {
+    {
+      RecordShard& shard = shard_for(id);
+      std::lock_guard lock(shard.mutex);
+      shard.records.erase(id);
+    }
+    (void)local_pool_.release(id);
+    if (!from_domain.empty()) (void)peer_pools_.at(from_domain).release(id);
+    record_rejection(spec, durable.error().message);
+    admission_hist_->observe(wall_us_since(t0));
+    return durable.error();
+  }
   record_grant(spec);
   admission_hist_->observe(wall_us_since(t0));
   if (edge_configurator_) edge_configurator_(resv, /*install=*/true);
@@ -295,9 +313,45 @@ std::vector<Result<ReservationId>> BandwidthBroker::commit_batch(
       std::lock_guard lock(shard.mutex);
       shard.records.emplace(p.id, resv);
     }
+    installed.push_back(std::move(resv));
+  }
+  // ONE WAL record for the whole batch (granted entries only), so batch
+  // admission pays one line and one group-committed fsync, not one per
+  // flow. A sync failure unwinds every grant in the batch.
+  if (wal_ != nullptr && !installed.empty()) {
+    std::vector<WalFields> items;
+    items.reserve(installed.size());
+    for (const Reservation& resv : installed) {
+      items.push_back(reservation_to_fields(resv));
+    }
+    auto durable = wal_log(
+        wal_kind::kAdmitBatch,
+        {{"upstream", from_domain},
+         {"count", std::to_string(installed.size())}},
+        std::move(items));
+    if (!durable.ok()) {
+      for (const Reservation& resv : installed) {
+        {
+          RecordShard& shard = shard_for(resv.id);
+          std::lock_guard lock(shard.mutex);
+          shard.records.erase(resv.id);
+        }
+        (void)local_pool_.release(resv.id);
+        if (!from_domain.empty()) {
+          (void)peer_pools_.at(from_domain).release(resv.id);
+        }
+        record_rejection(resv.spec, durable.error().message);
+      }
+      for (const Pending& p : admitted) {
+        results[p.index] = durable.error();
+      }
+      admission_hist_->observe(wall_us_since(t0));
+      return results;
+    }
+  }
+  for (const Pending& p : admitted) {
     record_grant(specs[p.index]);
     results[p.index] = p.id;
-    installed.push_back(std::move(resv));
   }
   // One observation covering the whole batch (documented in
   // docs/OBSERVABILITY.md; per-RAR amortized cost is batch/size).
@@ -336,7 +390,10 @@ Status BandwidthBroker::release(const ReservationId& id) {
   released_counter_->increment();
   active_gauge_->add(-1);
   if (edge_configurator_) edge_configurator_(resv, /*install=*/false);
-  return Status::ok_status();
+  // Apply-then-log: losing an un-acked release record is conservative (the
+  // recovered broker still holds the reservation; capacity is never
+  // double-granted). A sync failure surfaces as an error after the fact.
+  return wal_log(wal_kind::kRelease, {{"id", id}});
 }
 
 std::size_t BandwidthBroker::purge_expired(SimTime now) {
@@ -362,6 +419,17 @@ std::size_t BandwidthBroker::purge_expired(SimTime now) {
   if (!purged.empty()) {
     released_counter_->increment(purged.size());
     active_gauge_->add(-static_cast<double>(purged.size()));
+    // One record for the whole purge; replay releases each listed handle
+    // (unknown handles are skipped, so replay is idempotent).
+    std::vector<WalFields> items;
+    items.reserve(purged.size());
+    for (const Reservation& resv : purged) {
+      items.push_back({{"id", resv.id}});
+    }
+    (void)wal_log(wal_kind::kReleaseBatch,
+                  {{"now", std::to_string(now)},
+                   {"count", std::to_string(purged.size())}},
+                  std::move(items));
   }
   for (auto& resv : purged) {
     resv.state = ReservationState::kReleased;
@@ -390,8 +458,16 @@ Result<TunnelId> BandwidthBroker::register_tunnel(
   {
     std::lock_guard lock(tunnels_mutex_);
     auto [it, inserted] = tunnels_.emplace(id, Tunnel(id, aggregate_spec));
-    if (inserted) it->second.set_owner_domain(config_.domain);
+    if (inserted) {
+      it->second.set_owner_domain(config_.domain);
+      it->second.set_wal(wal_);
+    }
   }
+  auto durable = wal_log(
+      wal_kind::kTunnelRegister,
+      reservation_to_fields(
+          Reservation{id, aggregate_spec, ReservationState::kGranted, ""}));
+  if (!durable.ok()) return durable.error();
   obs::MetricsRegistry::global()
       .counter(obs::kBbTunnelsRegisteredTotal, {{"domain", config_.domain}})
       .increment();
@@ -411,6 +487,100 @@ const Tunnel* BandwidthBroker::find_tunnel(const TunnelId& id) const {
   std::lock_guard lock(tunnels_mutex_);
   const auto it = tunnels_.find(id);
   return it == tunnels_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t BandwidthBroker::next_certificate_serial() {
+  const std::uint64_t serial =
+      next_cert_serial_.fetch_add(1, std::memory_order_relaxed);
+  (void)wal_log(wal_kind::kDelegationSerial,
+                {{"serial", std::to_string(serial)}});
+  return serial;
+}
+
+Status BandwidthBroker::wal_log(const char* kind, WalFields fields,
+                                std::vector<WalFields> items) {
+  if (wal_ == nullptr) return Status::ok_status();
+  return wal_->log(config_.domain, kind, std::move(fields),
+                   std::move(items));
+}
+
+void BandwidthBroker::attach_wal(WriteAheadLog* wal) {
+  wal_ = wal;
+  std::lock_guard lock(tunnels_mutex_);
+  for (auto& [id, tunnel] : tunnels_) tunnel.set_wal(wal);
+}
+
+Status BandwidthBroker::restore_reservation(const Reservation& reservation) {
+  const ReservationId& id = reservation.id;
+  {
+    const RecordShard& shard = shard_for(id);
+    std::lock_guard lock(shard.mutex);
+    if (shard.records.contains(id)) {
+      return make_error(ErrorCode::kConflict,
+                        "reservation already present: " + id,
+                        config_.domain);
+    }
+  }
+  const ResSpec& spec = reservation.spec;
+  auto local = local_pool_.commit(id, spec.interval, spec.rate_bits_per_s);
+  if (!local.ok()) return local;
+  if (!reservation.upstream_domain.empty()) {
+    const auto pool_it = peer_pools_.find(reservation.upstream_domain);
+    if (pool_it != peer_pools_.end()) {
+      auto peer =
+          pool_it->second.commit(id, spec.interval, spec.rate_bits_per_s);
+      if (!peer.ok()) {
+        (void)local_pool_.release(id);
+        return peer;
+      }
+    }
+  }
+  {
+    RecordShard& shard = shard_for(id);
+    std::lock_guard lock(shard.mutex);
+    shard.records.emplace(id, reservation);
+  }
+  active_gauge_->add(1);
+  return Status::ok_status();
+}
+
+Status BandwidthBroker::restore_tunnel(const TunnelId& id,
+                                       const ResSpec& aggregate_spec) {
+  std::lock_guard lock(tunnels_mutex_);
+  auto [it, inserted] = tunnels_.emplace(id, Tunnel(id, aggregate_spec));
+  if (!inserted) {
+    return make_error(ErrorCode::kConflict, "tunnel already present: " + id,
+                      config_.domain);
+  }
+  it->second.set_owner_domain(config_.domain);
+  return Status::ok_status();
+}
+
+void BandwidthBroker::restore_ids(std::uint64_t next_id,
+                                  std::uint64_t next_cert_serial) {
+  next_id_.store(next_id, std::memory_order_relaxed);
+  next_cert_serial_.store(next_cert_serial, std::memory_order_relaxed);
+}
+
+std::vector<Reservation> BandwidthBroker::all_reservations() const {
+  std::vector<Reservation> out;
+  for (const RecordShard& shard : record_shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [id, resv] : shard.records) out.push_back(resv);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Reservation& a, const Reservation& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<const Tunnel*> BandwidthBroker::all_tunnels() const {
+  std::lock_guard lock(tunnels_mutex_);
+  std::vector<const Tunnel*> out;
+  out.reserve(tunnels_.size());
+  for (const auto& [id, tunnel] : tunnels_) out.push_back(&tunnel);
+  return out;
 }
 
 }  // namespace e2e::bb

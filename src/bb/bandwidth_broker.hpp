@@ -67,8 +67,10 @@ class BandwidthBroker {
       const crypto::Certificate::Builder& builder) const {
     return builder.sign_with(keys_.priv);
   }
-  /// Fresh serial for locally issued (delegation) certificates.
-  std::uint64_t next_certificate_serial() { return next_cert_serial_++; }
+  /// Fresh serial for locally issued (delegation) certificates. WAL-logged
+  /// (kind `delegation_serial`) so a recovered broker never re-issues a
+  /// serial it already handed out.
+  std::uint64_t next_certificate_serial();
   /// Private key accessor for constructing the broker's secure-channel
   /// endpoint (the TLS stack acts with the broker's key). Do not use for
   /// signing application data — use sign()/sign_certificate().
@@ -158,6 +160,39 @@ class BandwidthBroker {
     return tunnels_.size();
   }
 
+  // --- Durability (src/bb/wal.hpp, snapshot.hpp, recovery.hpp) --------------
+  /// Attach a write-ahead log: every state-changing decision from here on
+  /// is appended and fsync'd before the call returns (group-committed;
+  /// batch paths log one record per batch). Propagates to already
+  /// registered tunnels; newly registered tunnels inherit it. Pass nullptr
+  /// to detach (recovery replays with the WAL detached). Not synchronized
+  /// against in-flight requests — attach at setup or after recovery.
+  void attach_wal(WriteAheadLog* wal);
+  WriteAheadLog* wal() const { return wal_; }
+  double capacity() const { return config_.capacity_bits_per_s; }
+
+  /// Re-install a reservation during recovery: pools + record shard only —
+  /// no audit append, no WAL append, no edge-configurator callback, no
+  /// grant counters. kConflict on a duplicate handle (idempotent replay).
+  Status restore_reservation(const Reservation& reservation);
+  /// Re-register a tunnel during recovery (same discipline).
+  Status restore_tunnel(const TunnelId& id, const ResSpec& aggregate_spec);
+  /// Fast-forward the id/serial sources past everything ever issued, so a
+  /// recovered broker never reuses a handle.
+  void restore_ids(std::uint64_t next_id, std::uint64_t next_cert_serial);
+
+  std::uint64_t next_id_value() const {
+    return next_id_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t next_certificate_serial_value() const {
+    return next_cert_serial_.load(std::memory_order_relaxed);
+  }
+  /// Every live reservation, for the state snapshot (id order).
+  std::vector<Reservation> all_reservations() const;
+  /// Every registered tunnel, for the state snapshot (pointers stay valid;
+  /// tunnels are never erased).
+  std::vector<const Tunnel*> all_tunnels() const;
+
   // --- Edge-router configuration --------------------------------------------
   /// Invoked on commit (install=true) and release (install=false); the
   /// deployment binds this to the DiffServ simulator's policers.
@@ -181,6 +216,13 @@ class BandwidthBroker {
     c.denied_admission = stats_.denied.load(std::memory_order_relaxed);
     c.released = stats_.released.load(std::memory_order_relaxed);
     return c;
+  }
+  /// Restore the statistics counters from a snapshot (recovery only).
+  void restore_counters(const Counters& counters) {
+    stats_.requests.store(counters.requests, std::memory_order_relaxed);
+    stats_.granted.store(counters.granted, std::memory_order_relaxed);
+    stats_.denied.store(counters.denied_admission, std::memory_order_relaxed);
+    stats_.released.store(counters.released, std::memory_order_relaxed);
   }
 
  private:
@@ -235,8 +277,15 @@ class BandwidthBroker {
   void record_rejection(const ResSpec& spec, const std::string& reason);
   void record_grant(const ResSpec& spec);
 
+  /// Append one record covering an already-applied state change and block
+  /// until it is durable (no-op when no WAL is attached). Returns the
+  /// commit status so callers can refuse to ack on a sync failure.
+  Status wal_log(const char* kind, WalFields fields,
+                 std::vector<WalFields> items = {});
+
   EdgeConfigurator edge_configurator_;
   AtomicCounters stats_;
+  WriteAheadLog* wal_ = nullptr;  // owned by the deployment, not the broker
 
   // Cached instrument pointers (stable for the registry's lifetime);
   // resolved once in the constructor so the admission hot path never takes

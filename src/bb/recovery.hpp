@@ -1,0 +1,59 @@
+// Crash recovery: snapshot + WAL tail → a broker identical to the one
+// that crashed.
+//
+// recover_broker() restores the most recent snapshot (if any) into a
+// freshly constructed broker, then replays the WAL tail: records whose
+// sequence number the snapshot already covers are skipped, records whose
+// effect is already present are skipped idempotently (handles embed the
+// broker's monotonic id counter, so a re-applied admit is a detectable
+// duplicate, never a double-grant), and everything else is applied through
+// the broker's restore hooks — no audit spam, no WAL re-append, no edge
+// callbacks. The invariant (enforced by tests/bb_wal_recovery_test.cpp and
+// the crash soak): after recovery the broker's pool timeline, reservation
+// set, tunnel state and id sources are exactly the pre-crash values for
+// every acked operation.
+//
+// Call with the broker's WAL DETACHED (attach_wal(nullptr) state, as a
+// fresh broker is); attach a reopened log after recovery returns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bb/bandwidth_broker.hpp"
+#include "common/result.hpp"
+
+namespace e2e::bb {
+
+struct RecoveryReport {
+  bool snapshot_loaded = false;
+  std::size_t snapshot_reservations = 0;
+  std::size_t snapshot_tunnels = 0;
+  std::size_t snapshot_tunnel_allocations = 0;
+  /// Verified records read from the WAL tail.
+  std::size_t wal_records = 0;
+  /// Tail records applied (admits, releases, tunnel ops, serials).
+  std::size_t replayed = 0;
+  /// Tail records older than the snapshot's covered position.
+  std::size_t skipped_covered = 0;
+  /// Idempotent skips: the record's effect was already present.
+  std::size_t skipped_duplicate = 0;
+  /// Records that could not be applied (state divergence — investigate).
+  std::size_t failed = 0;
+  /// A torn final WAL record was detected and dropped (never acked).
+  bool torn_tail_dropped = false;
+  /// Sequence number the reopened WAL should continue from.
+  std::uint64_t wal_next_seq = 1;
+};
+
+/// Restore `broker` (freshly constructed, same domain/capacity/SLAs as the
+/// crashed one, WAL detached) from `snapshot_path` and `wal_path`. Either
+/// path may name a missing file (no snapshot yet / no tail); an empty
+/// string skips that source outright. A corrupted snapshot or a break in
+/// the WAL chain anywhere but the final record is an error — tampered
+/// state is refused, not replayed.
+Result<RecoveryReport> recover_broker(BandwidthBroker& broker,
+                                      const std::string& snapshot_path,
+                                      const std::string& wal_path);
+
+}  // namespace e2e::bb

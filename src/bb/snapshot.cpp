@@ -1,0 +1,337 @@
+#include "bb/snapshot.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/audit.hpp"
+#include "obs/instruments.hpp"
+#include "obs/metrics.hpp"
+
+namespace e2e::bb {
+
+namespace {
+
+constexpr char kSnapshotVersion[] = "e2e-bb-v1";
+
+std::string header_line(const SnapshotMeta& meta) {
+  return wal_render_flat_object(
+      {{"type", "header"},
+       {"version", kSnapshotVersion},
+       {"domain", meta.domain},
+       {"capacity", wal_format_double(meta.capacity_bits_per_s)},
+       {"wal_next_seq", std::to_string(meta.wal_next_seq)},
+       {"wal_head", meta.wal_head},
+       {"next_id", std::to_string(meta.next_id)},
+       {"next_serial", std::to_string(meta.next_cert_serial)},
+       {"requests", std::to_string(meta.counters.requests)},
+       {"granted", std::to_string(meta.counters.granted)},
+       {"denied", std::to_string(meta.counters.denied_admission)},
+       {"released", std::to_string(meta.counters.released)}});
+}
+
+Result<std::uint64_t> parse_u64_field(const WalFields& fields,
+                                      const std::string& key) {
+  auto raw = wal_field(fields, key);
+  if (!raw.ok()) return raw.error();
+  std::uint64_t value = 0;
+  for (const char c : *raw) {
+    if (c < '0' || c > '9') {
+      return make_error(ErrorCode::kBadMessage,
+                        "malformed " + key + ": " + *raw, "bb.snapshot");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (raw->empty()) {
+    return make_error(ErrorCode::kBadMessage, "empty " + key, "bb.snapshot");
+  }
+  return value;
+}
+
+Result<std::int64_t> parse_time_field(const WalFields& fields,
+                                      const std::string& key) {
+  auto raw = wal_field(fields, key);
+  if (!raw.ok()) return raw.error();
+  std::string s = *raw;
+  bool neg = false;
+  if (!s.empty() && s[0] == '-') {
+    neg = true;
+    s.erase(0, 1);
+  }
+  WalFields shim{{key, s}};
+  auto magnitude = parse_u64_field(shim, key);
+  if (!magnitude.ok()) return magnitude.error();
+  const auto v = static_cast<std::int64_t>(*magnitude);
+  return neg ? -v : v;
+}
+
+Result<SnapshotMeta> parse_header(const WalFields& fields) {
+  auto version = wal_field(fields, "version");
+  if (!version.ok()) return version.error();
+  if (*version != kSnapshotVersion) {
+    return make_error(ErrorCode::kBadMessage,
+                      "unsupported snapshot version " + *version,
+                      "bb.snapshot");
+  }
+  SnapshotMeta meta;
+  auto domain = wal_field(fields, "domain");
+  auto capacity = wal_field(fields, "capacity");
+  auto head = wal_field(fields, "wal_head");
+  if (!domain.ok() || !capacity.ok() || !head.ok()) {
+    return make_error(ErrorCode::kBadMessage, "snapshot header incomplete",
+                      "bb.snapshot");
+  }
+  meta.domain = *domain;
+  meta.wal_head = *head;
+  auto cap = wal_parse_double(*capacity);
+  if (!cap.ok()) return cap.error();
+  meta.capacity_bits_per_s = *cap;
+  auto next_seq = parse_u64_field(fields, "wal_next_seq");
+  auto next_id = parse_u64_field(fields, "next_id");
+  auto next_serial = parse_u64_field(fields, "next_serial");
+  auto requests = parse_u64_field(fields, "requests");
+  auto granted = parse_u64_field(fields, "granted");
+  auto denied = parse_u64_field(fields, "denied");
+  auto released = parse_u64_field(fields, "released");
+  for (const auto* r : {&next_seq, &next_id, &next_serial, &requests,
+                        &granted, &denied, &released}) {
+    if (!r->ok()) return r->error();
+  }
+  meta.wal_next_seq = *next_seq;
+  meta.next_id = *next_id;
+  meta.next_cert_serial = *next_serial;
+  meta.counters.requests = *requests;
+  meta.counters.granted = *granted;
+  meta.counters.denied_admission = *denied;
+  meta.counters.released = *released;
+  return meta;
+}
+
+}  // namespace
+
+Status write_snapshot(const BandwidthBroker& broker, const WriteAheadLog* wal,
+                      const std::string& path) {
+  // Capture the WAL position FIRST: any state change whose record landed
+  // before this point is guaranteed visible to the scans below (the
+  // brokers apply state before appending), so replaying from wal_next_seq
+  // can only re-apply — never miss — and replay is idempotent.
+  SnapshotMeta meta;
+  meta.domain = broker.domain();
+  meta.capacity_bits_per_s = broker.capacity();
+  meta.wal_next_seq = wal != nullptr ? wal->next_seq() : 1;
+  meta.wal_head =
+      wal != nullptr ? wal->head_hash() : WriteAheadLog::genesis_hash();
+  meta.next_id = broker.next_id_value();
+  meta.next_cert_serial = broker.next_certificate_serial_value();
+  meta.counters = broker.counters();
+
+  std::string body = header_line(meta);
+  body += '\n';
+  std::size_t lines = 1;
+  for (const Reservation& resv : broker.all_reservations()) {
+    WalFields fields = reservation_to_fields(resv);
+    fields.insert(fields.begin(), {"type", "reservation"});
+    body += wal_render_flat_object(fields);
+    body += '\n';
+    ++lines;
+  }
+  for (const Tunnel* tunnel : broker.all_tunnels()) {
+    WalFields fields = reservation_to_fields(Reservation{
+        tunnel->id(), tunnel->spec(), ReservationState::kGranted, ""});
+    fields.insert(fields.begin(), {"type", "tunnel"});
+    body += wal_render_flat_object(fields);
+    body += '\n';
+    ++lines;
+    for (const std::string& user : tunnel->authorized()) {
+      body += wal_render_flat_object(
+          {{"type", "tunnel_auth"}, {"tunnel", tunnel->id()}, {"user", user}});
+      body += '\n';
+      ++lines;
+    }
+    for (const CapacityPool::CommitmentView& alloc : tunnel->allocations()) {
+      body += wal_render_flat_object(
+          {{"type", "tunnel_alloc"},
+           {"tunnel", tunnel->id()},
+           {"sub_id", alloc.key},
+           {"start", std::to_string(alloc.interval.start)},
+           {"end", std::to_string(alloc.interval.end)},
+           {"rate", wal_format_double(alloc.rate)}});
+      body += '\n';
+      ++lines;
+    }
+  }
+  // Integrity trailer: hash over every preceding byte. A truncated or
+  // edited snapshot fails read_snapshot() instead of restoring bad state.
+  body += wal_render_flat_object({{"type", "end"},
+                                  {"lines", std::to_string(lines)},
+                                  {"hash", obs::chain_sha256_hex(body)}});
+  body += '\n';
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      return make_error(ErrorCode::kInternal, "cannot write " + tmp,
+                        "bb.snapshot");
+    }
+    out << body;
+    if (!out.good()) {
+      return make_error(ErrorCode::kInternal, "short write to " + tmp,
+                        "bb.snapshot");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return make_error(ErrorCode::kInternal,
+                      "cannot rename " + tmp + " to " + path, "bb.snapshot");
+  }
+  obs::MetricsRegistry::global()
+      .counter(obs::kBbWalSnapshotsTotal)
+      .increment();
+  return Status::ok_status();
+}
+
+Result<SnapshotData> read_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return make_error(ErrorCode::kNotFound, "cannot open " + path,
+                      "bb.snapshot");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+
+  SnapshotData data;
+  SnapshotTunnel* current_tunnel = nullptr;
+  bool saw_header = false;
+  bool saw_end = false;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  std::size_t body_lines = 0;
+  while (pos < content.size()) {
+    const std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) {
+      return make_error(ErrorCode::kBadMessage,
+                        "snapshot has a torn final line", "bb.snapshot");
+    }
+    const std::string line = content.substr(pos, eol - pos);
+    const std::size_t line_start = pos;
+    pos = eol + 1;
+    if (line.empty()) continue;
+    ++line_no;
+    if (saw_end) {
+      return make_error(ErrorCode::kBadMessage,
+                        "snapshot has content after the end trailer",
+                        "bb.snapshot");
+    }
+    auto fields = wal_parse_flat_object(line);
+    if (!fields.ok()) return fields.error();
+    auto type = wal_field(*fields, "type");
+    if (!type.ok()) return type.error();
+
+    if (*type == "header") {
+      if (saw_header) {
+        return make_error(ErrorCode::kBadMessage, "duplicate header",
+                          "bb.snapshot");
+      }
+      auto meta = parse_header(*fields);
+      if (!meta.ok()) return meta.error();
+      data.meta = *meta;
+      saw_header = true;
+      ++body_lines;
+      continue;
+    }
+    if (!saw_header) {
+      return make_error(ErrorCode::kBadMessage,
+                        "snapshot does not start with a header",
+                        "bb.snapshot");
+    }
+    if (*type == "end") {
+      auto hash = wal_field(*fields, "hash");
+      auto lines = parse_u64_field(*fields, "lines");
+      if (!hash.ok()) return hash.error();
+      if (!lines.ok()) return lines.error();
+      const std::string covered = content.substr(0, line_start);
+      if (obs::chain_sha256_hex(covered) != *hash) {
+        return make_error(ErrorCode::kBadMessage,
+                          "snapshot integrity hash mismatch (corrupted or "
+                          "tampered)",
+                          "bb.snapshot");
+      }
+      if (*lines != body_lines) {
+        return make_error(ErrorCode::kBadMessage,
+                          "snapshot line count mismatch", "bb.snapshot");
+      }
+      saw_end = true;
+      continue;
+    }
+    ++body_lines;
+    if (*type == "reservation") {
+      auto resv = reservation_from_fields(*fields);
+      if (!resv.ok()) return resv.error();
+      data.reservations.push_back(std::move(*resv));
+      current_tunnel = nullptr;
+      continue;
+    }
+    if (*type == "tunnel") {
+      auto resv = reservation_from_fields(*fields);
+      if (!resv.ok()) return resv.error();
+      SnapshotTunnel tunnel;
+      tunnel.id = resv->id;
+      tunnel.spec = resv->spec;
+      data.tunnels.push_back(std::move(tunnel));
+      current_tunnel = &data.tunnels.back();
+      continue;
+    }
+    if (*type == "tunnel_auth" || *type == "tunnel_alloc") {
+      auto tunnel_id = wal_field(*fields, "tunnel");
+      if (!tunnel_id.ok()) return tunnel_id.error();
+      if (current_tunnel == nullptr || current_tunnel->id != *tunnel_id) {
+        return make_error(ErrorCode::kBadMessage,
+                          "snapshot line " + std::to_string(line_no) +
+                              ": tunnel detail outside its tunnel block",
+                          "bb.snapshot");
+      }
+      if (*type == "tunnel_auth") {
+        auto user = wal_field(*fields, "user");
+        if (!user.ok()) return user.error();
+        current_tunnel->authorized.push_back(*user);
+      } else {
+        auto sub_id = wal_field(*fields, "sub_id");
+        auto start = parse_time_field(*fields, "start");
+        auto end = parse_time_field(*fields, "end");
+        auto raw_rate = wal_field(*fields, "rate");
+        if (!sub_id.ok()) return sub_id.error();
+        if (!start.ok()) return start.error();
+        if (!end.ok()) return end.error();
+        if (!raw_rate.ok()) return raw_rate.error();
+        auto rate = wal_parse_double(*raw_rate);
+        if (!rate.ok()) return rate.error();
+        current_tunnel->allocations.push_back(
+            CapacityPool::CommitmentView{*sub_id, {*start, *end}, *rate});
+      }
+      continue;
+    }
+    return make_error(ErrorCode::kBadMessage,
+                      "snapshot line " + std::to_string(line_no) +
+                          ": unknown type " + *type,
+                      "bb.snapshot");
+  }
+  if (!saw_end) {
+    return make_error(ErrorCode::kBadMessage,
+                      "snapshot has no end trailer (truncated)",
+                      "bb.snapshot");
+  }
+  return data;
+}
+
+Result<std::size_t> snapshot_and_truncate(const BandwidthBroker& broker,
+                                          WriteAheadLog& wal,
+                                          const std::string& path) {
+  auto written = write_snapshot(broker, &wal, path);
+  if (!written.ok()) return written.error();
+  auto snapshot = read_snapshot(path);
+  if (!snapshot.ok()) return snapshot.error();
+  return wal.truncate_through(snapshot->meta.wal_next_seq - 1);
+}
+
+}  // namespace e2e::bb

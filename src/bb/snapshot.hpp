@@ -1,0 +1,68 @@
+// Broker state snapshots.
+//
+// A snapshot is the logical broker state — reservations, tunnels with
+// their authorizations and per-flow allocations, the id/serial sources and
+// the statistics counters — written as JSON lines with an integrity hash
+// over the whole file. Capacity-pool timelines are NOT persisted: the
+// timeline is a pure function of the live commitment set, so recovery
+// rebuilds the pools by re-committing each entry (exactly, for the
+// integer-valued rates the harnesses use; see docs/DURABILITY.md).
+//
+// The snapshot records the WAL position it covers (`wal_next_seq`, the
+// first sequence number NOT captured): recovery replays only records at or
+// past it, and snapshot_and_truncate() drops the covered WAL prefix.
+// Snapshots are written to a temp file and renamed into place, so a crash
+// mid-snapshot leaves the previous snapshot intact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bb/bandwidth_broker.hpp"
+#include "bb/wal.hpp"
+#include "common/result.hpp"
+
+namespace e2e::bb {
+
+struct SnapshotMeta {
+  std::string domain;
+  double capacity_bits_per_s = 0;
+  /// First WAL sequence number NOT covered by this snapshot.
+  std::uint64_t wal_next_seq = 1;
+  /// WAL chain head at snapshot time (links the snapshot to the log).
+  std::string wal_head;
+  std::uint64_t next_id = 1;
+  std::uint64_t next_cert_serial = 0;
+  BandwidthBroker::Counters counters;
+};
+
+struct SnapshotTunnel {
+  TunnelId id;
+  ResSpec spec;
+  std::vector<std::string> authorized;
+  std::vector<CapacityPool::CommitmentView> allocations;
+};
+
+struct SnapshotData {
+  SnapshotMeta meta;
+  std::vector<Reservation> reservations;
+  std::vector<SnapshotTunnel> tunnels;
+};
+
+/// Write `broker`'s state to `path` (tmp + rename). `wal` may be null
+/// (snapshot of a broker running without durability); the recorded WAL
+/// position then covers nothing.
+Status write_snapshot(const BandwidthBroker& broker, const WriteAheadLog* wal,
+                      const std::string& path);
+
+/// Read and integrity-check a snapshot file.
+Result<SnapshotData> read_snapshot(const std::string& path);
+
+/// The periodic checkpoint step: write the snapshot, then truncate the WAL
+/// through the covered prefix. Returns the number of WAL records dropped.
+Result<std::size_t> snapshot_and_truncate(const BandwidthBroker& broker,
+                                          WriteAheadLog& wal,
+                                          const std::string& path);
+
+}  // namespace e2e::bb

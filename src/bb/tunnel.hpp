@@ -13,6 +13,7 @@
 
 #include "bb/admission.hpp"
 #include "bb/reservation.hpp"
+#include "bb/wal.hpp"
 
 namespace e2e::bb {
 
@@ -33,15 +34,28 @@ class Tunnel {
   /// Domain whose broker registered this tunnel; labels the pool's
   /// rejection counter and boundary gauge. Call before concurrent use.
   void set_owner_domain(std::string domain) {
+    owner_domain_ = domain;
     pool_.set_owner_domain(std::move(domain));
   }
 
+  /// Attach the owning broker's write-ahead log: per-flow allocations,
+  /// releases and authorization grants become durable-before-ack. Set at
+  /// registration (or recovery completion), before concurrent use.
+  void set_wal(WriteAheadLog* wal) { wal_ = wal; }
+
   /// Principals authorized to draw bandwidth from this tunnel. Setup-time
   /// only: authorization is not synchronized against concurrent allocate().
-  void authorize(const std::string& user_dn) { authorized_.insert(user_dn); }
+  void authorize(const std::string& user_dn) {
+    authorized_.insert(user_dn);
+    if (wal_ != nullptr) {
+      (void)wal_->log(owner_domain_, wal_kind::kTunnelAuthorize,
+                      {{"tunnel", id_}, {"user", user_dn}});
+    }
+  }
   bool is_authorized(const std::string& user_dn) const {
     return authorized_.contains(user_dn);
   }
+  const std::set<std::string>& authorized() const { return authorized_; }
 
   /// Allocate a per-flow slice inside the aggregate. Only the two end
   /// domains run this check — no intermediate signalling. Thread-safe:
@@ -50,7 +64,21 @@ class Tunnel {
                   const TimeInterval& interval, double rate) {
     auto gate = admission_gate(user_dn, interval);
     if (!gate.ok()) return gate;
-    return pool_.commit(sub_id, interval, rate);
+    auto status = pool_.commit(sub_id, interval, rate);
+    if (status.ok() && wal_ != nullptr) {
+      auto durable = wal_->log(owner_domain_, wal_kind::kTunnelAlloc,
+                               {{"tunnel", id_},
+                                {"sub_id", sub_id},
+                                {"user", user_dn},
+                                {"start", std::to_string(interval.start)},
+                                {"end", std::to_string(interval.end)},
+                                {"rate", wal_format_double(rate)}});
+      if (!durable.ok()) {
+        (void)pool_.release(sub_id);  // never ack what isn't durable
+        return durable;
+      }
+    }
+    return status;
   }
 
   /// One per-flow request inside a batch allocation.
@@ -86,10 +114,59 @@ class Tunnel {
     for (std::size_t j = 0; j < pool_statuses.size(); ++j) {
       statuses[pool_index[j]] = std::move(pool_statuses[j]);
     }
+    if (wal_ != nullptr) {
+      // ONE record for the whole batch (granted flows only): the group
+      // commit makes a batch of N flows cost one line and one fsync.
+      std::vector<WalFields> items;
+      for (std::size_t j = 0; j < pool_statuses.size(); ++j) {
+        const std::size_t i = pool_index[j];
+        if (!statuses[i].ok()) continue;
+        items.push_back({{"sub_id", flows[i].sub_id},
+                         {"user", flows[i].user_dn},
+                         {"start", std::to_string(flows[i].interval.start)},
+                         {"end", std::to_string(flows[i].interval.end)},
+                         {"rate", wal_format_double(flows[i].rate)}});
+      }
+      if (!items.empty()) {
+        auto durable = wal_->log(
+            owner_domain_, wal_kind::kTunnelAllocBatch,
+            {{"tunnel", id_}, {"count", std::to_string(items.size())}},
+            std::move(items));
+        if (!durable.ok()) {
+          for (std::size_t j = 0; j < pool_statuses.size(); ++j) {
+            const std::size_t i = pool_index[j];
+            if (statuses[i].ok()) {
+              (void)pool_.release(flows[i].sub_id);
+              statuses[i] = durable;
+            }
+          }
+        }
+      }
+    }
     return statuses;
   }
 
-  Status release(const ReservationId& sub_id) { return pool_.release(sub_id); }
+  Status release(const ReservationId& sub_id) {
+    auto status = pool_.release(sub_id);
+    if (status.ok() && wal_ != nullptr) {
+      (void)wal_->log(owner_domain_, wal_kind::kTunnelRelease,
+                      {{"tunnel", id_}, {"sub_id", sub_id}});
+    }
+    return status;
+  }
+
+  // --- Recovery support (bb/snapshot.cpp, bb/recovery.cpp) ------------------
+  /// Live per-flow allocations, for the state snapshot.
+  std::vector<CapacityPool::CommitmentView> allocations() const {
+    return pool_.commitments_view();
+  }
+  /// Re-install an allocation during replay: no authorization gate (the
+  /// original allocate already passed it) and no WAL re-append. kConflict
+  /// on a duplicate sub_id makes replay idempotent.
+  Status restore_allocation(const ReservationId& sub_id,
+                            const TimeInterval& interval, double rate) {
+    return pool_.commit(sub_id, interval, rate);
+  }
 
   double allocated_peak(const TimeInterval& interval) const {
     return pool_.peak_committed(interval);
@@ -119,6 +196,8 @@ class Tunnel {
   ResSpec spec_;
   CapacityPool pool_;
   std::set<std::string> authorized_;
+  std::string owner_domain_;
+  WriteAheadLog* wal_ = nullptr;  // owned by the deployment, not the tunnel
 };
 
 }  // namespace e2e::bb

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "bb/bandwidth_broker.hpp"
+#include "bb/snapshot.hpp"
+#include "bb/wal.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/collector.hpp"
 #include "obs/trace.hpp"
@@ -66,6 +68,12 @@ struct ChainWorldConfig {
   /// hop-by-hop engine so reserve_in_tunnel_batch evaluates the two
   /// endpoint pools in parallel; grants are identical either way.
   std::size_t admission_threads = 0;
+  /// Directory for per-domain durability state (`<dir>/<domain>.wal` and
+  /// `<dir>/<domain>.snapshot`). Empty (the default) disables durability
+  /// entirely — the world is byte-identical to one without this field.
+  std::string durability_dir;
+  /// Sync mode for the per-domain WALs (fsync-before-ack by default).
+  bb::WriteAheadLog::SyncMode wal_sync_mode = bb::WriteAheadLog::SyncMode::kFsync;
 };
 
 class ChainWorld {
@@ -159,6 +167,19 @@ class ChainWorld {
       admission_pool_ = std::make_unique<ThreadPool>(config.admission_threads);
       engine_.set_admission_pool(admission_pool_.get());
     }
+    // Durability: one WAL per domain, fsync'd before any grant is acked.
+    if (!config.durability_dir.empty()) {
+      wals_.resize(config.domains);
+      for (std::size_t i = 0; i < config.domains; ++i) {
+        auto wal = bb::WriteAheadLog::open(wal_path(i), config.wal_sync_mode);
+        if (!wal.ok()) {
+          throw std::runtime_error("world: wal open failed: " +
+                                   wal.error().to_text());
+        }
+        wals_[i] = std::move(*wal);
+        brokers_[i]->attach_wal(wals_[i].get());
+      }
+    }
   }
 
   /// The world-owned admission worker pool (nullptr when
@@ -225,6 +246,64 @@ class ChainWorld {
   void restore_broker(std::size_t i) {
     fabric_.set_down(names_.at(i), false);
   }
+
+  // --- Durability (only meaningful when config.durability_dir is set) -------
+  std::string wal_path(std::size_t i) const {
+    return config_.durability_dir + "/" + names_.at(i) + ".wal";
+  }
+  std::string snapshot_path(std::size_t i) const {
+    return config_.durability_dir + "/" + names_.at(i) + ".snapshot";
+  }
+  /// The domain's WAL (nullptr when durability is disabled or detached).
+  bb::WriteAheadLog* wal(std::size_t i) { return wals_.at(i).get(); }
+  /// Snapshot domain `i`'s broker and truncate its WAL at the snapshot
+  /// boundary; returns the number of log records dropped.
+  Result<std::size_t> snapshot_domain(std::size_t i) {
+    if (wals_.size() <= i || wals_[i] == nullptr) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "durability is not enabled for this world",
+                        "kit.world");
+    }
+    return bb::snapshot_and_truncate(*brokers_.at(i), *wals_[i],
+                                     snapshot_path(i));
+  }
+  /// Simulate losing the process: detach and close the domain's WAL (the
+  /// on-disk file keeps everything that was acked). Recovery tests then
+  /// rebuild a fresh broker from snapshot + tail and compare.
+  void drop_wal(std::size_t i) {
+    if (wals_.size() > i) {
+      brokers_.at(i)->attach_wal(nullptr);
+      wals_[i].reset();
+    }
+  }
+  /// A freshly constructed broker with the same domain, capacity, policy
+  /// and upstream-SLA wiring as domain `i`'s — the blank slate crash
+  /// recovery replays into. Key material is freshly generated (durability
+  /// covers admission state, not private keys).
+  std::unique_ptr<bb::BandwidthBroker> make_blank_broker(std::size_t i) {
+    policy::PolicyServer server(
+        names_.at(i), policy::Policy::compile(
+                          config_.policies[i % config_.policies.size()])
+                          .value());
+    auto broker = std::make_unique<bb::BandwidthBroker>(
+        bb::BrokerConfig{names_.at(i), config_.domain_capacity,
+                         config_.key_bits},
+        std::move(server), *cas_.at(i), rng_, kWorldValidity);
+    if (i > 0) {
+      // The same agreement the constructor installs between i-1 and i.
+      sla::ServiceLevelAgreement agreement;
+      agreement.from_domain = names_[i - 1];
+      agreement.to_domain = names_[i];
+      agreement.profile.rate_bits_per_s = config_.sla_rate;
+      agreement.profile.burst_bits = 100000;
+      agreement.validity = kWorldValidity;
+      agreement.price_per_mbit_s = 0.01 * static_cast<double>(i);
+      agreement.peer_bb_certificate = brokers_[i - 1]->certificate();
+      agreement.peer_ca_certificate = cas_[i - 1]->root_certificate();
+      broker->add_upstream_sla(agreement);
+    }
+    return broker;
+  }
   /// Residual committed state across every broker — the soak invariant
   /// checks this returns to zero after each failed or released trial.
   std::size_t total_reservations() const {
@@ -265,6 +344,9 @@ class ChainWorld {
   Rng rng_;
   std::vector<std::string> names_;
   std::vector<std::unique_ptr<crypto::CertificateAuthority>> cas_;
+  // Declared before the brokers so every WAL outlives the broker holding a
+  // raw pointer to it.
+  std::vector<std::unique_ptr<bb::WriteAheadLog>> wals_;
   std::vector<std::unique_ptr<bb::BandwidthBroker>> brokers_;
   policy::CommunityAuthorizationServer cas_esnet_;
   policy::GroupServer group_server_{"world-group-server"};

@@ -10,9 +10,7 @@
 
 namespace e2e::obs {
 
-namespace {
-
-std::string json_escape(const std::string& s) {
+std::string chain_json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (const char c : s) {
@@ -26,10 +24,15 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-std::string sha256_hex(const std::string& s) {
+std::string chain_sha256_hex(const std::string& s) {
   const crypto::Digest digest = crypto::sha256(to_bytes(s));
   return hex_encode(BytesView(digest.data(), digest.size()));
 }
+
+namespace {
+
+const auto& json_escape = chain_json_escape;
+const auto& sha256_hex = chain_sha256_hex;
 
 /// The record as JSON *without* the trailing hash field — the exact bytes
 /// the chain hash covers.
@@ -49,9 +52,9 @@ std::string canonical_body(const AuditRecord& record) {
   return out.str();
 }
 
-constexpr char kHashMarker[] = ",\"hash\":\"";
-constexpr std::size_t kHashMarkerLen = sizeof(kHashMarker) - 1;
-constexpr std::size_t kHexDigestLen = 64;
+constexpr auto& kHashMarker = kChainHashMarker;
+constexpr std::size_t kHashMarkerLen = sizeof(kChainHashMarker) - 1;
+constexpr std::size_t kHexDigestLen = kChainHexDigestLen;
 
 }  // namespace
 

@@ -34,7 +34,16 @@ inline constexpr char kVerify[] = "verify";
 inline constexpr char kPolicy[] = "policy";
 inline constexpr char kDelegation[] = "delegation";
 inline constexpr char kAdmission[] = "admission";
+inline constexpr char kRecovery[] = "recovery";
 }  // namespace audit_kind
+
+/// Hash-chain primitives shared with the broker write-ahead log (bb/wal.*):
+/// both logs use the same tamper-evident discipline — each line's SHA-256
+/// covers the previous line's hash plus the line's canonical body.
+std::string chain_json_escape(const std::string& s);
+std::string chain_sha256_hex(const std::string& s);
+inline constexpr char kChainHashMarker[] = ",\"hash\":\"";
+inline constexpr std::size_t kChainHexDigestLen = 64;
 
 struct AuditRecord {
   std::uint64_t index = 0;  // position in the full (pre-eviction) stream

@@ -25,6 +25,13 @@ std::vector<MetricInfo> build_catalog() {
        "CapacityPool commits refused (rate does not fit the interval)"},
       {kBbPoolReleasesTotal, MetricType::kCounter, kOne, {},
        "CapacityPool releases"},
+      {kBbRecoveryReplayedTotal, MetricType::kCounter, kOne, {"source"},
+       "State elements restored into a fresh broker (snapshot or wal)"},
+      {kBbRecoveryRunsTotal, MetricType::kCounter, kOne, {"result"},
+       "Recovery passes over a snapshot+WAL pair"},
+      {kBbRecoverySkippedTotal, MetricType::kCounter, kOne, {"reason"},
+       "WAL records skipped during replay (snapshot-covered or idempotent "
+       "re-apply)"},
       {kBbReservationsActive, MetricType::kGauge, kOne, {"domain"},
        "Reservations currently held by a broker"},
       {kBbReservationsCommittedTotal, MetricType::kCounter, kOne, {"domain"},
@@ -33,6 +40,18 @@ std::vector<MetricInfo> build_catalog() {
        "Reservations released or purged by a broker"},
       {kBbTunnelsRegisteredTotal, MetricType::kCounter, kOne, {"domain"},
        "Aggregate tunnels registered at an end domain"},
+      {kBbWalBytesTotal, MetricType::kCounter, "bytes", {},
+       "Bytes written to broker write-ahead-log files"},
+      {kBbWalFsyncsTotal, MetricType::kCounter, kOne, {},
+       "fsync calls issued by the WAL group-commit leader"},
+      {kBbWalGroupCommitRecords, MetricType::kHistogram, kOne, {},
+       "Records made durable per fsync (group-commit coalescing factor)"},
+      {kBbWalRecordsTotal, MetricType::kCounter, kOne, {"kind"},
+       "WAL records appended (one per batch on batch paths)"},
+      {kBbWalSnapshotsTotal, MetricType::kCounter, kOne, {},
+       "Broker state snapshots written"},
+      {kBbWalTruncatedRecordsTotal, MetricType::kCounter, kOne, {},
+       "WAL records dropped at snapshot truncation"},
       {kCryptoBadKeyRejectsTotal, MetricType::kCounter, kOne, {},
        "Verifications rejected before any arithmetic (malformed key or "
        "oversized signature)"},
@@ -154,6 +173,12 @@ void register_all(MetricsRegistry& registry) {
         std::string(info.name) == kBbAdmissionUs) {
       metadata.buckets = {0.5, 1,   2,   5,    10,   20,  50,
                           100, 200, 500, 1000, 2000, 5000};
+    }
+    // Group-commit coalescing: record counts per fsync, powers of two up
+    // to the largest plausible burst.
+    if (info.type == MetricType::kHistogram &&
+        std::string(info.name) == kBbWalGroupCommitRecords) {
+      metadata.buckets = {1, 2, 4, 8, 16, 32, 64, 128, 256};
     }
     registry.declare(std::move(metadata));
   }

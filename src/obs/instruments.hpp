@@ -148,6 +148,35 @@ inline constexpr char kBbTunnelsRegisteredTotal[] =
 /// time, so this family's values vary run to run). Labels: domain.
 inline constexpr char kBbAdmissionUs[] = "e2e_bb_admission_us";
 
+// --- bb: durability (wal.cpp, snapshot.cpp, recovery.cpp) --------------------
+/// WAL records appended (one per batch on batch paths). Labels:
+/// kind=admit|admit_batch|release|release_batch|tunnel_register|
+/// tunnel_authorize|tunnel_alloc|tunnel_alloc_batch|tunnel_release|
+/// delegation_serial.
+inline constexpr char kBbWalRecordsTotal[] = "e2e_bb_wal_records_total";
+/// Bytes written to WAL files (records only; truncation rewrites excluded).
+inline constexpr char kBbWalBytesTotal[] = "e2e_bb_wal_bytes_total";
+/// fsync calls issued by the group-commit leader.
+inline constexpr char kBbWalFsyncsTotal[] = "e2e_bb_wal_fsyncs_total";
+/// Records made durable per fsync (group-commit coalescing factor).
+inline constexpr char kBbWalGroupCommitRecords[] =
+    "e2e_bb_wal_group_commit_records";
+/// Snapshots written (each truncates the covered WAL prefix).
+inline constexpr char kBbWalSnapshotsTotal[] = "e2e_bb_wal_snapshots_total";
+/// WAL records dropped at snapshot truncation (covered by the snapshot).
+inline constexpr char kBbWalTruncatedRecordsTotal[] =
+    "e2e_bb_wal_truncated_records_total";
+/// Recovery passes over a snapshot+WAL pair. Labels: result=ok|error.
+inline constexpr char kBbRecoveryRunsTotal[] = "e2e_bb_recovery_runs_total";
+/// State elements restored into a fresh broker. Labels:
+/// source=snapshot|wal.
+inline constexpr char kBbRecoveryReplayedTotal[] =
+    "e2e_bb_recovery_replayed_total";
+/// WAL records skipped during replay. Labels: reason=seq_covered (older
+/// than the snapshot) | already_present (idempotent re-apply).
+inline constexpr char kBbRecoverySkippedTotal[] =
+    "e2e_bb_recovery_skipped_total";
+
 // --- bb: capacity pools (admission.cpp; domain, peer-SLA and tunnel pools) ---
 inline constexpr char kBbPoolCommitsTotal[] = "e2e_bb_pool_commits_total";
 inline constexpr char kBbPoolReleasesTotal[] = "e2e_bb_pool_releases_total";

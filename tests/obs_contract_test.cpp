@@ -197,7 +197,8 @@ TEST(TelemetryContract, DocListsEveryAuditKindAndEmittedField) {
   // The closed kind set (obs/audit.hpp) must be documented in full...
   for (const char* kind :
        {audit_kind::kPeerAuth, audit_kind::kVerify, audit_kind::kPolicy,
-        audit_kind::kDelegation, audit_kind::kAdmission}) {
+        audit_kind::kDelegation, audit_kind::kAdmission,
+        audit_kind::kRecovery}) {
     EXPECT_NE(doc.find("`" + std::string(kind) + "`"), std::string::npos)
         << "audit kind `" << kind
         << "` is in obs/audit.hpp but not documented in "
@@ -210,8 +211,8 @@ TEST(TelemetryContract, DocListsEveryAuditKindAndEmittedField) {
   // every emission point fires.
   AuditLog::global().clear();
   const std::set<std::string> known_kinds = {
-      audit_kind::kPeerAuth, audit_kind::kVerify, audit_kind::kPolicy,
-      audit_kind::kDelegation, audit_kind::kAdmission};
+      audit_kind::kPeerAuth,   audit_kind::kVerify,    audit_kind::kPolicy,
+      audit_kind::kDelegation, audit_kind::kAdmission, audit_kind::kRecovery};
   {
     ChainWorldConfig config;
     config.domains = 4;
