@@ -258,7 +258,7 @@ ParallelSample bench_parallel_tunnels(unsigned threads, std::size_t live,
     spec.is_tunnel = true;
     const auto tid = h.broker.register_tunnel(spec);
     Tunnel* tunnel = h.broker.find_tunnel(*tid);
-    tunnel->authorize("CN=Load,O=DomainLoad,C=US");
+    (void)tunnel->authorize("CN=Load,O=DomainLoad,C=US");
     std::size_t seeded = 0;
     for (const ChurnOp& op : make_churn(19 + t, live, live)) {
       (void)tunnel->allocate("seed-" + std::to_string(seeded++),

@@ -467,7 +467,14 @@ Result<TunnelId> BandwidthBroker::register_tunnel(
       wal_kind::kTunnelRegister,
       reservation_to_fields(
           Reservation{id, aggregate_spec, ReservationState::kGranted, ""}));
-  if (!durable.ok()) return durable.error();
+  if (!durable.ok()) {
+    // Never ack what isn't durable — and never KEEP what wasn't acked:
+    // the caller sees an error, so the tunnel must not stay live in
+    // tunnels_ (same unwind discipline as commit()/Tunnel::allocate()).
+    std::lock_guard lock(tunnels_mutex_);
+    tunnels_.erase(id);
+    return durable.error();
+  }
   obs::MetricsRegistry::global()
       .counter(obs::kBbTunnelsRegisteredTotal, {{"domain", config_.domain}})
       .increment();

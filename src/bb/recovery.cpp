@@ -120,7 +120,8 @@ struct Replayer {
         ++report.failed;
         return;
       }
-      tunnel->authorize(*user);  // WAL detached: set insert only
+      // WAL detached during recovery: the insert cannot fail.
+      (void)tunnel->authorize(*user);
       ++report.replayed;
     } else if (record.kind == wal_kind::kTunnelAlloc ||
                record.kind == wal_kind::kTunnelAllocBatch ||
@@ -226,6 +227,7 @@ Result<RecoveryReport> recover_broker(BandwidthBroker& broker,
 
   // --- Phase 1: the snapshot (if one exists) --------------------------------
   std::uint64_t covered_next_seq = 1;
+  std::string expected_head = WriteAheadLog::genesis_hash();
   std::uint64_t next_id_floor = broker.next_id_value();
   std::uint64_t serial_floor = broker.next_certificate_serial_value();
   if (file_exists(snapshot_path)) {
@@ -240,6 +242,7 @@ Result<RecoveryReport> recover_broker(BandwidthBroker& broker,
     }
     report.snapshot_loaded = true;
     covered_next_seq = snapshot->meta.wal_next_seq;
+    expected_head = snapshot->meta.wal_head;
     next_id_floor = snapshot->meta.next_id;
     serial_floor = snapshot->meta.next_cert_serial;
     broker.restore_counters(snapshot->meta.counters);
@@ -255,7 +258,7 @@ Result<RecoveryReport> recover_broker(BandwidthBroker& broker,
       if (!status.ok()) return fail(status.error());
       Tunnel* tunnel = broker.find_tunnel(entry.id);
       for (const std::string& user : entry.authorized) {
-        tunnel->authorize(user);
+        (void)tunnel->authorize(user);  // WAL detached: cannot fail
       }
       for (const CapacityPool::CommitmentView& alloc : entry.allocations) {
         replayer.note_handle(alloc.key);
@@ -272,11 +275,74 @@ Result<RecoveryReport> recover_broker(BandwidthBroker& broker,
   }
 
   // --- Phase 2: the WAL tail ------------------------------------------------
-  if (file_exists(wal_path)) {
+  if (!file_exists(wal_path)) {
+    if (report.snapshot_loaded && covered_next_seq > 1 &&
+        !wal_path.empty()) {
+      // The snapshot covers logged records, so a (possibly empty)
+      // truncated WAL file must exist — truncation rewrites the file, it
+      // never unlinks it. A missing file means the log was deleted:
+      // anything acked after the snapshot is silently gone. Refuse.
+      return fail(make_error(
+          ErrorCode::kBadMessage,
+          "wal file " + wal_path + " is missing but the snapshot covers " +
+              std::to_string(covered_next_seq - 1) +
+              " log records (log deleted?)",
+          "bb.recovery"));
+    }
+  } else {
     auto read = WriteAheadLog::read_file(wal_path);
     if (!read.ok()) return fail(read.error());
     report.torn_tail_dropped = read->torn_tail;
     report.wal_records = read->records.size();
+    // Continuity with the snapshot before anything replays. read_file
+    // verified the chain WITHIN the file; these checks tie the file to
+    // the snapshot's recorded position (meta.wal_head / wal_next_seq), so
+    // a swapped, re-truncated or tail-trimmed log cannot recover
+    // silently without its acked records.
+    if (!read->records.empty()) {
+      const WalRecord& first = read->records.front();
+      const std::uint64_t last_seq = read->records.back().seq;
+      if (first.seq > covered_next_seq) {
+        return fail(make_error(
+            ErrorCode::kBadMessage,
+            "wal starts at seq " + std::to_string(first.seq) +
+                " but the snapshot covers through " +
+                std::to_string(covered_next_seq - 1) +
+                " (records between them are missing)",
+            "bb.recovery"));
+      }
+      if (first.seq == covered_next_seq) {
+        // Tail truncated at the snapshot boundary (or a fresh chain with
+        // no snapshot): the first record must link to the recorded head.
+        if (first.prev_hash != expected_head) {
+          return fail(make_error(
+              ErrorCode::kBadMessage,
+              "wal tail does not link to the " +
+                  std::string(report.snapshot_loaded ? "snapshot's chain head"
+                                                     : "genesis hash") +
+                  " (first record prev mismatch at seq " +
+                  std::to_string(first.seq) + ")",
+              "bb.recovery"));
+        }
+      } else if (last_seq + 1 >= covered_next_seq) {
+        // Untruncated overlap: the record the snapshot names as its chain
+        // head is still in the file — it must carry that exact hash.
+        const WalRecord& head =
+            read->records[covered_next_seq - 1 - first.seq];
+        if (head.hash != expected_head) {
+          return fail(make_error(
+              ErrorCode::kBadMessage,
+              "wal record at seq " + std::to_string(head.seq) +
+                  " does not match the snapshot's recorded chain head "
+                  "(snapshot and log are from different histories)",
+              "bb.recovery"));
+        }
+      }
+      // else: every record predates the snapshot's coverage and the
+      // record the snapshot links to never reached the file (it was
+      // appended but unsynced at the crash — its effects are inside the
+      // snapshot). Nothing is replayable, nothing to verify.
+    }
     for (const WalRecord& record : read->records) {
       if (record.seq < covered_next_seq) {
         // The snapshot already captured this record's effect (the log was
@@ -290,9 +356,11 @@ Result<RecoveryReport> recover_broker(BandwidthBroker& broker,
     if (!read->records.empty()) {
       covered_next_seq =
           std::max(covered_next_seq, read->records.back().seq + 1);
+      expected_head = read->records.back().hash;
     }
   }
   report.wal_next_seq = covered_next_seq;
+  report.wal_head = expected_head;
 
   // Fast-forward the id/serial sources past everything ever issued, so the
   // recovered broker can never hand out a handle twice.

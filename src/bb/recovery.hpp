@@ -44,6 +44,11 @@ struct RecoveryReport {
   bool torn_tail_dropped = false;
   /// Sequence number the reopened WAL should continue from.
   std::uint64_t wal_next_seq = 1;
+  /// Chain head the reopened WAL should continue from: the hash of the
+  /// last surviving on-disk record, else the snapshot's recorded head,
+  /// else genesis. Pass to WriteAheadLog::open so a log truncated to
+  /// empty keeps the chain linked across the restart.
+  std::string wal_head;
 };
 
 /// Restore `broker` (freshly constructed, same domain/capacity/SLAs as the
@@ -51,7 +56,11 @@ struct RecoveryReport {
 /// path may name a missing file (no snapshot yet / no tail); an empty
 /// string skips that source outright. A corrupted snapshot or a break in
 /// the WAL chain anywhere but the final record is an error — tampered
-/// state is refused, not replayed.
+/// state is refused, not replayed. Continuity between the two files is
+/// verified as well: the tail must link to the snapshot's recorded
+/// `wal_head` (or genesis when there is no snapshot) with no sequence
+/// gap, and a snapshot whose `wal_next_seq` implies a truncated log
+/// refuses to recover if the WAL file is missing outright.
 Result<RecoveryReport> recover_broker(BandwidthBroker& broker,
                                       const std::string& snapshot_path,
                                       const std::string& wal_path);

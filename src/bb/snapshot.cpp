@@ -1,6 +1,5 @@
 #include "bb/snapshot.hpp"
 
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -167,23 +166,16 @@ Status write_snapshot(const BandwidthBroker& broker, const WriteAheadLog* wal,
                                   {"hash", obs::chain_sha256_hex(body)}});
   body += '\n';
 
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.good()) {
-      return make_error(ErrorCode::kInternal, "cannot write " + tmp,
-                        "bb.snapshot");
-    }
-    out << body;
-    if (!out.good()) {
-      return make_error(ErrorCode::kInternal, "short write to " + tmp,
-                        "bb.snapshot");
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return make_error(ErrorCode::kInternal,
-                      "cannot rename " + tmp + " to " + path, "bb.snapshot");
-  }
+  // tmp + fsync + rename + dir fsync: the snapshot must be durable BEFORE
+  // snapshot_and_truncate drops the WAL records it covers — a crash that
+  // kept the truncation but lost the snapshot data would make acked state
+  // unrecoverable, breaking the WAL's own fsync-before-ack contract.
+  // SyncMode::kNone (measurement runs, no durability guarantee) skips the
+  // fsyncs to stay representative of that mode's write path.
+  const bool durable =
+      wal == nullptr || wal->sync_mode() == WriteAheadLog::SyncMode::kFsync;
+  Status written = wal_replace_file_durable(path, body, durable);
+  if (!written.ok()) return written;
   obs::MetricsRegistry::global()
       .counter(obs::kBbWalSnapshotsTotal)
       .increment();

@@ -45,12 +45,20 @@ class Tunnel {
 
   /// Principals authorized to draw bandwidth from this tunnel. Setup-time
   /// only: authorization is not synchronized against concurrent allocate().
-  void authorize(const std::string& user_dn) {
-    authorized_.insert(user_dn);
+  /// Durable-before-ack like every grant: if the WAL commit fails, the
+  /// in-memory insert is rolled back and the error propagates — a
+  /// recovered broker never silently loses an acked authorization.
+  Status authorize(const std::string& user_dn) {
+    const bool inserted = authorized_.insert(user_dn).second;
     if (wal_ != nullptr) {
-      (void)wal_->log(owner_domain_, wal_kind::kTunnelAuthorize,
-                      {{"tunnel", id_}, {"user", user_dn}});
+      auto durable = wal_->log(owner_domain_, wal_kind::kTunnelAuthorize,
+                               {{"tunnel", id_}, {"user", user_dn}});
+      if (!durable.ok()) {
+        if (inserted) authorized_.erase(user_dn);
+        return durable;
+      }
     }
+    return Status::ok_status();
   }
   bool is_authorized(const std::string& user_dn) const {
     return authorized_.contains(user_dn);

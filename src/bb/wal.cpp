@@ -221,7 +221,63 @@ Result<std::string> slurp(const std::string& path) {
   return buf.str();
 }
 
+Status fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return make_error(ErrorCode::kInternal,
+                      std::string("cannot open dir ") + dir + ": " +
+                          std::strerror(errno),
+                      "bb.wal");
+  }
+  Status status;
+  if (::fsync(fd) != 0) {
+    status = make_error(ErrorCode::kInternal,
+                        std::string("dir fsync failed: ") +
+                            std::strerror(errno),
+                        "bb.wal");
+  }
+  ::close(fd);
+  return status;
+}
+
 }  // namespace
+
+Status wal_replace_file_durable(const std::string& path,
+                                const std::string& content, bool durable) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return make_error(ErrorCode::kInternal,
+                      std::string("cannot open ") + tmp + ": " +
+                          std::strerror(errno),
+                      "bb.wal");
+  }
+  Status status = write_all(fd, content);
+  // fsync BEFORE rename: the rename must never make a file visible whose
+  // data could still be lost (a crash would then leave an empty/corrupt
+  // replacement where the old state used to be).
+  if (status.ok() && durable && ::fsync(fd) != 0) {
+    status = make_error(ErrorCode::kInternal,
+                        std::string("fsync failed for ") + tmp + ": " +
+                            std::strerror(errno),
+                        "bb.wal");
+  }
+  ::close(fd);
+  if (!status.ok()) return status;
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return make_error(ErrorCode::kInternal,
+                      std::string("cannot rename ") + tmp + " to " + path +
+                          ": " + std::strerror(errno),
+                      "bb.wal");
+  }
+  // ... and fsync the directory AFTER rename, so the rename itself is
+  // durable before the caller acts on it (e.g. truncates the WAL).
+  return durable ? fsync_parent_dir(path) : Status::ok_status();
+}
 
 std::string wal_format_double(double v) {
   char buf[64];
@@ -356,9 +412,11 @@ WriteAheadLog::~WriteAheadLog() {
   {
     // Flush anything appended but never committed (best effort — those
     // records were never acked, but keeping them is harmless because
-    // replay is idempotent).
+    // replay is idempotent). Never after a latched failure: the failed
+    // batch is gone, so flushing later appends would put a sequence gap
+    // on disk.
     std::lock_guard lock(mutex_);
-    if (!buffer_.empty()) {
+    if (!buffer_.empty() && fail_status_.ok()) {
       (void)write_all(fd_, buffer_);
       buffer_.clear();
     }
@@ -374,9 +432,11 @@ void WriteAheadLog::ensure_instruments() {
 }
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::open(
-    const std::string& path, SyncMode mode, std::uint64_t min_next_seq) {
+    const std::string& path, SyncMode mode, std::uint64_t min_next_seq,
+    const std::string& head_hash_floor) {
   std::uint64_t next_seq = std::max<std::uint64_t>(1, min_next_seq);
-  std::string head_hash;
+  std::string head_hash =
+      head_hash_floor == genesis_hash() ? std::string() : head_hash_floor;
   auto content = slurp(path);
   if (content.ok()) {
     auto read = read_content(*content);
@@ -446,6 +506,7 @@ Status WriteAheadLog::commit(std::uint64_t lsn) {
   std::unique_lock lock(mutex_);
   for (;;) {
     if (durable_seq_ >= lsn) return {};  // a leader already covered us
+    if (!fail_status_.ok()) return fail_status_;  // latched: never ack
     if (!sync_in_flight_) break;         // become the next leader
     cv_.wait(lock,
              [&] { return durable_seq_ >= lsn || !sync_in_flight_; });
@@ -456,11 +517,18 @@ Status WriteAheadLog::commit(std::uint64_t lsn) {
   const std::size_t group = buffered_records_;
   buffered_records_ = 0;
   const std::uint64_t covered = next_seq_ - 1;  // everything appended so far
+  const int fd = fd_;  // snapshot under the lock (truncate may swap fd_)
+  const bool injected_failure = fail_next_commit_for_testing_;
+  fail_next_commit_for_testing_ = false;
   lock.unlock();
 
-  Status status = write_all(fd_, batch);
+  Status status =
+      injected_failure
+          ? Status(make_error(ErrorCode::kInternal,
+                              "wal write failed: injected fault", "bb.wal"))
+          : write_all(fd, batch);
   if (status.ok() && mode_ == SyncMode::kFsync) {
-    if (::fsync(fd_) != 0) {
+    if (::fsync(fd) != 0) {
       status = make_error(ErrorCode::kInternal,
                           std::string("wal fsync failed: ") +
                               std::strerror(errno),
@@ -469,7 +537,15 @@ Status WriteAheadLog::commit(std::uint64_t lsn) {
   }
 
   lock.lock();
-  if (status.ok()) durable_seq_ = std::max(durable_seq_, covered);
+  if (status.ok()) {
+    durable_seq_ = std::max(durable_seq_, covered);
+  } else {
+    // The drained batch is lost; anything appended after it would chain
+    // past the hole (sequence gap + prev-hash break on disk, which would
+    // poison every later acked record at recovery time). Latch instead:
+    // all further commits fail with this error.
+    fail_status_ = status;
+  }
   sync_in_flight_ = false;
   cv_.notify_all();
   lock.unlock();
@@ -486,6 +562,11 @@ Status WriteAheadLog::log(const std::string& domain, const std::string& kind,
   return commit(append(domain, kind, std::move(fields), std::move(items)));
 }
 
+void WriteAheadLog::inject_commit_failure_for_testing() {
+  std::lock_guard lock(mutex_);
+  fail_next_commit_for_testing_ = true;
+}
+
 std::uint64_t WriteAheadLog::next_seq() const {
   std::lock_guard lock(mutex_);
   return next_seq_;
@@ -499,6 +580,14 @@ std::string WriteAheadLog::head_hash() const {
 Result<std::size_t> WriteAheadLog::truncate_through(
     std::uint64_t covered_seq) {
   std::unique_lock lock(mutex_);
+  // Wait out any in-flight group-commit leader: it writes to fd_ OUTSIDE
+  // the lock, and rewriting/renaming the file underneath it would send
+  // its acked batch to an unlinked inode (and detach the in-memory chain
+  // head from the file). Once the flag is clear and we hold the mutex, no
+  // new leader can start until we return — the whole rewrite below runs
+  // with the file quiescent.
+  cv_.wait(lock, [&] { return !sync_in_flight_; });
+  if (!fail_status_.ok()) return fail_status_.error();
   // Make everything appended durable first so the rewrite sees it.
   if (!buffer_.empty()) {
     Status status = write_all(fd_, buffer_);
@@ -525,30 +614,10 @@ Result<std::size_t> WriteAheadLog::truncate_through(
     surviving += '\n';
   }
 
-  // Rewrite atomically: tmp file + rename, then move appends to the new fd.
-  const std::string tmp = path_ + ".tmp";
-  const int tmp_fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-  if (tmp_fd < 0) {
-    return make_error(ErrorCode::kInternal,
-                      std::string("cannot open ") + tmp + ": " +
-                          std::strerror(errno),
-                      "bb.wal");
-  }
-  Status status = write_all(tmp_fd, surviving);
-  if (status.ok() && mode_ == SyncMode::kFsync && ::fsync(tmp_fd) != 0) {
-    status = make_error(ErrorCode::kInternal,
-                        std::string("wal fsync failed: ") +
-                            std::strerror(errno),
-                        "bb.wal");
-  }
-  ::close(tmp_fd);
-  if (!status.ok()) return status.error();
-  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
-    return make_error(ErrorCode::kInternal,
-                      std::string("wal rename failed: ") +
-                          std::strerror(errno),
-                      "bb.wal");
-  }
+  // Rewrite atomically and durably, then move appends to the new fd.
+  Status replaced = wal_replace_file_durable(path_, surviving,
+                                             mode_ == SyncMode::kFsync);
+  if (!replaced.ok()) return replaced.error();
   const int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND);
   if (fd < 0) {
     return make_error(ErrorCode::kInternal,
@@ -604,13 +673,11 @@ Result<WriteAheadLog::ReadResult> WriteAheadLog::read_content(
     ++line_no;
     WalRecord record;
     if (!parse_line(line, record)) {
-      if (pos >= content.size()) {
-        // Final line fails verification: torn tail (e.g. a partial line
-        // that happens to end at the file's last newline position after
-        // an overwrite). Never acked, safe to drop.
-        out.torn_tail = true;
-        return out;
-      }
+      // A newline-terminated line that fails verification is corruption,
+      // not a torn write — a crash tears the FINAL line at a byte
+      // boundary, leaving no trailing newline (the no-eol case above).
+      // Treating a complete-but-malformed final line as droppable would
+      // let an edit to the last acked record pass as a "crash".
       return make_error(ErrorCode::kBadMessage,
                         "wal line " + std::to_string(line_no) +
                             ": record hash mismatch or malformed record "

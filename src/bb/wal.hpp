@@ -74,6 +74,13 @@ Result<std::string> wal_field(const WalFields& fields, const std::string& key);
 std::string wal_render_flat_object(const WalFields& fields);
 Result<WalFields> wal_parse_flat_object(const std::string& line);
 
+/// Durably replace `path` with `content`: write `path.tmp`, fsync it,
+/// rename over `path`, then fsync the containing directory so the rename
+/// itself survives power loss. With durable=false every fsync is skipped
+/// (SyncMode::kNone measurement runs only).
+Status wal_replace_file_durable(const std::string& path,
+                                const std::string& content, bool durable);
+
 /// A broker reservation record as WAL fields (id, upstream and the full
 /// ResSpec) and back. Used by admit/release/tunnel records and by the
 /// snapshot's reservation lines — one schema, documented in
@@ -114,9 +121,15 @@ class WriteAheadLog {
   /// `min_next_seq` keeps sequence numbers monotonic across snapshot
   /// truncation: reopening an emptied log after a crash passes the
   /// snapshot's `wal_next_seq` so new records never reuse covered numbers.
+  /// `head_hash` continues the chain across the same boundary: when the
+  /// file holds no records (everything was truncated into a snapshot),
+  /// the first new record links to this hash — pass the snapshot's
+  /// `wal_head` (or the recovery report's) so the recovery-time
+  /// continuity check still ties the tail to the snapshot. Ignored when
+  /// the file has records (their head wins).
   static Result<std::unique_ptr<WriteAheadLog>> open(
       const std::string& path, SyncMode mode = SyncMode::kFsync,
-      std::uint64_t min_next_seq = 1);
+      std::uint64_t min_next_seq = 1, const std::string& head_hash = {});
 
   ~WriteAheadLog();
   WriteAheadLog(const WriteAheadLog&) = delete;
@@ -129,7 +142,22 @@ class WriteAheadLog {
 
   /// Block until every record up to `lsn` is durable. Concurrent callers
   /// coalesce onto one fsync (group commit).
+  ///
+  /// A write or fsync failure LATCHES the log into a permanent-failure
+  /// state: the failed batch is discarded, and every subsequent commit()
+  /// (and truncate_through()) returns the latched error. Continuing to
+  /// append past a lost batch would put a sequence gap and a chain break
+  /// on disk — recovery would then reject records acked *after* the
+  /// error, so the log refuses to ack anything further instead. (A failed
+  /// fsync may still have persisted the batch; replaying such a record
+  /// after the broker unwound its grant only re-reserves capacity that no
+  /// caller was ever acked — conservative, never a double-grant.)
   Status commit(std::uint64_t lsn);
+
+  /// Make the next group-commit leader's write fail (test hook for the
+  /// latch + caller-unwind paths; real injection would need a full fs
+  /// fault harness).
+  void inject_commit_failure_for_testing();
 
   /// append + commit in one call.
   Status log(const std::string& domain, const std::string& kind,
@@ -187,6 +215,8 @@ class WriteAheadLog {
   std::uint64_t durable_seq_ = 0;  // highest durable LSN (0 = none)
   std::size_t buffered_records_ = 0;
   bool sync_in_flight_ = false;
+  Status fail_status_;  // non-ok = latched permanent failure
+  bool fail_next_commit_for_testing_ = false;
   std::string head_hash_;  // empty = genesis
 
   obs::Counter* bytes_counter_ = nullptr;

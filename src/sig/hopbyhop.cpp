@@ -515,7 +515,14 @@ RarReply HopByHopEngine::process(const std::string& domain,
         return finish_hop(RarReply::deny(tunnel_handle.error()),
                           "admission");
       }
-      broker.find_tunnel(*tunnel_handle)->authorize(vr.res_spec.user);
+      auto authorized =
+          broker.find_tunnel(*tunnel_handle)->authorize(vr.res_spec.user);
+      if (!authorized.ok()) {
+        // The authorization could not be made durable: deny rather than
+        // ack a tunnel whose recovered twin would reject its only user.
+        (void)broker.release(*handle);
+        return finish_hop(RarReply::deny(authorized.error()), "admission");
+      }
       reply.tunnel_id = *tunnel_handle;
     }
     return finish_hop(std::move(reply), nullptr);
@@ -743,8 +750,14 @@ RarReply HopByHopEngine::process(const std::string& domain,
   if (vr.res_spec.is_tunnel && from_domain.empty()) {
     Node* dest = find_node(vr.res_spec.destination_domain);
     auto source_tunnel = broker.register_tunnel(vr.res_spec);
-    if (source_tunnel.ok() && dest != nullptr) {
-      broker.find_tunnel(*source_tunnel)->authorize(vr.res_spec.user);
+    // An authorization that cannot be made durable skips the direct
+    // channel setup, like a failed registration: the end-to-end grant
+    // stands, but this source end offers no tunnel the recovered broker
+    // would not honour.
+    if (source_tunnel.ok() && dest != nullptr &&
+        broker.find_tunnel(*source_tunnel)
+            ->authorize(vr.res_spec.user)
+            .ok()) {
       // Both ends pin the peer certificate they learned through the
       // signalling exchange (source cert introduced downstream by the
       // layer chain; destination cert introduced upstream with the signed

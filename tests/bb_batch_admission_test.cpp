@@ -133,7 +133,7 @@ TEST(TunnelBatch, GateFailuresAndPoolDecisionsMergeInInputOrder) {
     agg.is_tunnel = true;
     return agg;
   }());
-  tunnel.authorize("CN=Alice,O=DomainA,C=US");
+  ASSERT_TRUE(tunnel.authorize("CN=Alice,O=DomainA,C=US").ok());
   const std::vector<Tunnel::SubFlowRequest> flows = {
       {"s1", "CN=Alice,O=DomainA,C=US", {0, seconds(60)}, 30e6},
       {"s2", "CN=Eve,O=Evil,C=US", {0, seconds(60)}, 1e6},
@@ -289,7 +289,7 @@ TEST(ConcurrentAdmission, TunnelParallelSingleAndBatchAllocations) {
   ASSERT_TRUE(tid.ok());
   Tunnel* tunnel = f.broker.find_tunnel(*tid);
   ASSERT_NE(tunnel, nullptr);
-  tunnel->authorize("CN=Alice,O=DomainA,C=US");
+  ASSERT_TRUE(tunnel->authorize("CN=Alice,O=DomainA,C=US").ok());
 
   constexpr int kThreads = 4;
   std::vector<std::thread> workers;

@@ -164,7 +164,7 @@ TEST(Broker, TunnelRegistrationAndAllocation) {
   ASSERT_TRUE(tid.ok());
   Tunnel* tunnel = f.broker.find_tunnel(*tid);
   ASSERT_NE(tunnel, nullptr);
-  tunnel->authorize("CN=Alice,O=DomainA,C=US");
+  ASSERT_TRUE(tunnel->authorize("CN=Alice,O=DomainA,C=US").ok());
 
   EXPECT_TRUE(tunnel
                   ->allocate("sub-1", "CN=Alice,O=DomainA,C=US",

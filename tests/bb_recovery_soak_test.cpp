@@ -181,7 +181,7 @@ TEST(BbRecoverySoak, CrashedBrokersReplayToTheLiveOracle) {
       const auto tid = world.broker(d).register_tunnel(aggregate);
       ASSERT_TRUE(tid.ok()) << tid.error().to_text();
       bb::Tunnel* tunnel = world.broker(d).find_tunnel(*tid);
-      tunnel->authorize(alice.dn.to_string());
+      ASSERT_TRUE(tunnel->authorize(alice.dn.to_string()).ok());
       ASSERT_TRUE(tunnel
                       ->allocate("t" + std::to_string(trial) + "-a",
                                  alice.dn.to_string(),

@@ -18,12 +18,14 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bb/bandwidth_broker.hpp"
 #include "bb/recovery.hpp"
 #include "bb/snapshot.hpp"
 #include "bb/wal.hpp"
+#include "obs/audit.hpp"
 
 namespace e2e::bb {
 namespace {
@@ -140,7 +142,7 @@ std::vector<ReservationId> run_workload(RecoveryFixture& f) {
   auto tid = f.live.register_tunnel(aggregate);
   EXPECT_TRUE(tid.ok()) << (tid.ok() ? "" : tid.error().to_text());
   Tunnel* tunnel = f.live.find_tunnel(*tid);
-  tunnel->authorize(kAlice);
+  EXPECT_TRUE(tunnel->authorize(kAlice).ok());
   EXPECT_TRUE(
       tunnel->allocate("flow-a", kAlice, {0, seconds(1200)}, 5e6).ok());
   auto statuses = tunnel->allocate_batch(
@@ -435,7 +437,8 @@ TEST(WalRecovery, CheckpointRestartCrashRecoverCycle) {
   f.live.attach_wal(nullptr);
   f.wal.reset();
   auto reopened = WriteAheadLog::open(f.wal_path, WriteAheadLog::SyncMode::kFsync,
-                                      snapshot->meta.wal_next_seq);
+                                      snapshot->meta.wal_next_seq,
+                                      snapshot->meta.wal_head);
   ASSERT_TRUE(reopened.ok());
   f.wal = std::move(*reopened);
   EXPECT_GE(f.wal->next_seq(), snapshot->meta.wal_next_seq);
@@ -447,6 +450,163 @@ TEST(WalRecovery, CheckpointRestartCrashRecoverCycle) {
   ASSERT_TRUE(report.ok()) << report.error().to_text();
   EXPECT_EQ(report->failed, 0u);
   EXPECT_EQ(report->skipped_covered, 0u);
+  expect_equivalent(f.live, f.fresh);
+}
+
+TEST(WalRecovery, MalformedCompleteFinalLineIsRefused) {
+  // A newline-terminated final line that fails verification is an edited
+  // acked record, NOT a torn write (a crash tears the final line at a
+  // byte boundary, leaving no trailing newline). It must refuse recovery,
+  // not be silently dropped as "torn".
+  RecoveryFixture f("bad_final");
+  run_workload(f);
+  f.crash();
+  std::string content = slurp(f.wal_path);
+  ASSERT_EQ(content.back(), '\n');
+  const std::size_t prev_nl = content.rfind('\n', content.size() - 2);
+  ASSERT_NE(prev_nl, std::string::npos);
+  content[prev_nl + 20] ^= 0x01;  // flip one byte inside the LAST record
+  dump(f.wal_path, content);
+  const auto report = f.recover();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, ErrorCode::kBadMessage);
+  EXPECT_EQ(f.fresh.reservation_count(), 0u);
+}
+
+TEST(WalRecovery, MissingWalFileAfterCheckpointIsRefused) {
+  // The snapshot names covered log records, so a truncated (possibly
+  // empty) WAL file must exist — a missing file means the log was deleted
+  // along with anything acked after the checkpoint.
+  RecoveryFixture f("no_wal");
+  run_workload(f);
+  ASSERT_TRUE(snapshot_and_truncate(f.live, *f.wal, f.snap_path).ok());
+  f.crash();
+  ASSERT_EQ(std::remove(f.wal_path.c_str()), 0);
+  const auto report = f.recover();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, ErrorCode::kBadMessage);
+}
+
+TEST(WalRecovery, TruncatedWalWithoutItsSnapshotIsRefused) {
+  // Deleting the snapshot while keeping the truncated tail must not
+  // recover silently: without the snapshot the tail's first record fails
+  // both the seq-continuity and the genesis-link check.
+  RecoveryFixture f("no_snap");
+  run_workload(f);
+  ASSERT_TRUE(snapshot_and_truncate(f.live, *f.wal, f.snap_path).ok());
+  ASSERT_TRUE(f.live.commit(f.spec(2e6, {seconds(5), seconds(300)}), "").ok());
+  f.crash();
+  ASSERT_EQ(std::remove(f.snap_path.c_str()), 0);
+  const auto report = f.recover();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, ErrorCode::kBadMessage);
+  EXPECT_EQ(f.fresh.reservation_count(), 0u);
+}
+
+TEST(WalRecovery, SnapshotHeadMismatchIsRefused) {
+  // A snapshot/log pair from different histories: forge the snapshot's
+  // recorded wal_head (recomputing its integrity trailer, as an attacker
+  // with file access could) — the tail no longer links to it.
+  RecoveryFixture f("head_mismatch");
+  run_workload(f);
+  ASSERT_TRUE(snapshot_and_truncate(f.live, *f.wal, f.snap_path).ok());
+  ASSERT_TRUE(f.live.commit(f.spec(2e6, {seconds(5), seconds(300)}), "").ok());
+  f.crash();
+  std::string content = slurp(f.snap_path);
+  const std::size_t head_at = content.find("\"wal_head\":\"");
+  ASSERT_NE(head_at, std::string::npos);
+  const std::size_t head_val = head_at + std::string("\"wal_head\":\"").size();
+  content.replace(head_val, WriteAheadLog::genesis_hash().size(),
+                  WriteAheadLog::genesis_hash());
+  // Recompute the trailer so only the continuity check can catch it.
+  const std::size_t end_line = content.rfind("{\"type\":\"end\"");
+  ASSERT_NE(end_line, std::string::npos);
+  const std::string covered = content.substr(0, end_line);
+  std::string trailer = content.substr(end_line);
+  const std::size_t hash_at = trailer.find("\"hash\":\"");
+  ASSERT_NE(hash_at, std::string::npos);
+  trailer.replace(hash_at + std::string("\"hash\":\"").size(),
+                  obs::kChainHexDigestLen, obs::chain_sha256_hex(covered));
+  dump(f.snap_path, covered + trailer);
+  ASSERT_TRUE(read_snapshot(f.snap_path).ok());  // forgery is self-consistent
+  const auto report = f.recover();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, ErrorCode::kBadMessage);
+}
+
+TEST(WalRecovery, CommitFailureLatchesTheLogAndUnwindsCallers) {
+  // A failed write/fsync must not let later commits chain past the lost
+  // batch (the on-disk log would carry a seq gap poisoning every later
+  // acked record). The log latches; callers unwind and nothing latched
+  // was ever acked, so the surviving file still replays cleanly.
+  RecoveryFixture f("latch");
+  run_workload(f);
+  const std::size_t reservations = f.live.reservation_count();
+  const std::size_t tunnels = f.live.tunnel_count();
+  const std::vector<SimTime> ts = probe_times(f.live);
+  std::vector<double> committed;
+  for (SimTime t : ts) committed.push_back(f.live.committed_at(t));
+
+  f.wal->inject_commit_failure_for_testing();
+  EXPECT_FALSE(f.live.commit(f.spec(1e6, {0, seconds(100)}), "").ok());
+  // Latched: every further durable operation fails...
+  EXPECT_FALSE(f.live.commit(f.spec(1e6, {0, seconds(100)}), "").ok());
+  // ...and register_tunnel unwinds its in-memory insert on the error.
+  ResSpec agg = f.spec(5e6, {0, seconds(600)});
+  agg.is_tunnel = true;
+  EXPECT_FALSE(f.live.register_tunnel(agg).ok());
+  EXPECT_EQ(f.live.tunnel_count(), tunnels);
+  // The broker unwound every failed grant: in-memory state is unchanged.
+  EXPECT_EQ(f.live.reservation_count(), reservations);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(f.live.committed_at(ts[i]), committed[i]);
+  }
+
+  f.crash();
+  const auto report = f.recover();
+  ASSERT_TRUE(report.ok()) << report.error().to_text();
+  EXPECT_EQ(report->failed, 0u);
+  EXPECT_EQ(f.fresh.reservation_count(), reservations);
+  EXPECT_EQ(f.fresh.tunnel_count(), tunnels);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(f.fresh.committed_at(ts[i]), committed[i]);
+  }
+}
+
+TEST(WalRecovery, TruncateDuringConcurrentCommitsLosesNothing) {
+  // Checkpoints run against a LIVE broker: snapshot_and_truncate rewrites
+  // the log while group-commit leaders are writing to it. The truncation
+  // must wait out any in-flight sync — an acked record may never vanish
+  // into the pre-rename inode.
+  RecoveryFixture f("trunc_race");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::vector<ReservationId>> granted(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&f, &granted, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const SimTime start = seconds(t * 1000 + i);
+        auto r = f.live.commit(f.spec(1e5, {start, start + seconds(300)}), "");
+        ASSERT_TRUE(r.ok()) << r.error().to_text();
+        granted[t].push_back(*r);
+      }
+    });
+  }
+  for (int s = 0; s < 8; ++s) {
+    const auto dropped = snapshot_and_truncate(f.live, *f.wal, f.snap_path);
+    ASSERT_TRUE(dropped.ok()) << dropped.error().to_text();
+  }
+  for (auto& w : workers) w.join();
+  f.crash();
+  const auto report = f.recover();
+  ASSERT_TRUE(report.ok()) << report.error().to_text();
+  EXPECT_EQ(report->failed, 0u);
+  for (const auto& ids : granted) {
+    for (const ReservationId& id : ids) {
+      EXPECT_NE(f.fresh.find(id), nullptr) << "acked grant " << id << " lost";
+    }
+  }
   expect_equivalent(f.live, f.fresh);
 }
 
