@@ -1,0 +1,111 @@
+// Daemon-mode harness for the figure benches (docs/DAEMON.md).
+//
+// `--daemon` reruns a scenario as two communicating OS processes: a forked
+// child hosts the full BbdService (StreamServer event loop + ChainWorld)
+// on a private UNIX socket, and the bench process drives the identical
+// operation sequence through BbdClient. Because the daemon executes the
+// same ops against an identically-seeded world, the printed tables — and,
+// with E2E_GRANT_DUMP=1, the raw grant bytes — must be byte-identical to
+// the in-memory run. scripts/tier1.sh --daemon diffs the two.
+#pragma once
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/bytes.hpp"
+#include "net/bbd_client.hpp"
+#include "net/bbd_service.hpp"
+
+namespace e2e::benchutil {
+
+/// True when the bench was invoked with --daemon.
+inline bool daemon_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--daemon") return true;
+  }
+  return false;
+}
+
+/// Print one granted reply's canonical bytes when E2E_GRANT_DUMP is set.
+/// Both the in-memory and the daemon paths dump through this, so the
+/// tier1 --daemon diff covers the grant bytes, not just the tables.
+inline void maybe_dump_grant(BytesView reply_bytes) {
+  if (std::getenv("E2E_GRANT_DUMP") == nullptr) return;
+  std::printf("  grant %s\n", hex_encode(reply_bytes).c_str());
+}
+
+/// One forked daemon process + the socket path it serves on.
+class DaemonHarness {
+ public:
+  /// Fork a child hosting BbdService on a fresh UNIX socket.
+  static DaemonHarness launch() {
+    DaemonHarness h;
+    h.socket_path_ = "/tmp/e2e_bench_bbd_" +
+                     std::to_string(static_cast<long>(::getpid())) + ".sock";
+    ::unlink(h.socket_path_.c_str());
+    h.pid_ = ::fork();
+    if (h.pid_ == 0) {
+      net::BbdService::Options options;
+      options.listen_on = {
+          net::Endpoint::parse("unix:" + h.socket_path_).value()};
+      net::BbdService service(std::move(options));
+      if (!service.start().ok()) ::_exit(1);
+      service.wait();  // until the client's kShutdown drains the loop
+      ::_exit(0);
+    }
+    return h;
+  }
+
+  ~DaemonHarness() {
+    if (pid_ > 0) {
+      ::waitpid(pid_, nullptr, 0);
+      ::unlink(socket_path_.c_str());
+    }
+  }
+
+  DaemonHarness(const DaemonHarness&) = delete;
+  DaemonHarness& operator=(const DaemonHarness&) = delete;
+
+  DaemonHarness(DaemonHarness&& other) noexcept
+      : pid_(other.pid_), socket_path_(std::move(other.socket_path_)) {
+    other.pid_ = -1;
+  }
+  DaemonHarness& operator=(DaemonHarness&& other) noexcept {
+    if (this != &other) {
+      if (pid_ > 0) {
+        ::waitpid(pid_, nullptr, 0);
+        ::unlink(socket_path_.c_str());
+      }
+      pid_ = other.pid_;
+      socket_path_ = std::move(other.socket_path_);
+      other.pid_ = -1;
+    }
+    return *this;
+  }
+
+  /// Retry-connect until the child has built its world and listens.
+  Result<net::BbdClient> connect() const {
+    net::BbdClient::Options options;
+    options.connect_to = net::Endpoint::parse("unix:" + socket_path_).value();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (true) {
+      auto client = net::BbdClient::connect(options);
+      if (client.ok()) return client;
+      if (std::chrono::steady_clock::now() >= deadline) return client;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+ private:
+  DaemonHarness() = default;
+  pid_t pid_ = -1;
+  std::string socket_path_;
+};
+
+}  // namespace e2e::benchutil

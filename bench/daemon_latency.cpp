@@ -1,0 +1,139 @@
+// Daemon transport overhead: wall-clock RAR setup latency through the
+// in-memory world vs the same operation over the UNIX-socket daemon.
+//
+// Both paths execute the identical hop-by-hop reserve+release against an
+// identically-seeded 3-domain world; the virtual (modeled) latency is the
+// same by construction, so the wall-clock difference is pure transport
+// cost: length framing, the sealed channel, and the daemon's event loop.
+// Writes BENCH_daemon.json via scripts/bench_snapshot.sh; the numbers are
+// tracked in docs/PERFORMANCE.md.
+//
+// Usage: daemon_latency [--smoke] [--json-out PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "daemon_harness.hpp"
+#include "kit/chain_world.hpp"
+
+using namespace e2e;
+using namespace e2e::kit;
+namespace bu = e2e::benchutil;
+
+namespace {
+
+struct Quantiles {
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+Quantiles quantiles(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  Quantiles q;
+  q.p50_us = samples[samples.size() / 2];
+  q.p99_us = samples[std::min(samples.size() - 1,
+                              (samples.size() * 99) / 100)];
+  return q;
+}
+
+double elapsed_us(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+Quantiles run_local(std::size_t iterations) {
+  ChainWorld world;
+  const WorldUser alice = world.make_user("Alice", 0);
+  std::vector<double> samples;
+  samples.reserve(iterations);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto msg = world.engine().build_user_request(
+        alice.credentials(), world.spec(alice, 1e6), seconds(1));
+    const auto outcome = world.engine().reserve(*msg, seconds(1));
+    if (!outcome.ok() || !outcome->reply.granted) std::abort();
+    if (!world.engine().release_end_to_end(outcome->reply).ok()) {
+      std::abort();
+    }
+    samples.push_back(elapsed_us(start));
+  }
+  return quantiles(std::move(samples));
+}
+
+Quantiles run_daemon(std::size_t iterations) {
+  bu::DaemonHarness harness = bu::DaemonHarness::launch();
+  auto connected = harness.connect();
+  if (!connected.ok()) std::abort();
+  net::BbdClient client = std::move(connected.value());
+  if (!client.make_user("Alice", 0).ok()) std::abort();
+  net::BbdClient::ReserveArgs args;
+  args.user = "Alice";
+  args.rate = 1e6;
+  args.at = seconds(1);
+  std::vector<double> samples;
+  samples.reserve(iterations);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto outcome = client.reserve(args);
+    if (!outcome.ok() || !outcome->reply.granted) std::abort();
+    if (!client.release("hopbyhop", outcome->reply_bytes).ok()) std::abort();
+    samples.push_back(elapsed_us(start));
+  }
+  if (!client.shutdown_daemon().ok()) std::abort();
+  return quantiles(std::move(samples));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t iterations = 200;
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      iterations = 20;
+    } else if (arg == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    }
+  }
+
+  bu::heading("daemon_latency",
+              "RAR setup wall-clock: in-memory world vs UNIX-socket daemon");
+  bu::note("hop-by-hop reserve+release on a 3-domain world, " +
+           std::to_string(iterations) + " iterations per mode.");
+
+  const Quantiles local = run_local(iterations);
+  const Quantiles daemon = run_daemon(iterations);
+
+  bu::row("%-14s %-12s %-12s", "mode", "p50(us)", "p99(us)");
+  bu::rule();
+  bu::row("%-14s %-12.0f %-12.0f", "in-memory", local.p50_us, local.p99_us);
+  bu::row("%-14s %-12.0f %-12.0f", "daemon-unix", daemon.p50_us,
+          daemon.p99_us);
+  bu::rule();
+  bu::note("daemon p50 overhead: " +
+           std::to_string(daemon.p50_us - local.p50_us) + " us per setup");
+
+  bool ok = true;
+  ok &= bu::check(daemon.p50_us > 0 && local.p50_us > 0,
+                  "both modes completed every reserve+release");
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << "{\n"
+        << " \"bench\": \"daemon_latency\",\n"
+        << " \"iterations\": " << iterations << ",\n"
+        << " \"local\": {\"p50_us\": " << local.p50_us
+        << ", \"p99_us\": " << local.p99_us << "},\n"
+        << " \"daemon_unix\": {\"p50_us\": " << daemon.p50_us
+        << ", \"p99_us\": " << daemon.p99_us << "}\n"
+        << "}\n";
+    ok &= bu::check(static_cast<bool>(out), "wrote " + json_out);
+  }
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

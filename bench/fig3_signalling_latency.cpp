@@ -9,10 +9,16 @@
 // latency (the control path follows the chain). Hop-by-hop pays the sum of
 // adjacent RTTs; parallel source-based pays the max (the farthest domain);
 // sequential source-based pays the sum of increasingly long RTTs — worst.
+// `--daemon` reruns the identical scenario as two OS processes: a forked
+// broker daemon (bench/daemon_harness.hpp) drives the same seeded world,
+// so the table, the PASS lines and (E2E_GRANT_DUMP=1) the grant bytes must
+// be byte-identical to the in-memory run. scripts/tier1.sh --daemon diffs
+// the two modes.
 #include <cmath>
 #include <cstdlib>
 
 #include "bench_util.hpp"
+#include "daemon_harness.hpp"
 #include "kit/chain_world.hpp"
 
 using namespace e2e;
@@ -53,6 +59,7 @@ Sample run(std::size_t domains) {
     if (!outcome.ok() || !outcome->reply.granted) std::abort();
     s.hop_by_hop_ms = to_milliseconds(outcome->latency);
     s.hbh_messages = outcome->messages;
+    bu::maybe_dump_grant(outcome->reply.encode());
     if (!world.engine().release_end_to_end(outcome->reply).ok()) std::abort();
   }
   {
@@ -63,6 +70,7 @@ Sample run(std::size_t domains) {
     if (!outcome->reply.granted) std::abort();
     s.source_seq_ms = to_milliseconds(outcome->latency);
     s.src_messages = outcome->messages;
+    bu::maybe_dump_grant(outcome->reply.encode());
     if (!world.source_engine().release_end_to_end(outcome->reply).ok()) {
       std::abort();
     }
@@ -74,13 +82,65 @@ Sample run(std::size_t domains) {
         seconds(1));
     if (!outcome->reply.granted) std::abort();
     s.source_par_ms = to_milliseconds(outcome->latency);
+    bu::maybe_dump_grant(outcome->reply.encode());
+  }
+  return s;
+}
+
+/// The same operation sequence as run(), issued over the socket RPC to the
+/// forked daemon. The daemon hosts an identically-seeded world, so the
+/// sample — and the grant bytes — must match run() exactly.
+Sample run_daemon(net::BbdClient& client, std::size_t domains) {
+  if (!client.configure(domains).ok()) std::abort();
+  if (!client.set_processing_delay(milliseconds(1)).ok()) std::abort();
+  for (std::size_t i = 0; i < domains; ++i) {
+    for (std::size_t j = i + 1; j < domains; ++j) {
+      if (!client
+               .set_latency(i, j, milliseconds(20) * static_cast<int>(j - i))
+               .ok()) {
+        std::abort();
+      }
+    }
+  }
+  if (!client.make_user("Alice", 0, true, true).ok()) std::abort();
+
+  net::BbdClient::ReserveArgs args;
+  args.user = "Alice";
+  args.rate = 10e6;
+  args.at = seconds(1);
+
+  Sample s;
+  {
+    const auto outcome = client.reserve(args);
+    if (!outcome.ok() || !outcome->reply.granted) std::abort();
+    s.hop_by_hop_ms = to_milliseconds(outcome->latency);
+    s.hbh_messages = outcome->messages;
+    bu::maybe_dump_grant(outcome->reply_bytes);
+    if (!client.release("hopbyhop", outcome->reply_bytes).ok()) std::abort();
+  }
+  {
+    args.parallel = false;
+    const auto outcome = client.source_reserve(args);
+    if (!outcome.ok() || !outcome->reply.granted) std::abort();
+    s.source_seq_ms = to_milliseconds(outcome->latency);
+    s.src_messages = outcome->messages;
+    bu::maybe_dump_grant(outcome->reply_bytes);
+    if (!client.release("source", outcome->reply_bytes).ok()) std::abort();
+  }
+  {
+    args.parallel = true;
+    const auto outcome = client.source_reserve(args);
+    if (!outcome.ok() || !outcome->reply.granted) std::abort();
+    s.source_par_ms = to_milliseconds(outcome->latency);
+    bu::maybe_dump_grant(outcome->reply_bytes);
   }
   return s;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool daemon = bu::daemon_mode(argc, argv);
   bu::heading("Figure 3 / Section 3",
               "signalling latency: source-based vs hop-by-hop");
   bu::note("20 ms one-way per adjacent domain pair, 1 ms broker processing.");
@@ -96,8 +156,18 @@ int main() {
   double printed_hbh_total_us = 0;  // accumulates the table's hop-by-hop
                                     // column for the snapshot cross-check
   std::size_t printed_hbh_rows = 0;
+
+  std::unique_ptr<bu::DaemonHarness> harness;
+  std::unique_ptr<net::BbdClient> client;
+  if (daemon) {
+    harness = std::make_unique<bu::DaemonHarness>(bu::DaemonHarness::launch());
+    auto connected = harness->connect();
+    if (!connected.ok()) std::abort();
+    client = std::make_unique<net::BbdClient>(std::move(connected.value()));
+  }
+
   for (std::size_t n = 2; n <= 8; ++n) {
-    const Sample s = run(n);
+    const Sample s = daemon ? run_daemon(*client, n) : run(n);
     bu::row("%-8zu %-16.1f %-18.1f %-16.1f %-10zu %-10zu", n,
             s.hop_by_hop_ms, s.source_seq_ms, s.source_par_ms,
             s.hbh_messages, s.src_messages);
@@ -123,15 +193,36 @@ int main() {
 
   // The metrics snapshot must agree with the printed table: the hop-by-hop
   // end-to-end latency histogram saw exactly one observation per table row
-  // and its sum is the hop-by-hop column total.
-  const auto& hbh_latency = obs::MetricsRegistry::global().histogram(
-      "e2e_sig_e2e_latency_us", {{"engine", "hopbyhop"}});
-  ok &= bu::check(hbh_latency.count() == printed_hbh_rows,
+  // and its sum is the hop-by-hop column total. In daemon mode the
+  // histogram lives in the daemon's registry, so it is queried over the
+  // wire — same numbers, same printed check lines.
+  double hbh_count = 0;
+  double hbh_sum = 0;
+  if (daemon) {
+    const auto count = client->metric("e2e_sig_e2e_latency_us",
+                                      "engine=hopbyhop", "count");
+    const auto sum =
+        client->metric("e2e_sig_e2e_latency_us", "engine=hopbyhop", "sum");
+    if (!count.ok() || !sum.ok()) std::abort();
+    hbh_count = count.value();
+    hbh_sum = sum.value();
+  } else {
+    const auto& hbh_latency = obs::MetricsRegistry::global().histogram(
+        "e2e_sig_e2e_latency_us", {{"engine", "hopbyhop"}});
+    hbh_count = static_cast<double>(hbh_latency.count());
+    hbh_sum = hbh_latency.sum();
+  }
+  ok &= bu::check(hbh_count == static_cast<double>(printed_hbh_rows),
                   "metrics snapshot: hop-by-hop latency histogram count "
                   "matches the table rows");
-  ok &= bu::check(std::abs(hbh_latency.sum() - printed_hbh_total_us) < 1.0,
+  ok &= bu::check(std::abs(hbh_sum - printed_hbh_total_us) < 1.0,
                   "metrics snapshot: hop-by-hop latency histogram sum "
                   "matches the table total");
-  bu::dump_metrics_snapshot("fig3_signalling_latency");
+  if (daemon) {
+    if (!client->shutdown_daemon().ok()) std::abort();
+    client.reset();
+  } else {
+    bu::dump_metrics_snapshot("fig3_signalling_latency");
+  }
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -12,9 +12,14 @@
 //                         whole chain's latency;
 //   tunnel              : one end-to-end establishment, then 3 messages
 //                         per flow and one direct RTT, regardless of N.
+// `--daemon` reruns the identical scenario as two OS processes via the
+// forked broker daemon (bench/daemon_harness.hpp); the printed tables and
+// (E2E_GRANT_DUMP=1) the grant bytes must be byte-identical to the
+// in-memory run. scripts/tier1.sh --daemon diffs the two modes.
 #include <cstdlib>
 
 #include "bench_util.hpp"
+#include "daemon_harness.hpp"
 #include "kit/chain_world.hpp"
 
 using namespace e2e;
@@ -46,6 +51,27 @@ Totals per_flow_e2e(std::size_t domains, std::size_t flows) {
     t.messages += outcome->messages;
     t.total_latency_ms += to_milliseconds(outcome->latency);
     t.granted++;
+    bu::maybe_dump_grant(outcome->reply.encode());
+  }
+  return t;
+}
+
+Totals per_flow_e2e_daemon(net::BbdClient& client, std::size_t domains,
+                           std::size_t flows) {
+  if (!client.configure(domains, 0, 0, 10e9, 10e9).ok()) std::abort();
+  if (!client.make_user("Alice", 0).ok()) std::abort();
+  net::BbdClient::ReserveArgs args;
+  args.user = "Alice";
+  args.rate = 1e6;
+  args.at = seconds(1);
+  Totals t;
+  for (std::size_t i = 0; i < flows; ++i) {
+    const auto outcome = client.reserve(args);
+    if (!outcome.ok() || !outcome->reply.granted) std::abort();
+    t.messages += outcome->messages;
+    t.total_latency_ms += to_milliseconds(outcome->latency);
+    t.granted++;
+    bu::maybe_dump_grant(outcome->reply_bytes);
   }
   return t;
 }
@@ -65,6 +91,7 @@ Totals tunnel_based(std::size_t domains, std::size_t flows,
   const auto established = world.engine().reserve(*msg, seconds(1));
   if (!established.ok() || !established->reply.granted) std::abort();
   *establishment_messages = established->messages;
+  bu::maybe_dump_grant(established->reply.encode());
 
   Totals t;
   for (std::size_t i = 0; i < flows; ++i) {
@@ -75,13 +102,46 @@ Totals tunnel_based(std::size_t domains, std::size_t flows,
     t.messages += flow->messages;
     t.total_latency_ms += to_milliseconds(flow->latency);
     t.granted++;
+    bu::maybe_dump_grant(flow->reply.encode());
+  }
+  return t;
+}
+
+Totals tunnel_based_daemon(net::BbdClient& client, std::size_t domains,
+                           std::size_t flows,
+                           std::uint64_t* establishment_messages) {
+  if (!client.configure(domains, 0, 0, 10e9, 10e9).ok()) std::abort();
+  const auto dn = client.make_user("Alice", 0);
+  if (!dn.ok()) std::abort();
+  net::BbdClient::ReserveArgs agg;
+  agg.user = "Alice";
+  agg.rate = 1e9;
+  agg.interval = {0, seconds(36000)};
+  agg.is_tunnel = true;
+  agg.at = seconds(1);
+  const auto established = client.reserve(agg);
+  if (!established.ok() || !established->reply.granted) std::abort();
+  *establishment_messages = established->messages;
+  bu::maybe_dump_grant(established->reply_bytes);
+
+  Totals t;
+  for (std::size_t i = 0; i < flows; ++i) {
+    const auto flow =
+        client.tunnel_reserve(established->reply.tunnel_id, dn.value(), 1e6,
+                              {0, seconds(600)}, seconds(2));
+    if (!flow.ok() || !flow->reply.granted) std::abort();
+    t.messages += flow->messages;
+    t.total_latency_ms += to_milliseconds(flow->latency);
+    t.granted++;
+    bu::maybe_dump_grant(flow->reply_bytes);
   }
   return t;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool daemon = bu::daemon_mode(argc, argv);
   bu::heading("Claim T", "tunnel scalability for parallel flows");
   bu::note("F flows between the same end domains over an N-domain path;");
   bu::note("20 ms per inter-domain hop. Tunnel numbers exclude the one-time");
@@ -91,13 +151,25 @@ int main() {
           "e2e msgs", "e2e lat(ms)", "tun msgs", "tun estab", "tun lat(ms)");
   bu::rule();
 
+  std::unique_ptr<bu::DaemonHarness> harness;
+  std::unique_ptr<net::BbdClient> client;
+  if (daemon) {
+    harness = std::make_unique<bu::DaemonHarness>(bu::DaemonHarness::launch());
+    auto connected = harness->connect();
+    if (!connected.ok()) std::abort();
+    client = std::make_unique<net::BbdClient>(std::move(connected.value()));
+  }
+
   bool ok = true;
   std::uint64_t tunnel_msgs_3d = 0, tunnel_msgs_7d = 0;
   for (std::size_t domains : {3u, 5u, 7u}) {
     for (std::size_t flows : {1u, 16u, 64u}) {
-      const Totals e2e = per_flow_e2e(domains, flows);
+      const Totals e2e = daemon ? per_flow_e2e_daemon(*client, domains, flows)
+                                : per_flow_e2e(domains, flows);
       std::uint64_t establishment = 0;
-      const Totals tun = tunnel_based(domains, flows, &establishment);
+      const Totals tun =
+          daemon ? tunnel_based_daemon(*client, domains, flows, &establishment)
+                 : tunnel_based(domains, flows, &establishment);
       bu::row("%-8zu %-7zu | %-12llu %-14.0f | %-10llu %-12llu %-14.0f",
               domains, flows,
               static_cast<unsigned long long>(e2e.messages),
@@ -123,24 +195,49 @@ int main() {
                   "contacted)");
 
   // Aggregate admission is still enforced within the tunnel.
-  ChainWorld world;
-  const WorldUser alice = world.make_user("Alice", 0);
-  bb::ResSpec agg = world.spec(alice, 10e6, {0, seconds(3600)});
-  agg.is_tunnel = true;
-  const auto msg =
-      world.engine().build_user_request(alice.credentials(), agg, 0);
-  const auto established = world.engine().reserve(*msg, seconds(1));
   std::size_t admitted = 0;
-  for (int i = 0; i < 20; ++i) {
-    const auto flow = world.engine().reserve_in_tunnel(
-        established->reply.tunnel_id, alice.dn.to_string(), 1e6,
-        {0, seconds(600)}, seconds(2));
-    if (flow.ok() && flow->reply.granted) ++admitted;
+  if (daemon) {
+    if (!client->configure(0).ok()) std::abort();
+    const auto dn = client->make_user("Alice", 0);
+    if (!dn.ok()) std::abort();
+    net::BbdClient::ReserveArgs agg;
+    agg.user = "Alice";
+    agg.rate = 10e6;
+    agg.interval = {0, seconds(3600)};
+    agg.is_tunnel = true;
+    agg.at = seconds(1);
+    const auto established = client->reserve(agg);
+    if (!established.ok() || !established->reply.granted) std::abort();
+    for (int i = 0; i < 20; ++i) {
+      const auto flow =
+          client->tunnel_reserve(established->reply.tunnel_id, dn.value(),
+                                 1e6, {0, seconds(600)}, seconds(2));
+      if (flow.ok() && flow->reply.granted) ++admitted;
+    }
+  } else {
+    ChainWorld world;
+    const WorldUser alice = world.make_user("Alice", 0);
+    bb::ResSpec agg = world.spec(alice, 10e6, {0, seconds(3600)});
+    agg.is_tunnel = true;
+    const auto msg =
+        world.engine().build_user_request(alice.credentials(), agg, 0);
+    const auto established = world.engine().reserve(*msg, seconds(1));
+    for (int i = 0; i < 20; ++i) {
+      const auto flow = world.engine().reserve_in_tunnel(
+          established->reply.tunnel_id, alice.dn.to_string(), 1e6,
+          {0, seconds(600)}, seconds(2));
+      if (flow.ok() && flow->reply.granted) ++admitted;
+    }
   }
   ok &= bu::check(admitted == 10,
                   "a 10 Mb/s tunnel admits exactly ten 1 Mb/s flows — the "
                   "aggregate stays enforced without contacting the "
                   "intermediate domains");
-  bu::dump_metrics_snapshot("tunnel_scaling");
+  if (daemon) {
+    if (!client->shutdown_daemon().ok()) std::abort();
+    client.reset();
+  } else {
+    bu::dump_metrics_snapshot("tunnel_scaling");
+  }
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -10,6 +10,10 @@
 #                       broker, parallel tunnels, batch admission, and the
 #                       WAL overhead sweep (off/nosync/fsync/fsync+batch);
 #                       format documented in docs/PERFORMANCE.md)
+#   BENCH_daemon.json  (bench/daemon_latency: wall-clock p50/p99 of a full
+#                       RAR setup through the in-memory world vs the same
+#                       ops over the UNIX-socket daemon — the transport
+#                       overhead of the bbd stack, docs/DAEMON.md)
 # so successive PRs can diff the numbers.
 #
 # Usage: ./scripts/bench_snapshot.sh           (full run)
@@ -21,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
 cmake --build build -j --target micro_crypto micro_obs \
-  fig3_signalling_latency load_broker >/dev/null
+  fig3_signalling_latency load_broker daemon_latency >/dev/null
 
 min_time=""
 if [[ "${SMOKE:-0}" == "1" ]]; then
@@ -64,4 +68,10 @@ fi
   "$OLDPWD/build/bench/load_broker" ${load_flags:+"$load_flags"} \
     --json-out "$OLDPWD/BENCH_admission.json" > load_broker.stdout.txt)
 
-echo "bench_snapshot: wrote BENCH_crypto.json, BENCH_fig3.json, BENCH_obs.json and BENCH_admission.json"
+# daemon_latency forks its own broker daemon on a UNIX socket and writes
+# the p50/p99 transport-overhead summary itself.
+(cd "$workdir" &&
+  "$OLDPWD/build/bench/daemon_latency" ${load_flags:+"$load_flags"} \
+    --json-out "$OLDPWD/BENCH_daemon.json" > daemon_latency.stdout.txt)
+
+echo "bench_snapshot: wrote BENCH_crypto.json, BENCH_fig3.json, BENCH_obs.json, BENCH_admission.json and BENCH_daemon.json"

@@ -27,6 +27,13 @@
 #                                     differential suite and the crash/recover
 #                                     soak, each in the default build and
 #                                     again under the ASan/UBSan preset)
+#        ./scripts/tier1.sh --daemon (socket transport gates: framing +
+#                                     transport-conformance + daemon suites
+#                                     and the multi-process soak, default
+#                                     build then ASan/UBSan; plus byte-
+#                                     identity of fig3/tunnel_scaling run
+#                                     as communicating OS processes vs the
+#                                     in-memory run, grant bytes included)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -130,6 +137,50 @@ if [[ "${1:-}" == "--recovery" ]]; then
   ./build-asan/tests/bb_recovery_soak_test
   echo "tier1 --recovery: differential + soak OK (asan)"
   echo "tier1 --recovery: OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--daemon" ]]; then
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target net_stream_test daemon_soak_test bbd \
+    fig3_signalling_latency tunnel_scaling >/dev/null
+  workdir=$(mktemp -d)
+  trap 'rm -rf "$workdir"' EXIT
+
+  # Framing robustness, transport conformance (Fabric AND sockets), and
+  # the in-process daemon integration suite — default build first.
+  ./build/tests/net_stream_test
+  # Multi-process soak: the real bbd binary + N client processes mixing
+  # reserve/release/abrupt-exit, then SIGKILL + restart with --recover.
+  ./build/tests/daemon_soak_test
+  echo "tier1 --daemon: stream/conformance/soak suites OK (default build)"
+
+  # The same suites under ASan/UBSan — the socket paths shuffle raw byte
+  # buffers across threads and processes, so lifetime bugs would hide in
+  # the default build.
+  cmake --preset asan >/dev/null
+  cmake --build build-asan -j --target net_stream_test daemon_soak_test \
+    >/dev/null
+  ./build-asan/tests/net_stream_test
+  ./build-asan/tests/daemon_soak_test
+  echo "tier1 --daemon: stream/conformance/soak suites OK (asan)"
+
+  # Byte-identity: fig3 and tunnel_scaling rerun as communicating OS
+  # processes (--daemon forks a broker daemon on a UNIX socket) must print
+  # byte-identical protocol output — tables, PASS lines and the
+  # E2E_GRANT_DUMP grant bytes. Only the "metrics snapshot:" line is
+  # filtered (the in-memory run drops a snapshot file; the daemon's
+  # registry lives in the daemon process and is queried over the wire).
+  for bench in fig3_signalling_latency tunnel_scaling; do
+    (cd "$workdir" && E2E_GRANT_DUMP=1 "$OLDPWD/build/bench/$bench" \
+      | sed '/^  metrics snapshot: /d' > "$bench.local.txt")
+    (cd "$workdir" && E2E_GRANT_DUMP=1 "$OLDPWD/build/bench/$bench" --daemon \
+      | sed '/^  metrics snapshot: /d' > "$bench.daemon.txt")
+    cmp "$workdir/$bench.local.txt" "$workdir/$bench.daemon.txt"
+    echo "tier1 --daemon: $bench in-memory vs daemon byte-identical" \
+      "(grant bytes included)"
+  done
+  echo "tier1 --daemon: OK"
   exit 0
 fi
 

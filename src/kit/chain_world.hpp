@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bb/bandwidth_broker.hpp"
+#include "bb/recovery.hpp"
 #include "bb/snapshot.hpp"
 #include "bb/wal.hpp"
 #include "common/thread_pool.hpp"
@@ -74,6 +75,11 @@ struct ChainWorldConfig {
   std::string durability_dir;
   /// Sync mode for the per-domain WALs (fsync-before-ack by default).
   bb::WriteAheadLog::SyncMode wal_sync_mode = bb::WriteAheadLog::SyncMode::kFsync;
+  /// Replay each domain's snapshot + WAL tail into its fresh broker before
+  /// reopening the log (the restarted-daemon path: a killed bbd comes back
+  /// with every acked grant intact). Requires durability_dir; a world
+  /// whose directory holds no prior state recovers to the blank slate.
+  bool recover_on_open = false;
 };
 
 class ChainWorld {
@@ -171,7 +177,23 @@ class ChainWorld {
     if (!config.durability_dir.empty()) {
       wals_.resize(config.domains);
       for (std::size_t i = 0; i < config.domains; ++i) {
-        auto wal = bb::WriteAheadLog::open(wal_path(i), config.wal_sync_mode);
+        std::uint64_t min_next_seq = 1;
+        std::string head_hash;
+        if (config.recover_on_open) {
+          // Replay prior state into the fresh broker BEFORE reopening the
+          // log, then continue the chain where the tail left off.
+          auto report = bb::recover_broker(*brokers_[i], snapshot_path(i),
+                                           wal_path(i));
+          if (!report.ok()) {
+            throw std::runtime_error("world: recovery failed for " +
+                                     names_[i] + ": " +
+                                     report.error().to_text());
+          }
+          min_next_seq = report.value().wal_next_seq;
+          head_hash = report.value().wal_head;
+        }
+        auto wal = bb::WriteAheadLog::open(wal_path(i), config.wal_sync_mode,
+                                           min_next_seq, head_hash);
         if (!wal.ok()) {
           throw std::runtime_error("world: wal open failed: " +
                                    wal.error().to_text());

@@ -1,0 +1,230 @@
+#include "net/bbd_client.hpp"
+
+#include <utility>
+
+namespace e2e::net {
+
+Result<BbdClient> BbdClient::connect(const Options& options) {
+  auto socket = StreamSocket::connect(options.connect_to);
+  if (!socket.ok()) return socket.error();
+  const ServiceIdentity identity = make_service_identity(options.auth_seed);
+  // Client nonce entropy; deliberately a different stream from the
+  // daemon's so the two sides never draw identical nonces.
+  Rng rng(options.auth_seed ^ 0x6262642d636c6e74ull);
+  sig::HandshakeInitiator initiator(identity.client_endpoint(), 0, rng);
+  if (auto sent = socket.value().send_frame(initiator.client_hello());
+      !sent.ok()) {
+    return sent.error();
+  }
+  auto server_hello = socket.value().recv_frame(options.call_timeout);
+  if (!server_hello.ok()) return server_hello.error();
+  auto finished = initiator.on_server_hello(server_hello.value());
+  if (!finished.ok()) return finished.error();
+  if (auto sent = socket.value().send_frame(finished.value()); !sent.ok()) {
+    return sent.error();
+  }
+  return BbdClient(options, std::move(socket.value()),
+                   std::move(initiator.session()));
+}
+
+Result<BbdResponse> BbdClient::call(BbdRequest request) {
+  request.id = next_id_++;
+  const sig::Record record = session_.seal(request.encode());
+  if (auto sent = socket_.send_frame(sig::encode_record(record));
+      !sent.ok()) {
+    return sent.error();
+  }
+  auto frame = socket_.recv_frame(options_.call_timeout);
+  if (!frame.ok()) return frame.error();
+  auto reply_record = sig::decode_record(frame.value());
+  if (!reply_record.ok()) return reply_record.error();
+  auto payload = session_.open(reply_record.value());
+  if (!payload.ok()) return payload.error();
+  auto response = BbdResponse::decode(payload.value());
+  if (!response.ok()) return response.error();
+  if (response.value().id != request.id) {
+    return make_error(ErrorCode::kBadMessage,
+                      "response id does not match request",
+                      std::to_string(response.value().id));
+  }
+  if (!response.value().ok) return response.value().to_error();
+  return response;
+}
+
+Status BbdClient::ping() {
+  BbdRequest req;
+  req.op = BbdOp::kPing;
+  auto res = call(std::move(req));
+  return res.ok() ? Status::ok_status() : Status(res.error());
+}
+
+Status BbdClient::hello(bool release_on_disconnect) {
+  BbdRequest req;
+  req.op = BbdOp::kHello;
+  req.flags = release_on_disconnect ? 1u : 0u;
+  auto res = call(std::move(req));
+  return res.ok() ? Status::ok_status() : Status(res.error());
+}
+
+Status BbdClient::configure(std::uint64_t domains, std::uint64_t seed,
+                            SimDuration inter_domain_latency,
+                            double domain_capacity, double sla_rate) {
+  BbdRequest req;
+  req.op = BbdOp::kConfigure;
+  req.u64a = domains;
+  req.u64b = seed;
+  req.u64c = static_cast<std::uint64_t>(inter_domain_latency);
+  req.f64a = domain_capacity;
+  req.f64b = sla_rate;
+  auto res = call(std::move(req));
+  return res.ok() ? Status::ok_status() : Status(res.error());
+}
+
+Status BbdClient::set_latency(std::size_t i, std::size_t j,
+                              SimDuration latency) {
+  BbdRequest req;
+  req.op = BbdOp::kSetLatency;
+  req.u64a = i;
+  req.u64b = j;
+  req.u64c = static_cast<std::uint64_t>(latency);
+  auto res = call(std::move(req));
+  return res.ok() ? Status::ok_status() : Status(res.error());
+}
+
+Status BbdClient::set_processing_delay(SimDuration delay) {
+  BbdRequest req;
+  req.op = BbdOp::kSetProcessingDelay;
+  req.u64a = static_cast<std::uint64_t>(delay);
+  auto res = call(std::move(req));
+  return res.ok() ? Status::ok_status() : Status(res.error());
+}
+
+Result<std::string> BbdClient::make_user(const std::string& name,
+                                         std::size_t home,
+                                         bool with_capability,
+                                         bool register_everywhere) {
+  BbdRequest req;
+  req.op = BbdOp::kMakeUser;
+  req.stra = name;
+  req.u64a = home;
+  req.flags = (with_capability ? 1u : 0u) | (register_everywhere ? 2u : 0u);
+  auto res = call(std::move(req));
+  if (!res.ok()) return res.error();
+  return res.value().stra;
+}
+
+namespace {
+
+BbdRequest reserve_request(BbdOp op, const BbdClient::ReserveArgs& args) {
+  BbdRequest req;
+  req.op = op;
+  req.stra = args.user;
+  req.f64a = args.rate;
+  req.u64a = static_cast<std::uint64_t>(args.interval.start);
+  req.u64b = static_cast<std::uint64_t>(args.interval.end);
+  req.u64c = args.src;
+  req.u64d = args.dst_offset_from_end;
+  req.flags = (args.is_tunnel ? 1u : 0u) | (args.parallel ? 2u : 0u);
+  req.f64b = static_cast<double>(args.at);
+  return req;
+}
+
+Result<BbdClient::RemoteOutcome> to_outcome(Result<BbdResponse> res) {
+  if (!res.ok()) return res.error();
+  auto reply = sig::RarReply::decode(res.value().bytes);
+  if (!reply.ok()) return reply.error();
+  BbdClient::RemoteOutcome outcome;
+  outcome.reply = std::move(reply.value());
+  outcome.reply_bytes = std::move(res.value().bytes);
+  outcome.latency = static_cast<SimDuration>(res.value().u64a);
+  outcome.messages = res.value().u64b;
+  return outcome;
+}
+
+}  // namespace
+
+Result<BbdClient::RemoteOutcome> BbdClient::reserve(const ReserveArgs& args) {
+  return to_outcome(call(reserve_request(BbdOp::kReserve, args)));
+}
+
+Result<BbdClient::RemoteOutcome> BbdClient::source_reserve(
+    const ReserveArgs& args) {
+  return to_outcome(call(reserve_request(BbdOp::kSourceReserve, args)));
+}
+
+Result<BbdClient::RemoteOutcome> BbdClient::tunnel_reserve(
+    const std::string& tunnel_id, const std::string& user_dn, double rate,
+    TimeInterval interval, SimTime at) {
+  BbdRequest req;
+  req.op = BbdOp::kTunnelReserve;
+  req.stra = tunnel_id;
+  req.strb = user_dn;
+  req.f64a = rate;
+  req.u64a = static_cast<std::uint64_t>(interval.start);
+  req.u64b = static_cast<std::uint64_t>(interval.end);
+  req.f64b = static_cast<double>(at);
+  return to_outcome(call(std::move(req)));
+}
+
+Status BbdClient::release(const std::string& engine,
+                          const Bytes& reply_bytes) {
+  BbdRequest req;
+  req.op = BbdOp::kRelease;
+  req.stra = engine;
+  req.bytes = reply_bytes;
+  auto res = call(std::move(req));
+  return res.ok() ? Status::ok_status() : Status(res.error());
+}
+
+Status BbdClient::tunnel_release(const std::string& tunnel_id,
+                                 const std::string& sub_id) {
+  BbdRequest req;
+  req.op = BbdOp::kTunnelRelease;
+  req.stra = tunnel_id;
+  req.strb = sub_id;
+  auto res = call(std::move(req));
+  return res.ok() ? Status::ok_status() : Status(res.error());
+}
+
+Result<BbdClient::Stats> BbdClient::stats(SimTime at) {
+  BbdRequest req;
+  req.op = BbdOp::kStats;
+  req.f64b = static_cast<double>(at);
+  auto res = call(std::move(req));
+  if (!res.ok()) return res.error();
+  Stats stats;
+  stats.reservations = res.value().u64a;
+  stats.committed = res.value().f64a;
+  return stats;
+}
+
+Result<double> BbdClient::metric(const std::string& name,
+                                 const std::string& labels,
+                                 const std::string& field) {
+  BbdRequest req;
+  req.op = BbdOp::kMetricQuery;
+  req.stra = name;
+  req.labels = labels;
+  req.strb = field;
+  auto res = call(std::move(req));
+  if (!res.ok()) return res.error();
+  return res.value().f64a;
+}
+
+Result<std::size_t> BbdClient::snapshot_domain(std::size_t domain) {
+  BbdRequest req;
+  req.op = BbdOp::kSnapshot;
+  req.u64a = domain;
+  auto res = call(std::move(req));
+  if (!res.ok()) return res.error();
+  return static_cast<std::size_t>(res.value().u64a);
+}
+
+Status BbdClient::shutdown_daemon() {
+  BbdRequest req;
+  req.op = BbdOp::kShutdown;
+  auto res = call(std::move(req));
+  return res.ok() ? Status::ok_status() : Status(res.error());
+}
+
+}  // namespace e2e::net

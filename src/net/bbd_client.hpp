@@ -1,0 +1,108 @@
+// Client side of the bbd daemon RPC (bbd_protocol.hpp).
+//
+// Owns one stream connection: connect() dials the daemon, runs the staged
+// SecureChannel handshake (mutual auth against the shared deterministic
+// ServiceIdentity), and every call() afterwards is one sealed
+// request/response round trip. Calls are synchronous — the benches and
+// tests that use this client issue strictly ordered operation sequences,
+// which is exactly what byte-identity with the in-memory run requires.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "net/bbd_protocol.hpp"
+#include "net/bbd_service.hpp"
+#include "net/stream_socket.hpp"
+#include "sig/channel.hpp"
+#include "sig/message.hpp"
+
+namespace e2e::net {
+
+class BbdClient {
+ public:
+  struct Options {
+    Endpoint connect_to;
+    std::uint64_t auth_seed = kDefaultAuthSeed;
+    /// Wall-clock patience per response (the daemon computes in virtual
+    /// time; generously above any real scheduling delay).
+    std::chrono::milliseconds call_timeout{30000};
+  };
+
+  /// Dial and complete the handshake.
+  static Result<BbdClient> connect(const Options& options);
+
+  BbdClient(BbdClient&&) = default;
+  BbdClient& operator=(BbdClient&&) = default;
+
+  /// One sealed round trip. Assigns the request id; a response that does
+  /// not echo it is a protocol error. An application-level failure
+  /// (response.ok == false) is returned as this Result's error.
+  Result<BbdResponse> call(BbdRequest request);
+
+  // Convenience wrappers over call() — one per op the benches use.
+  Status ping();
+  Status hello(bool release_on_disconnect);
+  Status configure(std::uint64_t domains, std::uint64_t seed = 0,
+                   SimDuration inter_domain_latency = 0,
+                   double domain_capacity = 0, double sla_rate = 0);
+  Status set_latency(std::size_t i, std::size_t j, SimDuration latency);
+  Status set_processing_delay(SimDuration delay);
+  /// Returns the user's DN text.
+  Result<std::string> make_user(const std::string& name, std::size_t home,
+                                bool with_capability = true,
+                                bool register_everywhere = false);
+
+  struct RemoteOutcome {
+    sig::RarReply reply;
+    Bytes reply_bytes;  // the daemon's canonical encoding, verbatim
+    SimDuration latency = 0;
+    std::size_t messages = 0;
+  };
+  struct ReserveArgs {
+    std::string user;
+    double rate = 0;
+    TimeInterval interval{0, seconds(600)};
+    std::size_t src = 0;
+    std::size_t dst_offset_from_end = 0;
+    bool is_tunnel = false;
+    SimTime at = 0;
+    bool parallel = false;  // source-engine mode only
+  };
+  Result<RemoteOutcome> reserve(const ReserveArgs& args);
+  Result<RemoteOutcome> source_reserve(const ReserveArgs& args);
+  Result<RemoteOutcome> tunnel_reserve(const std::string& tunnel_id,
+                                       const std::string& user_dn,
+                                       double rate, TimeInterval interval,
+                                       SimTime at);
+  Status release(const std::string& engine, const Bytes& reply_bytes);
+  Status tunnel_release(const std::string& tunnel_id,
+                        const std::string& sub_id);
+
+  struct Stats {
+    std::size_t reservations = 0;
+    double committed = 0;
+  };
+  Result<Stats> stats(SimTime at);
+  /// field: "count" | "sum" (histogram), "counter", "gauge".
+  Result<double> metric(const std::string& name, const std::string& labels,
+                        const std::string& field);
+  Result<std::size_t> snapshot_domain(std::size_t domain);
+  Status shutdown_daemon();
+
+ private:
+  BbdClient(Options options, StreamSocket socket, sig::Session session)
+      : options_(std::move(options)),
+        socket_(std::move(socket)),
+        session_(std::move(session)) {}
+
+  Options options_;
+  StreamSocket socket_;
+  sig::Session session_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace e2e::net

@@ -1,0 +1,423 @@
+#include "net/bbd_service.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "sig/message.hpp"
+
+namespace e2e::net {
+
+namespace {
+
+/// The world's virtual clock never moves past kWorldValidity's start in
+/// the handshake: service channels are established "at" virtual time zero.
+constexpr SimTime kHandshakeTime = 0;
+
+}  // namespace
+
+sig::ChannelEndpoint ServiceIdentity::daemon_endpoint() const {
+  sig::ChannelEndpoint endpoint;
+  endpoint.certificate = daemon_certificate;
+  endpoint.private_key = daemon_keys.priv;
+  endpoint.pinned_peer = client_certificate;
+  return endpoint;
+}
+
+sig::ChannelEndpoint ServiceIdentity::client_endpoint() const {
+  sig::ChannelEndpoint endpoint;
+  endpoint.certificate = client_certificate;
+  endpoint.private_key = client_keys.priv;
+  endpoint.pinned_peer = daemon_certificate;
+  return endpoint;
+}
+
+ServiceIdentity make_service_identity(std::uint64_t seed) {
+  // Derivation order is part of the contract: both processes must draw
+  // from the RNG in exactly this sequence to end up with the same bytes.
+  Rng rng(seed);
+  crypto::CertificateAuthority ca(
+      crypto::DistinguishedName::make("bbd-ca", "bbd"), rng,
+      kit::kWorldValidity, 256);
+  ServiceIdentity identity;
+  identity.daemon_keys = crypto::generate_keypair(rng, 256);
+  identity.daemon_certificate =
+      ca.issue(crypto::DistinguishedName::make("bbd-server", "bbd"),
+               identity.daemon_keys.pub, kit::kWorldValidity);
+  identity.client_keys = crypto::generate_keypair(rng, 256);
+  identity.client_certificate =
+      ca.issue(crypto::DistinguishedName::make("bbd-client", "bbd"),
+               identity.client_keys.pub, kit::kWorldValidity);
+  return identity;
+}
+
+BbdService::BbdService(Options options)
+    : options_(std::move(options)),
+      identity_(make_service_identity(options_.auth_seed)),
+      // Handshake nonces only; never touches any world's RNG stream.
+      handshake_rng_(options_.auth_seed ^ 0x6262642d64616d6eull) {}
+
+BbdService::~BbdService() {
+  stop();
+  wait();
+}
+
+Status BbdService::start() {
+  kit::ChainWorldConfig config = options_.world;
+  if (auto built = rebuild_world(std::move(config)); !built.ok()) {
+    return built;
+  }
+  StreamServer::Options server_options;
+  server_options.listen_on = options_.listen_on;
+  server_options.idle_timeout = options_.idle_timeout;
+  server_options.max_write_queue_bytes = options_.max_write_queue_bytes;
+  server_options.force_poll = options_.force_poll;
+  StreamServer::Callbacks callbacks;
+  callbacks.on_open = [this](StreamServer::ConnId id, const Endpoint& via) {
+    on_open(id, via);
+  };
+  callbacks.on_frame = [this](StreamServer::ConnId id, Bytes frame) {
+    on_frame(id, std::move(frame));
+  };
+  callbacks.on_close = [this](StreamServer::ConnId id, const Status& reason) {
+    on_close(id, reason);
+  };
+  server_ = std::make_unique<StreamServer>(std::move(server_options),
+                                           std::move(callbacks));
+  if (auto started = server_->start(); !started.ok()) return started;
+  loop_ = std::thread([this] { server_->run(); });
+  return Status::ok_status();
+}
+
+void BbdService::wait() {
+  if (loop_.joinable()) loop_.join();
+}
+
+void BbdService::stop() {
+  if (server_ != nullptr) server_->stop();
+}
+
+void BbdService::shutdown_gracefully() {
+  if (server_ != nullptr) server_->shutdown_gracefully();
+}
+
+std::vector<Endpoint> BbdService::bound_endpoints() const {
+  return server_ != nullptr ? server_->bound_endpoints()
+                            : std::vector<Endpoint>{};
+}
+
+const char* BbdService::poller_name() const {
+  return server_ != nullptr ? server_->poller_name() : "unstarted";
+}
+
+Status BbdService::rebuild_world(kit::ChainWorldConfig config) {
+  config.durability_dir = options_.durability_dir;
+  config.recover_on_open = options_.recover && !options_.durability_dir.empty();
+  users_.clear();
+  // The old world must release its WALs before the new one reopens them.
+  world_.reset();
+  try {
+    world_ = std::make_unique<kit::ChainWorld>(config);
+  } catch (const std::exception& e) {
+    return make_error(ErrorCode::kInternal, "world construction failed",
+                      e.what());
+  }
+  return Status::ok_status();
+}
+
+void BbdService::on_open(StreamServer::ConnId id, const Endpoint& via) {
+  (void)via;
+  ConnState conn;
+  conn.handshake = std::make_unique<sig::HandshakeResponder>(
+      identity_.daemon_endpoint(), kHandshakeTime, handshake_rng_);
+  conns_.emplace(id, std::move(conn));
+}
+
+void BbdService::on_close(StreamServer::ConnId id, const Status& reason) {
+  (void)reason;
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  if (it->second.release_on_disconnect) release_orphans(it->second);
+  conns_.erase(it);
+}
+
+void BbdService::release_orphans(ConnState& conn) {
+  if (world_ == nullptr) return;
+  for (const auto& [engine, reply_bytes] : conn.grants) {
+    auto reply = sig::RarReply::decode(reply_bytes);
+    if (!reply.ok()) continue;
+    if (engine == "source") {
+      (void)world_->source_engine().release_end_to_end(reply.value());
+    } else {
+      (void)world_->engine().release_end_to_end(reply.value());
+    }
+  }
+  conn.grants.clear();
+}
+
+bool BbdService::on_handshake_frame(StreamServer::ConnId id, ConnState& conn,
+                                    const Bytes& frame) {
+  if (conn.handshake == nullptr) {
+    server_->close_after_flush(id);
+    return false;
+  }
+  if (!conn.hello_consumed) {
+    // First frame must be the ClientHello.
+    auto server_hello = conn.handshake->on_client_hello(frame);
+    if (!server_hello.ok()) {
+      server_->close_after_flush(id);
+      return false;
+    }
+    conn.hello_consumed = true;
+    (void)server_->send(id, server_hello.value());
+    return true;
+  }
+  // Second frame must be the Finished message.
+  auto finished = conn.handshake->on_finished(frame);
+  if (!finished.ok()) {
+    server_->close_after_flush(id);
+    return false;
+  }
+  conn.established = true;
+  return true;
+}
+
+void BbdService::on_frame(StreamServer::ConnId id, Bytes frame) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  ConnState& conn = it->second;
+  if (!conn.established) {
+    (void)on_handshake_frame(id, conn, frame);
+    return;
+  }
+  // Established: every frame is a sealed record carrying one request.
+  auto record = sig::decode_record(frame);
+  if (!record.ok()) {
+    server_->close_after_flush(id);
+    return;
+  }
+  auto payload = conn.handshake->session().open(record.value());
+  if (!payload.ok()) {
+    server_->close_after_flush(id);
+    return;
+  }
+  auto request = BbdRequest::decode(payload.value());
+  if (!request.ok()) {
+    send_response(id, conn, BbdResponse::failure(0, request.error()));
+    return;
+  }
+  BbdResponse response = handle(id, conn, request.value());
+  send_response(id, conn, response);
+  if (request.value().op == BbdOp::kShutdown && response.ok) {
+    server_->shutdown_gracefully();
+  }
+}
+
+void BbdService::send_response(StreamServer::ConnId id, ConnState& conn,
+                               const BbdResponse& response) {
+  sig::Record record = conn.handshake->session().seal(response.encode());
+  (void)server_->send(id, sig::encode_record(record));
+}
+
+BbdResponse BbdService::handle(StreamServer::ConnId id, ConnState& conn,
+                               const BbdRequest& req) {
+  (void)id;
+  if (world_ == nullptr && req.op != BbdOp::kPing &&
+      req.op != BbdOp::kHello && req.op != BbdOp::kConfigure &&
+      req.op != BbdOp::kShutdown) {
+    return BbdResponse::failure(
+        req.id, Error{ErrorCode::kUnavailable, "no world configured", "bbd"});
+  }
+  switch (req.op) {
+    case BbdOp::kPing: {
+      BbdResponse res = BbdResponse::success(req.id);
+      res.stra = poller_name();
+      return res;
+    }
+    case BbdOp::kHello: {
+      conn.release_on_disconnect = (req.flags & 1u) != 0;
+      return BbdResponse::success(req.id);
+    }
+    case BbdOp::kConfigure: {
+      kit::ChainWorldConfig config;
+      if (req.u64a != 0) config.domains = req.u64a;
+      if (req.u64b != 0) config.seed = req.u64b;
+      if (req.u64c != 0) {
+        config.inter_domain_latency = static_cast<SimDuration>(req.u64c);
+      }
+      if (req.f64a > 0) config.domain_capacity = req.f64a;
+      if (req.f64b > 0) config.sla_rate = req.f64b;
+      if (auto built = rebuild_world(std::move(config)); !built.ok()) {
+        return BbdResponse::failure(req.id, built.error());
+      }
+      BbdResponse res = BbdResponse::success(req.id);
+      res.u64a = options_.world.domains;
+      return res;
+    }
+    case BbdOp::kSetLatency: {
+      const auto& names = world_->names();
+      if (req.u64a >= names.size() || req.u64b >= names.size()) {
+        return BbdResponse::failure(
+            req.id, Error{ErrorCode::kInvalidArgument,
+                          "domain index out of range", "bbd"});
+      }
+      world_->fabric().set_latency(names[req.u64a], names[req.u64b],
+                                   static_cast<SimDuration>(req.u64c));
+      return BbdResponse::success(req.id);
+    }
+    case BbdOp::kSetProcessingDelay: {
+      world_->fabric().set_processing_delay(
+          static_cast<SimDuration>(req.u64a));
+      return BbdResponse::success(req.id);
+    }
+    case BbdOp::kMakeUser: {
+      if (req.u64a >= world_->names().size()) {
+        return BbdResponse::failure(
+            req.id, Error{ErrorCode::kInvalidArgument,
+                          "home domain index out of range", "bbd"});
+      }
+      // Re-minting draws from the world RNG; reject duplicates so retried
+      // requests cannot skew byte-identity.
+      if (users_.count(req.stra) != 0) {
+        return BbdResponse::failure(
+            req.id, Error{ErrorCode::kConflict, "user already exists",
+                          req.stra});
+      }
+      kit::WorldUser user =
+          world_->make_user(req.stra, req.u64a, (req.flags & 1u) != 0,
+                            (req.flags & 2u) != 0);
+      BbdResponse res = BbdResponse::success(req.id);
+      res.stra = user.dn.to_string();
+      users_.emplace(req.stra, std::move(user));
+      return res;
+    }
+    case BbdOp::kReserve:
+    case BbdOp::kSourceReserve: {
+      auto user_it = users_.find(req.stra);
+      if (user_it == users_.end()) {
+        return BbdResponse::failure(
+            req.id,
+            Error{ErrorCode::kNotFound, "unknown user", req.stra});
+      }
+      const kit::WorldUser& user = user_it->second;
+      bb::ResSpec spec = world_->spec(
+          user, req.f64a,
+          TimeInterval{static_cast<SimTime>(req.u64a),
+                       static_cast<SimTime>(req.u64b)},
+          req.u64c, req.u64d);
+      spec.is_tunnel = (req.flags & 1u) != 0;
+      const SimTime at = static_cast<SimTime>(req.f64b);
+      if (req.op == BbdOp::kReserve) {
+        auto msg = world_->engine().build_user_request(user.credentials(),
+                                                       spec, at);
+        if (!msg.ok()) return BbdResponse::failure(req.id, msg.error());
+        auto outcome = world_->engine().reserve(msg.value(), at);
+        if (!outcome.ok()) {
+          return BbdResponse::failure(req.id, outcome.error());
+        }
+        BbdResponse res = BbdResponse::success(req.id);
+        res.bytes = outcome.value().reply.encode();
+        res.u64a = static_cast<std::uint64_t>(outcome.value().latency);
+        res.u64b = outcome.value().messages;
+        if (outcome.value().reply.granted) {
+          conn.grants.emplace_back("hopbyhop", res.bytes);
+        }
+        return res;
+      }
+      const auto mode = (req.flags & 2u) != 0
+                            ? sig::SourceDomainEngine::Mode::kParallel
+                            : sig::SourceDomainEngine::Mode::kSequential;
+      auto outcome = world_->source_engine().reserve(
+          world_->names(), spec, user.identity_cert, user.identity_keys.priv,
+          mode, at);
+      if (!outcome.ok()) return BbdResponse::failure(req.id, outcome.error());
+      BbdResponse res = BbdResponse::success(req.id);
+      res.bytes = outcome.value().reply.encode();
+      res.u64a = static_cast<std::uint64_t>(outcome.value().latency);
+      res.u64b = outcome.value().messages;
+      if (outcome.value().reply.granted) {
+        conn.grants.emplace_back("source", res.bytes);
+      }
+      return res;
+    }
+    case BbdOp::kTunnelReserve: {
+      auto outcome = world_->engine().reserve_in_tunnel(
+          req.stra, req.strb, req.f64a,
+          TimeInterval{static_cast<SimTime>(req.u64a),
+                       static_cast<SimTime>(req.u64b)},
+          static_cast<SimTime>(req.f64b));
+      if (!outcome.ok()) return BbdResponse::failure(req.id, outcome.error());
+      BbdResponse res = BbdResponse::success(req.id);
+      res.bytes = outcome.value().reply.encode();
+      res.u64a = static_cast<std::uint64_t>(outcome.value().latency);
+      res.u64b = outcome.value().messages;
+      return res;
+    }
+    case BbdOp::kRelease: {
+      auto reply = sig::RarReply::decode(req.bytes);
+      if (!reply.ok()) return BbdResponse::failure(req.id, reply.error());
+      Status released =
+          req.stra == "source"
+              ? world_->source_engine().release_end_to_end(reply.value())
+              : world_->engine().release_end_to_end(reply.value());
+      if (!released.ok()) {
+        return BbdResponse::failure(req.id, released.error());
+      }
+      for (auto it = conn.grants.begin(); it != conn.grants.end(); ++it) {
+        if (it->second == req.bytes) {
+          conn.grants.erase(it);
+          break;
+        }
+      }
+      return BbdResponse::success(req.id);
+    }
+    case BbdOp::kTunnelRelease: {
+      Status released = world_->engine().release_in_tunnel(req.stra, req.strb);
+      if (!released.ok()) {
+        return BbdResponse::failure(req.id, released.error());
+      }
+      return BbdResponse::success(req.id);
+    }
+    case BbdOp::kStats: {
+      BbdResponse res = BbdResponse::success(req.id);
+      res.u64a = world_->total_reservations();
+      res.f64a =
+          world_->total_committed_at(static_cast<SimTime>(req.f64b));
+      return res;
+    }
+    case BbdOp::kMetricQuery: {
+      auto& registry = obs::MetricsRegistry::global();
+      const obs::Labels labels = parse_label_list(req.labels);
+      BbdResponse res = BbdResponse::success(req.id);
+      if (req.strb == "count") {
+        res.f64a =
+            static_cast<double>(registry.histogram(req.stra, labels).count());
+      } else if (req.strb == "sum") {
+        res.f64a = registry.histogram(req.stra, labels).sum();
+      } else if (req.strb == "counter") {
+        res.f64a =
+            static_cast<double>(registry.counter(req.stra, labels).value());
+      } else if (req.strb == "gauge") {
+        res.f64a = registry.gauge(req.stra, labels).value();
+      } else {
+        return BbdResponse::failure(
+            req.id, Error{ErrorCode::kInvalidArgument,
+                          "unknown metric field", req.strb});
+      }
+      return res;
+    }
+    case BbdOp::kSnapshot: {
+      auto dropped = world_->snapshot_domain(req.u64a);
+      if (!dropped.ok()) return BbdResponse::failure(req.id, dropped.error());
+      BbdResponse res = BbdResponse::success(req.id);
+      res.u64a = dropped.value();
+      return res;
+    }
+    case BbdOp::kShutdown:
+      return BbdResponse::success(req.id);
+  }
+  return BbdResponse::failure(
+      req.id, Error{ErrorCode::kInvalidArgument, "unknown op",
+                    std::to_string(static_cast<std::uint32_t>(req.op))});
+}
+
+}  // namespace e2e::net

@@ -1,0 +1,130 @@
+// The bbd daemon: a ChainWorld behind a StreamServer.
+//
+// One process hosts the whole chain of administrative domains — brokers,
+// CAs, SLAs, both signalling engines — and exposes the BbdOp RPC surface
+// (bbd_protocol.hpp) over authenticated stream connections. Client
+// processes (bench --daemon modes, the soak test, bbd_client) drive the
+// world remotely; because the world is seeded deterministically and every
+// RarReply crosses the wire as its canonical encoding, a multi-process run
+// produces byte-identical protocol output to the in-memory one.
+//
+// Threading: all application state (world, users, per-connection state)
+// is touched only from the StreamServer loop thread — callbacks run there
+// one at a time, so no locks. start()/stop()/shutdown_gracefully()/wait()
+// are the cross-thread entry points.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "crypto/ca.hpp"
+#include "kit/chain_world.hpp"
+#include "net/bbd_protocol.hpp"
+#include "net/stream_server.hpp"
+#include "sig/channel.hpp"
+
+namespace e2e::net {
+
+/// Deterministic mutual-auth material: daemon and clients derive the SAME
+/// CA, certificates and keys from a shared seed, and each side pins the
+/// other's exact certificate (sig::ChannelEndpoint::pinned_peer), so no
+/// trust-store distribution is needed. The daemon's RPC credentials are
+/// deliberately separate from any world's key material: kConfigure can
+/// tear the world down and rebuild it without invalidating live channels.
+struct ServiceIdentity {
+  crypto::Certificate daemon_certificate;
+  crypto::KeyPair daemon_keys;
+  crypto::Certificate client_certificate;
+  crypto::KeyPair client_keys;
+
+  sig::ChannelEndpoint daemon_endpoint() const;
+  sig::ChannelEndpoint client_endpoint() const;
+};
+
+ServiceIdentity make_service_identity(std::uint64_t seed);
+
+inline constexpr std::uint64_t kDefaultAuthSeed = 20010801;
+
+class BbdService {
+ public:
+  struct Options {
+    std::vector<Endpoint> listen_on;
+    /// Handshake credential seed; clients must use the same one.
+    std::uint64_t auth_seed = kDefaultAuthSeed;
+    /// Applied onto every world this daemon builds (startup and
+    /// kConfigure): per-domain WAL + snapshot files live here.
+    std::string durability_dir;
+    /// Replay snapshot + WAL into each world build (restart path).
+    bool recover = false;
+    std::chrono::milliseconds idle_timeout{0};
+    std::size_t max_write_queue_bytes = 4u << 20;
+    bool force_poll = false;
+    /// Base config of the startup world (durability fields above win).
+    kit::ChainWorldConfig world;
+  };
+
+  explicit BbdService(Options options);
+  ~BbdService();
+  BbdService(const BbdService&) = delete;
+  BbdService& operator=(const BbdService&) = delete;
+
+  /// Build the startup world (recovering prior state when configured),
+  /// bind the listeners, and run the event loop on a background thread.
+  Status start();
+
+  /// Block until the loop exits (stop, graceful shutdown, or kShutdown).
+  void wait();
+  void stop();
+  void shutdown_gracefully();
+
+  std::vector<Endpoint> bound_endpoints() const;
+  const char* poller_name() const;
+
+ private:
+  struct ConnState {
+    std::unique_ptr<sig::HandshakeResponder> handshake;
+    /// The ClientHello was consumed and the ServerHello sent; the next
+    /// frame must be the Finished message. (The responder's own done()
+    /// only flips after Finished, so the connection tracks this stage.)
+    bool hello_consumed = false;
+    bool established = false;
+    bool release_on_disconnect = false;
+    /// (engine, RarReply bytes) of every end-to-end grant made over this
+    /// connection and not yet released — released on disconnect when the
+    /// connection asked for it (kHello flag bit 0).
+    std::vector<std::pair<std::string, Bytes>> grants;
+  };
+
+  void on_open(StreamServer::ConnId id, const Endpoint& via);
+  void on_frame(StreamServer::ConnId id, Bytes frame);
+  void on_close(StreamServer::ConnId id, const Status& reason);
+
+  /// Handshake-stage frames (ClientHello, Finished) — returns false when
+  /// the connection was closed on error.
+  bool on_handshake_frame(StreamServer::ConnId id, ConnState& conn,
+                          const Bytes& frame);
+  BbdResponse handle(StreamServer::ConnId id, ConnState& conn,
+                     const BbdRequest& request);
+  void send_response(StreamServer::ConnId id, ConnState& conn,
+                     const BbdResponse& response);
+  Status rebuild_world(kit::ChainWorldConfig config);
+  void release_orphans(ConnState& conn);
+
+  Options options_;
+  ServiceIdentity identity_;
+  Rng handshake_rng_;
+  std::unique_ptr<StreamServer> server_;
+  std::thread loop_;
+  std::unique_ptr<kit::ChainWorld> world_;
+  std::map<std::string, kit::WorldUser> users_;
+  std::map<StreamServer::ConnId, ConnState> conns_;
+};
+
+}  // namespace e2e::net

@@ -1,0 +1,237 @@
+#include "net/socket_transport.hpp"
+
+#include <utility>
+
+#include "obs/instruments.hpp"
+
+namespace e2e::net {
+
+Bytes encode_hub_message(const std::string& from, const std::string& to,
+                         BytesView payload,
+                         const obs::TraceContext* trace_context) {
+  tlv::Writer writer;
+  writer.open(hub_tag::kMessage);
+  writer.put_string(hub_tag::kFrom, from);
+  writer.put_string(hub_tag::kTo, to);
+  writer.put_bytes(hub_tag::kPayload, payload);
+  if (trace_context != nullptr && trace_context->valid()) {
+    writer.put_bytes(hub_tag::kTrace,
+                     sig::encode_trace_context(*trace_context));
+  }
+  writer.close();
+  return writer.take();
+}
+
+namespace {
+
+Bytes encode_hello(const std::string& party) {
+  tlv::Writer writer;
+  writer.open(hub_tag::kHello);
+  writer.put_string(hub_tag::kParty, party);
+  writer.close();
+  return writer.take();
+}
+
+}  // namespace
+
+Result<HubMessage> decode_hub_frame(BytesView frame, bool& is_hello) {
+  tlv::Reader outer(frame);
+  auto hello = outer.read_nested(hub_tag::kHello);
+  if (hello.ok()) {
+    is_hello = true;
+    auto party = hello.value().read_string(hub_tag::kParty);
+    if (!party.ok()) return party.error();
+    HubMessage message;
+    message.from = std::move(party.value());
+    return message;
+  }
+  is_hello = false;
+  tlv::Reader retry(frame);
+  auto nested = retry.read_nested(hub_tag::kMessage);
+  if (!nested.ok()) return nested.error();
+  tlv::Reader& reader = nested.value();
+  HubMessage message;
+  auto from = reader.read_string(hub_tag::kFrom);
+  if (!from.ok()) return from.error();
+  message.from = std::move(from.value());
+  auto to = reader.read_string(hub_tag::kTo);
+  if (!to.ok()) return to.error();
+  message.to = std::move(to.value());
+  auto payload = reader.read_bytes(hub_tag::kPayload);
+  if (!payload.ok()) return payload.error();
+  message.payload = std::move(payload.value());
+  if (!reader.at_end()) {
+    auto trace = reader.read_bytes(hub_tag::kTrace);
+    if (!trace.ok()) return trace.error();
+    auto context = sig::decode_trace_context(trace.value());
+    if (!context.ok()) return context.error();
+    message.trace_context = std::move(context.value());
+  }
+  return message;
+}
+
+Result<std::unique_ptr<SocketHub>> SocketHub::start(const Endpoint& listen) {
+  std::unique_ptr<SocketHub> hub(new SocketHub());
+  SocketHub* raw = hub.get();
+  StreamServer::Options options;
+  options.listen_on = {listen};
+  StreamServer::Callbacks callbacks;
+  callbacks.on_frame = [raw](StreamServer::ConnId id, Bytes frame) {
+    raw->on_frame(id, std::move(frame));
+  };
+  callbacks.on_close = [raw](StreamServer::ConnId id, const Status&) {
+    raw->on_close(id);
+  };
+  hub->server_ =
+      std::make_unique<StreamServer>(std::move(options), std::move(callbacks));
+  if (auto started = hub->server_->start(); !started.ok()) {
+    return started.error();
+  }
+  hub->endpoint_ = hub->server_->bound_endpoints().front();
+  hub->loop_ = std::thread([raw] { raw->server_->run(); });
+  return hub;
+}
+
+SocketHub::~SocketHub() { stop(); }
+
+void SocketHub::stop() {
+  if (server_ != nullptr) server_->stop();
+  if (loop_.joinable()) loop_.join();
+}
+
+void SocketHub::on_frame(StreamServer::ConnId id, Bytes frame) {
+  bool is_hello = false;
+  auto decoded = decode_hub_frame(frame, is_hello);
+  if (!decoded.ok()) {
+    // A peer speaking garbage cannot be routed; the frame is dropped.
+    (void)id;
+    return;
+  }
+  if (is_hello) {
+    const std::string& party = decoded.value().from;
+    party_conns_[party] = id;
+    conn_parties_[id] = party;
+    // Flush messages that arrived before the party did (inbox
+    // semantics: a message waits for its receiver).
+    auto pending = undelivered_.find(party);
+    if (pending != undelivered_.end()) {
+      for (Bytes& buffered : pending->second) {
+        (void)server_->send(id, buffered);
+      }
+      undelivered_.erase(pending);
+    }
+    return;
+  }
+  const auto target = party_conns_.find(decoded.value().to);
+  if (target == party_conns_.end()) {
+    undelivered_[decoded.value().to].push_back(std::move(frame));
+    return;
+  }
+  (void)server_->send(target->second, frame);
+}
+
+void SocketHub::on_close(StreamServer::ConnId id) {
+  const auto it = conn_parties_.find(id);
+  if (it == conn_parties_.end()) return;
+  party_conns_.erase(it->second);
+  conn_parties_.erase(it);
+}
+
+void SocketTransport::record_message(const std::string& from,
+                                     const std::string& to,
+                                     std::size_t bytes) {
+  (void)from;
+  (void)to;
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter(obs::kSigFabricMessagesTotal).increment();
+  registry.counter(obs::kSigFabricBytesTotal).increment(bytes);
+  std::lock_guard lock(mutex_);
+  total_.messages++;
+  total_.bytes += bytes;
+}
+
+Result<StreamSocket*> SocketTransport::party_locked(const std::string& name) {
+  auto it = parties_.find(name);
+  if (it != parties_.end()) return &it->second;
+  auto connected = StreamSocket::connect(hub_);
+  if (!connected.ok()) return connected.error();
+  auto [inserted, unused] =
+      parties_.emplace(name, std::move(connected.value()));
+  auto hello = inserted->second.send_frame(encode_hello(name));
+  if (!hello.ok()) {
+    parties_.erase(inserted);
+    return hello.error();
+  }
+  return &inserted->second;
+}
+
+sig::Delivery SocketTransport::transmit(const std::string& from,
+                                        const std::string& to,
+                                        BytesView payload,
+                                        const obs::TraceContext* trace_context) {
+  sig::Delivery delivery;
+  auto sent = send(from, to, payload, trace_context);
+  if (!sent.ok()) {
+    delivery.outcome = sig::Delivery::Outcome::kDropped;
+    return delivery;
+  }
+  delivery.outcome = sig::Delivery::Outcome::kDelivered;
+  delivery.payload.assign(payload.begin(), payload.end());
+  if (trace_context != nullptr && trace_context->valid()) {
+    delivery.trace_context = *trace_context;
+  }
+  return delivery;
+}
+
+Status SocketTransport::send(const std::string& from, const std::string& to,
+                             BytesView payload,
+                             const obs::TraceContext* trace_context) {
+  if (payload.size() > sig::kMaxTransportPayload) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "payload exceeds transport frame cap",
+                      std::to_string(payload.size()));
+  }
+  record_message(from, to, payload.size());
+  std::lock_guard lock(mutex_);
+  auto party = party_locked(from);
+  if (!party.ok()) return party.error();
+  return party.value()->send_frame(
+      encode_hub_message(from, to, payload, trace_context));
+}
+
+Result<sig::InboundMessage> SocketTransport::receive(
+    const std::string& self, std::chrono::milliseconds wait) {
+  StreamSocket* socket = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    auto party = party_locked(self);
+    if (!party.ok()) return party.error();
+    socket = party.value();
+  }
+  auto frame = socket->recv_frame(wait);
+  if (!frame.ok()) return frame.error();
+  bool is_hello = false;
+  auto decoded = decode_hub_frame(frame.value(), is_hello);
+  if (!decoded.ok()) return decoded.error();
+  if (is_hello || decoded.value().to != self) {
+    return make_error(ErrorCode::kBadMessage,
+                      "hub delivered a misrouted envelope", self);
+  }
+  sig::InboundMessage message;
+  message.from = std::move(decoded.value().from);
+  message.payload = std::move(decoded.value().payload);
+  message.trace_context = std::move(decoded.value().trace_context);
+  return message;
+}
+
+SocketTransport::Stats SocketTransport::total() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+void SocketTransport::reset_counters() {
+  std::lock_guard lock(mutex_);
+  total_ = Stats{};
+}
+
+}  // namespace e2e::net

@@ -1,0 +1,133 @@
+// sig::Transport over real sockets.
+//
+// The in-memory Fabric models the wide-area control plane; SocketTransport
+// replaces the model with actual byte streams so the same engine and test
+// code can run across OS processes. The topology is a hub: a SocketHub
+// (an event-loop StreamServer on its own thread, or inside the bbd
+// daemon's process) routes envelopes between named parties, each of which
+// holds one framed stream connection to the hub. Parties register with a
+// Hello envelope; messages addressed to a party that has not registered
+// yet are buffered at the hub and flushed on registration — mirroring the
+// Fabric's inbox semantics, where a message waits for its receiver.
+//
+// The modeled surface degenerates honestly: one_way() and
+// processing_delay() are zero (latency over sockets is real wall-clock
+// time, not a model), and transmit() reports kDelivered once the bytes
+// are written — the socket path has no fault injector.
+//
+// Conformance between the two implementations is pinned by
+// tests/net_transport_conformance_test.cpp, which runs one assertion set
+// against both.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/tlv.hpp"
+#include "net/stream_server.hpp"
+#include "net/stream_socket.hpp"
+#include "sig/transport.hpp"
+
+namespace e2e::net {
+
+// TLV tags of the hub routing envelope.
+namespace hub_tag {
+inline constexpr tlv::Tag kHello = 0xE290;     // container {kParty}
+inline constexpr tlv::Tag kMessage = 0xE291;   // container
+inline constexpr tlv::Tag kParty = 0xE292;     // string
+inline constexpr tlv::Tag kFrom = 0xE293;      // string
+inline constexpr tlv::Tag kTo = 0xE294;        // string
+inline constexpr tlv::Tag kPayload = 0xE295;   // bytes
+inline constexpr tlv::Tag kTrace = 0xE296;     // bytes (trace envelope)
+}  // namespace hub_tag
+
+/// The router: accepts party connections and forwards message envelopes.
+class SocketHub {
+ public:
+  /// Bind `listen` (tcp:...:0 picks a free port) and start the loop
+  /// thread.
+  static Result<std::unique_ptr<SocketHub>> start(const Endpoint& listen);
+  ~SocketHub();
+  SocketHub(const SocketHub&) = delete;
+  SocketHub& operator=(const SocketHub&) = delete;
+
+  /// The bound address parties connect to.
+  const Endpoint& endpoint() const { return endpoint_; }
+
+  void stop();
+
+ private:
+  SocketHub() = default;
+  void on_frame(StreamServer::ConnId id, Bytes frame);
+  void on_close(StreamServer::ConnId id);
+
+  std::unique_ptr<StreamServer> server_;
+  std::thread loop_;
+  Endpoint endpoint_;
+  // Loop-thread state (callbacks are serialized by the event loop).
+  std::map<std::string, StreamServer::ConnId> party_conns_;
+  std::map<StreamServer::ConnId, std::string> conn_parties_;
+  std::map<std::string, std::vector<Bytes>> undelivered_;
+};
+
+/// Client-side transport: one lazy framed connection per named party.
+class SocketTransport : public sig::Transport {
+ public:
+  explicit SocketTransport(Endpoint hub) : hub_(std::move(hub)) {}
+
+  /// Zero: socket latency is wall-clock, not part of the virtual model.
+  SimDuration one_way(const std::string&, const std::string&) const override {
+    return 0;
+  }
+  SimDuration processing_delay() const override { return 0; }
+
+  void record_message(const std::string& from, const std::string& to,
+                      std::size_t bytes) override;
+
+  sig::Delivery transmit(
+      const std::string& from, const std::string& to, BytesView payload,
+      const obs::TraceContext* trace_context = nullptr) override;
+
+  Status send(const std::string& from, const std::string& to,
+              BytesView payload,
+              const obs::TraceContext* trace_context = nullptr) override;
+
+  Result<sig::InboundMessage> receive(const std::string& self,
+                                      std::chrono::milliseconds wait) override;
+
+  Stats total() const override;
+  void reset_counters() override;
+
+ private:
+  /// Connection for `name`, registered with the hub on first use. Caller
+  /// must hold mutex_.
+  Result<StreamSocket*> party_locked(const std::string& name);
+
+  Endpoint hub_;
+  mutable std::mutex mutex_;
+  std::map<std::string, StreamSocket> parties_;
+  Stats total_;
+};
+
+/// Encode one routed message envelope (shared with the daemon's service).
+Bytes encode_hub_message(const std::string& from, const std::string& to,
+                         BytesView payload,
+                         const obs::TraceContext* trace_context);
+
+struct HubMessage {
+  std::string from;
+  std::string to;
+  Bytes payload;
+  std::optional<obs::TraceContext> trace_context;
+};
+
+/// Decode either envelope kind. A Hello yields an empty `payload` with
+/// `from` = the registering party and `to` empty.
+Result<HubMessage> decode_hub_frame(BytesView frame, bool& is_hello);
+
+}  // namespace e2e::net

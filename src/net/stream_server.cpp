@@ -1,0 +1,526 @@
+#include "net/stream_server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/instruments.hpp"
+
+namespace e2e::net {
+
+namespace {
+
+Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return make_error(ErrorCode::kInternal,
+                      std::string("fcntl(O_NONBLOCK): ") +
+                          std::strerror(errno));
+  }
+  return Status::ok_status();
+}
+
+void count_stream_bytes(const char* dir, std::size_t n) {
+  obs::MetricsRegistry::global()
+      .counter(obs::kNetStreamBytesTotal, {{"dir", dir}})
+      .increment(n);
+}
+
+class PollPoller final : public Poller {
+ public:
+  Status add(int fd, bool want_write) override {
+    want_write_[fd] = want_write;
+    return Status::ok_status();
+  }
+  Status modify(int fd, bool want_write) override {
+    want_write_[fd] = want_write;
+    return Status::ok_status();
+  }
+  void remove(int fd) override { want_write_.erase(fd); }
+
+  Result<std::vector<Event>> wait(int timeout_ms) override {
+    std::vector<pollfd> pfds;
+    pfds.reserve(want_write_.size());
+    for (const auto& [fd, want_write] : want_write_) {
+      pollfd p{};
+      p.fd = fd;
+      p.events = POLLIN;
+      if (want_write) p.events |= POLLOUT;
+      pfds.push_back(p);
+    }
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) return std::vector<Event>{};
+      return make_error(ErrorCode::kInternal,
+                        std::string("poll(): ") + std::strerror(errno));
+    }
+    std::vector<Event> events;
+    for (const pollfd& p : pfds) {
+      if (p.revents == 0) continue;
+      Event e;
+      e.fd = p.fd;
+      e.readable = (p.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+      e.writable = (p.revents & POLLOUT) != 0;
+      e.hangup = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+      events.push_back(e);
+    }
+    return events;
+  }
+
+  const char* name() const override { return "poll"; }
+
+ private:
+  std::map<int, bool> want_write_;
+};
+
+#ifdef __linux__
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {}
+  ~EpollPoller() override {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  bool valid() const { return epfd_ >= 0; }
+
+  Status add(int fd, bool want_write) override {
+    return control(EPOLL_CTL_ADD, fd, want_write);
+  }
+  Status modify(int fd, bool want_write) override {
+    return control(EPOLL_CTL_MOD, fd, want_write);
+  }
+  void remove(int fd) override {
+    epoll_event ev{};
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  Result<std::vector<Event>> wait(int timeout_ms) override {
+    epoll_event evs[64];
+    const int ready = ::epoll_wait(epfd_, evs, 64, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) return std::vector<Event>{};
+      return make_error(ErrorCode::kInternal,
+                        std::string("epoll_wait(): ") +
+                            std::strerror(errno));
+    }
+    std::vector<Event> events;
+    events.reserve(static_cast<std::size_t>(ready));
+    for (int i = 0; i < ready; ++i) {
+      Event e;
+      e.fd = evs[i].data.fd;
+      e.readable =
+          (evs[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0;
+      e.writable = (evs[i].events & EPOLLOUT) != 0;
+      e.hangup = (evs[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+      events.push_back(e);
+    }
+    return events;
+  }
+
+  const char* name() const override { return "epoll"; }
+
+ private:
+  Status control(int op, int fd, bool want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epfd_, op, fd, &ev) != 0) {
+      return make_error(ErrorCode::kInternal,
+                        std::string("epoll_ctl(): ") +
+                            std::strerror(errno));
+    }
+    return Status::ok_status();
+  }
+
+  int epfd_ = -1;
+};
+#endif  // __linux__
+
+}  // namespace
+
+std::unique_ptr<Poller> Poller::create(bool force_poll) {
+  const char* env = std::getenv("E2E_FORCE_POLL");
+  if (env != nullptr && env[0] == '1') force_poll = true;
+#ifdef __linux__
+  if (!force_poll) {
+    auto epoll = std::make_unique<EpollPoller>();
+    if (epoll->valid()) return epoll;
+  }
+#endif
+  (void)force_poll;
+  return std::make_unique<PollPoller>();
+}
+
+StreamServer::StreamServer(Options options, Callbacks callbacks)
+    : options_(std::move(options)), callbacks_(std::move(callbacks)) {}
+
+StreamServer::~StreamServer() {
+  for (auto& [id, conn] : connections_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  connections_.clear();
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+const char* StreamServer::poller_name() const {
+  return poller_ != nullptr ? poller_->name() : "unstarted";
+}
+
+Status StreamServer::start() {
+  if (options_.listen_on.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "no listen endpoints");
+  }
+  poller_ = Poller::create(options_.force_poll);
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return make_error(ErrorCode::kInternal,
+                      std::string("pipe(): ") + std::strerror(errno));
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  if (auto s = set_nonblocking(wake_read_fd_); !s.ok()) return s;
+  if (auto s = set_nonblocking(wake_write_fd_); !s.ok()) return s;
+  if (auto s = poller_->add(wake_read_fd_, false); !s.ok()) return s;
+
+  for (const Endpoint& endpoint : options_.listen_on) {
+    auto listener = Listener::listen(endpoint);
+    if (!listener.ok()) return listener.error();
+    if (auto s = set_nonblocking(listener.value().fd()); !s.ok()) return s;
+    if (auto s = poller_->add(listener.value().fd(), false); !s.ok()) {
+      return s;
+    }
+    listener_by_fd_[listener.value().fd()] = listeners_.size();
+    listeners_.push_back(std::move(listener.value()));
+  }
+  return Status::ok_status();
+}
+
+std::vector<Endpoint> StreamServer::bound_endpoints() const {
+  std::vector<Endpoint> endpoints;
+  endpoints.reserve(listeners_.size());
+  for (const Listener& listener : listeners_) {
+    endpoints.push_back(listener.local_endpoint());
+  }
+  return endpoints;
+}
+
+void StreamServer::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void StreamServer::shutdown_gracefully() {
+  drain_requested_.store(true, std::memory_order_release);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'd';
+    [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void StreamServer::drain_wake_pipe() {
+  char sink[64];
+  while (::read(wake_read_fd_, sink, sizeof(sink)) > 0) {
+  }
+}
+
+int StreamServer::next_timeout_ms() const {
+  if (options_.idle_timeout.count() <= 0) return -1;
+  if (connections_.empty()) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  auto soonest = options_.idle_timeout;
+  for (const auto& [id, conn] : connections_) {
+    const auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+        now - conn.last_activity);
+    soonest = std::min(soonest, options_.idle_timeout - idle);
+  }
+  return static_cast<int>(std::max<std::int64_t>(soonest.count(), 0));
+}
+
+void StreamServer::sweep_idle() {
+  if (options_.idle_timeout.count() <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<ConnId> expired;
+  for (const auto& [id, conn] : connections_) {
+    if (now - conn.last_activity >= options_.idle_timeout) {
+      expired.push_back(id);
+    }
+  }
+  for (ConnId id : expired) {
+    obs::MetricsRegistry::global()
+        .counter(obs::kNetIdleClosesTotal)
+        .increment();
+    close_connection(
+        id, make_error(ErrorCode::kTimeout, "idle timeout exceeded"));
+  }
+}
+
+void StreamServer::run() {
+  while (true) {
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    if (drain_requested_.load(std::memory_order_acquire) && !draining_) {
+      draining_ = true;
+      // Stop accepting; existing connections get to drain their writes.
+      for (Listener& listener : listeners_) {
+        poller_->remove(listener.fd());
+        listener.close();
+      }
+      listener_by_fd_.clear();
+      std::vector<ConnId> idle_now;
+      for (auto& [id, conn] : connections_) {
+        if (conn.write_queue.empty()) {
+          idle_now.push_back(id);
+        } else {
+          conn.closing_after_flush = true;
+        }
+      }
+      for (ConnId id : idle_now) close_connection(id, Status::ok_status());
+    }
+    if (draining_ && connections_.empty()) break;
+
+    auto events = poller_->wait(next_timeout_ms());
+    if (!events.ok()) break;
+    for (const Poller::Event& event : events.value()) {
+      if (event.fd == wake_read_fd_) {
+        drain_wake_pipe();
+        continue;
+      }
+      if (listener_by_fd_.contains(event.fd)) {
+        if (event.readable) accept_ready(event.fd);
+        continue;
+      }
+      const auto it = conn_by_fd_.find(event.fd);
+      if (it == conn_by_fd_.end()) continue;
+      const ConnId id = it->second;
+      if (event.writable) {
+        if (!flush_writes(id)) continue;
+      }
+      if (event.readable) {
+        read_ready(id);
+      } else if (event.hangup) {
+        close_connection(
+            id, make_error(ErrorCode::kUnavailable, "peer hung up"));
+      }
+    }
+    sweep_idle();
+  }
+
+  // Loop exit: close whatever is left (stop(), or a poller failure).
+  std::vector<ConnId> remaining;
+  remaining.reserve(connections_.size());
+  for (const auto& [id, conn] : connections_) remaining.push_back(id);
+  for (ConnId id : remaining) close_connection(id, Status::ok_status());
+  for (Listener& listener : listeners_) {
+    if (listener.valid()) {
+      poller_->remove(listener.fd());
+      listener.close();
+    }
+  }
+  listener_by_fd_.clear();
+}
+
+void StreamServer::accept_ready(int listener_fd) {
+  const std::size_t index = listener_by_fd_.at(listener_fd);
+  Listener& listener = listeners_[index];
+  auto& registry = obs::MetricsRegistry::global();
+  while (true) {
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept failure; the listener stays armed
+    }
+    if (!set_nonblocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    if (listener.local_endpoint().kind == Endpoint::Kind::kTcp) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    if (!poller_->add(fd, false).ok()) {
+      ::close(fd);
+      continue;
+    }
+    const ConnId id = next_conn_id_++;
+    Connection conn;
+    conn.fd = fd;
+    conn.via = listener.local_endpoint();
+    conn.last_activity = std::chrono::steady_clock::now();
+    connections_.emplace(id, std::move(conn));
+    conn_by_fd_[fd] = id;
+    registry
+        .counter(obs::kNetConnsAcceptedTotal,
+                 {{"transport", listener.local_endpoint().transport_label()}})
+        .increment();
+    registry.gauge(obs::kNetConnsActive)
+        .set(static_cast<double>(connections_.size()));
+    if (callbacks_.on_open) callbacks_.on_open(id, listener.local_endpoint());
+  }
+}
+
+void StreamServer::read_ready(ConnId id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  conn.last_activity = std::chrono::steady_clock::now();
+  while (true) {
+    std::uint8_t chunk[16384];
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_connection(id, make_error(ErrorCode::kUnavailable,
+                                      std::string("recv(): ") +
+                                          std::strerror(errno)));
+      return;
+    }
+    if (n == 0) {
+      close_connection(id,
+                       conn.decoder.mid_frame()
+                           ? Status(make_error(ErrorCode::kUnavailable,
+                                               "peer disconnected "
+                                               "mid-message"))
+                           : Status::ok_status());
+      return;
+    }
+    count_stream_bytes("rx", static_cast<std::size_t>(n));
+    auto fed = conn.decoder.feed(BytesView(chunk, static_cast<std::size_t>(n)));
+    if (!fed.ok()) {
+      close_connection(id, fed);
+      return;
+    }
+    while (auto frame = conn.decoder.next()) {
+      obs::MetricsRegistry::global()
+          .counter(obs::kNetFramesTotal, {{"dir", "rx"}})
+          .increment();
+      if (callbacks_.on_frame) callbacks_.on_frame(id, std::move(*frame));
+      // The callback may have closed the connection (protocol error).
+      if (!connections_.contains(id)) return;
+    }
+  }
+}
+
+bool StreamServer::flush_writes(ConnId id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return false;
+  Connection& conn = it->second;
+  while (!conn.write_queue.empty()) {
+    const Bytes& front = conn.write_queue.front();
+    const std::size_t remaining = front.size() - conn.front_offset;
+    const ssize_t n = ::send(conn.fd, front.data() + conn.front_offset,
+                             remaining, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn.want_write) {
+          conn.want_write = true;
+          (void)poller_->modify(conn.fd, true);
+        }
+        return true;
+      }
+      if (errno == EINTR) continue;
+      close_connection(id, make_error(ErrorCode::kUnavailable,
+                                      std::string("send(): ") +
+                                          std::strerror(errno)));
+      return false;
+    }
+    count_stream_bytes("tx", static_cast<std::size_t>(n));
+    conn.front_offset += static_cast<std::size_t>(n);
+    conn.queued_bytes -= static_cast<std::size_t>(n);
+    if (conn.front_offset == front.size()) {
+      conn.write_queue.pop_front();
+      conn.front_offset = 0;
+    }
+  }
+  if (conn.want_write) {
+    conn.want_write = false;
+    (void)poller_->modify(conn.fd, false);
+  }
+  if (conn.closing_after_flush) {
+    close_connection(id, Status::ok_status());
+    return false;
+  }
+  return true;
+}
+
+Status StreamServer::send(ConnId id, BytesView payload) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "unknown connection " + std::to_string(id));
+  }
+  if (payload.size() > kMaxFramePayload) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "payload exceeds frame cap",
+                      std::to_string(payload.size()));
+  }
+  Connection& conn = it->second;
+  const bool was_empty = conn.write_queue.empty();
+  Bytes frame = encode_frame(payload);
+  conn.queued_bytes += frame.size();
+  conn.write_queue.push_back(std::move(frame));
+  obs::MetricsRegistry::global()
+      .counter(obs::kNetFramesTotal, {{"dir", "tx"}})
+      .increment();
+  if (conn.queued_bytes > options_.max_write_queue_bytes) {
+    // Slow consumer: shedding beats unbounded buffering.
+    obs::MetricsRegistry::global()
+        .counter(obs::kNetBackpressureStallsTotal)
+        .increment();
+    close_connection(id, make_error(ErrorCode::kUnavailable,
+                                    "write queue bound exceeded"));
+    return make_error(ErrorCode::kUnavailable, "write queue bound exceeded");
+  }
+  if (was_empty) {
+    if (!flush_writes(id)) {
+      return make_error(ErrorCode::kUnavailable, "connection closed");
+    }
+    auto again = connections_.find(id);
+    if (again != connections_.end() && again->second.want_write) {
+      obs::MetricsRegistry::global()
+          .counter(obs::kNetBackpressureStallsTotal)
+          .increment();
+    }
+  }
+  return Status::ok_status();
+}
+
+void StreamServer::close_after_flush(ConnId id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  if (it->second.write_queue.empty()) {
+    close_connection(id, Status::ok_status());
+  } else {
+    it->second.closing_after_flush = true;
+  }
+}
+
+void StreamServer::close_connection(ConnId id, const Status& reason) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  const int fd = it->second.fd;
+  poller_->remove(fd);
+  ::close(fd);
+  conn_by_fd_.erase(fd);
+  connections_.erase(it);
+  obs::MetricsRegistry::global()
+      .gauge(obs::kNetConnsActive)
+      .set(static_cast<double>(connections_.size()));
+  if (callbacks_.on_close) callbacks_.on_close(id, reason);
+}
+
+}  // namespace e2e::net

@@ -1,0 +1,160 @@
+// Non-blocking event-loop server for length-framed stream connections.
+//
+// This is the daemon's IO core (tools/bbd): it owns the listening sockets
+// (any mix of TCP and UNIX-domain), accepts connections, reassembles
+// length-prefixed frames out of arbitrarily torn reads, and writes replies
+// through bounded per-connection queues. The loop multiplexes with epoll
+// where available and falls back to poll() — set Options::force_poll (or
+// E2E_FORCE_POLL=1) to exercise the fallback on any platform.
+//
+// Contract with the application (bbd_service.hpp):
+//  - callbacks run on the loop thread, one at a time, never concurrently;
+//  - send()/close_after_flush() may only be called from the loop thread
+//    (i.e. from inside a callback) — stop()/shutdown_gracefully() are the
+//    only thread-safe entry points (they wake the loop through a pipe);
+//  - a frame passed to send() is either fully written or the connection is
+//    closed; there is no partial-message state an application can observe.
+//
+// Backpressure: writes that cannot complete inline queue for EPOLLOUT.
+// The queue is bounded (Options::max_write_queue_bytes); a peer that stops
+// reading until the bound is hit is a slow consumer and its connection is
+// closed — a daemon must shed such clients, not buffer without limit.
+//
+// Shutdown: shutdown_gracefully() stops accepting, lets every connection
+// drain its pending writes, then closes them and returns from run().
+// stop() closes everything immediately.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "net/stream_framing.hpp"
+#include "net/stream_socket.hpp"
+
+namespace e2e::net {
+
+/// OS-facing readiness multiplexer: epoll on Linux, poll() elsewhere (and
+/// on demand, for coverage of the fallback path).
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;
+  };
+
+  virtual ~Poller() = default;
+  virtual Status add(int fd, bool want_write) = 0;
+  virtual Status modify(int fd, bool want_write) = 0;
+  virtual void remove(int fd) = 0;
+  /// Wait up to timeout_ms (-1 = indefinitely) and report ready fds.
+  virtual Result<std::vector<Event>> wait(int timeout_ms) = 0;
+
+  virtual const char* name() const = 0;
+
+  /// epoll when available unless forced to poll.
+  static std::unique_ptr<Poller> create(bool force_poll);
+};
+
+class StreamServer {
+ public:
+  using ConnId = std::uint64_t;
+
+  struct Options {
+    std::vector<Endpoint> listen_on;
+    /// Close connections silent for this long; zero disables the sweep.
+    std::chrono::milliseconds idle_timeout{0};
+    /// Slow-consumer bound on queued unwritten bytes per connection.
+    std::size_t max_write_queue_bytes = 4u << 20;
+    bool force_poll = false;
+  };
+
+  struct Callbacks {
+    /// A connection was accepted via the given listening endpoint.
+    std::function<void(ConnId, const Endpoint& via)> on_open;
+    /// One complete frame arrived.
+    std::function<void(ConnId, Bytes frame)> on_frame;
+    /// The connection is gone (peer close, error, idle timeout, shed).
+    /// `reason` is ok for an orderly peer close.
+    std::function<void(ConnId, const Status& reason)> on_close;
+  };
+
+  StreamServer(Options options, Callbacks callbacks);
+  ~StreamServer();
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  /// Bind and listen on every configured endpoint.
+  Status start();
+
+  /// Bound addresses (ephemeral TCP ports resolved).
+  std::vector<Endpoint> bound_endpoints() const;
+
+  /// Run the event loop until stop() or graceful-shutdown completion.
+  void run();
+
+  /// Thread-safe: close everything and return from run() now.
+  void stop();
+
+  /// Thread-safe: stop accepting, drain pending writes, then return from
+  /// run().
+  void shutdown_gracefully();
+
+  /// Queue one frame (loop thread only). Closes the connection and
+  /// returns kUnavailable when the write queue bound is exceeded.
+  Status send(ConnId id, BytesView payload);
+
+  /// Close once pending writes drain (loop thread only).
+  void close_after_flush(ConnId id);
+
+  std::size_t connection_count() const { return connections_.size(); }
+  const char* poller_name() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    Endpoint via;
+    FrameDecoder decoder;
+    std::deque<Bytes> write_queue;
+    std::size_t queued_bytes = 0;
+    std::size_t front_offset = 0;
+    std::chrono::steady_clock::time_point last_activity;
+    bool closing_after_flush = false;
+    bool want_write = false;
+  };
+
+  void accept_ready(int listener_fd);
+  void read_ready(ConnId id);
+  /// Write as much queued data as the socket takes; registers EPOLLOUT
+  /// interest on a partial write. Returns false when the connection died.
+  bool flush_writes(ConnId id);
+  void close_connection(ConnId id, const Status& reason);
+  void sweep_idle();
+  int next_timeout_ms() const;
+  void drain_wake_pipe();
+
+  Options options_;
+  Callbacks callbacks_;
+  std::unique_ptr<Poller> poller_;
+  std::vector<Listener> listeners_;
+  std::map<int, std::size_t> listener_by_fd_;
+  std::map<ConnId, Connection> connections_;
+  std::map<int, ConnId> conn_by_fd_;
+  ConnId next_conn_id_ = 1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> drain_requested_{false};
+  bool draining_ = false;
+};
+
+}  // namespace e2e::net

@@ -67,6 +67,20 @@ std::vector<MetricInfo> build_catalog() {
        "Certificate TBS-encoding cache lookups"},
       {kCryptoVerifyCacheLookupsTotal, MetricType::kCounter, kOne, {"result"},
        "Signature-verification cache lookups"},
+      {kNetBackpressureStallsTotal, MetricType::kCounter, kOne, {},
+       "Times a bounded connection write queue filled and waited for "
+       "EPOLLOUT drainage"},
+      {kNetConnsAcceptedTotal, MetricType::kCounter, kOne, {"transport"},
+       "Connections accepted by a stream server"},
+      {kNetConnsActive, MetricType::kGauge, kOne, {},
+       "Connections currently open on a stream server"},
+      {kNetFramesTotal, MetricType::kCounter, kOne, {"dir"},
+       "Complete length-prefixed frames moved over stream transports"},
+      {kNetFramingErrorsTotal, MetricType::kCounter, kOne, {},
+       "Frames rejected by the stream decoder (oversized header, torn "
+       "stream)"},
+      {kNetIdleClosesTotal, MetricType::kCounter, kOne, {},
+       "Connections closed by the stream server's idle-timeout sweep"},
       {kNetPacketDelayUs, MetricType::kHistogram, kUs, {},
        "End-to-end packet delay in the DiffServ simulator"},
       {kNetPacketsDeliveredTotal, MetricType::kCounter, kOne, {},
@@ -77,6 +91,9 @@ std::vector<MetricInfo> build_catalog() {
        "Packets dropped by a policer or a full queue"},
       {kNetPacketsEmittedTotal, MetricType::kCounter, kOne, {},
        "Packets emitted by traffic sources"},
+      {kNetStreamBytesTotal, MetricType::kCounter, "bytes", {"dir"},
+       "Raw stream bytes moved over socket transports (frame headers "
+       "included)"},
       {kObsAuditRecordsTotal, MetricType::kCounter, kOne, {"kind"},
        "Audit records appended to the hash-chained audit log"},
       {kObsDroppedLabelsTotal, MetricType::kCounter, kOne, {"metric"},

@@ -209,6 +209,26 @@ inline constexpr char kNetPacketsDowngradedTotal[] =
 /// End-to-end packet delay (us of virtual time).
 inline constexpr char kNetPacketDelayUs[] = "e2e_net_packet_delay_us";
 
+// --- net: stream transport (daemon / socket paths, src/net/stream_*) ----------
+/// Connections accepted by a stream server. Labels: transport=tcp|unix.
+inline constexpr char kNetConnsAcceptedTotal[] =
+    "e2e_net_conns_accepted_total";
+/// Connections currently open on a stream server.
+inline constexpr char kNetConnsActive[] = "e2e_net_conns_active";
+/// Raw stream bytes moved (frame headers included). Labels: dir=rx|tx.
+inline constexpr char kNetStreamBytesTotal[] = "e2e_net_stream_bytes_total";
+/// Complete length-prefixed frames moved. Labels: dir=rx|tx.
+inline constexpr char kNetFramesTotal[] = "e2e_net_frames_total";
+/// Times a connection's bounded write queue filled and the writer had to
+/// wait for EPOLLOUT drainage.
+inline constexpr char kNetBackpressureStallsTotal[] =
+    "e2e_net_backpressure_stalls_total";
+/// Frames rejected by the decoder (oversized length header, torn stream).
+inline constexpr char kNetFramingErrorsTotal[] =
+    "e2e_net_framing_errors_total";
+/// Connections closed by the server's idle-timeout sweep.
+inline constexpr char kNetIdleClosesTotal[] = "e2e_net_idle_closes_total";
+
 /// One catalog row (drives registration, export metadata and the contract
 /// test).
 struct MetricInfo {

@@ -153,4 +153,218 @@ Result<SessionPair> handshake(const ChannelEndpoint& initiator,
   return pair;
 }
 
+namespace {
+
+constexpr std::size_t kNonceBytes = 32;
+
+Bytes draw_nonce(Rng& rng) {
+  Bytes nonce(kNonceBytes);
+  for (auto& b : nonce) b = static_cast<std::uint8_t>(rng.next_u64());
+  return nonce;
+}
+
+/// The staged handshake derives the same secret and directional keys as
+/// handshake(): sha256(proof_i || proof_r || transcript), split with the
+/// fixed direction labels.
+std::pair<Bytes, Bytes> derive_session_keys(BytesView proof_i,
+                                            BytesView proof_r,
+                                            BytesView transcript) {
+  Bytes secret_input;
+  append(secret_input, proof_i);
+  append(secret_input, proof_r);
+  append(secret_input, transcript);
+  const Bytes secret = crypto::digest_bytes(crypto::sha256(secret_input));
+  return {crypto::derive_key(secret, "initiator->responder", 32),
+          crypto::derive_key(secret, "responder->initiator", 32)};
+}
+
+void count_staged_handshake(const char* result) {
+  obs::MetricsRegistry::global()
+      .counter(obs::kSigChannelHandshakesTotal, {{"result", result}})
+      .increment();
+}
+
+}  // namespace
+
+Bytes encode_record(const Record& record) {
+  tlv::Writer writer;
+  writer.open(channel_tag::kRecord);
+  writer.put_u64(channel_tag::kSequence, record.sequence);
+  writer.put_bytes(channel_tag::kPayload, record.payload);
+  writer.put_bytes(channel_tag::kMac, record.mac);
+  writer.close();
+  return writer.take();
+}
+
+Result<Record> decode_record(BytesView bytes) {
+  tlv::Reader outer(bytes);
+  auto nested = outer.read_nested(channel_tag::kRecord);
+  if (!nested.ok()) return nested.error();
+  tlv::Reader& reader = nested.value();
+  Record record;
+  auto sequence = reader.read_u64(channel_tag::kSequence);
+  if (!sequence.ok()) return sequence.error();
+  record.sequence = sequence.value();
+  auto payload = reader.read_bytes(channel_tag::kPayload);
+  if (!payload.ok()) return payload.error();
+  record.payload = std::move(payload.value());
+  auto mac = reader.read_bytes(channel_tag::kMac);
+  if (!mac.ok()) return mac.error();
+  record.mac = std::move(mac.value());
+  if (!reader.at_end() || !outer.at_end()) {
+    return make_error(ErrorCode::kBadMessage, "trailing bytes after record");
+  }
+  return record;
+}
+
+HandshakeInitiator::HandshakeInitiator(ChannelEndpoint endpoint, SimTime at,
+                                       Rng& rng)
+    : endpoint_(std::move(endpoint)), at_(at), nonce_(draw_nonce(rng)) {}
+
+Bytes HandshakeInitiator::client_hello() {
+  hello_sent_ = true;
+  tlv::Writer writer;
+  writer.open(channel_tag::kClientHello);
+  writer.put_bytes(channel_tag::kCertificate, endpoint_.certificate.encode());
+  writer.put_bytes(channel_tag::kNonce, nonce_);
+  writer.close();
+  return writer.take();
+}
+
+Result<Bytes> HandshakeInitiator::on_server_hello(BytesView bytes) {
+  if (!hello_sent_ || done_) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "ServerHello out of handshake order");
+  }
+  tlv::Reader outer(bytes);
+  auto nested = outer.read_nested(channel_tag::kServerHello);
+  if (!nested.ok()) {
+    count_staged_handshake("fail");
+    return nested.error();
+  }
+  tlv::Reader& reader = nested.value();
+  auto cert_bytes = reader.read_bytes(channel_tag::kCertificate);
+  if (!cert_bytes.ok()) {
+    count_staged_handshake("fail");
+    return cert_bytes.error();
+  }
+  auto nonce_r = reader.read_bytes(channel_tag::kNonce);
+  if (!nonce_r.ok()) {
+    count_staged_handshake("fail");
+    return nonce_r.error();
+  }
+  auto proof_r = reader.read_bytes(channel_tag::kProof);
+  if (!proof_r.ok()) {
+    count_staged_handshake("fail");
+    return proof_r.error();
+  }
+  if (nonce_r.value().size() != kNonceBytes) {
+    count_staged_handshake("fail");
+    return make_error(ErrorCode::kBadMessage, "ServerHello nonce size");
+  }
+  auto peer_cert = crypto::Certificate::decode(cert_bytes.value());
+  if (!peer_cert.ok()) {
+    count_staged_handshake("fail");
+    return peer_cert.error();
+  }
+
+  Bytes transcript;
+  append(transcript, endpoint_.certificate.encode());
+  append(transcript, cert_bytes.value());
+  append(transcript, nonce_);
+  append(transcript, nonce_r.value());
+
+  auto check = validate_peer(endpoint_, peer_cert.value(), transcript,
+                             proof_r.value(), at_);
+  if (!check.ok()) {
+    count_staged_handshake("fail");
+    return check.error();
+  }
+
+  const Bytes proof_i = crypto::sign(endpoint_.private_key, transcript);
+  auto [i_to_r, r_to_i] =
+      derive_session_keys(proof_i, proof_r.value(), transcript);
+  session_ = Session(std::move(peer_cert.value()), std::move(i_to_r),
+                     std::move(r_to_i));
+  done_ = true;
+  count_staged_handshake("ok");
+
+  tlv::Writer writer;
+  writer.open(channel_tag::kFinished);
+  writer.put_bytes(channel_tag::kProof, proof_i);
+  writer.close();
+  return writer.take();
+}
+
+HandshakeResponder::HandshakeResponder(ChannelEndpoint endpoint, SimTime at,
+                                       Rng& rng)
+    : endpoint_(std::move(endpoint)), at_(at), nonce_(draw_nonce(rng)) {}
+
+Result<Bytes> HandshakeResponder::on_client_hello(BytesView bytes) {
+  if (hello_seen_ || done_) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "ClientHello out of handshake order");
+  }
+  tlv::Reader outer(bytes);
+  auto nested = outer.read_nested(channel_tag::kClientHello);
+  if (!nested.ok()) return nested.error();
+  tlv::Reader& reader = nested.value();
+  auto cert_bytes = reader.read_bytes(channel_tag::kCertificate);
+  if (!cert_bytes.ok()) return cert_bytes.error();
+  auto nonce_i = reader.read_bytes(channel_tag::kNonce);
+  if (!nonce_i.ok()) return nonce_i.error();
+  if (nonce_i.value().size() != kNonceBytes) {
+    return make_error(ErrorCode::kBadMessage, "ClientHello nonce size");
+  }
+  auto peer_cert = crypto::Certificate::decode(cert_bytes.value());
+  if (!peer_cert.ok()) return peer_cert.error();
+  peer_cert_ = std::move(peer_cert.value());
+  hello_seen_ = true;
+
+  transcript_.clear();
+  append(transcript_, cert_bytes.value());
+  append(transcript_, endpoint_.certificate.encode());
+  append(transcript_, nonce_i.value());
+  append(transcript_, nonce_);
+  proof_r_ = crypto::sign(endpoint_.private_key, transcript_);
+
+  tlv::Writer writer;
+  writer.open(channel_tag::kServerHello);
+  writer.put_bytes(channel_tag::kCertificate, endpoint_.certificate.encode());
+  writer.put_bytes(channel_tag::kNonce, nonce_);
+  writer.put_bytes(channel_tag::kProof, proof_r_);
+  writer.close();
+  return writer.take();
+}
+
+Status HandshakeResponder::on_finished(BytesView bytes) {
+  if (!hello_seen_ || done_) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "Finished out of handshake order");
+  }
+  tlv::Reader outer(bytes);
+  auto nested = outer.read_nested(channel_tag::kFinished);
+  if (!nested.ok()) {
+    count_staged_handshake("fail");
+    return nested.error();
+  }
+  auto proof_i = nested.value().read_bytes(channel_tag::kProof);
+  if (!proof_i.ok()) {
+    count_staged_handshake("fail");
+    return proof_i.error();
+  }
+  auto check =
+      validate_peer(endpoint_, peer_cert_, transcript_, proof_i.value(), at_);
+  if (!check.ok()) {
+    count_staged_handshake("fail");
+    return check.error();
+  }
+  auto [i_to_r, r_to_i] =
+      derive_session_keys(proof_i.value(), proof_r_, transcript_);
+  session_ = Session(peer_cert_, std::move(r_to_i), std::move(i_to_r));
+  done_ = true;
+  count_staged_handshake("ok");
+  return Status::ok_status();
+}
+
 }  // namespace e2e::sig

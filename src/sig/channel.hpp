@@ -20,11 +20,29 @@
 #include <string>
 
 #include "common/rng.hpp"
+#include "common/tlv.hpp"
 #include "crypto/certstore.hpp"
 #include "crypto/rsa.hpp"
 #include "crypto/x509.hpp"
 
 namespace e2e::sig {
+
+// TLV tags of the handshake and record wire messages exchanged when the
+// channel runs over a real byte stream (docs/DAEMON.md, "Channel
+// handshake"). The in-process handshake() below produces the same
+// transcript and keys without serializing these messages.
+namespace channel_tag {
+inline constexpr tlv::Tag kClientHello = 0xE280;  // container
+inline constexpr tlv::Tag kServerHello = 0xE281;  // container
+inline constexpr tlv::Tag kFinished = 0xE282;     // container
+inline constexpr tlv::Tag kCertificate = 0xE283;  // bytes (cert encoding)
+inline constexpr tlv::Tag kNonce = 0xE284;        // bytes (32)
+inline constexpr tlv::Tag kProof = 0xE285;        // bytes (signature)
+inline constexpr tlv::Tag kRecord = 0xE286;       // container
+inline constexpr tlv::Tag kSequence = 0xE287;     // u64
+inline constexpr tlv::Tag kPayload = 0xE288;      // bytes
+inline constexpr tlv::Tag kMac = 0xE289;          // bytes
+}  // namespace channel_tag
 
 /// One party's handshake material.
 struct ChannelEndpoint {
@@ -83,5 +101,80 @@ struct SessionPair {
 Result<SessionPair> handshake(const ChannelEndpoint& initiator,
                               const ChannelEndpoint& responder, SimTime at,
                               Rng& rng);
+
+/// Canonical wire form of a sealed record (channel_tag::kRecord container).
+Bytes encode_record(const Record& record);
+/// Decode a record; kBadMessage on truncated or malformed input — a peer
+/// that disconnects mid-record must surface as a Status, never a crash.
+Result<Record> decode_record(BytesView bytes);
+
+/// Initiator half of the staged handshake — the same mutual authentication
+/// as handshake(), decomposed into the three messages that actually cross
+/// a byte stream:
+///
+///   ClientHello { cert_i, nonce_i }            initiator -> responder
+///   ServerHello { cert_r, nonce_r, proof_r }   responder -> initiator
+///   Finished    { proof_i }                    initiator -> responder
+///
+/// The transcript (enc(cert_i) || enc(cert_r) || nonce_i || nonce_r), the
+/// proofs and the key derivation are byte-identical to handshake()'s, so a
+/// session established in stages interoperates with one established
+/// in-process. Every consume step returns Status/Result: truncated or
+/// malformed peer messages (mid-handshake disconnects) are errors, not
+/// assertion failures.
+class HandshakeInitiator {
+ public:
+  /// `endpoint` is copied; `rng` is borrowed only for the constructor's
+  /// nonce draw.
+  HandshakeInitiator(ChannelEndpoint endpoint, SimTime at, Rng& rng);
+
+  /// The ClientHello to send. Call exactly once, first.
+  Bytes client_hello();
+
+  /// Consume the responder's ServerHello; validates the responder and
+  /// returns the Finished message to send. The session is ready after
+  /// this returns ok.
+  Result<Bytes> on_server_hello(BytesView bytes);
+
+  bool done() const { return done_; }
+  /// Valid only after on_server_hello() succeeded.
+  Session& session() { return session_; }
+
+ private:
+  ChannelEndpoint endpoint_;
+  SimTime at_;
+  Bytes nonce_;
+  bool hello_sent_ = false;
+  bool done_ = false;
+  Session session_;
+};
+
+/// Responder half of the staged handshake (see HandshakeInitiator).
+class HandshakeResponder {
+ public:
+  HandshakeResponder(ChannelEndpoint endpoint, SimTime at, Rng& rng);
+
+  /// Consume the ClientHello; returns the ServerHello to send.
+  Result<Bytes> on_client_hello(BytesView bytes);
+
+  /// Consume the Finished message; validates the initiator. The session
+  /// is ready after this returns ok.
+  Status on_finished(BytesView bytes);
+
+  bool done() const { return done_; }
+  /// Valid only after on_finished() succeeded.
+  Session& session() { return session_; }
+
+ private:
+  ChannelEndpoint endpoint_;
+  SimTime at_;
+  Bytes nonce_;
+  Bytes transcript_;
+  Bytes proof_r_;
+  crypto::Certificate peer_cert_;
+  bool hello_seen_ = false;
+  bool done_ = false;
+  Session session_;
+};
 
 }  // namespace e2e::sig

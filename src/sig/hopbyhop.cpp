@@ -515,8 +515,15 @@ RarReply HopByHopEngine::process(const std::string& domain,
         return finish_hop(RarReply::deny(tunnel_handle.error()),
                           "admission");
       }
-      auto authorized =
-          broker.find_tunnel(*tunnel_handle)->authorize(vr.res_spec.user);
+      bb::Tunnel* tunnel = broker.find_tunnel(*tunnel_handle);
+      if (tunnel == nullptr) {
+        (void)broker.release(*handle);
+        return finish_hop(
+            RarReply::deny(make_error(ErrorCode::kInternal,
+                                      "registered tunnel not found", domain)),
+            "admission");
+      }
+      auto authorized = tunnel->authorize(vr.res_spec.user);
       if (!authorized.ok()) {
         // The authorization could not be made durable: deny rather than
         // ack a tunnel whose recovered twin would reject its only user.
@@ -754,10 +761,10 @@ RarReply HopByHopEngine::process(const std::string& domain,
     // channel setup, like a failed registration: the end-to-end grant
     // stands, but this source end offers no tunnel the recovered broker
     // would not honour.
-    if (source_tunnel.ok() && dest != nullptr &&
-        broker.find_tunnel(*source_tunnel)
-            ->authorize(vr.res_spec.user)
-            .ok()) {
+    bb::Tunnel* source_end =
+        source_tunnel.ok() ? broker.find_tunnel(*source_tunnel) : nullptr;
+    if (source_end != nullptr && dest != nullptr &&
+        source_end->authorize(vr.res_spec.user).ok()) {
       // Both ends pin the peer certificate they learned through the
       // signalling exchange (source cert introduced downstream by the
       // layer chain; destination cert introduced upstream with the signed

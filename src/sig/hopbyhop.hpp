@@ -60,7 +60,7 @@ struct UserCredentials {
 
 class HopByHopEngine {
  public:
-  HopByHopEngine(Fabric& fabric, Rng& rng) : fabric_(&fabric), rng_(&rng) {}
+  HopByHopEngine(Transport& fabric, Rng& rng) : fabric_(&fabric), rng_(&rng) {}
 
   /// Register a domain's broker with the engine.
   void add_domain(bb::BandwidthBroker& broker, DomainOptions options = {});
@@ -295,7 +295,7 @@ class HopByHopEngine {
   ChannelEndpoint endpoint_for(const Node& node,
                                const crypto::Certificate* pinned = nullptr) const;
 
-  Fabric* fabric_;
+  Transport* fabric_;
   Rng* rng_;
   RetryPolicy retry_policy_;
   std::map<std::string, Node> nodes_;

@@ -34,7 +34,7 @@ namespace e2e::sig {
 
 class SourceDomainEngine {
  public:
-  explicit SourceDomainEngine(Fabric& fabric) : fabric_(&fabric) {}
+  explicit SourceDomainEngine(Transport& fabric) : fabric_(&fabric) {}
 
   /// Retry budget and backoff for each per-domain request. Timeouts are a
   /// pure function of (policy, attempt, request digest), so the parallel
@@ -138,7 +138,7 @@ class SourceDomainEngine {
                              const crypto::PrivateKey& user_key, SimTime at,
                              const TraceCtx& trace, std::size_t hop_index);
 
-  Fabric* fabric_;
+  Transport* fabric_;
   RetryPolicy retry_policy_;
   std::map<std::string, Node> nodes_;
   std::uint64_t next_request_ = 1;

@@ -20,7 +20,9 @@
 // worker threads while tests and benches mutate latencies.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -35,6 +37,11 @@
 #include "obs/trace.hpp"
 
 namespace e2e::sig {
+
+/// Largest payload any transport accepts in one message. Mirrors the
+/// stream transports' frame cap (net/stream_framing.hpp) so a message that
+/// fits the in-memory fabric also fits a real socket, and vice versa.
+inline constexpr std::size_t kMaxTransportPayload = 1u << 20;  // 1 MiB
 
 // TLV tags of the *unsigned* trace-context envelope that may accompany a
 // transmission (docs/OBSERVABILITY.md, "TraceContext wire format"). The
@@ -93,14 +100,42 @@ struct Delivery {
   bool delivered() const { return outcome == Outcome::kDelivered; }
 };
 
-class Fabric {
- public:
-  /// Symmetric one-way latency between two parties.
-  void set_latency(const std::string& a, const std::string& b,
-                   SimDuration one_way);
-  void set_default_latency(SimDuration one_way);
+/// One message sitting in a party's inbox (queue-delivery surface).
+struct InboundMessage {
+  std::string from;
+  Bytes payload;
+  /// Trace context from the unsigned envelope, when the sender attached
+  /// one.
+  std::optional<obs::TraceContext> trace_context;
+};
 
-  SimDuration one_way(const std::string& a, const std::string& b) const;
+/// The transport seam between the signalling engines and whatever carries
+/// their bytes. Two implementations exist:
+///
+///  - sig::Fabric — the in-memory model of the wide-area control plane
+///    (modeled latencies, deterministic fault injection, virtual time);
+///  - net::SocketTransport — real length-framed byte streams over TCP or
+///    UNIX-domain sockets between OS processes (src/net/).
+///
+/// The engines consume the *modeled* surface (transmit / one_way /
+/// processing_delay / record_message). The *queue-delivery* surface
+/// (send / receive) is the part the two implementations share
+/// observably — tests/net_transport_conformance_test.cpp runs one
+/// assertion set against both so they can never drift.
+class Transport {
+ public:
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  virtual ~Transport() = default;
+
+  /// One-way delivery latency between two parties as modeled (or measured)
+  /// by this transport. Socket transports report 0: their latency is real
+  /// wall-clock time, not part of the virtual-time model.
+  virtual SimDuration one_way(const std::string& a,
+                              const std::string& b) const = 0;
   SimDuration rtt(const std::string& a, const std::string& b) const {
     return 2 * one_way(a, b);
   }
@@ -108,21 +143,65 @@ class Fabric {
   /// Per-hop processing budget a broker spends on verification, policy and
   /// admission before forwarding (modeled; the real CPU cost is measured
   /// separately by the microbenchmarks).
-  void set_processing_delay(SimDuration d) { processing_delay_ = d; }
-  SimDuration processing_delay() const { return processing_delay_; }
+  virtual SimDuration processing_delay() const = 0;
 
-  struct Stats {
-    std::uint64_t messages = 0;
-    std::uint64_t bytes = 0;
-  };
+  /// Account one message without transmitting (modeled side channels).
+  /// Thread-safe: the parallel source-based engine records messages from
+  /// worker threads.
+  virtual void record_message(const std::string& from, const std::string& to,
+                              std::size_t bytes) = 0;
+
+  /// Send one message and learn its fate synchronously. The engines'
+  /// request/reply exchanges are built on this call.
+  virtual Delivery transmit(const std::string& from, const std::string& to,
+                            BytesView payload,
+                            const obs::TraceContext* trace_context = nullptr) = 0;
+
+  /// Queue-delivery: send `payload` toward `to`'s inbox. Fails with
+  /// kInvalidArgument when the payload exceeds kMaxTransportPayload, and
+  /// with kUnavailable / kTimeout when the transport knows delivery is
+  /// impossible (peer down, link partitioned, connection refused).
+  virtual Status send(const std::string& from, const std::string& to,
+                      BytesView payload,
+                      const obs::TraceContext* trace_context = nullptr) = 0;
+
+  /// Pop the next message from `self`'s inbox in arrival order, waiting up
+  /// to `wait` wall-clock time for one to arrive. The in-memory fabric
+  /// delivers instantaneously in virtual time, so it never blocks: an
+  /// empty inbox returns kTimeout immediately whatever `wait` says.
+  virtual Result<InboundMessage> receive(const std::string& self,
+                                         std::chrono::milliseconds wait) = 0;
+
+  /// Message/byte accounting since the last reset.
+  virtual Stats total() const = 0;
+  virtual void reset_counters() = 0;
+};
+
+class Fabric : public Transport {
+ public:
+  using Stats = Transport::Stats;
+
+  /// Symmetric one-way latency between two parties.
+  void set_latency(const std::string& a, const std::string& b,
+                   SimDuration one_way);
+  void set_default_latency(SimDuration one_way);
+
+  SimDuration one_way(const std::string& a,
+                      const std::string& b) const override;
+
+  /// Per-hop processing budget a broker spends on verification, policy and
+  /// admission before forwarding (modeled; the real CPU cost is measured
+  /// separately by the microbenchmarks).
+  void set_processing_delay(SimDuration d) { processing_delay_ = d; }
+  SimDuration processing_delay() const override { return processing_delay_; }
 
   /// Thread-safe: the parallel source-based engine records messages from
   /// worker threads.
   void record_message(const std::string& from, const std::string& to,
-                      std::size_t bytes);
-  Stats total() const;
+                      std::size_t bytes) override;
+  Stats total() const override;
   Stats between(const std::string& a, const std::string& b) const;
-  void reset_counters();
+  void reset_counters() override;
 
   // --- Fault model -----------------------------------------------------------
 
@@ -166,7 +245,20 @@ class Fabric {
   /// benches assert on.
   Delivery transmit(const std::string& from, const std::string& to,
                     BytesView payload,
-                    const obs::TraceContext* trace_context = nullptr);
+                    const obs::TraceContext* trace_context = nullptr) override;
+
+  /// Queue-delivery on the in-memory fabric: a transmit() whose payload —
+  /// when it survives the fault model — lands in `to`'s inbox instead of
+  /// being handed back to the caller. Lost messages (drop, partition,
+  /// peer down) report kUnavailable.
+  Status send(const std::string& from, const std::string& to,
+              BytesView payload,
+              const obs::TraceContext* trace_context = nullptr) override;
+
+  /// Instantaneous in virtual time: `wait` is ignored, an empty inbox is
+  /// kTimeout immediately.
+  Result<InboundMessage> receive(const std::string& self,
+                                 std::chrono::milliseconds wait) override;
 
  private:
   static std::pair<std::string, std::string> key(const std::string& a,
@@ -193,6 +285,7 @@ class Fabric {
   std::set<std::pair<std::string, std::string>> partitions_;
   std::set<std::string> down_;
   Rng fault_rng_{0x6661756c74ull};  // "fault"
+  std::map<std::string, std::deque<InboundMessage>> inboxes_;
 };
 
 }  // namespace e2e::sig

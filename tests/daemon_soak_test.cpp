@@ -1,0 +1,283 @@
+// Multi-process daemon soak (ISSUE 7, satellite 3).
+//
+// Spawns the REAL bbd binary (path baked in via E2E_BBD_PATH) as a
+// separate OS process with durability enabled, then drives it with
+// several concurrent client processes mixing reserve / release / abrupt
+// exits, and finally SIGKILLs the daemon mid-state and restarts it with
+// --recover. Invariants checked:
+//   - zero residual bandwidth once every client is gone (explicit releases
+//     plus the orphan-release-on-disconnect contract);
+//   - no double-grants: every (domain, handle) pair across every granted
+//     reply is globally unique;
+//   - a killed daemon comes back with every acked grant intact (PR 6
+//     recovery through the WAL), and those grants remain releasable.
+// scripts/tier1.sh --daemon runs this binary under the ASan/UBSan preset.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/bbd_client.hpp"
+#include "sig/message.hpp"
+
+#ifndef E2E_BBD_PATH
+#error "E2E_BBD_PATH must point at the built bbd binary"
+#endif
+
+namespace e2e::net {
+namespace {
+
+struct DaemonProcess {
+  pid_t pid = -1;
+  Endpoint endpoint;
+
+  DaemonProcess() = default;
+  DaemonProcess(DaemonProcess&& other) noexcept
+      : pid(other.pid), endpoint(std::move(other.endpoint)) {
+    other.pid = -1;
+  }
+  DaemonProcess(const DaemonProcess&) = delete;
+  DaemonProcess& operator=(const DaemonProcess&) = delete;
+  // A gtest ASSERT aborts the test mid-flight; make sure a failed run
+  // never leaks a live daemon process.
+  ~DaemonProcess() { kill_hard(); }
+
+  static DaemonProcess spawn(const std::string& socket_path,
+                             const std::string& durability_dir) {
+    DaemonProcess daemon;
+    daemon.endpoint = Endpoint::parse("unix:" + socket_path).value();
+    daemon.pid = fork();
+    if (daemon.pid == 0) {
+      const std::string listen = "unix:" + socket_path;
+      ::execl(E2E_BBD_PATH, E2E_BBD_PATH, "--listen", listen.c_str(),
+              "--durability-dir", durability_dir.c_str(), "--recover",
+              "--domains", "3", static_cast<char*>(nullptr));
+      ::_exit(127);  // exec failed
+    }
+    return daemon;
+  }
+
+  /// Retry-connect until the daemon has built its world and listens.
+  Result<BbdClient> connect(std::chrono::seconds patience =
+                                std::chrono::seconds(60)) const {
+    BbdClient::Options options;
+    options.connect_to = endpoint;
+    const auto deadline = std::chrono::steady_clock::now() + patience;
+    while (true) {
+      auto client = BbdClient::connect(options);
+      if (client.ok()) return client;
+      if (std::chrono::steady_clock::now() >= deadline) return client;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+
+  void kill_hard() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      pid = -1;
+    }
+  }
+  void terminate() {
+    if (pid > 0) {
+      ::kill(pid, SIGTERM);
+      ::waitpid(pid, nullptr, 0);
+      pid = -1;
+    }
+  }
+};
+
+std::string temp_root() {
+  std::string dir = ::testing::TempDir() + "e2e_daemon_soak_XXXXXX";
+  std::vector<char> buf(dir.begin(), dir.end());
+  buf.push_back('\0');
+  EXPECT_NE(::mkdtemp(buf.data()), nullptr);
+  return std::string(buf.data());
+}
+
+/// One client process's workload: a few reserves, explicit release of the
+/// even ones, odd ones deliberately left to the orphan-release contract.
+/// Granted reply bytes are appended (hex, one per line) to `grants_file`.
+int run_client_workload(const Endpoint& endpoint, int index,
+                        const std::string& grants_file) {
+  BbdClient::Options options;
+  options.connect_to = endpoint;
+  auto client = BbdClient::connect(options);
+  if (!client.ok()) return 10;
+  if (!client.value().hello(/*release_on_disconnect=*/true).ok()) return 11;
+  const std::string user = "soak-user-" + std::to_string(index);
+  // Hop-by-hop signalling authenticates the user at the source domain, so
+  // every soak user is homed at the chain head its reservations enter.
+  if (!client.value().make_user(user, /*home=*/0).ok()) return 12;
+  std::ofstream grants(grants_file);
+  for (int i = 0; i < 4; ++i) {
+    BbdClient::ReserveArgs args;
+    args.user = user;
+    args.rate = 1e6;
+    args.interval = {0, seconds(600)};
+    args.at = seconds(1);
+    auto outcome = client.value().reserve(args);
+    if (!outcome.ok()) return 13;
+    if (!outcome.value().reply.granted) {
+      std::fprintf(stderr, "client %d reserve %d denied: %s\n", index, i,
+                   outcome.value().reply.denial.to_text().c_str());
+      return 14;
+    }
+    grants << hex_encode(outcome.value().reply_bytes) << "\n";
+    if (i % 2 == 0 &&
+        !client.value().release("hopbyhop", outcome.value().reply_bytes)
+             .ok()) {
+      return 15;
+    }
+  }
+  grants.close();
+  // Client 1 dies abruptly mid-session; the others close their sockets by
+  // returning. Either way the daemon sees a disconnect and must release
+  // the unreleased grants.
+  if (index == 1) ::_exit(0);
+  return 0;
+}
+
+TEST(DaemonSoak, MultiProcessReserveReleaseCrashRestart) {
+  const std::string root = temp_root();
+  const std::string socket_path = root + "/bbd.sock";
+  const std::string durability_dir = root + "/state";
+  ASSERT_EQ(::mkdir(durability_dir.c_str(), 0755), 0);
+
+  DaemonProcess daemon = DaemonProcess::spawn(socket_path, durability_dir);
+  ASSERT_GT(daemon.pid, 0);
+  {
+    auto probe = daemon.connect();
+    ASSERT_TRUE(probe.ok()) << probe.error().to_text();
+    ASSERT_TRUE(probe.value().ping().ok());
+  }
+
+  // --- Phase 1: concurrent client processes -------------------------------
+  constexpr int kClients = 3;
+  std::vector<pid_t> children;
+  for (int i = 0; i < kClients; ++i) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      ::_exit(run_client_workload(daemon.endpoint, i,
+                                  root + "/grants_" + std::to_string(i)));
+    }
+    children.push_back(pid);
+  }
+  for (pid_t child : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0) << "client workload failed";
+  }
+
+  // Zero residual: explicit releases + orphan releases must drain every
+  // broker once all clients are gone.
+  {
+    auto observer = daemon.connect();
+    ASSERT_TRUE(observer.ok());
+    std::size_t residual = 1;
+    double committed = 1;
+    for (int i = 0; i < 200 && residual != 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      auto stats = observer.value().stats(seconds(1));
+      ASSERT_TRUE(stats.ok());
+      residual = stats.value().reservations;
+      committed = stats.value().committed;
+    }
+    EXPECT_EQ(residual, 0u);
+    EXPECT_EQ(committed, 0.0);
+  }
+
+  // No double-grants: every (domain, handle) across every grant is unique.
+  std::set<std::pair<std::string, std::string>> seen_handles;
+  std::size_t total_handles = 0;
+  for (int i = 0; i < kClients; ++i) {
+    std::ifstream grants(root + "/grants_" + std::to_string(i));
+    ASSERT_TRUE(grants.good());
+    std::string line;
+    while (std::getline(grants, line)) {
+      if (line.empty()) continue;
+      auto reply = sig::RarReply::decode(hex_decode(line));
+      ASSERT_TRUE(reply.ok());
+      for (const auto& [domain, handle] : reply.value().handles) {
+        ++total_handles;
+        EXPECT_TRUE(seen_handles.emplace(domain, handle).second)
+            << "double-granted handle " << handle << " in " << domain;
+      }
+    }
+  }
+  EXPECT_EQ(total_handles, kClients * 4u * 3u);  // 4 grants x 3 domains each
+
+  // --- Phase 2: SIGKILL mid-state, restart with --recover -----------------
+  std::vector<Bytes> keeper_grants;
+  std::size_t held_before_crash = 0;
+  {
+    auto keeper = daemon.connect();
+    ASSERT_TRUE(keeper.ok());
+    // NO release-on-disconnect: these grants must survive the daemon.
+    ASSERT_TRUE(keeper.value().hello(false).ok());
+    ASSERT_TRUE(keeper.value().make_user("keeper", 0).ok());
+    for (int i = 0; i < 3; ++i) {
+      BbdClient::ReserveArgs args;
+      args.user = "keeper";
+      args.rate = 2e6;
+      args.interval = {0, seconds(600)};
+      args.at = seconds(1);
+      auto outcome = keeper.value().reserve(args);
+      ASSERT_TRUE(outcome.ok()) << outcome.error().to_text();
+      ASSERT_TRUE(outcome.value().reply.granted);
+      keeper_grants.push_back(outcome.value().reply_bytes);
+    }
+    auto stats = keeper.value().stats(seconds(1));
+    ASSERT_TRUE(stats.ok());
+    held_before_crash = stats.value().reservations;
+    EXPECT_EQ(held_before_crash, 9u);  // 3 grants x 3 domains
+  }
+  daemon.kill_hard();
+
+  DaemonProcess revived = DaemonProcess::spawn(socket_path, durability_dir);
+  ASSERT_GT(revived.pid, 0);
+  {
+    auto client = revived.connect();
+    ASSERT_TRUE(client.ok()) << client.error().to_text();
+    // Every acked grant survived the kill.
+    auto stats = client.value().stats(seconds(1));
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().reservations, held_before_crash);
+    // And each one is still releasable through the recovered brokers.
+    for (const Bytes& grant : keeper_grants) {
+      EXPECT_TRUE(client.value().release("hopbyhop", grant).ok());
+    }
+    auto drained = client.value().stats(seconds(1));
+    ASSERT_TRUE(drained.ok());
+    EXPECT_EQ(drained.value().reservations, 0u);
+    EXPECT_EQ(drained.value().committed, 0.0);
+    // The recovered world still grants fresh reservations.
+    ASSERT_TRUE(client.value().make_user("fresh", 0).ok());
+    BbdClient::ReserveArgs args;
+    args.user = "fresh";
+    args.rate = 1e6;
+    args.at = seconds(1);
+    auto outcome = client.value().reserve(args);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome.value().reply.granted);
+  }
+  revived.terminate();
+}
+
+}  // namespace
+}  // namespace e2e::net

@@ -1,0 +1,226 @@
+// Transport conformance suite (ISSUE 7, satellite 1).
+//
+// One assertion set over the queue-delivery surface of sig::Transport,
+// instantiated against BOTH implementations — the in-memory Fabric and the
+// socket transport over a real hub — so their observable semantics can
+// never drift: send/receive round trips, FIFO ordering, timeout behaviour
+// on an empty inbox, the shared payload cap, message accounting, trace-
+// context propagation, and a staged SecureChannel handshake run purely
+// through transport messages.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "crypto/ca.hpp"
+#include "net/socket_transport.hpp"
+#include "sig/channel.hpp"
+#include "sig/transport.hpp"
+
+namespace e2e {
+namespace {
+
+/// Owns one transport instance plus whatever infrastructure it needs.
+struct TransportHarness {
+  virtual ~TransportHarness() = default;
+  virtual sig::Transport& transport() = 0;
+};
+
+struct FabricHarness : TransportHarness {
+  sig::Fabric fabric;
+  sig::Transport& transport() override { return fabric; }
+};
+
+struct SocketHarness : TransportHarness {
+  std::unique_ptr<net::SocketHub> hub;
+  std::unique_ptr<net::SocketTransport> client;
+
+  SocketHarness() {
+    auto endpoint = net::Endpoint::parse("tcp:127.0.0.1:0");
+    auto started = net::SocketHub::start(endpoint.value());
+    if (!started.ok()) {
+      throw std::runtime_error("hub start failed: " +
+                               started.error().to_text());
+    }
+    hub = std::move(started.value());
+    client = std::make_unique<net::SocketTransport>(hub->endpoint());
+  }
+
+  sig::Transport& transport() override { return *client; }
+};
+
+using HarnessFactory = std::function<std::unique_ptr<TransportHarness>()>;
+
+std::unique_ptr<TransportHarness> make_harness(const std::string& name) {
+  if (name == "fabric") return std::make_unique<FabricHarness>();
+  return std::make_unique<SocketHarness>();
+}
+
+class TransportConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { harness_ = make_harness(GetParam()); }
+  sig::Transport& transport() { return harness_->transport(); }
+
+  /// Generous wall-clock patience for socket delivery; the fabric answers
+  /// instantly either way.
+  static constexpr std::chrono::milliseconds kWait{2000};
+  static constexpr std::chrono::milliseconds kShortWait{50};
+
+ private:
+  std::unique_ptr<TransportHarness> harness_;
+};
+
+TEST_P(TransportConformance, SendThenReceiveRoundTrips) {
+  auto& t = transport();
+  const Bytes payload = {0xde, 0xad, 0xbe, 0xef};
+  ASSERT_TRUE(t.send("alice", "bob", payload).ok());
+  auto received = t.receive("bob", kWait);
+  ASSERT_TRUE(received.ok()) << received.error().to_text();
+  EXPECT_EQ(received.value().from, "alice");
+  EXPECT_EQ(received.value().payload, payload);
+  EXPECT_FALSE(received.value().trace_context.has_value());
+}
+
+TEST_P(TransportConformance, EmptyInboxTimesOut) {
+  auto& t = transport();
+  auto received = t.receive("nobody-wrote-to-me", kShortWait);
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.error().code, ErrorCode::kTimeout);
+}
+
+TEST_P(TransportConformance, FifoOrderingPerReceiver) {
+  auto& t = transport();
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.send("alice", "bob", Bytes{i}).ok());
+  }
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    auto received = t.receive("bob", kWait);
+    ASSERT_TRUE(received.ok()) << received.error().to_text();
+    EXPECT_EQ(received.value().payload, Bytes{i});
+  }
+}
+
+TEST_P(TransportConformance, InterleavedSendersKeepPerSenderOrder) {
+  auto& t = transport();
+  ASSERT_TRUE(t.send("alice", "carol", Bytes{1}).ok());
+  ASSERT_TRUE(t.send("bob", "carol", Bytes{2}).ok());
+  ASSERT_TRUE(t.send("alice", "carol", Bytes{3}).ok());
+  int alice_last = 0;
+  int bob_seen = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto received = t.receive("carol", kWait);
+    ASSERT_TRUE(received.ok()) << received.error().to_text();
+    if (received.value().from == "alice") {
+      EXPECT_GT(received.value().payload[0], alice_last);
+      alice_last = received.value().payload[0];
+    } else {
+      EXPECT_EQ(received.value().from, "bob");
+      ++bob_seen;
+    }
+  }
+  EXPECT_EQ(alice_last, 3);
+  EXPECT_EQ(bob_seen, 1);
+}
+
+TEST_P(TransportConformance, PayloadCapIsEnforced) {
+  auto& t = transport();
+  const Bytes oversized(sig::kMaxTransportPayload + 1, 0x55);
+  auto sent = t.send("alice", "bob", oversized);
+  ASSERT_FALSE(sent.ok());
+  EXPECT_EQ(sent.error().code, ErrorCode::kInvalidArgument);
+  // The cap itself still fits.
+  const Bytes max_sized(sig::kMaxTransportPayload, 0x55);
+  ASSERT_TRUE(t.send("alice", "bob", max_sized).ok());
+  auto received = t.receive("bob", kWait);
+  ASSERT_TRUE(received.ok()) << received.error().to_text();
+  EXPECT_EQ(received.value().payload.size(), sig::kMaxTransportPayload);
+}
+
+TEST_P(TransportConformance, TraceContextRidesTheEnvelope) {
+  auto& t = transport();
+  obs::TraceContext context;
+  context.trace_id = "trace-42";
+  context.origin = "alice";
+  context.span_id = 7;
+  ASSERT_TRUE(t.send("alice", "bob", Bytes{0x01}, &context).ok());
+  auto received = t.receive("bob", kWait);
+  ASSERT_TRUE(received.ok()) << received.error().to_text();
+  ASSERT_TRUE(received.value().trace_context.has_value());
+  EXPECT_EQ(received.value().trace_context->trace_id, "trace-42");
+  EXPECT_EQ(received.value().trace_context->span_id, 7u);
+}
+
+TEST_P(TransportConformance, MessagesAreAccounted) {
+  auto& t = transport();
+  t.reset_counters();
+  ASSERT_TRUE(t.send("alice", "bob", Bytes(10, 0x01)).ok());
+  ASSERT_TRUE(t.send("bob", "alice", Bytes(20, 0x02)).ok());
+  const auto stats = t.total();
+  EXPECT_EQ(stats.messages, 2u);
+  EXPECT_EQ(stats.bytes, 30u);
+}
+
+// The staged SecureChannel handshake driven purely through transport
+// messages: the initiator and responder only ever exchange bytes via
+// send()/receive(), exactly as two daemon-connected processes would.
+TEST_P(TransportConformance, StagedHandshakeOverTransport) {
+  auto& t = transport();
+  const TimeInterval validity{0, hours(1000)};
+  Rng rng(7777);
+  crypto::CertificateAuthority ca(
+      crypto::DistinguishedName::make("CA", "Conformance"), rng, validity,
+      256);
+  auto keys_i = crypto::generate_keypair(rng, 256);
+  auto keys_r = crypto::generate_keypair(rng, 256);
+  auto cert_i = ca.issue(crypto::DistinguishedName::make("init", "D"),
+                         keys_i.pub, validity);
+  auto cert_r = ca.issue(crypto::DistinguishedName::make("resp", "D"),
+                         keys_r.pub, validity);
+  sig::ChannelEndpoint endpoint_i{cert_i, keys_i.priv, nullptr, cert_r};
+  sig::ChannelEndpoint endpoint_r{cert_r, keys_r.priv, nullptr, cert_i};
+
+  sig::HandshakeInitiator initiator(endpoint_i, seconds(1), rng);
+  sig::HandshakeResponder responder(endpoint_r, seconds(1), rng);
+
+  ASSERT_TRUE(t.send("init", "resp", initiator.client_hello()).ok());
+  auto hello = t.receive("resp", kWait);
+  ASSERT_TRUE(hello.ok()) << hello.error().to_text();
+  auto server_hello = responder.on_client_hello(hello.value().payload);
+  ASSERT_TRUE(server_hello.ok()) << server_hello.error().to_text();
+
+  ASSERT_TRUE(t.send("resp", "init", server_hello.value()).ok());
+  auto hello_back = t.receive("init", kWait);
+  ASSERT_TRUE(hello_back.ok()) << hello_back.error().to_text();
+  auto finished = initiator.on_server_hello(hello_back.value().payload);
+  ASSERT_TRUE(finished.ok()) << finished.error().to_text();
+
+  ASSERT_TRUE(t.send("init", "resp", finished.value()).ok());
+  auto finished_at_resp = t.receive("resp", kWait);
+  ASSERT_TRUE(finished_at_resp.ok()) << finished_at_resp.error().to_text();
+  ASSERT_TRUE(
+      responder.on_finished(finished_at_resp.value().payload).ok());
+
+  ASSERT_TRUE(initiator.done());
+  ASSERT_TRUE(responder.done());
+
+  // Sealed records survive the transport in both directions.
+  const Bytes secret = {0x73, 0x65, 0x63};
+  sig::Record record = initiator.session().seal(secret);
+  ASSERT_TRUE(t.send("init", "resp", sig::encode_record(record)).ok());
+  auto sealed = t.receive("resp", kWait);
+  ASSERT_TRUE(sealed.ok()) << sealed.error().to_text();
+  auto decoded = sig::decode_record(sealed.value().payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_text();
+  auto opened = responder.session().open(decoded.value());
+  ASSERT_TRUE(opened.ok()) << opened.error().to_text();
+  EXPECT_EQ(opened.value(), secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, TransportConformance,
+                         ::testing::Values("fabric", "socket"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace e2e
