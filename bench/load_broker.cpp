@@ -10,9 +10,13 @@
 //            `pool_speedup_10k=` is gated (>= 5x) by tier1.sh --load.
 //   Phase B  sharded-broker churn (commit + release + audit + metrics)
 //            at each live level: RARs/sec and p50/p99 admission latency.
-//   Phase C  parallel tunnel admission: one worker per tunnel, T=1 vs
-//            T=hardware threads (pools are independently locked, so the
-//            sharded state must scale near-linearly).
+//   Phase C  parallel tunnel admission at T in {1,2,4,8}: one tunnel per
+//            caller. T=1 is the locked serial path (exactly what a world
+//            with admission_threads=0 runs); T>1 enables the
+//            thread-per-shard engine (ISSUE 8) with T owner workers, each
+//            owning its tunnel's pool. The RESULT line
+//            `tunnel_scaling_4t=` (4-thread / 1-thread) is gated by
+//            tier1.sh --load on hosts with >= 4 cores.
 //   Phase D  batch admission: commit_batch in chunks vs one-by-one
 //            commits against identically prepared brokers.
 //   Phase E  WAL overhead (ISSUE 6): the same commit churn with durability
@@ -20,6 +24,10 @@
 //            (one group-committed record per batch). The fsync modes price
 //            the durability contract; the batch row shows the group commit
 //            amortizing it.
+//   Phase F  1M-live footprint (ISSUE 8): resident bytes per live
+//            reservation with the arena-backed commitment map and the flat
+//            timeline (RSS delta from /proc/self/status plus the arena's
+//            own slab accounting). Skipped under --smoke.
 //
 // Latency percentiles are wall-clock (std::chrono::steady_clock), like the
 // e2e_bb_admission_us histogram and unlike every protocol-level metric —
@@ -238,15 +246,20 @@ BrokerSample bench_broker(std::size_t live, std::size_t ops) {
 
 struct ParallelSample {
   unsigned threads = 1;
+  bool engine = false;
   double rars_per_s = 0;
 };
 
-/// Phase C: `threads` workers, one tunnel each (the unit the broker's
-/// striped locking isolates), all hammering allocate/release churn.
-/// Tunnel::allocate skips the global audit log, so this measures the
-/// sharded admission state itself rather than one shared mutex.
+/// Phase C: `threads` callers, one tunnel each, all hammering
+/// allocate/release churn. With use_engine the broker runs the
+/// thread-per-shard engine (one owner worker per tunnel, ISSUE 8) and
+/// every call routes to its owner's queue; without it the callers lock
+/// into the pools directly (the serial production path). Tunnel::allocate
+/// skips the global audit log, so this measures the admission state
+/// itself rather than one shared mutex.
 ParallelSample bench_parallel_tunnels(unsigned threads, std::size_t live,
-                                      std::size_t ops_per_thread) {
+                                      std::size_t ops_per_thread,
+                                      bool use_engine) {
   BrokerHarness h;
   std::vector<Tunnel*> tunnels;
   for (unsigned t = 0; t < threads; ++t) {
@@ -267,6 +280,9 @@ ParallelSample bench_parallel_tunnels(unsigned threads, std::size_t live,
     }
     tunnels.push_back(tunnel);
   }
+  // Enable AFTER seeding: the seed fill runs caller-threaded, the timed
+  // loop runs owner-routed (the production order in ChainWorld).
+  if (use_engine) h.broker.enable_shard_engine(threads);
   const auto t0 = Clock::now();
   std::vector<std::thread> workers;
   for (unsigned t = 0; t < threads; ++t) {
@@ -289,8 +305,63 @@ ParallelSample bench_parallel_tunnels(unsigned threads, std::size_t live,
   const double elapsed = secs_since(t0);
   ParallelSample s;
   s.threads = threads;
+  s.engine = use_engine;
   s.rars_per_s =
       static_cast<double>(ops_per_thread) * threads / elapsed;
+  return s;
+}
+
+// --- Footprint (Phase F) ----------------------------------------------------
+
+/// Resident set size from /proc/self/status, in bytes (0 if unreadable).
+std::size_t resident_bytes() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return static_cast<std::size_t>(std::stoull(line.substr(6))) * 1024;
+    }
+  }
+  return 0;
+}
+
+struct FootprintSample {
+  std::size_t live = 0;
+  double populate_rars_per_s = 0;
+  std::size_t rss_delta_bytes = 0;
+  double rss_bytes_per_resv = 0;
+  double arena_bytes_per_resv = 0;
+};
+
+/// Phase F: hold `live` commitments in one pool and price each of them in
+/// resident memory. The arena accounting covers the commitment map's
+/// nodes; the RSS delta additionally sees the flat timeline, key strings
+/// and allocator slack — the honest number a 1M-reservation broker pays.
+FootprintSample bench_footprint(std::size_t live) {
+  FootprintSample s;
+  s.live = live;
+  const std::size_t rss0 = resident_bytes();
+  auto pool = std::make_unique<CapacityPool>(1e15);
+  const auto churn = make_churn(41, live, live);
+  const auto t0 = Clock::now();
+  std::size_t admitted = 0;
+  for (const ChurnOp& op : churn) {
+    if (pool
+            ->commit("f-" + std::to_string(admitted),
+                     {op.start, op.start + op.len}, op.rate)
+            .ok()) {
+      ++admitted;
+    }
+  }
+  const double elapsed = secs_since(t0);
+  const std::size_t rss1 = resident_bytes();
+  s.populate_rars_per_s = static_cast<double>(admitted) / elapsed;
+  s.rss_delta_bytes = rss1 > rss0 ? rss1 - rss0 : 0;
+  s.rss_bytes_per_resv =
+      static_cast<double>(s.rss_delta_bytes) / static_cast<double>(admitted);
+  s.arena_bytes_per_resv = static_cast<double>(pool->arena_bytes()) /
+                           static_cast<double>(admitted);
+  s.live = admitted;
   return s;
 }
 
@@ -474,29 +545,40 @@ int main(int argc, char** argv) {
                   "broker sustains load at the largest live level");
 
   bu::rule();
-  bu::note("Phase C: parallel tunnel admission (one tunnel per worker)");
+  bu::note("Phase C: parallel tunnel admission (thread-per-shard engine; "
+           "T=1 is the locked serial path)");
   const unsigned cores = std::thread::hardware_concurrency();
-  const unsigned hw = std::max(2u, cores);
+  std::vector<unsigned> thread_counts =
+      smoke ? std::vector<unsigned>{1, 4} : std::vector<unsigned>{1, 2, 4, 8};
   std::vector<ParallelSample> parallel_samples;
-  for (unsigned threads : {1u, hw}) {
-    const ParallelSample s =
-        bench_parallel_tunnels(threads, smoke ? 1000 : 10000, parallel_ops);
+  const std::size_t parallel_live = smoke ? 1000 : 100000;
+  double rars_1t = 0;
+  double rars_4t = 0;
+  for (unsigned threads : thread_counts) {
+    const ParallelSample s = bench_parallel_tunnels(
+        threads, parallel_live / std::max(1u, threads), parallel_ops,
+        /*use_engine=*/threads > 1);
     parallel_samples.push_back(s);
-    bu::row("threads=%-3u %10.0f RARs/s aggregate", s.threads,
-            s.rars_per_s);
+    bu::row("threads=%-3u %10.0f RARs/s aggregate  (%s)", s.threads,
+            s.rars_per_s, s.engine ? "shard engine" : "locked serial");
+    if (threads == 1) rars_1t = s.rars_per_s;
+    if (threads == 4) rars_4t = s.rars_per_s;
   }
-  const double scaling =
-      parallel_samples.back().rars_per_s / parallel_samples.front().rars_per_s;
-  bu::row("scaling %0.2fx across %u threads (%u cores)", scaling, hw, cores);
-  if (cores > 1) {
+  const double scaling = rars_4t / rars_1t;
+  std::printf("RESULT tunnel_scaling_4t=%.2f cores=%u\n", scaling, cores);
+  if (cores >= 4) {
+    ok &= bu::check(scaling >= 2.5,
+                    "thread-per-shard engine >= 2.5x serial at 4 threads");
+  } else if (cores > 1) {
     ok &= bu::check(scaling > 1.0,
-                    "independent tunnels admit faster with more workers");
+                    "independent shards admit faster with more workers");
   } else {
-    // One core: threads time-slice, so >1x aggregate is unattainable;
-    // record the samples and only require the contended run to survive.
-    ok &= bu::check(scaling > 0.5,
-                    "single-core host: contended run stays within 2x of "
-                    "serial (no pathological lock handoff)");
+    // One core: workers time-slice and every request pays a cross-thread
+    // handoff, so no aggregate speedup is attainable — record the samples
+    // and only require the engine runs to survive.
+    ok &= bu::check(rars_4t > 0,
+                    "single-core host: engine-routed churn completes "
+                    "(scaling gated only on multicore hosts)");
   }
 
   bu::rule();
@@ -529,10 +611,27 @@ int main(int argc, char** argv) {
   ok &= bu::check(wal_samples[2].rars_per_s > 0,
                   "fsync-before-ack sustains load");
 
+  FootprintSample footprint;
+  if (!smoke) {
+    bu::rule();
+    bu::note("Phase F: 1M-live footprint (arena map + flat timeline)");
+    footprint = bench_footprint(1000000);
+    bu::row("live=%-8zu populate %9.0f RARs/s   RSS %6.1f MiB "
+            "(%5.1f B/resv)   arena %5.1f B/resv",
+            footprint.live, footprint.populate_rars_per_s,
+            static_cast<double>(footprint.rss_delta_bytes) / (1024.0 * 1024.0),
+            footprint.rss_bytes_per_resv, footprint.arena_bytes_per_resv);
+    std::printf("RESULT footprint_bytes_per_resv_1m=%.1f\n",
+                footprint.rss_bytes_per_resv);
+    ok &= bu::check(footprint.live > 900000,
+                    "a million reservations stay live in one pool");
+  }
+
   if (!json_out.empty()) {
     std::ofstream out(json_out);
     out << "{\n \"bench\": \"load_broker\",\n \"smoke\": "
-        << (smoke ? "true" : "false") << ",\n \"pool\": [";
+        << (smoke ? "true" : "false") << ",\n \"cores\": " << cores
+        << ",\n \"pool\": [";
     for (std::size_t i = 0; i < pool_samples.size(); ++i) {
       const PoolSample& s = pool_samples[i];
       out << (i ? ",\n  " : "\n  ") << "{\"live\": " << s.live
@@ -554,9 +653,11 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < parallel_samples.size(); ++i) {
       const ParallelSample& s = parallel_samples[i];
       out << (i ? ",\n  " : "\n  ") << "{\"threads\": " << s.threads
+          << ", \"engine\": " << (s.engine ? "true" : "false")
           << ", \"rars_per_s\": " << s.rars_per_s << "}";
     }
-    out << "\n ],\n \"batch\": {\"batch_size\": " << batch.batch_size
+    out << "\n ],\n \"tunnel_scaling_4t\": " << scaling
+        << ",\n \"batch\": {\"batch_size\": " << batch.batch_size
         << ", \"individual_rars_per_s\": " << batch.individual_rars_per_s
         << ", \"batch_rars_per_s\": " << batch.batch_rars_per_s << "},\n"
         << " \"wal\": [";
@@ -567,7 +668,16 @@ int main(int argc, char** argv) {
           << ", \"p50_us\": " << s.p50_us << ", \"p99_us\": " << s.p99_us
           << "}";
     }
-    out << "\n ]\n}\n";
+    out << "\n ]";
+    if (!smoke) {
+      out << ",\n \"footprint\": {\"live\": " << footprint.live
+          << ", \"populate_rars_per_s\": " << footprint.populate_rars_per_s
+          << ", \"rss_delta_bytes\": " << footprint.rss_delta_bytes
+          << ", \"rss_bytes_per_resv\": " << footprint.rss_bytes_per_resv
+          << ", \"arena_bytes_per_resv\": " << footprint.arena_bytes_per_resv
+          << "}";
+    }
+    out << "\n}\n";
     std::printf("  wrote %s\n", json_out.c_str());
   }
   bu::dump_metrics_snapshot("load_broker");

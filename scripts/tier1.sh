@@ -53,8 +53,8 @@ fi
 if [[ "${1:-}" == "--load" ]]; then
   cmake -B build -S . >/dev/null
   cmake --build build -j --target bb_pool_equivalence_test \
-    bb_batch_admission_test load_broker fig3_signalling_latency \
-    tunnel_scaling >/dev/null
+    bb_batch_admission_test bb_shard_engine_test load_broker \
+    fig3_signalling_latency tunnel_scaling >/dev/null
   workdir=$(mktemp -d)
   trap 'rm -rf "$workdir"' EXIT
 
@@ -66,10 +66,13 @@ if [[ "${1:-}" == "--load" ]]; then
   ./build-asan/tests/bb_pool_equivalence_test
   echo "tier1 --load: pool equivalence OK (default + asan)"
 
-  # Concurrent batch-admit + sharded broker state under ThreadSanitizer.
+  # Concurrent batch-admit + sharded broker state + thread-per-shard
+  # engine (owner routing, WAL apply/finish split) under ThreadSanitizer.
   cmake --preset tsan >/dev/null
-  cmake --build build-tsan -j --target bb_batch_admission_test >/dev/null
+  cmake --build build-tsan -j --target bb_batch_admission_test \
+    bb_shard_engine_test >/dev/null
   ./build-tsan/tests/bb_batch_admission_test
+  ./build-tsan/tests/bb_shard_engine_test
   echo "tier1 --load: batch/concurrent admission OK under TSan"
 
   # Throughput gate: timeline pool >= 5x the reference scan at 10k live
@@ -88,6 +91,18 @@ speedup = float(m.group(1))
 print(f"tier1 --load: timeline pool speedup at 10k live = {speedup:.1f}x")
 if speedup < 5.0:
     sys.exit(f"FAIL: pool speedup {speedup:.2f}x below the 5x gate")
+# Thread-per-shard scaling gate (ISSUE 8): 4 engine workers must beat the
+# locked serial path by >= 2.5x — but only where 4 cores exist to scale
+# onto. On smaller hosts the engine pays cross-thread handoffs with no
+# parallelism to buy back, so the ratio is recorded, not gated.
+m = re.search(r"RESULT tunnel_scaling_4t=([0-9.]+) cores=([0-9]+)", text)
+if not m:
+    sys.exit("FAIL: load_broker did not report tunnel_scaling_4t")
+scaling, cores = float(m.group(1)), int(m.group(2))
+print(f"tier1 --load: tunnel scaling at 4 threads = {scaling:.2f}x "
+      f"({cores} cores)")
+if cores >= 4 and scaling < 2.5:
+    sys.exit(f"FAIL: 4-thread scaling {scaling:.2f}x below the 2.5x gate")
 EOF
 
   # Protocol byte-identity: the fig3 stdout must match the committed

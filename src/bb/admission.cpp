@@ -9,8 +9,14 @@
 namespace e2e::bb {
 
 CapacityPool::~CapacityPool() {
-  // Return this pool's contribution to the boundary gauge (tunnel pools
-  // come and go; the gauge must track live timelines only).
+  // Flush whatever the batching window still holds, then return this
+  // pool's contribution to the boundary gauge (tunnel pools come and go;
+  // the gauge must track live timelines only). No lock: nobody else may
+  // hold a reference during destruction.
+  if (pending_commits_ != 0 || pending_releases_ != 0 ||
+      pending_rejections_ != 0) {
+    flush_metrics_locked();
+  }
   if (boundaries_gauge_ != nullptr && reported_boundaries_ != 0) {
     boundaries_gauge_->add(-reported_boundaries_);
   }
@@ -21,8 +27,11 @@ CapacityPool::CapacityPool(const CapacityPool& other)
   std::lock_guard lock(*other.mutex_);
   capacity_ = other.capacity_;
   owner_domain_ = other.owner_domain_;
+  // Copy-assign keeps this side's fresh arena (POCCA is false); the copy
+  // never deallocates into the source's slabs.
   commitments_ = other.commitments_;
   timeline_ = other.timeline_;
+  metrics_flush_interval_ = other.metrics_flush_interval_;
 }
 
 CapacityPool& CapacityPool::operator=(const CapacityPool& other) {
@@ -35,6 +44,10 @@ CapacityPool::CapacityPool(CapacityPool&& other) noexcept = default;
 
 CapacityPool& CapacityPool::operator=(CapacityPool&& other) noexcept {
   if (this == &other) return *this;
+  if (pending_commits_ != 0 || pending_releases_ != 0 ||
+      pending_rejections_ != 0) {
+    flush_metrics_locked();
+  }
   if (boundaries_gauge_ != nullptr && reported_boundaries_ != 0) {
     boundaries_gauge_->add(-reported_boundaries_);
   }
@@ -43,11 +56,19 @@ CapacityPool& CapacityPool::operator=(CapacityPool&& other) noexcept {
   commitments_ = std::move(other.commitments_);
   timeline_ = std::move(other.timeline_);
   mutex_ = std::move(other.mutex_);
+  metrics_flush_interval_ = other.metrics_flush_interval_;
+  mutations_since_flush_ = other.mutations_since_flush_;
+  pending_commits_ = other.pending_commits_;
+  pending_releases_ = other.pending_releases_;
+  pending_rejections_ = other.pending_rejections_;
   commits_counter_ = other.commits_counter_;
   releases_counter_ = other.releases_counter_;
   rejections_counter_ = other.rejections_counter_;
   boundaries_gauge_ = other.boundaries_gauge_;
   reported_boundaries_ = other.reported_boundaries_;
+  other.pending_commits_ = 0;
+  other.pending_releases_ = 0;
+  other.pending_rejections_ = 0;
   other.boundaries_gauge_ = nullptr;
   other.reported_boundaries_ = 0;
   return *this;
@@ -56,7 +77,9 @@ CapacityPool& CapacityPool::operator=(CapacityPool&& other) noexcept {
 void CapacityPool::set_owner_domain(std::string domain) {
   std::lock_guard lock(*mutex_);
   if (domain == owner_domain_) return;
-  // Move any already-reported boundary count to the new label's series.
+  // Pending deltas and the reported boundary count belong to the OLD
+  // label's series: push them out before re-resolving instruments.
+  flush_metrics_locked();
   if (boundaries_gauge_ != nullptr && reported_boundaries_ != 0) {
     boundaries_gauge_->add(-reported_boundaries_);
   }
@@ -64,7 +87,18 @@ void CapacityPool::set_owner_domain(std::string domain) {
   owner_domain_ = std::move(domain);
   rejections_counter_ = nullptr;
   boundaries_gauge_ = nullptr;
-  publish_boundaries_locked();
+  flush_metrics_locked();
+}
+
+void CapacityPool::set_metrics_flush_interval(std::size_t n) {
+  std::lock_guard lock(*mutex_);
+  flush_metrics_locked();
+  metrics_flush_interval_ = n == 0 ? 1 : n;
+}
+
+void CapacityPool::flush_metrics() {
+  std::lock_guard lock(*mutex_);
+  flush_metrics_locked();
 }
 
 void CapacityPool::ensure_instruments_locked() const {
@@ -82,37 +116,43 @@ void CapacityPool::ensure_instruments_locked() const {
       &registry.gauge(obs::kBbPoolBoundaries, domain_labels);
 }
 
-void CapacityPool::publish_boundaries_locked() {
+void CapacityPool::flush_metrics_locked() {
   ensure_instruments_locked();
+  if (pending_commits_ != 0) {
+    commits_counter_->increment(pending_commits_);
+    pending_commits_ = 0;
+  }
+  if (pending_releases_ != 0) {
+    releases_counter_->increment(pending_releases_);
+    pending_releases_ = 0;
+  }
+  if (pending_rejections_ != 0) {
+    rejections_counter_->increment(pending_rejections_);
+    pending_rejections_ = 0;
+  }
   const double now = static_cast<double>(timeline_.size());
   if (now != reported_boundaries_) {
     boundaries_gauge_->add(now - reported_boundaries_);
     reported_boundaries_ = now;
+  }
+  mutations_since_flush_ = 0;
+}
+
+void CapacityPool::note_mutation_locked() {
+  if (++mutations_since_flush_ >= metrics_flush_interval_) {
+    flush_metrics_locked();
   }
 }
 
 // --- Timeline queries -------------------------------------------------------
 
 double CapacityPool::committed_at_locked(SimTime t) const {
-  // Floor lookup: the level of the greatest boundary <= t.
-  auto it = timeline_.upper_bound(t);
-  if (it == timeline_.begin()) return 0;
-  return std::prev(it)->second.level;
+  return timeline_.committed_at(t);
 }
 
 double CapacityPool::peak_committed_locked(
     const TimeInterval& interval) const {
-  if (interval.end <= interval.start) {
-    // Degenerate interval: the original scan reduced to committed_at(start)
-    // (no overlapping commitment contributes extra points).
-    return committed_at_locked(interval.start);
-  }
-  double peak = committed_at_locked(interval.start);
-  for (auto it = timeline_.upper_bound(interval.start);
-       it != timeline_.end() && it->first < interval.end; ++it) {
-    peak = std::max(peak, it->second.level);
-  }
-  return peak;
+  return timeline_.peak_committed(interval);
 }
 
 bool CapacityPool::can_admit_locked(const TimeInterval& interval,
@@ -202,41 +242,6 @@ double CapacityPool::headroom_reference(const TimeInterval& interval) const {
 
 // --- Mutation ---------------------------------------------------------------
 
-void CapacityPool::apply_locked(const TimeInterval& interval, double rate) {
-  auto add_boundary = [this](SimTime t) {
-    auto it = timeline_.lower_bound(t);
-    if (it == timeline_.end() || it->first != t) {
-      // New boundary: the level seeds from the floor entry (the step
-      // function is constant between existing boundaries).
-      const double seed =
-          it == timeline_.begin() ? 0.0 : std::prev(it)->second.level;
-      it = timeline_.emplace_hint(it, t, Boundary{seed, 0});
-    }
-    return it;
-  };
-  // Insert both boundaries before raising levels so the end boundary seeds
-  // with the pre-commit level (a commitment covers [start, end) only).
-  auto start_it = add_boundary(interval.start);
-  auto end_it = add_boundary(interval.end);
-  ++start_it->second.refs;
-  ++end_it->second.refs;
-  for (auto it = start_it; it != end_it; ++it) it->second.level += rate;
-  publish_boundaries_locked();
-}
-
-void CapacityPool::retire_locked(const TimeInterval& interval, double rate) {
-  auto start_it = timeline_.find(interval.start);
-  auto end_it = timeline_.find(interval.end);
-  for (auto it = start_it; it != end_it; ++it) it->second.level -= rate;
-  if (--start_it->second.refs == 0) timeline_.erase(start_it);
-  if (--end_it->second.refs == 0) timeline_.erase(end_it);
-  // Once the pool empties, drop the whole timeline: incremental subtraction
-  // may leave float residue on boundaries still referenced by other
-  // commitments, but an empty pool has an exactly-zero profile.
-  if (commitments_.empty()) timeline_.clear();
-  publish_boundaries_locked();
-}
-
 Status CapacityPool::commit_locked(const std::string& key,
                                    const TimeInterval& interval, double rate,
                                    bool use_reference) {
@@ -244,7 +249,7 @@ Status CapacityPool::commit_locked(const std::string& key,
     return make_error(ErrorCode::kInvalidArgument,
                       "commit: bad interval or rate");
   }
-  if (commitments_.contains(key)) {
+  if (commitments_.find(key) != commitments_.end()) {
     return make_error(ErrorCode::kConflict, "commit: duplicate key " + key);
   }
   const bool admit =
@@ -254,21 +259,21 @@ Status CapacityPool::commit_locked(const std::string& key,
                  capacity_ + kEpsilon)
           : can_admit_locked(interval, rate);
   if (!admit) {
-    ensure_instruments_locked();
-    rejections_counter_->increment();
+    ++pending_rejections_;
     const double headroom = use_reference
                                 ? capacity_ - peak_committed_reference_locked(
                                                   interval)
                                 : headroom_locked(interval);
+    note_mutation_locked();
     return make_error(ErrorCode::kAdmissionRejected,
                       "commit: insufficient capacity (headroom " +
                           std::to_string(headroom > 0 ? headroom : 0) +
                           " bits/s)");
   }
   commitments_.emplace(key, Commitment{interval, rate});
-  apply_locked(interval, rate);
-  ensure_instruments_locked();
-  commits_counter_->increment();
+  timeline_.apply(interval, rate);
+  ++pending_commits_;
+  note_mutation_locked();
   return Status::ok_status();
 }
 
@@ -314,9 +319,13 @@ Status CapacityPool::release(const std::string& key) {
   }
   const Commitment c = it->second;
   commitments_.erase(it);
-  retire_locked(c.interval, c.rate);
-  ensure_instruments_locked();
-  releases_counter_->increment();
+  timeline_.retire(c.interval, c.rate);
+  // Once the pool empties, drop the whole timeline: incremental subtraction
+  // may leave float residue on boundaries still referenced by other
+  // commitments, but an empty pool has an exactly-zero profile.
+  if (commitments_.empty()) timeline_.clear();
+  ++pending_releases_;
+  note_mutation_locked();
   return Status::ok_status();
 }
 

@@ -17,10 +17,18 @@
 // O(log n + k) — against the original full-map scan, which is kept intact
 // as the `*_reference` oracle (same pattern as crypto's modexp_reference).
 //
+// ISSUE 8 footprint/contention work: the index is a FlatTimeline (sorted
+// vector, no per-node allocation — bb/timeline.hpp keeps the old map as
+// a differential oracle), commitment map nodes come from a slab arena
+// (bb/arena.hpp), and metric publication can be batched
+// (set_metrics_flush_interval) so a pool owned by a shard worker does not
+// bounce global counter cache lines on every admission.
+//
 // Pools are internally locked: commit() is an atomic check+insert, so
 // brokers and tunnels can run admission from worker threads without an
 // external mutex. Single-threaded call sequences behave exactly as the
-// pre-lock implementation did.
+// pre-lock implementation did. Under the shard engine the lock is
+// uncontended (one owner thread) and cheap.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "bb/arena.hpp"
+#include "bb/timeline.hpp"
 #include "common/clock.hpp"
 #include "common/result.hpp"
 
@@ -51,8 +61,9 @@ class CapacityPool {
 
   ~CapacityPool();
 
-  // Copies get independent state and a fresh mutex; moved-from pools are
-  // empty shells (only destruction/assignment are valid afterwards).
+  // Copies get independent state (and a fresh mutex + arena); moved-from
+  // pools are empty shells (only destruction/assignment are valid
+  // afterwards).
   CapacityPool(const CapacityPool& other);
   CapacityPool& operator=(const CapacityPool& other);
   CapacityPool(CapacityPool&& other) noexcept;
@@ -65,6 +76,16 @@ class CapacityPool {
   /// registration (tunnels), before concurrent use.
   void set_owner_domain(std::string domain);
   const std::string& owner_domain() const { return owner_domain_; }
+
+  /// Publish counter/gauge deltas every `n` mutations instead of every
+  /// one (1 = immediate, the default, byte-identical to the historical
+  /// behavior). A pool owned by a shard worker sets this high so the
+  /// global registry's atomics stop bouncing between cores; pending
+  /// deltas flush on the next interval boundary, on flush_metrics(), and
+  /// on destruction.
+  void set_metrics_flush_interval(std::size_t n);
+  /// Force pending metric deltas out to the global registry now.
+  void flush_metrics();
 
   /// Peak committed rate over `interval`.
   double peak_committed(const TimeInterval& interval) const;
@@ -100,7 +121,7 @@ class CapacityPool {
 
   bool holds(const std::string& key) const {
     std::lock_guard lock(*mutex_);
-    return commitments_.contains(key);
+    return commitments_.find(key) != commitments_.end();
   }
   std::size_t commitment_count() const {
     std::lock_guard lock(*mutex_);
@@ -134,6 +155,13 @@ class CapacityPool {
     return out;
   }
 
+  /// Slab bytes held by this pool's node arena (footprint reporting —
+  /// bench/load_broker's 1M-live point).
+  std::size_t arena_bytes() const {
+    std::lock_guard lock(*mutex_);
+    return commitments_.get_allocator().slab_bytes();
+  }
+
   // --- Reference oracle -----------------------------------------------------
   // The original implementation: committed_at scans every commitment,
   // peak_committed re-evaluates committed_at per boundary point. Kept for
@@ -156,13 +184,12 @@ class CapacityPool {
     double rate = 0;
   };
 
-  /// One timeline entry: committed level on [time, next boundary), and how
-  /// many commitments start or end here (pruned at zero, so float residue
-  /// from incremental add/subtract cannot accumulate on dead boundaries).
-  struct Boundary {
-    double level = 0;
-    int refs = 0;
-  };
+  /// Key order is load-bearing: commitments_view(), snapshots and the
+  /// reference oracle's float-summation order all iterate it. The arena
+  /// allocator only changes where the nodes live.
+  using CommitmentMap =
+      std::map<std::string, Commitment, std::less<std::string>,
+               ArenaAllocator<std::pair<const std::string, Commitment>>>;
 
   double committed_at_locked(SimTime t) const;
   double peak_committed_locked(const TimeInterval& interval) const;
@@ -172,21 +199,27 @@ class CapacityPool {
   double committed_at_reference_locked(SimTime t) const;
   Status commit_locked(const std::string& key, const TimeInterval& interval,
                        double rate, bool use_reference);
-  /// Insert `key`'s rate into the timeline (boundaries + levels).
-  void apply_locked(const TimeInterval& interval, double rate);
-  /// Remove a released commitment from the timeline.
-  void retire_locked(const TimeInterval& interval, double rate);
-  /// Report boundary-count changes to the e2e_bb_pool_boundaries gauge.
-  void publish_boundaries_locked();
+  /// Count one mutation against the flush interval; flush when due.
+  void note_mutation_locked();
+  /// Push pending counter deltas + the boundary gauge to the registry.
+  void flush_metrics_locked();
   void ensure_instruments_locked() const;
 
   double capacity_ = 0;
   std::string owner_domain_;
-  std::map<std::string, Commitment> commitments_;
-  std::map<SimTime, Boundary> timeline_;
+  CommitmentMap commitments_;
+  FlatTimeline timeline_;
 
   // unique_ptr keeps the pool movable (tunnels live in maps).
   mutable std::unique_ptr<std::mutex> mutex_;
+
+  // Metric batching (ISSUE 8): counter increments and the boundary gauge
+  // accumulate locally and flush every metrics_flush_interval_ mutations.
+  std::size_t metrics_flush_interval_ = 1;
+  std::size_t mutations_since_flush_ = 0;
+  std::uint64_t pending_commits_ = 0;
+  std::uint64_t pending_releases_ = 0;
+  std::uint64_t pending_rejections_ = 0;
 
   // Cached instrument pointers: MetricsRegistry hands out references that
   // stay valid for its lifetime, and resolving one takes the registry

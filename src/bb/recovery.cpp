@@ -19,18 +19,9 @@ bool file_exists(const std::string& path) {
   return !path.empty() && ::stat(path.c_str(), &st) == 0;
 }
 
-/// Numeric suffix of a broker-issued handle ("DomainA-resv-17" -> 17);
-/// 0 when the handle has a different shape.
-std::uint64_t handle_number(const std::string& id) {
-  const std::size_t dash = id.rfind('-');
-  if (dash == std::string::npos || dash + 1 >= id.size()) return 0;
-  std::uint64_t value = 0;
-  for (std::size_t i = dash + 1; i < id.size(); ++i) {
-    if (id[i] < '0' || id[i] > '9') return 0;
-    value = value * 10 + static_cast<std::uint64_t>(id[i] - '0');
-  }
-  return value;
-}
+// Handle-number parsing lives in bb/reservation.hpp
+// (reservation_handle_number) — shared with the broker's record-shard
+// routing so recovery and routing agree on every handle's number.
 
 void count(const char* metric, const char* label_key,
            const char* label_value, std::uint64_t by = 1) {
@@ -47,7 +38,7 @@ struct Replayer {
   std::uint64_t max_serial = 0;
 
   void note_handle(const std::string& id) {
-    max_handle = std::max(max_handle, handle_number(id));
+    max_handle = std::max(max_handle, reservation_handle_number(id));
   }
 
   /// Fold one apply outcome into the report: success = replayed,

@@ -1,0 +1,147 @@
+// Thread-per-shard execution engine for shared-nothing admission.
+//
+// ISSUE 8 / ROADMAP "Fix parallel scaling": the PR-5 design let every
+// caller thread lock into shared pool state, so admission scaled with
+// lock+cache-line transfer cost, not cores. This engine inverts the
+// ownership: each shard of broker state (the broker's own pools, each
+// tunnel's pool) is OWNED by exactly one worker thread, and callers route
+// requests to the owner's MPSC queue instead of locking the state
+// themselves. Owned state stays resident in its owner core's cache; the
+// only cross-core traffic is the request/completion handoff — the
+// Hummingbird discipline (PAPERS.md) applied to our CapacityPool layer.
+//
+// Shapes of use:
+//   - run_on(worker, fn)  — synchronous: enqueue, block for the result.
+//     Runs fn inline when the calling thread IS that worker (a worker
+//     task may re-enter broker code; inline execution keeps that
+//     deadlock-free).
+//   - post(worker, task)  — asynchronous fire-and-forget; callers gather
+//     completions themselves (see BandwidthBroker::allocate_across_tunnels,
+//     which pipelines one task per owning worker and joins once).
+//
+// The WAL group-commit interaction is deliberate: workers only APPEND
+// (buffer under the log mutex, microseconds); the blocking commit/fsync
+// runs on the CALLER's thread after the worker replies. A worker never
+// sleeps in an fsync, so durability cannot serialize the shard fleet.
+//
+// Owned containers keep their internal mutexes (uncontended when routed,
+// so ~free) — correctness never depends on routing, which keeps every
+// non-engine caller (tests, recovery, purge) valid unchanged.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace e2e::obs {
+class Counter;
+class Gauge;
+}  // namespace e2e::obs
+
+namespace e2e::bb {
+
+class ShardEngine {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `workers` owner threads (>= 1; 0 is clamped to 1).
+  explicit ShardEngine(std::size_t workers);
+  /// Drains every queue, then joins the workers.
+  ~ShardEngine();
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueue `task` onto `worker`'s queue and return immediately.
+  void post(std::size_t worker, Task task);
+
+  /// Run `fn` on `worker` and block until it completes, returning its
+  /// result. Executes inline when the calling thread already is that
+  /// worker (re-entrant broker paths must not self-deadlock).
+  template <typename F>
+  auto run_on(std::size_t worker, F&& fn) -> std::invoke_result_t<F&> {
+    using R = std::invoke_result_t<F&>;
+    if (current_worker() == static_cast<std::ptrdiff_t>(worker)) {
+      return fn();
+    }
+    Completion done;
+    if constexpr (std::is_void_v<R>) {
+      post(worker, [&] {
+        fn();
+        done.signal();
+      });
+      done.wait();
+    } else {
+      std::optional<R> result;
+      post(worker, [&] {
+        result.emplace(fn());
+        done.signal();
+      });
+      done.wait();
+      return std::move(*result);
+    }
+  }
+
+  /// True when the calling thread is one of THIS engine's workers.
+  bool on_worker_thread() const { return current_worker() >= 0; }
+
+  /// Index of the calling worker within this engine, -1 for foreign
+  /// threads.
+  std::ptrdiff_t current_worker() const;
+
+  /// Tasks queued across all workers right now (mirrors the
+  /// e2e_bb_shard_queue_depth gauge).
+  std::size_t queue_depth() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Stack-allocated completion latch for run_on (no promise/future heap
+  /// traffic on the admission path).
+  struct Completion {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    void signal() {
+      // notify under the lock: this latch lives on the waiter's stack,
+      // and the waiter may destroy it the instant wait() returns. An
+      // unlocked notify could still be touching cv at that point.
+      std::lock_guard lock(m);
+      done = true;
+      cv.notify_one();
+    }
+    void wait() {
+      std::unique_lock lock(m);
+      cv.wait(lock, [&] { return done; });
+    }
+  };
+
+  struct Worker {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Task> queue;
+    bool stop = false;
+    /// e2e_bb_shard_requests_total{worker=i}, bumped once per drained
+    /// batch, not per task.
+    obs::Counter* requests = nullptr;
+    std::thread thread;
+  };
+
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::size_t> depth_{0};
+  obs::Gauge* depth_gauge_ = nullptr;
+};
+
+}  // namespace e2e::bb

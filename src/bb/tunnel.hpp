@@ -7,12 +7,16 @@
 // long as the total bandwidth remains less than the size of the tunnel."
 #pragma once
 
+#include <cstdint>
 #include <set>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "bb/admission.hpp"
 #include "bb/reservation.hpp"
+#include "bb/shard_engine.hpp"
 #include "bb/wal.hpp"
 
 namespace e2e::bb {
@@ -43,6 +47,23 @@ class Tunnel {
   /// registration (or recovery completion), before concurrent use.
   void set_wal(WriteAheadLog* wal) { wal_ = wal; }
 
+  /// Hand this tunnel's admission state to shard-engine worker `owner`
+  /// (shared-nothing mode): allocate/release route their pool+WAL-append
+  /// work to that worker's queue, so the pool stays resident in one
+  /// core's cache. nullptr reverts to caller-thread execution. Set at
+  /// setup (BandwidthBroker::enable_shard_engine), not under traffic.
+  /// The blocking WAL group commit always stays on the CALLER's thread —
+  /// an fsync must never stall the owning worker's queue.
+  void set_engine(ShardEngine* engine, std::size_t owner) {
+    engine_ = engine;
+    owner_ = owner;
+    // An owned pool batches its registry traffic; totals flush on
+    // disable/destruction, so engine on/off reaches identical counts.
+    pool_.set_metrics_flush_interval(engine == nullptr ? 1 : 256);
+  }
+  ShardEngine* engine() const { return engine_; }
+  std::size_t owner_worker() const { return owner_; }
+
   /// Principals authorized to draw bandwidth from this tunnel. Setup-time
   /// only: authorization is not synchronized against concurrent allocate().
   /// Durable-before-ack like every grant: if the WAL commit fails, the
@@ -65,30 +86,6 @@ class Tunnel {
   }
   const std::set<std::string>& authorized() const { return authorized_; }
 
-  /// Allocate a per-flow slice inside the aggregate. Only the two end
-  /// domains run this check — no intermediate signalling. Thread-safe:
-  /// the pool's internal lock makes the check-and-commit atomic.
-  Status allocate(const ReservationId& sub_id, const std::string& user_dn,
-                  const TimeInterval& interval, double rate) {
-    auto gate = admission_gate(user_dn, interval);
-    if (!gate.ok()) return gate;
-    auto status = pool_.commit(sub_id, interval, rate);
-    if (status.ok() && wal_ != nullptr) {
-      auto durable = wal_->log(owner_domain_, wal_kind::kTunnelAlloc,
-                               {{"tunnel", id_},
-                                {"sub_id", sub_id},
-                                {"user", user_dn},
-                                {"start", std::to_string(interval.start)},
-                                {"end", std::to_string(interval.end)},
-                                {"rate", wal_format_double(rate)}});
-      if (!durable.ok()) {
-        (void)pool_.release(sub_id);  // never ack what isn't durable
-        return durable;
-      }
-    }
-    return status;
-  }
-
   /// One per-flow request inside a batch allocation.
   struct SubFlowRequest {
     ReservationId sub_id;
@@ -97,12 +94,86 @@ class Tunnel {
     double rate = 0;
   };
 
+  /// Allocate a per-flow slice inside the aggregate. Only the two end
+  /// domains run this check — no intermediate signalling. Thread-safe:
+  /// the pool's internal lock makes the check-and-commit atomic (and the
+  /// shard engine, when attached, serializes the apply on the owner).
+  Status allocate(const ReservationId& sub_id, const std::string& user_dn,
+                  const TimeInterval& interval, double rate) {
+    std::uint64_t lsn = 0;
+    const SubFlowRequest flow{sub_id, user_dn, interval, rate};
+    auto status = run_owned([&] { return allocate_apply(flow, &lsn); });
+    if (!status.ok()) return status;
+    if (lsn != 0) {
+      // Finish half, on the caller: block for the group commit. A sync
+      // failure unwinds the grant on the owner — never ack what isn't
+      // durable.
+      auto durable = wal_->commit(lsn);
+      if (!durable.ok()) {
+        run_owned([&] { allocate_unwind(sub_id); });
+        return durable;
+      }
+    }
+    return status;
+  }
+
+  /// Apply half of allocate(): authorization gate, pool commit, WAL
+  /// *append* (no sync). Runs on the owning worker in engine mode —
+  /// BandwidthBroker::allocate_across_tunnels posts it directly to
+  /// pipeline a cross-tunnel batch. When it sets `*lsn` (non-zero), the
+  /// caller owns the finish half: WriteAheadLog::commit(lsn) before
+  /// acking, allocate_unwind() on the owner if that fails.
+  Status allocate_apply(const SubFlowRequest& flow, std::uint64_t* lsn) {
+    auto gate = admission_gate(flow.user_dn, flow.interval);
+    if (!gate.ok()) return gate;
+    auto status = pool_.commit(flow.sub_id, flow.interval, flow.rate);
+    if (status.ok() && wal_ != nullptr) {
+      *lsn = wal_->append(
+          owner_domain_, wal_kind::kTunnelAlloc,
+          {{"tunnel", id_},
+           {"sub_id", flow.sub_id},
+           {"user", flow.user_dn},
+           {"start", std::to_string(flow.interval.start)},
+           {"end", std::to_string(flow.interval.end)},
+           {"rate", wal_format_double(flow.rate)}});
+    }
+    return status;
+  }
+
+  /// Roll back an applied-but-not-durable allocation (see allocate_apply).
+  void allocate_unwind(const ReservationId& sub_id) {
+    (void)pool_.release(sub_id);
+  }
+
   /// Admit a vector of per-flow requests against the aggregate in one
   /// pool-lock acquisition (sorted by interval start; see
   /// CapacityPool::commit_batch). Statuses come back in input order;
   /// authorization/lifetime failures never reach the pool.
   std::vector<Status> allocate_batch(
       const std::vector<SubFlowRequest>& flows) {
+    std::uint64_t lsn = 0;
+    std::vector<std::size_t> granted;
+    auto statuses = run_owned(
+        [&] { return allocate_batch_apply(flows, &lsn, &granted); });
+    if (lsn != 0) {
+      auto durable = wal_->commit(lsn);
+      if (!durable.ok()) {
+        run_owned([&] {
+          for (std::size_t i : granted) allocate_unwind(flows[i].sub_id);
+        });
+        for (std::size_t i : granted) statuses[i] = durable;
+      }
+    }
+    return statuses;
+  }
+
+  /// Apply half of allocate_batch(): gates, one pool commit_batch, ONE
+  /// WAL record appended for the granted flows (the group commit makes a
+  /// batch of N flows cost one line and one fsync). Same finish contract
+  /// as allocate_apply; `*granted` receives the indexes to unwind.
+  std::vector<Status> allocate_batch_apply(
+      const std::vector<SubFlowRequest>& flows, std::uint64_t* lsn,
+      std::vector<std::size_t>* granted) {
     std::vector<Status> statuses(flows.size(), Status::ok_status());
     std::vector<CapacityPool::BatchRequest> pool_batch;
     std::vector<std::size_t> pool_index;
@@ -122,44 +193,41 @@ class Tunnel {
     for (std::size_t j = 0; j < pool_statuses.size(); ++j) {
       statuses[pool_index[j]] = std::move(pool_statuses[j]);
     }
-    if (wal_ != nullptr) {
-      // ONE record for the whole batch (granted flows only): the group
-      // commit makes a batch of N flows cost one line and one fsync.
+    for (std::size_t i : pool_index) {
+      if (statuses[i].ok()) granted->push_back(i);
+    }
+    if (wal_ != nullptr && !granted->empty()) {
       std::vector<WalFields> items;
-      for (std::size_t j = 0; j < pool_statuses.size(); ++j) {
-        const std::size_t i = pool_index[j];
-        if (!statuses[i].ok()) continue;
+      items.reserve(granted->size());
+      for (std::size_t i : *granted) {
         items.push_back({{"sub_id", flows[i].sub_id},
                          {"user", flows[i].user_dn},
                          {"start", std::to_string(flows[i].interval.start)},
                          {"end", std::to_string(flows[i].interval.end)},
                          {"rate", wal_format_double(flows[i].rate)}});
       }
-      if (!items.empty()) {
-        auto durable = wal_->log(
-            owner_domain_, wal_kind::kTunnelAllocBatch,
-            {{"tunnel", id_}, {"count", std::to_string(items.size())}},
-            std::move(items));
-        if (!durable.ok()) {
-          for (std::size_t j = 0; j < pool_statuses.size(); ++j) {
-            const std::size_t i = pool_index[j];
-            if (statuses[i].ok()) {
-              (void)pool_.release(flows[i].sub_id);
-              statuses[i] = durable;
-            }
-          }
-        }
-      }
+      *lsn = wal_->append(
+          owner_domain_, wal_kind::kTunnelAllocBatch,
+          {{"tunnel", id_}, {"count", std::to_string(items.size())}},
+          std::move(items));
     }
     return statuses;
   }
 
   Status release(const ReservationId& sub_id) {
-    auto status = pool_.release(sub_id);
-    if (status.ok() && wal_ != nullptr) {
-      (void)wal_->log(owner_domain_, wal_kind::kTunnelRelease,
-                      {{"tunnel", id_}, {"sub_id", sub_id}});
-    }
+    std::uint64_t lsn = 0;
+    auto status = run_owned([&] {
+      auto s = pool_.release(sub_id);
+      if (s.ok() && wal_ != nullptr) {
+        lsn = wal_->append(owner_domain_, wal_kind::kTunnelRelease,
+                           {{"tunnel", id_}, {"sub_id", sub_id}});
+      }
+      return s;
+    });
+    // Apply-then-log: a lost release record is conservative on replay
+    // (capacity stays reserved, never double-granted), so the sync result
+    // does not gate the status — same contract as before the engine.
+    if (lsn != 0) (void)wal_->commit(lsn);
     return status;
   }
 
@@ -185,6 +253,14 @@ class Tunnel {
   std::size_t active_allocations() const { return pool_.commitment_count(); }
 
  private:
+  /// Run `fn` on the owning shard worker (inline without an engine, or
+  /// when the calling thread already is the owner).
+  template <typename F>
+  auto run_owned(F&& fn) -> std::invoke_result_t<F&> {
+    if (engine_ == nullptr) return fn();
+    return engine_->run_on(owner_, std::forward<F>(fn));
+  }
+
   /// Authorization + lifetime checks shared by allocate()/allocate_batch().
   Status admission_gate(const std::string& user_dn,
                         const TimeInterval& interval) const {
@@ -206,6 +282,8 @@ class Tunnel {
   std::set<std::string> authorized_;
   std::string owner_domain_;
   WriteAheadLog* wal_ = nullptr;  // owned by the deployment, not the tunnel
+  ShardEngine* engine_ = nullptr;  // owned by the broker, not the tunnel
+  std::size_t owner_ = 0;          // owning worker index when engine_ set
 };
 
 }  // namespace e2e::bb

@@ -9,7 +9,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <sstream>
+#include <tuple>
 
 #include "obs/audit.hpp"
 #include "obs/instruments.hpp"
@@ -27,35 +29,59 @@ using obs::kChainHexDigestLen;
 
 constexpr std::size_t kHashMarkerLen = sizeof(obs::kChainHashMarker) - 1;
 
-void fields_to_json(const WalFields& fields, std::ostringstream& out) {
-  out << "{";
+void fields_to_json(const WalFields& fields, std::string& out) {
+  out += '{';
   for (std::size_t i = 0; i < fields.size(); ++i) {
-    if (i > 0) out << ",";
-    out << "\"" << chain_json_escape(fields[i].first) << "\":\""
-        << chain_json_escape(fields[i].second) << "\"";
+    if (i > 0) out += ',';
+    out += '"';
+    out += chain_json_escape(fields[i].first);
+    out += "\":\"";
+    out += chain_json_escape(fields[i].second);
+    out += '"';
   }
-  out << "}";
+  out += '}';
+}
+
+/// The per-record payload between the `seq` field and the `prev` link:
+/// everything that does NOT depend on the record's position in the chain.
+/// append() renders this part OUTSIDE the log mutex (the field escaping
+/// dominates encoding cost — the nosync-slower-than-off anomaly in
+/// BENCH_admission.json was every appender serializing through the lock
+/// to run it); canonical_body() splices the same bytes between the
+/// position-dependent prefix/suffix, so the chain hash covers identical
+/// bytes either way.
+void append_payload(const WalRecord& record, std::string& out) {
+  out += ",\"at\":";
+  out += std::to_string(record.at);
+  out += ",\"domain\":\"";
+  out += chain_json_escape(record.domain);
+  out += "\",\"kind\":\"";
+  out += chain_json_escape(record.kind);
+  out += "\",\"fields\":";
+  fields_to_json(record.fields, out);
+  if (!record.items.empty()) {
+    out += ",\"items\":[";
+    for (std::size_t i = 0; i < record.items.size(); ++i) {
+      if (i > 0) out += ',';
+      fields_to_json(record.items[i], out);
+    }
+    out += ']';
+  }
 }
 
 /// The record as JSON *without* the trailing hash field — the exact bytes
 /// the chain hash covers (same discipline as obs/audit.cpp).
 std::string canonical_body(const WalRecord& record) {
-  std::ostringstream out;
-  out << "{\"seq\":" << record.seq << ",\"at\":" << record.at
-      << ",\"domain\":\"" << chain_json_escape(record.domain)
-      << "\",\"kind\":\"" << chain_json_escape(record.kind)
-      << "\",\"fields\":";
-  fields_to_json(record.fields, out);
-  if (!record.items.empty()) {
-    out << ",\"items\":[";
-    for (std::size_t i = 0; i < record.items.size(); ++i) {
-      if (i > 0) out << ",";
-      fields_to_json(record.items[i], out);
-    }
-    out << "]";
-  }
-  out << ",\"prev\":\"" << record.prev_hash << "\"}";
-  return out.str();
+  std::string out;
+  out.reserve(192 + 64 * (record.fields.size() +
+                          record.items.size() * 8));
+  out += "{\"seq\":";
+  out += std::to_string(record.seq);
+  append_payload(record, out);
+  out += ",\"prev\":\"";
+  out += record.prev_hash;
+  out += "\"}";
+  return out;
 }
 
 // --- strict parser for the writer's exact format -----------------------------
@@ -309,9 +335,9 @@ Result<std::string> wal_field(const WalFields& fields,
 }
 
 std::string wal_render_flat_object(const WalFields& fields) {
-  std::ostringstream out;
+  std::string out;
   fields_to_json(fields, out);
-  return out.str();
+  return out;
 }
 
 Result<WalFields> wal_parse_flat_object(const std::string& line) {
@@ -429,6 +455,31 @@ void WriteAheadLog::ensure_instruments() {
   bytes_counter_ = &registry.counter(obs::kBbWalBytesTotal);
   fsyncs_counter_ = &registry.counter(obs::kBbWalFsyncsTotal);
   group_size_hist_ = &registry.histogram(obs::kBbWalGroupCommitRecords);
+  constexpr const char* kKinds[] = {
+      wal_kind::kAdmit,          wal_kind::kAdmitBatch,
+      wal_kind::kRelease,        wal_kind::kReleaseBatch,
+      wal_kind::kTunnelRegister, wal_kind::kTunnelAuthorize,
+      wal_kind::kTunnelAlloc,    wal_kind::kTunnelAllocBatch,
+      wal_kind::kTunnelRelease,  wal_kind::kDelegationSerial,
+  };
+  static_assert(std::size(kKinds) ==
+                std::tuple_size_v<decltype(records_counters_)>);
+  for (std::size_t i = 0; i < std::size(kKinds); ++i) {
+    records_counters_[i] = {
+        kKinds[i],
+        &registry.counter(obs::kBbWalRecordsTotal, {{"kind", kKinds[i]}})};
+  }
+}
+
+obs::Counter* WriteAheadLog::records_counter_for(
+    const std::string& kind) const {
+  for (const auto& [name, counter] : records_counters_) {
+    if (kind == name) return counter;
+  }
+  // Unknown kinds never occur in practice (the wal_kind set is closed);
+  // keep the slow path so a future kind still counts somewhere.
+  return &obs::MetricsRegistry::global().counter(obs::kBbWalRecordsTotal,
+                                                 {{"kind", kind}});
 }
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::open(
@@ -474,30 +525,49 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::open(
 std::uint64_t WriteAheadLog::append(const std::string& domain,
                                     const std::string& kind, WalFields fields,
                                     std::vector<WalFields> items) {
+  // Render everything that doesn't depend on the record's chain position
+  // BEFORE taking the log mutex. Field escaping dominates encoding cost;
+  // doing it under the lock serialized every concurrent appender (the WAL
+  // "nosync slower than off" anomaly).
   WalRecord record;
   record.at = obs::current_span_ref().at;
   record.domain = domain;
   record.kind = kind;
   record.fields = std::move(fields);
   record.items = std::move(items);
+  std::string payload;
+  payload.reserve(192 + 64 * (record.fields.size() +
+                              record.items.size() * 8));
+  append_payload(record, payload);
+
   std::uint64_t seq = 0;
   std::size_t line_bytes = 0;
   {
     std::lock_guard lock(mutex_);
     record.seq = seq = next_seq_++;
     record.prev_hash = head_hash_.empty() ? genesis_hash() : head_hash_;
-    record.hash =
-        chain_sha256_hex(record.prev_hash + canonical_body(record));
+    // Byte-identical to canonical_body(record): position-dependent prefix
+    // + the pre-rendered payload + the prev link.
+    std::string body;
+    body.reserve(payload.size() + 2 * kChainHexDigestLen + 64);
+    body += "{\"seq\":";
+    body += std::to_string(record.seq);
+    body += payload;
+    body += ",\"prev\":\"";
+    body += record.prev_hash;
+    body += "\"}";
+    record.hash = chain_sha256_hex(record.prev_hash + body);
     head_hash_ = record.hash;
-    const std::string line = record.to_jsonl();
-    line_bytes = line.size() + 1;
-    buffer_ += line;
+    body.pop_back();  // drop the closing '}' to splice the hash in
+    body += kChainHashMarker;
+    body += record.hash;
+    body += "\"}";
+    line_bytes = body.size() + 1;
+    buffer_ += body;
     buffer_ += '\n';
     ++buffered_records_;
   }
-  obs::MetricsRegistry::global()
-      .counter(obs::kBbWalRecordsTotal, {{"kind", kind}})
-      .increment();
+  records_counter_for(kind)->increment();
   bytes_counter_->increment(line_bytes);
   return seq;
 }

@@ -23,6 +23,7 @@
 // breaks the hash chain and fails recovery instead of replaying garbage.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -203,6 +204,11 @@ class WriteAheadLog {
                 std::uint64_t next_seq, std::string head_hash);
 
   void ensure_instruments();
+  /// Cached per-kind e2e_bb_wal_records_total counter. The wal_kind set is
+  /// closed, so all of them resolve once at open; append() never takes the
+  /// registry mutex (a per-append labeled lookup was a measurable slice of
+  /// the nosync anomaly).
+  obs::Counter* records_counter_for(const std::string& kind) const;
 
   std::string path_;
   SyncMode mode_;
@@ -222,6 +228,7 @@ class WriteAheadLog {
   obs::Counter* bytes_counter_ = nullptr;
   obs::Counter* fsyncs_counter_ = nullptr;
   obs::Histogram* group_size_hist_ = nullptr;
+  std::array<std::pair<const char*, obs::Counter*>, 10> records_counters_{};
 };
 
 }  // namespace e2e::bb

@@ -202,6 +202,16 @@ class ChainWorld {
         brokers_[i]->attach_wal(wals_[i].get());
       }
     }
+    // Shared-nothing admission: each broker gets a thread-per-shard engine
+    // sized like the legacy pool. Enabled LAST — recovery and WAL attach
+    // above run caller-threaded; the engine takes ownership only once the
+    // world's state is fully wired. Grants/handles/metric totals are
+    // identical with the engine on or off.
+    if (config.admission_threads > 0) {
+      for (auto& broker : brokers_) {
+        broker->enable_shard_engine(config.admission_threads);
+      }
+    }
   }
 
   /// The world-owned admission worker pool (nullptr when

@@ -38,6 +38,10 @@ std::vector<MetricInfo> build_catalog() {
        "Reservations committed by a broker"},
       {kBbReservationsReleasedTotal, MetricType::kCounter, kOne, {"domain"},
        "Reservations released or purged by a broker"},
+      {kBbShardQueueDepth, MetricType::kGauge, kOne, {},
+       "Requests queued across shard-engine workers (published per drain)"},
+      {kBbShardRequestsTotal, MetricType::kCounter, kOne, {"worker"},
+       "Requests executed by shard-engine workers"},
       {kBbTunnelsRegisteredTotal, MetricType::kCounter, kOne, {"domain"},
        "Aggregate tunnels registered at an end domain"},
       {kBbWalBytesTotal, MetricType::kCounter, "bytes", {},

@@ -143,6 +143,12 @@ inline constexpr char kBbReservationsActive[] = "e2e_bb_reservations_active";
 /// Aggregate tunnels registered. Labels: domain.
 inline constexpr char kBbTunnelsRegisteredTotal[] =
     "e2e_bb_tunnels_registered_total";
+/// Requests executed by shard-engine workers (shared-nothing admission;
+/// bumped once per drained queue batch). Labels: worker (queue index).
+inline constexpr char kBbShardRequestsTotal[] = "e2e_bb_shard_requests_total";
+/// Requests currently queued across all shard-engine workers (published
+/// after each drain, so spikes between drains are invisible by design).
+inline constexpr char kBbShardQueueDepth[] = "e2e_bb_shard_queue_depth";
 /// Wall-clock time a broker spent deciding one admission (or one batch;
 /// the only wall-clock histogram — every other latency metric is virtual
 /// time, so this family's values vary run to run). Labels: domain.

@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include "bb/timeline.hpp"
+
 #include <algorithm>
 #include <string>
 #include <vector>
@@ -120,7 +122,9 @@ TEST_P(PoolEquivalence, ProfileSweepIsIdentical) {
   CapacityPool pool(400e6);
   for (const Op& op : make_workload(GetParam() ^ 0x9e3779b97f4a7c15ULL, 250)) {
     if (op.is_release) {
-      if (pool.holds(op.key)) ASSERT_TRUE(pool.release(op.key).ok());
+      if (pool.holds(op.key)) {
+        ASSERT_TRUE(pool.release(op.key).ok());
+      }
     } else {
       (void)pool.commit(op.key, op.interval, op.rate);
     }
@@ -177,6 +181,101 @@ TEST_P(PoolEquivalence, BatchMatchesSortedSequentialReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PoolEquivalence,
                          ::testing::Values(2, 11, 303, 20010801, 987654321));
+
+// ---------------------------------------------------------------------------
+// ISSUE 8: the pool's index moved from std::map boundaries to the flat
+// sorted-vector FlatTimeline. MapTimeline keeps the PR-5 implementation
+// verbatim as the oracle; the two must stay entry-for-entry identical —
+// levels bit-equal (exact 1 Mb/s multiples), refcounts equal, and pruned
+// boundaries pruned in both.
+
+class TimelineEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimelineEquivalence, FlatMatchesMapOracleEntryForEntry) {
+  FlatTimeline flat;
+  MapTimeline oracle;
+  Rng rng(GetParam());
+  struct Live {
+    TimeInterval interval;
+    double rate;
+  };
+  std::vector<Live> live;
+  // Coarse 1 ks time grid so boundaries collide often and refcounts climb
+  // past 1 — the pruning discipline only shows up on shared boundaries.
+  for (int i = 0; i < 600; ++i) {
+    if (!live.empty() && rng.next_bool(0.4)) {
+      const std::size_t pick = rng.next_below(live.size());
+      flat.retire(live[pick].interval, live[pick].rate);
+      oracle.retire(live[pick].interval, live[pick].rate);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const SimTime start = static_cast<SimTime>(rng.next_below(40)) * 1000;
+      const SimDuration len =
+          (1 + static_cast<SimDuration>(rng.next_below(25))) * 1000;
+      const Live commitment{{start, start + len},
+                            1e6 * static_cast<double>(1 + rng.next_below(20))};
+      flat.apply(commitment.interval, commitment.rate);
+      oracle.apply(commitment.interval, commitment.rate);
+      live.push_back(commitment);
+    }
+    ASSERT_EQ(flat.size(), oracle.size()) << "op " << i;
+    auto it = oracle.boundaries().begin();
+    for (const FlatTimeline::Entry& entry : flat.entries()) {
+      ASSERT_EQ(entry.time, it->first) << "op " << i;
+      ASSERT_EQ(entry.level, it->second.level)
+          << "op " << i << " t=" << entry.time;
+      ASSERT_EQ(entry.refs, it->second.refs)
+          << "op " << i << " t=" << entry.time;
+      ++it;
+    }
+    // Point and peak probes, including instants strictly between
+    // boundaries and before the first one.
+    for (SimTime t = 0; t <= 70 * 1000; t += 500) {
+      ASSERT_EQ(flat.committed_at(t), oracle.committed_at(t)) << t;
+    }
+    for (SimTime t = 0; t < 70 * 1000; t += 3 * 1000) {
+      const TimeInterval iv{t, t + 7 * 1000};
+      ASSERT_EQ(flat.peak_committed(iv), oracle.peak_committed(iv)) << t;
+    }
+  }
+  // Drain to empty: every boundary's refcount must reach zero and prune.
+  for (const Live& commitment : live) {
+    flat.retire(commitment.interval, commitment.rate);
+    oracle.retire(commitment.interval, commitment.rate);
+  }
+  EXPECT_TRUE(flat.empty());
+  EXPECT_TRUE(oracle.empty());
+}
+
+// A boundary shared by two commitments survives the first retire (refs
+// 2 -> 1) and is pruned by the second — in both implementations.
+TEST(TimelineRefcount, SharedBoundaryPrunesOnLastRetire) {
+  FlatTimeline flat;
+  MapTimeline oracle;
+  const TimeInterval a{1000, 5000};
+  const TimeInterval b{5000, 9000};  // b.start == a.end: shared boundary
+  for (auto* apply_both : {&a, &b}) {
+    flat.apply(*apply_both, 2e6);
+    oracle.apply(*apply_both, 2e6);
+  }
+  ASSERT_EQ(flat.size(), 3u);
+  ASSERT_EQ(oracle.size(), 3u);
+  EXPECT_EQ(flat.entries()[1].refs, 2);  // t=5000, end of a + start of b
+  flat.retire(a, 2e6);
+  oracle.retire(a, 2e6);
+  ASSERT_EQ(flat.size(), 2u);  // t=1000 pruned; t=5000 survives on b's ref
+  ASSERT_EQ(oracle.size(), 2u);
+  EXPECT_EQ(flat.entries()[0].time, 5000);
+  EXPECT_EQ(flat.entries()[0].refs, 1);
+  EXPECT_EQ(flat.committed_at(6000), oracle.committed_at(6000));
+  flat.retire(b, 2e6);
+  oracle.retire(b, 2e6);
+  EXPECT_TRUE(flat.empty());
+  EXPECT_TRUE(oracle.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelineEquivalence,
+                         ::testing::Values(7, 404, 20010801));
 
 }  // namespace
 }  // namespace e2e::bb
