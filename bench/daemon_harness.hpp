@@ -42,17 +42,29 @@ inline void maybe_dump_grant(BytesView reply_bytes) {
 /// One forked daemon process + the socket path it serves on.
 class DaemonHarness {
  public:
-  /// Fork a child hosting BbdService on a fresh UNIX socket.
-  static DaemonHarness launch() {
+  /// Fork a child hosting BbdService on a fresh UNIX socket. When
+  /// `with_admin` is set the child also opens the plaintext admin plane
+  /// on a second UNIX socket (admin_endpoint()), for the scrape-overhead
+  /// bench mode.
+  static DaemonHarness launch(bool with_admin = false) {
     DaemonHarness h;
-    h.socket_path_ = "/tmp/e2e_bench_bbd_" +
-                     std::to_string(static_cast<long>(::getpid())) + ".sock";
+    const std::string stem =
+        "/tmp/e2e_bench_bbd_" + std::to_string(static_cast<long>(::getpid()));
+    h.socket_path_ = stem + ".sock";
     ::unlink(h.socket_path_.c_str());
+    if (with_admin) {
+      h.admin_path_ = stem + ".admin.sock";
+      ::unlink(h.admin_path_.c_str());
+    }
     h.pid_ = ::fork();
     if (h.pid_ == 0) {
       net::BbdService::Options options;
       options.listen_on = {
           net::Endpoint::parse("unix:" + h.socket_path_).value()};
+      if (!h.admin_path_.empty()) {
+        options.admin_on = {
+            net::Endpoint::parse("unix:" + h.admin_path_).value()};
+      }
       net::BbdService service(std::move(options));
       if (!service.start().ok()) ::_exit(1);
       service.wait();  // until the client's kShutdown drains the loop
@@ -65,6 +77,7 @@ class DaemonHarness {
     if (pid_ > 0) {
       ::waitpid(pid_, nullptr, 0);
       ::unlink(socket_path_.c_str());
+      if (!admin_path_.empty()) ::unlink(admin_path_.c_str());
     }
   }
 
@@ -72,7 +85,9 @@ class DaemonHarness {
   DaemonHarness& operator=(const DaemonHarness&) = delete;
 
   DaemonHarness(DaemonHarness&& other) noexcept
-      : pid_(other.pid_), socket_path_(std::move(other.socket_path_)) {
+      : pid_(other.pid_),
+        socket_path_(std::move(other.socket_path_)),
+        admin_path_(std::move(other.admin_path_)) {
     other.pid_ = -1;
   }
   DaemonHarness& operator=(DaemonHarness&& other) noexcept {
@@ -80,9 +95,11 @@ class DaemonHarness {
       if (pid_ > 0) {
         ::waitpid(pid_, nullptr, 0);
         ::unlink(socket_path_.c_str());
+        if (!admin_path_.empty()) ::unlink(admin_path_.c_str());
       }
       pid_ = other.pid_;
       socket_path_ = std::move(other.socket_path_);
+      admin_path_ = std::move(other.admin_path_);
       other.pid_ = -1;
     }
     return *this;
@@ -102,10 +119,17 @@ class DaemonHarness {
     }
   }
 
+  /// The admin plane's endpoint ("unix:/..."); empty unless launched
+  /// with_admin.
+  std::string admin_endpoint() const {
+    return admin_path_.empty() ? std::string() : "unix:" + admin_path_;
+  }
+
  private:
   DaemonHarness() = default;
   pid_t pid_ = -1;
   std::string socket_path_;
+  std::string admin_path_;
 };
 
 }  // namespace e2e::benchutil

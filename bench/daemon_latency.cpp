@@ -5,20 +5,29 @@
 // identically-seeded 3-domain world; the virtual (modeled) latency is the
 // same by construction, so the wall-clock difference is pure transport
 // cost: length framing, the sealed channel, and the daemon's event loop.
-// Writes BENCH_daemon.json via scripts/bench_snapshot.sh; the numbers are
-// tracked in docs/PERFORMANCE.md.
+// A third mode reruns the daemon path while a concurrent scraper hammers
+// the --admin plane (/metrics + /statz), measuring the telemetry plane's
+// impact on RPC latency; the full (non-smoke) run gates scraped p99
+// within 5% of unscraped. Writes BENCH_daemon.json via
+// scripts/bench_snapshot.sh (which folds the scrape-overhead series into
+// BENCH_obs.json); the numbers are tracked in docs/PERFORMANCE.md.
 //
 // Usage: daemon_latency [--smoke] [--json-out PATH]
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "daemon_harness.hpp"
 #include "kit/chain_world.hpp"
+#include "net/stream_socket.hpp"
 
 using namespace e2e;
 using namespace e2e::kit;
@@ -65,12 +74,61 @@ Quantiles run_local(std::size_t iterations) {
   return quantiles(std::move(samples));
 }
 
-Quantiles run_daemon(std::size_t iterations) {
-  bu::DaemonHarness harness = bu::DaemonHarness::launch();
+/// One admin-plane HTTP GET: connect, request, drain to EOF. Returns
+/// false when the plane was unreachable (the scraper just retries).
+bool admin_get(const net::Endpoint& endpoint, const std::string& path) {
+  auto sock = net::StreamSocket::connect(endpoint);
+  if (!sock.ok()) return false;
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (!sock
+           ->send_raw(BytesView(
+               reinterpret_cast<const std::uint8_t*>(request.data()),
+               request.size()))
+           .ok()) {
+    return false;
+  }
+  char buffer[4096];
+  std::size_t total = 0;
+  while (true) {
+    const ssize_t n = ::read(sock->fd(), buffer, sizeof buffer);
+    if (n <= 0) break;
+    total += static_cast<std::size_t>(n);
+  }
+  return total > 0;
+}
+
+struct DaemonRun {
+  Quantiles quantiles;
+  std::size_t scrapes = 0;
+};
+
+/// The daemon path, optionally with a concurrent scraper thread driving
+/// the admin plane at ~100 Hz per route (an aggressive operator: real
+/// Prometheus scrapes every few seconds) for the whole measured window.
+DaemonRun run_daemon(std::size_t iterations, bool scraped) {
+  bu::DaemonHarness harness = bu::DaemonHarness::launch(scraped);
   auto connected = harness.connect();
   if (!connected.ok()) std::abort();
   net::BbdClient client = std::move(connected.value());
   if (!client.make_user("Alice", 0).ok()) std::abort();
+
+  std::atomic<bool> stop{false};
+  std::size_t scrapes = 0;
+  std::thread scraper;
+  if (scraped) {
+    const auto admin =
+        net::Endpoint::parse(harness.admin_endpoint()).value();
+    // `admin` dies with this block; the thread owns its own copy.
+    scraper = std::thread([&, admin] {
+      bool statz = false;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (admin_get(admin, statz ? "/statz" : "/metrics")) ++scrapes;
+        statz = !statz;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+
   net::BbdClient::ReserveArgs args;
   args.user = "Alice";
   args.rate = 1e6;
@@ -84,19 +142,28 @@ Quantiles run_daemon(std::size_t iterations) {
     if (!client.release("hopbyhop", outcome->reply_bytes).ok()) std::abort();
     samples.push_back(elapsed_us(start));
   }
+  if (scraper.joinable()) {
+    stop.store(true, std::memory_order_relaxed);
+    scraper.join();
+  }
   if (!client.shutdown_daemon().ok()) std::abort();
-  return quantiles(std::move(samples));
+  DaemonRun run;
+  run.quantiles = quantiles(std::move(samples));
+  run.scrapes = scrapes;
+  return run;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t iterations = 200;
+  bool smoke = false;
   std::string json_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       iterations = 20;
+      smoke = true;
     } else if (arg == "--json-out" && i + 1 < argc) {
       json_out = argv[++i];
     }
@@ -107,21 +174,69 @@ int main(int argc, char** argv) {
   bu::note("hop-by-hop reserve+release on a 3-domain world, " +
            std::to_string(iterations) + " iterations per mode.");
 
+  // Best-of-N trials per daemon mode: the gate compares p99s across two
+  // separate daemon processes, so a single scheduler hiccup in either
+  // run would dominate the tail. Systematic admin-plane overhead shows
+  // up in every trial; one-off environment noise does not survive min().
+  const std::size_t trials = smoke ? 1 : 2;
+  auto best_of = [](DaemonRun best, const DaemonRun& next) {
+    best.quantiles.p50_us = std::min(best.quantiles.p50_us,
+                                     next.quantiles.p50_us);
+    best.quantiles.p99_us = std::min(best.quantiles.p99_us,
+                                     next.quantiles.p99_us);
+    best.scrapes += next.scrapes;
+    return best;
+  };
   const Quantiles local = run_local(iterations);
-  const Quantiles daemon = run_daemon(iterations);
+  DaemonRun daemon = run_daemon(iterations, /*scraped=*/false);
+  DaemonRun scraped = run_daemon(iterations, /*scraped=*/true);
+  for (std::size_t t = 1; t < trials; ++t) {
+    daemon = best_of(daemon, run_daemon(iterations, /*scraped=*/false));
+    scraped = best_of(scraped, run_daemon(iterations, /*scraped=*/true));
+  }
 
-  bu::row("%-14s %-12s %-12s", "mode", "p50(us)", "p99(us)");
+  bu::row("%-16s %-12s %-12s", "mode", "p50(us)", "p99(us)");
   bu::rule();
-  bu::row("%-14s %-12.0f %-12.0f", "in-memory", local.p50_us, local.p99_us);
-  bu::row("%-14s %-12.0f %-12.0f", "daemon-unix", daemon.p50_us,
-          daemon.p99_us);
+  bu::row("%-16s %-12.0f %-12.0f", "in-memory", local.p50_us, local.p99_us);
+  bu::row("%-16s %-12.0f %-12.0f", "daemon-unix", daemon.quantiles.p50_us,
+          daemon.quantiles.p99_us);
+  bu::row("%-16s %-12.0f %-12.0f", "daemon-scraped", scraped.quantiles.p50_us,
+          scraped.quantiles.p99_us);
   bu::rule();
   bu::note("daemon p50 overhead: " +
-           std::to_string(daemon.p50_us - local.p50_us) + " us per setup");
+           std::to_string(daemon.quantiles.p50_us - local.p50_us) +
+           " us per setup");
+  const double scrape_p99_pct =
+      daemon.quantiles.p99_us > 0
+          ? (scraped.quantiles.p99_us - daemon.quantiles.p99_us) /
+                daemon.quantiles.p99_us * 100.0
+          : 0.0;
+  bu::note("admin scrape impact on p99: " + std::to_string(scrape_p99_pct) +
+           "% across " + std::to_string(scraped.scrapes) + " scrapes");
 
   bool ok = true;
-  ok &= bu::check(daemon.p50_us > 0 && local.p50_us > 0,
+  ok &= bu::check(daemon.quantiles.p50_us > 0 && local.p50_us > 0,
                   "both modes completed every reserve+release");
+  ok &= bu::check(scraped.scrapes > 0,
+                  "the concurrent scraper reached the admin plane");
+  // The telemetry plane must be near-free for the RPC path: scraped p99
+  // within 5% of unscraped (plus a 25us floor so scheduler noise on a
+  // fast box cannot flake the gate). Two conditions to gate: a full run
+  // (smoke measures too few iterations for a meaningful p99) and >= 2
+  // cores — on a single-CPU host every admin cycle is stolen from the
+  // RPC loop, so the number measures oversubscription, not the plane
+  // (same policy as load_broker's scaling gate); the series is still
+  // recorded.
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool gated = !smoke && cores >= 2;
+  if (gated) {
+    ok &= bu::check(scraped.quantiles.p99_us <=
+                        daemon.quantiles.p99_us * 1.05 + 25.0,
+                    "scrape-under-load p99 within the 5% budget");
+  } else if (!smoke) {
+    bu::note("scrape-overhead gate skipped: " + std::to_string(cores) +
+             " core(s); recorded only");
+  }
 
   if (!json_out.empty()) {
     std::ofstream out(json_out);
@@ -130,8 +245,15 @@ int main(int argc, char** argv) {
         << " \"iterations\": " << iterations << ",\n"
         << " \"local\": {\"p50_us\": " << local.p50_us
         << ", \"p99_us\": " << local.p99_us << "},\n"
-        << " \"daemon_unix\": {\"p50_us\": " << daemon.p50_us
-        << ", \"p99_us\": " << daemon.p99_us << "}\n"
+        << " \"daemon_unix\": {\"p50_us\": " << daemon.quantiles.p50_us
+        << ", \"p99_us\": " << daemon.quantiles.p99_us << "},\n"
+        << " \"daemon_unix_scraped\": {\"p50_us\": "
+        << scraped.quantiles.p50_us
+        << ", \"p99_us\": " << scraped.quantiles.p99_us << "},\n"
+        << " \"scrape_overhead\": {\"scrapes\": " << scraped.scrapes
+        << ", \"p99_pct\": " << scrape_p99_pct
+        << ", \"cores\": " << cores
+        << ", \"gated\": " << (gated ? "true" : "false") << "}\n"
         << "}\n";
     ok &= bu::check(static_cast<bool>(out), "wrote " + json_out);
   }

@@ -28,11 +28,16 @@
 #                                     soak, each in the default build and
 #                                     again under the ASan/UBSan preset)
 #        ./scripts/tier1.sh --daemon (socket transport gates: framing +
-#                                     transport-conformance + daemon suites
-#                                     and the multi-process soak, default
-#                                     build then ASan/UBSan; plus byte-
-#                                     identity of fig3/tunnel_scaling run
-#                                     as communicating OS processes vs the
+#                                     transport-conformance + daemon suites,
+#                                     the multi-process soak and the admin-
+#                                     plane conformance suite, default
+#                                     build then ASan/UBSan; the scrape-
+#                                     conformance gate — a live bbd with
+#                                     --admin scraped over /metrics, /statz
+#                                     and /healthz, families checked against
+#                                     the doc catalog; plus byte-identity of
+#                                     fig3/tunnel_scaling run as
+#                                     communicating OS processes vs the
 #                                     in-memory run, grant bytes included)
 set -euo pipefail
 
@@ -157,8 +162,8 @@ fi
 
 if [[ "${1:-}" == "--daemon" ]]; then
   cmake -B build -S . >/dev/null
-  cmake --build build -j --target net_stream_test daemon_soak_test bbd \
-    fig3_signalling_latency tunnel_scaling >/dev/null
+  cmake --build build -j --target net_stream_test daemon_soak_test \
+    daemon_admin_test bbd fig3_signalling_latency tunnel_scaling >/dev/null
   workdir=$(mktemp -d)
   trap 'rm -rf "$workdir"' EXIT
 
@@ -168,17 +173,88 @@ if [[ "${1:-}" == "--daemon" ]]; then
   # Multi-process soak: the real bbd binary + N client processes mixing
   # reserve/release/abrupt-exit, then SIGKILL + restart with --recover.
   ./build/tests/daemon_soak_test
-  echo "tier1 --daemon: stream/conformance/soak suites OK (default build)"
+  # Multi-process admin conformance: scrape a live loaded bbd, check
+  # /metrics families against the catalog, /statz sums against the shard
+  # series, round-trip /tracez through tracedump, verify the drain
+  # snapshot.
+  ./build/tests/daemon_admin_test
+  echo "tier1 --daemon: stream/conformance/soak/admin suites OK (default build)"
 
   # The same suites under ASan/UBSan — the socket paths shuffle raw byte
   # buffers across threads and processes, so lifetime bugs would hide in
   # the default build.
   cmake --preset asan >/dev/null
   cmake --build build-asan -j --target net_stream_test daemon_soak_test \
-    >/dev/null
+    daemon_admin_test >/dev/null
   ./build-asan/tests/net_stream_test
   ./build-asan/tests/daemon_soak_test
-  echo "tier1 --daemon: stream/conformance/soak suites OK (asan)"
+  ./build-asan/tests/daemon_admin_test
+  echo "tier1 --daemon: stream/conformance/soak/admin suites OK (asan)"
+
+  # Scrape conformance: a live bbd with --admin must serve /healthz,
+  # /statz (valid JSON, one shard per domain) and a parseable /metrics
+  # whose every family appears backticked in docs/OBSERVABILITY.md
+  # (histogram series fold their _bucket/_sum/_count suffixes first).
+  ./build/tools/bbd --listen "unix:$workdir/bbd.sock" \
+    --admin "unix:$workdir/admin.sock" --domains 3 --admission-threads 2 \
+    --metrics-out "" > "$workdir/bbd.stdout.txt" &
+  bbd_pid=$!
+  trap 'kill "$bbd_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+  python3 - "$workdir/admin.sock" docs/OBSERVABILITY.md <<'EOF'
+import json, re, socket, sys, time
+
+def get(path, patience=30.0):
+    deadline = time.monotonic() + patience
+    while True:
+        try:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(sys.argv[1])
+            break
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+    sock.sendall(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+    data = b""
+    while chunk := sock.recv(65536):
+        data += chunk
+    sock.close()
+    head, _, body = data.partition(b"\r\n\r\n")
+    status = int(head.split()[1])
+    return status, body.decode()
+
+status, body = get("/healthz")
+assert status == 200 and body == "ok\n", (status, body)
+
+status, body = get("/statz")
+assert status == 200, status
+statz = json.loads(body)
+assert len(statz["shards"]) == 3, statz["shards"]
+
+status, body = get("/metrics")
+assert status == 200, status
+doc = open(sys.argv[2]).read()
+families = set()
+for line in body.splitlines():
+    if not line or line.startswith("#"):
+        continue
+    name = re.split(r"[{ ]", line, 1)[0]
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and f"`{name[:-len(suffix)]}`" in doc:
+            name = name[:-len(suffix)]
+            break
+    families.add(name)
+assert families, "empty /metrics scrape"
+undocumented = sorted(f for f in families if f"`{f}`" not in doc)
+if undocumented:
+    sys.exit("FAIL: live /metrics families missing from "
+             "docs/OBSERVABILITY.md:\n  " + "\n  ".join(undocumented))
+print(f"tier1 --daemon: scrape conformance OK "
+      f"({len(families)} families, all documented)")
+EOF
+  kill -TERM "$bbd_pid"
+  wait "$bbd_pid"
+  trap 'rm -rf "$workdir"' EXIT
 
   # Byte-identity: fig3 and tunnel_scaling rerun as communicating OS
   # processes (--daemon forks a broker daemon on a UNIX socket) must print

@@ -1,5 +1,6 @@
 #include "bb/shard_engine.hpp"
 
+#include <chrono>
 #include <string>
 #include <utility>
 
@@ -20,12 +21,16 @@ thread_local std::ptrdiff_t tls_worker = -1;
 ShardEngine::ShardEngine(std::size_t workers) {
   auto& registry = obs::MetricsRegistry::global();
   depth_gauge_ = &registry.gauge(obs::kBbShardQueueDepth);
+  highwater_gauge_ = &registry.gauge(obs::kBbShardQueueDepthHighwater);
+  drain_batch_ = &registry.histogram(obs::kBbShardDrainBatch);
   const std::size_t count = workers == 0 ? 1 : workers;
   workers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     workers_.push_back(std::make_unique<Worker>());
     workers_.back()->requests = &registry.counter(
         obs::kBbShardRequestsTotal, {{"worker", std::to_string(i)}});
+    workers_.back()->busy_us = &registry.counter(
+        obs::kBbShardBusyUsTotal, {{"worker", std::to_string(i)}});
   }
   // Threads start only after every Worker slot exists (a worker never
   // touches slots other than its own, but the vector must not reallocate
@@ -50,12 +55,34 @@ ShardEngine::~ShardEngine() {
 
 void ShardEngine::post(std::size_t worker, Task task) {
   Worker& w = *workers_[worker % workers_.size()];
-  depth_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t depth_now =
+      depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+  w.depth.fetch_add(1, std::memory_order_relaxed);
+  // CAS-max keeps the high-water mark exact without another lock; the
+  // loop only spins while some other poster is ALSO raising the mark.
+  std::size_t seen = depth_highwater_.load(std::memory_order_relaxed);
+  while (depth_now > seen &&
+         !depth_highwater_.compare_exchange_weak(
+             seen, depth_now, std::memory_order_relaxed)) {
+  }
   {
     std::lock_guard lock(w.mutex);
     w.queue.push_back(std::move(task));
   }
   w.cv.notify_one();
+}
+
+std::vector<ShardEngine::WorkerStats> ShardEngine::stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    WorkerStats s;
+    s.queue_depth = worker->depth.load(std::memory_order_relaxed);
+    s.tasks_total = worker->tasks.load(std::memory_order_relaxed);
+    s.busy_us_total = worker->busy.load(std::memory_order_relaxed);
+    out.push_back(s);
+  }
+  return out;
 }
 
 std::ptrdiff_t ShardEngine::current_worker() const {
@@ -81,13 +108,25 @@ void ShardEngine::worker_loop(std::size_t index) {
     // still "queued".
     const std::size_t drained = batch.size();
     depth_.fetch_sub(drained, std::memory_order_relaxed);
+    w.depth.fetch_sub(drained, std::memory_order_relaxed);
+    const auto busy_start = std::chrono::steady_clock::now();
     for (Task& task : batch) task();
     batch.clear();
+    const auto busy_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - busy_start)
+            .count());
     // Instruments once per batch: the whole point of shard ownership is
     // that the hot loop stops hammering shared cache lines.
     w.requests->increment(drained);
+    w.busy_us->increment(busy_us);
+    w.tasks.fetch_add(drained, std::memory_order_relaxed);
+    w.busy.fetch_add(busy_us, std::memory_order_relaxed);
+    drain_batch_->observe(static_cast<double>(drained));
     depth_gauge_->set(static_cast<double>(
         depth_.load(std::memory_order_relaxed)));
+    highwater_gauge_->set(static_cast<double>(
+        depth_highwater_.load(std::memory_order_relaxed)));
   }
   tls_engine = nullptr;
   tls_worker = -1;

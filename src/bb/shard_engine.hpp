@@ -45,6 +45,7 @@
 namespace e2e::obs {
 class Counter;
 class Gauge;
+class Histogram;
 }  // namespace e2e::obs
 
 namespace e2e::bb {
@@ -105,6 +106,24 @@ class ShardEngine {
     return depth_.load(std::memory_order_relaxed);
   }
 
+  /// Deepest the combined queue has ever been (mirrors the
+  /// e2e_bb_shard_queue_depth_highwater gauge). Monotone per engine.
+  std::size_t queue_depth_highwater() const {
+    return depth_highwater_.load(std::memory_order_relaxed);
+  }
+
+  /// Point-in-time introspection of one worker, for the admin plane's
+  /// /statz document. All fields are relaxed-atomic reads — consistent
+  /// enough for operators, free for the workers.
+  struct WorkerStats {
+    std::size_t queue_depth = 0;      // tasks waiting on this worker now
+    std::uint64_t tasks_total = 0;    // tasks ever drained by this worker
+    std::uint64_t busy_us_total = 0;  // wall time spent running tasks
+  };
+
+  /// One entry per worker, indexed by worker id. Safe from any thread.
+  std::vector<WorkerStats> stats() const;
+
  private:
   /// Stack-allocated completion latch for run_on (no promise/future heap
   /// traffic on the admission path).
@@ -134,6 +153,14 @@ class ShardEngine {
     /// e2e_bb_shard_requests_total{worker=i}, bumped once per drained
     /// batch, not per task.
     obs::Counter* requests = nullptr;
+    /// e2e_bb_shard_busy_us_total{worker=i}, wall time running tasks,
+    /// bumped once per drained batch.
+    obs::Counter* busy_us = nullptr;
+    /// Per-worker mirrors of the instruments above, readable without the
+    /// registry (stats() feeds /statz from these).
+    std::atomic<std::size_t> depth{0};
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> busy{0};
     std::thread thread;
   };
 
@@ -141,7 +168,10 @@ class ShardEngine {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<std::size_t> depth_{0};
+  std::atomic<std::size_t> depth_highwater_{0};
   obs::Gauge* depth_gauge_ = nullptr;
+  obs::Gauge* highwater_gauge_ = nullptr;
+  obs::Histogram* drain_batch_ = nullptr;
 };
 
 }  // namespace e2e::bb

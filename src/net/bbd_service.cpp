@@ -1,8 +1,13 @@
 #include "net/bbd_service.hpp"
 
+#include <chrono>
+#include <fstream>
 #include <utility>
 
+#include "obs/audit.hpp"
+#include "obs/instruments.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "sig/message.hpp"
 
 namespace e2e::net {
@@ -12,6 +17,24 @@ namespace {
 /// The world's virtual clock never moves past kWorldValidity's start in
 /// the handshake: service channels are established "at" virtual time zero.
 constexpr SimTime kHandshakeTime = 0;
+
+/// Request heads larger than this are not scrape traffic; drop them.
+constexpr std::size_t kMaxAdminRequestBytes = 16384;
+
+/// Wall-clock RPC latency buckets (us): daemon round trips are crypto +
+/// admission, tens of us to tens of ms.
+std::vector<double> rpc_latency_buckets_us() {
+  return {50, 100, 200, 500, 1000, 2000, 5000, 10000, 20000, 50000, 100000};
+}
+
+obs::BurnRateSpec rpc_burn_spec() {
+  obs::BurnRateSpec spec;
+  spec.objective = "bbd.rpc";
+  spec.budget_error_rate = 0.01;
+  spec.window = std::chrono::seconds(60);
+  spec.alert_threshold = 10.0;
+  return spec;
+}
 
 }  // namespace
 
@@ -54,7 +77,10 @@ BbdService::BbdService(Options options)
     : options_(std::move(options)),
       identity_(make_service_identity(options_.auth_seed)),
       // Handshake nonces only; never touches any world's RNG stream.
-      handshake_rng_(options_.auth_seed ^ 0x6262642d64616d6eull) {}
+      handshake_rng_(options_.auth_seed ^ 0x6262642d64616d6eull),
+      wall_clock_(obs::steady_wall_clock()),
+      rpc_latency_(std::chrono::seconds(60), 12, rpc_latency_buckets_us()),
+      rpc_burn_(rpc_burn_spec()) {}
 
 BbdService::~BbdService() {
   stop();
@@ -84,8 +110,199 @@ Status BbdService::start() {
   server_ = std::make_unique<StreamServer>(std::move(server_options),
                                            std::move(callbacks));
   if (auto started = server_->start(); !started.ok()) return started;
-  loop_ = std::thread([this] { server_->run(); });
+  if (!options_.admin_on.empty()) {
+    if (auto admin = start_admin(); !admin.ok()) return admin;
+  }
+  loop_live_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] {
+    server_->run();
+    finalize_shutdown();
+  });
   return Status::ok_status();
+}
+
+Status BbdService::start_admin() {
+  auto& registry = obs::MetricsRegistry::global();
+  obs::AdminPlane::Providers providers;
+  providers.health = [this] {
+    obs::AdminPlane::Health health;
+    health.live = loop_live_.load(std::memory_order_acquire);
+    std::lock_guard lock(world_mutex_);
+    health.ready = health.live && world_ != nullptr;
+    if (!health.ready) {
+      health.detail = !health.live ? "rpc loop not running"
+                                   : "no world configured";
+    }
+    return health;
+  };
+  providers.statz_json = [this] { return build_statz(); };
+  providers.tracez_json = [this] { return build_tracez(); };
+  providers.refresh = [this, &registry](std::uint64_t now_ms) {
+    rpc_burn_.publish(registry, now_ms);
+    const obs::Histogram::Snapshot window = rpc_latency_.snapshot(now_ms);
+    if (window.count == 0) return;
+    const std::pair<const char*, double> quantiles[] = {
+        {"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}};
+    for (const auto& [label, q] : quantiles) {
+      registry
+          .gauge(obs::kSloLatencyQuantileUs,
+                 {{"objective", "bbd.rpc.wall"}, {"quantile", label}})
+          .set(obs::estimate_quantile(window, q));
+    }
+  };
+  admin_plane_ = std::make_unique<obs::AdminPlane>(registry,
+                                                   std::move(providers));
+
+  StreamServer::Options admin_options;
+  admin_options.listen_on = options_.admin_on;
+  admin_options.raw_stream = true;
+  admin_options.force_poll = options_.force_poll;
+  // A scraper that connects and never finishes its request is shed.
+  admin_options.idle_timeout = std::chrono::seconds(10);
+  StreamServer::Callbacks admin_callbacks;
+  admin_callbacks.on_open = [this](StreamServer::ConnId id,
+                                   const Endpoint& via) {
+    (void)via;
+    admin_buffers_[id];
+  };
+  admin_callbacks.on_data = [this](StreamServer::ConnId id, BytesView data) {
+    on_admin_data(id, data);
+  };
+  admin_callbacks.on_close = [this](StreamServer::ConnId id,
+                                    const Status& reason) {
+    (void)reason;
+    admin_buffers_.erase(id);
+  };
+  admin_server_ = std::make_unique<StreamServer>(std::move(admin_options),
+                                                 std::move(admin_callbacks));
+  if (auto started = admin_server_->start(); !started.ok()) return started;
+  admin_loop_ = std::thread([this] { admin_server_->run(); });
+  return Status::ok_status();
+}
+
+void BbdService::on_admin_data(StreamServer::ConnId id, BytesView data) {
+  auto it = admin_buffers_.find(id);
+  if (it == admin_buffers_.end()) return;
+  std::string& buffer = it->second;
+  buffer.append(reinterpret_cast<const char*>(data.data()), data.size());
+  if (!obs::http_head_complete(buffer)) {
+    if (buffer.size() > kMaxAdminRequestBytes) {
+      obs::AdminResponse overflow;
+      overflow.status = 400;
+      overflow.body = "request head too large\n";
+      const std::string wire = obs::render_http_response(overflow);
+      (void)admin_server_->send_raw(
+          id, BytesView(reinterpret_cast<const std::uint8_t*>(wire.data()),
+                        wire.size()));
+      admin_server_->close_after_flush(id);
+    }
+    return;
+  }
+  const obs::AdminResponse response =
+      admin_plane_->handle(obs::parse_http_request(buffer));
+  const std::string wire = obs::render_http_response(response);
+  (void)admin_server_->send_raw(
+      id, BytesView(reinterpret_cast<const std::uint8_t*>(wire.data()),
+                    wire.size()));
+  admin_server_->close_after_flush(id);
+}
+
+std::string BbdService::build_statz() const {
+  std::string out = "{\"connections\":[";
+  std::uint64_t conn_count = 0;
+  if (server_ != nullptr) {
+    bool first = true;
+    for (const StreamServer::ConnectionStats& conn :
+         server_->connection_stats()) {
+      if (!first) out += ",";
+      first = false;
+      ++conn_count;
+      out += "{\"id\":" + std::to_string(conn.id);
+      out += ",\"transport\":\"" + obs::chain_json_escape(conn.transport) +
+             "\"";
+      out += ",\"bytes_rx\":" + std::to_string(conn.bytes_rx);
+      out += ",\"bytes_tx\":" + std::to_string(conn.bytes_tx);
+      out += ",\"frames_rx\":" + std::to_string(conn.frames_rx);
+      out += ",\"frames_tx\":" + std::to_string(conn.frames_tx);
+      out += ",\"queued_bytes\":" + std::to_string(conn.queued_bytes);
+      out += "}";
+    }
+  }
+  out += "],\"shards\":[";
+  std::uint64_t depth_total = 0;
+  std::uint64_t tasks_total = 0;
+  std::uint64_t busy_total = 0;
+  {
+    std::lock_guard lock(world_mutex_);
+    if (world_ != nullptr) {
+      bool first_domain = true;
+      for (std::size_t i = 0; i < world_->names().size(); ++i) {
+        const bb::ShardEngine* engine = world_->broker(i).shard_engine();
+        if (engine == nullptr) continue;
+        if (!first_domain) out += ",";
+        first_domain = false;
+        out += "{\"domain\":\"" +
+               obs::chain_json_escape(world_->names()[i]) + "\"";
+        out += ",\"queue_depth\":" + std::to_string(engine->queue_depth());
+        out += ",\"queue_depth_highwater\":" +
+               std::to_string(engine->queue_depth_highwater());
+        out += ",\"workers\":[";
+        const auto workers = engine->stats();
+        for (std::size_t w = 0; w < workers.size(); ++w) {
+          if (w > 0) out += ",";
+          out += "{\"worker\":" + std::to_string(w);
+          out += ",\"queue_depth\":" +
+                 std::to_string(workers[w].queue_depth);
+          out += ",\"tasks_total\":" +
+                 std::to_string(workers[w].tasks_total);
+          out += ",\"busy_us_total\":" +
+                 std::to_string(workers[w].busy_us_total);
+          out += "}";
+          depth_total += workers[w].queue_depth;
+          tasks_total += workers[w].tasks_total;
+          busy_total += workers[w].busy_us_total;
+        }
+        out += "]}";
+      }
+    }
+  }
+  out += "],\"totals\":{";
+  out += "\"connections\":" + std::to_string(conn_count);
+  out += ",\"shard_queue_depth\":" + std::to_string(depth_total);
+  out += ",\"shard_tasks\":" + std::to_string(tasks_total);
+  out += ",\"shard_busy_us\":" + std::to_string(busy_total);
+  out += "}}";
+  return out;
+}
+
+std::string BbdService::build_tracez() const {
+  std::lock_guard lock(world_mutex_);
+  if (world_ == nullptr) return "{\"traces\":[]}";
+  obs::SpanCollector collector;
+  world_->collect(collector);
+  return obs::tracez_json(collector, 16);
+}
+
+void BbdService::finalize_shutdown() {
+  loop_live_.store(false, std::memory_order_release);
+  if (admin_server_ != nullptr) {
+    admin_server_->stop();
+    if (admin_loop_.joinable()) admin_loop_.join();
+  }
+  // Audit first, snapshot second: the snapshot then covers the shutdown
+  // record's own counter bump and is truly final.
+  obs::AuditLog::global().append(
+      "bbd", obs::audit_kind::kShutdown,
+      {{"reason", "drain"},
+       {"metrics_out",
+        options_.metrics_out.empty() ? "-" : options_.metrics_out}});
+  if (!options_.metrics_out.empty()) {
+    std::ofstream file(options_.metrics_out,
+                       std::ios::binary | std::ios::trunc);
+    if (file.is_open()) {
+      file << obs::MetricsRegistry::global().to_json() << "\n";
+    }
+  }
 }
 
 void BbdService::wait() {
@@ -105,13 +322,25 @@ std::vector<Endpoint> BbdService::bound_endpoints() const {
                             : std::vector<Endpoint>{};
 }
 
+std::vector<Endpoint> BbdService::admin_endpoints() const {
+  return admin_server_ != nullptr ? admin_server_->bound_endpoints()
+                                  : std::vector<Endpoint>{};
+}
+
 const char* BbdService::poller_name() const {
   return server_ != nullptr ? server_->poller_name() : "unstarted";
 }
 
+// Callers synchronize: start() runs before any thread exists, and the
+// kConfigure path already holds world_mutex_ (taken around handle()).
 Status BbdService::rebuild_world(kit::ChainWorldConfig config) {
   config.durability_dir = options_.durability_dir;
   config.recover_on_open = options_.recover && !options_.durability_dir.empty();
+  // A kConfigure with no explicit thread count keeps the daemon's
+  // configured admission engine instead of silently dropping to zero.
+  if (config.admission_threads == 0) {
+    config.admission_threads = options_.world.admission_threads;
+  }
   users_.clear();
   // The old world must release its WALs before the new one reopens them.
   world_.reset();
@@ -136,7 +365,10 @@ void BbdService::on_close(StreamServer::ConnId id, const Status& reason) {
   (void)reason;
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
-  if (it->second.release_on_disconnect) release_orphans(it->second);
+  if (it->second.release_on_disconnect) {
+    std::lock_guard lock(world_mutex_);
+    release_orphans(it->second);
+  }
   conns_.erase(it);
 }
 
@@ -205,7 +437,23 @@ void BbdService::on_frame(StreamServer::ConnId id, Bytes frame) {
     send_response(id, conn, BbdResponse::failure(0, request.error()));
     return;
   }
-  BbdResponse response = handle(id, conn, request.value());
+  const auto rpc_start = std::chrono::steady_clock::now();
+  BbdResponse response;
+  {
+    // The admin thread reads world_/users_ under the same mutex; RPCs
+    // stay serialized with introspection renders, nothing else.
+    std::lock_guard lock(world_mutex_);
+    response = handle(id, conn, request.value());
+  }
+  if (admin_plane_ != nullptr) {
+    const auto elapsed_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - rpc_start)
+            .count();
+    const std::uint64_t now_ms = wall_clock_();
+    rpc_latency_.observe(now_ms, static_cast<double>(elapsed_us));
+    rpc_burn_.record(now_ms, !response.ok);
+  }
   send_response(id, conn, response);
   if (request.value().op == BbdOp::kShutdown && response.ok) {
     server_->shutdown_gracefully();

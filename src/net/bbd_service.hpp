@@ -14,9 +14,11 @@
 // are the cross-thread entry points.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -28,6 +30,8 @@
 #include "kit/chain_world.hpp"
 #include "net/bbd_protocol.hpp"
 #include "net/stream_server.hpp"
+#include "obs/admin.hpp"
+#include "obs/window.hpp"
 #include "sig/channel.hpp"
 
 namespace e2e::net {
@@ -66,6 +70,16 @@ class BbdService {
     std::chrono::milliseconds idle_timeout{0};
     std::size_t max_write_queue_bytes = 4u << 20;
     bool force_poll = false;
+    /// Optional plaintext admin/telemetry listeners (docs/DAEMON.md "Live
+    /// operations"): a second StreamServer in raw mode serving the
+    /// obs::AdminPlane HTTP routes. Empty (the default) disables the
+    /// whole plane — no extra thread, no extra series, byte-identical
+    /// outputs.
+    std::vector<Endpoint> admin_on;
+    /// When non-empty, a final metrics snapshot (registry JSON) is
+    /// written here as the daemon drains, after the audit "shutdown"
+    /// record is appended.
+    std::string metrics_out;
     /// Base config of the startup world (durability fields above win).
     kit::ChainWorldConfig world;
   };
@@ -85,6 +99,8 @@ class BbdService {
   void shutdown_gracefully();
 
   std::vector<Endpoint> bound_endpoints() const;
+  /// Bound admin endpoints (empty when the admin plane is disabled).
+  std::vector<Endpoint> admin_endpoints() const;
   const char* poller_name() const;
 
  private:
@@ -117,6 +133,17 @@ class BbdService {
   Status rebuild_world(kit::ChainWorldConfig config);
   void release_orphans(ConnState& conn);
 
+  /// Admin plane (options_.admin_on non-empty only). The admin server
+  /// runs raw HTTP on its own thread; its providers synchronize against
+  /// the RPC loop through world_mutex_.
+  Status start_admin();
+  void on_admin_data(StreamServer::ConnId id, BytesView data);
+  std::string build_statz() const;
+  std::string build_tracez() const;
+  /// Runs on the loop thread after run() returns: stop the admin plane,
+  /// append the audit "shutdown" record, write the final snapshot.
+  void finalize_shutdown();
+
   Options options_;
   ServiceIdentity identity_;
   Rng handshake_rng_;
@@ -125,6 +152,25 @@ class BbdService {
   std::unique_ptr<kit::ChainWorld> world_;
   std::map<std::string, kit::WorldUser> users_;
   std::map<StreamServer::ConnId, ConnState> conns_;
+
+  /// Orders admin-thread reads of world_/users_ against the loop thread's
+  /// RPC handling and world rebuilds. The loop takes it per request; the
+  /// admin thread takes it per /statz-/tracez render. Uncontended (and
+  /// therefore ~free) whenever nobody scrapes.
+  mutable std::mutex world_mutex_;
+  std::atomic<bool> loop_live_{false};
+
+  std::unique_ptr<StreamServer> admin_server_;
+  std::thread admin_loop_;
+  std::unique_ptr<obs::AdminPlane> admin_plane_;
+  /// Per-connection request bytes (admin loop thread only).
+  std::map<StreamServer::ConnId, std::string> admin_buffers_;
+
+  /// Wall-clock telemetry over the RPC stream: latency distribution and
+  /// SLO burn over the last minute, published at admin snapshot refresh.
+  obs::WallClockFn wall_clock_;
+  obs::WindowedHistogram rpc_latency_;
+  obs::BurnRateTracker rpc_burn_;
 };
 
 }  // namespace e2e::net

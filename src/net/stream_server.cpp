@@ -361,14 +361,23 @@ void StreamServer::accept_ready(int listener_fd) {
     conn.fd = fd;
     conn.via = listener.local_endpoint();
     conn.last_activity = std::chrono::steady_clock::now();
+    conn.stats = std::make_shared<ConnCounters>();
+    conn.stats->transport = listener.local_endpoint().transport_label();
+    {
+      std::lock_guard lock(stats_mutex_);
+      stats_[id] = conn.stats;
+    }
     connections_.emplace(id, std::move(conn));
     conn_by_fd_[fd] = id;
-    registry
-        .counter(obs::kNetConnsAcceptedTotal,
-                 {{"transport", listener.local_endpoint().transport_label()}})
-        .increment();
-    registry.gauge(obs::kNetConnsActive)
-        .set(static_cast<double>(connections_.size()));
+    if (!options_.raw_stream) {
+      registry
+          .counter(
+              obs::kNetConnsAcceptedTotal,
+              {{"transport", listener.local_endpoint().transport_label()}})
+          .increment();
+      registry.gauge(obs::kNetConnsActive)
+          .set(static_cast<double>(connections_.size()));
+    }
     if (callbacks_.on_open) callbacks_.on_open(id, listener.local_endpoint());
   }
 }
@@ -391,7 +400,7 @@ void StreamServer::read_ready(ConnId id) {
     }
     if (n == 0) {
       close_connection(id,
-                       conn.decoder.mid_frame()
+                       !options_.raw_stream && conn.decoder.mid_frame()
                            ? Status(make_error(ErrorCode::kUnavailable,
                                                "peer disconnected "
                                                "mid-message"))
@@ -399,6 +408,17 @@ void StreamServer::read_ready(ConnId id) {
       return;
     }
     count_stream_bytes("rx", static_cast<std::size_t>(n));
+    conn.stats->bytes_rx.fetch_add(static_cast<std::uint64_t>(n),
+                                   std::memory_order_relaxed);
+    if (options_.raw_stream) {
+      if (callbacks_.on_data) {
+        callbacks_.on_data(id,
+                           BytesView(chunk, static_cast<std::size_t>(n)));
+      }
+      // The callback may have closed the connection (bad request).
+      if (!connections_.contains(id)) return;
+      continue;
+    }
     auto fed = conn.decoder.feed(BytesView(chunk, static_cast<std::size_t>(n)));
     if (!fed.ok()) {
       close_connection(id, fed);
@@ -408,6 +428,7 @@ void StreamServer::read_ready(ConnId id) {
       obs::MetricsRegistry::global()
           .counter(obs::kNetFramesTotal, {{"dir", "rx"}})
           .increment();
+      conn.stats->frames_rx.fetch_add(1, std::memory_order_relaxed);
       if (callbacks_.on_frame) callbacks_.on_frame(id, std::move(*frame));
       // The callback may have closed the connection (protocol error).
       if (!connections_.contains(id)) return;
@@ -439,13 +460,19 @@ bool StreamServer::flush_writes(ConnId id) {
       return false;
     }
     count_stream_bytes("tx", static_cast<std::size_t>(n));
+    conn.stats->bytes_tx.fetch_add(static_cast<std::uint64_t>(n),
+                                   std::memory_order_relaxed);
     conn.front_offset += static_cast<std::size_t>(n);
     conn.queued_bytes -= static_cast<std::size_t>(n);
+    total_queued_bytes_ -= static_cast<std::size_t>(n);
+    conn.stats->queued_bytes.store(conn.queued_bytes,
+                                   std::memory_order_relaxed);
     if (conn.front_offset == front.size()) {
       conn.write_queue.pop_front();
       conn.front_offset = 0;
     }
   }
+  if (!options_.raw_stream) publish_write_queue_gauge();
   if (conn.want_write) {
     conn.want_write = false;
     (void)poller_->modify(conn.fd, false);
@@ -468,14 +495,30 @@ Status StreamServer::send(ConnId id, BytesView payload) {
                       "payload exceeds frame cap",
                       std::to_string(payload.size()));
   }
-  Connection& conn = it->second;
-  const bool was_empty = conn.write_queue.empty();
-  Bytes frame = encode_frame(payload);
-  conn.queued_bytes += frame.size();
-  conn.write_queue.push_back(std::move(frame));
   obs::MetricsRegistry::global()
       .counter(obs::kNetFramesTotal, {{"dir", "tx"}})
       .increment();
+  it->second.stats->frames_tx.fetch_add(1, std::memory_order_relaxed);
+  return enqueue_bytes(id, encode_frame(payload));
+}
+
+Status StreamServer::send_raw(ConnId id, BytesView payload) {
+  if (connections_.find(id) == connections_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "unknown connection " + std::to_string(id));
+  }
+  return enqueue_bytes(id, Bytes(payload.begin(), payload.end()));
+}
+
+Status StreamServer::enqueue_bytes(ConnId id, Bytes wire_bytes) {
+  Connection& conn = connections_.at(id);
+  const bool was_empty = conn.write_queue.empty();
+  conn.queued_bytes += wire_bytes.size();
+  total_queued_bytes_ += wire_bytes.size();
+  conn.stats->queued_bytes.store(conn.queued_bytes,
+                                 std::memory_order_relaxed);
+  conn.write_queue.push_back(std::move(wire_bytes));
+  if (!options_.raw_stream) publish_write_queue_gauge();
   if (conn.queued_bytes > options_.max_write_queue_bytes) {
     // Slow consumer: shedding beats unbounded buffering.
     obs::MetricsRegistry::global()
@@ -513,14 +556,47 @@ void StreamServer::close_connection(ConnId id, const Status& reason) {
   auto it = connections_.find(id);
   if (it == connections_.end()) return;
   const int fd = it->second.fd;
+  total_queued_bytes_ -= it->second.queued_bytes;
   poller_->remove(fd);
   ::close(fd);
   conn_by_fd_.erase(fd);
   connections_.erase(it);
-  obs::MetricsRegistry::global()
-      .gauge(obs::kNetConnsActive)
-      .set(static_cast<double>(connections_.size()));
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.erase(id);
+  }
+  if (!options_.raw_stream) {
+    obs::MetricsRegistry::global()
+        .gauge(obs::kNetConnsActive)
+        .set(static_cast<double>(connections_.size()));
+    publish_write_queue_gauge();
+  }
   if (callbacks_.on_close) callbacks_.on_close(id, reason);
+}
+
+void StreamServer::publish_write_queue_gauge() {
+  obs::MetricsRegistry::global()
+      .gauge(obs::kNetWriteQueueBytes)
+      .set(static_cast<double>(total_queued_bytes_));
+}
+
+std::vector<StreamServer::ConnectionStats> StreamServer::connection_stats()
+    const {
+  std::vector<ConnectionStats> out;
+  std::lock_guard lock(stats_mutex_);
+  out.reserve(stats_.size());
+  for (const auto& [id, counters] : stats_) {
+    ConnectionStats s;
+    s.id = id;
+    s.transport = counters->transport;
+    s.bytes_rx = counters->bytes_rx.load(std::memory_order_relaxed);
+    s.bytes_tx = counters->bytes_tx.load(std::memory_order_relaxed);
+    s.frames_rx = counters->frames_rx.load(std::memory_order_relaxed);
+    s.frames_tx = counters->frames_tx.load(std::memory_order_relaxed);
+    s.queued_bytes = counters->queued_bytes.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 }  // namespace e2e::net

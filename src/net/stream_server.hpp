@@ -32,6 +32,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -76,16 +78,39 @@ class StreamServer {
     /// Slow-consumer bound on queued unwritten bytes per connection.
     std::size_t max_write_queue_bytes = 4u << 20;
     bool force_poll = false;
+    /// Raw byte-stream mode (the admin plane's HTTP listener): no frame
+    /// decoding — on_data delivers bytes as they arrive, send_raw()
+    /// writes without a length prefix. A raw server also skips the
+    /// net-plane gauges and frame counters (kNetConnsActive,
+    /// kNetWriteQueueBytes, kNetFramesTotal, kNetConnsAcceptedTotal) so
+    /// two servers in one process never fight over shared series; byte
+    /// counters still accumulate (counters merge safely).
+    bool raw_stream = false;
   };
 
   struct Callbacks {
     /// A connection was accepted via the given listening endpoint.
     std::function<void(ConnId, const Endpoint& via)> on_open;
-    /// One complete frame arrived.
+    /// One complete frame arrived (framed mode only).
     std::function<void(ConnId, Bytes frame)> on_frame;
+    /// A chunk of bytes arrived (raw_stream mode only).
+    std::function<void(ConnId, BytesView data)> on_data;
     /// The connection is gone (peer close, error, idle timeout, shed).
     /// `reason` is ok for an orderly peer close.
     std::function<void(ConnId, const Status& reason)> on_close;
+  };
+
+  /// Point-in-time view of one live connection, for /statz. Counts come
+  /// from relaxed atomics the loop thread updates — individually exact,
+  /// mutually unordered.
+  struct ConnectionStats {
+    ConnId id = 0;
+    std::string transport;        // "tcp" | "unix"
+    std::uint64_t bytes_rx = 0;   // stream bytes received
+    std::uint64_t bytes_tx = 0;   // stream bytes written to the socket
+    std::uint64_t frames_rx = 0;  // frames decoded (0 in raw mode)
+    std::uint64_t frames_tx = 0;  // frames queued (0 in raw mode)
+    std::uint64_t queued_bytes = 0;  // unwritten bytes in flight
   };
 
   StreamServer(Options options, Callbacks callbacks);
@@ -113,13 +138,36 @@ class StreamServer {
   /// returns kUnavailable when the write queue bound is exceeded.
   Status send(ConnId id, BytesView payload);
 
+  /// Queue raw bytes with no length prefix (loop thread only; raw_stream
+  /// servers). Same backpressure contract as send().
+  Status send_raw(ConnId id, BytesView payload);
+
   /// Close once pending writes drain (loop thread only).
   void close_after_flush(ConnId id);
 
   std::size_t connection_count() const { return connections_.size(); }
+
+  /// Snapshot of every live connection, sorted by id. Thread-safe (this
+  /// is the one introspection entry point foreign threads may call while
+  /// the loop runs).
+  std::vector<ConnectionStats> connection_stats() const;
+
   const char* poller_name() const;
 
  private:
+  /// Live counters shared between the loop thread (writer) and
+  /// connection_stats() (reader). The map entry is guarded by
+  /// stats_mutex_; the counts themselves are lock-free atomics so the
+  /// hot read/write paths never take that mutex.
+  struct ConnCounters {
+    std::string transport;
+    std::atomic<std::uint64_t> bytes_rx{0};
+    std::atomic<std::uint64_t> bytes_tx{0};
+    std::atomic<std::uint64_t> frames_rx{0};
+    std::atomic<std::uint64_t> frames_tx{0};
+    std::atomic<std::uint64_t> queued_bytes{0};
+  };
+
   struct Connection {
     int fd = -1;
     Endpoint via;
@@ -130,6 +178,7 @@ class StreamServer {
     std::chrono::steady_clock::time_point last_activity;
     bool closing_after_flush = false;
     bool want_write = false;
+    std::shared_ptr<ConnCounters> stats;
   };
 
   void accept_ready(int listener_fd);
@@ -137,10 +186,15 @@ class StreamServer {
   /// Write as much queued data as the socket takes; registers EPOLLOUT
   /// interest on a partial write. Returns false when the connection died.
   bool flush_writes(ConnId id);
+  /// Shared enqueue path for send()/send_raw(): bound check, inline
+  /// flush, backpressure accounting.
+  Status enqueue_bytes(ConnId id, Bytes wire_bytes);
   void close_connection(ConnId id, const Status& reason);
   void sweep_idle();
   int next_timeout_ms() const;
   void drain_wake_pipe();
+  /// Republish the total-unwritten-bytes gauge (framed servers only).
+  void publish_write_queue_gauge();
 
   Options options_;
   Callbacks callbacks_;
@@ -150,11 +204,15 @@ class StreamServer {
   std::map<ConnId, Connection> connections_;
   std::map<int, ConnId> conn_by_fd_;
   ConnId next_conn_id_ = 1;
+  std::size_t total_queued_bytes_ = 0;  // across all connections
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> drain_requested_{false};
   bool draining_ = false;
+
+  mutable std::mutex stats_mutex_;
+  std::map<ConnId, std::shared_ptr<ConnCounters>> stats_;
 };
 
 }  // namespace e2e::net

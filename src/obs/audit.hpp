@@ -35,6 +35,7 @@ inline constexpr char kPolicy[] = "policy";
 inline constexpr char kDelegation[] = "delegation";
 inline constexpr char kAdmission[] = "admission";
 inline constexpr char kRecovery[] = "recovery";
+inline constexpr char kShutdown[] = "shutdown";
 }  // namespace audit_kind
 
 /// Hash-chain primitives shared with the broker write-ahead log (bb/wal.*):

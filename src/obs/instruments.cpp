@@ -38,8 +38,14 @@ std::vector<MetricInfo> build_catalog() {
        "Reservations committed by a broker"},
       {kBbReservationsReleasedTotal, MetricType::kCounter, kOne, {"domain"},
        "Reservations released or purged by a broker"},
+      {kBbShardBusyUsTotal, MetricType::kCounter, kUs, {"worker"},
+       "Wall-clock microseconds shard workers spent running drained tasks"},
+      {kBbShardDrainBatch, MetricType::kHistogram, kOne, {},
+       "Tasks drained per shard-worker wakeup (batch coalescing factor)"},
       {kBbShardQueueDepth, MetricType::kGauge, kOne, {},
        "Requests queued across shard-engine workers (published per drain)"},
+      {kBbShardQueueDepthHighwater, MetricType::kGauge, kOne, {},
+       "High-water mark of the total shard queue depth since engine start"},
       {kBbShardRequestsTotal, MetricType::kCounter, kOne, {"worker"},
        "Requests executed by shard-engine workers"},
       {kBbTunnelsRegisteredTotal, MetricType::kCounter, kOne, {"domain"},
@@ -98,11 +104,18 @@ std::vector<MetricInfo> build_catalog() {
       {kNetStreamBytesTotal, MetricType::kCounter, "bytes", {"dir"},
        "Raw stream bytes moved over socket transports (frame headers "
        "included)"},
+      {kNetWriteQueueBytes, MetricType::kGauge, "bytes", {},
+       "Bytes queued and not yet written across a stream server's "
+       "per-connection write queues"},
+      {kObsAdminRequestsTotal, MetricType::kCounter, kOne, {"path"},
+       "Admin-plane HTTP requests served, by route"},
       {kObsAuditRecordsTotal, MetricType::kCounter, kOne, {"kind"},
        "Audit records appended to the hash-chained audit log"},
       {kObsDroppedLabelsTotal, MetricType::kCounter, kOne, {"metric"},
        "Series lookups routed to the overflow series by the cardinality "
        "cap"},
+      {kObsSnapshotCacheTotal, MetricType::kCounter, kOne, {"result"},
+       "Scrape-safe registry snapshot cache hits and refreshes"},
       {kObsTraceCtxBytesTotal, MetricType::kCounter, "bytes", {},
        "Unsigned-envelope bytes spent carrying trace context"},
       {kObsTraceCtxPropagatedTotal, MetricType::kCounter, kOne, {},
@@ -155,6 +168,10 @@ std::vector<MetricInfo> build_catalog() {
        "RAR trust verifications (transitive trust or direct user auth)"},
       {kSloBreachesTotal, MetricType::kCounter, kOne, {"objective"},
        "Objective evaluations that found at least one budget exceeded"},
+      {kSloBurnAlertsTotal, MetricType::kCounter, kOne, {"objective"},
+       "Burn-rate alert edges (not-alerting to alerting transitions)"},
+      {kSloBurnRate, MetricType::kGauge, kOne, {"objective", "window"},
+       "Latest error-budget burn multiple over a real-time window"},
       {kSloEvaluationsTotal, MetricType::kCounter, kOne, {"result"},
        "SLO objective evaluations performed"},
       {kSloLatencyQuantileUs, MetricType::kGauge, kUs,
@@ -199,6 +216,11 @@ void register_all(MetricsRegistry& registry) {
     // to the largest plausible burst.
     if (info.type == MetricType::kHistogram &&
         std::string(info.name) == kBbWalGroupCommitRecords) {
+      metadata.buckets = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+    }
+    // Shard drain batches coalesce the same way group commits do.
+    if (info.type == MetricType::kHistogram &&
+        std::string(info.name) == kBbShardDrainBatch) {
       metadata.buckets = {1, 2, 4, 8, 16, 32, 64, 128, 256};
     }
     registry.declare(std::move(metadata));

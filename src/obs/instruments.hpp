@@ -116,6 +116,14 @@ inline constexpr char kObsDroppedLabelsTotal[] =
 /// kind=peer_auth|verify|policy|delegation|admission.
 inline constexpr char kObsAuditRecordsTotal[] =
     "e2e_obs_audit_records_total";
+/// Admin-plane HTTP requests served (wall-clock daemon only). Labels:
+/// path=/metrics|/metrics.json|/healthz|/readyz|/statz|/tracez|other.
+inline constexpr char kObsAdminRequestsTotal[] =
+    "e2e_obs_admin_requests_total";
+/// Scrape-safe registry snapshot cache behavior: a scrape either reused
+/// the cached rendering or forced a refresh. Labels: result=hit|refresh.
+inline constexpr char kObsSnapshotCacheTotal[] =
+    "e2e_obs_snapshot_cache_total";
 
 // --- slo: objective evaluation ------------------------------------------------
 /// Latest estimated latency quantile per objective (us of virtual time).
@@ -126,6 +134,12 @@ inline constexpr char kSloLatencyQuantileUs[] = "e2e_slo_latency_quantile_us";
 inline constexpr char kSloBreachesTotal[] = "e2e_slo_breaches_total";
 /// Objective evaluations performed. Labels: result=ok|breach|no_data.
 inline constexpr char kSloEvaluationsTotal[] = "e2e_slo_evaluations_total";
+/// Latest error-budget burn multiple over a real-time window (wall clock;
+/// daemon admin plane only). Labels: objective, window (e.g. 60s).
+inline constexpr char kSloBurnRate[] = "e2e_slo_burn_rate";
+/// Burn-rate alert edges (not-alerting -> alerting transitions). Labels:
+/// objective.
+inline constexpr char kSloBurnAlertsTotal[] = "e2e_slo_burn_alerts_total";
 
 // --- bb: bandwidth broker ------------------------------------------------------
 /// Admission decisions at commit time. Labels: domain,
@@ -149,6 +163,15 @@ inline constexpr char kBbShardRequestsTotal[] = "e2e_bb_shard_requests_total";
 /// Requests currently queued across all shard-engine workers (published
 /// after each drain, so spikes between drains are invisible by design).
 inline constexpr char kBbShardQueueDepth[] = "e2e_bb_shard_queue_depth";
+/// High-water mark of the total shard queue depth since engine start
+/// (updated at enqueue, so spikes between drains ARE visible here).
+inline constexpr char kBbShardQueueDepthHighwater[] =
+    "e2e_bb_shard_queue_depth_highwater";
+/// Wall-clock microseconds shard workers spent running drained tasks
+/// (busy fraction = rate of this over wall time). Labels: worker.
+inline constexpr char kBbShardBusyUsTotal[] = "e2e_bb_shard_busy_us_total";
+/// Tasks drained per worker wakeup (batch coalescing factor).
+inline constexpr char kBbShardDrainBatch[] = "e2e_bb_shard_drain_batch";
 /// Wall-clock time a broker spent deciding one admission (or one batch;
 /// the only wall-clock histogram — every other latency metric is virtual
 /// time, so this family's values vary run to run). Labels: domain.
@@ -234,6 +257,10 @@ inline constexpr char kNetFramingErrorsTotal[] =
     "e2e_net_framing_errors_total";
 /// Connections closed by the server's idle-timeout sweep.
 inline constexpr char kNetIdleClosesTotal[] = "e2e_net_idle_closes_total";
+/// Bytes queued and not yet written across a stream server's per-
+/// connection write queues (RPC listener only; the admin listener stays
+/// out of this gauge).
+inline constexpr char kNetWriteQueueBytes[] = "e2e_net_write_queue_bytes";
 
 /// One catalog row (drives registration, export metadata and the contract
 /// test).

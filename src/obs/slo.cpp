@@ -25,7 +25,18 @@ std::string format_rate(double v) {
 }  // namespace
 
 double estimate_quantile(const Histogram::Snapshot& snapshot, double q) {
-  if (snapshot.count == 0 || snapshot.bounds.empty()) return 0;
+  // Edge cases first (bbstat renders these live; they must never be NaN
+  // or sentinel garbage):
+  //  - no observations -> 0 (there is no distribution to estimate);
+  //  - out-of-range q  -> clamped into [0, 1];
+  //  - no finite buckets (bounds empty, everything in the one overflow
+  //    bucket) -> the mean, the only location information we have.
+  if (snapshot.count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  if (snapshot.bounds.empty()) {
+    return snapshot.sum / static_cast<double>(snapshot.count);
+  }
   const double target = q * static_cast<double>(snapshot.count);
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < snapshot.bounds.size(); ++i) {
@@ -41,7 +52,16 @@ double estimate_quantile(const Histogram::Snapshot& snapshot, double q) {
       return lower + fraction * (upper - lower);
     }
   }
-  // Overflow bucket: all we know is "above the last bound"; clamp.
+  // The target falls in the overflow bucket: all we know is "above the
+  // last bound". Clamp to it — unless EVERY observation overflowed, in
+  // which case the mean is a strictly better (and still finite) estimate.
+  const bool all_overflowed = snapshot.counts.size() > snapshot.bounds.size()
+                                  ? snapshot.counts.back() == snapshot.count
+                                  : false;
+  if (all_overflowed) {
+    const double mean = snapshot.sum / static_cast<double>(snapshot.count);
+    return mean > snapshot.bounds.back() ? mean : snapshot.bounds.back();
+  }
   return snapshot.bounds.back();
 }
 

@@ -198,7 +198,7 @@ TEST(TelemetryContract, DocListsEveryAuditKindAndEmittedField) {
   for (const char* kind :
        {audit_kind::kPeerAuth, audit_kind::kVerify, audit_kind::kPolicy,
         audit_kind::kDelegation, audit_kind::kAdmission,
-        audit_kind::kRecovery}) {
+        audit_kind::kRecovery, audit_kind::kShutdown}) {
     EXPECT_NE(doc.find("`" + std::string(kind) + "`"), std::string::npos)
         << "audit kind `" << kind
         << "` is in obs/audit.hpp but not documented in "
@@ -212,7 +212,8 @@ TEST(TelemetryContract, DocListsEveryAuditKindAndEmittedField) {
   AuditLog::global().clear();
   const std::set<std::string> known_kinds = {
       audit_kind::kPeerAuth,   audit_kind::kVerify,    audit_kind::kPolicy,
-      audit_kind::kDelegation, audit_kind::kAdmission, audit_kind::kRecovery};
+      audit_kind::kDelegation, audit_kind::kAdmission, audit_kind::kRecovery,
+      audit_kind::kShutdown};
   {
     ChainWorldConfig config;
     config.domains = 4;

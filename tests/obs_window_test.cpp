@@ -1,0 +1,239 @@
+// Unit tests for the wall-clock sliding-window instruments
+// (obs/window.hpp) and the histogram quantile estimator's edge cases
+// (obs/slo.hpp). Time is injected everywhere, so window rollover and
+// decay are fully deterministic.
+#include "obs/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "obs/instruments.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+
+namespace e2e::obs {
+namespace {
+
+using std::chrono::milliseconds;
+
+// ---------------------------------------------------------------------
+// WindowRate: rollover determinism under an injected clock.
+
+TEST(WindowRate, SumsWithinTheWindow) {
+  WindowRate rate(milliseconds(1000), /*slots=*/10);  // 100ms slots
+  rate.record(0, 1);
+  rate.record(250, 2);
+  rate.record(900, 4);
+  EXPECT_DOUBLE_EQ(rate.total(900), 7.0);
+  EXPECT_DOUBLE_EQ(rate.per_second(900), 7.0);
+}
+
+TEST(WindowRate, OldSlotsExpireAsTheWindowSlides) {
+  WindowRate rate(milliseconds(1000), /*slots=*/10);
+  rate.record(0, 5);
+  rate.record(500, 3);
+  // At t=999 everything is inside the window.
+  EXPECT_DOUBLE_EQ(rate.total(999), 8.0);
+  // At t=1100 the t=0 slot (absolute index 0) has slid out.
+  EXPECT_DOUBLE_EQ(rate.total(1100), 3.0);
+  // At t=1600 the t=500 slot is gone too.
+  EXPECT_DOUBLE_EQ(rate.total(1600), 0.0);
+}
+
+TEST(WindowRate, RolloverIsDeterministicSlotGranular) {
+  WindowRate rate(milliseconds(600), /*slots=*/6);  // 100ms slots
+  rate.record(50, 1);  // slot index 0
+  // Live indices are (current - slots, current]: the slot drops out
+  // exactly when the window's trailing edge passes the whole slot,
+  // never mid-slot.
+  EXPECT_DOUBLE_EQ(rate.total(550), 1.0);
+  EXPECT_DOUBLE_EQ(rate.total(599), 1.0);
+  EXPECT_DOUBLE_EQ(rate.total(600), 0.0);
+}
+
+TEST(WindowRate, RingReuseAfterLongGap) {
+  WindowRate rate(milliseconds(1000), /*slots=*/10);
+  rate.record(0, 9);
+  // A gap much longer than the window must not resurrect stale slots.
+  rate.record(100000, 1);
+  EXPECT_DOUBLE_EQ(rate.total(100000), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// WindowedHistogram: slot-granular decay, merged snapshots.
+
+TEST(WindowedHistogram, SnapshotMergesLiveSlots) {
+  WindowedHistogram hist(milliseconds(1200), /*slots=*/12, {10, 100});
+  hist.observe(0, 5);
+  hist.observe(400, 50);
+  hist.observe(800, 500);  // overflow
+  const Histogram::Snapshot snap = hist.snapshot(1000);
+  ASSERT_EQ(snap.bounds.size(), 2u);
+  ASSERT_EQ(snap.counts.size(), 3u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 555.0);
+}
+
+TEST(WindowedHistogram, ObservationsDecayBySlot) {
+  WindowedHistogram hist(milliseconds(1000), /*slots=*/10, {10, 100});
+  hist.observe(0, 5);
+  hist.observe(0, 7);
+  hist.observe(500, 50);
+  EXPECT_EQ(hist.snapshot(900).count, 3u);
+  // The whole t=0 sub-window leaves together once it slides out.
+  const Histogram::Snapshot later = hist.snapshot(1150);
+  EXPECT_EQ(later.count, 1u);
+  EXPECT_DOUBLE_EQ(later.sum, 50.0);
+  // And eventually the window is empty again.
+  EXPECT_EQ(hist.snapshot(5000).count, 0u);
+}
+
+// ---------------------------------------------------------------------
+// estimate_quantile edge cases (the /metrics gauges and bbstat render
+// these live; they must be finite and sane for degenerate snapshots).
+
+TEST(EstimateQuantile, EmptyHistogramIsZero) {
+  Histogram h({10, 100});
+  EXPECT_DOUBLE_EQ(estimate_quantile(h.snapshot(), 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_quantile(h.snapshot(), 0.99), 0.0);
+}
+
+TEST(EstimateQuantile, SingleSampleInterpolatesWithinItsBucket) {
+  Histogram h({10, 100});
+  h.observe(42);  // lands in the (10, 100] bucket
+  const Histogram::Snapshot snap = h.snapshot();
+  // Every quantile must land inside the containing bucket, not outside
+  // the distribution's support.
+  for (const double q : {0.01, 0.5, 0.99}) {
+    const double estimate = estimate_quantile(snap, q);
+    EXPECT_GT(estimate, 10.0) << "q=" << q;
+    EXPECT_LE(estimate, 100.0) << "q=" << q;
+  }
+  // p100 is the bucket's upper bound exactly.
+  EXPECT_DOUBLE_EQ(estimate_quantile(snap, 1.0), 100.0);
+}
+
+TEST(EstimateQuantile, AllOverflowUsesMeanNotInfinity) {
+  Histogram h({10, 100});
+  h.observe(5000);
+  h.observe(7000);
+  // Every observation overflowed: the last finite bound (100) would be a
+  // wild underestimate, so the estimator falls back to the mean.
+  EXPECT_DOUBLE_EQ(estimate_quantile(h.snapshot(), 0.99), 6000.0);
+}
+
+TEST(EstimateQuantile, MixedOverflowClampsToLastBound) {
+  Histogram h({10, 100});
+  h.observe(5);
+  h.observe(5000);
+  // p99 falls in the overflow bucket but finite buckets have data: all
+  // we know is "above the last bound", so clamp to it.
+  EXPECT_DOUBLE_EQ(estimate_quantile(h.snapshot(), 0.99), 100.0);
+}
+
+TEST(EstimateQuantile, NoFiniteBucketsFallsBackToMean) {
+  Histogram h(std::vector<double>{});
+  h.observe(30);
+  h.observe(50);
+  EXPECT_DOUBLE_EQ(estimate_quantile(h.snapshot(), 0.5), 40.0);
+}
+
+TEST(EstimateQuantile, OutOfRangeQuantileIsClamped) {
+  Histogram h({10, 100});
+  h.observe(42);
+  EXPECT_DOUBLE_EQ(estimate_quantile(h.snapshot(), 1.5),
+                   estimate_quantile(h.snapshot(), 1.0));
+  EXPECT_DOUBLE_EQ(estimate_quantile(h.snapshot(), -0.5),
+                   estimate_quantile(h.snapshot(), 0.0));
+}
+
+// ---------------------------------------------------------------------
+// BurnRateTracker: empty-window evaluation, threshold crossings,
+// edge-triggered alert accounting.
+
+BurnRateSpec test_spec() {
+  BurnRateSpec spec;
+  spec.objective = "test.rpc";
+  spec.budget_error_rate = 0.01;
+  spec.window = milliseconds(60000);
+  spec.alert_threshold = 10.0;
+  return spec;
+}
+
+TEST(BurnRateTracker, EmptyWindowHasNoDataAndNeverAlerts) {
+  BurnRateTracker tracker(test_spec());
+  const auto eval = tracker.evaluate(0);
+  EXPECT_FALSE(eval.has_data);
+  EXPECT_DOUBLE_EQ(eval.total, 0.0);
+  EXPECT_DOUBLE_EQ(eval.burn_rate, 0.0);
+  EXPECT_FALSE(eval.alerting);
+}
+
+TEST(BurnRateTracker, HealthyTrafficBurnsBelowThreshold) {
+  BurnRateTracker tracker(test_spec());
+  for (int i = 0; i < 100; ++i) tracker.record(1000, /*bad=*/false);
+  tracker.record(1000, /*bad=*/true);  // ~1% errors = 1x burn
+  const auto eval = tracker.evaluate(1000);
+  EXPECT_TRUE(eval.has_data);
+  EXPECT_NEAR(eval.error_rate, 1.0 / 101.0, 1e-9);
+  EXPECT_NEAR(eval.burn_rate, eval.error_rate / 0.01, 1e-9);
+  EXPECT_FALSE(eval.alerting);
+}
+
+TEST(BurnRateTracker, CrossingTheThresholdAlerts) {
+  BurnRateTracker tracker(test_spec());
+  // 20% errors = 20x the 1% budget, above the 10x threshold.
+  for (int i = 0; i < 80; ++i) tracker.record(1000, /*bad=*/false);
+  for (int i = 0; i < 20; ++i) tracker.record(1000, /*bad=*/true);
+  const auto eval = tracker.evaluate(1000);
+  EXPECT_TRUE(eval.has_data);
+  EXPECT_NEAR(eval.burn_rate, 20.0, 1e-9);
+  EXPECT_TRUE(eval.alerting);
+  // Once the bad slots slide out of the window, the alert clears.
+  const auto later = tracker.evaluate(200000);
+  EXPECT_FALSE(later.has_data);
+  EXPECT_FALSE(later.alerting);
+}
+
+TEST(BurnRateTracker, PublishCountsAlertEdgesNotScrapes) {
+  MetricsRegistry registry;
+  BurnRateTracker tracker(test_spec());
+  const Labels alert_labels = {{"objective", "test.rpc"}};
+  const Labels burn_labels = {{"objective", "test.rpc"}, {"window", "60s"}};
+
+  // Healthy first: gauge published, no alert.
+  for (int i = 0; i < 100; ++i) tracker.record(1000, /*bad=*/false);
+  tracker.publish(registry, 1000);
+  EXPECT_EQ(registry.counter(kSloBurnAlertsTotal, alert_labels).value(), 0u);
+
+  // Breach: the not-alerting -> alerting edge counts exactly once even
+  // across repeated scrapes.
+  for (int i = 0; i < 100; ++i) tracker.record(2000, /*bad=*/true);
+  tracker.publish(registry, 2000);
+  tracker.publish(registry, 2100);
+  tracker.publish(registry, 2200);
+  EXPECT_EQ(registry.counter(kSloBurnAlertsTotal, alert_labels).value(), 1u);
+  EXPECT_GE(registry.gauge(kSloBurnRate, burn_labels).value(), 10.0);
+
+  // Recovery clears the gauge's alerting level; a second breach is a
+  // second edge.
+  tracker.publish(registry, 200000);
+  EXPECT_DOUBLE_EQ(registry.gauge(kSloBurnRate, burn_labels).value(), 0.0);
+  for (int i = 0; i < 100; ++i) tracker.record(300000, /*bad=*/true);
+  tracker.publish(registry, 300000);
+  EXPECT_EQ(registry.counter(kSloBurnAlertsTotal, alert_labels).value(), 2u);
+}
+
+TEST(BurnRateSpec, WindowLabelRendersSecondsOrMilliseconds) {
+  BurnRateSpec spec = test_spec();
+  EXPECT_EQ(spec.window_label(), "60s");
+  spec.window = milliseconds(1500);
+  EXPECT_EQ(spec.window_label(), "1500ms");
+}
+
+}  // namespace
+}  // namespace e2e::obs

@@ -6,10 +6,18 @@
 // TCP ports resolved), then serves until SIGINT/SIGTERM or a kShutdown
 // request.
 //
+// With --admin, a second plaintext listener serves the telemetry plane
+// (GET /metrics, /metrics.json, /healthz, /readyz, /statz, /tracez — see
+// docs/OBSERVABILITY.md) and prints one "admin on <endpoint>" line per
+// bound admin listener. On graceful drain the daemon appends an audit
+// "shutdown" record and writes a final metrics snapshot to --metrics-out
+// (default bbd.metrics.json; pass an empty string to disable).
+//
 // Usage:
 //   bbd [--listen tcp:HOST:PORT | --listen unix:/PATH]...
-//       [--domains N] [--seed N]
-//       [--durability-dir DIR] [--recover]
+//       [--admin tcp:HOST:PORT | --admin unix:/PATH]...
+//       [--domains N] [--seed N] [--admission-threads N]
+//       [--durability-dir DIR] [--recover] [--metrics-out PATH]
 //       [--idle-timeout-ms N] [--force-poll] [--auth-seed N]
 #include <csignal>
 #include <cstdio>
@@ -30,9 +38,11 @@ void on_signal(int) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--listen tcp:HOST:PORT|unix:/PATH]... [--domains N]"
-               " [--seed N] [--durability-dir DIR] [--recover]"
-               " [--idle-timeout-ms N] [--force-poll] [--auth-seed N]\n",
+               "usage: %s [--listen tcp:HOST:PORT|unix:/PATH]..."
+               " [--admin tcp:HOST:PORT|unix:/PATH]... [--domains N]"
+               " [--seed N] [--admission-threads N] [--durability-dir DIR]"
+               " [--recover] [--metrics-out PATH] [--idle-timeout-ms N]"
+               " [--force-poll] [--auth-seed N]\n",
                argv0);
   return 2;
 }
@@ -41,6 +51,9 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   e2e::net::BbdService::Options options;
+  // Tool-level default; the embedding service default stays "disabled" so
+  // in-process harnesses never drop files. --metrics-out '' opts out.
+  options.metrics_out = "bbd.metrics.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -56,6 +69,24 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.listen_on.push_back(endpoint.value());
+    } else if (arg == "--admin") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      auto endpoint = e2e::net::Endpoint::parse(value);
+      if (!endpoint.ok()) {
+        std::fprintf(stderr, "bbd: bad admin endpoint '%s': %s\n", value,
+                     endpoint.error().to_text().c_str());
+        return 2;
+      }
+      options.admin_on.push_back(endpoint.value());
+    } else if (arg == "--admission-threads") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      options.world.admission_threads = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--metrics-out") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      options.metrics_out = value;
     } else if (arg == "--domains") {
       const char* value = next();
       if (value == nullptr) return usage(argv[0]);
@@ -102,6 +133,9 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
   for (const auto& endpoint : service.bound_endpoints()) {
     std::printf("listening on %s\n", endpoint.to_string().c_str());
+  }
+  for (const auto& endpoint : service.admin_endpoints()) {
+    std::printf("admin on %s\n", endpoint.to_string().c_str());
   }
   std::printf("poller %s\n", service.poller_name());
   std::fflush(stdout);

@@ -7,15 +7,24 @@
 //
 // Usage:
 //   tracedump [--engine hopbyhop|source|tunnel] [--domains N] [--faults]
+//   tracedump --from-json PATH|-
 //
 // --faults installs a lossy fault profile plus the retry policy, so the
 // dumped trace shows retransmissions (retry.attempts annotations) while
 // still reconstructing a single trace id. Output is deterministic for a
 // given flag combination.
+//
+// --from-json renders trace trees from a live daemon's /tracez document
+// instead of running a reservation locally:
+//   bbstat unix:/tmp/bbd.admin.sock --get /tracez | tracedump --from-json -
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 
+#include "common/json_reader.hpp"
 #include "kit/chain_world.hpp"
 #include "obs/audit.hpp"
 #include "obs/collector.hpp"
@@ -29,9 +38,83 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--engine hopbyhop|source|tunnel] [--domains N] "
-               "[--faults]\n",
-               argv0);
+               "[--faults] | %s --from-json PATH|-\n",
+               argv0, argv0);
   return 2;
+}
+
+/// Render the admin plane's /tracez document (obs::tracez_json wire
+/// format) as indented trace trees, one per trace.
+int dump_from_json(const std::string& path) {
+  std::string text;
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream file(path, std::ios::binary);
+    if (!file.is_open()) {
+      std::fprintf(stderr, "tracedump: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+  auto parsed = json::parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "tracedump: %s\n",
+                 parsed.error().to_text().c_str());
+    return 1;
+  }
+  const json::Value* traces = parsed.value().find("traces");
+  if (traces == nullptr || !traces->is_array()) {
+    std::fprintf(stderr, "tracedump: document has no \"traces\" array\n");
+    return 1;
+  }
+  std::size_t total_spans = 0;
+  for (const json::Value& trace : traces->array) {
+    const json::Value* id = trace.find("trace_id");
+    const json::Value* spans = trace.find("spans");
+    if (id == nullptr || spans == nullptr || !spans->is_array()) continue;
+    std::printf("trace %s (%zu spans):\n", id->string.c_str(),
+                spans->array.size());
+    for (const json::Value& span : spans->array) {
+      const json::Value* depth = span.find("depth");
+      const json::Value* domain = span.find("domain");
+      const json::Value* name = span.find("name");
+      const json::Value* start = span.find("start_us");
+      const json::Value* end = span.find("end_us");
+      const json::Value* failed = span.find("failed");
+      const int indent =
+          depth != nullptr && depth->is_number()
+              ? static_cast<int>(depth->number)
+              : 0;
+      const double duration =
+          (end != nullptr ? end->number : 0) -
+          (start != nullptr ? start->number : 0);
+      std::printf("%*s[%s] %s %.0fus%s", 2 + 2 * indent, "",
+                  domain != nullptr ? domain->string.c_str() : "?",
+                  name != nullptr ? name->string.c_str() : "?", duration,
+                  failed != nullptr && failed->boolean ? " FAILED" : "");
+      const json::Value* attributes = span.find("attributes");
+      if (attributes != nullptr && !attributes->object.empty()) {
+        std::printf(" {");
+        bool first = true;
+        for (const auto& [key, value] : attributes->object) {
+          std::printf("%s%s=%s", first ? "" : ",", key.c_str(),
+                      value.string.c_str());
+          first = false;
+        }
+        std::printf("}");
+      }
+      std::printf("\n");
+      ++total_spans;
+    }
+  }
+  std::printf("traces: %zu, spans: %zu\n", traces->array.size(),
+              total_spans);
+  return 0;
 }
 
 struct Run {
@@ -79,7 +162,9 @@ int main(int argc, char** argv) {
   std::size_t domains = 3;
   bool faults = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--from-json") == 0 && i + 1 < argc) {
+      return dump_from_json(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       engine = argv[++i];
     } else if (std::strcmp(argv[i], "--domains") == 0 && i + 1 < argc) {
       domains = static_cast<std::size_t>(std::stoul(argv[++i]));
