@@ -42,17 +42,37 @@ inline void maybe_dump_grant(BytesView reply_bytes) {
 /// One forked daemon process + the socket path it serves on.
 class DaemonHarness {
  public:
-  /// Fork a child hosting BbdService on a fresh UNIX socket. When
-  /// `with_admin` is set the child also opens the plaintext admin plane
-  /// on a second UNIX socket (admin_endpoint()), for the scrape-overhead
-  /// bench mode.
+  /// Knobs for the forked child's BbdService. Zero-valued sizes keep the
+  /// service defaults.
+  struct LaunchSpec {
+    /// Open the plaintext admin plane on a second UNIX socket
+    /// (admin_endpoint()), for the scrape-overhead bench mode.
+    bool with_admin = false;
+    /// BbdService::Options::rpc_workers (0 = service default).
+    std::size_t rpc_workers = 0;
+    /// ChainWorldConfig::admission_threads (0 = config default).
+    std::size_t admission_threads = 0;
+  };
+
+  /// Fork a child hosting BbdService on a fresh UNIX socket.
   static DaemonHarness launch(bool with_admin = false) {
+    LaunchSpec spec;
+    spec.with_admin = with_admin;
+    return launch(spec);
+  }
+
+  static DaemonHarness launch(const LaunchSpec& spec) {
     DaemonHarness h;
+    // The counter keeps paths distinct when one bench process launches
+    // several daemons in sequence (load_daemon's serial vs pipelined
+    // runs).
+    static unsigned launch_count = 0;
     const std::string stem =
-        "/tmp/e2e_bench_bbd_" + std::to_string(static_cast<long>(::getpid()));
+        "/tmp/e2e_bench_bbd_" + std::to_string(static_cast<long>(::getpid())) +
+        "_" + std::to_string(launch_count++);
     h.socket_path_ = stem + ".sock";
     ::unlink(h.socket_path_.c_str());
-    if (with_admin) {
+    if (spec.with_admin) {
       h.admin_path_ = stem + ".admin.sock";
       ::unlink(h.admin_path_.c_str());
     }
@@ -64,6 +84,10 @@ class DaemonHarness {
       if (!h.admin_path_.empty()) {
         options.admin_on = {
             net::Endpoint::parse("unix:" + h.admin_path_).value()};
+      }
+      if (spec.rpc_workers != 0) options.rpc_workers = spec.rpc_workers;
+      if (spec.admission_threads != 0) {
+        options.world.admission_threads = spec.admission_threads;
       }
       net::BbdService service(std::move(options));
       if (!service.start().ok()) ::_exit(1);
@@ -106,9 +130,12 @@ class DaemonHarness {
   }
 
   /// Retry-connect until the child has built its world and listens.
-  Result<net::BbdClient> connect() const {
+  /// `pipeline_depth` > 1 asks hello() (which the caller still issues) to
+  /// negotiate that pipeline window; 1 keeps the serial wire.
+  Result<net::BbdClient> connect(std::uint64_t pipeline_depth = 1) const {
     net::BbdClient::Options options;
     options.connect_to = net::Endpoint::parse("unix:" + socket_path_).value();
+    options.pipeline_depth = pipeline_depth;
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(60);
     while (true) {

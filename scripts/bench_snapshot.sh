@@ -16,7 +16,10 @@
 #   BENCH_daemon.json  (bench/daemon_latency: wall-clock p50/p99 of a full
 #                       RAR setup through the in-memory world vs the same
 #                       ops over the UNIX-socket daemon — the transport
-#                       overhead of the bbd stack, docs/DAEMON.md)
+#                       overhead of the bbd stack, docs/DAEMON.md — plus a
+#                       "load" key folded in from bench/load_daemon: fleet
+#                       RARs/s serial vs pipelined, with a core-aware
+#                       pipeline-speedup gate)
 # so successive PRs can diff the numbers.
 #
 # Usage: ./scripts/bench_snapshot.sh           (full run)
@@ -28,7 +31,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
 cmake --build build -j --target micro_crypto micro_obs \
-  fig3_signalling_latency load_broker daemon_latency >/dev/null
+  fig3_signalling_latency load_broker daemon_latency load_daemon >/dev/null
 
 min_time=""
 if [[ "${SMOKE:-0}" == "1" ]]; then
@@ -78,6 +81,28 @@ fi
 (cd "$workdir" &&
   "$OLDPWD/build/bench/daemon_latency" ${load_flags:+"$load_flags"} \
     --json-out "$OLDPWD/BENCH_daemon.json" > daemon_latency.stdout.txt)
+
+# load_daemon drives a forked bbd with a client fleet, serial vs pipelined
+# (ISSUE 10). The bench itself enforces the core-aware gate — depth-8
+# pipeline >= 3x serial RARs/s on >= 4 cores, > 1x sanity on 2-3 cores,
+# recorded-only on one core — so a regression fails this script here. Its
+# summary is folded into BENCH_daemon.json under "load", preserving the
+# daemon_latency keys.
+(cd "$workdir" &&
+  "$OLDPWD/build/bench/load_daemon" ${load_flags:+"$load_flags"} \
+    --json-out "$OLDPWD/build/load_daemon.json" > load_daemon.stdout.txt) || {
+      cat "$workdir/load_daemon.stdout.txt"; exit 1; }
+python3 - <<'PY'
+import json
+daemon = json.load(open("BENCH_daemon.json"))
+load = json.load(open("build/load_daemon.json"))
+daemon["load"] = {k: v for k, v in load.items() if k != "bench"}
+daemon["load"]["source"] = "bench/load_daemon"
+with open("BENCH_daemon.json", "w") as out:
+    json.dump(daemon, out, indent=1)
+    out.write("\n")
+PY
+rm -f build/load_daemon.json
 
 # Fold the admin-plane scrape-overhead series into BENCH_obs.json so the
 # observability snapshot carries both costs of the telemetry layer: the

@@ -28,10 +28,12 @@
 #                                     soak, each in the default build and
 #                                     again under the ASan/UBSan preset)
 #        ./scripts/tier1.sh --daemon (socket transport gates: framing +
-#                                     transport-conformance + daemon suites,
-#                                     the multi-process soak and the admin-
-#                                     plane conformance suite, default
-#                                     build then ASan/UBSan; the scrape-
+#                                     transport-conformance + daemon +
+#                                     pipeline suites, the multi-process
+#                                     soak and the admin-plane conformance
+#                                     suite, default build then ASan/UBSan,
+#                                     then net_stream_test again under
+#                                     TSan (off-loop execution); the scrape-
 #                                     conformance gate — a live bbd with
 #                                     --admin scraped over /metrics, /statz
 #                                     and /healthz, families checked against
@@ -190,6 +192,15 @@ if [[ "${1:-}" == "--daemon" ]]; then
   ./build-asan/tests/daemon_soak_test
   ./build-asan/tests/daemon_admin_test
   echo "tier1 --daemon: stream/conformance/soak/admin suites OK (asan)"
+
+  # And under ThreadSanitizer (ISSUE 10): the pipeline suite drives
+  # cross-thread StreamServer::post(), the RPC worker pool and the
+  # pipelined client, so data races in the off-loop execution path are
+  # caught here, not in production.
+  cmake --preset tsan >/dev/null
+  cmake --build build-tsan -j --target net_stream_test >/dev/null
+  ./build-tsan/tests/net_stream_test
+  echo "tier1 --daemon: stream/conformance suites OK under TSan"
 
   # Scrape conformance: a live bbd with --admin must serve /healthz,
   # /statz (valid JSON, one shard per domain) and a parseable /metrics

@@ -18,19 +18,24 @@ thread_local std::ptrdiff_t tls_worker = -1;
 
 }  // namespace
 
-ShardEngine::ShardEngine(std::size_t workers) {
-  auto& registry = obs::MetricsRegistry::global();
-  depth_gauge_ = &registry.gauge(obs::kBbShardQueueDepth);
-  highwater_gauge_ = &registry.gauge(obs::kBbShardQueueDepthHighwater);
-  drain_batch_ = &registry.histogram(obs::kBbShardDrainBatch);
+ShardEngine::ShardEngine(std::size_t workers, bool register_metrics) {
+  if (register_metrics) {
+    auto& registry = obs::MetricsRegistry::global();
+    depth_gauge_ = &registry.gauge(obs::kBbShardQueueDepth);
+    highwater_gauge_ = &registry.gauge(obs::kBbShardQueueDepthHighwater);
+    drain_batch_ = &registry.histogram(obs::kBbShardDrainBatch);
+  }
   const std::size_t count = workers == 0 ? 1 : workers;
   workers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     workers_.push_back(std::make_unique<Worker>());
-    workers_.back()->requests = &registry.counter(
-        obs::kBbShardRequestsTotal, {{"worker", std::to_string(i)}});
-    workers_.back()->busy_us = &registry.counter(
-        obs::kBbShardBusyUsTotal, {{"worker", std::to_string(i)}});
+    if (register_metrics) {
+      auto& registry = obs::MetricsRegistry::global();
+      workers_.back()->requests = &registry.counter(
+          obs::kBbShardRequestsTotal, {{"worker", std::to_string(i)}});
+      workers_.back()->busy_us = &registry.counter(
+          obs::kBbShardBusyUsTotal, {{"worker", std::to_string(i)}});
+    }
   }
   // Threads start only after every Worker slot exists (a worker never
   // touches slots other than its own, but the vector must not reallocate
@@ -117,16 +122,23 @@ void ShardEngine::worker_loop(std::size_t index) {
             std::chrono::steady_clock::now() - busy_start)
             .count());
     // Instruments once per batch: the whole point of shard ownership is
-    // that the hot loop stops hammering shared cache lines.
-    w.requests->increment(drained);
-    w.busy_us->increment(busy_us);
+    // that the hot loop stops hammering shared cache lines. Null when
+    // this engine was built with register_metrics=false.
+    if (w.requests != nullptr) w.requests->increment(drained);
+    if (w.busy_us != nullptr) w.busy_us->increment(busy_us);
     w.tasks.fetch_add(drained, std::memory_order_relaxed);
     w.busy.fetch_add(busy_us, std::memory_order_relaxed);
-    drain_batch_->observe(static_cast<double>(drained));
-    depth_gauge_->set(static_cast<double>(
-        depth_.load(std::memory_order_relaxed)));
-    highwater_gauge_->set(static_cast<double>(
-        depth_highwater_.load(std::memory_order_relaxed)));
+    if (drain_batch_ != nullptr) {
+      drain_batch_->observe(static_cast<double>(drained));
+    }
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->set(static_cast<double>(
+          depth_.load(std::memory_order_relaxed)));
+    }
+    if (highwater_gauge_ != nullptr) {
+      highwater_gauge_->set(static_cast<double>(
+          depth_highwater_.load(std::memory_order_relaxed)));
+    }
   }
   tls_engine = nullptr;
   tls_worker = -1;

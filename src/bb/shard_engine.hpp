@@ -55,7 +55,14 @@ class ShardEngine {
   using Task = std::function<void()>;
 
   /// Spawns `workers` owner threads (>= 1; 0 is clamped to 1).
-  explicit ShardEngine(std::size_t workers);
+  ///
+  /// `register_metrics` controls whether this engine publishes the
+  /// e2e_bb_shard_* instruments. Exactly one engine per process should —
+  /// the broker's admission engine. Auxiliary engines reusing the same
+  /// queue/worker machinery (the daemon's RPC worker pool) pass false so
+  /// the admission series stay attributable to admission; their stats()
+  /// mirrors keep working either way.
+  explicit ShardEngine(std::size_t workers, bool register_metrics = true);
   /// Drains every queue, then joins the workers.
   ~ShardEngine();
   ShardEngine(const ShardEngine&) = delete;

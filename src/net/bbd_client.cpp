@@ -1,5 +1,6 @@
 #include "net/bbd_client.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace e2e::net {
@@ -27,28 +28,142 @@ Result<BbdClient> BbdClient::connect(const Options& options) {
                    std::move(initiator.session()));
 }
 
-Result<BbdResponse> BbdClient::call(BbdRequest request) {
+Status BbdClient::poison(const Error& error) {
+  broken_ = error;
+  // Every in-flight call fails with the same terminal error: once the
+  // seal chain or the socket is gone, no later frame can be trusted.
+  for (const auto& [id, deadline] : pending_) {
+    completed_.emplace(id, Result<BbdResponse>(error));
+  }
+  pending_.clear();
+  abandoned_.clear();
+  return Status(error);
+}
+
+Status BbdClient::pump_one(std::chrono::steady_clock::time_point deadline) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto budget =
+      deadline > now
+          ? std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                  now)
+          : std::chrono::milliseconds(0);
+  auto frame = socket_.recv_frame(budget);
+  if (!frame.ok()) {
+    if (frame.error().code == ErrorCode::kTimeout) return frame.error();
+    return poison(frame.error());
+  }
+  auto reply_record = sig::decode_record(frame.value());
+  if (!reply_record.ok()) return poison(reply_record.error());
+  // Open even when the id turns out to be abandoned: the receive
+  // sequence chain covers every frame in arrival order.
+  auto payload = session_.open(reply_record.value());
+  if (!payload.ok()) return poison(payload.error());
+  auto response = BbdResponse::decode(payload.value());
+  if (!response.ok()) return poison(response.error());
+  const std::uint64_t id = response.value().id;
+  if (const auto it = pending_.find(id); it != pending_.end()) {
+    pending_.erase(it);
+    completed_.emplace(id, std::move(response));
+    return Status::ok_status();
+  }
+  if (abandoned_.erase(id) > 0) {
+    // The late response to a timed-out call: discard, never mis-match.
+    return Status::ok_status();
+  }
+  return poison(make_error(ErrorCode::kBadMessage,
+                           "response id does not match request",
+                           std::to_string(id)));
+}
+
+Result<BbdClient::Call> BbdClient::call_async(BbdRequest request) {
+  if (broken_.has_value()) return *broken_;
+  // A full window blocks on the OLDEST call's own deadline; when it
+  // expires the slot is reclaimed by abandoning that call (its wait()
+  // will report kTimeout from completed_).
+  while (pending_.size() >= std::max<std::uint64_t>(window_, 1)) {
+    const auto oldest = pending_.begin();
+    const auto deadline = oldest->second;
+    const Status pumped = pump_one(deadline);
+    if (pumped.ok()) continue;
+    if (pumped.error().code != ErrorCode::kTimeout) return pumped.error();
+    if (std::chrono::steady_clock::now() < deadline) continue;
+    const std::uint64_t stale = oldest->first;
+    pending_.erase(stale);
+    abandoned_.insert(stale);
+    completed_.emplace(
+        stale,
+        Result<BbdResponse>(make_error(ErrorCode::kTimeout,
+                                       "pipelined call timed out",
+                                       std::to_string(stale))));
+  }
   request.id = next_id_++;
   const sig::Record record = session_.seal(request.encode());
   if (auto sent = socket_.send_frame(sig::encode_record(record));
       !sent.ok()) {
-    return sent.error();
+    return poison(sent.error()).error();
   }
-  auto frame = socket_.recv_frame(options_.call_timeout);
-  if (!frame.ok()) return frame.error();
-  auto reply_record = sig::decode_record(frame.value());
-  if (!reply_record.ok()) return reply_record.error();
-  auto payload = session_.open(reply_record.value());
-  if (!payload.ok()) return payload.error();
-  auto response = BbdResponse::decode(payload.value());
-  if (!response.ok()) return response.error();
-  if (response.value().id != request.id) {
-    return make_error(ErrorCode::kBadMessage,
-                      "response id does not match request",
-                      std::to_string(response.value().id));
+  pending_.emplace(request.id,
+                   std::chrono::steady_clock::now() + options_.call_timeout);
+  return Call{request.id};
+}
+
+Result<BbdResponse> BbdClient::wait(const Call& call) {
+  while (true) {
+    if (const auto done = completed_.find(call.id);
+        done != completed_.end()) {
+      Result<BbdResponse> response = std::move(done->second);
+      completed_.erase(done);
+      if (!response.ok()) return response;
+      if (!response.value().ok) return response.value().to_error();
+      return response;
+    }
+    const auto it = pending_.find(call.id);
+    if (it == pending_.end()) {
+      if (broken_.has_value()) return *broken_;
+      return make_error(ErrorCode::kInvalidArgument,
+                        "wait() on an unknown or already-waited call",
+                        std::to_string(call.id));
+    }
+    const auto deadline = it->second;
+    const Status pumped = pump_one(deadline);
+    if (pumped.ok()) continue;
+    if (pumped.error().code != ErrorCode::kTimeout) return pumped.error();
+    if (std::chrono::steady_clock::now() < deadline) continue;
+    // This call's own deadline passed: abandon it so a late response
+    // cannot be mis-matched to a newer id.
+    pending_.erase(call.id);
+    abandoned_.insert(call.id);
+    return make_error(ErrorCode::kTimeout, "pipelined call timed out",
+                      std::to_string(call.id));
   }
-  if (!response.value().ok) return response.value().to_error();
-  return response;
+}
+
+Status BbdClient::drain() {
+  while (!pending_.empty()) {
+    const auto oldest = pending_.begin();
+    const auto deadline = oldest->second;
+    const Status pumped = pump_one(deadline);
+    if (pumped.ok()) continue;
+    if (pumped.error().code != ErrorCode::kTimeout) return pumped;
+    if (std::chrono::steady_clock::now() < deadline) continue;
+    const std::uint64_t stale = oldest->first;
+    pending_.erase(stale);
+    abandoned_.insert(stale);
+    completed_.emplace(
+        stale,
+        Result<BbdResponse>(make_error(ErrorCode::kTimeout,
+                                       "pipelined call timed out",
+                                       std::to_string(stale))));
+  }
+  return broken_.has_value() ? Status(*broken_) : Status::ok_status();
+}
+
+Result<BbdResponse> BbdClient::call(BbdRequest request) {
+  // call_async + wait: with an empty pipe this is exactly the original
+  // serial round trip — same bytes, same blocking behavior.
+  auto handle = call_async(std::move(request));
+  if (!handle.ok()) return handle.error();
+  return wait(handle.value());
 }
 
 Status BbdClient::ping() {
@@ -59,11 +174,22 @@ Status BbdClient::ping() {
 }
 
 Status BbdClient::hello(bool release_on_disconnect) {
+  const bool want_pipeline = options_.pipeline_depth > 1;
   BbdRequest req;
   req.op = BbdOp::kHello;
-  req.flags = release_on_disconnect ? 1u : 0u;
+  req.flags =
+      (release_on_disconnect ? hello_flag::kReleaseOnDisconnect : 0u) |
+      (want_pipeline ? hello_flag::kPipeline : 0u);
+  if (want_pipeline) req.u64a = options_.pipeline_depth;
   auto res = call(std::move(req));
-  return res.ok() ? Status::ok_status() : Status(res.error());
+  if (!res.ok()) return Status(res.error());
+  if (want_pipeline) {
+    // The effective window is what the daemon granted; an old daemon
+    // echoes 0 and this client stays serial.
+    window_ = std::max<std::uint64_t>(
+        1, std::min(options_.pipeline_depth, res.value().u64a));
+  }
+  return Status::ok_status();
 }
 
 Status BbdClient::configure(std::uint64_t domains, std::uint64_t seed,

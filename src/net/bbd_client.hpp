@@ -3,14 +3,37 @@
 // Owns one stream connection: connect() dials the daemon, runs the staged
 // SecureChannel handshake (mutual auth against the shared deterministic
 // ServiceIdentity), and every call() afterwards is one sealed
-// request/response round trip. Calls are synchronous — the benches and
-// tests that use this client issue strictly ordered operation sequences,
-// which is exactly what byte-identity with the in-memory run requires.
+// request/response exchange.
+//
+// Two calling disciplines share the connection (docs/DAEMON.md
+// "Pipelining"):
+//   - call() is the original synchronous round trip — byte-identical to
+//     the pre-pipelining client, which is what byte-identity with the
+//     in-memory run requires;
+//   - call_async()/wait() keep up to the negotiated window of sealed
+//     requests in flight and match responses by request id, however the
+//     daemon interleaves them. The window is negotiated in hello():
+//     Options::pipeline_depth > 1 sets the kPipeline hello flag, and the
+//     effective window is what the daemon grants (old daemons grant
+//     nothing and the client stays serial).
+// Each in-flight call carries its own deadline (stamped at send time,
+// Options::call_timeout long). A timed-out call is abandoned: its id
+// moves to a tombstone set, wait() returns kTimeout, and the late
+// response — which must still be unsealed to keep the receive sequence
+// chain intact — is discarded on arrival instead of being mis-matched to
+// a newer call. Transport or seal-chain errors are sticky: they fail
+// every outstanding and future call on this client.
+//
+// Not thread-safe: one thread drives one client. Fleets hold one client
+// per thread (bench/load_daemon.cpp).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 
 #include "common/result.hpp"
@@ -28,8 +51,15 @@ class BbdClient {
     Endpoint connect_to;
     std::uint64_t auth_seed = kDefaultAuthSeed;
     /// Wall-clock patience per response (the daemon computes in virtual
-    /// time; generously above any real scheduling delay).
+    /// time; generously above any real scheduling delay). Pipelined
+    /// calls each get their own deadline, stamped when the request is
+    /// written.
     std::chrono::milliseconds call_timeout{30000};
+    /// Requested pipeline window. 1 (the default) keeps the client
+    /// strictly serial and byte-identical to the pre-pipelining wire;
+    /// > 1 makes hello() negotiate pipelining and allows that many
+    /// call_async() calls in flight at once.
+    std::uint64_t pipeline_depth = 1;
   };
 
   /// Dial and complete the handshake.
@@ -37,6 +67,34 @@ class BbdClient {
 
   BbdClient(BbdClient&&) = default;
   BbdClient& operator=(BbdClient&&) = default;
+
+  /// Handle to one in-flight pipelined request.
+  struct Call {
+    std::uint64_t id = 0;
+  };
+
+  /// Seal and write one request without waiting for its response. When
+  /// the negotiated window is full, first pumps the socket until a slot
+  /// frees (the oldest in-flight call completes or times out). The
+  /// returned handle is redeemed exactly once with wait().
+  Result<Call> call_async(BbdRequest request);
+
+  /// Block until `call`'s response arrives (or its deadline passes),
+  /// buffering any other responses that land first. Application-level
+  /// failures (response.ok == false) are returned as this Result's
+  /// error, exactly like call().
+  Result<BbdResponse> wait(const Call& call);
+
+  /// Pump until no calls are in flight; responses are buffered for their
+  /// wait(). First sticky error wins.
+  Status drain();
+
+  /// Calls currently in flight (sent, not yet completed or abandoned).
+  std::size_t in_flight() const { return pending_.size(); }
+
+  /// Window granted by the daemon's hello response (1 until a pipelined
+  /// hello() succeeds).
+  std::uint64_t pipeline_window() const { return window_; }
 
   /// One sealed round trip. Assigns the request id; a response that does
   /// not echo it is a protocol error. An application-level failure
@@ -99,10 +157,32 @@ class BbdClient {
         socket_(std::move(socket)),
         session_(std::move(session)) {}
 
+  /// Read + unseal + match ONE response frame, waiting until `deadline`.
+  /// kTimeout leaves all state untouched (the caller decides whom to
+  /// abandon); any other failure is recorded as the sticky error and
+  /// fails every pending call.
+  Status pump_one(std::chrono::steady_clock::time_point deadline);
+  /// Mark the connection broken and fail every pending call with
+  /// `error`.
+  Status poison(const Error& error);
+
   Options options_;
   StreamSocket socket_;
   sig::Session session_;
   std::uint64_t next_id_ = 1;
+  /// Negotiated in hello(); 1 = serial.
+  std::uint64_t window_ = 1;
+  /// In-flight call id -> its deadline. std::map: iteration order is id
+  /// order, so begin() is always the oldest call.
+  std::map<std::uint64_t, std::chrono::steady_clock::time_point> pending_;
+  /// Responses (or terminal errors) that arrived before their wait().
+  std::map<std::uint64_t, Result<BbdResponse>> completed_;
+  /// Timed-out ids whose responses may still arrive; matched frames are
+  /// discarded. Entries leave when the late response shows up or the
+  /// connection dies.
+  std::set<std::uint64_t> abandoned_;
+  /// Sticky transport/protocol error; set once, fails everything after.
+  std::optional<Error> broken_;
 };
 
 }  // namespace e2e::net

@@ -55,10 +55,32 @@ inline constexpr tlv::Tag kErrMsg = 0xE2B1;    // string
 inline constexpr tlv::Tag kErrOrigin = 0xE2B2; // string
 }  // namespace bbd_tag
 
+/// kHello request flag bits (BbdRequest::flags).
+namespace hello_flag {
+/// Release grants made over this connection when it drops — the
+/// orphan-release contract.
+inline constexpr std::uint32_t kReleaseOnDisconnect = 1u << 0;
+/// Client requests response pipelining: it wants to keep request
+/// u64a > 1 sealed calls in flight on this connection and will match
+/// responses by id, not arrival order. The daemon answers with the
+/// window it will honor in response u64a (0 on daemons predating the
+/// feature — TLV encodes every field always, so an old daemon's hello
+/// response already carried u64a=0 and stays byte-identical). A client
+/// that does not set this bit gets the original strictly-serial
+/// contract, byte for byte.
+inline constexpr std::uint32_t kPipeline = 1u << 1;
+}  // namespace hello_flag
+
+/// Largest pipeline window the daemon will advertise in a kHello
+/// response; the effective window is min(requested, this).
+inline constexpr std::uint64_t kMaxPipelineWindow = 64;
+
 enum class BbdOp : std::uint32_t {
   kPing = 1,
   /// Set per-connection options (flags bit 0: release grants made over
-  /// this connection when it drops — the orphan-release contract).
+  /// this connection when it drops — the orphan-release contract;
+  /// flags bit 1: request pipelining, window wanted in u64a — see
+  /// hello_flag above). Response u64a = granted pipeline window.
   kHello = 2,
   /// (Re)build the daemon's world: u64a=domains, u64b=seed (0 keeps the
   /// config default), u64c=inter-domain latency (SimDuration), f64a=domain

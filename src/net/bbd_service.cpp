@@ -1,5 +1,6 @@
 #include "net/bbd_service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <utility>
@@ -92,11 +93,25 @@ Status BbdService::start() {
   if (auto built = rebuild_world(std::move(config)); !built.ok()) {
     return built;
   }
+  // The RPC execution pool. No e2e_bb_shard_* series: those belong to
+  // the admission engine inside the world; this pool reuses only the
+  // queue/worker machinery.
+  rpc_pool_ = std::make_unique<bb::ShardEngine>(
+      options_.rpc_workers == 0 ? 1 : options_.rpc_workers,
+      /*register_metrics=*/false);
   StreamServer::Options server_options;
   server_options.listen_on = options_.listen_on;
   server_options.idle_timeout = options_.idle_timeout;
   server_options.max_write_queue_bytes = options_.max_write_queue_bytes;
   server_options.force_poll = options_.force_poll;
+  // Graceful drain must outwait requests the worker pool still owns, not
+  // just queued writes: a connection is drainable only once every
+  // dispatched request has its response in the write queue.
+  server_options.drain_gate = [this](StreamServer::ConnId id) {
+    const ConnPtr conn = find_conn(id);
+    return conn == nullptr ||
+           conn->in_flight.load(std::memory_order_acquire) == 0;
+  };
   StreamServer::Callbacks callbacks;
   callbacks.on_open = [this](StreamServer::ConnId id, const Endpoint& via) {
     on_open(id, via);
@@ -127,11 +142,19 @@ Status BbdService::start_admin() {
   providers.health = [this] {
     obs::AdminPlane::Health health;
     health.live = loop_live_.load(std::memory_order_acquire);
-    std::lock_guard lock(world_mutex_);
-    health.ready = health.live && world_ != nullptr;
+    const bool draining = draining_.load(std::memory_order_acquire);
+    bool has_world = false;
+    {
+      // Pointer lock only: readiness must answer even while a worker
+      // holds world_mutex_ for a long-running RPC.
+      std::lock_guard lock(world_ptr_mutex_);
+      has_world = world_ != nullptr;
+    }
+    health.ready = health.live && has_world && !draining;
     if (!health.ready) {
-      health.detail = !health.live ? "rpc loop not running"
-                                   : "no world configured";
+      health.detail = !health.live  ? "rpc loop not running"
+                      : draining    ? "draining"
+                                    : "no world configured";
     }
     return health;
   };
@@ -225,6 +248,14 @@ std::string BbdService::build_statz() const {
       out += ",\"frames_rx\":" + std::to_string(conn.frames_rx);
       out += ",\"frames_tx\":" + std::to_string(conn.frames_tx);
       out += ",\"queued_bytes\":" + std::to_string(conn.queued_bytes);
+      std::uint64_t in_flight = 0;
+      std::uint64_t window = 1;
+      if (const ConnPtr state = find_conn(conn.id); state != nullptr) {
+        in_flight = state->in_flight.load(std::memory_order_relaxed);
+        window = state->window.load(std::memory_order_relaxed);
+      }
+      out += ",\"in_flight\":" + std::to_string(in_flight);
+      out += ",\"window\":" + std::to_string(window);
       out += "}";
     }
   }
@@ -232,17 +263,24 @@ std::string BbdService::build_statz() const {
   std::uint64_t depth_total = 0;
   std::uint64_t tasks_total = 0;
   std::uint64_t busy_total = 0;
+  // Shard stats are relaxed atomics and names() is immutable, so only
+  // the pointer needs protection: the shared_ptr copy keeps the world
+  // alive across a concurrent kConfigure, and no RPC is blocked.
+  std::shared_ptr<kit::ChainWorld> world;
   {
-    std::lock_guard lock(world_mutex_);
-    if (world_ != nullptr) {
+    std::lock_guard lock(world_ptr_mutex_);
+    world = world_;
+  }
+  {
+    if (world != nullptr) {
       bool first_domain = true;
-      for (std::size_t i = 0; i < world_->names().size(); ++i) {
-        const bb::ShardEngine* engine = world_->broker(i).shard_engine();
+      for (std::size_t i = 0; i < world->names().size(); ++i) {
+        const bb::ShardEngine* engine = world->broker(i).shard_engine();
         if (engine == nullptr) continue;
         if (!first_domain) out += ",";
         first_domain = false;
         out += "{\"domain\":\"" +
-               obs::chain_json_escape(world_->names()[i]) + "\"";
+               obs::chain_json_escape(world->names()[i]) + "\"";
         out += ",\"queue_depth\":" + std::to_string(engine->queue_depth());
         out += ",\"queue_depth_highwater\":" +
                std::to_string(engine->queue_depth_highwater());
@@ -285,6 +323,13 @@ std::string BbdService::build_tracez() const {
 
 void BbdService::finalize_shutdown() {
   loop_live_.store(false, std::memory_order_release);
+  // Retire the worker pool first: its destructor drains every queued
+  // task (stale frames, disconnect finalizers), so the audit record and
+  // the metrics snapshot below observe a fully settled world. A stop()
+  // (non-graceful) exit may still have requests queued here; their
+  // completions post to a loop that never runs again, which is safe —
+  // posted tasks are discarded, never executed off-loop.
+  rpc_pool_.reset();
   if (admin_server_ != nullptr) {
     admin_server_->stop();
     if (admin_loop_.joinable()) admin_loop_.join();
@@ -314,6 +359,9 @@ void BbdService::stop() {
 }
 
 void BbdService::shutdown_gracefully() {
+  // Readiness flips before the drain begins: a load balancer probing
+  // /readyz stops routing while the last in-flight requests finish.
+  draining_.store(true, std::memory_order_release);
   if (server_ != nullptr) server_->shutdown_gracefully();
 }
 
@@ -343,33 +391,68 @@ Status BbdService::rebuild_world(kit::ChainWorldConfig config) {
   }
   users_.clear();
   // The old world must release its WALs before the new one reopens them.
-  world_.reset();
+  // The admin thread may still hold a shared_ptr copy (its shard-stats
+  // read finishes against the dying world), but the WAL handles close
+  // only with the last reference — so drop ours first and publish the
+  // replacement after construction succeeds.
+  {
+    std::lock_guard ptr_lock(world_ptr_mutex_);
+    world_.reset();
+  }
+  std::shared_ptr<kit::ChainWorld> rebuilt;
   try {
-    world_ = std::make_unique<kit::ChainWorld>(config);
+    rebuilt = std::make_shared<kit::ChainWorld>(config);
   } catch (const std::exception& e) {
     return make_error(ErrorCode::kInternal, "world construction failed",
                       e.what());
   }
+  std::lock_guard ptr_lock(world_ptr_mutex_);
+  world_ = std::move(rebuilt);
   return Status::ok_status();
+}
+
+BbdService::ConnPtr BbdService::find_conn(StreamServer::ConnId id) const {
+  std::lock_guard lock(conns_mutex_);
+  const auto it = conns_.find(id);
+  return it != conns_.end() ? it->second : nullptr;
+}
+
+std::size_t BbdService::worker_for(StreamServer::ConnId id) const {
+  // Connection affinity: all of a connection's requests execute on one
+  // worker, preserving the sealed channel's FIFO sequence chain.
+  return static_cast<std::size_t>(id) % rpc_pool_->worker_count();
 }
 
 void BbdService::on_open(StreamServer::ConnId id, const Endpoint& via) {
   (void)via;
-  ConnState conn;
-  conn.handshake = std::make_unique<sig::HandshakeResponder>(
+  auto conn = std::make_shared<ConnState>();
+  conn->handshake = std::make_unique<sig::HandshakeResponder>(
       identity_.daemon_endpoint(), kHandshakeTime, handshake_rng_);
+  std::lock_guard lock(conns_mutex_);
   conns_.emplace(id, std::move(conn));
 }
 
 void BbdService::on_close(StreamServer::ConnId id, const Status& reason) {
   (void)reason;
-  auto it = conns_.find(id);
-  if (it == conns_.end()) return;
-  if (it->second.release_on_disconnect) {
-    std::lock_guard lock(world_mutex_);
-    release_orphans(it->second);
+  ConnPtr conn;
+  {
+    std::lock_guard lock(conns_mutex_);
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    conn = std::move(it->second);
+    conns_.erase(it);
   }
-  conns_.erase(it);
+  conn->dead.store(true, std::memory_order_release);
+  // The disconnect finalizer runs on the connection's own worker, so it
+  // queues BEHIND every request dispatched before the close: the grants
+  // list is final when it runs, and orphan release happens exactly once,
+  // after the last grant of the connection landed.
+  rpc_pool_->post(worker_for(id), [this, conn] {
+    if (conn->release_on_disconnect) {
+      std::lock_guard lock(world_mutex_);
+      release_orphans(*conn);
+    }
+  });
 }
 
 void BbdService::release_orphans(ConnState& conn) {
@@ -414,56 +497,97 @@ bool BbdService::on_handshake_frame(StreamServer::ConnId id, ConnState& conn,
 }
 
 void BbdService::on_frame(StreamServer::ConnId id, Bytes frame) {
-  auto it = conns_.find(id);
-  if (it == conns_.end()) return;
-  ConnState& conn = it->second;
-  if (!conn.established) {
-    (void)on_handshake_frame(id, conn, frame);
+  const ConnPtr conn = find_conn(id);
+  if (conn == nullptr) return;
+  if (!conn->established) {
+    (void)on_handshake_frame(id, *conn, frame);
+    return;
+  }
+  if (conn->dead.load(std::memory_order_acquire)) return;
+  // Window enforcement at dispatch: a connection may keep at most its
+  // negotiated number of requests in flight (1 unless kHello raised it).
+  // Exceeding it is a protocol violation — the peer is not the client
+  // library — and the connection is shed before the excess can queue.
+  const std::uint64_t in_flight =
+      conn->in_flight.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (in_flight > conn->window.load(std::memory_order_acquire)) {
+    conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    conn->dead.store(true, std::memory_order_release);
+    server_->close_after_flush(id);
+    return;
+  }
+  // Everything else — unseal, decode, execute, re-seal — happens on the
+  // connection's affine worker; the loop goes straight back to IO.
+  rpc_pool_->post(worker_for(id),
+                  [this, id, conn, frame = std::move(frame)]() mutable {
+                    process_frame(id, conn, std::move(frame));
+                  });
+}
+
+/// Worker-thread half of the RPC path.
+void BbdService::process_frame(StreamServer::ConnId id, const ConnPtr& conn,
+                               Bytes frame) {
+  if (conn->dead.load(std::memory_order_acquire)) {
+    conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
     return;
   }
   // Established: every frame is a sealed record carrying one request.
   auto record = sig::decode_record(frame);
-  if (!record.ok()) {
-    server_->close_after_flush(id);
-    return;
-  }
-  auto payload = conn.handshake->session().open(record.value());
+  Result<Bytes> payload = record.ok()
+                              ? conn->handshake->session().open(record.value())
+                              : Result<Bytes>(record.error());
   if (!payload.ok()) {
-    server_->close_after_flush(id);
+    // Protocol corruption: poison the connection worker-side first so
+    // frames already queued behind this one become no-ops, then hand the
+    // close to the loop.
+    conn->dead.store(true, std::memory_order_release);
+    server_->post([this, id, conn] {
+      server_->close_after_flush(id);
+      conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    });
     return;
   }
   auto request = BbdRequest::decode(payload.value());
-  if (!request.ok()) {
-    send_response(id, conn, BbdResponse::failure(0, request.error()));
-    return;
-  }
-  const auto rpc_start = std::chrono::steady_clock::now();
   BbdResponse response;
-  {
-    // The admin thread reads world_/users_ under the same mutex; RPCs
-    // stay serialized with introspection renders, nothing else.
-    std::lock_guard lock(world_mutex_);
-    response = handle(id, conn, request.value());
+  bool shutdown_after_reply = false;
+  if (!request.ok()) {
+    response = BbdResponse::failure(0, request.error());
+  } else {
+    const auto rpc_start = std::chrono::steady_clock::now();
+    {
+      // One exclusive section for world/engine/users: the signalling
+      // engines mutate unsynchronized per-tunnel and per-node state, so
+      // request execution serializes here — crypto framing above and
+      // below runs concurrently across connections.
+      std::lock_guard lock(world_mutex_);
+      response = handle(id, *conn, request.value());
+    }
+    if (admin_plane_ != nullptr) {
+      const auto elapsed_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - rpc_start)
+              .count();
+      const std::uint64_t now_ms = wall_clock_();
+      rpc_latency_.observe(now_ms, static_cast<double>(elapsed_us));
+      rpc_burn_.record(now_ms, !response.ok);
+    }
+    shutdown_after_reply =
+        request.value().op == BbdOp::kShutdown && response.ok;
   }
-  if (admin_plane_ != nullptr) {
-    const auto elapsed_us =
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - rpc_start)
-            .count();
-    const std::uint64_t now_ms = wall_clock_();
-    rpc_latency_.observe(now_ms, static_cast<double>(elapsed_us));
-    rpc_burn_.record(now_ms, !response.ok);
-  }
-  send_response(id, conn, response);
-  if (request.value().op == BbdOp::kShutdown && response.ok) {
-    server_->shutdown_gracefully();
-  }
-}
-
-void BbdService::send_response(StreamServer::ConnId id, ConnState& conn,
-                               const BbdResponse& response) {
-  sig::Record record = conn.handshake->session().seal(response.encode());
-  (void)server_->send(id, sig::encode_record(record));
+  // Seal on the worker too: per-connection FIFO execution keeps the send
+  // sequence chain in order, and the loop thread never runs crypto.
+  sig::Record sealed = conn->handshake->session().seal(response.encode());
+  server_->post([this, id, conn, wire = sig::encode_record(sealed),
+                 shutdown_after_reply] {
+    (void)server_->send(id, BytesView(wire.data(), wire.size()));
+    // Decrement AFTER the response is queued: the drain gate must never
+    // see zero in-flight with the reply still on a worker.
+    conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    if (shutdown_after_reply) {
+      draining_.store(true, std::memory_order_release);
+      server_->shutdown_gracefully();
+    }
+  });
 }
 
 BbdResponse BbdService::handle(StreamServer::ConnId id, ConnState& conn,
@@ -482,8 +606,22 @@ BbdResponse BbdService::handle(StreamServer::ConnId id, ConnState& conn,
       return res;
     }
     case BbdOp::kHello: {
-      conn.release_on_disconnect = (req.flags & 1u) != 0;
-      return BbdResponse::success(req.id);
+      conn.release_on_disconnect =
+          (req.flags & hello_flag::kReleaseOnDisconnect) != 0;
+      BbdResponse res = BbdResponse::success(req.id);
+      if ((req.flags & hello_flag::kPipeline) != 0) {
+        // Pipelining requested: grant min(asked, cap), floor 1, and echo
+        // the granted window in u64a. Without the flag u64a stays 0 —
+        // the exact bytes an old daemon produced, so legacy clients see
+        // an unchanged wire.
+        const std::uint64_t asked = req.u64a == 0 ? 1 : req.u64a;
+        const std::uint64_t granted = std::min(asked, kMaxPipelineWindow);
+        conn.window.store(granted, std::memory_order_release);
+        res.u64a = granted;
+      } else {
+        conn.window.store(1, std::memory_order_release);
+      }
+      return res;
     }
     case BbdOp::kConfigure: {
       kit::ChainWorldConfig config;

@@ -8,10 +8,31 @@
 // RarReply crosses the wire as its canonical encoding, a multi-process run
 // produces byte-identical protocol output to the in-memory one.
 //
-// Threading: all application state (world, users, per-connection state)
-// is touched only from the StreamServer loop thread — callbacks run there
-// one at a time, so no locks. start()/stop()/shutdown_gracefully()/wait()
-// are the cross-thread entry points.
+// Threading (ISSUE 10): the daemon is a three-stage pipeline.
+//   1. The StreamServer loop thread owns sockets and frames: it runs the
+//      handshake stages inline, dispatches established frames to the RPC
+//      worker pool, and is the only thread that calls send().
+//   2. The RPC worker pool (Options::rpc_workers ShardEngine threads, no
+//      e2e_bb_shard_* series — those stay attributable to admission)
+//      unseals, decodes, executes and re-seals each request. A connection
+//      is affine to one worker (conn id mod pool size), so its sealed
+//      sequence numbers advance in FIFO order with no cross-thread
+//      session use; completions return to the loop via
+//      StreamServer::post().
+//   3. The admin plane thread renders introspection documents.
+// Locks are per-stage, not monolithic:
+//   - world_mutex_   serializes world/engine/users mutation (the engines
+//     are not internally synchronized), taken by workers per request and
+//     by /tracez;
+//   - world_ptr_mutex_ guards only the world_ shared_ptr itself, so
+//     /statz and /healthz observe the world without queueing behind a
+//     long-running RPC;
+//   - conns_mutex_   guards the connection-state map (loop inserts and
+//     erases; /statz reads the per-connection in-flight gauges).
+// Per-connection mutable state is either loop-owned (handshake stage),
+// worker-affine (grants, release_on_disconnect — the disconnect
+// finalizer runs on the same worker queue, after every dispatched
+// request), or atomic (in_flight, pipeline window, dead flag).
 #pragma once
 
 #include <atomic>
@@ -24,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "bb/shard_engine.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "crypto/ca.hpp"
@@ -70,6 +92,11 @@ class BbdService {
     std::chrono::milliseconds idle_timeout{0};
     std::size_t max_write_queue_bytes = 4u << 20;
     bool force_poll = false;
+    /// RPC worker pool size: decode/unseal + request execution run on
+    /// these threads, not the event loop (docs/DAEMON.md "Pipelining").
+    /// Each connection is affine to one worker; sizing past the number
+    /// of distinct client connections buys nothing.
+    std::size_t rpc_workers = 2;
     /// Optional plaintext admin/telemetry listeners (docs/DAEMON.md "Live
     /// operations"): a second StreamServer in raw mode serving the
     /// obs::AdminPlane HTTP routes. Empty (the default) disables the
@@ -110,38 +137,59 @@ class BbdService {
     /// frame must be the Finished message. (The responder's own done()
     /// only flips after Finished, so the connection tracks this stage.)
     bool hello_consumed = false;
+    /// Loop thread only: set when the handshake completes. After this
+    /// the session inside `handshake` is used exclusively by the
+    /// connection's affine worker (the dispatch post orders the handoff).
     bool established = false;
+    /// Worker-affine (kHello handler and the disconnect finalizer both
+    /// run on the connection's worker).
     bool release_on_disconnect = false;
     /// (engine, RarReply bytes) of every end-to-end grant made over this
     /// connection and not yet released — released on disconnect when the
-    /// connection asked for it (kHello flag bit 0).
+    /// connection asked for it (kHello flag bit 0). Worker-affine.
     std::vector<std::pair<std::string, Bytes>> grants;
+    /// Negotiated pipeline window (kHello); 1 = the serial contract.
+    std::atomic<std::uint64_t> window{1};
+    /// Requests dispatched to the worker pool whose responses have not
+    /// been queued yet. Loop increments at dispatch and decrements in
+    /// the completion task; the drain gate and /statz read it.
+    std::atomic<std::uint64_t> in_flight{0};
+    /// Protocol error or close observed: queued worker tasks for this
+    /// connection become no-ops.
+    std::atomic<bool> dead{false};
   };
+  using ConnPtr = std::shared_ptr<ConnState>;
 
   void on_open(StreamServer::ConnId id, const Endpoint& via);
   void on_frame(StreamServer::ConnId id, Bytes frame);
   void on_close(StreamServer::ConnId id, const Status& reason);
 
   /// Handshake-stage frames (ClientHello, Finished) — returns false when
-  /// the connection was closed on error.
+  /// the connection was closed on error. Loop thread.
   bool on_handshake_frame(StreamServer::ConnId id, ConnState& conn,
                           const Bytes& frame);
+  /// Worker thread: unseal, decode, execute, seal; posts the completion
+  /// (or the close) back to the loop.
+  void process_frame(StreamServer::ConnId id, const ConnPtr& conn,
+                     Bytes frame);
   BbdResponse handle(StreamServer::ConnId id, ConnState& conn,
                      const BbdRequest& request);
-  void send_response(StreamServer::ConnId id, ConnState& conn,
-                     const BbdResponse& response);
   Status rebuild_world(kit::ChainWorldConfig config);
   void release_orphans(ConnState& conn);
+  /// conns_ lookup under conns_mutex_.
+  ConnPtr find_conn(StreamServer::ConnId id) const;
+  std::size_t worker_for(StreamServer::ConnId id) const;
 
   /// Admin plane (options_.admin_on non-empty only). The admin server
-  /// runs raw HTTP on its own thread; its providers synchronize against
-  /// the RPC loop through world_mutex_.
+  /// runs raw HTTP on its own thread; see the threading note above for
+  /// which lock each provider takes.
   Status start_admin();
   void on_admin_data(StreamServer::ConnId id, BytesView data);
   std::string build_statz() const;
   std::string build_tracez() const;
-  /// Runs on the loop thread after run() returns: stop the admin plane,
-  /// append the audit "shutdown" record, write the final snapshot.
+  /// Runs on the loop thread after run() returns: retire the RPC worker
+  /// pool (draining any queued work), stop the admin plane, append the
+  /// audit "shutdown" record, write the final snapshot.
   void finalize_shutdown();
 
   Options options_;
@@ -149,16 +197,24 @@ class BbdService {
   Rng handshake_rng_;
   std::unique_ptr<StreamServer> server_;
   std::thread loop_;
-  std::unique_ptr<kit::ChainWorld> world_;
   std::map<std::string, kit::WorldUser> users_;
-  std::map<StreamServer::ConnId, ConnState> conns_;
 
-  /// Orders admin-thread reads of world_/users_ against the loop thread's
-  /// RPC handling and world rebuilds. The loop takes it per request; the
-  /// admin thread takes it per /statz-/tracez render. Uncontended (and
-  /// therefore ~free) whenever nobody scrapes.
+  /// Serializes every world/engine/users mutation (workers, kConfigure,
+  /// /tracez). The signalling engines are not internally synchronized.
   mutable std::mutex world_mutex_;
+  /// Guards only the world_ pointer (swap on kConfigure vs the admin
+  /// thread's shared_ptr copy); never held across engine work.
+  mutable std::mutex world_ptr_mutex_;
+  std::shared_ptr<kit::ChainWorld> world_;
+
+  /// Connection-state map: loop thread writes, /statz reads.
+  mutable std::mutex conns_mutex_;
+  std::map<StreamServer::ConnId, ConnPtr> conns_;
+
   std::atomic<bool> loop_live_{false};
+  /// Set the moment a graceful drain is requested; /readyz flips to
+  /// not-ready immediately, before the last in-flight request finishes.
+  std::atomic<bool> draining_{false};
 
   std::unique_ptr<StreamServer> admin_server_;
   std::thread admin_loop_;
@@ -168,9 +224,14 @@ class BbdService {
 
   /// Wall-clock telemetry over the RPC stream: latency distribution and
   /// SLO burn over the last minute, published at admin snapshot refresh.
+  /// Internally synchronized (workers record, admin thread reads).
   obs::WallClockFn wall_clock_;
   obs::WindowedHistogram rpc_latency_;
   obs::BurnRateTracker rpc_burn_;
+
+  /// Declared last: its destructor drains all queued tasks, which may
+  /// still touch the members above.
+  std::unique_ptr<bb::ShardEngine> rpc_pool_;
 };
 
 }  // namespace e2e::net

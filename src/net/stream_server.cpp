@@ -13,8 +13,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 #include "obs/instruments.hpp"
 
@@ -233,6 +235,41 @@ void StreamServer::shutdown_gracefully() {
   }
 }
 
+void StreamServer::post(std::function<void()> task) {
+  {
+    std::lock_guard lock(post_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'p';
+    [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void StreamServer::run_posted_tasks() {
+  std::deque<std::function<void()>> tasks;
+  {
+    std::lock_guard lock(post_mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void StreamServer::require_loop_thread(const char* api) const {
+  if (!loop_live_.load(std::memory_order_acquire)) return;
+  if (loop_thread_.load(std::memory_order_relaxed) ==
+      std::this_thread::get_id()) {
+    return;
+  }
+  // Always-on (CI builds define NDEBUG, so assert() would never fire):
+  // a foreign thread reaching the loop-owned write path is a data race
+  // on every connection structure — abort before it corrupts anything.
+  std::fprintf(stderr,
+               "StreamServer::%s called off the loop thread; use post()\n",
+               api);
+  std::abort();
+}
+
 void StreamServer::drain_wake_pipe() {
   char sink[64];
   while (::read(wake_read_fd_, sink, sizeof(sink)) > 0) {
@@ -271,27 +308,28 @@ void StreamServer::sweep_idle() {
 }
 
 void StreamServer::run() {
+  loop_thread_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  loop_live_.store(true, std::memory_order_release);
   while (true) {
     if (stop_requested_.load(std::memory_order_acquire)) break;
+    // Posted tasks run before the drain sweep so completions handed over
+    // by worker threads queue their responses (and clear the drain gate)
+    // in the same iteration that evaluates it.
+    run_posted_tasks();
     if (drain_requested_.load(std::memory_order_acquire) && !draining_) {
       draining_ = true;
-      // Stop accepting; existing connections get to drain their writes.
+      // Stop accepting; existing connections get to drain their writes
+      // and their in-flight worker requests (Options::drain_gate).
       for (Listener& listener : listeners_) {
         poller_->remove(listener.fd());
         listener.close();
       }
       listener_by_fd_.clear();
-      std::vector<ConnId> idle_now;
-      for (auto& [id, conn] : connections_) {
-        if (conn.write_queue.empty()) {
-          idle_now.push_back(id);
-        } else {
-          conn.closing_after_flush = true;
-        }
-      }
-      for (ConnId id : idle_now) close_connection(id, Status::ok_status());
     }
-    if (draining_ && connections_.empty()) break;
+    if (draining_) {
+      sweep_draining();
+      if (connections_.empty()) break;
+    }
 
     auto events = poller_->wait(next_timeout_ms());
     if (!events.ok()) break;
@@ -319,6 +357,7 @@ void StreamServer::run() {
     }
     sweep_idle();
   }
+  loop_live_.store(false, std::memory_order_release);
 
   // Loop exit: close whatever is left (stop(), or a poller failure).
   std::vector<ConnId> remaining;
@@ -332,6 +371,25 @@ void StreamServer::run() {
     }
   }
   listener_by_fd_.clear();
+}
+
+void StreamServer::sweep_draining() {
+  std::vector<ConnId> idle_now;
+  for (auto& [id, conn] : connections_) {
+    if (options_.drain_gate && !options_.drain_gate(id)) {
+      // In-flight application work: the response is not even queued yet,
+      // so this connection must neither close now nor arm
+      // closing_after_flush (the write queue may transiently drain while
+      // a worker still owns a request). Re-checked next iteration.
+      continue;
+    }
+    if (conn.write_queue.empty()) {
+      idle_now.push_back(id);
+    } else {
+      conn.closing_after_flush = true;
+    }
+  }
+  for (ConnId id : idle_now) close_connection(id, Status::ok_status());
 }
 
 void StreamServer::accept_ready(int listener_fd) {
@@ -485,6 +543,7 @@ bool StreamServer::flush_writes(ConnId id) {
 }
 
 Status StreamServer::send(ConnId id, BytesView payload) {
+  require_loop_thread("send");
   auto it = connections_.find(id);
   if (it == connections_.end()) {
     return make_error(ErrorCode::kNotFound,
@@ -503,6 +562,7 @@ Status StreamServer::send(ConnId id, BytesView payload) {
 }
 
 Status StreamServer::send_raw(ConnId id, BytesView payload) {
+  require_loop_thread("send_raw");
   if (connections_.find(id) == connections_.end()) {
     return make_error(ErrorCode::kNotFound,
                       "unknown connection " + std::to_string(id));
@@ -543,6 +603,7 @@ Status StreamServer::enqueue_bytes(ConnId id, Bytes wire_bytes) {
 }
 
 void StreamServer::close_after_flush(ConnId id) {
+  require_loop_thread("close_after_flush");
   auto it = connections_.find(id);
   if (it == connections_.end()) return;
   if (it->second.write_queue.empty()) {

@@ -17,8 +17,9 @@
 //   bbd [--listen tcp:HOST:PORT | --listen unix:/PATH]...
 //       [--admin tcp:HOST:PORT | --admin unix:/PATH]...
 //       [--domains N] [--seed N] [--admission-threads N]
-//       [--durability-dir DIR] [--recover] [--metrics-out PATH]
-//       [--idle-timeout-ms N] [--force-poll] [--auth-seed N]
+//       [--rpc-workers N] [--durability-dir DIR] [--recover]
+//       [--metrics-out PATH] [--idle-timeout-ms N] [--force-poll]
+//       [--auth-seed N]
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -40,9 +41,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--listen tcp:HOST:PORT|unix:/PATH]..."
                " [--admin tcp:HOST:PORT|unix:/PATH]... [--domains N]"
-               " [--seed N] [--admission-threads N] [--durability-dir DIR]"
-               " [--recover] [--metrics-out PATH] [--idle-timeout-ms N]"
-               " [--force-poll] [--auth-seed N]\n",
+               " [--seed N] [--admission-threads N] [--rpc-workers N]"
+               " [--durability-dir DIR] [--recover] [--metrics-out PATH]"
+               " [--idle-timeout-ms N] [--force-poll] [--auth-seed N]\n",
                argv0);
   return 2;
 }
@@ -83,6 +84,10 @@ int main(int argc, char** argv) {
       const char* value = next();
       if (value == nullptr) return usage(argv[0]);
       options.world.admission_threads = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--rpc-workers") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      options.rpc_workers = std::strtoull(value, nullptr, 10);
     } else if (arg == "--metrics-out") {
       const char* value = next();
       if (value == nullptr) return usage(argv[0]);
